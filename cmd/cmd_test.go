@@ -1,0 +1,181 @@
+// Package cmd_test builds and runs the shipped executables end to end —
+// integration coverage for the CLI surfaces.
+package cmd_test
+
+import (
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// build compiles one command into dir and returns the binary path.
+func build(t *testing.T, dir, name string) string {
+	t.Helper()
+	bin := filepath.Join(dir, name)
+	cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+	cmd.Dir = ".."
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	return bin
+}
+
+// run executes a binary and returns its combined output, failing the test
+// on a non-zero exit.
+func run(t *testing.T, bin string, args ...string) string {
+	t.Helper()
+	out, err := exec.Command(bin, args...).CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", filepath.Base(bin), args, err, out)
+	}
+	return string(out)
+}
+
+func TestTeragenCLI(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "teragen")
+	out := filepath.Join(dir, "data.txt")
+	run(t, bin, "-kind", "tera", "-size", "4096", "-seed", "3", "-out", out)
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) < 4096 {
+		t.Errorf("generated %d bytes, want >= 4096", len(data))
+	}
+	if !strings.HasSuffix(string(data), "\n") {
+		t.Error("output not newline-terminated")
+	}
+	// Unknown kind exits non-zero.
+	if err := exec.Command(bin, "-kind", "nope").Run(); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestHadoopsimCLI(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "hadoopsim")
+	out := run(t, bin, "-workload", "wordcount", "-platform", "xeon", "-data", "1", "-block", "256")
+	for _, want := range []string{"xeon-e5-2420", "map tasks: 4", "EDP"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	out = run(t, bin, "-workload", "sort", "-compare")
+	if !strings.Contains(out, "winner: big") {
+		t.Errorf("sort comparison should crown the big core:\n%s", out)
+	}
+	out = run(t, bin, "-workload", "grep", "-real", "-realsize", "16384")
+	if !strings.Contains(out, "real engine run") {
+		t.Errorf("real run missing:\n%s", out)
+	}
+	if err := exec.Command(bin, "-workload", "nope").Run(); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if err := exec.Command(bin, "-platform", "vax").Run(); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestExperimentsCLI(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "experiments")
+	out := run(t, bin, "-list")
+	for _, want := range []string{"fig1", "table3", "ext-dse"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list missing %q", want)
+		}
+	}
+	out = run(t, bin, "-only", "fig1,fig9")
+	if !strings.Contains(out, "Avg_Hadoop") || !strings.Contains(out, "Block[MB]") {
+		t.Errorf("artefacts missing:\n%s", out)
+	}
+	// CSV to files.
+	outdir := filepath.Join(dir, "results")
+	run(t, bin, "-only", "fig1", "-format", "csv", "-outdir", outdir)
+	data, err := os.ReadFile(filepath.Join(outdir, "fig1.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "Suite,") {
+		t.Errorf("CSV header wrong: %q", string(data[:20]))
+	}
+	if err := exec.Command(bin, "-only", "fig99").Run(); err == nil {
+		t.Error("unknown artefact accepted")
+	}
+	if err := exec.Command(bin, "-format", "xml").Run(); err == nil {
+		t.Error("unknown format accepted")
+	}
+}
+
+func TestDseCLI(t *testing.T) {
+	dir := t.TempDir()
+	bin := build(t, dir, "dse")
+	out := run(t, bin, "-block", "256", "-freq", "1.8", "-cores", "8")
+	for _, want := range []string{"atom-c2758", "xeon-e5-2420", "Pareto frontier"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("dse output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHadoopdCLIRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	hadoopd := build(t, dir, "hadoopd")
+	teragen := build(t, dir, "teragen")
+	input := filepath.Join(dir, "in.txt")
+	run(t, teragen, "-kind", "text", "-size", "16384", "-out", input)
+
+	const addr = "127.0.0.1:42731"
+	master := exec.Command(hadoopd, "-role", "master", "-addr", addr)
+	if err := master.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		master.Process.Kill()
+		master.Wait()
+	}()
+	// Workers dial once, so wait for the master to accept connections.
+	waitForMaster(t, addr)
+
+	worker := exec.Command(hadoopd, "-role", "worker", "-master", addr, "-id", "w0")
+	if err := worker.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		worker.Process.Kill()
+		worker.Wait()
+	}()
+
+	out := filepath.Join(dir, "out.txt")
+	res := run(t, hadoopd, "-role", "submit", "-master", addr,
+		"-workload", "wordcount", "-input", input, "-reducers", "2", "-block", "4096", "-out", out)
+	if !strings.Contains(res, "job done") {
+		t.Errorf("submit output: %s", res)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "\t") {
+		t.Error("no key<TAB>count lines in the output")
+	}
+}
+
+// waitForMaster polls until the master accepts TCP connections (bounded).
+func waitForMaster(t *testing.T, addr string) {
+	t.Helper()
+	for i := 0; i < 100; i++ {
+		conn, err := net.DialTimeout("tcp", addr, 100*time.Millisecond)
+		if err == nil {
+			conn.Close()
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Fatal("master never came up")
+}

@@ -1,0 +1,99 @@
+// Command experiments regenerates the paper's tables and figures from the
+// calibrated models.
+//
+// Usage:
+//
+//	experiments                      # regenerate everything, in the paper's order
+//	experiments -list                # list artefact ids
+//	experiments -only fig3,table3
+//	experiments -format csv -outdir results/   # one CSV per artefact
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"heterohadoop/internal/expt"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list artefact ids and exit")
+	only := flag.String("only", "", "comma-separated artefact ids to regenerate (default: all)")
+	format := flag.String("format", "text", "output format: text|csv|md")
+	outdir := flag.String("outdir", "", "write one file per artefact into this directory (default stdout)")
+	chart := flag.String("chart", "", "render this column as an ASCII bar chart instead of a table")
+	flag.Parse()
+
+	if *list {
+		for _, g := range expt.All() {
+			fmt.Printf("%-8s %s\n", g.ID, g.Name)
+		}
+		return
+	}
+
+	gens := expt.All()
+	if *only != "" {
+		gens = gens[:0]
+		for _, id := range strings.Split(*only, ",") {
+			g, err := expt.ByID(strings.TrimSpace(id))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			gens = append(gens, g)
+		}
+	}
+	if *format != "text" && *format != "csv" && *format != "md" {
+		fmt.Fprintf(os.Stderr, "unknown format %q (text|csv|md)\n", *format)
+		os.Exit(2)
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	for _, g := range gens {
+		tbl, err := g.Run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", g.ID, err)
+			os.Exit(1)
+		}
+		var w io.Writer = os.Stdout
+		if *outdir != "" {
+			ext := ".txt"
+			switch *format {
+			case "csv":
+				ext = ".csv"
+			case "md":
+				ext = ".md"
+			}
+			f, err := os.Create(filepath.Join(*outdir, g.ID+ext))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			w = f
+			defer f.Close()
+		}
+		var werr error
+		switch {
+		case *chart != "":
+			werr = tbl.RenderBars(w, *chart, 48)
+		case *format == "csv":
+			werr = tbl.WriteCSV(w)
+		case *format == "md":
+			werr = tbl.WriteMarkdown(w)
+		default:
+			werr = tbl.Fprint(w)
+		}
+		if werr != nil {
+			fmt.Fprintln(os.Stderr, werr)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,107 @@
+// Command hadoopd runs the distributed MapReduce runtime as separate
+// processes — a master plus workers over TCP, the shape of the paper's
+// 3-node clusters.
+//
+// Usage:
+//
+//	hadoopd -role master -addr 127.0.0.1:4000
+//	hadoopd -role worker -master 127.0.0.1:4000 -id node1-slot0
+//	hadoopd -role submit -master 127.0.0.1:4000 -workload wordcount \
+//	        -input data.txt -reducers 4 -block 65536
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/rpc"
+	"os"
+	"os/signal"
+	"time"
+
+	"heterohadoop/internal/dist"
+	"heterohadoop/internal/mapreduce"
+)
+
+func main() {
+	var (
+		role     = flag.String("role", "", "master|worker|submit")
+		addr     = flag.String("addr", "127.0.0.1:4000", "master listen address (role=master)")
+		master   = flag.String("master", "127.0.0.1:4000", "master address (worker/submit)")
+		id       = flag.String("id", "", "worker id (role=worker)")
+		workload = flag.String("workload", "wordcount", "registered workload name (role=submit)")
+		input    = flag.String("input", "", "input file (role=submit)")
+		reducers = flag.Int("reducers", 2, "reduce-task count (role=submit)")
+		block    = flag.Int("block", 64*1024, "split size in bytes (role=submit)")
+		pattern  = flag.String("pattern", "", "grep pattern (role=submit, workload=grep)")
+		timeout  = flag.Duration("task-timeout", 10*time.Second, "task reassignment timeout (role=master)")
+		out      = flag.String("out", "", "output file for results (role=submit; default stdout)")
+	)
+	flag.Parse()
+
+	switch *role {
+	case "master":
+		m, err := dist.NewMaster(*addr, *timeout)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("master listening on %s\n", m.Addr())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		<-sig
+		m.Close()
+	case "worker":
+		if *id == "" {
+			*id = fmt.Sprintf("worker-%d", os.Getpid())
+		}
+		w, err := dist.NewWorker(*id, *master)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("worker %s polling %s\n", *id, *master)
+		if err := w.RunForever(); err != nil {
+			fatal(err)
+		}
+	case "submit":
+		if *input == "" {
+			fatal(fmt.Errorf("submit needs -input"))
+		}
+		data, err := os.ReadFile(*input)
+		if err != nil {
+			fatal(err)
+		}
+		client, err := rpc.Dial("tcp", *master)
+		if err != nil {
+			fatal(err)
+		}
+		defer client.Close()
+		desc := dist.JobDescriptor{Workload: *workload, NumReducers: *reducers}
+		if *pattern != "" {
+			desc.Aux = []byte(*pattern)
+		}
+		var res mapreduce.Result
+		start := time.Now()
+		if err := client.Call("Master.Submit", dist.SubmitArgs{Desc: desc, Input: data, BlockSize: *block}, &res); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "job done in %v: %v\n", time.Since(start).Round(time.Millisecond), res.Counters)
+		w := os.Stdout
+		if *out != "" {
+			f, err := os.Create(*out)
+			if err != nil {
+				fatal(err)
+			}
+			defer f.Close()
+			w = f
+		}
+		if _, err := w.Write(mapreduce.MaterializeOutput(&res)); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown role %q (master|worker|submit)", *role))
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -1,0 +1,66 @@
+// Command teragen generates the synthetic datasets the workloads consume:
+// Zipf text, TeraGen-format records, fixed-width sortable rows,
+// market-basket transactions and labelled documents.
+//
+// Usage:
+//
+//	teragen -kind tera -size 1048576 -seed 1 -out data.txt
+//	teragen -kind text -size 65536          # writes to stdout
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"heterohadoop/internal/units"
+	"heterohadoop/internal/workloads"
+)
+
+func main() {
+	var (
+		kind = flag.String("kind", "tera", "dataset kind: text|tera|numbers|transactions|labeled")
+		size = flag.Int64("size", int64(units.MB), "approximate output size in bytes")
+		seed = flag.Int64("seed", 1, "generator seed")
+		out  = flag.String("out", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	gens := map[string]func(units.Bytes, int64) []byte{
+		"text":         workloads.GenerateText,
+		"tera":         workloads.GenerateTeraRecords,
+		"numbers":      workloads.GenerateNumbers,
+		"transactions": workloads.GenerateTransactions,
+		"labeled":      workloads.GenerateLabeledDocs,
+	}
+	gen, ok := gens[*kind]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown kind %q (text|tera|numbers|transactions|labeled)\n", *kind)
+		os.Exit(2)
+	}
+	if *size <= 0 {
+		fmt.Fprintln(os.Stderr, "size must be positive")
+		os.Exit(2)
+	}
+	data := gen(units.Bytes(*size), *seed)
+
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+		w = f
+	}
+	if _, err := w.Write(data); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

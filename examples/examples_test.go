@@ -1,0 +1,78 @@
+// Package examples_test smoke-tests every runnable example: each must
+// build, exit zero, and print its headline output.
+package examples_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+)
+
+func runExample(t *testing.T, name string) string {
+	t.Helper()
+	bin := t.TempDir() + "/" + name
+	build := exec.Command("go", "build", "-o", bin, "./examples/"+name)
+	build.Dir = ".."
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building %s: %v\n%s", name, err, out)
+	}
+	out, err := exec.Command(bin).CombinedOutput()
+	if err != nil {
+		t.Fatalf("running %s: %v\n%s", name, err, out)
+	}
+	return string(out)
+}
+
+func TestQuickstartExample(t *testing.T) {
+	out := runExample(t, "quickstart")
+	for _, want := range []string{"real engine run", "big vs little", "block-size tuning", "<- best"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("quickstart missing %q", want)
+		}
+	}
+}
+
+func TestHeteroschedExample(t *testing.T) {
+	out := runExample(t, "heterosched")
+	for _, want := range []string{"goal: minimize EDP", "job-stream simulation", "paper-policy", "policy vs exhaustive optimum"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("heterosched missing %q", want)
+		}
+	}
+}
+
+func TestAccelerationExample(t *testing.T) {
+	out := runExample(t, "acceleration")
+	for _, want := range []string{"before acceleration", "map acceleration", "Eq.1 ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("acceleration missing %q", want)
+		}
+	}
+}
+
+func TestCostanalysisExample(t *testing.T) {
+	out := runExample(t, "costanalysis")
+	for _, want := range []string{"normalized to Xeon x8", "little x8", "big x2"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("costanalysis missing %q", want)
+		}
+	}
+}
+
+func TestPhasesplitExample(t *testing.T) {
+	out := runExample(t, "phasesplit")
+	for _, want := range []string{"all-little", "all-big", "little-map/big-reduce", "handoff"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("phasesplit missing %q", want)
+		}
+	}
+}
+
+func TestCustomworkloadExample(t *testing.T) {
+	out := runExample(t, "customworkload")
+	for _, want := range []string{"indexed", "EDP winner", "policy schedules it on little"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("customworkload missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module heterohadoop
+
+go 1.22

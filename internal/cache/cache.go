@@ -1,0 +1,210 @@
+// Package cache models the on-chip memory hierarchies of the big and little
+// cores. It provides two complementary tools:
+//
+//   - A cycle-free but faithful set-associative LRU cache simulator (Sim and
+//     HierarchySim) for validating locality assumptions on real address
+//     traces in tests.
+//   - An analytic power-law miss model (Hierarchy.MissProfile) that the core
+//     timing model uses to estimate memory stall time for paper-scale inputs
+//     where trace simulation would be infeasible.
+//
+// The shipped hierarchies mirror the paper's Table 1: Atom C2758 with a
+// two-level hierarchy (24 KB L1d, 1 MB L2 per pair) and Xeon E5-2420 with a
+// three-level hierarchy (32 KB L1d, 256 KB L2, 15 MB shared L3).
+package cache
+
+import (
+	"fmt"
+	"math"
+
+	"heterohadoop/internal/isa"
+	"heterohadoop/internal/units"
+)
+
+// Level describes one cache level.
+type Level struct {
+	// Name is a short identifier such as "L1d".
+	Name string
+	// Size is the capacity of the cache.
+	Size units.Bytes
+	// LineSize is the block size in bytes.
+	LineSize units.Bytes
+	// Assoc is the set associativity (ways).
+	Assoc int
+	// LatencyCycles is the hit latency in core cycles at nominal frequency.
+	LatencyCycles float64
+}
+
+// Validate checks the level geometry.
+func (l Level) Validate() error {
+	if l.Size <= 0 || l.LineSize <= 0 || l.Assoc <= 0 {
+		return fmt.Errorf("cache: level %s: size, line size and associativity must be positive", l.Name)
+	}
+	if l.Size%l.LineSize != 0 {
+		return fmt.Errorf("cache: level %s: size %v not a multiple of line size %v", l.Name, l.Size, l.LineSize)
+	}
+	lines := int(l.Size / l.LineSize)
+	if lines%l.Assoc != 0 {
+		return fmt.Errorf("cache: level %s: %d lines not divisible by associativity %d", l.Name, lines, l.Assoc)
+	}
+	if l.LatencyCycles < 0 {
+		return fmt.Errorf("cache: level %s: negative latency", l.Name)
+	}
+	return nil
+}
+
+// Sets returns the number of sets in the level.
+func (l Level) Sets() int { return int(l.Size/l.LineSize) / l.Assoc }
+
+// Hierarchy is an inclusive multi-level cache hierarchy backed by DRAM.
+type Hierarchy struct {
+	// Name identifies the hierarchy, e.g. "atom-c2758".
+	Name string
+	// Levels are ordered from closest to the core (L1) outward.
+	Levels []Level
+	// MemLatency is the DRAM access latency. It is expressed in time, not
+	// cycles, because DRAM speed does not scale with the core's DVFS state.
+	MemLatency units.Seconds
+	// MemBandwidth is the sustainable DRAM bandwidth per core.
+	MemBandwidth units.Bytes // per second
+}
+
+// Validate checks the hierarchy configuration.
+func (h Hierarchy) Validate() error {
+	if len(h.Levels) == 0 {
+		return fmt.Errorf("cache: hierarchy %s has no levels", h.Name)
+	}
+	var prev units.Bytes
+	for i, l := range h.Levels {
+		if err := l.Validate(); err != nil {
+			return err
+		}
+		if i > 0 && l.Size < prev {
+			return fmt.Errorf("cache: hierarchy %s: level %s smaller than inner level", h.Name, l.Name)
+		}
+		prev = l.Size
+	}
+	if h.MemLatency <= 0 {
+		return fmt.Errorf("cache: hierarchy %s: memory latency must be positive", h.Name)
+	}
+	if h.MemBandwidth <= 0 {
+		return fmt.Errorf("cache: hierarchy %s: memory bandwidth must be positive", h.Name)
+	}
+	return nil
+}
+
+// MissProfile is the outcome of the analytic model for one workload on one
+// hierarchy: the fraction of memory accesses serviced by each level and by
+// DRAM, and the average time a memory access spends waiting beyond the L1
+// hit path.
+type MissProfile struct {
+	// ServicedBy[i] is the fraction of all memory accesses whose data is
+	// supplied by hierarchy level i (index into Hierarchy.Levels).
+	ServicedBy []float64
+	// MemFraction is the fraction of accesses that go all the way to DRAM.
+	MemFraction float64
+	// AvgHitCycles is the average on-chip latency per access in core cycles
+	// (frequency-invariant: cache SRAM scales with the core clock).
+	AvgHitCycles float64
+	// AvgMemTime is the average DRAM time per access in seconds
+	// (frequency-invariant: DRAM does not scale with core DVFS).
+	AvgMemTime units.Seconds
+}
+
+// missAtWorkingSet is the model's miss ratio when cache capacity exactly
+// equals the working set: mostly hits, with conflict/coherence residue.
+const missAtWorkingSet = 0.08
+
+// globalMissRatio is the analytic power-law capacity model: the probability
+// that an access misses in a cache of capacity c for a workload with the
+// given memory behaviour. miss(c) = missAtWorkingSet·(WS/c)^locality,
+// clamped to [compulsory, 1]; it is continuous and non-increasing in c.
+func globalMissRatio(c units.Bytes, mem isa.MemBehavior) float64 {
+	if c <= 0 {
+		return 1
+	}
+	ratio := float64(mem.WorkingSet) / float64(c)
+	miss := missAtWorkingSet * math.Pow(ratio, mem.Locality)
+	return clamp(miss, mem.CompulsoryMissRatio, 1)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// MissProfile evaluates the analytic model for a workload's memory behaviour
+// on this hierarchy.
+func (h Hierarchy) MissProfile(mem isa.MemBehavior) MissProfile {
+	n := len(h.Levels)
+	serviced := make([]float64, n)
+	// global[i] = fraction of accesses that miss in level i (and all inner
+	// levels, by inclusion).
+	global := make([]float64, n)
+	for i, l := range h.Levels {
+		global[i] = globalMissRatio(l.Size, mem)
+		if i > 0 && global[i] > global[i-1] {
+			// Inclusion: an outer level cannot miss more often than an
+			// inner one under this model.
+			global[i] = global[i-1]
+		}
+	}
+	prev := 1.0
+	avgHit := 0.0
+	for i, l := range h.Levels {
+		serviced[i] = prev - global[i]
+		if serviced[i] < 0 {
+			serviced[i] = 0
+		}
+		// Every access at least probes L1; outer levels are visited only on
+		// inner misses. Charge each level's latency to the accesses that
+		// reach it.
+		reach := 1.0
+		if i > 0 {
+			reach = global[i-1]
+		}
+		avgHit += reach * l.LatencyCycles
+		prev = global[i]
+	}
+	memFrac := global[n-1]
+	return MissProfile{
+		ServicedBy:   serviced,
+		MemFraction:  memFrac,
+		AvgHitCycles: avgHit,
+		AvgMemTime:   units.Seconds(memFrac * float64(h.MemLatency)),
+	}
+}
+
+// AtomC2758 returns the little-core hierarchy from the paper's Table 1:
+// 24 KB L1d and 1 MB L2 per core pair (4×1024 KB across 8 cores), no L3.
+func AtomC2758() Hierarchy {
+	return Hierarchy{
+		Name: "atom-c2758",
+		Levels: []Level{
+			{Name: "L1d", Size: 24 * units.KB, LineSize: 64, Assoc: 6, LatencyCycles: 3},
+			{Name: "L2", Size: 1024 * units.KB, LineSize: 64, Assoc: 16, LatencyCycles: 14},
+		},
+		MemLatency:   units.Seconds(95e-9),
+		MemBandwidth: 6 * units.GB,
+	}
+}
+
+// XeonE52420 returns the big-core hierarchy from the paper's Table 1:
+// 32 KB L1d, 256 KB L2, 15 MB shared L3.
+func XeonE52420() Hierarchy {
+	return Hierarchy{
+		Name: "xeon-e5-2420",
+		Levels: []Level{
+			{Name: "L1d", Size: 32 * units.KB, LineSize: 64, Assoc: 8, LatencyCycles: 4},
+			{Name: "L2", Size: 256 * units.KB, LineSize: 64, Assoc: 8, LatencyCycles: 12},
+			{Name: "L3", Size: 15 * units.MB, LineSize: 64, Assoc: 20, LatencyCycles: 30},
+		},
+		MemLatency:   units.Seconds(80e-9),
+		MemBandwidth: 12 * units.GB,
+	}
+}

@@ -1,0 +1,388 @@
+package cache
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"heterohadoop/internal/isa"
+	"heterohadoop/internal/units"
+)
+
+func TestLevelValidate(t *testing.T) {
+	good := Level{Name: "L1", Size: 32 * units.KB, LineSize: 64, Assoc: 8, LatencyCycles: 4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid level rejected: %v", err)
+	}
+	cases := []Level{
+		{Name: "zero", Size: 0, LineSize: 64, Assoc: 8},
+		{Name: "badline", Size: 32 * units.KB, LineSize: 60, Assoc: 8},
+		{Name: "badassoc", Size: 32 * units.KB, LineSize: 64, Assoc: 7},
+		{Name: "neglat", Size: 32 * units.KB, LineSize: 64, Assoc: 8, LatencyCycles: -1},
+	}
+	for _, l := range cases {
+		if err := l.Validate(); err == nil {
+			t.Errorf("level %q: invalid config accepted", l.Name)
+		}
+	}
+	if got := good.Sets(); got != 64 {
+		t.Errorf("Sets() = %d, want 64", got)
+	}
+}
+
+func TestHierarchyValidate(t *testing.T) {
+	for _, h := range []Hierarchy{AtomC2758(), XeonE52420()} {
+		if err := h.Validate(); err != nil {
+			t.Errorf("%s: shipped hierarchy invalid: %v", h.Name, err)
+		}
+	}
+	bad := AtomC2758()
+	bad.Levels = nil
+	if err := bad.Validate(); err == nil {
+		t.Error("empty hierarchy accepted")
+	}
+	bad = AtomC2758()
+	bad.Levels[1].Size = 8 * units.KB // outer smaller than inner
+	if err := bad.Validate(); err == nil {
+		t.Error("shrinking hierarchy accepted")
+	}
+	bad = AtomC2758()
+	bad.MemLatency = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero memory latency accepted")
+	}
+	bad = AtomC2758()
+	bad.MemBandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero memory bandwidth accepted")
+	}
+}
+
+func TestTable1Parameters(t *testing.T) {
+	atom := AtomC2758()
+	if len(atom.Levels) != 2 {
+		t.Errorf("Atom has %d levels, want 2 (no L3, per Table 1)", len(atom.Levels))
+	}
+	if atom.Levels[0].Size != 24*units.KB {
+		t.Errorf("Atom L1d = %v, want 24KB", atom.Levels[0].Size)
+	}
+	xeon := XeonE52420()
+	if len(xeon.Levels) != 3 {
+		t.Errorf("Xeon has %d levels, want 3", len(xeon.Levels))
+	}
+	if xeon.Levels[2].Size != 15*units.MB {
+		t.Errorf("Xeon L3 = %v, want 15MB", xeon.Levels[2].Size)
+	}
+}
+
+func TestGlobalMissRatioMonotonic(t *testing.T) {
+	mem := isa.MemBehavior{WorkingSet: 4 * units.MB, Locality: 1.0, CompulsoryMissRatio: 0.005}
+	prev := 1.0
+	for _, c := range []units.Bytes{8 * units.KB, 64 * units.KB, 512 * units.KB, 4 * units.MB, 32 * units.MB} {
+		m := globalMissRatio(c, mem)
+		if m > prev+1e-12 {
+			t.Errorf("miss ratio increased with capacity at %v: %v > %v", c, m, prev)
+		}
+		if m < mem.CompulsoryMissRatio-1e-12 || m > 1 {
+			t.Errorf("miss ratio %v out of [compulsory,1] at %v", m, c)
+		}
+		prev = m
+	}
+	if got := globalMissRatio(0, mem); got != 1 {
+		t.Errorf("zero-capacity miss ratio = %v, want 1", got)
+	}
+	// At exactly the working set the model pins missAtWorkingSet.
+	if got := globalMissRatio(4*units.MB, mem); math.Abs(got-missAtWorkingSet) > 1e-12 {
+		t.Errorf("miss at WS = %v, want %v", got, missAtWorkingSet)
+	}
+}
+
+func TestMissProfileBigBeatsLittleOnLargeWorkingSets(t *testing.T) {
+	// A multi-MB working set fits Xeon's 15 MB L3 but spills Atom's 1 MB L2,
+	// so Xeon must send a smaller fraction of accesses to DRAM. This is the
+	// mechanism behind the paper's "Xeon hides memory subsystem misses more
+	// effectively" observation.
+	mem := isa.MemBehavior{WorkingSet: 8 * units.MB, Locality: 1.0, CompulsoryMissRatio: 0.002}
+	atom := AtomC2758().MissProfile(mem)
+	xeon := XeonE52420().MissProfile(mem)
+	if xeon.MemFraction >= atom.MemFraction {
+		t.Errorf("Xeon DRAM fraction %v not below Atom's %v", xeon.MemFraction, atom.MemFraction)
+	}
+	if atom.MemFraction <= 0 || atom.MemFraction > 1 {
+		t.Errorf("Atom DRAM fraction %v out of range", atom.MemFraction)
+	}
+}
+
+func TestMissProfileServicedFractionsSumToOne(t *testing.T) {
+	mem := isa.MemBehavior{WorkingSet: 2 * units.MB, Locality: 0.8, CompulsoryMissRatio: 0.01}
+	for _, h := range []Hierarchy{AtomC2758(), XeonE52420()} {
+		p := h.MissProfile(mem)
+		sum := p.MemFraction
+		for _, f := range p.ServicedBy {
+			if f < 0 {
+				t.Errorf("%s: negative serviced fraction %v", h.Name, f)
+			}
+			sum += f
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Errorf("%s: serviced fractions sum to %v, want 1", h.Name, sum)
+		}
+		if p.AvgHitCycles < h.Levels[0].LatencyCycles {
+			t.Errorf("%s: avg hit cycles %v below L1 latency", h.Name, p.AvgHitCycles)
+		}
+	}
+}
+
+func TestMissProfileProperty(t *testing.T) {
+	h := XeonE52420()
+	f := func(wsKB uint32, locRaw uint8) bool {
+		ws := units.Bytes(wsKB%20480+1) * units.KB
+		loc := 0.3 + float64(locRaw%20)/10
+		p := h.MissProfile(isa.MemBehavior{WorkingSet: ws, Locality: loc, CompulsoryMissRatio: 0.001})
+		sum := p.MemFraction
+		for _, s := range p.ServicedBy {
+			if s < -1e-12 {
+				return false
+			}
+			sum += s
+		}
+		return math.Abs(sum-1) < 1e-9 && p.MemFraction >= 0 && p.MemFraction <= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSimSmallLoopFitsInCache(t *testing.T) {
+	s, err := NewSim(Level{Name: "L1", Size: 32 * units.KB, LineSize: 64, Assoc: 8, LatencyCycles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 16 KB loop footprint, iterated 10 times: first pass cold, then hits.
+	const foot = 16 * 1024
+	for iter := 0; iter < 10; iter++ {
+		for a := uint64(0); a < foot; a += 64 {
+			s.Access(a)
+		}
+	}
+	wantMisses := uint64(foot / 64)
+	if s.Misses() != wantMisses {
+		t.Errorf("misses = %d, want %d (compulsory only)", s.Misses(), wantMisses)
+	}
+	if mr := s.MissRatio(); mr > 0.11 {
+		t.Errorf("miss ratio %v too high for resident loop", mr)
+	}
+}
+
+func TestSimThrashingExceedsCapacity(t *testing.T) {
+	s, err := NewSim(Level{Name: "L1", Size: 4 * units.KB, LineSize: 64, Assoc: 2, LatencyCycles: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Footprint 8x the capacity, cyclic: LRU thrashes, every access misses.
+	const foot = 32 * 1024
+	for iter := 0; iter < 4; iter++ {
+		for a := uint64(0); a < foot; a += 64 {
+			s.Access(a)
+		}
+	}
+	if mr := s.MissRatio(); mr < 0.99 {
+		t.Errorf("cyclic thrash miss ratio = %v, want ~1", mr)
+	}
+	if s.Evictions() == 0 {
+		t.Error("no evictions recorded under thrash")
+	}
+}
+
+func TestSimLRUOrder(t *testing.T) {
+	// 2-way, single-set cache: direct check of LRU replacement.
+	s, err := NewSim(Level{Name: "tiny", Size: 128, LineSize: 64, Assoc: 2, LatencyCycles: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b, c := uint64(0), uint64(64), uint64(128)
+	s.Access(a) // miss
+	s.Access(b) // miss
+	s.Access(a) // hit, a becomes MRU
+	s.Access(c) // miss, evicts b (LRU)
+	if !s.Access(a) {
+		t.Error("a was evicted but should be resident")
+	}
+	if s.Access(b) {
+		t.Error("b hit but should have been the LRU victim")
+	}
+}
+
+func TestSimRejectsBadGeometry(t *testing.T) {
+	if _, err := NewSim(Level{Name: "badline", Size: 4 * units.KB, LineSize: 96, Assoc: 2}); err == nil {
+		t.Error("non-power-of-two line size accepted")
+	}
+	// Non-power-of-two set counts (sliced LLCs) are accepted.
+	if _, err := NewSim(Level{Name: "sliced", Size: 15 * units.MB, LineSize: 64, Assoc: 20, LatencyCycles: 30}); err != nil {
+		t.Errorf("sliced LLC geometry rejected: %v", err)
+	}
+}
+
+func TestSimReset(t *testing.T) {
+	s, err := NewSim(Level{Name: "L1", Size: 4 * units.KB, LineSize: 64, Assoc: 4, LatencyCycles: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for a := uint64(0); a < 8192; a += 64 {
+		s.Access(a)
+	}
+	s.Reset()
+	if s.Accesses() != 0 || s.Misses() != 0 || s.MissRatio() != 0 {
+		t.Error("Reset did not clear statistics")
+	}
+	if !(!s.Access(0)) {
+		t.Error("access after Reset should be a cold miss")
+	}
+}
+
+func TestHierarchySimInclusionChain(t *testing.T) {
+	hs, err := NewHierarchySim(XeonE52420())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 128 KB working set: misses L1 (32 KB) under reuse but fits L2 (256 KB).
+	// Iterate enough to amortize the one-time compulsory DRAM fills.
+	const foot = 128 * 1024
+	for iter := 0; iter < 64; iter++ {
+		for a := uint64(0); a < foot; a += 64 {
+			hs.Access(a)
+		}
+	}
+	if hs.MemFraction() > 0.02 {
+		t.Errorf("DRAM fraction %v too high for L2-resident set", hs.MemFraction())
+	}
+	l1 := hs.Level(0)
+	if l1.MissRatio() < 0.5 {
+		t.Errorf("L1 miss ratio %v too low for 4x-capacity cyclic sweep", l1.MissRatio())
+	}
+}
+
+func TestHierarchySimServicedLevels(t *testing.T) {
+	hs, err := NewHierarchySim(AtomC2758())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lvl := hs.Access(0)
+	if lvl != len(AtomC2758().Levels) {
+		t.Errorf("cold access serviced by level %d, want DRAM (%d)", lvl, len(AtomC2758().Levels))
+	}
+	lvl = hs.Access(0)
+	if lvl != 0 {
+		t.Errorf("immediate re-access serviced by level %d, want L1 (0)", lvl)
+	}
+}
+
+func TestHierarchySimAvgAccessTimeScalesWithFrequency(t *testing.T) {
+	hs, err := NewHierarchySim(AtomC2758())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 20000; i++ {
+		hs.Access(uint64(rng.Intn(1 << 22)))
+	}
+	t12 := hs.AvgAccessTime(1.2 * units.GHz)
+	t18 := hs.AvgAccessTime(1.8 * units.GHz)
+	if t18 >= t12 {
+		t.Errorf("avg access time did not drop with frequency: %v >= %v", t18, t12)
+	}
+	// DRAM component is frequency-invariant, so speedup must be sub-linear.
+	ratio := float64(t12) / float64(t18)
+	if ratio >= 1.5 {
+		t.Errorf("access time scaled superlinearly with f: ratio %v", ratio)
+	}
+	if got := hs.AvgAccessTime(0); got != 0 {
+		t.Errorf("AvgAccessTime(0Hz) = %v, want 0", got)
+	}
+}
+
+func TestAnalyticModelTracksSimulatorOrdering(t *testing.T) {
+	// The analytic model need not match the simulator's absolute miss
+	// ratios, but larger working sets must rank the same way in both.
+	h := AtomC2758()
+	sizes := []units.Bytes{64 * units.KB, 512 * units.KB, 4 * units.MB}
+	var simFracs, modelFracs []float64
+	for _, ws := range sizes {
+		hs, err := NewHierarchySim(h)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(int64(ws)))
+		for i := 0; i < 30000; i++ {
+			hs.Access(uint64(rng.Intn(int(ws))))
+		}
+		simFracs = append(simFracs, hs.MemFraction())
+		p := h.MissProfile(isa.MemBehavior{WorkingSet: ws, Locality: 1.0, CompulsoryMissRatio: 0.001})
+		modelFracs = append(modelFracs, p.MemFraction)
+	}
+	for i := 1; i < len(sizes); i++ {
+		if simFracs[i] < simFracs[i-1] {
+			t.Errorf("simulator DRAM fraction not increasing with WS: %v", simFracs)
+		}
+		if modelFracs[i] < modelFracs[i-1] {
+			t.Errorf("model DRAM fraction not increasing with WS: %v", modelFracs)
+		}
+	}
+}
+
+func TestReplacementPolicies(t *testing.T) {
+	level := Level{Name: "L1", Size: 4 * units.KB, LineSize: 64, Assoc: 4, LatencyCycles: 3}
+	// Workload with strong temporal reuse of a hot subset plus a cold
+	// streaming sweep: LRU must beat FIFO and random.
+	drive := func(s *Sim) float64 {
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 60000; i++ {
+			if rng.Intn(100) < 70 {
+				s.Access(uint64(rng.Intn(2 * 1024))) // hot 2KB
+			} else {
+				s.Access(uint64(64 * (i % 4096))) // cold sweep
+			}
+		}
+		return s.MissRatio()
+	}
+	ratios := map[Policy]float64{}
+	for _, p := range []Policy{LRU, FIFO, RandomEvict} {
+		s, err := NewSim(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetPolicy(p)
+		ratios[p] = drive(s)
+	}
+	t.Logf("miss ratios: lru=%.3f fifo=%.3f random=%.3f", ratios[LRU], ratios[FIFO], ratios[RandomEvict])
+	if ratios[LRU] >= ratios[FIFO] {
+		t.Errorf("LRU (%.3f) not below FIFO (%.3f) on a reuse-heavy trace", ratios[LRU], ratios[FIFO])
+	}
+	if ratios[LRU] >= ratios[RandomEvict] {
+		t.Errorf("LRU (%.3f) not below random (%.3f)", ratios[LRU], ratios[RandomEvict])
+	}
+	for p, name := range map[Policy]string{LRU: "lru", FIFO: "fifo", RandomEvict: "random"} {
+		if p.String() != name {
+			t.Errorf("policy %d string %q", int(p), p.String())
+		}
+	}
+}
+
+func TestRandomPolicyDeterministic(t *testing.T) {
+	level := Level{Name: "L1", Size: units.KB, LineSize: 64, Assoc: 2, LatencyCycles: 1}
+	runOnce := func() uint64 {
+		s, err := NewSim(level)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.SetPolicy(RandomEvict)
+		for i := 0; i < 5000; i++ {
+			s.Access(uint64(64 * (i % 64)))
+		}
+		return s.Misses()
+	}
+	if runOnce() != runOnce() {
+		t.Error("random policy not deterministic across runs")
+	}
+}

@@ -1,0 +1,215 @@
+package cache
+
+import (
+	"fmt"
+
+	"heterohadoop/internal/units"
+)
+
+// Policy selects the replacement policy of a trace-driven cache.
+type Policy int
+
+// Replacement policies.
+const (
+	// LRU is true least-recently-used replacement.
+	LRU Policy = iota
+	// FIFO evicts in insertion order regardless of reuse.
+	FIFO
+	// RandomEvict evicts a (deterministically seeded) random way.
+	RandomEvict
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case LRU:
+		return "lru"
+	case FIFO:
+		return "fifo"
+	default:
+		return "random"
+	}
+}
+
+// Sim is a trace-driven set-associative cache. The default policy is
+// true-LRU; FIFO and random replacement are available for policy studies.
+// It is used in tests and calibration runs to validate the analytic miss
+// model against concrete address streams.
+type Sim struct {
+	level     Level
+	policy    Policy
+	rng       uint64     // xorshift state for RandomEvict
+	sets      [][]uint64 // per-set line tags, most recently used first
+	shift     uint
+	nsets     uint64
+	accesses  uint64
+	misses    uint64
+	evictions uint64
+}
+
+// SetPolicy switches the replacement policy; it also resets the cache.
+func (s *Sim) SetPolicy(p Policy) {
+	s.policy = p
+	s.rng = 0x9E3779B97F4A7C15
+	s.Reset()
+}
+
+// NewSim builds a simulator for one cache level. Set counts need not be a
+// power of two (real sliced LLCs are not); the set index is line % sets.
+func NewSim(level Level) (*Sim, error) {
+	if err := level.Validate(); err != nil {
+		return nil, err
+	}
+	if level.LineSize&(level.LineSize-1) != 0 {
+		return nil, fmt.Errorf("cache: level %s: line size %v is not a power of two", level.Name, level.LineSize)
+	}
+	shift := uint(0)
+	for ls := level.LineSize; ls > 1; ls >>= 1 {
+		shift++
+	}
+	nsets := level.Sets()
+	sets := make([][]uint64, nsets)
+	for i := range sets {
+		sets[i] = make([]uint64, 0, level.Assoc)
+	}
+	return &Sim{
+		level: level,
+		sets:  sets,
+		shift: shift,
+		nsets: uint64(nsets),
+	}, nil
+}
+
+// Access performs one access to the byte address and reports whether it hit.
+func (s *Sim) Access(addr uint64) bool {
+	s.accesses++
+	line := addr >> s.shift
+	idx := line % s.nsets
+	tag := line // full line address as tag: unambiguous across sets
+	set := s.sets[idx]
+	for i, t := range set {
+		if t == tag {
+			if s.policy == LRU {
+				// Move to MRU position; FIFO and random leave order alone.
+				copy(set[1:i+1], set[:i])
+				set[0] = tag
+			}
+			return true
+		}
+	}
+	s.misses++
+	if len(set) == s.level.Assoc {
+		s.evictions++
+		victim := len(set) - 1 // LRU and FIFO evict the oldest (back)
+		if s.policy == RandomEvict {
+			s.rng ^= s.rng << 13
+			s.rng ^= s.rng >> 7
+			s.rng ^= s.rng << 17
+			victim = int(s.rng % uint64(len(set)))
+		}
+		copy(set[victim+1:], set[victim:len(set)-1])
+		copy(set[1:victim+1], set[:victim])
+		set[0] = tag
+	} else {
+		set = append(set, 0)
+		copy(set[1:], set[:len(set)-1])
+		set[0] = tag
+		s.sets[idx] = set
+	}
+	return false
+}
+
+// Accesses returns the number of accesses observed.
+func (s *Sim) Accesses() uint64 { return s.accesses }
+
+// Misses returns the number of misses observed.
+func (s *Sim) Misses() uint64 { return s.misses }
+
+// Evictions returns the number of lines evicted.
+func (s *Sim) Evictions() uint64 { return s.evictions }
+
+// MissRatio returns misses/accesses, or 0 before any access.
+func (s *Sim) MissRatio() float64 {
+	if s.accesses == 0 {
+		return 0
+	}
+	return float64(s.misses) / float64(s.accesses)
+}
+
+// Reset clears contents and statistics.
+func (s *Sim) Reset() {
+	for i := range s.sets {
+		s.sets[i] = s.sets[i][:0]
+	}
+	s.accesses, s.misses, s.evictions = 0, 0, 0
+}
+
+// HierarchySim chains per-level simulators: an access that misses at level i
+// is forwarded to level i+1, modelling an inclusive hierarchy.
+type HierarchySim struct {
+	hierarchy Hierarchy
+	levels    []*Sim
+}
+
+// NewHierarchySim builds a trace-driven simulator for a full hierarchy.
+func NewHierarchySim(h Hierarchy) (*HierarchySim, error) {
+	if err := h.Validate(); err != nil {
+		return nil, err
+	}
+	sims := make([]*Sim, len(h.Levels))
+	for i, l := range h.Levels {
+		s, err := NewSim(l)
+		if err != nil {
+			return nil, err
+		}
+		sims[i] = s
+	}
+	return &HierarchySim{hierarchy: h, levels: sims}, nil
+}
+
+// Access sends one access down the hierarchy and returns the index of the
+// level that serviced it, or len(levels) if it went to DRAM.
+func (hs *HierarchySim) Access(addr uint64) int {
+	for i, s := range hs.levels {
+		if s.Access(addr) {
+			return i
+		}
+	}
+	return len(hs.levels)
+}
+
+// Level returns the simulator for hierarchy level i.
+func (hs *HierarchySim) Level(i int) *Sim { return hs.levels[i] }
+
+// MemAccesses returns the number of accesses that reached DRAM.
+func (hs *HierarchySim) MemAccesses() uint64 {
+	return hs.levels[len(hs.levels)-1].Misses()
+}
+
+// MemFraction returns the fraction of all accesses serviced by DRAM.
+func (hs *HierarchySim) MemFraction() float64 {
+	total := hs.levels[0].Accesses()
+	if total == 0 {
+		return 0
+	}
+	return float64(hs.MemAccesses()) / float64(total)
+}
+
+// AvgAccessTime returns the average access latency in seconds at the given
+// core frequency, combining per-level hit latencies (in cycles, scaled by f)
+// with DRAM latency (fixed time).
+func (hs *HierarchySim) AvgAccessTime(f units.Hertz) units.Seconds {
+	total := hs.levels[0].Accesses()
+	if total == 0 || f <= 0 {
+		return 0
+	}
+	cycles := 0.0
+	reach := float64(total)
+	for i, s := range hs.levels {
+		cycles += reach * hs.hierarchy.Levels[i].LatencyCycles
+		reach = float64(s.Misses())
+	}
+	t := cycles / float64(f)
+	t += float64(hs.MemAccesses()) * float64(hs.hierarchy.MemLatency)
+	return units.Seconds(t / float64(total))
+}

@@ -1,0 +1,292 @@
+// Package cpu provides analytical timing models for the two server cores the
+// paper studies: the big out-of-order Xeon E5-2420 (Sandy Bridge, 4-wide,
+// three cache levels) and the little Atom C2758 (Silvermont, 2-wide, two
+// cache levels). A Core turns a machine-independent isa.Profile into cycles,
+// seconds and an achieved IPC at a chosen DVFS frequency.
+//
+// The model splits execution time into a frequency-scaled part (issue slots,
+// branch penalties, on-chip cache latencies — all in core cycles) and a
+// frequency-invariant part (DRAM time), which is what makes the big core
+// less frequency-sensitive than the little one, as the paper observes.
+package cpu
+
+import (
+	"fmt"
+
+	"heterohadoop/internal/cache"
+	"heterohadoop/internal/isa"
+	"heterohadoop/internal/units"
+)
+
+// Kind distinguishes the two core classes of the study.
+type Kind int
+
+// Core kinds.
+const (
+	Little Kind = iota // low-power in-order-style core (Atom)
+	Big                // high-performance out-of-order core (Xeon)
+)
+
+// String returns "big" or "little".
+func (k Kind) String() string {
+	if k == Big {
+		return "big"
+	}
+	return "little"
+}
+
+// Core is a parameterized analytical core model.
+type Core struct {
+	// Name identifies the part, e.g. "xeon-e5-2420".
+	Name string
+	// Kind is the big/little class.
+	Kind Kind
+	// IssueWidth is the superscalar width (instructions per cycle peak).
+	IssueWidth int
+	// FrontendEfficiency is the fraction of issue slots the front end can
+	// keep fed on real code (fetch/decode/rename limits).
+	FrontendEfficiency float64
+	// BranchPenaltyCycles is the pipeline refill cost of a mispredict.
+	BranchPenaltyCycles float64
+	// StallExposure is the fraction of memory latency that actually stalls
+	// retirement. Out-of-order cores with deep reorder windows and
+	// prefetchers expose little of it; in-order cores expose most.
+	StallExposure float64
+	// MLP is the number of overlapping outstanding misses the memory
+	// system sustains, further dividing exposed DRAM latency.
+	MLP float64
+	// UncoreScaling is the fraction of DRAM access latency contributed by
+	// on-die uncore (fabric, memory controller) that scales with the core
+	// DVFS state. SoCs like the Atom C2758 clock their north complex with
+	// the cores (high fraction); server uncores run a fixed clock (low).
+	UncoreScaling float64
+	// MemContention is the per-extra-active-core slowdown coefficient on
+	// memory-stalled execution: single-channel SoCs congest quickly, a
+	// triple-channel server barely notices.
+	MemContention float64
+	// Hierarchy is the cache hierarchy in front of DRAM.
+	Hierarchy cache.Hierarchy
+	// Frequencies are the supported DVFS operating points, ascending.
+	Frequencies []units.Hertz
+	// NominalFrequency is the default operating point.
+	NominalFrequency units.Hertz
+	// Area is the chip area used by the capital-cost (EDAP) metrics.
+	Area units.SquareMM
+	// MaxCores is the number of cores on the chip.
+	MaxCores int
+	// SoC marks chips that integrate the platform hub (Ethernet, SATA,
+	// PCIe) on die, like the Atom C2758 microserver part; it drives the
+	// uncore term of the area model.
+	SoC bool
+}
+
+// Validate checks the core parameters.
+func (c Core) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("cpu: core has no name")
+	}
+	if c.IssueWidth < 1 {
+		return fmt.Errorf("cpu: %s: issue width must be >= 1", c.Name)
+	}
+	if c.FrontendEfficiency <= 0 || c.FrontendEfficiency > 1 {
+		return fmt.Errorf("cpu: %s: frontend efficiency %v out of (0,1]", c.Name, c.FrontendEfficiency)
+	}
+	if c.BranchPenaltyCycles < 0 {
+		return fmt.Errorf("cpu: %s: negative branch penalty", c.Name)
+	}
+	if c.StallExposure < 0 || c.StallExposure > 1 {
+		return fmt.Errorf("cpu: %s: stall exposure %v out of [0,1]", c.Name, c.StallExposure)
+	}
+	if c.MLP < 1 {
+		return fmt.Errorf("cpu: %s: MLP must be >= 1", c.Name)
+	}
+	if c.UncoreScaling < 0 || c.UncoreScaling > 1 {
+		return fmt.Errorf("cpu: %s: uncore scaling %v out of [0,1]", c.Name, c.UncoreScaling)
+	}
+	if c.MemContention < 0 || c.MemContention > 1 {
+		return fmt.Errorf("cpu: %s: memory contention %v out of [0,1]", c.Name, c.MemContention)
+	}
+	if err := c.Hierarchy.Validate(); err != nil {
+		return fmt.Errorf("cpu: %s: %w", c.Name, err)
+	}
+	if len(c.Frequencies) == 0 {
+		return fmt.Errorf("cpu: %s: no DVFS points", c.Name)
+	}
+	for i := 1; i < len(c.Frequencies); i++ {
+		if c.Frequencies[i] <= c.Frequencies[i-1] {
+			return fmt.Errorf("cpu: %s: DVFS points not ascending", c.Name)
+		}
+	}
+	if c.NominalFrequency <= 0 {
+		return fmt.Errorf("cpu: %s: nominal frequency must be positive", c.Name)
+	}
+	if c.Area <= 0 {
+		return fmt.Errorf("cpu: %s: area must be positive", c.Name)
+	}
+	if c.MaxCores < 1 {
+		return fmt.Errorf("cpu: %s: must have at least one core", c.Name)
+	}
+	return nil
+}
+
+// SupportsFrequency reports whether f is one of the DVFS points.
+func (c Core) SupportsFrequency(f units.Hertz) bool {
+	for _, p := range c.Frequencies {
+		if p == f {
+			return true
+		}
+	}
+	return false
+}
+
+// EffectiveWidth is the sustainable issue rate on code with unbounded ILP.
+func (c Core) EffectiveWidth() float64 {
+	return float64(c.IssueWidth) * c.FrontendEfficiency
+}
+
+// Timing is the outcome of running a profile on a core at a frequency.
+type Timing struct {
+	// Instructions is the dynamic instruction count.
+	Instructions float64
+	// CoreCycles is the frequency-scaled portion of execution in cycles:
+	// issue, branch recovery and on-chip cache latency.
+	CoreCycles float64
+	// MemTime is the frequency-invariant DRAM stall time.
+	MemTime units.Seconds
+	// Time is the total execution time.
+	Time units.Seconds
+	// CPI and IPC are measured over total time at the run frequency.
+	CPI float64
+	IPC float64
+	// MemStallFraction is MemTime / Time.
+	MemStallFraction float64
+}
+
+// Run times the execution of a profile over the given input size at
+// frequency f. The profile's per-byte costs scale linearly with input.
+func (c Core) Run(p isa.Profile, input units.Bytes, f units.Hertz) (Timing, error) {
+	if err := p.Validate(); err != nil {
+		return Timing{}, err
+	}
+	if f <= 0 {
+		return Timing{}, fmt.Errorf("cpu: %s: non-positive frequency %v", c.Name, f)
+	}
+	instr := p.Instructions(input)
+	if instr <= 0 {
+		return Timing{}, nil
+	}
+
+	// Issue-limited CPI: the core sustains min(effective width, profile ILP)
+	// instructions per cycle on stall-free code.
+	issueRate := c.EffectiveWidth()
+	if p.ILP < issueRate {
+		issueRate = p.ILP
+	}
+	cpiIssue := 1 / issueRate
+
+	// Branch recovery.
+	cpiBranch := p.Mix[isa.Branch] * p.BranchMispredictRate * c.BranchPenaltyCycles
+
+	// Memory behaviour through this core's hierarchy.
+	miss := c.Hierarchy.MissProfile(p.Mem)
+	memFrac := p.Mix.MemFraction()
+
+	// Dependent-chain misses expose the core's full stall weakness; the
+	// streaming remainder is largely hidden by prefetchers and overlapped
+	// across the miss window.
+	dep := p.Mem.Dependence
+	exposure := c.StallExposure * (streamingExposure + (1-streamingExposure)*dep)
+	mlp := 1 + (c.MLP-1)*(1-dep)
+
+	// On-chip stall: latency beyond the (pipelined, hidden) L1 hit path,
+	// exposed according to the core's ability to overlap.
+	l1 := c.Hierarchy.Levels[0].LatencyCycles
+	beyondL1 := miss.AvgHitCycles - l1
+	if beyondL1 < 0 {
+		beyondL1 = 0
+	}
+	cpiOnChip := memFrac * beyondL1 * exposure
+
+	coreCycles := instr * (cpiIssue + cpiBranch + cpiOnChip)
+
+	// Off-chip stall: DRAM latency is wall-clock time, divided across
+	// overlapping misses and scaled by exposure. The uncore-scaled portion
+	// of the latency stretches when the core (and with it the SoC fabric)
+	// is clocked below nominal.
+	memAccesses := instr * memFrac
+	lat := float64(c.Hierarchy.MemLatency)
+	if c.UncoreScaling > 0 && f != c.NominalFrequency {
+		lat = lat*(1-c.UncoreScaling) + lat*c.UncoreScaling*float64(c.NominalFrequency)/float64(f)
+	}
+	memTime := units.Seconds(memAccesses * miss.MemFraction * lat * exposure / mlp)
+
+	t := units.CyclesToTime(coreCycles, f) + memTime
+	totalCycles := units.TimeToCycles(t, f)
+	timing := Timing{
+		Instructions: instr,
+		CoreCycles:   coreCycles,
+		MemTime:      memTime,
+		Time:         t,
+	}
+	if totalCycles > 0 {
+		timing.CPI = totalCycles / instr
+		timing.IPC = instr / totalCycles
+	}
+	if t > 0 {
+		timing.MemStallFraction = float64(memTime) / float64(t)
+	}
+	return timing, nil
+}
+
+// streamingExposure is the fraction of a core's stall exposure that still
+// applies to fully streaming (prefetchable) miss traffic.
+const streamingExposure = 0.3
+
+// paperFrequencies are the DVFS points swept throughout the evaluation.
+func paperFrequencies() []units.Hertz {
+	return []units.Hertz{1.2 * units.GHz, 1.4 * units.GHz, 1.6 * units.GHz, 1.8 * units.GHz}
+}
+
+// AtomC2758 returns the little-core model: Silvermont, 2-wide, limited
+// reordering, two-level cache, 8 cores, 160 mm² (Intel datasheet, per the
+// paper's cost analysis).
+func AtomC2758() Core {
+	return Core{
+		Name:                "atom-c2758",
+		Kind:                Little,
+		IssueWidth:          2,
+		FrontendEfficiency:  0.85,
+		BranchPenaltyCycles: 10,
+		StallExposure:       0.60,
+		MLP:                 2.2,
+		UncoreScaling:       0.70,
+		MemContention:       0.08,
+		Hierarchy:           cache.AtomC2758(),
+		Frequencies:         paperFrequencies(),
+		NominalFrequency:    1.8 * units.GHz,
+		Area:                160,
+		MaxCores:            8,
+		SoC:                 true,
+	}
+}
+
+// XeonE52420 returns the big-core model: Sandy Bridge, 4-wide out-of-order,
+// three-level cache, 6 cores per socket, 216 mm².
+func XeonE52420() Core {
+	return Core{
+		Name:                "xeon-e5-2420",
+		Kind:                Big,
+		IssueWidth:          4,
+		FrontendEfficiency:  0.70,
+		BranchPenaltyCycles: 15,
+		StallExposure:       0.13,
+		MLP:                 8,
+		UncoreScaling:       0.05,
+		MemContention:       0.02,
+		Hierarchy:           cache.XeonE52420(),
+		Frequencies:         paperFrequencies(),
+		NominalFrequency:    1.8 * units.GHz,
+		Area:                216,
+		MaxCores:            8,
+	}
+}

@@ -1,0 +1,496 @@
+package dist
+
+import (
+	"errors"
+	"net/rpc"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+	"heterohadoop/internal/workloads"
+)
+
+// startCluster brings up a master and n workers on loopback.
+func startCluster(t *testing.T, n int, timeout time.Duration) (*Master, []*Worker, *sync.WaitGroup) {
+	t.Helper()
+	m, err := NewMaster("127.0.0.1:0", timeout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	var wg sync.WaitGroup
+	workers := make([]*Worker, n)
+	for i := 0; i < n; i++ {
+		w, err := NewWorker("worker-"+strconv.Itoa(i), m.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		workers[i] = w
+		wg.Add(1)
+		go func(w *Worker) {
+			defer wg.Done()
+			if err := w.Run(); err != nil {
+				t.Errorf("%s: %v", w.ID, err)
+			}
+		}(w)
+		t.Cleanup(func() { w.Close() })
+	}
+	return m, workers, &wg
+}
+
+func outputCounts(t *testing.T, res *mapreduce.Result) map[string]int {
+	t.Helper()
+	out := map[string]int{}
+	for _, p := range res.Output {
+		for _, kv := range p {
+			n, err := strconv.Atoi(kv.Value)
+			if err != nil {
+				t.Fatalf("bad count %q", kv.Value)
+			}
+			if _, dup := out[kv.Key]; dup {
+				t.Fatalf("duplicate key %q", kv.Key)
+			}
+			out[kv.Key] = n
+		}
+	}
+	return out
+}
+
+func TestDistributedWordCountMatchesLocal(t *testing.T) {
+	input := workloads.GenerateText(64*units.KB, 5)
+	m, workers, wg := startCluster(t, 3, 5*time.Second)
+
+	res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 3}, input, 8*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	got := outputCounts(t, res)
+	want := map[string]int{}
+	for _, w := range strings.Fields(string(input)) {
+		want[w]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d words, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d, want %d", k, got[k], v)
+		}
+	}
+	if res.Counters.MapTasks < 8 {
+		t.Errorf("only %d map tasks for 64KB at 8KB chunks", res.Counters.MapTasks)
+	}
+	// Every task attempt is accounted for (tasks are fast enough that a
+	// single worker may legitimately drain the queue, so spread across
+	// workers is not asserted).
+	total := 0
+	for _, w := range workers {
+		total += w.TasksRun()
+	}
+	if want := res.Counters.MapTasks + res.Counters.ReduceTasks; total < want {
+		t.Errorf("workers ran %d tasks, want >= %d", total, want)
+	}
+	if got := m.SortedWorkerIDs(); len(got) != 3 {
+		t.Errorf("master saw %d workers, want 3", len(got))
+	}
+}
+
+func TestDistributedTeraSortGlobalOrder(t *testing.T) {
+	input := workloads.GenerateTeraRecords(32*units.KB, 9)
+	m, _, wg := startCluster(t, 3, 5*time.Second)
+	res, err := m.Submit(JobDescriptor{Workload: "terasort", NumReducers: 3}, input, 8*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	var keys []string
+	for _, p := range res.Output {
+		for _, kv := range p {
+			keys = append(keys, kv.Key)
+		}
+	}
+	lines := strings.Split(strings.TrimRight(string(input), "\n"), "\n")
+	want := make([]string, len(lines))
+	for i, l := range lines {
+		want[i] = workloads.TeraKey(l)
+	}
+	sort.Strings(want)
+	if len(keys) != len(want) {
+		t.Fatalf("%d keys out, want %d", len(keys), len(want))
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("key[%d] = %q, want %q (cross-partition order broken)", i, keys[i], want[i])
+		}
+	}
+}
+
+func TestDistributedFPGrowthMatchesLocalMiner(t *testing.T) {
+	input := workloads.GenerateTransactions(8*units.KB, 7)
+	m, _, wg := startCluster(t, 2, 5*time.Second)
+	res, err := m.Submit(JobDescriptor{Workload: "fpgrowth", NumReducers: 2}, input, 2*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	var txs [][]string
+	for _, line := range strings.Split(strings.TrimRight(string(input), "\n"), "\n") {
+		txs = append(txs, strings.Fields(line))
+	}
+	want := map[string]int{}
+	for _, p := range workloads.MineTransactions(txs, 2) {
+		want[p.Key()] = p.Support
+	}
+	got := outputCounts(t, res)
+	if len(got) != len(want) {
+		t.Fatalf("distributed mined %d patterns, reference %d", len(got), len(want))
+	}
+	for k, s := range want {
+		if got[k] != s {
+			t.Errorf("support[%s] = %d, want %d", k, got[k], s)
+		}
+	}
+}
+
+// TestWorkerFailureReassignment kills a worker that has taken tasks; the
+// master must reissue its work after the timeout and the job completes
+// correctly on the survivor.
+func TestWorkerFailureReassignment(t *testing.T) {
+	input := workloads.GenerateText(32*units.KB, 11)
+	m, err := NewMaster("127.0.0.1:0", 300*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// A saboteur that grabs map tasks and never completes them.
+	sab, err := rpc.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sab.Close()
+
+	resCh := make(chan *mapreduce.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 4*1024)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- res
+	}()
+
+	// Let the saboteur steal a few tasks first.
+	stolen := 0
+	deadline := time.Now().Add(2 * time.Second)
+	for stolen < 3 && time.Now().Before(deadline) {
+		var task Task
+		if err := sab.Call("Master.GetTask", GetTaskArgs{WorkerID: "saboteur"}, &task); err != nil {
+			t.Fatal(err)
+		}
+		if task.Kind == TaskMap {
+			stolen++
+		} else {
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	if stolen == 0 {
+		t.Fatal("saboteur stole no tasks")
+	}
+
+	// Now start an honest worker; it must pick up the reissued tasks.
+	w, err := NewWorker("honest", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go func() {
+		if err := w.Run(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	case res := <-resCh:
+		got := outputCounts(t, res)
+		want := map[string]int{}
+		for _, word := range strings.Fields(string(input)) {
+			want[word]++
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Fatalf("count[%q] = %d, want %d after reassignment", k, got[k], v)
+			}
+		}
+		st := m.Stats()
+		if st.Reassigned+st.Speculative == 0 {
+			t.Error("no reassignments or speculative attempts recorded despite the saboteur")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("job did not complete after worker failure")
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0", time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if _, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 0}, []byte("x\n"), 4); err == nil {
+		t.Error("zero reducers accepted")
+	}
+	if _, err := m.Submit(JobDescriptor{Workload: "nope", NumReducers: 1}, []byte("x\n"), 4); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	if _, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 1}, nil, 4); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := m.Submit(JobDescriptor{Workload: "grep", NumReducers: 1}, []byte("x\n"), 4); err == nil {
+		t.Error("grep without pattern accepted")
+	}
+}
+
+func TestRegistryBuilds(t *testing.T) {
+	r := NewRegistry()
+	for _, name := range []string{"wordcount", "naivebayes", "sort", "terasort"} {
+		if _, err := r.Build(JobDescriptor{Workload: name, NumReducers: 2}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := r.Build(JobDescriptor{Workload: "grep", NumReducers: 1, Aux: []byte("ou")}); err != nil {
+		t.Errorf("grep: %v", err)
+	}
+	if _, err := r.Build(JobDescriptor{Workload: "fpgrowth", NumReducers: 1, Aux: []byte("not json")}); err == nil {
+		t.Error("fpgrowth with bad f-list accepted")
+	}
+	if _, err := r.Build(JobDescriptor{Workload: "unknown"}); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	// Custom registration.
+	r.Register("custom", func(desc JobDescriptor) (mapreduce.Job, error) {
+		cfg := mapreduce.DefaultConfig("custom")
+		cfg.NumReducers = desc.NumReducers
+		return mapreduce.Job{Config: cfg, Mapper: mapreduce.IdentityMapper(), Reducer: mapreduce.IdentityReducer()}, nil
+	})
+	if _, err := r.Build(JobDescriptor{Workload: "custom", NumReducers: 1}); err != nil {
+		t.Errorf("custom: %v", err)
+	}
+}
+
+func TestSplitInputRecordAligned(t *testing.T) {
+	data := []byte("aaa\nbb\ncccc\ndd\ne\n")
+	chunks := mapreduce.SplitInput(data, 5)
+	var total int
+	for i, c := range chunks {
+		total += len(c)
+		if c[len(c)-1] != '\n' && i != len(chunks)-1 {
+			t.Errorf("chunk %d not newline-terminated: %q", i, c)
+		}
+	}
+	if total != len(data) {
+		t.Errorf("chunks cover %d bytes, want %d", total, len(data))
+	}
+	if len(chunks) < 2 {
+		t.Errorf("expected multiple chunks, got %d", len(chunks))
+	}
+	if got := mapreduce.SplitInput(nil, 8); got != nil {
+		t.Errorf("empty input produced chunks: %v", got)
+	}
+}
+
+// TestRemoteSubmit exercises the RPC submission path used by cmd/hadoopd:
+// a client dials the master and submits a job while daemon-mode workers
+// keep polling across it.
+func TestRemoteSubmit(t *testing.T) {
+	m, err := NewMaster("127.0.0.1:0", 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	w, err := NewWorker("daemon", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go func() {
+		if err := w.RunForever(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	client, err := rpc.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	input := workloads.GenerateText(16*units.KB, 2)
+	var res mapreduce.Result
+	if err := client.Call("Master.Submit", SubmitArgs{
+		Desc: JobDescriptor{Workload: "wordcount", NumReducers: 2}, Input: input, BlockSize: 4096,
+	}, &res); err != nil {
+		t.Fatal(err)
+	}
+	got := outputCounts(t, &res)
+	want := map[string]int{}
+	for _, word := range strings.Fields(string(input)) {
+		want[word]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d words, want %d", len(got), len(want))
+	}
+	// The daemon worker survives the job: submit a second one.
+	var res2 mapreduce.Result
+	if err := client.Call("Master.Submit", SubmitArgs{
+		Desc: JobDescriptor{Workload: "grep", NumReducers: 1, Aux: []byte("ou")}, Input: input, BlockSize: 4096,
+	}, &res2); err != nil {
+		t.Fatal(err)
+	}
+	if res2.Counters.MapTasks == 0 {
+		t.Error("second job ran no tasks")
+	}
+}
+
+// TestSpeculativeExecution checks the backup-task path: an idle worker
+// receives a speculative copy of a straggler's task well before the hard
+// reassignment timeout, and the job completes with first-result-wins
+// semantics.
+func TestSpeculativeExecution(t *testing.T) {
+	input := workloads.GenerateText(8*units.KB, 13)
+	m, err := NewMaster("127.0.0.1:0", 10*time.Second) // long hard timeout
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// The straggler grabs one map task and sits on it.
+	sab, err := rpc.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sab.Close()
+
+	resCh := make(chan *mapreduce.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 4*1024)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- res
+	}()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		var task Task
+		if err := sab.Call("Master.GetTask", GetTaskArgs{WorkerID: "straggler"}, &task); err != nil {
+			t.Fatal(err)
+		}
+		if task.Kind == TaskMap {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Wait past the speculation age (5s x 0.5 = 5s is too slow for a test;
+	// the master computes it from the timeout, so poll until speculation
+	// fires with an honest worker attached).
+	w, err := NewWorker("honest", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go func() {
+		if err := w.Run(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	case res := <-resCh:
+		if res.Counters.MapTasks == 0 {
+			t.Error("no map tasks ran")
+		}
+		if m.Stats().Speculative == 0 {
+			t.Error("no speculative attempts despite the straggler")
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never completed")
+	}
+}
+
+// TestReportFailureRequeuesImmediately checks the fast-failure path: a
+// worker whose registry cannot build the job reports the failure, and the
+// master hands the task to a healthy worker without waiting for the
+// timeout.
+func TestReportFailureRequeuesImmediately(t *testing.T) {
+	input := workloads.GenerateText(8*units.KB, 19)
+	m, err := NewMaster("127.0.0.1:0", 60*time.Second) // timeout far beyond the test
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	// A broken worker whose registry rejects every build.
+	broken, err := NewWorker("broken", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer broken.Close()
+	broken.Registry().Register("wordcount", func(JobDescriptor) (mapreduce.Job, error) {
+		return mapreduce.Job{}, errors.New("broken factory")
+	})
+	go broken.Run() // will error out after reporting; ignore its exit
+
+	resCh := make(chan *mapreduce.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 4*1024)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- res
+	}()
+
+	// Give the broken worker a moment to fail a task, then add a healthy one.
+	time.Sleep(100 * time.Millisecond)
+	w, err := NewWorker("healthy", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go func() {
+		if err := w.Run(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	case res := <-resCh:
+		if res.Counters.MapTasks == 0 {
+			t.Error("no tasks ran")
+		}
+		if m.Stats().Reassigned == 0 {
+			t.Error("failure report did not requeue anything")
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("job hung despite failure reporting (would have needed the 60s timeout)")
+	}
+}

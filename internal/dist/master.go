@@ -1,0 +1,357 @@
+package dist
+
+import (
+	"fmt"
+	"net"
+	"net/rpc"
+	"sort"
+	"sync"
+	"time"
+
+	"heterohadoop/internal/mapreduce"
+)
+
+// taskState tracks one task attempt's lifecycle in the master's tables.
+type taskState struct {
+	task       Task
+	assigned   bool
+	assignee   string
+	assignedAt time.Time
+	done       bool
+}
+
+// Master is the job coordinator. One master runs one job at a time
+// (Submit); workers connect over TCP and poll for tasks.
+type Master struct {
+	mu sync.Mutex
+
+	registry    *Registry
+	listener    net.Listener
+	server      *rpc.Server
+	taskTimeout time.Duration
+
+	// Per-job state.
+	running     bool
+	desc        JobDescriptor
+	nparts      int
+	mapTasks    []*taskState
+	mapOutputs  [][][]mapreduce.KV // per map task: per partition
+	mapsLeft    int
+	redTasks    []*taskState
+	redOutputs  [][]mapreduce.KV
+	redsLeft    int
+	counters    mapreduce.Counters
+	reassigned  int
+	speculative int
+	phase       string // "map" | "reduce" | "idle"
+	doneCh      chan struct{}
+	workers     map[string]time.Time
+}
+
+// SpeculativeAge is the in-flight age after which an idle worker is given
+// a backup copy of a still-running task (speculative execution). It is a
+// fraction of the task timeout.
+const speculativeFraction = 0.5
+
+// NewMaster starts a master listening on addr ("127.0.0.1:0" for an
+// ephemeral port). taskTimeout bounds how long a task may stay assigned
+// without completion before it is reissued to another worker; idle workers
+// additionally receive speculative copies of tasks that have been running
+// for more than half the timeout.
+func NewMaster(addr string, taskTimeout time.Duration) (*Master, error) {
+	if taskTimeout <= 0 {
+		taskTimeout = 5 * time.Second
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: master listen: %w", err)
+	}
+	m := &Master{
+		registry:    NewRegistry(),
+		listener:    ln,
+		server:      rpc.NewServer(),
+		taskTimeout: taskTimeout,
+		phase:       "idle",
+		workers:     make(map[string]time.Time),
+	}
+	if err := m.server.RegisterName("Master", &masterRPC{m: m}); err != nil {
+		ln.Close()
+		return nil, err
+	}
+	go m.acceptLoop()
+	return m, nil
+}
+
+// Addr returns the master's listen address for workers to dial.
+func (m *Master) Addr() string { return m.listener.Addr().String() }
+
+// Close stops accepting connections.
+func (m *Master) Close() error { return m.listener.Close() }
+
+// Registry exposes the job registry for custom registrations.
+func (m *Master) Registry() *Registry { return m.registry }
+
+func (m *Master) acceptLoop() {
+	for {
+		conn, err := m.listener.Accept()
+		if err != nil {
+			return
+		}
+		go m.server.ServeConn(conn)
+	}
+}
+
+// Stats reports job-control counters for observability and tests.
+type Stats struct {
+	// Workers is the number of distinct workers that have polled.
+	Workers int
+	// Reassigned is the number of task attempts reissued after timeout.
+	Reassigned int
+	// Speculative is the number of backup task attempts launched for
+	// still-running stragglers.
+	Speculative int
+}
+
+// Stats returns the master's current statistics.
+func (m *Master) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return Stats{Workers: len(m.workers), Reassigned: m.reassigned, Speculative: m.speculative}
+}
+
+// Submit runs one job across the connected workers: the input is split
+// into record-aligned chunks of roughly blockSize bytes (one map task
+// each), map outputs are shuffled master-side, and reduce partitions are
+// dispatched as reduce tasks. Submit blocks until the job completes.
+func (m *Master) Submit(desc JobDescriptor, input []byte, blockSize int) (*mapreduce.Result, error) {
+	if desc.NumReducers < 1 {
+		return nil, fmt.Errorf("dist: need at least one reducer")
+	}
+	// Validate the descriptor builds locally before distributing, and
+	// prepare sampler/f-list auxiliary data.
+	if err := PrepareAux(&desc, input); err != nil {
+		return nil, err
+	}
+	if _, err := m.registry.Build(desc); err != nil {
+		return nil, err
+	}
+	chunks := mapreduce.SplitInput(input, blockSize)
+	if len(chunks) == 0 {
+		return nil, fmt.Errorf("dist: empty input")
+	}
+
+	m.mu.Lock()
+	if m.running {
+		m.mu.Unlock()
+		return nil, fmt.Errorf("dist: a job is already running")
+	}
+	m.running = true
+	m.desc = desc
+	m.nparts = desc.NumReducers
+	m.mapTasks = make([]*taskState, len(chunks))
+	m.mapOutputs = make([][][]mapreduce.KV, len(chunks))
+	m.mapsLeft = len(chunks)
+	for i, c := range chunks {
+		m.mapTasks[i] = &taskState{task: Task{
+			Kind: TaskMap, Seq: i, Job: desc, NParts: desc.NumReducers, SplitData: c,
+		}}
+	}
+	m.redTasks = nil
+	m.redOutputs = make([][]mapreduce.KV, desc.NumReducers)
+	m.redsLeft = desc.NumReducers
+	m.counters = mapreduce.Counters{}
+	m.phase = "map"
+	m.doneCh = make(chan struct{})
+	done := m.doneCh
+	m.mu.Unlock()
+
+	<-done
+
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.running = false
+	m.phase = "idle"
+	res := &mapreduce.Result{Output: m.redOutputs, Counters: m.counters}
+	res.Counters.MapTasks = len(chunks)
+	res.Counters.ReduceTasks = desc.NumReducers
+	return res, nil
+}
+
+// nextTask hands out a pending or timed-out task, or a speculative backup
+// of an aging straggler run by a different worker; called under m.mu.
+func (m *Master) nextTask(workerID string) Task {
+	pool := m.mapTasks
+	if m.phase == "reduce" {
+		pool = m.redTasks
+	}
+	now := time.Now()
+	for _, ts := range pool {
+		if ts.done {
+			continue
+		}
+		if ts.assigned && now.Sub(ts.assignedAt) < m.taskTimeout {
+			continue
+		}
+		if ts.assigned {
+			m.reassigned++
+		}
+		ts.assigned = true
+		ts.assignee = workerID
+		ts.assignedAt = now
+		return ts.task
+	}
+	// Nothing pending: speculate on the oldest aging straggler owned by
+	// someone else (first result wins; duplicates are discarded).
+	specAge := time.Duration(float64(m.taskTimeout) * speculativeFraction)
+	var oldest *taskState
+	for _, ts := range pool {
+		if ts.done || !ts.assigned || ts.assignee == workerID {
+			continue
+		}
+		if now.Sub(ts.assignedAt) < specAge {
+			continue
+		}
+		if oldest == nil || ts.assignedAt.Before(oldest.assignedAt) {
+			oldest = ts
+		}
+	}
+	if oldest != nil {
+		m.speculative++
+		oldest.assignedAt = now // throttle repeated speculation
+		oldest.assignee = workerID
+		return oldest.task
+	}
+	if m.phase == "idle" {
+		return Task{Kind: TaskDone}
+	}
+	return Task{Kind: TaskWait}
+}
+
+// completeMap records a map result; duplicate completions (from reissued
+// attempts) are ignored. Called under m.mu.
+func (m *Master) completeMap(res *MapDone) {
+	if m.phase != "map" || res.Seq < 0 || res.Seq >= len(m.mapTasks) || m.mapTasks[res.Seq].done {
+		return
+	}
+	m.mapTasks[res.Seq].done = true
+	m.mapOutputs[res.Seq] = res.Parts
+	m.counters.Add(res.Counters)
+	m.mapsLeft--
+	if m.mapsLeft == 0 {
+		m.startReducePhase()
+	}
+}
+
+// startReducePhase builds the shuffle and enqueues reduce tasks; called
+// under m.mu at the end of the map phase.
+func (m *Master) startReducePhase() {
+	segments := 0
+	m.redTasks = make([]*taskState, m.nparts)
+	for p := 0; p < m.nparts; p++ {
+		var segs [][]mapreduce.KV
+		for _, mo := range m.mapOutputs {
+			if p < len(mo) && len(mo[p]) > 0 {
+				segs = append(segs, mo[p])
+				segments++
+				for _, kv := range mo[p] {
+					m.counters.ShuffleBytes += kv.Bytes()
+				}
+			}
+		}
+		m.redTasks[p] = &taskState{task: Task{
+			Kind: TaskReduce, Seq: p, Job: m.desc, Partition: p, Segments: segs,
+		}}
+	}
+	m.counters.ShuffleSegments = segments
+	m.phase = "reduce"
+}
+
+// completeReduce records a reduce result; duplicates ignored. Called under
+// m.mu.
+func (m *Master) completeReduce(res *ReduceDone) {
+	if m.phase != "reduce" || res.Seq < 0 || res.Seq >= len(m.redTasks) || m.redTasks[res.Seq].done {
+		return
+	}
+	m.redTasks[res.Seq].done = true
+	m.redOutputs[res.Partition] = res.Output
+	m.counters.Add(res.Counters)
+	m.redsLeft--
+	if m.redsLeft == 0 {
+		m.phase = "idle"
+		close(m.doneCh)
+	}
+}
+
+// masterRPC is the RPC facade; it keeps the exported method set separate
+// from the Master's own API.
+type masterRPC struct {
+	m *Master
+}
+
+// GetTask hands the polling worker its next task (or wait/done).
+func (r *masterRPC) GetTask(args GetTaskArgs, reply *Task) error {
+	r.m.mu.Lock()
+	defer r.m.mu.Unlock()
+	r.m.workers[args.WorkerID] = time.Now()
+	*reply = r.m.nextTask(args.WorkerID)
+	return nil
+}
+
+// CompleteMap records a finished map task.
+func (r *masterRPC) CompleteMap(res MapDone, _ *Ack) error {
+	r.m.mu.Lock()
+	defer r.m.mu.Unlock()
+	r.m.completeMap(&res)
+	return nil
+}
+
+// CompleteReduce records a finished reduce task.
+func (r *masterRPC) CompleteReduce(res ReduceDone, _ *Ack) error {
+	r.m.mu.Lock()
+	defer r.m.mu.Unlock()
+	r.m.completeReduce(&res)
+	return nil
+}
+
+// ReportFailure requeues a task whose worker hit an execution error: the
+// assignment is cleared so the next poll can hand it out again.
+func (r *masterRPC) ReportFailure(f TaskFailed, _ *Ack) error {
+	r.m.mu.Lock()
+	defer r.m.mu.Unlock()
+	pool := r.m.mapTasks
+	if f.Kind == TaskReduce {
+		pool = r.m.redTasks
+	}
+	if f.Seq < 0 || f.Seq >= len(pool) || pool[f.Seq] == nil || pool[f.Seq].done {
+		return nil
+	}
+	ts := pool[f.Seq]
+	if ts.assigned && ts.assignee == f.WorkerID {
+		ts.assigned = false
+		r.m.reassigned++
+	}
+	return nil
+}
+
+// Submit accepts a remote job submission over RPC and blocks until the job
+// completes, returning the full result to the client.
+func (r *masterRPC) Submit(args SubmitArgs, reply *mapreduce.Result) error {
+	res, err := r.m.Submit(args.Desc, args.Input, args.BlockSize)
+	if err != nil {
+		return err
+	}
+	*reply = *res
+	return nil
+}
+
+// SortedWorkerIDs returns the known worker ids (testing/observability).
+func (m *Master) SortedWorkerIDs() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ids := make([]string, 0, len(m.workers))
+	for id := range m.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}

@@ -1,0 +1,97 @@
+// Package dist is a distributed MapReduce runtime: a master coordinates
+// map and reduce tasks across workers over TCP (net/rpc), the way the
+// paper's 3-node Hadoop clusters run a JobTracker over slaves. Workers
+// poll for tasks (the heartbeat), execute them with the engine's
+// task-granular entry points, and the master reassigns tasks whose workers
+// go silent — speculative re-execution included. Jobs are referenced by
+// registered workload names (shipping class names, not code), with
+// sampler/f-list auxiliary data computed master-side and sent alongside.
+package dist
+
+import (
+	"heterohadoop/internal/mapreduce"
+)
+
+// JobDescriptor names a job and carries everything a worker needs to
+// reconstruct it locally.
+type JobDescriptor struct {
+	// Workload is the registered job-factory name (e.g. "wordcount").
+	Workload string
+	// NumReducers is the reduce-partition count.
+	NumReducers int
+	// SortBuffer is the map-side spill buffer in bytes (0 = default).
+	SortBuffer int64
+	// Cuts are range-partitioner cut keys (TeraSort/Sort), computed by the
+	// master's sampler.
+	Cuts []string
+	// Aux is workload-specific auxiliary data (e.g. FP-Growth's f-list or
+	// grep's pattern), encoded by the job factory's conventions.
+	Aux []byte
+}
+
+// Task kinds.
+const (
+	TaskWait   = "wait"   // nothing pending; poll again
+	TaskMap    = "map"    // run a map split
+	TaskReduce = "reduce" // run a reduce partition
+	TaskDone   = "done"   // job finished; worker may exit
+)
+
+// Task is one unit of work handed to a worker.
+type Task struct {
+	// Kind is one of the Task* constants.
+	Kind string
+	// Seq identifies the task attempt's slot in the master's tables.
+	Seq int
+	// Job describes how to build the job.
+	Job JobDescriptor
+	// NParts is the partition count map output must be split into.
+	NParts int
+	// SplitData is the record-aligned input chunk (map tasks).
+	SplitData []byte
+	// Partition is the reduce partition index (reduce tasks).
+	Partition int
+	// Segments are the sorted shuffle segments (reduce tasks).
+	Segments [][]mapreduce.KV
+}
+
+// GetTaskArgs is the worker's poll request (the heartbeat).
+type GetTaskArgs struct {
+	WorkerID string
+}
+
+// MapDone reports a completed map task.
+type MapDone struct {
+	WorkerID string
+	Seq      int
+	Parts    [][]mapreduce.KV
+	Counters mapreduce.Counters
+}
+
+// ReduceDone reports a completed reduce task.
+type ReduceDone struct {
+	WorkerID  string
+	Seq       int
+	Partition int
+	Output    []mapreduce.KV
+	Counters  mapreduce.Counters
+}
+
+// Ack is the empty reply for one-way calls.
+type Ack struct{}
+
+// TaskFailed reports a task attempt the worker could not complete, so the
+// master can requeue it immediately instead of waiting out the timeout.
+type TaskFailed struct {
+	WorkerID string
+	Kind     string
+	Seq      int
+	Reason   string
+}
+
+// SubmitArgs is a remote job submission (cmd/hadoopd's client path).
+type SubmitArgs struct {
+	Desc      JobDescriptor
+	Input     []byte
+	BlockSize int
+}

@@ -1,0 +1,168 @@
+package dist
+
+import (
+	"fmt"
+	"net/rpc"
+	"sync"
+	"time"
+
+	"heterohadoop/internal/mapreduce"
+)
+
+// Worker executes tasks for a master. One Worker runs one polling loop;
+// start several for a multi-slot node.
+type Worker struct {
+	// ID identifies the worker in the master's tables.
+	ID string
+	// PollInterval is the idle poll spacing (the heartbeat period).
+	PollInterval time.Duration
+
+	registry *Registry
+	client   *rpc.Client
+
+	mu      sync.Mutex
+	stopped bool
+	// TasksRun counts completed task attempts (observability/tests).
+	tasksRun int
+}
+
+// NewWorker dials the master and returns a ready worker.
+func NewWorker(id, masterAddr string) (*Worker, error) {
+	if id == "" {
+		return nil, fmt.Errorf("dist: worker needs an id")
+	}
+	client, err := rpc.Dial("tcp", masterAddr)
+	if err != nil {
+		return nil, fmt.Errorf("dist: worker %s dial: %w", id, err)
+	}
+	return &Worker{
+		ID:           id,
+		PollInterval: 10 * time.Millisecond,
+		registry:     NewRegistry(),
+		client:       client,
+	}, nil
+}
+
+// Registry exposes the worker-side job registry for custom registrations.
+func (w *Worker) Registry() *Registry { return w.registry }
+
+// TasksRun reports how many task attempts this worker completed.
+func (w *Worker) TasksRun() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.tasksRun
+}
+
+// Stop makes the polling loop exit after the current task.
+func (w *Worker) Stop() {
+	w.mu.Lock()
+	w.stopped = true
+	w.mu.Unlock()
+}
+
+// reportFailure tells the master to requeue a task this worker could not
+// run; best-effort (the timeout path covers a lost report).
+func (w *Worker) reportFailure(task Task, cause error) {
+	_ = w.client.Call("Master.ReportFailure", TaskFailed{
+		WorkerID: w.ID, Kind: task.Kind, Seq: task.Seq, Reason: cause.Error(),
+	}, &Ack{})
+}
+
+// Close tears down the connection.
+func (w *Worker) Close() error {
+	w.Stop()
+	return w.client.Close()
+}
+
+func (w *Worker) isStopped() bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.stopped
+}
+
+// Run polls the master for tasks and executes them until the master
+// reports the job done or Stop is called. It returns the first hard error
+// (task execution errors are hard: the job cannot succeed with a broken
+// factory).
+func (w *Worker) Run() error { return w.run(false) }
+
+// RunForever is the daemon mode: the worker keeps polling across jobs,
+// treating an idle master as "wait", until Stop is called.
+func (w *Worker) RunForever() error { return w.run(true) }
+
+func (w *Worker) run(persistent bool) error {
+	for !w.isStopped() {
+		var task Task
+		if err := w.client.Call("Master.GetTask", GetTaskArgs{WorkerID: w.ID}, &task); err != nil {
+			if w.isStopped() {
+				return nil // Close raced with the poll: clean shutdown
+			}
+			return fmt.Errorf("dist: worker %s poll: %w", w.ID, err)
+		}
+		switch task.Kind {
+		case TaskDone:
+			if persistent {
+				time.Sleep(w.PollInterval)
+				continue
+			}
+			return nil
+		case TaskWait:
+			time.Sleep(w.PollInterval)
+		case TaskMap:
+			if err := w.runMap(task); err != nil {
+				if w.isStopped() {
+					return nil
+				}
+				return err
+			}
+		case TaskReduce:
+			if err := w.runReduce(task); err != nil {
+				if w.isStopped() {
+					return nil
+				}
+				return err
+			}
+		default:
+			return fmt.Errorf("dist: worker %s: unknown task kind %q", w.ID, task.Kind)
+		}
+	}
+	return nil
+}
+
+func (w *Worker) runMap(task Task) error {
+	job, err := w.registry.Build(task.Job)
+	if err != nil {
+		w.reportFailure(task, err)
+		return err
+	}
+	parts, counters, err := mapreduce.ExecuteMapSplit(job, task.SplitData, task.NParts)
+	if err != nil {
+		w.reportFailure(task, err)
+		return fmt.Errorf("dist: worker %s map %d: %w", w.ID, task.Seq, err)
+	}
+	w.mu.Lock()
+	w.tasksRun++
+	w.mu.Unlock()
+	return w.client.Call("Master.CompleteMap", MapDone{
+		WorkerID: w.ID, Seq: task.Seq, Parts: parts, Counters: counters,
+	}, &Ack{})
+}
+
+func (w *Worker) runReduce(task Task) error {
+	job, err := w.registry.Build(task.Job)
+	if err != nil {
+		w.reportFailure(task, err)
+		return err
+	}
+	out, counters, err := mapreduce.ExecuteReduce(job, task.Segments)
+	if err != nil {
+		w.reportFailure(task, err)
+		return fmt.Errorf("dist: worker %s reduce %d: %w", w.ID, task.Seq, err)
+	}
+	w.mu.Lock()
+	w.tasksRun++
+	w.mu.Unlock()
+	return w.client.Call("Master.CompleteReduce", ReduceDone{
+		WorkerID: w.ID, Seq: task.Seq, Partition: task.Partition, Output: out, Counters: counters,
+	}, &Ack{})
+}

@@ -1,0 +1,111 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// dataHeaders are the per-workload series columns that should never be
+// treated as row labels.
+var dataHeaders = map[string]bool{
+	"WC": true, "ST": true, "GP": true, "TS": true, "NB": true, "FP": true,
+}
+
+// isDataHeader recognizes sibling data-series columns.
+func isDataHeader(h string) bool {
+	if dataHeaders[h] {
+		return true
+	}
+	for code := range dataHeaders {
+		if strings.HasPrefix(h, code+"[") || strings.HasPrefix(h, code+"-") {
+			return true
+		}
+	}
+	return strings.HasSuffix(h, "EDP") || strings.HasSuffix(h, "[s]") || strings.HasSuffix(h, "[J]")
+}
+
+// anyTrue reports whether any flag is set.
+func anyTrue(fs []bool) bool {
+	for _, f := range fs {
+		if f {
+			return true
+		}
+	}
+	return false
+}
+
+// RenderBars writes a horizontal ASCII bar chart of one numeric column,
+// labelled by the concatenated non-numeric leading columns — a quick visual
+// check of a figure's shape without leaving the terminal.
+func (t Table) RenderBars(w io.Writer, column string, width int) error {
+	if width < 8 {
+		width = 40
+	}
+	col := -1
+	for i, h := range t.Header {
+		if h == column {
+			col = i
+			break
+		}
+	}
+	if col < 0 {
+		return fmt.Errorf("expt: %s has no column %q", t.ID, column)
+	}
+	// Label columns: everything left of the target except sibling data
+	// columns (other workloads' series, recognizable by their headers).
+	isLabel := make([]bool, col)
+	for i := 0; i < col; i++ {
+		isLabel[i] = !isDataHeader(t.Header[i])
+	}
+	if col > 0 && !anyTrue(isLabel) {
+		isLabel[0] = true
+	}
+	type bar struct {
+		label string
+		value float64
+	}
+	var bars []bar
+	max := 0.0
+	for _, row := range t.Rows {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(strings.TrimSuffix(row[col], "%"), "x"), 64)
+		if err != nil {
+			continue // skip non-numeric cells (e.g. "-")
+		}
+		labelParts := make([]string, 0, col)
+		for i := 0; i < col && i < len(row); i++ {
+			if isLabel[i] {
+				labelParts = append(labelParts, row[i])
+			}
+		}
+		b := bar{label: strings.Join(labelParts, " "), value: v}
+		bars = append(bars, b)
+		if v > max {
+			max = v
+		}
+	}
+	if len(bars) == 0 {
+		return fmt.Errorf("expt: %s column %q has no numeric cells", t.ID, column)
+	}
+	labelW := 0
+	for _, b := range bars {
+		if len(b.label) > labelW {
+			labelW = len(b.label)
+		}
+	}
+	if _, err := fmt.Fprintf(w, "== %s: %s — %s ==\n", t.ID, t.Title, column); err != nil {
+		return err
+	}
+	for _, b := range bars {
+		n := 0
+		if max > 0 {
+			n = int(b.value / max * float64(width))
+		}
+		if _, err := fmt.Fprintf(w, "%-*s |%s %v\n", labelW, b.label, strings.Repeat("#", n), b.value); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}

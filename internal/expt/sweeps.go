@@ -1,0 +1,330 @@
+package expt
+
+import (
+	"fmt"
+
+	"heterohadoop/internal/sim"
+	"heterohadoop/internal/units"
+	"heterohadoop/internal/workloads"
+)
+
+// platforms enumerates the two clusters in the paper's presentation order
+// (Xeon first in Figs 3-4, Atom first elsewhere follows the same pairs).
+type platform struct {
+	label string
+	node  func() sim.Node
+}
+
+func bothPlatforms() []platform {
+	return []platform{
+		{"Xeon", func() sim.Node { return sim.XeonNode(8) }},
+		{"Atom", func() sim.Node { return sim.AtomNode(8) }},
+	}
+}
+
+// execTimeSweep builds the Fig 3/4 style table: execution time for every
+// (platform, frequency, block size) cell.
+func execTimeSweep(id, title string, ws []workloads.Workload, blockSizes []int, data func(string) units.Bytes) (Table, error) {
+	header := []string{"Platform", "Freq[GHz]", "Block[MB]"}
+	for _, w := range ws {
+		header = append(header, shortName(w.Name())+"[s]")
+	}
+	var rows [][]string
+	for _, p := range bothPlatforms() {
+		for _, f := range paperFrequencies {
+			for _, bs := range blockSizes {
+				row := []string{p.label, f1(f), fmt.Sprintf("%d", bs)}
+				for _, w := range ws {
+					r, err := run(w, p.node(), data(w.Name()), bs, f)
+					if err != nil {
+						return Table{}, err
+					}
+					row = append(row, f1(float64(r.Total.Time)))
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return Table{ID: id, Title: title, Header: header, Rows: rows}, nil
+}
+
+// Fig3 sweeps the four micro-benchmarks at 1 GB/node over block size and
+// frequency on both clusters.
+func Fig3() (Table, error) {
+	return execTimeSweep("fig3",
+		"Execution time of Hadoop micro-benchmarks vs HDFS block size and frequency (1 GB/node)",
+		workloads.MicroBenchmarks(), microBlockSizes,
+		func(string) units.Bytes { return units.GB })
+}
+
+// Fig4 sweeps the two real-world applications at 10 GB/node (block sizes
+// from 64 MB per the paper).
+func Fig4() (Table, error) {
+	return execTimeSweep("fig4",
+		"Execution time of real-world applications vs HDFS block size and frequency (10 GB/node)",
+		workloads.RealWorld(), realBlockSizes,
+		func(string) units.Bytes { return 10 * units.GB })
+}
+
+// edpVsFrequency builds the Fig 5/6 style table: whole-application EDP per
+// (platform, frequency), normalized per workload to Atom at 1.2 GHz with
+// the 512 MB block, exactly as the paper normalizes.
+func edpVsFrequency(id, title string, ws []workloads.Workload) (Table, error) {
+	header := []string{"Platform", "Freq[GHz]"}
+	for _, w := range ws {
+		header = append(header, shortName(w.Name()))
+	}
+	// Normalization references.
+	refs := map[string]float64{}
+	for _, w := range ws {
+		r, err := run(w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.2)
+		if err != nil {
+			return Table{}, err
+		}
+		refs[w.Name()] = edpOf(r.Total)
+	}
+	var rows [][]string
+	for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
+		for _, f := range paperFrequencies {
+			row := []string{p.label, f1(f)}
+			for _, w := range ws {
+				r, err := run(w, p.node(), paperDataSize(w.Name()), 512, f)
+				if err != nil {
+					return Table{}, err
+				}
+				row = append(row, f2(edpOf(r.Total)/refs[w.Name()]))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return Table{ID: id, Title: title, Header: header, Rows: rows}, nil
+}
+
+// Fig5 gives whole-application EDP vs frequency for NB and FP.
+func Fig5() (Table, error) {
+	return edpVsFrequency("fig5",
+		"EDP of real-world applications vs frequency (normalized to Atom @1.2GHz)",
+		workloads.RealWorld())
+}
+
+// Fig6 gives whole-application EDP vs frequency for the micro-benchmarks.
+func Fig6() (Table, error) {
+	return edpVsFrequency("fig6",
+		"EDP of micro-benchmarks vs frequency (normalized to Atom @1.2GHz)",
+		workloads.MicroBenchmarks())
+}
+
+// phaseEDP builds the Fig 7/8 style table: map- and reduce-phase EDP per
+// (platform, frequency), normalized per workload and phase to Atom @1.2 GHz.
+func phaseEDP(id, title string, ws []workloads.Workload) (Table, error) {
+	header := []string{"Platform", "Freq[GHz]"}
+	for _, w := range ws {
+		header = append(header, shortName(w.Name())+"-map", shortName(w.Name())+"-red")
+	}
+	type refKey struct {
+		name  string
+		phase int
+	}
+	refs := map[refKey]float64{}
+	for _, w := range ws {
+		r, err := run(w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.2)
+		if err != nil {
+			return Table{}, err
+		}
+		m, red := r.MapReduceOnly()
+		refs[refKey{w.Name(), 0}] = edpOf(m)
+		refs[refKey{w.Name(), 1}] = edpOf(red)
+	}
+	norm := func(v, ref float64) string {
+		if ref == 0 {
+			return "-"
+		}
+		return f2(v / ref)
+	}
+	var rows [][]string
+	for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
+		for _, f := range paperFrequencies {
+			row := []string{p.label, f1(f)}
+			for _, w := range ws {
+				r, err := run(w, p.node(), paperDataSize(w.Name()), 512, f)
+				if err != nil {
+					return Table{}, err
+				}
+				m, red := r.MapReduceOnly()
+				row = append(row,
+					norm(edpOf(m), refs[refKey{w.Name(), 0}]),
+					norm(edpOf(red), refs[refKey{w.Name(), 1}]))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return Table{ID: id, Title: title, Header: header, Rows: rows}, nil
+}
+
+// Fig7 gives map/reduce phase EDP vs frequency for the micro-benchmarks.
+func Fig7() (Table, error) {
+	return phaseEDP("fig7",
+		"Map/Reduce phase EDP of micro-benchmarks vs frequency (normalized to Atom @1.2GHz)",
+		workloads.MicroBenchmarks())
+}
+
+// Fig8 gives map/reduce phase EDP vs frequency for NB and FP.
+func Fig8() (Table, error) {
+	return phaseEDP("fig8",
+		"Map/Reduce phase EDP of real-world applications vs frequency (normalized to Atom @1.2GHz)",
+		workloads.RealWorld())
+}
+
+// Fig9 gives the Xeon-to-Atom EDP ratio as a function of block size at
+// 1.8 GHz for all six workloads.
+func Fig9() (Table, error) {
+	header := []string{"Block[MB]"}
+	for _, w := range workloads.All() {
+		header = append(header, shortName(w.Name()))
+	}
+	var rows [][]string
+	for _, bs := range microBlockSizes {
+		row := []string{fmt.Sprintf("%d", bs)}
+		for _, w := range workloads.All() {
+			a, err := run(w, sim.AtomNode(8), paperDataSize(w.Name()), bs, 1.8)
+			if err != nil {
+				return Table{}, err
+			}
+			x, err := run(w, sim.XeonNode(8), paperDataSize(w.Name()), bs, 1.8)
+			if err != nil {
+				return Table{}, err
+			}
+			row = append(row, f2(edpOf(x.Total)/edpOf(a.Total)))
+		}
+		rows = append(rows, row)
+	}
+	return Table{
+		ID:     "fig9",
+		Title:  "Xeon:Atom EDP ratio vs HDFS block size (1.8 GHz)",
+		Header: header,
+		Rows:   rows,
+	}, nil
+}
+
+// dataSizes are the per-node input sweeps of Figs 10-13.
+var dataSizes = []units.Bytes{units.GB, 10 * units.GB, 20 * units.GB}
+
+// breakdownSweep builds the Fig 10/11 style table: per-phase execution time
+// share plus the total, per (workload, platform, data size).
+func breakdownSweep(id, title string, ws []workloads.Workload) (Table, error) {
+	var rows [][]string
+	for _, w := range ws {
+		for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
+			for _, sz := range dataSizes {
+				r, err := run(w, p.node(), sz, 512, 1.8)
+				if err != nil {
+					return Table{}, err
+				}
+				m, red := r.MapReduceOnly()
+				oth := r.Others()
+				tot := float64(r.Total.Time)
+				rows = append(rows, []string{
+					shortName(w.Name()), p.label, fmt.Sprintf("%dGB", int(sz/units.GB)),
+					fmt.Sprintf("%d%%", int(100*float64(m.Time)/tot+0.5)),
+					fmt.Sprintf("%d%%", int(100*float64(red.Time)/tot+0.5)),
+					fmt.Sprintf("%d%%", int(100*float64(oth.Time)/tot+0.5)),
+					f1(tot),
+				})
+			}
+		}
+	}
+	return Table{
+		ID:     id,
+		Title:  title,
+		Header: []string{"Workload", "Platform", "Data", "Map", "Reduce", "Others", "Total[s]"},
+		Rows:   rows,
+	}, nil
+}
+
+// Fig10 gives the execution-time breakdown vs data size for WC and TS.
+func Fig10() (Table, error) {
+	wc, _ := workloads.ByName("wordcount")
+	ts, _ := workloads.ByName("terasort")
+	return breakdownSweep("fig10",
+		"Execution time and breakdown of micro-benchmarks vs input size (512MB, 1.8GHz)",
+		[]workloads.Workload{wc, ts})
+}
+
+// Fig11 gives the execution-time breakdown vs data size for NB and FP.
+func Fig11() (Table, error) {
+	return breakdownSweep("fig11",
+		"Execution time and breakdown of real-world applications vs input size (512MB, 1.8GHz)",
+		workloads.RealWorld())
+}
+
+// Fig12 gives whole-application EDP vs data size, normalized per workload
+// to Atom at 1 GB.
+func Fig12() (Table, error) {
+	header := []string{"Workload", "Platform", "1GB", "10GB", "20GB"}
+	var rows [][]string
+	for _, w := range workloads.All() {
+		ref := 0.0
+		for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
+			row := []string{shortName(w.Name()), p.label}
+			for _, sz := range dataSizes {
+				r, err := run(w, p.node(), sz, 512, 1.8)
+				if err != nil {
+					return Table{}, err
+				}
+				v := edpOf(r.Total)
+				if ref == 0 {
+					ref = v
+				}
+				row = append(row, f2(v/ref))
+			}
+			rows = append(rows, row)
+		}
+	}
+	return Table{
+		ID:     "fig12",
+		Title:  "EDP of entire applications vs input size (normalized to Atom @1GB)",
+		Header: header,
+		Rows:   rows,
+	}, nil
+}
+
+// Fig13 gives map- and reduce-phase EDP vs data size, normalized per
+// workload and phase to Atom at 1 GB.
+func Fig13() (Table, error) {
+	header := []string{"Workload", "Platform", "Phase", "1GB", "10GB", "20GB"}
+	var rows [][]string
+	for _, w := range workloads.All() {
+		for phaseIdx, phaseName := range []string{"map", "reduce"} {
+			ref := 0.0
+			for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
+				row := []string{shortName(w.Name()), p.label, phaseName}
+				for _, sz := range dataSizes {
+					r, err := run(w, p.node(), sz, 512, 1.8)
+					if err != nil {
+						return Table{}, err
+					}
+					m, red := r.MapReduceOnly()
+					v := edpOf(m)
+					if phaseIdx == 1 {
+						v = edpOf(red)
+					}
+					if ref == 0 && v > 0 {
+						ref = v
+					}
+					if ref == 0 {
+						row = append(row, "-")
+					} else {
+						row = append(row, f2(v/ref))
+					}
+				}
+				rows = append(rows, row)
+			}
+		}
+	}
+	return Table{
+		ID:     "fig13",
+		Title:  "Map/Reduce phase EDP vs input size (normalized to Atom @1GB)",
+		Header: header,
+		Rows:   rows,
+	}, nil
+}

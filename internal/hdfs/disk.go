@@ -1,0 +1,85 @@
+package hdfs
+
+import (
+	"fmt"
+
+	"heterohadoop/internal/units"
+)
+
+// Disk is the per-node storage timing model the cluster simulator charges
+// for block reads, spill writes, merges and materialized shuffle traffic.
+// Bandwidth is shared among concurrent tasks by the simulator, not here.
+type Disk struct {
+	// ReadBandwidth is the sequential read bandwidth in bytes per second.
+	ReadBandwidth units.Bytes
+	// WriteBandwidth is the sequential write bandwidth in bytes per second.
+	WriteBandwidth units.Bytes
+	// SeekTime is the per-request positioning cost.
+	SeekTime units.Seconds
+	// RequestSize is the I/O request granularity used to derive the number
+	// of seeks for large transfers with interleaved access streams.
+	RequestSize units.Bytes
+}
+
+// Validate checks the disk parameters.
+func (d Disk) Validate() error {
+	if d.ReadBandwidth <= 0 || d.WriteBandwidth <= 0 {
+		return fmt.Errorf("hdfs: disk bandwidths must be positive")
+	}
+	if d.SeekTime < 0 {
+		return fmt.Errorf("hdfs: negative seek time")
+	}
+	if d.RequestSize <= 0 {
+		return fmt.Errorf("hdfs: request size must be positive")
+	}
+	return nil
+}
+
+// ReadTime returns the time to read n bytes in the given number of discrete
+// access streams (each stream pays one seek; purely sequential reads pass 1).
+func (d Disk) ReadTime(n units.Bytes, streams int) units.Seconds {
+	if n <= 0 {
+		return 0
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	return units.Seconds(float64(n)/float64(d.ReadBandwidth)) + units.Seconds(float64(streams)*float64(d.SeekTime))
+}
+
+// WriteTime returns the time to write n bytes in the given number of
+// discrete access streams.
+func (d Disk) WriteTime(n units.Bytes, streams int) units.Seconds {
+	if n <= 0 {
+		return 0
+	}
+	if streams < 1 {
+		streams = 1
+	}
+	return units.Seconds(float64(n)/float64(d.WriteBandwidth)) + units.Seconds(float64(streams)*float64(d.SeekTime))
+}
+
+// InterleavedStreams estimates the number of seek-paying access streams for
+// a transfer of n bytes competing with other activity: one stream per
+// request-size chunk, capped below by 1.
+func (d Disk) InterleavedStreams(n units.Bytes) int {
+	if n <= 0 {
+		return 0
+	}
+	s := int(n / d.RequestSize)
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// ServerDisk returns the timing model of the SATA storage both node classes
+// in the paper use: commodity 7200 rpm-class drives.
+func ServerDisk() Disk {
+	return Disk{
+		ReadBandwidth:  250 * units.MB,
+		WriteBandwidth: 220 * units.MB,
+		SeekTime:       units.Seconds(6e-3),
+		RequestSize:    4 * units.MB,
+	}
+}

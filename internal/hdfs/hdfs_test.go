@@ -1,0 +1,314 @@
+package hdfs
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"heterohadoop/internal/units"
+)
+
+func newTestStore(t *testing.T, blockSize units.Bytes) *Store {
+	t.Helper()
+	s, err := NewStore(Config{BlockSize: blockSize, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{BlockSize: 64 * units.MB, Replication: 3}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+	if err := (Config{BlockSize: 0, Replication: 3}).Validate(); err == nil {
+		t.Error("zero block size accepted")
+	}
+	if err := (Config{BlockSize: 64 * units.MB, Replication: 0}).Validate(); err == nil {
+		t.Error("zero replication accepted")
+	}
+	if _, err := NewStore(Config{}); err == nil {
+		t.Error("NewStore accepted invalid config")
+	}
+}
+
+func TestWriteSplitsIntoBlocks(t *testing.T) {
+	s := newTestStore(t, 10)
+	data := []byte("0123456789abcdefghij12345") // 25 bytes -> 3 blocks
+	f, err := s.Write("input", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumBlocks() != 3 {
+		t.Fatalf("got %d blocks, want 3", f.NumBlocks())
+	}
+	if got := len(f.Blocks[2].Data); got != 5 {
+		t.Errorf("last block has %d bytes, want 5", got)
+	}
+	if f.Size() != 25 {
+		t.Errorf("size = %v, want 25", f.Size())
+	}
+	for i, b := range f.Blocks {
+		if b.ID != i {
+			t.Errorf("block %d has ID %d", i, b.ID)
+		}
+	}
+	round, err := io.ReadAll(f.Reader())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(round, data) {
+		t.Error("Reader round trip mismatch")
+	}
+}
+
+func TestWriteIsolatesCallerBuffer(t *testing.T) {
+	s := newTestStore(t, 4)
+	data := []byte("abcdefgh")
+	f, _ := s.Write("x", data)
+	data[0] = 'Z'
+	if f.Blocks[0].Data[0] != 'a' {
+		t.Error("store aliases caller buffer")
+	}
+}
+
+func TestSplitsMatchBlockCount(t *testing.T) {
+	s := newTestStore(t, units.MB)
+	payload := bytes.Repeat([]byte("x"), int(3*units.MB+100))
+	if _, err := s.Write("f", payload); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := s.Splits("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) != 4 {
+		t.Fatalf("got %d splits, want 4 (3MB+100B at 1MB blocks)", len(splits))
+	}
+	var total units.Bytes
+	for _, sp := range splits {
+		total += sp.Length
+		if sp.File != "f" {
+			t.Errorf("split file = %q", sp.File)
+		}
+	}
+	if total != units.Bytes(len(payload)) {
+		t.Errorf("split lengths sum to %v, want %v", total, len(payload))
+	}
+}
+
+func TestNumMapTasksEqualsInputOverBlockSize(t *testing.T) {
+	// The paper's relation: number of map tasks = input size / block size.
+	for _, bs := range []units.Bytes{32, 64, 128, 256, 512} {
+		s := newTestStore(t, bs)
+		input := units.Bytes(1024)
+		f, err := s.Write("d", make([]byte, input))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := int(input / bs)
+		if f.NumBlocks() != want {
+			t.Errorf("block size %d: %d tasks, want %d", bs, f.NumBlocks(), want)
+		}
+	}
+}
+
+func TestOpenDeleteList(t *testing.T) {
+	s := newTestStore(t, 16)
+	if _, err := s.Open("missing"); err == nil {
+		t.Error("Open on missing file succeeded")
+	}
+	if err := s.Delete("missing"); err == nil {
+		t.Error("Delete on missing file succeeded")
+	}
+	if _, err := s.Write("", []byte("x")); err == nil {
+		t.Error("empty name accepted")
+	}
+	s.Write("b", []byte("2"))
+	s.Write("a", []byte("1"))
+	if got := s.List(); !(len(got) == 2 && got[0] == "a" && got[1] == "b") {
+		t.Errorf("List = %v, want [a b]", got)
+	}
+	if err := s.Delete("a"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.List(); len(got) != 1 || got[0] != "b" {
+		t.Errorf("List after delete = %v", got)
+	}
+}
+
+func TestWriteFrom(t *testing.T) {
+	s := newTestStore(t, 8)
+	f, err := s.WriteFrom("r", strings.NewReader("hello world, hdfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Size() != 17 {
+		t.Errorf("size = %v, want 17", f.Size())
+	}
+}
+
+func TestTrafficAccounting(t *testing.T) {
+	s := newTestStore(t, 8)
+	s.Write("f", make([]byte, 100))
+	if got := s.BytesWritten(); got != 300 {
+		t.Errorf("BytesWritten = %v, want 300 (3x replication)", got)
+	}
+	if _, err := s.Open("f"); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BytesRead(); got != 100 {
+		t.Errorf("BytesRead = %v, want 100", got)
+	}
+	if _, err := s.ReadBlock("f", 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.BytesRead(); got != 108 {
+		t.Errorf("BytesRead after block read = %v, want 108", got)
+	}
+}
+
+func TestReadBlockBounds(t *testing.T) {
+	s := newTestStore(t, 8)
+	s.Write("f", make([]byte, 20))
+	if _, err := s.ReadBlock("f", -1); err == nil {
+		t.Error("negative block accepted")
+	}
+	if _, err := s.ReadBlock("f", 3); err == nil {
+		t.Error("out-of-range block accepted")
+	}
+	if _, err := s.ReadBlock("nope", 0); err == nil {
+		t.Error("missing file accepted")
+	}
+	b, err := s.ReadBlock("f", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b) != 4 {
+		t.Errorf("tail block length = %d, want 4", len(b))
+	}
+}
+
+func TestStoreConcurrentAccess(t *testing.T) {
+	s := newTestStore(t, units.KB)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			name := string(rune('a' + i))
+			for j := 0; j < 50; j++ {
+				if _, err := s.Write(name, make([]byte, 3000)); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Open(name); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := s.Splits(name); err != nil {
+					t.Error(err)
+					return
+				}
+				s.List()
+				s.BytesRead()
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+func TestSplitRoundTripProperty(t *testing.T) {
+	f := func(sizeRaw uint32, bsRaw uint16) bool {
+		size := int(sizeRaw % 100000)
+		bs := units.Bytes(bsRaw%4096 + 1)
+		s, err := NewStore(Config{BlockSize: bs, Replication: 1})
+		if err != nil {
+			return false
+		}
+		file, err := s.Write("f", make([]byte, size))
+		if err != nil {
+			return false
+		}
+		wantBlocks := (size + int(bs) - 1) / int(bs)
+		if file.NumBlocks() != wantBlocks {
+			return false
+		}
+		var total units.Bytes
+		for _, b := range file.Blocks {
+			total += units.Bytes(len(b.Data))
+		}
+		return total == units.Bytes(size)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDiskValidate(t *testing.T) {
+	if err := ServerDisk().Validate(); err != nil {
+		t.Errorf("shipped disk invalid: %v", err)
+	}
+	bad := []Disk{
+		{ReadBandwidth: 0, WriteBandwidth: 1, RequestSize: 1},
+		{ReadBandwidth: 1, WriteBandwidth: 0, RequestSize: 1},
+		{ReadBandwidth: 1, WriteBandwidth: 1, SeekTime: -1, RequestSize: 1},
+		{ReadBandwidth: 1, WriteBandwidth: 1, RequestSize: 0},
+	}
+	for i, d := range bad {
+		if err := d.Validate(); err == nil {
+			t.Errorf("bad disk %d accepted", i)
+		}
+	}
+}
+
+func TestDiskTimes(t *testing.T) {
+	d := Disk{ReadBandwidth: 100 * units.MB, WriteBandwidth: 50 * units.MB, SeekTime: 0.01, RequestSize: units.MB}
+	rt := d.ReadTime(200*units.MB, 1)
+	if math.Abs(float64(rt)-2.01) > 1e-9 {
+		t.Errorf("ReadTime = %v, want 2.01s", rt)
+	}
+	wt := d.WriteTime(100*units.MB, 2)
+	if math.Abs(float64(wt)-2.02) > 1e-9 {
+		t.Errorf("WriteTime = %v, want 2.02s", wt)
+	}
+	if d.ReadTime(0, 5) != 0 || d.WriteTime(-1, 1) != 0 {
+		t.Error("non-positive sizes should cost zero")
+	}
+	// streams < 1 clamps to 1 seek.
+	if got := d.ReadTime(units.MB, 0); math.Abs(float64(got)-(0.01+0.01)) > 1e-9 {
+		t.Errorf("clamped-stream read = %v", got)
+	}
+}
+
+func TestInterleavedStreams(t *testing.T) {
+	d := ServerDisk()
+	if got := d.InterleavedStreams(0); got != 0 {
+		t.Errorf("streams(0) = %d, want 0", got)
+	}
+	if got := d.InterleavedStreams(units.KB); got != 1 {
+		t.Errorf("streams(1KB) = %d, want 1", got)
+	}
+	if got := d.InterleavedStreams(40 * units.MB); got != 10 {
+		t.Errorf("streams(40MB) = %d, want 10 at 4MB requests", got)
+	}
+}
+
+func TestLargerBlocksFewerSeeks(t *testing.T) {
+	// Reading the same total data as fewer, larger sequential blocks pays
+	// fewer seeks — the mechanism that favours large HDFS blocks for
+	// I/O-bound workloads.
+	d := ServerDisk()
+	total := units.Bytes(1) * units.GB
+	smallBlocks := int(total / (32 * units.MB))
+	largeBlocks := int(total / (512 * units.MB))
+	tSmall := d.ReadTime(total, smallBlocks)
+	tLarge := d.ReadTime(total, largeBlocks)
+	if tLarge >= tSmall {
+		t.Errorf("large blocks not faster: %v vs %v", tLarge, tSmall)
+	}
+}

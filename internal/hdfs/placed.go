@@ -1,0 +1,126 @@
+package hdfs
+
+import (
+	"fmt"
+	"math/rand"
+
+	"heterohadoop/internal/units"
+)
+
+// WritePlaced stores data like Write and additionally records rack-aware
+// replica placements for every block, computed with the default placement
+// policy from the given writer node. The returned placements parallel the
+// file's blocks and are also retained on the file.
+func (s *Store) WritePlaced(name string, data []byte, writer NodeID, topo *Topology, rng *rand.Rand) (*File, []Placement, error) {
+	if topo == nil {
+		return nil, nil, fmt.Errorf("hdfs: WritePlaced needs a topology")
+	}
+	if rng == nil {
+		return nil, nil, fmt.Errorf("hdfs: WritePlaced needs a random source")
+	}
+	f, err := s.Write(name, data)
+	if err != nil {
+		return nil, nil, err
+	}
+	placements := make([]Placement, f.NumBlocks())
+	for i := range placements {
+		p, err := topo.PlaceBlock(writer, s.config.Replication, rng)
+		if err != nil {
+			return nil, nil, err
+		}
+		placements[i] = p
+	}
+	s.mu.Lock()
+	f.Placements = placements
+	s.mu.Unlock()
+	return f, placements, nil
+}
+
+// ScheduleMapTasks assigns each of the named file's blocks to an executor
+// with locality preference and returns the per-block executors plus the
+// locality histogram — the scheduling decision whose outcome feeds the
+// simulator's NonLocalFraction knob.
+func (s *Store) ScheduleMapTasks(name string, topo *Topology, executors []NodeID) ([]NodeID, map[LocalityLevel]int, error) {
+	if topo == nil {
+		return nil, nil, fmt.Errorf("hdfs: ScheduleMapTasks needs a topology")
+	}
+	s.mu.Lock()
+	f, ok := s.files[name]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, fmt.Errorf("hdfs: file %s not found", name)
+	}
+	if len(f.Placements) != f.NumBlocks() {
+		return nil, nil, fmt.Errorf("hdfs: file %s has no recorded placements (use WritePlaced)", name)
+	}
+	return topo.ScheduleSplits(f.Placements, executors)
+}
+
+// NonLocalFraction converts a locality histogram into the simulator's
+// non-local read fraction: rack-local reads cross the top-of-rack switch at
+// roughly half the off-rack penalty.
+func NonLocalFraction(hist map[LocalityLevel]int) float64 {
+	total := 0
+	for _, n := range hist {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	weighted := float64(hist[RackLocal])*0.5 + float64(hist[OffRack])
+	return weighted / float64(total)
+}
+
+// FailNode removes a datanode from every recorded placement and
+// re-replicates under-replicated blocks onto surviving nodes (the
+// namenode's reaction to a dead datanode). It returns the number of new
+// replicas created. Files written without placements are unaffected.
+func (s *Store) FailNode(failed NodeID, topo *Topology, rng *rand.Rand) (int, error) {
+	if topo == nil || rng == nil {
+		return 0, fmt.Errorf("hdfs: FailNode needs a topology and a random source")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	created := 0
+	for _, f := range s.files {
+		for bi := range f.Placements {
+			p := &f.Placements[bi]
+			// Drop the failed node.
+			kept := p.Replicas[:0]
+			lost := false
+			for _, r := range p.Replicas {
+				if r == failed {
+					lost = true
+					continue
+				}
+				kept = append(kept, r)
+			}
+			p.Replicas = kept
+			if !lost {
+				continue
+			}
+			if len(p.Replicas) == 0 {
+				return created, fmt.Errorf("hdfs: block %d of %s lost its last replica", bi, f.Name)
+			}
+			// Re-replicate from a surviving replica onto a fresh node.
+			existing := map[NodeID]bool{failed: true}
+			for _, r := range p.Replicas {
+				existing[r] = true
+			}
+			var candidates []NodeID
+			for _, n := range topo.Nodes() {
+				if !existing[n] {
+					candidates = append(candidates, n)
+				}
+			}
+			if len(candidates) == 0 {
+				continue // nowhere to put it; stays under-replicated
+			}
+			target := candidates[rng.Intn(len(candidates))]
+			p.Replicas = append(p.Replicas, target)
+			created++
+			s.bytesWritten += units.Bytes(len(f.Blocks[bi].Data))
+		}
+	}
+	return created, nil
+}

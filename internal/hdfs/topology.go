@@ -1,0 +1,225 @@
+package hdfs
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// NodeID names a datanode.
+type NodeID string
+
+// Topology maps datanodes to racks, the structure Hadoop's rack-aware
+// block placement and task scheduling consult.
+type Topology struct {
+	rackOf map[NodeID]string
+	racks  map[string][]NodeID
+}
+
+// NewTopology builds a topology from a node→rack assignment.
+func NewTopology(rackOf map[NodeID]string) (*Topology, error) {
+	if len(rackOf) == 0 {
+		return nil, fmt.Errorf("hdfs: topology needs at least one node")
+	}
+	t := &Topology{rackOf: make(map[NodeID]string, len(rackOf)), racks: make(map[string][]NodeID)}
+	for n, r := range rackOf {
+		if n == "" || r == "" {
+			return nil, fmt.Errorf("hdfs: empty node or rack name")
+		}
+		t.rackOf[n] = r
+		t.racks[r] = append(t.racks[r], n)
+	}
+	for r := range t.racks {
+		sort.Slice(t.racks[r], func(i, j int) bool { return t.racks[r][i] < t.racks[r][j] })
+	}
+	return t, nil
+}
+
+// FlatCluster returns an n-node topology with nodesPerRack nodes per rack,
+// named node-0..n-1 and rack-0.., mirroring the paper's small clusters.
+func FlatCluster(n, nodesPerRack int) (*Topology, error) {
+	if n < 1 || nodesPerRack < 1 {
+		return nil, fmt.Errorf("hdfs: need positive node and rack sizes")
+	}
+	rackOf := make(map[NodeID]string, n)
+	for i := 0; i < n; i++ {
+		rackOf[NodeID(fmt.Sprintf("node-%d", i))] = fmt.Sprintf("rack-%d", i/nodesPerRack)
+	}
+	return NewTopology(rackOf)
+}
+
+// Nodes returns all node ids, sorted.
+func (t *Topology) Nodes() []NodeID {
+	out := make([]NodeID, 0, len(t.rackOf))
+	for n := range t.rackOf {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RackOf returns the node's rack ("" if unknown).
+func (t *Topology) RackOf(n NodeID) string { return t.rackOf[n] }
+
+// SameRack reports whether two known nodes share a rack.
+func (t *Topology) SameRack(a, b NodeID) bool {
+	ra, rb := t.rackOf[a], t.rackOf[b]
+	return ra != "" && ra == rb
+}
+
+// Placement is the replica set of one block, writer-local first.
+type Placement struct {
+	Replicas []NodeID
+}
+
+// PlaceBlock implements Hadoop's default placement policy: the first
+// replica on the writer's node, the second on a node in a different rack,
+// the third on a different node in the second replica's rack, and further
+// replicas on random distinct nodes. With fewer candidate nodes than the
+// replication factor, every node gets at most one replica.
+func (t *Topology) PlaceBlock(writer NodeID, replication int, rng *rand.Rand) (Placement, error) {
+	if _, ok := t.rackOf[writer]; !ok {
+		return Placement{}, fmt.Errorf("hdfs: unknown writer node %q", writer)
+	}
+	if replication < 1 {
+		return Placement{}, fmt.Errorf("hdfs: replication must be >= 1")
+	}
+	used := map[NodeID]bool{writer: true}
+	replicas := []NodeID{writer}
+
+	pick := func(candidates []NodeID) (NodeID, bool) {
+		var free []NodeID
+		for _, n := range candidates {
+			if !used[n] {
+				free = append(free, n)
+			}
+		}
+		if len(free) == 0 {
+			return "", false
+		}
+		return free[rng.Intn(len(free))], true
+	}
+
+	// Second replica: any node off the writer's rack (fall back to any
+	// free node in single-rack clusters).
+	if replication >= 2 {
+		var offRack []NodeID
+		for _, n := range t.Nodes() {
+			if !t.SameRack(writer, n) {
+				offRack = append(offRack, n)
+			}
+		}
+		n, ok := pick(offRack)
+		if !ok {
+			n, ok = pick(t.Nodes())
+		}
+		if ok {
+			used[n] = true
+			replicas = append(replicas, n)
+		}
+	}
+
+	// Third replica: same rack as the second (fall back to any free node).
+	if replication >= 3 && len(replicas) >= 2 {
+		n, ok := pick(t.racks[t.rackOf[replicas[1]]])
+		if !ok {
+			n, ok = pick(t.Nodes())
+		}
+		if ok {
+			used[n] = true
+			replicas = append(replicas, n)
+		}
+	}
+
+	// Remaining replicas: random distinct nodes.
+	for len(replicas) < replication {
+		n, ok := pick(t.Nodes())
+		if !ok {
+			break // fewer nodes than replicas: done
+		}
+		used[n] = true
+		replicas = append(replicas, n)
+	}
+	return Placement{Replicas: replicas}, nil
+}
+
+// LocalityLevel classifies how close a task's executor is to its data.
+type LocalityLevel int
+
+// Locality levels, best first.
+const (
+	NodeLocal LocalityLevel = iota
+	RackLocal
+	OffRack
+)
+
+// String names the level.
+func (l LocalityLevel) String() string {
+	switch l {
+	case NodeLocal:
+		return "node-local"
+	case RackLocal:
+		return "rack-local"
+	default:
+		return "off-rack"
+	}
+}
+
+// Locality classifies running a task on executor against a block placement.
+func (t *Topology) Locality(executor NodeID, p Placement) LocalityLevel {
+	for _, r := range p.Replicas {
+		if r == executor {
+			return NodeLocal
+		}
+	}
+	for _, r := range p.Replicas {
+		if t.SameRack(executor, r) {
+			return RackLocal
+		}
+	}
+	return OffRack
+}
+
+// ScheduleSplits assigns one executor per block placement, preferring
+// node-local, then rack-local, then off-rack, while balancing load: no
+// executor is assigned more than ceil(blocks/executors) tasks. It returns
+// the executor per block and the achieved locality histogram.
+func (t *Topology) ScheduleSplits(placements []Placement, executors []NodeID) ([]NodeID, map[LocalityLevel]int, error) {
+	if len(executors) == 0 {
+		return nil, nil, fmt.Errorf("hdfs: no executors")
+	}
+	capacity := (len(placements) + len(executors) - 1) / len(executors)
+	load := make(map[NodeID]int, len(executors))
+	assigned := make([]NodeID, len(placements))
+	hist := map[LocalityLevel]int{}
+
+	assign := func(i int, level LocalityLevel) bool {
+		best := NodeID("")
+		for _, e := range executors {
+			if load[e] >= capacity {
+				continue
+			}
+			if t.Locality(e, placements[i]) != level {
+				continue
+			}
+			if best == "" || load[e] < load[best] {
+				best = e
+			}
+		}
+		if best == "" {
+			return false
+		}
+		assigned[i] = best
+		load[best]++
+		hist[level]++
+		return true
+	}
+
+	for i := range placements {
+		if assign(i, NodeLocal) || assign(i, RackLocal) || assign(i, OffRack) {
+			continue
+		}
+		return nil, nil, fmt.Errorf("hdfs: could not place split %d", i)
+	}
+	return assigned, hist, nil
+}

@@ -1,0 +1,338 @@
+package hdfs
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testTopology(t *testing.T) *Topology {
+	t.Helper()
+	top, err := FlatCluster(6, 3) // 2 racks of 3 nodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	return top
+}
+
+func TestTopologyBasics(t *testing.T) {
+	top := testTopology(t)
+	if got := len(top.Nodes()); got != 6 {
+		t.Fatalf("%d nodes, want 6", got)
+	}
+	if top.RackOf("node-0") != "rack-0" || top.RackOf("node-5") != "rack-1" {
+		t.Error("rack assignment wrong")
+	}
+	if !top.SameRack("node-0", "node-2") {
+		t.Error("node-0 and node-2 should share rack-0")
+	}
+	if top.SameRack("node-0", "node-3") {
+		t.Error("node-0 and node-3 should be on different racks")
+	}
+	if top.SameRack("node-0", "ghost") {
+		t.Error("unknown node matched a rack")
+	}
+	if _, err := NewTopology(nil); err == nil {
+		t.Error("empty topology accepted")
+	}
+	if _, err := NewTopology(map[NodeID]string{"": "r"}); err == nil {
+		t.Error("empty node name accepted")
+	}
+	if _, err := FlatCluster(0, 1); err == nil {
+		t.Error("zero nodes accepted")
+	}
+}
+
+func TestPlaceBlockDefaultPolicy(t *testing.T) {
+	top := testTopology(t)
+	rng := rand.New(rand.NewSource(1))
+	p, err := top.PlaceBlock("node-0", 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Replicas) != 3 {
+		t.Fatalf("%d replicas, want 3", len(p.Replicas))
+	}
+	if p.Replicas[0] != "node-0" {
+		t.Errorf("first replica %s, want writer-local", p.Replicas[0])
+	}
+	if top.SameRack(p.Replicas[0], p.Replicas[1]) {
+		t.Error("second replica on the writer's rack")
+	}
+	if !top.SameRack(p.Replicas[1], p.Replicas[2]) {
+		t.Error("third replica not on the second replica's rack")
+	}
+	seen := map[NodeID]bool{}
+	for _, r := range p.Replicas {
+		if seen[r] {
+			t.Fatalf("duplicate replica %s", r)
+		}
+		seen[r] = true
+	}
+}
+
+func TestPlaceBlockEdgeCases(t *testing.T) {
+	top := testTopology(t)
+	rng := rand.New(rand.NewSource(2))
+	if _, err := top.PlaceBlock("ghost", 3, rng); err == nil {
+		t.Error("unknown writer accepted")
+	}
+	if _, err := top.PlaceBlock("node-0", 0, rng); err == nil {
+		t.Error("zero replication accepted")
+	}
+	// More replicas than nodes: capped at node count, all distinct.
+	p, err := top.PlaceBlock("node-0", 10, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Replicas) != 6 {
+		t.Errorf("%d replicas for 10x on 6 nodes, want 6", len(p.Replicas))
+	}
+	// Single-rack cluster: off-rack rule falls back gracefully.
+	single, err := FlatCluster(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err = single.PlaceBlock("node-1", 3, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Replicas) != 3 {
+		t.Errorf("single-rack placement has %d replicas", len(p.Replicas))
+	}
+}
+
+func TestPlaceBlockDistinctProperty(t *testing.T) {
+	top := testTopology(t)
+	f := func(seed int64, repRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		rep := int(repRaw%6) + 1
+		p, err := top.PlaceBlock("node-2", rep, rng)
+		if err != nil {
+			return false
+		}
+		seen := map[NodeID]bool{}
+		for _, r := range p.Replicas {
+			if seen[r] {
+				return false
+			}
+			seen[r] = true
+		}
+		return len(p.Replicas) == rep && p.Replicas[0] == "node-2"
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLocalityClassification(t *testing.T) {
+	top := testTopology(t)
+	p := Placement{Replicas: []NodeID{"node-0", "node-3"}}
+	if got := top.Locality("node-0", p); got != NodeLocal {
+		t.Errorf("writer locality = %v", got)
+	}
+	if got := top.Locality("node-1", p); got != RackLocal {
+		t.Errorf("same-rack locality = %v", got)
+	}
+	// node-4 shares rack-1 with node-3: rack-local via the second replica.
+	if got := top.Locality("node-4", p); got != RackLocal {
+		t.Errorf("second-replica rack locality = %v", got)
+	}
+	empty := Placement{}
+	if got := top.Locality("node-0", empty); got != OffRack {
+		t.Errorf("no-replica locality = %v", got)
+	}
+	for l, s := range map[LocalityLevel]string{NodeLocal: "node-local", RackLocal: "rack-local", OffRack: "off-rack"} {
+		if l.String() != s {
+			t.Errorf("level %d string %q", int(l), l.String())
+		}
+	}
+}
+
+func TestScheduleSplitsPrefersLocality(t *testing.T) {
+	top := testTopology(t)
+	rng := rand.New(rand.NewSource(3))
+	// Blocks written round-robin across all nodes, 3x replicated.
+	var placements []Placement
+	nodes := top.Nodes()
+	for i := 0; i < 12; i++ {
+		p, err := top.PlaceBlock(nodes[i%len(nodes)], 3, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements = append(placements, p)
+	}
+	assigned, hist, err := top.ScheduleSplits(placements, nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assigned) != len(placements) {
+		t.Fatalf("%d assignments", len(assigned))
+	}
+	// With replicas everywhere and balanced load, everything should be
+	// node-local.
+	if hist[NodeLocal] != len(placements) {
+		t.Errorf("locality histogram %v, want all node-local", hist)
+	}
+	// Load balance: no executor above ceil(12/6)=2.
+	load := map[NodeID]int{}
+	for _, e := range assigned {
+		load[e]++
+	}
+	for e, n := range load {
+		if n > 2 {
+			t.Errorf("executor %s overloaded with %d tasks", e, n)
+		}
+	}
+}
+
+func TestScheduleSplitsDegradedLocality(t *testing.T) {
+	top := testTopology(t)
+	rng := rand.New(rand.NewSource(4))
+	// All blocks on rack-0 nodes only (replication 1 at the writer).
+	var placements []Placement
+	for i := 0; i < 6; i++ {
+		p, err := top.PlaceBlock(NodeID("node-0"), 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		placements = append(placements, p)
+	}
+	// Executors only on rack-1: nothing can be node-local.
+	execs := []NodeID{"node-3", "node-4", "node-5"}
+	_, hist, err := top.ScheduleSplits(placements, execs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hist[NodeLocal] != 0 {
+		t.Errorf("impossible node-locality claimed: %v", hist)
+	}
+	if hist[OffRack] != 6 {
+		t.Errorf("expected all off-rack, got %v", hist)
+	}
+	if _, _, err := top.ScheduleSplits(placements, nil); err == nil {
+		t.Error("no executors accepted")
+	}
+}
+
+func TestWritePlacedAndScheduleMapTasks(t *testing.T) {
+	top := testTopology(t)
+	store, err := NewStore(Config{BlockSize: 1024, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	data := make([]byte, 10*1024)
+	f, placements, err := store.WritePlaced("big", data, "node-1", top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(placements) != f.NumBlocks() {
+		t.Fatalf("%d placements for %d blocks", len(placements), f.NumBlocks())
+	}
+	for i, p := range placements {
+		if len(p.Replicas) != 3 || p.Replicas[0] != "node-1" {
+			t.Errorf("block %d placement %v", i, p.Replicas)
+		}
+	}
+	executors := top.Nodes()
+	assigned, hist, err := store.ScheduleMapTasks("big", top, executors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(assigned) != f.NumBlocks() {
+		t.Fatalf("%d assignments", len(assigned))
+	}
+	if NonLocalFraction(hist) > 0.5 {
+		t.Errorf("non-local fraction %v too high with replicas everywhere", NonLocalFraction(hist))
+	}
+	// Errors.
+	if _, _, err := store.WritePlaced("x", data, "node-1", nil, rng); err == nil {
+		t.Error("nil topology accepted")
+	}
+	if _, _, err := store.WritePlaced("x", data, "node-1", top, nil); err == nil {
+		t.Error("nil rng accepted")
+	}
+	if _, _, err := store.ScheduleMapTasks("missing", top, executors); err == nil {
+		t.Error("missing file accepted")
+	}
+	store.Write("plain", data)
+	if _, _, err := store.ScheduleMapTasks("plain", top, executors); err == nil {
+		t.Error("file without placements accepted")
+	}
+}
+
+func TestNonLocalFraction(t *testing.T) {
+	if got := NonLocalFraction(nil); got != 0 {
+		t.Errorf("empty histogram = %v", got)
+	}
+	hist := map[LocalityLevel]int{NodeLocal: 2, RackLocal: 2, OffRack: 1}
+	want := (2*0.5 + 1) / 5.0
+	if got := NonLocalFraction(hist); got != want {
+		t.Errorf("fraction = %v, want %v", got, want)
+	}
+}
+
+func TestFailNodeReReplicates(t *testing.T) {
+	top := testTopology(t)
+	store, err := NewStore(Config{BlockSize: 1024, Replication: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	if _, _, err := store.WritePlaced("f", make([]byte, 8*1024), "node-0", top, rng); err != nil {
+		t.Fatal(err)
+	}
+	wroteBefore := store.BytesWritten()
+	created, err := store.FailNode("node-0", top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// node-0 held the writer-local replica of every block.
+	if created != 8 {
+		t.Errorf("re-created %d replicas, want 8", created)
+	}
+	if store.BytesWritten() <= wroteBefore {
+		t.Error("re-replication traffic not accounted")
+	}
+	f, err := store.Open("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for bi, p := range f.Placements {
+		if len(p.Replicas) != 3 {
+			t.Errorf("block %d has %d replicas after recovery", bi, len(p.Replicas))
+		}
+		for _, r := range p.Replicas {
+			if r == "node-0" {
+				t.Errorf("block %d still references the failed node", bi)
+			}
+		}
+	}
+	// Failing a node that holds nothing creates nothing.
+	created, err = store.FailNode("node-0", top, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if created != 0 {
+		t.Errorf("second failure of the same node created %d replicas", created)
+	}
+	if _, err := store.FailNode("node-1", nil, rng); err == nil {
+		t.Error("nil topology accepted")
+	}
+}
+
+func TestFailNodeLastReplica(t *testing.T) {
+	top := testTopology(t)
+	store, err := NewStore(Config{BlockSize: 1024, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(18))
+	if _, _, err := store.WritePlaced("solo", make([]byte, 1024), "node-2", top, rng); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.FailNode("node-2", top, rng); err == nil {
+		t.Error("losing the last replica should be an error")
+	}
+}

@@ -1,0 +1,193 @@
+package isa
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"heterohadoop/internal/units"
+)
+
+func validMix() Mix {
+	return Mix{IntALU: 0.45, FPALU: 0.05, Load: 0.25, Store: 0.10, Branch: 0.15}
+}
+
+func validProfile() Profile {
+	return Profile{
+		Name:                 "test/map",
+		InstructionsPerByte:  10,
+		Mix:                  validMix(),
+		Mem:                  MemBehavior{WorkingSet: 8 * units.MB, Locality: 1.2, CompulsoryMissRatio: 0.01},
+		BranchMispredictRate: 0.03,
+		ILP:                  2.5,
+	}
+}
+
+func TestClassString(t *testing.T) {
+	want := map[Class]string{IntALU: "int", FPALU: "fp", Load: "load", Store: "store", Branch: "branch"}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("Class(%d).String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if got := Class(99).String(); !strings.Contains(got, "99") {
+		t.Errorf("unknown class String = %q", got)
+	}
+	if got := len(Classes()); got != 5 {
+		t.Errorf("Classes() has %d entries, want 5", got)
+	}
+}
+
+func TestMixValidate(t *testing.T) {
+	if err := validMix().Validate(); err != nil {
+		t.Errorf("valid mix rejected: %v", err)
+	}
+	bad := Mix{IntALU: 0.5, Load: 0.6}
+	if err := bad.Validate(); err == nil {
+		t.Error("mix summing to 1.1 accepted")
+	}
+	neg := Mix{IntALU: 1.2, Load: -0.2}
+	if err := neg.Validate(); err == nil {
+		t.Error("negative fraction accepted")
+	}
+	unknown := Mix{Class(42): 1.0}
+	if err := unknown.Validate(); err == nil {
+		t.Error("unknown class accepted")
+	}
+}
+
+func TestMixNormalized(t *testing.T) {
+	m := Mix{IntALU: 2, Load: 1, Branch: 1}
+	n := m.Normalized()
+	if err := n.Validate(); err != nil {
+		t.Fatalf("normalized mix invalid: %v", err)
+	}
+	if math.Abs(n[IntALU]-0.5) > 1e-12 {
+		t.Errorf("IntALU fraction = %v, want 0.5", n[IntALU])
+	}
+	zero := Mix{}
+	if got := zero.Normalized(); got[IntALU] != 1 {
+		t.Errorf("zero mix normalized to %v, want all-IntALU", got)
+	}
+}
+
+func TestMixMemFractionAndClone(t *testing.T) {
+	m := validMix()
+	if got := m.MemFraction(); math.Abs(got-0.35) > 1e-12 {
+		t.Errorf("MemFraction = %v, want 0.35", got)
+	}
+	c := m.Clone()
+	c[Load] = 0.9
+	if m[Load] == 0.9 {
+		t.Error("Clone did not copy: mutation visible in original")
+	}
+}
+
+func TestMixString(t *testing.T) {
+	s := validMix().String()
+	for _, sub := range []string{"int:0.45", "load:0.25", "branch:0.15"} {
+		if !strings.Contains(s, sub) {
+			t.Errorf("Mix.String() = %q missing %q", s, sub)
+		}
+	}
+}
+
+func TestMemBehaviorValidate(t *testing.T) {
+	good := MemBehavior{WorkingSet: units.MB, Locality: 1, CompulsoryMissRatio: 0.05}
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid behaviour rejected: %v", err)
+	}
+	cases := []MemBehavior{
+		{WorkingSet: 0, Locality: 1, CompulsoryMissRatio: 0},
+		{WorkingSet: units.MB, Locality: 0, CompulsoryMissRatio: 0},
+		{WorkingSet: units.MB, Locality: 1, CompulsoryMissRatio: 1.5},
+		{WorkingSet: units.MB, Locality: 1, CompulsoryMissRatio: -0.1},
+	}
+	for i, b := range cases {
+		if err := b.Validate(); err == nil {
+			t.Errorf("case %d: invalid behaviour accepted: %+v", i, b)
+		}
+	}
+}
+
+func TestProfileValidate(t *testing.T) {
+	if err := validProfile().Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+	p := validProfile()
+	p.Name = ""
+	if err := p.Validate(); err == nil {
+		t.Error("nameless profile accepted")
+	}
+	p = validProfile()
+	p.InstructionsPerByte = 0
+	if err := p.Validate(); err == nil {
+		t.Error("zero instructions-per-byte accepted")
+	}
+	p = validProfile()
+	p.BranchMispredictRate = 1.1
+	if err := p.Validate(); err == nil {
+		t.Error("mispredict rate > 1 accepted")
+	}
+	p = validProfile()
+	p.ILP = 0.5
+	if err := p.Validate(); err == nil {
+		t.Error("ILP < 1 accepted")
+	}
+}
+
+func TestProfileInstructions(t *testing.T) {
+	p := validProfile()
+	if got := p.Instructions(100 * units.MB); got != 10*100*float64(units.MB) {
+		t.Errorf("Instructions = %v", got)
+	}
+}
+
+func TestBlendEndpoints(t *testing.T) {
+	p := validProfile()
+	q := validProfile()
+	q.Name = "test/other"
+	q.InstructionsPerByte = 30
+	q.ILP = 4
+
+	b1 := Blend(p, q, 1)
+	if math.Abs(b1.InstructionsPerByte-p.InstructionsPerByte) > 1e-12 {
+		t.Errorf("Blend(w=1) IPB = %v, want %v", b1.InstructionsPerByte, p.InstructionsPerByte)
+	}
+	b0 := Blend(p, q, 0)
+	if math.Abs(b0.InstructionsPerByte-q.InstructionsPerByte) > 1e-12 {
+		t.Errorf("Blend(w=0) IPB = %v, want %v", b0.InstructionsPerByte, q.InstructionsPerByte)
+	}
+	bh := Blend(p, q, 0.5)
+	if math.Abs(bh.InstructionsPerByte-20) > 1e-12 {
+		t.Errorf("Blend(w=0.5) IPB = %v, want 20", bh.InstructionsPerByte)
+	}
+	if err := bh.Mix.Validate(); err != nil {
+		t.Errorf("blended mix invalid: %v", err)
+	}
+	// Out-of-range weights clamp.
+	if got := Blend(p, q, 2).InstructionsPerByte; math.Abs(got-p.InstructionsPerByte) > 1e-12 {
+		t.Errorf("Blend(w=2) not clamped: %v", got)
+	}
+	if got := Blend(p, q, -1).InstructionsPerByte; math.Abs(got-q.InstructionsPerByte) > 1e-12 {
+		t.Errorf("Blend(w=-1) not clamped: %v", got)
+	}
+}
+
+func TestBlendPropertyValidMix(t *testing.T) {
+	p := validProfile()
+	q := validProfile()
+	q.Mix = Mix{IntALU: 0.2, Load: 0.5, Store: 0.2, Branch: 0.1}
+	f := func(wRaw float64) bool {
+		w := math.Mod(math.Abs(wRaw), 1)
+		if math.IsNaN(w) {
+			return true
+		}
+		b := Blend(p, q, w)
+		return b.Mix.Validate() == nil && b.ILP >= 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,216 @@
+// Package mapreduce implements the Hadoop-style MapReduce execution engine
+// the paper's workloads run on: jobs split into one map task per HDFS block,
+// an in-memory sort buffer with spill/merge behaviour (the io.sort.mb
+// mechanism behind the paper's large-block slowdowns), combiners, hash or
+// custom partitioning, a shuffle, k-way merge sort on the reduce side, and
+// per-phase counters that feed the trace profiler and the cluster simulator.
+//
+// The engine really executes the user code over real data; it is not a cost
+// model. Timing and energy are layered on top by internal/sim.
+package mapreduce
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"heterohadoop/internal/units"
+)
+
+// KV is one key/value record.
+type KV struct {
+	Key   string
+	Value string
+}
+
+// Bytes returns the record's accounting size: payload plus the per-record
+// framing overhead Hadoop charges in its buffers (key/value lengths and
+// partition metadata).
+func (kv KV) Bytes() units.Bytes {
+	const recordOverhead = 8
+	return units.Bytes(len(kv.Key) + len(kv.Value) + recordOverhead)
+}
+
+// Emitter receives records produced by mappers, combiners and reducers.
+type Emitter func(key, value string)
+
+// Mapper transforms one input record into zero or more intermediate records.
+type Mapper interface {
+	Map(key, value string, emit Emitter) error
+}
+
+// Reducer folds all values of one key into zero or more output records.
+// Combiners satisfy the same contract and run on map-side spill batches.
+type Reducer interface {
+	Reduce(key string, values []string, emit Emitter) error
+}
+
+// MapperFunc adapts a function to the Mapper interface.
+type MapperFunc func(key, value string, emit Emitter) error
+
+// Map calls f.
+func (f MapperFunc) Map(key, value string, emit Emitter) error { return f(key, value, emit) }
+
+// ReducerFunc adapts a function to the Reducer interface.
+type ReducerFunc func(key string, values []string, emit Emitter) error
+
+// Reduce calls f.
+func (f ReducerFunc) Reduce(key string, values []string, emit Emitter) error {
+	return f(key, values, emit)
+}
+
+// IdentityMapper emits its input record unchanged, keyed by value (the
+// classic Hadoop sort mapper).
+func IdentityMapper() Mapper {
+	return MapperFunc(func(_ string, value string, emit Emitter) error {
+		emit(value, "")
+		return nil
+	})
+}
+
+// IdentityReducer emits each value of each key unchanged.
+func IdentityReducer() Reducer {
+	return ReducerFunc(func(key string, values []string, emit Emitter) error {
+		for _, v := range values {
+			emit(key, v)
+		}
+		return nil
+	})
+}
+
+// Partitioner routes an intermediate key to one of n reduce partitions.
+type Partitioner interface {
+	Partition(key string, n int) int
+}
+
+// PartitionerFunc adapts a function to the Partitioner interface.
+type PartitionerFunc func(key string, n int) int
+
+// Partition calls f.
+func (f PartitionerFunc) Partition(key string, n int) int { return f(key, n) }
+
+// HashPartitioner routes keys by FNV hash, Hadoop's default.
+func HashPartitioner() Partitioner {
+	return PartitionerFunc(func(key string, n int) int {
+		if n <= 1 {
+			return 0
+		}
+		h := fnv.New32a()
+		_, _ = h.Write([]byte(key))
+		return int(h.Sum32() % uint32(n))
+	})
+}
+
+// RangePartitioner routes keys into contiguous sorted ranges delimited by
+// n-1 sampled cut keys, as TeraSort's sampler builds: partition i receives
+// keys in [cuts[i-1], cuts[i]).
+func RangePartitioner(cuts []string) Partitioner {
+	return PartitionerFunc(func(key string, n int) int {
+		if n <= 1 || len(cuts) == 0 {
+			return 0
+		}
+		// Binary search for the first cut greater than key.
+		lo, hi := 0, len(cuts)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if key < cuts[mid] {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		if lo >= n {
+			lo = n - 1
+		}
+		return lo
+	})
+}
+
+// Config configures a job run.
+type Config struct {
+	// Name identifies the job in errors and reports.
+	Name string
+	// NumReducers is the reduce-task count. Zero means a map-only job.
+	NumReducers int
+	// SortBuffer is the map-side output buffer capacity before a spill is
+	// forced — Hadoop's io.sort.mb. The paper's large-block experiments
+	// hinge on map outputs overflowing this buffer.
+	SortBuffer units.Bytes
+	// MergeFactor is the fan-in of each merge pass (Hadoop's io.sort.factor).
+	MergeFactor int
+	// Parallelism is the number of concurrent task slots. Zero means 1.
+	Parallelism int
+	// MaxAttempts is how many times a failed task is retried before the
+	// job aborts. Zero means 1 attempt (no retries).
+	MaxAttempts int
+	// FailureInjector, if set, is consulted before each task attempt and
+	// may return an error to simulate a task failure. Used by tests.
+	FailureInjector func(task string, attempt int) error
+}
+
+// DefaultConfig returns a configuration with Hadoop-flavoured defaults:
+// 100 MB sort buffer, merge factor 10, one reducer.
+func DefaultConfig(name string) Config {
+	return Config{
+		Name:        name,
+		NumReducers: 1,
+		SortBuffer:  100 * units.MB,
+		MergeFactor: 10,
+		Parallelism: 1,
+		MaxAttempts: 1,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("mapreduce: job has no name")
+	}
+	if c.NumReducers < 0 {
+		return fmt.Errorf("mapreduce: %s: negative reducer count", c.Name)
+	}
+	if c.SortBuffer <= 0 {
+		return fmt.Errorf("mapreduce: %s: sort buffer must be positive", c.Name)
+	}
+	if c.MergeFactor < 2 {
+		return fmt.Errorf("mapreduce: %s: merge factor must be >= 2", c.Name)
+	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("mapreduce: %s: negative parallelism", c.Name)
+	}
+	if c.MaxAttempts < 0 {
+		return fmt.Errorf("mapreduce: %s: negative max attempts", c.Name)
+	}
+	return nil
+}
+
+// GroupComparator decides whether two intermediate keys belong to the same
+// reduce group. Hadoop's secondary-sort pattern uses composite keys
+// ("user#timestamp") sorted fully but grouped on a prefix, so the reducer
+// sees each user's values in timestamp order. Nil means exact key equality.
+type GroupComparator func(a, b string) bool
+
+// Job couples user code with a configuration.
+type Job struct {
+	Config      Config
+	Mapper      Mapper
+	Combiner    Reducer // optional
+	Reducer     Reducer // required unless NumReducers == 0
+	Partitioner Partitioner
+	// Grouping, when set, merges consecutive sorted keys into one reduce
+	// group (secondary sort). The reducer receives the group's first key.
+	Grouping GroupComparator
+}
+
+// Validate checks that the job is runnable.
+func (j Job) Validate() error {
+	if err := j.Config.Validate(); err != nil {
+		return err
+	}
+	if j.Mapper == nil {
+		return fmt.Errorf("mapreduce: %s: no mapper", j.Config.Name)
+	}
+	if j.Config.NumReducers > 0 && j.Reducer == nil {
+		return fmt.Errorf("mapreduce: %s: %d reducers configured but no reducer", j.Config.Name, j.Config.NumReducers)
+	}
+	return nil
+}

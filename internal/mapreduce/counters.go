@@ -1,0 +1,133 @@
+package mapreduce
+
+import (
+	"fmt"
+
+	"heterohadoop/internal/units"
+)
+
+// Phase is one stage of a MapReduce job's execution, mirroring the paper's
+// breakdown (map, reduce, and "others" = setup + shuffle/sort + cleanup).
+type Phase int
+
+// Execution phases.
+const (
+	PhaseSetup Phase = iota
+	PhaseMap
+	PhaseShuffle
+	PhaseSort
+	PhaseReduce
+	PhaseCleanup
+	numPhases
+)
+
+// Phases lists all phases in execution order.
+func Phases() []Phase {
+	return []Phase{PhaseSetup, PhaseMap, PhaseShuffle, PhaseSort, PhaseReduce, PhaseCleanup}
+}
+
+// String returns the phase name.
+func (p Phase) String() string {
+	switch p {
+	case PhaseSetup:
+		return "setup"
+	case PhaseMap:
+		return "map"
+	case PhaseShuffle:
+		return "shuffle"
+	case PhaseSort:
+		return "sort"
+	case PhaseReduce:
+		return "reduce"
+	case PhaseCleanup:
+		return "cleanup"
+	default:
+		return fmt.Sprintf("Phase(%d)", int(p))
+	}
+}
+
+// Counters aggregates the job-level statistics Hadoop reports, which the
+// trace profiler turns into resource profiles and the simulator uses to
+// cost data movement. Counters is a plain value; the engine serializes
+// concurrent aggregation itself.
+type Counters struct {
+	MapTasks    int
+	ReduceTasks int
+
+	MapInputRecords  int64
+	MapInputBytes    units.Bytes
+	MapOutputRecords int64
+	MapOutputBytes   units.Bytes
+
+	CombineInputRecords  int64
+	CombineOutputRecords int64
+
+	Spills          int
+	SpilledRecords  int64
+	SpilledBytes    units.Bytes
+	MergePasses     int
+	MergeBytes      units.Bytes // bytes re-read and re-written by merges
+	ShuffleBytes    units.Bytes
+	ShuffleSegments int
+
+	ReduceInputGroups   int64
+	ReduceInputRecords  int64
+	ReduceOutputRecords int64
+	ReduceOutputBytes   units.Bytes
+
+	TaskRetries int
+}
+
+// Add merges o into c. The caller is responsible for synchronization.
+func (c *Counters) Add(o Counters) {
+	c.MapTasks += o.MapTasks
+	c.ReduceTasks += o.ReduceTasks
+	c.MapInputRecords += o.MapInputRecords
+	c.MapInputBytes += o.MapInputBytes
+	c.MapOutputRecords += o.MapOutputRecords
+	c.MapOutputBytes += o.MapOutputBytes
+	c.CombineInputRecords += o.CombineInputRecords
+	c.CombineOutputRecords += o.CombineOutputRecords
+	c.Spills += o.Spills
+	c.SpilledRecords += o.SpilledRecords
+	c.SpilledBytes += o.SpilledBytes
+	c.MergePasses += o.MergePasses
+	c.MergeBytes += o.MergeBytes
+	c.ShuffleBytes += o.ShuffleBytes
+	c.ShuffleSegments += o.ShuffleSegments
+	c.ReduceInputGroups += o.ReduceInputGroups
+	c.ReduceInputRecords += o.ReduceInputRecords
+	c.ReduceOutputRecords += o.ReduceOutputRecords
+	c.ReduceOutputBytes += o.ReduceOutputBytes
+	c.TaskRetries += o.TaskRetries
+}
+
+// MapOutputRatio returns map output bytes per map input byte — the data
+// expansion/contraction factor that decides spill pressure.
+func (c Counters) MapOutputRatio() float64 {
+	if c.MapInputBytes == 0 {
+		return 0
+	}
+	return float64(c.MapOutputBytes) / float64(c.MapInputBytes)
+}
+
+// CombinerReduction returns the record-count reduction factor achieved by
+// the combiner (1 = none).
+func (c Counters) CombinerReduction() float64 {
+	if c.CombineOutputRecords == 0 {
+		return 1
+	}
+	return float64(c.CombineInputRecords) / float64(c.CombineOutputRecords)
+}
+
+// String summarizes the counters.
+func (c Counters) String() string {
+	return fmt.Sprintf(
+		"counters{maps=%d reduces=%d in=%v/%d out=%v/%d spills=%d shuffle=%v groups=%d reduceOut=%v/%d retries=%d}",
+		c.MapTasks, c.ReduceTasks,
+		c.MapInputBytes, c.MapInputRecords,
+		c.MapOutputBytes, c.MapOutputRecords,
+		c.Spills, c.ShuffleBytes,
+		c.ReduceInputGroups, c.ReduceOutputBytes, c.ReduceOutputRecords,
+		c.TaskRetries)
+}

@@ -1,0 +1,523 @@
+package mapreduce
+
+import (
+	"bytes"
+	"container/heap"
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"sync"
+
+	"heterohadoop/internal/hdfs"
+	"heterohadoop/internal/units"
+)
+
+// Result is the outcome of a job run.
+type Result struct {
+	// Output holds one sorted slice per reduce partition. For map-only
+	// jobs it holds one slice per map task (Hadoop's per-map output files).
+	Output [][]KV
+	// Counters are the aggregated job statistics.
+	Counters Counters
+}
+
+// SortedOutput concatenates all partitions and sorts globally by key — a
+// convenience for assertions and small outputs.
+func (r *Result) SortedOutput() []KV {
+	var out []KV
+	for _, p := range r.Output {
+		out = append(out, p...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Engine executes jobs against an HDFS store.
+type Engine struct {
+	store *hdfs.Store
+}
+
+// NewEngine returns an engine bound to a block store.
+func NewEngine(store *hdfs.Store) *Engine {
+	return &Engine{store: store}
+}
+
+// Run executes the job over the named input file: one map task per HDFS
+// block, then a shuffle and the configured reduce tasks.
+func (e *Engine) Run(job Job, input string) (*Result, error) {
+	return e.RunContext(context.Background(), job, input)
+}
+
+// RunContext is Run with cancellation: a cancelled context aborts the job
+// between tasks and returns the context's error.
+func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	file, err := e.store.Open(input)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: %s: %w", job.Config.Name, err)
+	}
+	if file.Size() == 0 {
+		return nil, fmt.Errorf("mapreduce: %s: input %s is empty", job.Config.Name, input)
+	}
+	data, err := io.ReadAll(file.Reader())
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: %s: reading %s: %w", job.Config.Name, input, err)
+	}
+	// One split per HDFS block; split boundaries follow block boundaries.
+	splits := make([]splitRange, file.NumBlocks())
+	off := 0
+	for i, b := range file.Blocks {
+		splits[i] = splitRange{start: off, end: off + len(b.Data)}
+		off += len(b.Data)
+	}
+	if job.Partitioner == nil {
+		job.Partitioner = HashPartitioner()
+	}
+
+	total := &Counters{}
+	nparts := job.Config.NumReducers
+	mapOnly := nparts == 0
+	if mapOnly {
+		nparts = 1
+	}
+
+	// ---- Map phase: one task per split, run on a bounded worker pool.
+	mapOutputs := make([][][]KV, len(splits)) // [task][partition]sorted records
+	par := job.Config.Parallelism
+	if par < 1 {
+		par = 1
+	}
+	var (
+		wg       sync.WaitGroup
+		sem      = make(chan struct{}, par)
+		mu       sync.Mutex // guards total and firstErr
+		firstErr error
+	)
+	setErr := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	addCounters := func(tc Counters) {
+		mu.Lock()
+		defer mu.Unlock()
+		total.Add(tc)
+	}
+	for i, split := range splits {
+		if err := ctx.Err(); err != nil {
+			setErr(err)
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, split splitRange) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			taskID := fmt.Sprintf("%s/map-%d", job.Config.Name, i)
+			out, tc, err := e.runWithRetry(job, taskID, func() ([][]KV, Counters, error) {
+				return runMapTask(job, data, split, nparts)
+			})
+			if err != nil {
+				setErr(err)
+				return
+			}
+			mapOutputs[i] = out
+			addCounters(tc)
+		}(i, split)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	mu.Lock()
+	total.MapTasks = len(splits)
+	mu.Unlock()
+
+	if mapOnly {
+		out := make([][]KV, len(splits))
+		for i, mo := range mapOutputs {
+			out[i] = mo[0]
+		}
+		return &Result{Output: out, Counters: *total}, nil
+	}
+
+	// ---- Shuffle: route each map task's partition p to reduce task p.
+	shuffled := make([][][]KV, nparts) // [partition][segment]sorted records
+	var shuffleBytes units.Bytes
+	segments := 0
+	for _, mo := range mapOutputs {
+		for p := 0; p < nparts; p++ {
+			if len(mo[p]) == 0 {
+				continue
+			}
+			shuffled[p] = append(shuffled[p], mo[p])
+			segments++
+			for _, kv := range mo[p] {
+				shuffleBytes += kv.Bytes()
+			}
+		}
+	}
+	total.ShuffleBytes = shuffleBytes
+	total.ShuffleSegments = segments
+	total.ReduceTasks = nparts
+
+	// ---- Reduce phase.
+	output := make([][]KV, nparts)
+	for p := 0; p < nparts; p++ {
+		if err := ctx.Err(); err != nil {
+			setErr(err)
+			break
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(p int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
+			out, tc, err := e.runWithRetry(job, taskID, func() ([][]KV, Counters, error) {
+				kvs, c, err := runReduceTask(job, shuffled[p])
+				return [][]KV{kvs}, c, err
+			})
+			if err != nil {
+				setErr(err)
+				return
+			}
+			output[p] = out[0]
+			addCounters(tc)
+		}(p)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+
+	return &Result{Output: output, Counters: *total}, nil
+}
+
+// runWithRetry executes a task body, consulting the failure injector and
+// retrying up to MaxAttempts.
+func (e *Engine) runWithRetry(job Job, taskID string, body func() ([][]KV, Counters, error)) ([][]KV, Counters, error) {
+	attempts := job.Config.MaxAttempts
+	if attempts < 1 {
+		attempts = 1
+	}
+	retries := 0
+	for attempt := 1; ; attempt++ {
+		var injected error
+		if job.Config.FailureInjector != nil {
+			injected = job.Config.FailureInjector(taskID, attempt)
+		}
+		if injected == nil {
+			out, tc, err := body()
+			if err == nil {
+				tc.TaskRetries += retries
+				return out, tc, nil
+			}
+			injected = err
+		}
+		if attempt >= attempts {
+			return nil, Counters{}, fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, attempt, injected)
+		}
+		retries++
+	}
+}
+
+// splitRange is one map task's byte range [start, end) within the input.
+type splitRange struct {
+	start, end int
+}
+
+// runMapTask executes the mapper over one split with Hadoop's sort-buffer
+// spill discipline and returns per-partition sorted output.
+func runMapTask(job Job, data []byte, split splitRange, nparts int) ([][]KV, Counters, error) {
+	var c Counters
+	c.MapInputBytes = units.Bytes(split.end - split.start)
+
+	var (
+		buffer    []KV
+		bufBytes  units.Bytes
+		spills    [][][]KV // per spill: per-partition sorted records
+		spillStat = func(n int, b units.Bytes) {
+			c.Spills++
+			c.SpilledRecords += int64(n)
+			c.SpilledBytes += b
+		}
+	)
+	doSpill := func() error {
+		if len(buffer) == 0 {
+			return nil
+		}
+		parts, n, b, err := spill(job, buffer, nparts, &c)
+		if err != nil {
+			return err
+		}
+		spillStat(n, b)
+		spills = append(spills, parts)
+		buffer = buffer[:0]
+		bufBytes = 0
+		return nil
+	}
+
+	var mapErr error
+	emit := func(k, v string) {
+		kv := KV{Key: k, Value: v}
+		buffer = append(buffer, kv)
+		bufBytes += kv.Bytes()
+		c.MapOutputRecords++
+		c.MapOutputBytes += kv.Bytes()
+		if bufBytes >= job.Config.SortBuffer {
+			if err := doSpill(); err != nil && mapErr == nil {
+				mapErr = err
+			}
+		}
+	}
+
+	for _, rec := range splitRecords(data, split.start, split.end) {
+		c.MapInputRecords++
+		if err := job.Mapper.Map(strconv.Itoa(rec.offset), rec.line, emit); err != nil {
+			return nil, c, fmt.Errorf("mapreduce: %s: map: %w", job.Config.Name, err)
+		}
+		if mapErr != nil {
+			return nil, c, mapErr
+		}
+	}
+	if err := doSpill(); err != nil {
+		return nil, c, err
+	}
+
+	// Merge spills into the task's final per-partition output. Hadoop
+	// re-reads and re-writes spill data in passes of MergeFactor fan-in.
+	out := make([][]KV, nparts)
+	switch len(spills) {
+	case 0:
+		// No output at all.
+	case 1:
+		out = spills[0]
+	default:
+		passes := mergePasses(len(spills), job.Config.MergeFactor)
+		c.MergePasses += passes
+		c.MergeBytes += c.SpilledBytes * units.Bytes(passes)
+		for p := 0; p < nparts; p++ {
+			segs := make([][]KV, 0, len(spills))
+			for _, sp := range spills {
+				if len(sp[p]) > 0 {
+					segs = append(segs, sp[p])
+				}
+			}
+			out[p] = mergeSorted(segs)
+		}
+	}
+	return out, c, nil
+}
+
+// spill sorts the buffered records, applies the combiner if configured,
+// and partitions the result. It returns the per-partition sorted records,
+// the record count and byte size actually spilled.
+func spill(job Job, buffer []KV, nparts int, c *Counters) ([][]KV, int, units.Bytes, error) {
+	sorted := make([]KV, len(buffer))
+	copy(sorted, buffer)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+
+	if job.Combiner != nil {
+		combined, err := combine(job, sorted, c)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		sorted = combined
+	}
+
+	parts := make([][]KV, nparts)
+	var bytes units.Bytes
+	for _, kv := range sorted {
+		p := job.Partitioner.Partition(kv.Key, nparts)
+		if p < 0 || p >= nparts {
+			return nil, 0, 0, fmt.Errorf("mapreduce: %s: partitioner returned %d for %d partitions", job.Config.Name, p, nparts)
+		}
+		parts[p] = append(parts[p], kv)
+		bytes += kv.Bytes()
+	}
+	return parts, len(sorted), bytes, nil
+}
+
+// combine runs the combiner over key groups of a sorted record slice.
+func combine(job Job, sorted []KV, c *Counters) ([]KV, error) {
+	var out []KV
+	emit := func(k, v string) { out = append(out, KV{Key: k, Value: v}) }
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j].Key == sorted[i].Key {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for _, kv := range sorted[i:j] {
+			values = append(values, kv.Value)
+		}
+		c.CombineInputRecords += int64(j - i)
+		before := len(out)
+		if err := job.Combiner.Reduce(sorted[i].Key, values, emit); err != nil {
+			return nil, fmt.Errorf("mapreduce: %s: combine: %w", job.Config.Name, err)
+		}
+		c.CombineOutputRecords += int64(len(out) - before)
+		i = j
+	}
+	// Combiner output for identical keys stays sorted because groups are
+	// visited in key order; re-sort defensively in case the combiner
+	// rewrote keys.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out, nil
+}
+
+// runReduceTask merges the sorted shuffle segments for one partition and
+// applies the reducer per key group.
+func runReduceTask(job Job, segments [][]KV) ([]KV, Counters, error) {
+	var c Counters
+	merged := mergeSorted(segments)
+	c.ReduceInputRecords = int64(len(merged))
+
+	sameGroup := func(a, b string) bool { return a == b }
+	if job.Grouping != nil {
+		sameGroup = job.Grouping
+	}
+
+	var out []KV
+	emit := func(k, v string) {
+		kv := KV{Key: k, Value: v}
+		out = append(out, kv)
+		c.ReduceOutputRecords++
+		c.ReduceOutputBytes += kv.Bytes()
+	}
+	for i := 0; i < len(merged); {
+		j := i
+		for j < len(merged) && sameGroup(merged[j].Key, merged[i].Key) {
+			j++
+		}
+		values := make([]string, 0, j-i)
+		for _, kv := range merged[i:j] {
+			values = append(values, kv.Value)
+		}
+		c.ReduceInputGroups++
+		if err := job.Reducer.Reduce(merged[i].Key, values, emit); err != nil {
+			return nil, c, fmt.Errorf("mapreduce: %s: reduce: %w", job.Config.Name, err)
+		}
+		i = j
+	}
+	return out, c, nil
+}
+
+// mergePasses returns the number of multi-pass merge rounds Hadoop performs
+// to reduce n segments with the given fan-in to one.
+func mergePasses(n, factor int) int {
+	if n <= 1 {
+		return 0
+	}
+	passes := 0
+	for n > 1 {
+		n = (n + factor - 1) / factor
+		passes++
+	}
+	return passes
+}
+
+// kvHeapItem is one cursor in the k-way merge.
+type kvHeapItem struct {
+	seg, idx int
+	key      string
+}
+
+type kvHeap struct {
+	items []kvHeapItem
+	segs  [][]KV
+}
+
+func (h *kvHeap) Len() int { return len(h.items) }
+func (h *kvHeap) Less(i, j int) bool {
+	if h.items[i].key != h.items[j].key {
+		return h.items[i].key < h.items[j].key
+	}
+	return h.items[i].seg < h.items[j].seg // stable across segments
+}
+func (h *kvHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
+func (h *kvHeap) Push(x interface{}) { h.items = append(h.items, x.(kvHeapItem)) }
+func (h *kvHeap) Pop() interface{} {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// mergeSorted merges already-sorted segments into one sorted slice.
+func mergeSorted(segments [][]KV) []KV {
+	switch len(segments) {
+	case 0:
+		return nil
+	case 1:
+		out := make([]KV, len(segments[0]))
+		copy(out, segments[0])
+		return out
+	}
+	total := 0
+	h := &kvHeap{segs: segments}
+	for s, seg := range segments {
+		total += len(seg)
+		if len(seg) > 0 {
+			h.items = append(h.items, kvHeapItem{seg: s, idx: 0, key: seg[0].Key})
+		}
+	}
+	heap.Init(h)
+	out := make([]KV, 0, total)
+	for h.Len() > 0 {
+		it := heap.Pop(h).(kvHeapItem)
+		out = append(out, segments[it.seg][it.idx])
+		if next := it.idx + 1; next < len(segments[it.seg]) {
+			heap.Push(h, kvHeapItem{seg: it.seg, idx: next, key: segments[it.seg][next].Key})
+		}
+	}
+	return out
+}
+
+// record is one line-based input record.
+type record struct {
+	offset int
+	line   string
+}
+
+// splitRecords implements Hadoop's LineRecordReader split semantics over the
+// byte range [start, end): a non-first split discards everything up to and
+// including its first newline (that partial/whole line belongs to the
+// previous split, which reads past its own end to finish it), and a line
+// starting at or before end — even exactly at end — belongs to this split
+// and is read to completion beyond the boundary. Every line of the file is
+// therefore processed by exactly one map task, regardless of where block
+// boundaries cut it.
+func splitRecords(data []byte, start, end int) []record {
+	pos := start
+	if start > 0 {
+		i := bytes.IndexByte(data[start:], '\n')
+		if i < 0 {
+			return nil // the whole split is the middle of one line
+		}
+		pos = start + i + 1
+	}
+	var recs []record
+	for pos <= end && pos < len(data) {
+		i := bytes.IndexByte(data[pos:], '\n')
+		var lineEnd int
+		if i < 0 {
+			lineEnd = len(data)
+		} else {
+			lineEnd = pos + i
+		}
+		if lineEnd > pos {
+			recs = append(recs, record{offset: pos, line: string(data[pos:lineEnd])})
+		}
+		pos = lineEnd + 1
+	}
+	return recs
+}

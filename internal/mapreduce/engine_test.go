@@ -1,0 +1,839 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"heterohadoop/internal/hdfs"
+	"heterohadoop/internal/units"
+)
+
+// wordCountJob returns the canonical word-count job used across the tests.
+func wordCountJob(cfg Config) Job {
+	mapper := MapperFunc(func(_, line string, emit Emitter) error {
+		for _, w := range strings.Fields(line) {
+			emit(w, "1")
+		}
+		return nil
+	})
+	sum := ReducerFunc(func(key string, values []string, emit Emitter) error {
+		total := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		emit(key, strconv.Itoa(total))
+		return nil
+	})
+	return Job{Config: cfg, Mapper: mapper, Combiner: sum, Reducer: sum}
+}
+
+func newEngine(t *testing.T, blockSize units.Bytes, input string) *Engine {
+	t.Helper()
+	store, err := hdfs.NewStore(hdfs.Config{BlockSize: blockSize, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write("input", []byte(input)); err != nil {
+		t.Fatal(err)
+	}
+	return NewEngine(store)
+}
+
+func outputMap(t *testing.T, res *Result) map[string]string {
+	t.Helper()
+	m := make(map[string]string)
+	for _, p := range res.Output {
+		for _, kv := range p {
+			if prev, dup := m[kv.Key]; dup {
+				t.Fatalf("duplicate output key %q (values %q and %q)", kv.Key, prev, kv.Value)
+			}
+			m[kv.Key] = kv.Value
+		}
+	}
+	return m
+}
+
+func TestWordCountEndToEnd(t *testing.T) {
+	e := newEngine(t, 32, "the quick brown fox\njumps over the lazy dog\nthe end\n")
+	cfg := DefaultConfig("wc")
+	cfg.NumReducers = 3
+	res, err := e.Run(wordCountJob(cfg), "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputMap(t, res)
+	want := map[string]string{"the": "3", "quick": "1", "brown": "1", "fox": "1",
+		"jumps": "1", "over": "1", "lazy": "1", "dog": "1", "end": "1"}
+	if len(got) != len(want) {
+		t.Fatalf("got %d keys, want %d: %v", len(got), len(want), got)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%q] = %q, want %q", k, got[k], v)
+		}
+	}
+	c := res.Counters
+	if c.MapTasks != 2 { // 53 bytes at 32-byte blocks
+		t.Errorf("MapTasks = %d, want 2", c.MapTasks)
+	}
+	if c.ReduceTasks != 3 {
+		t.Errorf("ReduceTasks = %d, want 3", c.ReduceTasks)
+	}
+	if c.MapInputRecords != 3 {
+		t.Errorf("MapInputRecords = %d, want 3 lines", c.MapInputRecords)
+	}
+	if c.MapOutputRecords != 11 {
+		t.Errorf("MapOutputRecords = %d, want 11 words", c.MapOutputRecords)
+	}
+}
+
+func TestSplitSemanticsIndependentOfBlockSize(t *testing.T) {
+	// The same input must produce identical word counts no matter where
+	// block boundaries cut lines — the LineRecordReader invariant.
+	var sb strings.Builder
+	rng := rand.New(rand.NewSource(11))
+	words := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta"}
+	for i := 0; i < 400; i++ {
+		for j := 0; j < 1+rng.Intn(8); j++ {
+			sb.WriteString(words[rng.Intn(len(words))])
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('\n')
+	}
+	input := sb.String()
+
+	var reference map[string]string
+	for _, bs := range []units.Bytes{17, 64, 100, 999, 4096, units.Bytes(len(input) + 5)} {
+		e := newEngine(t, bs, input)
+		cfg := DefaultConfig(fmt.Sprintf("wc-bs%d", bs))
+		cfg.NumReducers = 2
+		res, err := e.Run(wordCountJob(cfg), "input")
+		if err != nil {
+			t.Fatalf("block size %d: %v", bs, err)
+		}
+		got := outputMap(t, res)
+		if reference == nil {
+			reference = got
+			continue
+		}
+		if len(got) != len(reference) {
+			t.Fatalf("block size %d: %d keys, want %d", bs, len(got), len(reference))
+		}
+		for k, v := range reference {
+			if got[k] != v {
+				t.Errorf("block size %d: count[%q] = %q, want %q", bs, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestSplitRecordsExactlyOncePerLine(t *testing.T) {
+	data := []byte("aa\nbbbb\nc\ndddddd\nee")
+	for _, bs := range []int{1, 2, 3, 4, 5, 7, 19, 100} {
+		var seen []string
+		for start := 0; start < len(data); start += bs {
+			end := start + bs
+			if end > len(data) {
+				end = len(data)
+			}
+			for _, r := range splitRecords(data, start, end) {
+				seen = append(seen, r.line)
+			}
+		}
+		sort.Strings(seen)
+		want := []string{"aa", "bbbb", "c", "dddddd", "ee"}
+		sort.Strings(want)
+		if len(seen) != len(want) {
+			t.Fatalf("bs=%d: records %v, want %v", bs, seen, want)
+		}
+		for i := range want {
+			if seen[i] != want[i] {
+				t.Fatalf("bs=%d: records %v, want %v", bs, seen, want)
+			}
+		}
+	}
+}
+
+func TestSplitRecordsProperty(t *testing.T) {
+	f := func(raw []byte, bsRaw uint8) bool {
+		// Build line-structured data from raw bytes.
+		data := []byte(strings.ReplaceAll(string(raw), "\x00", "\n"))
+		bs := int(bsRaw%32) + 1
+		var count int
+		for start := 0; start < len(data); start += bs {
+			end := start + bs
+			if end > len(data) {
+				end = len(data)
+			}
+			count += len(splitRecords(data, start, end))
+		}
+		want := 0
+		for _, l := range strings.Split(string(data), "\n") {
+			if l != "" {
+				want++
+			}
+		}
+		return count == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSortJobGlobalOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var lines []string
+	for i := 0; i < 500; i++ {
+		lines = append(lines, fmt.Sprintf("%08d", rng.Intn(1000000)))
+	}
+	e := newEngine(t, 256, strings.Join(lines, "\n")+"\n")
+	cfg := DefaultConfig("sort")
+	cfg.NumReducers = 1
+	job := Job{Config: cfg, Mapper: IdentityMapper(), Reducer: IdentityReducer()}
+	res, err := e.Run(job, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Output[0]
+	if len(out) != len(lines) {
+		t.Fatalf("output has %d records, want %d", len(out), len(lines))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Key < out[i-1].Key {
+			t.Fatalf("output not sorted at %d: %q < %q", i, out[i].Key, out[i-1].Key)
+		}
+	}
+	sort.Strings(lines)
+	for i := range lines {
+		if out[i].Key != lines[i] {
+			t.Fatalf("output[%d] = %q, want %q", i, out[i].Key, lines[i])
+		}
+	}
+}
+
+func TestRangePartitionerPreservesGlobalOrderAcrossReducers(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var lines []string
+	for i := 0; i < 300; i++ {
+		lines = append(lines, fmt.Sprintf("%06d", rng.Intn(100000)))
+	}
+	sorted := append([]string(nil), lines...)
+	sort.Strings(sorted)
+	cuts := []string{sorted[100], sorted[200]}
+
+	e := newEngine(t, 128, strings.Join(lines, "\n")+"\n")
+	cfg := DefaultConfig("terasort-like")
+	cfg.NumReducers = 3
+	job := Job{Config: cfg, Mapper: IdentityMapper(), Reducer: IdentityReducer(), Partitioner: RangePartitioner(cuts)}
+	res, err := e.Run(job, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concatenating partitions in order must yield the globally sorted data.
+	var got []string
+	for _, p := range res.Output {
+		for _, kv := range p {
+			got = append(got, kv.Key)
+		}
+	}
+	if len(got) != len(sorted) {
+		t.Fatalf("got %d records, want %d", len(got), len(sorted))
+	}
+	for i := range sorted {
+		if got[i] != sorted[i] {
+			t.Fatalf("concatenated output[%d] = %q, want %q", i, got[i], sorted[i])
+		}
+	}
+}
+
+func TestSpillsTriggeredBySmallSortBuffer(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 200; i++ {
+		fmt.Fprintf(&sb, "word%03d filler tokens here\n", i%7)
+	}
+	e := newEngine(t, 8*units.KB, sb.String())
+	cfg := DefaultConfig("wc-spilly")
+	cfg.SortBuffer = 512 // force many spills
+	cfg.NumReducers = 2
+	res, err := e.Run(wordCountJob(cfg), "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters
+	if c.Spills <= c.MapTasks {
+		t.Errorf("Spills = %d with tiny buffer, want more than one per task (%d tasks)", c.Spills, c.MapTasks)
+	}
+	if c.MergePasses == 0 {
+		t.Error("multi-spill tasks recorded no merge passes")
+	}
+	if c.MergeBytes == 0 {
+		t.Error("multi-spill tasks recorded no merge bytes")
+	}
+	// Output correctness is unaffected by spilling.
+	got := outputMap(t, res)
+	for i := 0; i < 7; i++ {
+		k := fmt.Sprintf("word%03d", i)
+		wantCount := 200 / 7
+		if i < 200%7 {
+			wantCount++
+		}
+		if got[k] != strconv.Itoa(wantCount) {
+			t.Errorf("count[%q] = %q, want %d", k, got[k], wantCount)
+		}
+	}
+	// Each word also appears once per line in "filler tokens here".
+	if got["filler"] != "200" {
+		t.Errorf("count[filler] = %q, want 200", got["filler"])
+	}
+}
+
+func TestNoSpillWithLargeBuffer(t *testing.T) {
+	e := newEngine(t, units.MB, "a b c\nd e f\n")
+	cfg := DefaultConfig("wc-nospill")
+	res, err := e.Run(wordCountJob(cfg), "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.Spills != res.Counters.MapTasks {
+		t.Errorf("Spills = %d, want exactly one final spill per task (%d)", res.Counters.Spills, res.Counters.MapTasks)
+	}
+	if res.Counters.MergePasses != 0 {
+		t.Errorf("MergePasses = %d, want 0 for single-spill tasks", res.Counters.MergePasses)
+	}
+}
+
+func TestCombinerReducesShuffleVolume(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 500; i++ {
+		sb.WriteString("same same same different\n")
+	}
+	input := sb.String()
+	run := func(withCombiner bool) Counters {
+		e := newEngine(t, 4*units.KB, input)
+		cfg := DefaultConfig("wc")
+		cfg.NumReducers = 2
+		job := wordCountJob(cfg)
+		if !withCombiner {
+			job.Combiner = nil
+		}
+		res, err := e.Run(job, "input")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters
+	}
+	with := run(true)
+	without := run(false)
+	if with.ShuffleBytes >= without.ShuffleBytes {
+		t.Errorf("combiner did not shrink shuffle: %v vs %v", with.ShuffleBytes, without.ShuffleBytes)
+	}
+	if with.CombineInputRecords == 0 || with.CombinerReduction() <= 1 {
+		t.Errorf("combiner stats missing: in=%d reduction=%v", with.CombineInputRecords, with.CombinerReduction())
+	}
+	if without.CombineInputRecords != 0 {
+		t.Error("combiner ran despite being unset")
+	}
+}
+
+func TestMapOnlyJob(t *testing.T) {
+	e := newEngine(t, 16, "one two\nthree four\nfive six\n")
+	cfg := DefaultConfig("grep-like")
+	cfg.NumReducers = 0
+	job := Job{
+		Config: cfg,
+		Mapper: MapperFunc(func(_, line string, emit Emitter) error {
+			for _, w := range strings.Fields(line) {
+				if strings.Contains(w, "o") {
+					emit(w, "")
+				}
+			}
+			return nil
+		}),
+	}
+	res, err := e.Run(job, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.ReduceTasks != 0 {
+		t.Errorf("map-only job ran %d reduce tasks", res.Counters.ReduceTasks)
+	}
+	var words []string
+	for _, p := range res.Output {
+		for _, kv := range p {
+			words = append(words, kv.Key)
+		}
+	}
+	sort.Strings(words)
+	want := []string{"four", "one", "two"}
+	if strings.Join(words, ",") != strings.Join(want, ",") {
+		t.Errorf("matched %v, want %v", words, want)
+	}
+}
+
+func TestParallelismMatchesSerialOutput(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	var sb strings.Builder
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&sb, "k%04d v\n", rng.Intn(200))
+	}
+	input := sb.String()
+	counts := func(par int) map[string]string {
+		e := newEngine(t, 2*units.KB, input)
+		cfg := DefaultConfig("wc-par")
+		cfg.NumReducers = 4
+		cfg.Parallelism = par
+		res, err := e.Run(wordCountJob(cfg), "input")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return outputMap(t, res)
+	}
+	serial := counts(1)
+	parallel := counts(8)
+	if len(serial) != len(parallel) {
+		t.Fatalf("key counts differ: %d vs %d", len(serial), len(parallel))
+	}
+	for k, v := range serial {
+		if parallel[k] != v {
+			t.Errorf("parallel count[%q] = %q, want %q", k, parallel[k], v)
+		}
+	}
+}
+
+func TestFailureInjectionRetries(t *testing.T) {
+	e := newEngine(t, 16, "hello world\nhello again\n")
+	cfg := DefaultConfig("wc-flaky")
+	cfg.MaxAttempts = 3
+	failed := map[string]bool{}
+	cfg.FailureInjector = func(task string, attempt int) error {
+		if strings.Contains(task, "map-0") && !failed[task] {
+			failed[task] = true
+			return errors.New("injected fault")
+		}
+		return nil
+	}
+	res, err := e.Run(wordCountJob(cfg), "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.TaskRetries == 0 {
+		t.Error("no retries recorded despite injected failure")
+	}
+	if got := outputMap(t, res)["hello"]; got != "2" {
+		t.Errorf("count[hello] = %q after retry, want 2", got)
+	}
+}
+
+func TestFailureExhaustsAttempts(t *testing.T) {
+	e := newEngine(t, 16, "hello world\n")
+	cfg := DefaultConfig("wc-doomed")
+	cfg.MaxAttempts = 2
+	cfg.FailureInjector = func(task string, attempt int) error {
+		return errors.New("persistent fault")
+	}
+	if _, err := e.Run(wordCountJob(cfg), "input"); err == nil {
+		t.Fatal("job succeeded despite persistent failures")
+	}
+}
+
+func TestMapperErrorAborts(t *testing.T) {
+	e := newEngine(t, 16, "x\n")
+	cfg := DefaultConfig("bad-map")
+	job := Job{
+		Config:  cfg,
+		Mapper:  MapperFunc(func(_, _ string, _ Emitter) error { return errors.New("map boom") }),
+		Reducer: IdentityReducer(),
+	}
+	if _, err := e.Run(job, "input"); err == nil || !strings.Contains(err.Error(), "map boom") {
+		t.Fatalf("err = %v, want map boom", err)
+	}
+}
+
+func TestReducerErrorAborts(t *testing.T) {
+	e := newEngine(t, 16, "x\n")
+	cfg := DefaultConfig("bad-reduce")
+	job := Job{
+		Config:  cfg,
+		Mapper:  IdentityMapper(),
+		Reducer: ReducerFunc(func(_ string, _ []string, _ Emitter) error { return errors.New("reduce boom") }),
+	}
+	if _, err := e.Run(job, "input"); err == nil || !strings.Contains(err.Error(), "reduce boom") {
+		t.Fatalf("err = %v, want reduce boom", err)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	e := newEngine(t, 16, "x\n")
+	if _, err := e.Run(Job{Config: DefaultConfig("no-mapper"), Reducer: IdentityReducer()}, "input"); err == nil {
+		t.Error("job without mapper accepted")
+	}
+	cfg := DefaultConfig("no-reducer")
+	cfg.NumReducers = 2
+	if _, err := e.Run(Job{Config: cfg, Mapper: IdentityMapper()}, "input"); err == nil {
+		t.Error("reducers configured without a reducer accepted")
+	}
+	if _, err := e.Run(wordCountJob(DefaultConfig("missing")), "nope"); err == nil {
+		t.Error("missing input accepted")
+	}
+	bad := DefaultConfig("")
+	if err := bad.Validate(); err == nil {
+		t.Error("nameless config accepted")
+	}
+	bad = DefaultConfig("x")
+	bad.MergeFactor = 1
+	if err := bad.Validate(); err == nil {
+		t.Error("merge factor 1 accepted")
+	}
+	bad = DefaultConfig("x")
+	bad.SortBuffer = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero sort buffer accepted")
+	}
+}
+
+func TestBadPartitionerRejected(t *testing.T) {
+	e := newEngine(t, 16, "a\nb\n")
+	cfg := DefaultConfig("bad-part")
+	cfg.NumReducers = 2
+	job := Job{
+		Config:      cfg,
+		Mapper:      IdentityMapper(),
+		Reducer:     IdentityReducer(),
+		Partitioner: PartitionerFunc(func(string, int) int { return 99 }),
+	}
+	if _, err := e.Run(job, "input"); err == nil {
+		t.Error("out-of-range partition accepted")
+	}
+}
+
+func TestMergePasses(t *testing.T) {
+	tests := []struct{ n, factor, want int }{
+		{0, 10, 0}, {1, 10, 0}, {2, 10, 1}, {10, 10, 1}, {11, 10, 2}, {100, 10, 2}, {101, 10, 3}, {8, 2, 3},
+	}
+	for _, tc := range tests {
+		if got := mergePasses(tc.n, tc.factor); got != tc.want {
+			t.Errorf("mergePasses(%d, %d) = %d, want %d", tc.n, tc.factor, got, tc.want)
+		}
+	}
+}
+
+func TestMergeSorted(t *testing.T) {
+	segs := [][]KV{
+		{{Key: "a"}, {Key: "c"}, {Key: "e"}},
+		{{Key: "b"}, {Key: "c"}, {Key: "f"}},
+		{},
+		{{Key: "a"}},
+	}
+	out := mergeSorted(segs)
+	if len(out) != 7 {
+		t.Fatalf("merged %d records, want 7", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Key < out[i-1].Key {
+			t.Fatalf("not sorted at %d: %v", i, out)
+		}
+	}
+	if mergeSorted(nil) != nil {
+		t.Error("empty merge should be nil")
+	}
+	single := mergeSorted([][]KV{{{Key: "z"}}})
+	if len(single) != 1 || single[0].Key != "z" {
+		t.Errorf("single-segment merge = %v", single)
+	}
+}
+
+func TestMergeSortedProperty(t *testing.T) {
+	f := func(seed int64, nsegs uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nsegs%6) + 1
+		segs := make([][]KV, n)
+		total := 0
+		for i := range segs {
+			m := rng.Intn(20)
+			total += m
+			for j := 0; j < m; j++ {
+				segs[i] = append(segs[i], KV{Key: fmt.Sprintf("%04d", rng.Intn(100))})
+			}
+			sort.SliceStable(segs[i], func(a, b int) bool { return segs[i][a].Key < segs[i][b].Key })
+		}
+		out := mergeSorted(segs)
+		if len(out) != total {
+			return false
+		}
+		for i := 1; i < len(out); i++ {
+			if out[i].Key < out[i-1].Key {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashPartitionerInRangeAndDeterministic(t *testing.T) {
+	p := HashPartitioner()
+	f := func(key string, nRaw uint8) bool {
+		n := int(nRaw%16) + 1
+		a := p.Partition(key, n)
+		b := p.Partition(key, n)
+		return a == b && a >= 0 && a < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if got := p.Partition("anything", 1); got != 0 {
+		t.Errorf("single partition = %d, want 0", got)
+	}
+}
+
+func TestRangePartitionerBoundaries(t *testing.T) {
+	p := RangePartitioner([]string{"g", "p"})
+	tests := []struct {
+		key  string
+		want int
+	}{
+		{"a", 0}, {"f", 0}, {"g", 1}, {"o", 1}, {"p", 2}, {"z", 2},
+	}
+	for _, tc := range tests {
+		if got := p.Partition(tc.key, 3); got != tc.want {
+			t.Errorf("Partition(%q) = %d, want %d", tc.key, got, tc.want)
+		}
+	}
+	if got := p.Partition("zzz", 2); got != 1 {
+		t.Errorf("clamped partition = %d, want 1", got)
+	}
+	if got := RangePartitioner(nil).Partition("x", 5); got != 0 {
+		t.Errorf("no-cuts partition = %d, want 0", got)
+	}
+}
+
+func TestKVBytes(t *testing.T) {
+	kv := KV{Key: "abc", Value: "de"}
+	if got := kv.Bytes(); got != 3+2+8 {
+		t.Errorf("Bytes = %v, want 13", got)
+	}
+}
+
+func TestCountersSnapshotAndRatios(t *testing.T) {
+	c := &Counters{}
+	c.Add(Counters{MapInputBytes: 100, MapOutputBytes: 150, CombineInputRecords: 30, CombineOutputRecords: 10})
+	s := *c
+	if s.MapOutputRatio() != 1.5 {
+		t.Errorf("MapOutputRatio = %v, want 1.5", s.MapOutputRatio())
+	}
+	if s.CombinerReduction() != 3 {
+		t.Errorf("CombinerReduction = %v, want 3", s.CombinerReduction())
+	}
+	if (Counters{}).MapOutputRatio() != 0 {
+		t.Error("zero-input ratio should be 0")
+	}
+	if (Counters{}).CombinerReduction() != 1 {
+		t.Error("no-combiner reduction should be 1")
+	}
+	if !strings.Contains(s.String(), "counters{") {
+		t.Error("String() malformed")
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	want := map[Phase]string{
+		PhaseSetup: "setup", PhaseMap: "map", PhaseShuffle: "shuffle",
+		PhaseSort: "sort", PhaseReduce: "reduce", PhaseCleanup: "cleanup",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+	if got := len(Phases()); got != 6 {
+		t.Errorf("Phases() = %d entries, want 6", got)
+	}
+	if !strings.Contains(Phase(42).String(), "42") {
+		t.Error("unknown phase string")
+	}
+}
+
+func TestPipelineTwoStages(t *testing.T) {
+	// Stage 1: word count. Stage 2: invert to (count, word) and sort by
+	// count via the shuffle.
+	e := newEngine(t, 64, "b b b a a c\na b\n")
+	count := func(input []byte) (Job, error) {
+		cfg := DefaultConfig("count")
+		cfg.NumReducers = 2
+		return wordCountJob(cfg), nil
+	}
+	invert := func(input []byte) (Job, error) {
+		if len(input) == 0 {
+			return Job{}, errors.New("stage 2 received no input")
+		}
+		cfg := DefaultConfig("invert")
+		cfg.NumReducers = 1
+		mapper := MapperFunc(func(_, line string, emit Emitter) error {
+			var word string
+			var n int
+			if _, err := fmt.Sscanf(line, "%s %d", &word, &n); err != nil {
+				return fmt.Errorf("bad line %q: %w", line, err)
+			}
+			emit(fmt.Sprintf("%06d", n), word)
+			return nil
+		})
+		return Job{Config: cfg, Mapper: mapper, Reducer: IdentityReducer()}, nil
+	}
+	res, err := e.RunPipeline([]Stage{{Name: "count", Build: count}, {Name: "invert", Build: invert}}, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StageCounters) != 2 {
+		t.Fatalf("got %d stage counters", len(res.StageCounters))
+	}
+	out := res.Final.Output[0]
+	if len(out) != 3 {
+		t.Fatalf("final output has %d records, want 3 words", len(out))
+	}
+	// Sorted ascending by count: c(1), a(3), b(4).
+	wantWords := []string{"c", "a", "b"}
+	for i, kv := range out {
+		if kv.Value != wantWords[i] {
+			t.Errorf("rank %d = %q, want %q", i, kv.Value, wantWords[i])
+		}
+	}
+}
+
+func TestPipelineErrors(t *testing.T) {
+	e := newEngine(t, 64, "x\n")
+	if _, err := e.RunPipeline(nil, "input"); err == nil {
+		t.Error("empty pipeline accepted")
+	}
+	if _, err := e.RunPipeline([]Stage{{Name: "nil"}}, "input"); err == nil {
+		t.Error("nil builder accepted")
+	}
+	if _, err := e.RunPipeline([]Stage{{Name: "s", Build: func([]byte) (Job, error) {
+		return Job{}, errors.New("build boom")
+	}}}, "input"); err == nil {
+		t.Error("builder error swallowed")
+	}
+	if _, err := e.RunPipeline([]Stage{{Name: "s", Build: func([]byte) (Job, error) {
+		cfg := DefaultConfig("ok")
+		return wordCountJob(cfg), nil
+	}}}, "missing"); err == nil {
+		t.Error("missing input accepted")
+	}
+}
+
+func TestMaterializeOutput(t *testing.T) {
+	res := &Result{Output: [][]KV{
+		{{Key: "a", Value: "1"}},
+		{{Key: "b", Value: ""}, {Key: "c", Value: "3"}},
+	}}
+	got := string(MaterializeOutput(res))
+	want := "a\t1\nb\nc\t3\n"
+	if got != want {
+		t.Errorf("materialized = %q, want %q", got, want)
+	}
+}
+
+// TestSecondarySortGrouping exercises Hadoop's secondary-sort pattern:
+// composite "user#seq" keys sorted fully, grouped on the user prefix, so
+// each reducer call sees one user's values in sequence order.
+func TestSecondarySortGrouping(t *testing.T) {
+	e := newEngine(t, 32, "u2#3 c\nu1#2 b\nu1#1 a\nu2#1 x\nu1#3 c\nu2#2 y\n")
+	cfg := DefaultConfig("sessionize")
+	cfg.NumReducers = 1
+	user := func(k string) string { return strings.SplitN(k, "#", 2)[0] }
+	job := Job{
+		Config: cfg,
+		Mapper: MapperFunc(func(_, line string, emit Emitter) error {
+			parts := strings.Fields(line)
+			emit(parts[0], parts[1])
+			return nil
+		}),
+		Reducer: ReducerFunc(func(key string, values []string, emit Emitter) error {
+			emit(user(key), strings.Join(values, ">"))
+			return nil
+		}),
+		Grouping: func(a, b string) bool { return user(a) == user(b) },
+	}
+	res, err := e.Run(job, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputMap(t, res)
+	if got["u1"] != "a>b>c" {
+		t.Errorf("u1 session = %q, want a>b>c (secondary sort order)", got["u1"])
+	}
+	if got["u2"] != "x>y>c" {
+		t.Errorf("u2 session = %q, want x>y>c", got["u2"])
+	}
+	if res.Counters.ReduceInputGroups != 2 {
+		t.Errorf("%d reduce groups, want 2", res.Counters.ReduceInputGroups)
+	}
+}
+
+func TestRunToStore(t *testing.T) {
+	e := newEngine(t, 32, "b a\na c\n")
+	cfg := DefaultConfig("wc-store")
+	res, f, err := e.RunToStore(wordCountJob(cfg), "input", "output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.ReduceOutputRecords != 3 {
+		t.Errorf("%d output records", res.Counters.ReduceOutputRecords)
+	}
+	if f.Name != "output" || f.Size() == 0 {
+		t.Errorf("stored file %q size %v", f.Name, f.Size())
+	}
+	// The stored output is consumable by a follow-up job.
+	job2 := Job{Config: DefaultConfig("identity"), Mapper: IdentityMapper(), Reducer: IdentityReducer()}
+	res2, err := e.Run(job2, "output")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res2.SortedOutput()) != 3 {
+		t.Errorf("follow-up read %d records", len(res2.SortedOutput()))
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "line %d with words\n", i)
+	}
+	e := newEngine(t, 64, sb.String())
+	cfg := DefaultConfig("wc-cancel")
+	cfg.Parallelism = 1
+	// Cancel from inside the third map task via the failure injector hook.
+	ctx, cancel := context.WithCancel(context.Background())
+	calls := 0
+	cfg.FailureInjector = func(task string, attempt int) error {
+		calls++
+		if calls == 3 {
+			cancel()
+		}
+		return nil
+	}
+	_, err := e.RunContext(ctx, wordCountJob(cfg), "input")
+	if err == nil {
+		t.Fatal("cancelled job succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// A background context still works.
+	cfg2 := DefaultConfig("wc-ok")
+	if _, err := e.RunContext(context.Background(), wordCountJob(cfg2), "input"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,103 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+
+	"heterohadoop/internal/hdfs"
+)
+
+// Stage is one job of a multi-job pipeline. Build receives the materialized
+// output of the previous stage (or the initial input for the first stage),
+// so samplers and f-list scans can inspect their actual input.
+type Stage struct {
+	// Name identifies the stage; it also names the intermediate file.
+	Name string
+	// Build assembles the stage's job for the given input bytes.
+	Build func(input []byte) (Job, error)
+}
+
+// PipelineResult is the outcome of a pipeline run.
+type PipelineResult struct {
+	// Final is the last stage's result.
+	Final *Result
+	// StageCounters holds each stage's counters in order.
+	StageCounters []Counters
+}
+
+// RunPipeline executes the stages in sequence, materializing each stage's
+// output into the store as "key<TAB>value" lines for the next stage — the
+// way Hadoop chains jobs through HDFS (grep's search-then-sort, parallel
+// FP-growth's count-then-mine).
+func (e *Engine) RunPipeline(stages []Stage, input string) (*PipelineResult, error) {
+	if len(stages) == 0 {
+		return nil, fmt.Errorf("mapreduce: empty pipeline")
+	}
+	current := input
+	out := &PipelineResult{}
+	for i, stage := range stages {
+		if stage.Build == nil {
+			return nil, fmt.Errorf("mapreduce: pipeline stage %d (%s) has no builder", i, stage.Name)
+		}
+		file, err := e.store.Open(current)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: pipeline stage %s: %w", stage.Name, err)
+		}
+		data := make([]byte, 0, file.Size())
+		for _, b := range file.Blocks {
+			data = append(data, b.Data...)
+		}
+		job, err := stage.Build(data)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: pipeline stage %s: %w", stage.Name, err)
+		}
+		res, err := e.Run(job, current)
+		if err != nil {
+			return nil, err
+		}
+		out.StageCounters = append(out.StageCounters, res.Counters)
+		out.Final = res
+		if i == len(stages)-1 {
+			break
+		}
+		next := fmt.Sprintf("%s.out", stage.Name)
+		if _, err := e.store.Write(next, MaterializeOutput(res)); err != nil {
+			return nil, fmt.Errorf("mapreduce: pipeline stage %s: %w", stage.Name, err)
+		}
+		current = next
+	}
+	return out, nil
+}
+
+// MaterializeOutput renders a result as the "key<TAB>value" lines a
+// follow-up job consumes, partitions concatenated in order.
+func MaterializeOutput(res *Result) []byte {
+	var buf bytes.Buffer
+	for _, part := range res.Output {
+		for _, kv := range part {
+			buf.WriteString(kv.Key)
+			if kv.Value != "" {
+				buf.WriteByte('\t')
+				buf.WriteString(kv.Value)
+			}
+			buf.WriteByte('\n')
+		}
+	}
+	return buf.Bytes()
+}
+
+// RunToStore executes the job and materializes its output back into the
+// block store under outputName ("key<TAB>value" lines), completing the
+// HDFS-in/HDFS-out loop of a real Hadoop job. It returns the result and
+// the stored output file.
+func (e *Engine) RunToStore(job Job, input, outputName string) (*Result, *hdfs.File, error) {
+	res, err := e.Run(job, input)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := e.store.Write(outputName, MaterializeOutput(res))
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, f, nil
+}

@@ -1,0 +1,60 @@
+package mapreduce
+
+import "fmt"
+
+// ExecuteMapSplit runs the job's mapper over one standalone record-aligned
+// chunk and returns per-partition sorted intermediate records. It is the
+// task-granular entry point used by distributed runtimes (internal/dist),
+// which ship chunks to workers; the chunk is treated as a complete split
+// (no neighbouring-block stitching).
+func ExecuteMapSplit(job Job, chunk []byte, nparts int) ([][]KV, Counters, error) {
+	if err := job.Validate(); err != nil {
+		return nil, Counters{}, err
+	}
+	if nparts < 1 {
+		return nil, Counters{}, fmt.Errorf("mapreduce: %s: need at least one partition", job.Config.Name)
+	}
+	if job.Partitioner == nil {
+		job.Partitioner = HashPartitioner()
+	}
+	return runMapTask(job, chunk, splitRange{start: 0, end: len(chunk)}, nparts)
+}
+
+// ExecuteReduce runs the job's reducer over the sorted shuffle segments of
+// one partition — the distributed runtime's reduce-task entry point.
+func ExecuteReduce(job Job, segments [][]KV) ([]KV, Counters, error) {
+	if err := job.Validate(); err != nil {
+		return nil, Counters{}, err
+	}
+	if job.Reducer == nil {
+		return nil, Counters{}, fmt.Errorf("mapreduce: %s: no reducer", job.Config.Name)
+	}
+	return runReduceTask(job, segments)
+}
+
+// SplitInput cuts data into record-aligned chunks of roughly blockSize
+// bytes: every chunk starts at a record boundary and holds whole lines, so
+// chunks can be processed independently (the materialized form of the
+// engine's LineRecordReader split semantics, for shipping splits over the
+// wire).
+func SplitInput(data []byte, blockSize int) [][]byte {
+	if blockSize < 1 {
+		blockSize = 1
+	}
+	var chunks [][]byte
+	start := 0
+	for start < len(data) {
+		end := start + blockSize
+		if end >= len(data) {
+			chunks = append(chunks, data[start:])
+			break
+		}
+		// Extend to the end of the record containing byte end-1.
+		for end < len(data) && data[end-1] != '\n' {
+			end++
+		}
+		chunks = append(chunks, data[start:end])
+		start = end
+	}
+	return chunks
+}

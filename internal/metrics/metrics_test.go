@@ -1,0 +1,129 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"heterohadoop/internal/units"
+)
+
+func TestEDPFamily(t *testing.T) {
+	s := Sample{Energy: 100, Delay: 10, Area: 160}
+	if got := s.EDP(); got != 1000 {
+		t.Errorf("EDP = %v, want 1000", got)
+	}
+	if got := s.ED2P(); got != 10000 {
+		t.Errorf("ED2P = %v, want 10000", got)
+	}
+	if got := s.ED3P(); got != 100000 {
+		t.Errorf("ED3P = %v, want 100000", got)
+	}
+	if got := s.EDAP(); got != 160000 {
+		t.Errorf("EDAP = %v, want 160000", got)
+	}
+	if got := s.ED2AP(); got != 1600000 {
+		t.Errorf("ED2AP = %v, want 1.6e6", got)
+	}
+	if got := s.EDxP(0); got != 100 {
+		t.Errorf("EDxP(0) = %v, want energy alone", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Sample{Energy: 1, Delay: 1, Area: 1}).Validate(); err != nil {
+		t.Errorf("valid sample rejected: %v", err)
+	}
+	for _, s := range []Sample{{Energy: -1}, {Delay: -1}, {Area: -1}} {
+		if err := s.Validate(); err == nil {
+			t.Errorf("invalid sample accepted: %+v", s)
+		}
+	}
+}
+
+func TestHigherXRewardsSpeed(t *testing.T) {
+	// A platform 2x faster at 3x the energy loses on EDP but wins on ED3P:
+	// the paper's observation that performance constraints favour big cores.
+	slow := Sample{Energy: 100, Delay: 20}
+	fast := Sample{Energy: 300, Delay: 10}
+	if fast.EDP() <= slow.EDP() {
+		t.Error("EDP should favour the frugal platform")
+	}
+	if fast.ED3P() >= slow.ED3P() {
+		t.Error("ED3P should favour the fast platform")
+	}
+}
+
+func TestRatioAndSpeedup(t *testing.T) {
+	if got := Ratio(10, 4); got != 2.5 {
+		t.Errorf("Ratio = %v", got)
+	}
+	if got := Ratio(10, 0); got != 0 {
+		t.Errorf("Ratio by zero = %v, want 0", got)
+	}
+	if got := Speedup(units.Seconds(30), units.Seconds(10)); got != 3 {
+		t.Errorf("Speedup = %v, want 3", got)
+	}
+}
+
+func TestNormalize(t *testing.T) {
+	got := Normalize([]float64{2, 4, 8}, 4)
+	want := []float64{0.5, 1, 2}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Normalize[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	for _, v := range Normalize([]float64{1, 2}, 0) {
+		if v != 0 {
+			t.Error("zero-reference normalize should zero out")
+		}
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean = %v, want 4", got)
+	}
+	if got := GeoMean([]float64{4, 0, -2}); math.Abs(got-4) > 1e-12 {
+		t.Errorf("GeoMean skipping non-positive = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("empty GeoMean = %v, want 0", got)
+	}
+}
+
+func TestArgMin(t *testing.T) {
+	if got := ArgMin([]float64{3, 1, 2}); got != 1 {
+		t.Errorf("ArgMin = %d, want 1", got)
+	}
+	if got := ArgMin(nil); got != -1 {
+		t.Errorf("empty ArgMin = %d, want -1", got)
+	}
+}
+
+func TestEDxPMonotoneProperty(t *testing.T) {
+	// For delay > 1, EDxP grows with x; for delay < 1 it shrinks.
+	f := func(eRaw, dRaw uint16) bool {
+		s := Sample{Energy: units.Joules(eRaw%1000 + 1), Delay: units.Seconds(float64(dRaw%100) + 1.5)}
+		return s.EDP() < s.ED2P() && s.ED2P() < s.ED3P()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	small := Sample{Energy: 10, Delay: 0.5}
+	if !(small.EDP() > small.ED2P() && small.ED2P() > small.ED3P()) {
+		t.Error("sub-second delays should shrink with x")
+	}
+}
+
+func TestAreaScalesEDAPLinearly(t *testing.T) {
+	f := func(aRaw uint16) bool {
+		area := units.SquareMM(aRaw%500 + 1)
+		s := Sample{Energy: 50, Delay: 2, Area: area}
+		return math.Abs(s.EDAP()-s.EDP()*float64(area)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

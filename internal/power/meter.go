@@ -1,0 +1,91 @@
+package power
+
+import (
+	"fmt"
+
+	"heterohadoop/internal/units"
+)
+
+// Meter emulates the Watts-up PRO methodology from the paper: it observes a
+// piecewise-constant power trace, produces one averaged sample per second,
+// and reports average dynamic power with the idle floor subtracted.
+type Meter struct {
+	idle     units.Watts
+	interval units.Seconds
+
+	now      units.Seconds
+	segStart units.Seconds
+	energy   units.Joules // total wall energy observed
+	samples  []units.Watts
+
+	// accumulators for the currently open sample window
+	winStart  units.Seconds
+	winEnergy units.Joules
+}
+
+// NewMeter returns a meter with the given idle floor and a 1 s sampling
+// interval, matching the Watts-up PRO.
+func NewMeter(idle units.Watts) *Meter {
+	return &Meter{idle: idle, interval: 1}
+}
+
+// Observe records that the node drew wall power p for duration d.
+func (m *Meter) Observe(p units.Watts, d units.Seconds) {
+	if d <= 0 {
+		return
+	}
+	remaining := d
+	for remaining > 0 {
+		windowEnd := m.winStart + m.interval
+		step := remaining
+		if m.now+step > windowEnd {
+			step = windowEnd - m.now
+		}
+		m.winEnergy += units.Energy(p, step)
+		m.energy += units.Energy(p, step)
+		m.now += step
+		remaining -= step
+		if m.now >= windowEnd {
+			m.samples = append(m.samples, units.Power(m.winEnergy, m.interval))
+			m.winStart = windowEnd
+			m.winEnergy = 0
+		}
+	}
+}
+
+// Samples returns the completed 1 Hz wall-power samples.
+func (m *Meter) Samples() []units.Watts {
+	out := make([]units.Watts, len(m.samples))
+	copy(out, m.samples)
+	return out
+}
+
+// Elapsed returns the total observed time.
+func (m *Meter) Elapsed() units.Seconds { return m.now }
+
+// WallEnergy returns the total wall energy observed.
+func (m *Meter) WallEnergy() units.Joules { return m.energy }
+
+// AverageWall returns average wall power over the observed time.
+func (m *Meter) AverageWall() units.Watts { return units.Power(m.energy, m.now) }
+
+// AverageDynamic returns average power with the idle floor subtracted — the
+// paper's reported quantity. It never goes below zero.
+func (m *Meter) AverageDynamic() units.Watts {
+	d := m.AverageWall() - m.idle
+	if d < 0 {
+		return 0
+	}
+	return d
+}
+
+// DynamicEnergy returns the above-idle energy over the observed time.
+func (m *Meter) DynamicEnergy() units.Joules {
+	return units.Energy(m.AverageDynamic(), m.now)
+}
+
+// String summarizes the meter state.
+func (m *Meter) String() string {
+	return fmt.Sprintf("meter{t=%v wall=%v dyn=%v samples=%d}",
+		m.Elapsed(), m.AverageWall(), m.AverageDynamic(), len(m.samples))
+}

@@ -1,0 +1,97 @@
+package traditional
+
+import (
+	"fmt"
+	"math"
+)
+
+// Kernel is a small, really-executing compute kernel used to sanity-check
+// the suite profiles' character (compute-bound, cache-resident) against
+// actual code.
+type Kernel struct {
+	// Name identifies the kernel.
+	Name string
+	// Run executes the kernel for the given problem size and returns a
+	// checksum (to defeat dead-code elimination) or an error.
+	Run func(n int) (float64, error)
+}
+
+// Kernels returns the bundled kernels: a dense matrix multiply (SPEC-like
+// floating-point loop nest) and a k-means-style clustering step (PARSEC's
+// streamcluster flavour).
+func Kernels() []Kernel {
+	return []Kernel{
+		{Name: "matmul", Run: MatMul},
+		{Name: "kmeans-step", Run: KMeansStep},
+	}
+}
+
+// MatMul multiplies two deterministic n×n matrices and returns the trace of
+// the product.
+func MatMul(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("traditional: matmul size must be positive, got %d", n)
+	}
+	a := make([]float64, n*n)
+	b := make([]float64, n*n)
+	c := make([]float64, n*n)
+	for i := range a {
+		a[i] = float64(i%7) + 0.5
+		b[i] = float64(i%5) - 1.5
+	}
+	for i := 0; i < n; i++ {
+		for k := 0; k < n; k++ {
+			aik := a[i*n+k]
+			row := b[k*n:]
+			out := c[i*n:]
+			for j := 0; j < n; j++ {
+				out[j] += aik * row[j]
+			}
+		}
+	}
+	trace := 0.0
+	for i := 0; i < n; i++ {
+		trace += c[i*n+i]
+	}
+	return trace, nil
+}
+
+// KMeansStep runs one assignment+update step of k-means over n deterministic
+// 2-D points with 4 centroids and returns the summed centroid displacement.
+func KMeansStep(n int) (float64, error) {
+	if n <= 0 {
+		return 0, fmt.Errorf("traditional: kmeans size must be positive, got %d", n)
+	}
+	const k = 4
+	px := make([]float64, n)
+	py := make([]float64, n)
+	for i := 0; i < n; i++ {
+		px[i] = math.Sin(float64(i)) * 10
+		py[i] = math.Cos(float64(i)*1.3) * 10
+	}
+	cx := [k]float64{-5, 5, -5, 5}
+	cy := [k]float64{-5, -5, 5, 5}
+	var sx, sy [k]float64
+	var cnt [k]int
+	for i := 0; i < n; i++ {
+		best, bestD := 0, math.Inf(1)
+		for j := 0; j < k; j++ {
+			dx, dy := px[i]-cx[j], py[i]-cy[j]
+			if d := dx*dx + dy*dy; d < bestD {
+				best, bestD = j, d
+			}
+		}
+		sx[best] += px[i]
+		sy[best] += py[i]
+		cnt[best]++
+	}
+	moved := 0.0
+	for j := 0; j < k; j++ {
+		if cnt[j] == 0 {
+			continue
+		}
+		nx, ny := sx[j]/float64(cnt[j]), sy[j]/float64(cnt[j])
+		moved += math.Abs(nx-cx[j]) + math.Abs(ny-cy[j])
+	}
+	return moved, nil
+}

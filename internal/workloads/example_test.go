@@ -1,0 +1,27 @@
+package workloads_test
+
+import (
+	"fmt"
+
+	"heterohadoop/internal/workloads"
+)
+
+// ExampleMineTransactions mines frequent itemsets with the FP-growth
+// reference miner.
+func ExampleMineTransactions() {
+	txs := [][]string{
+		{"bread", "milk", "eggs"},
+		{"bread", "milk"},
+		{"bread", "jam"},
+		{"milk", "eggs"},
+	}
+	for _, p := range workloads.MineTransactions(txs, 2) {
+		fmt.Printf("%s (support %d)\n", p.Key(), p.Support)
+	}
+	// Output:
+	// bread (support 3)
+	// milk (support 3)
+	// bread,milk (support 2)
+	// eggs (support 2)
+	// eggs,milk (support 2)
+}

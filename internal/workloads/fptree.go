@@ -1,0 +1,185 @@
+package workloads
+
+import (
+	"sort"
+	"strings"
+)
+
+// Pattern is one frequent itemset with its support count.
+type Pattern struct {
+	// Items are the itemset members, sorted lexicographically.
+	Items []string
+	// Support is the number of transactions containing the itemset.
+	Support int
+}
+
+// Key returns a canonical string form ("a,b,c") for comparisons.
+func (p Pattern) Key() string { return strings.Join(p.Items, ",") }
+
+// fpNode is one node of an FP-tree.
+type fpNode struct {
+	item     string
+	count    int
+	parent   *fpNode
+	children map[string]*fpNode
+	next     *fpNode // header-table chain
+}
+
+// FPTree is a frequent-pattern tree (Han et al.), the core data structure
+// of the FP-Growth workload. Transactions are inserted in a consistent item
+// order; Mine extracts all itemsets meeting the support threshold.
+type FPTree struct {
+	root       *fpNode
+	headers    map[string]*fpNode
+	headerTail map[string]*fpNode
+	counts     map[string]int
+	minSupport int
+}
+
+// NewFPTree creates a tree with the given minimum support (at least 1).
+func NewFPTree(minSupport int) *FPTree {
+	if minSupport < 1 {
+		minSupport = 1
+	}
+	return &FPTree{
+		root:       &fpNode{children: make(map[string]*fpNode)},
+		headers:    make(map[string]*fpNode),
+		headerTail: make(map[string]*fpNode),
+		counts:     make(map[string]int),
+		minSupport: minSupport,
+	}
+}
+
+// Insert adds a transaction path with the given count. Items must already
+// be in a consistent global order for tree compactness and correctness of
+// shared prefixes.
+func (t *FPTree) Insert(items []string, count int) {
+	if count <= 0 {
+		return
+	}
+	node := t.root
+	for _, item := range items {
+		child, ok := node.children[item]
+		if !ok {
+			child = &fpNode{item: item, parent: node, children: make(map[string]*fpNode)}
+			node.children[item] = child
+			if tail := t.headerTail[item]; tail != nil {
+				tail.next = child
+			} else {
+				t.headers[item] = child
+			}
+			t.headerTail[item] = child
+		}
+		child.count += count
+		t.counts[item] += count
+		node = child
+	}
+}
+
+// Empty reports whether the tree holds no items.
+func (t *FPTree) Empty() bool { return len(t.headers) == 0 }
+
+// Support returns the total count of an item in the tree.
+func (t *FPTree) Support(item string) int { return t.counts[item] }
+
+// Mine returns all frequent itemsets with support >= minSupport, each with
+// its support count. Single items are included. Items within each pattern
+// are sorted lexicographically; the pattern list is sorted by descending
+// support then key.
+func (t *FPTree) Mine() []Pattern {
+	var out []Pattern
+	t.mine(nil, &out)
+	for i := range out {
+		sort.Strings(out[i].Items)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Support != out[j].Support {
+			return out[i].Support > out[j].Support
+		}
+		return out[i].Key() < out[j].Key()
+	})
+	return out
+}
+
+// mine is the recursive FP-growth step: for each frequent item, emit the
+// extended pattern, build its conditional tree and recurse.
+func (t *FPTree) mine(suffix []string, out *[]Pattern) {
+	items := make([]string, 0, len(t.headers))
+	for item := range t.headers {
+		if t.counts[item] >= t.minSupport {
+			items = append(items, item)
+		}
+	}
+	sort.Strings(items) // determinism
+	for _, item := range items {
+		pattern := append(append([]string(nil), suffix...), item)
+		*out = append(*out, Pattern{Items: pattern, Support: t.counts[item]})
+
+		cond := NewFPTree(t.minSupport)
+		for node := t.headers[item]; node != nil; node = node.next {
+			// Path from root to node's parent is this node's prefix path.
+			var path []string
+			for p := node.parent; p != nil && p.item != ""; p = p.parent {
+				path = append(path, p.item)
+			}
+			// path is leaf-to-root; reverse to insertion order.
+			for l, r := 0, len(path)-1; l < r; l, r = l+1, r-1 {
+				path[l], path[r] = path[r], path[l]
+			}
+			cond.Insert(path, node.count)
+		}
+		if !cond.Empty() {
+			cond.mine(pattern, out)
+		}
+	}
+}
+
+// MineTransactions is the single-node reference implementation: it builds a
+// global frequency order, constructs one FP-tree over all transactions and
+// mines it. The distributed FP-Growth job must produce the same patterns.
+func MineTransactions(transactions [][]string, minSupport int) []Pattern {
+	counts := make(map[string]int)
+	for _, tx := range transactions {
+		for _, item := range dedupe(tx) {
+			counts[item]++
+		}
+	}
+	tree := NewFPTree(minSupport)
+	for _, tx := range transactions {
+		tree.Insert(orderByFrequency(dedupe(tx), counts, minSupport), 1)
+	}
+	return tree.Mine()
+}
+
+// dedupe removes duplicate items from a transaction, preserving first-seen
+// order.
+func dedupe(items []string) []string {
+	seen := make(map[string]bool, len(items))
+	out := items[:0:0]
+	for _, it := range items {
+		if it != "" && !seen[it] {
+			seen[it] = true
+			out = append(out, it)
+		}
+	}
+	return out
+}
+
+// orderByFrequency filters items below minSupport and sorts the rest by
+// descending global frequency (ties lexicographic) — the canonical FP-tree
+// insertion order.
+func orderByFrequency(items []string, counts map[string]int, minSupport int) []string {
+	out := items[:0:0]
+	for _, it := range items {
+		if counts[it] >= minSupport {
+			out = append(out, it)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if counts[out[i]] != counts[out[j]] {
+			return counts[out[i]] > counts[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

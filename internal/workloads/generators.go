@@ -1,0 +1,176 @@
+// Package workloads implements the six Hadoop applications the paper
+// studies — WordCount, Sort, Grep, TeraSort, Naive Bayes and FP-Growth —
+// as real MapReduce jobs over synthetic datasets, together with the
+// calibrated machine-independent resource profiles the cluster simulator
+// uses to reproduce the paper's figures at 1–20 GB scale.
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"heterohadoop/internal/units"
+)
+
+// english is the vocabulary for text generators; word frequencies follow a
+// Zipf distribution like natural text, which is what gives WordCount its
+// combiner-friendly key skew.
+var english = []string{
+	"the", "of", "and", "a", "to", "in", "is", "you", "that", "it",
+	"he", "was", "for", "on", "are", "as", "with", "his", "they", "I",
+	"at", "be", "this", "have", "from", "or", "one", "had", "by", "word",
+	"but", "not", "what", "all", "were", "we", "when", "your", "can", "said",
+	"there", "use", "an", "each", "which", "she", "do", "how", "their", "if",
+	"will", "up", "other", "about", "out", "many", "then", "them", "these", "so",
+	"some", "her", "would", "make", "like", "him", "into", "time", "has", "look",
+	"two", "more", "write", "go", "see", "number", "no", "way", "could", "people",
+	"my", "than", "first", "water", "been", "call", "who", "oil", "its", "now",
+	"find", "long", "down", "day", "did", "get", "come", "made", "may", "part",
+}
+
+// GenerateText produces roughly size bytes of Zipf-distributed text, one
+// sentence per line — the WordCount and Grep input.
+func GenerateText(size units.Bytes, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, 1.2, 1.0, uint64(len(english)-1))
+	var buf bytes.Buffer
+	buf.Grow(int(size) + 128)
+	for buf.Len() < int(size) {
+		n := 5 + rng.Intn(10)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				buf.WriteByte(' ')
+			}
+			buf.WriteString(english[zipf.Uint64()])
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// TeraKeyLen and TeraValueLen shape TeraGen-format records: a 10-byte key
+// and a payload, newline-terminated (the classic 100-byte rows, adapted to
+// line records).
+const (
+	TeraKeyLen   = 10
+	TeraValueLen = 88
+)
+
+// GenerateTeraRecords produces roughly size bytes of TeraGen-format rows:
+// random 10-byte keys over [A-Z], a tab, and a deterministic filler payload.
+func GenerateTeraRecords(size units.Bytes, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	buf.Grow(int(size) + 128)
+	payload := bytes.Repeat([]byte("X"), TeraValueLen)
+	row := 0
+	for buf.Len() < int(size) {
+		for i := 0; i < TeraKeyLen; i++ {
+			buf.WriteByte(byte('A' + rng.Intn(26)))
+		}
+		buf.WriteByte('\t')
+		buf.Write(payload)
+		fmt.Fprintf(&buf, "%08d", row)
+		buf.WriteByte('\n')
+		row++
+	}
+	return buf.Bytes()
+}
+
+// GenerateNumbers produces roughly size bytes of fixed-width records, each
+// a zero-padded random integer key followed by a filler payload — the Sort
+// benchmark input (records sized like realistic sort-benchmark rows).
+func GenerateNumbers(size units.Bytes, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	buf.Grow(int(size) + 128)
+	payload := bytes.Repeat([]byte("p"), 83)
+	for buf.Len() < int(size) {
+		fmt.Fprintf(&buf, "%012d %s\n", rng.Int63n(1e12), payload)
+	}
+	return buf.Bytes()
+}
+
+// transactionItems is the item universe for market-basket transactions.
+const transactionItems = 200
+
+// GenerateTransactions produces roughly size bytes of market-basket
+// transactions for FP-Growth: one transaction per line, items separated by
+// spaces, with correlated co-occurring item groups so that frequent
+// patterns exist to be mined.
+func GenerateTransactions(size units.Bytes, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	buf.Grow(int(size) + 128)
+	// A handful of "shopping patterns": item groups that co-occur.
+	patterns := [][]int{
+		{1, 2, 3}, {4, 5}, {6, 7, 8, 9}, {10, 11}, {2, 5, 12},
+	}
+	for buf.Len() < int(size) {
+		seen := map[int]bool{}
+		emit := func(item int) {
+			if !seen[item] {
+				if len(seen) > 0 {
+					buf.WriteByte(' ')
+				}
+				fmt.Fprintf(&buf, "i%03d", item)
+				seen[item] = true
+			}
+		}
+		// One or two patterns with high probability...
+		for _, p := range patterns {
+			if rng.Float64() < 0.3 {
+				for _, it := range p {
+					emit(it)
+				}
+			}
+		}
+		// ...plus random noise items.
+		for n := rng.Intn(6); n > 0; n-- {
+			emit(13 + rng.Intn(transactionItems-13))
+		}
+		if len(seen) == 0 {
+			emit(1 + rng.Intn(transactionItems))
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}
+
+// nbClasses is the label set for the Naive Bayes corpus.
+var nbClasses = []string{"sports", "politics", "science", "business"}
+
+// classVocabOffset gives each class a biased slice of the vocabulary so the
+// corpus is actually learnable.
+const classVocabOffset = 20
+
+// GenerateLabeledDocs produces roughly size bytes of labelled documents for
+// Naive Bayes: "label<TAB>word word word..." with class-conditional word
+// distributions.
+func GenerateLabeledDocs(size units.Bytes, seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	buf.Grow(int(size) + 128)
+	for buf.Len() < int(size) {
+		class := rng.Intn(len(nbClasses))
+		buf.WriteString(nbClasses[class])
+		buf.WriteByte('\t')
+		n := 8 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				buf.WriteByte(' ')
+			}
+			var w string
+			if rng.Float64() < 0.6 {
+				// Class-biased word.
+				w = english[(class*classVocabOffset+rng.Intn(classVocabOffset))%len(english)]
+			} else {
+				w = english[rng.Intn(len(english))]
+			}
+			buf.WriteString(w)
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes()
+}

@@ -1,0 +1,155 @@
+package workloads
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+
+	"heterohadoop/internal/units"
+)
+
+// TextOptions parameterizes the text generator beyond the calibrated
+// defaults, e.g. to study combiner effectiveness against vocabulary size.
+type TextOptions struct {
+	// Vocabulary is the distinct word count. Up to len(english) the real
+	// word list is used; beyond it synthetic words ("w00123") extend it.
+	Vocabulary int
+	// ZipfS is the Zipf skew exponent (> 1; higher = more skewed).
+	ZipfS float64
+	// MinWords and MaxWords bound the sentence length.
+	MinWords, MaxWords int
+}
+
+// DefaultTextOptions mirrors GenerateText's behaviour.
+func DefaultTextOptions() TextOptions {
+	return TextOptions{Vocabulary: len(english), ZipfS: 1.2, MinWords: 5, MaxWords: 14}
+}
+
+// Validate checks the options.
+func (o TextOptions) Validate() error {
+	if o.Vocabulary < 1 {
+		return fmt.Errorf("workloads: vocabulary must be positive")
+	}
+	if o.ZipfS <= 1 {
+		return fmt.Errorf("workloads: Zipf exponent must exceed 1")
+	}
+	if o.MinWords < 1 || o.MaxWords < o.MinWords {
+		return fmt.Errorf("workloads: bad sentence bounds [%d, %d]", o.MinWords, o.MaxWords)
+	}
+	return nil
+}
+
+// word returns the i-th vocabulary entry.
+func (o TextOptions) word(i int) string {
+	if i < len(english) {
+		return english[i]
+	}
+	return fmt.Sprintf("w%05d", i)
+}
+
+// GenerateTextWith produces roughly size bytes of Zipf text under the given
+// options.
+func GenerateTextWith(size units.Bytes, seed int64, opts TextOptions) ([]byte, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	zipf := rand.NewZipf(rng, opts.ZipfS, 1.0, uint64(opts.Vocabulary-1))
+	var buf bytes.Buffer
+	buf.Grow(int(size) + 128)
+	span := opts.MaxWords - opts.MinWords + 1
+	for buf.Len() < int(size) {
+		n := opts.MinWords + rng.Intn(span)
+		for i := 0; i < n; i++ {
+			if i > 0 {
+				buf.WriteByte(' ')
+			}
+			buf.WriteString(opts.word(int(zipf.Uint64())))
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// TransactionOptions parameterizes the market-basket generator.
+type TransactionOptions struct {
+	// Items is the item-universe size.
+	Items int
+	// Patterns are the co-occurring item groups embedded in the data.
+	Patterns [][]int
+	// PatternProbability is each pattern's per-transaction inclusion odds.
+	PatternProbability float64
+	// MaxNoise bounds the random extra items per transaction.
+	MaxNoise int
+}
+
+// DefaultTransactionOptions mirrors GenerateTransactions' behaviour.
+func DefaultTransactionOptions() TransactionOptions {
+	return TransactionOptions{
+		Items:              transactionItems,
+		Patterns:           [][]int{{1, 2, 3}, {4, 5}, {6, 7, 8, 9}, {10, 11}, {2, 5, 12}},
+		PatternProbability: 0.3,
+		MaxNoise:           6,
+	}
+}
+
+// Validate checks the options.
+func (o TransactionOptions) Validate() error {
+	if o.Items < 2 {
+		return fmt.Errorf("workloads: need at least two items")
+	}
+	if o.PatternProbability < 0 || o.PatternProbability > 1 {
+		return fmt.Errorf("workloads: pattern probability %v out of [0,1]", o.PatternProbability)
+	}
+	if o.MaxNoise < 0 {
+		return fmt.Errorf("workloads: negative noise bound")
+	}
+	for _, p := range o.Patterns {
+		for _, it := range p {
+			if it < 0 || it >= o.Items {
+				return fmt.Errorf("workloads: pattern item %d outside universe of %d", it, o.Items)
+			}
+		}
+	}
+	return nil
+}
+
+// GenerateTransactionsWith produces roughly size bytes of transactions
+// under the given options.
+func GenerateTransactionsWith(size units.Bytes, seed int64, opts TransactionOptions) ([]byte, error) {
+	if err := opts.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var buf bytes.Buffer
+	buf.Grow(int(size) + 128)
+	for buf.Len() < int(size) {
+		seen := map[int]bool{}
+		emit := func(item int) {
+			if !seen[item] {
+				if len(seen) > 0 {
+					buf.WriteByte(' ')
+				}
+				fmt.Fprintf(&buf, "i%03d", item)
+				seen[item] = true
+			}
+		}
+		for _, p := range opts.Patterns {
+			if rng.Float64() < opts.PatternProbability {
+				for _, it := range p {
+					emit(it)
+				}
+			}
+		}
+		if opts.MaxNoise > 0 {
+			for n := rng.Intn(opts.MaxNoise + 1); n > 0; n-- {
+				emit(rng.Intn(opts.Items))
+			}
+		}
+		if len(seen) == 0 {
+			emit(rng.Intn(opts.Items))
+		}
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}

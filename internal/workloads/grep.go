@@ -1,0 +1,78 @@
+package workloads
+
+import (
+	"fmt"
+	"regexp"
+	"strings"
+
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+)
+
+// Grep extracts strings matching a pattern and counts match frequencies —
+// the paper's second CPU-intensive micro-benchmark, with hybrid behaviour
+// from its two internal stages (search, then sort by frequency).
+type Grep struct {
+	pattern string
+	re      *regexp.Regexp
+}
+
+// NewGrep returns a Grep workload for the given regular expression.
+func NewGrep(pattern string) *Grep {
+	return &Grep{pattern: pattern, re: regexp.MustCompile(pattern)}
+}
+
+// Name returns "grep".
+func (*Grep) Name() string { return "grep" }
+
+// Class returns Hybrid: grep's search phase is compute-bound but its
+// frequency-sort phase behaves like the sort benchmarks.
+func (*Grep) Class() Class { return Hybrid }
+
+// Generate produces Zipf-distributed text.
+func (*Grep) Generate(size units.Bytes, seed int64) []byte {
+	return GenerateText(size, seed)
+}
+
+// Spec returns the calibrated resource profile.
+func (*Grep) Spec() Spec { return grepSpec() }
+
+// Build assembles the search job: match words against the pattern, emit
+// (match, 1), sum with combiner and reducer. (Hadoop's grep example chains
+// a second tiny job to sort matches by frequency; SortByFrequency builds it.)
+func (g *Grep) Build(cfg mapreduce.Config, _ []byte) (mapreduce.Job, error) {
+	re := g.re
+	mapper := mapreduce.MapperFunc(func(_, line string, emit mapreduce.Emitter) error {
+		for _, w := range strings.Fields(line) {
+			if re.MatchString(w) {
+				emit(w, "1")
+			}
+		}
+		return nil
+	})
+	return mapreduce.Job{
+		Config:   cfg,
+		Mapper:   mapper,
+		Combiner: sumReducer(),
+		Reducer:  sumReducer(),
+	}, nil
+}
+
+// SortByFrequency builds grep's second stage: invert (word, count) records
+// into zero-padded (count, word) keys so the shuffle sorts by frequency.
+func (g *Grep) SortByFrequency(cfg mapreduce.Config) mapreduce.Job {
+	mapper := mapreduce.MapperFunc(func(_, line string, emit mapreduce.Emitter) error {
+		var word string
+		var count int
+		if _, err := fmt.Sscanf(line, "%s %d", &word, &count); err != nil {
+			return fmt.Errorf("grep: malformed count line %q: %w", line, err)
+		}
+		emit(fmt.Sprintf("%012d", count), word)
+		return nil
+	})
+	return mapreduce.Job{
+		Config:  cfg,
+		Mapper:  mapper,
+		Reducer: mapreduce.IdentityReducer(),
+	}
+}

@@ -1,0 +1,145 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+)
+
+// NaiveBayes trains a multinomial Naive Bayes text classifier with a
+// MapReduce job, the paper's Mahout-backed classification workload. Input
+// records are "label<TAB>word word ...".
+type NaiveBayes struct{}
+
+// NewNaiveBayes returns the Naive Bayes workload.
+func NewNaiveBayes() *NaiveBayes { return &NaiveBayes{} }
+
+// Name returns "naivebayes".
+func (*NaiveBayes) Name() string { return "naivebayes" }
+
+// Class returns Compute: the paper classifies NB as compute-intensive.
+func (*NaiveBayes) Class() Class { return Compute }
+
+// Generate produces labelled documents with class-conditional vocabularies.
+func (*NaiveBayes) Generate(size units.Bytes, seed int64) []byte {
+	return GenerateLabeledDocs(size, seed)
+}
+
+// Spec returns the calibrated resource profile.
+func (*NaiveBayes) Spec() Spec { return naiveBayesSpec() }
+
+// Training-counter key prefixes in the intermediate keyspace.
+const (
+	nbDocKey  = "doc|"  // nbDocKey+label        -> documents per class
+	nbWordKey = "word|" // nbWordKey+label|word  -> word occurrences per class
+)
+
+// Build assembles the training job: each document emits one per-class doc
+// count and one count per (class, word) pair; combiner and reducer sum.
+func (*NaiveBayes) Build(cfg mapreduce.Config, _ []byte) (mapreduce.Job, error) {
+	mapper := mapreduce.MapperFunc(func(_, line string, emit mapreduce.Emitter) error {
+		tab := strings.IndexByte(line, '\t')
+		if tab <= 0 {
+			return fmt.Errorf("naivebayes: malformed document %q", truncate(line, 40))
+		}
+		label := line[:tab]
+		emit(nbDocKey+label, "1")
+		for _, w := range strings.Fields(line[tab+1:]) {
+			emit(nbWordKey+label+"|"+w, "1")
+		}
+		return nil
+	})
+	return mapreduce.Job{
+		Config:   cfg,
+		Mapper:   mapper,
+		Combiner: sumReducer(),
+		Reducer:  sumReducer(),
+	}, nil
+}
+
+func truncate(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n] + "..."
+}
+
+// Model is a trained multinomial Naive Bayes classifier assembled from the
+// training job's output.
+type Model struct {
+	docCounts  map[string]int64            // label -> documents
+	wordCounts map[string]map[string]int64 // label -> word -> occurrences
+	totalWords map[string]int64            // label -> total word occurrences
+	vocab      map[string]bool
+	totalDocs  int64
+}
+
+// NewModel parses the training job output into a classifier.
+func NewModel(output []mapreduce.KV) (*Model, error) {
+	m := &Model{
+		docCounts:  make(map[string]int64),
+		wordCounts: make(map[string]map[string]int64),
+		totalWords: make(map[string]int64),
+		vocab:      make(map[string]bool),
+	}
+	for _, kv := range output {
+		n, err := strconv.ParseInt(kv.Value, 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("naivebayes: bad count %q for key %q: %w", kv.Value, kv.Key, err)
+		}
+		switch {
+		case strings.HasPrefix(kv.Key, nbDocKey):
+			label := kv.Key[len(nbDocKey):]
+			m.docCounts[label] += n
+			m.totalDocs += n
+		case strings.HasPrefix(kv.Key, nbWordKey):
+			rest := kv.Key[len(nbWordKey):]
+			sep := strings.IndexByte(rest, '|')
+			if sep <= 0 {
+				return nil, fmt.Errorf("naivebayes: malformed word key %q", kv.Key)
+			}
+			label, word := rest[:sep], rest[sep+1:]
+			if m.wordCounts[label] == nil {
+				m.wordCounts[label] = make(map[string]int64)
+			}
+			m.wordCounts[label][word] += n
+			m.totalWords[label] += n
+			m.vocab[word] = true
+		default:
+			return nil, fmt.Errorf("naivebayes: unexpected output key %q", kv.Key)
+		}
+	}
+	if m.totalDocs == 0 {
+		return nil, fmt.Errorf("naivebayes: empty model")
+	}
+	return m, nil
+}
+
+// Labels returns the number of classes seen in training.
+func (m *Model) Labels() int { return len(m.docCounts) }
+
+// VocabularySize returns the number of distinct words seen in training.
+func (m *Model) VocabularySize() int { return len(m.vocab) }
+
+// Classify returns the most likely label for a document's words, using
+// log-space multinomial Naive Bayes with Laplace smoothing.
+func (m *Model) Classify(words []string) string {
+	best, bestScore := "", math.Inf(-1)
+	v := float64(len(m.vocab))
+	for label, docs := range m.docCounts {
+		score := math.Log(float64(docs) / float64(m.totalDocs))
+		denom := float64(m.totalWords[label]) + v
+		for _, w := range words {
+			count := float64(m.wordCounts[label][w])
+			score += math.Log((count + 1) / denom)
+		}
+		if score > bestScore || (score == bestScore && label < best) {
+			best, bestScore = label, score
+		}
+	}
+	return best
+}

@@ -1,0 +1,191 @@
+package workloads
+
+import (
+	"heterohadoop/internal/isa"
+	"heterohadoop/internal/units"
+)
+
+// The specs below are the calibrated machine-independent profiles of the six
+// applications. Dataflow ratios (map output, combiner reduction) are
+// validated against real runs of the Go implementations by the trace tests;
+// compute parameters (instructions per byte, mix, memory behaviour) are
+// calibrated so the core models reproduce the paper's headline shapes:
+// Hadoop IPC well below SPEC (Fig 1), Xeon:Atom time gaps of ~1.7x for
+// WordCount up to ~15x for Sort (Fig 3), and FP-Growth's two-orders-larger
+// runtime than the micro-benchmarks (Fig 4).
+
+// wordCountSpec: CPU-intensive tokenizer + hash aggregation. High combiner
+// reduction thanks to Zipf word skew.
+func wordCountSpec() Spec {
+	return Spec{
+		MapProfile: isa.Profile{
+			Name:                 "wordcount/map",
+			InstructionsPerByte:  58,
+			Mix:                  isa.Mix{isa.IntALU: 0.47, isa.FPALU: 0.01, isa.Load: 0.25, isa.Store: 0.09, isa.Branch: 0.18},
+			Mem:                  isa.MemBehavior{WorkingSet: 3 * units.MB, Locality: 0.22, CompulsoryMissRatio: 0.004, Dependence: 0.25},
+			BranchMispredictRate: 0.05,
+			ILP:                  1.75,
+		},
+		ReduceProfile: isa.Profile{
+			Name:                 "wordcount/reduce",
+			InstructionsPerByte:  24,
+			Mix:                  isa.Mix{isa.IntALU: 0.38, isa.Load: 0.30, isa.Store: 0.14, isa.Branch: 0.18},
+			Mem:                  isa.MemBehavior{WorkingSet: 12 * units.MB, Locality: 0.25, CompulsoryMissRatio: 0.008, Dependence: 0.5},
+			BranchMispredictRate: 0.04,
+			ILP:                  1.8,
+		},
+		MapOutputRatio:    3.1, // traced: tiny (word,1) records carry framing overhead
+		ShuffleRatio:      0.04,
+		ReduceOutputRatio: 0.02,
+		SpillReduction:    6, // per-buffer combining on realistic vocabularies
+		HasReduce:         true,
+	}
+}
+
+// sortSpec: identity map, all the cost is streaming I/O and the
+// shuffle/sort, whose merge working set dwarfs every cache — the workload
+// where the big core's out-of-order latency hiding is worth an order of
+// magnitude. The paper treats Sort as having no reduce phase; the
+// ReduceProfile below describes the framework's shuffle-sort compute.
+func sortSpec() Spec {
+	return Spec{
+		MapProfile: isa.Profile{
+			Name:                 "sort/map",
+			InstructionsPerByte:  7,
+			Mix:                  isa.Mix{isa.IntALU: 0.32, isa.Load: 0.34, isa.Store: 0.20, isa.Branch: 0.14},
+			Mem:                  isa.MemBehavior{WorkingSet: 48 * units.MB, Locality: 0.2, CompulsoryMissRatio: 0.015, Dependence: 0.15},
+			BranchMispredictRate: 0.03,
+			ILP:                  1.8,
+		},
+		ReduceProfile: isa.Profile{
+			Name:                 "sort/shuffle-sort",
+			InstructionsPerByte:  55,
+			Mix:                  isa.Mix{isa.IntALU: 0.26, isa.Load: 0.38, isa.Store: 0.18, isa.Branch: 0.18},
+			Mem:                  isa.MemBehavior{WorkingSet: 128 * units.MB, Locality: 0.40, CompulsoryMissRatio: 0.03, Dependence: 0.95},
+			BranchMispredictRate: 0.07,
+			ILP:                  1.5,
+		},
+		MapOutputRatio:    1.07, // traced
+		ShuffleRatio:      1.07, // no combiner: the full volume shuffles
+		ReduceOutputRatio: 1.07,
+		SpillReduction:    1,
+		HasReduce:         false,
+		SortSpill:         true,
+	}
+}
+
+// grepSpec: CPU-intensive pattern matching with a tiny output (search
+// phase), followed by a small frequency sort — a hybrid per the paper.
+func grepSpec() Spec {
+	return Spec{
+		MapProfile: isa.Profile{
+			Name:                 "grep/map",
+			InstructionsPerByte:  38,
+			Mix:                  isa.Mix{isa.IntALU: 0.50, isa.Load: 0.24, isa.Store: 0.05, isa.Branch: 0.21},
+			Mem:                  isa.MemBehavior{WorkingSet: 900 * units.KB, Locality: 0.25, CompulsoryMissRatio: 0.004, Dependence: 0.1},
+			BranchMispredictRate: 0.06,
+			ILP:                  1.8,
+		},
+		ReduceProfile: isa.Profile{
+			Name:                 "grep/reduce",
+			InstructionsPerByte:  30,
+			Mix:                  isa.Mix{isa.IntALU: 0.34, isa.Load: 0.32, isa.Store: 0.15, isa.Branch: 0.19},
+			Mem:                  isa.MemBehavior{WorkingSet: 16 * units.MB, Locality: 0.3, CompulsoryMissRatio: 0.010, Dependence: 0.6},
+			BranchMispredictRate: 0.05,
+			ILP:                  1.8,
+		},
+		MapOutputRatio:    0.12, // traced
+		ShuffleRatio:      0.003,
+		ReduceOutputRatio: 0.002,
+		SpillReduction:    3,
+		HasReduce:         true,
+	}
+}
+
+// teraSortSpec: hybrid — moderate map compute, full-volume shuffle, n log n
+// reduce-side merge.
+func teraSortSpec() Spec {
+	return Spec{
+		MapProfile: isa.Profile{
+			Name:                 "terasort/map",
+			InstructionsPerByte:  13,
+			Mix:                  isa.Mix{isa.IntALU: 0.36, isa.Load: 0.31, isa.Store: 0.17, isa.Branch: 0.16},
+			Mem:                  isa.MemBehavior{WorkingSet: 1 * units.MB, Locality: 0.25, CompulsoryMissRatio: 0.010, Dependence: 0.12},
+			BranchMispredictRate: 0.04,
+			ILP:                  1.8,
+		},
+		ReduceProfile: isa.Profile{
+			Name:                 "terasort/reduce",
+			InstructionsPerByte:  18,
+			Mix:                  isa.Mix{isa.IntALU: 0.33, isa.Load: 0.33, isa.Store: 0.17, isa.Branch: 0.17},
+			Mem:                  isa.MemBehavior{WorkingSet: 32 * units.MB, Locality: 0.3, CompulsoryMissRatio: 0.012, Dependence: 0.4},
+			BranchMispredictRate: 0.05,
+			ILP:                  2.0,
+		},
+		MapOutputRatio:    1.06, // traced
+		ShuffleRatio:      1.06, // no combiner: the full volume shuffles
+		ReduceOutputRatio: 1.06,
+		SpillReduction:    1,
+		HasReduce:         true,
+		SortSpill:         true,
+	}
+}
+
+// naiveBayesSpec: compute-bound classifier training — tokenization plus
+// per-(label,word) aggregation with a large model working set; the reduce
+// phase is memory-intensive (the paper's EDP-inversion case).
+func naiveBayesSpec() Spec {
+	return Spec{
+		MapProfile: isa.Profile{
+			Name:                 "naivebayes/map",
+			InstructionsPerByte:  72,
+			Mix:                  isa.Mix{isa.IntALU: 0.44, isa.FPALU: 0.06, isa.Load: 0.26, isa.Store: 0.08, isa.Branch: 0.16},
+			Mem:                  isa.MemBehavior{WorkingSet: 4 * units.MB, Locality: 0.22, CompulsoryMissRatio: 0.005, Dependence: 0.2},
+			BranchMispredictRate: 0.045,
+			ILP:                  1.8,
+		},
+		ReduceProfile: isa.Profile{
+			Name:                 "naivebayes/reduce",
+			InstructionsPerByte:  40,
+			Mix:                  isa.Mix{isa.IntALU: 0.30, isa.FPALU: 0.08, isa.Load: 0.33, isa.Store: 0.12, isa.Branch: 0.17},
+			Mem:                  isa.MemBehavior{WorkingSet: 48 * units.MB, Locality: 0.2, CompulsoryMissRatio: 0.015, Dependence: 0.15},
+			BranchMispredictRate: 0.05,
+			ILP:                  1.7,
+		},
+		MapOutputRatio:    5.5, // traced: one record per (label,word) pair
+		ShuffleRatio:      0.35,
+		ReduceOutputRatio: 0.10,
+		SpillReduction:    6,
+		HasReduce:         true,
+	}
+}
+
+// fpGrowthSpec: the resource-intensive pattern miner — FP-tree construction
+// and recursive mining dominate, giving it the two-orders-larger runtime of
+// the paper's Fig 4, with a memory-hungry reduce (tree mining happens
+// reduce-side in parallel FP-growth).
+func fpGrowthSpec() Spec {
+	return Spec{
+		MapProfile: isa.Profile{
+			Name:                 "fpgrowth/map",
+			InstructionsPerByte:  420,
+			Mix:                  isa.Mix{isa.IntALU: 0.45, isa.FPALU: 0.02, isa.Load: 0.27, isa.Store: 0.09, isa.Branch: 0.17},
+			Mem:                  isa.MemBehavior{WorkingSet: 4 * units.MB, Locality: 0.25, CompulsoryMissRatio: 0.006, Dependence: 0.12},
+			BranchMispredictRate: 0.05,
+			ILP:                  1.8,
+		},
+		ReduceProfile: isa.Profile{
+			Name:                 "fpgrowth/reduce",
+			InstructionsPerByte:  105,
+			Mix:                  isa.Mix{isa.IntALU: 0.40, isa.Load: 0.31, isa.Store: 0.11, isa.Branch: 0.18},
+			Mem:                  isa.MemBehavior{WorkingSet: 8 * units.MB, Locality: 0.3, CompulsoryMissRatio: 0.012, Dependence: 0.2},
+			BranchMispredictRate: 0.06,
+			ILP:                  1.6,
+		},
+		MapOutputRatio:    7.1, // traced: per-item prefix paths blow up quadratically
+		ShuffleRatio:      2.5,
+		ReduceOutputRatio: 0.15,
+		SpillReduction:    1.5,
+		HasReduce:         true,
+	}
+}

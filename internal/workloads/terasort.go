@@ -1,0 +1,62 @@
+package workloads
+
+import (
+	"strings"
+
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+)
+
+// TeraSort performs a scalable sort of TeraGen-format records: it samples
+// the input to compute quantile cut keys, range-partitions on the 10-byte
+// key, and relies on the shuffle for ordering — the paper's hybrid
+// micro-benchmark.
+type TeraSort struct{}
+
+// NewTeraSort returns the TeraSort workload.
+func NewTeraSort() *TeraSort { return &TeraSort{} }
+
+// Name returns "terasort".
+func (*TeraSort) Name() string { return "terasort" }
+
+// Class returns Hybrid per the paper's characterization.
+func (*TeraSort) Class() Class { return Hybrid }
+
+// Generate produces TeraGen-format records.
+func (*TeraSort) Generate(size units.Bytes, seed int64) []byte {
+	return GenerateTeraRecords(size, seed)
+}
+
+// Spec returns the calibrated resource profile.
+func (*TeraSort) Spec() Spec { return teraSortSpec() }
+
+// teraKey extracts the 10-byte sort key from a record line.
+func teraKey(line string) string {
+	if i := strings.IndexByte(line, '\t'); i >= 0 {
+		return line[:i]
+	}
+	return line
+}
+
+// Build samples the input for quantile cuts and assembles the sort job.
+func (*TeraSort) Build(cfg mapreduce.Config, input []byte) (mapreduce.Job, error) {
+	cuts, err := sampleCuts(input, cfg.NumReducers, teraKey)
+	if err != nil {
+		return mapreduce.Job{}, err
+	}
+	mapper := mapreduce.MapperFunc(func(_, line string, emit mapreduce.Emitter) error {
+		key := teraKey(line)
+		value := ""
+		if len(key) < len(line) {
+			value = line[len(key)+1:]
+		}
+		emit(key, value)
+		return nil
+	})
+	return mapreduce.Job{
+		Config:      cfg,
+		Mapper:      mapper,
+		Reducer:     mapreduce.IdentityReducer(),
+		Partitioner: mapreduce.RangePartitioner(cuts),
+	}, nil
+}

@@ -1,0 +1,63 @@
+package workloads
+
+import (
+	"strconv"
+	"strings"
+
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+)
+
+// WordCount reads text and counts how often each word appears — the paper's
+// canonical CPU-intensive micro-benchmark.
+type WordCount struct{}
+
+// NewWordCount returns the WordCount workload.
+func NewWordCount() *WordCount { return &WordCount{} }
+
+// Name returns "wordcount".
+func (*WordCount) Name() string { return "wordcount" }
+
+// Class returns Compute: the paper classifies WordCount as CPU-intensive.
+func (*WordCount) Class() Class { return Compute }
+
+// Generate produces Zipf-distributed text.
+func (*WordCount) Generate(size units.Bytes, seed int64) []byte {
+	return GenerateText(size, seed)
+}
+
+// Spec returns the calibrated resource profile.
+func (*WordCount) Spec() Spec { return wordCountSpec() }
+
+// sumReducer adds up integer counts; it serves as both combiner and reducer.
+func sumReducer() mapreduce.Reducer {
+	return mapreduce.ReducerFunc(func(key string, values []string, emit mapreduce.Emitter) error {
+		total := 0
+		for _, v := range values {
+			n, err := strconv.Atoi(v)
+			if err != nil {
+				return err
+			}
+			total += n
+		}
+		emit(key, strconv.Itoa(total))
+		return nil
+	})
+}
+
+// Build assembles the word-count job: tokenize, emit (word, 1), combine and
+// reduce by summation.
+func (*WordCount) Build(cfg mapreduce.Config, _ []byte) (mapreduce.Job, error) {
+	mapper := mapreduce.MapperFunc(func(_, line string, emit mapreduce.Emitter) error {
+		for _, w := range strings.Fields(line) {
+			emit(w, "1")
+		}
+		return nil
+	})
+	return mapreduce.Job{
+		Config:   cfg,
+		Mapper:   mapper,
+		Combiner: sumReducer(),
+		Reducer:  sumReducer(),
+	}, nil
+}

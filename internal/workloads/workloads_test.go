@@ -1,0 +1,599 @@
+package workloads
+
+import (
+	"bytes"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"heterohadoop/internal/hdfs"
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+)
+
+// runWorkload generates input, builds the job and runs it end to end.
+func runWorkload(t *testing.T, w Workload, size units.Bytes, blockSize units.Bytes, reducers int) (*mapreduce.Result, []byte) {
+	t.Helper()
+	input := w.Generate(size, 42)
+	store, err := hdfs.NewStore(hdfs.Config{BlockSize: blockSize, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write("input", input); err != nil {
+		t.Fatal(err)
+	}
+	cfg := mapreduce.DefaultConfig(w.Name())
+	cfg.NumReducers = reducers
+	cfg.Parallelism = 4
+	job, err := w.Build(cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapreduce.NewEngine(store).Run(job, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, input
+}
+
+func TestAllRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 6 {
+		t.Fatalf("All() has %d workloads, want 6", len(all))
+	}
+	wantNames := []string{"wordcount", "sort", "grep", "terasort", "naivebayes", "fpgrowth"}
+	for i, w := range all {
+		if w.Name() != wantNames[i] {
+			t.Errorf("All()[%d] = %s, want %s", i, w.Name(), wantNames[i])
+		}
+		if err := w.Spec().Validate(); err != nil {
+			t.Errorf("%s: invalid spec: %v", w.Name(), err)
+		}
+	}
+	if len(MicroBenchmarks()) != 4 || len(RealWorld()) != 2 {
+		t.Error("micro/real split wrong")
+	}
+	if _, err := ByName("wordcount"); err != nil {
+		t.Errorf("ByName(wordcount): %v", err)
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("ByName accepted unknown workload")
+	}
+}
+
+func TestPaperClassification(t *testing.T) {
+	// Paper: WordCount, NB, FP compute-bound; Sort I/O; Grep, TeraSort hybrid.
+	want := map[string]Class{
+		"wordcount": Compute, "sort": IO, "grep": Hybrid,
+		"terasort": Hybrid, "naivebayes": Compute, "fpgrowth": Compute,
+	}
+	for _, w := range All() {
+		if w.Class() != want[w.Name()] {
+			t.Errorf("%s classified %v, want %v", w.Name(), w.Class(), want[w.Name()])
+		}
+	}
+	if Compute.String() != "C" || IO.String() != "I" || Hybrid.String() != "H" {
+		t.Error("class codes wrong")
+	}
+}
+
+func TestGeneratorsDeterministicAndSized(t *testing.T) {
+	gens := map[string]func(units.Bytes, int64) []byte{
+		"text":         GenerateText,
+		"tera":         GenerateTeraRecords,
+		"numbers":      GenerateNumbers,
+		"transactions": GenerateTransactions,
+		"labeled":      GenerateLabeledDocs,
+	}
+	for name, gen := range gens {
+		a := gen(8*units.KB, 1)
+		b := gen(8*units.KB, 1)
+		if !bytes.Equal(a, b) {
+			t.Errorf("%s: not deterministic for same seed", name)
+		}
+		c := gen(8*units.KB, 2)
+		if bytes.Equal(a, c) {
+			t.Errorf("%s: identical output for different seeds", name)
+		}
+		if len(a) < int(8*units.KB) || len(a) > int(9*units.KB) {
+			t.Errorf("%s: size %d outside requested ~8KB", name, len(a))
+		}
+		if a[len(a)-1] != '\n' {
+			t.Errorf("%s: output not newline-terminated", name)
+		}
+	}
+}
+
+func TestWordCountMatchesDirectCount(t *testing.T) {
+	res, input := runWorkload(t, NewWordCount(), 16*units.KB, 4*units.KB, 3)
+	want := make(map[string]int)
+	for _, w := range strings.Fields(string(input)) {
+		want[w]++
+	}
+	got := make(map[string]int)
+	for _, p := range res.Output {
+		for _, kv := range p {
+			n, err := strconv.Atoi(kv.Value)
+			if err != nil {
+				t.Fatalf("bad count %q", kv.Value)
+			}
+			if _, dup := got[kv.Key]; dup {
+				t.Fatalf("duplicate key %q", kv.Key)
+			}
+			got[kv.Key] = n
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d distinct words, want %d", len(got), len(want))
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("count[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+	if res.Counters.CombinerReduction() <= 2 {
+		t.Errorf("Zipf text should combine well, got reduction %.2f", res.Counters.CombinerReduction())
+	}
+}
+
+func TestSortProducesGlobalOrder(t *testing.T) {
+	res, input := runWorkload(t, NewSort(), 16*units.KB, 4*units.KB, 4)
+	var got []string
+	for _, p := range res.Output {
+		for _, kv := range p {
+			got = append(got, kv.Key)
+		}
+	}
+	want := strings.Split(strings.TrimRight(string(input), "\n"), "\n")
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("%d output records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("output[%d] = %q, want %q (global order violated)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestTeraSortGlobalOrderAndPayloadPreserved(t *testing.T) {
+	res, input := runWorkload(t, NewTeraSort(), 32*units.KB, 8*units.KB, 4)
+	lines := strings.Split(strings.TrimRight(string(input), "\n"), "\n")
+	wantKeys := make([]string, len(lines))
+	for i, l := range lines {
+		wantKeys[i] = teraKey(l)
+	}
+	sort.Strings(wantKeys)
+
+	var gotKeys []string
+	for _, p := range res.Output {
+		for _, kv := range p {
+			gotKeys = append(gotKeys, kv.Key)
+			if len(kv.Value) < TeraValueLen {
+				t.Fatalf("payload truncated: %d bytes", len(kv.Value))
+			}
+		}
+	}
+	if len(gotKeys) != len(wantKeys) {
+		t.Fatalf("%d records out, want %d", len(gotKeys), len(wantKeys))
+	}
+	for i := range wantKeys {
+		if gotKeys[i] != wantKeys[i] {
+			t.Fatalf("key[%d] = %q, want %q", i, gotKeys[i], wantKeys[i])
+		}
+	}
+}
+
+func TestGrepFindsAllMatches(t *testing.T) {
+	g := NewGrep("ou")
+	res, input := runWorkload(t, g, 16*units.KB, 4*units.KB, 2)
+	want := make(map[string]int)
+	for _, w := range strings.Fields(string(input)) {
+		if strings.Contains(w, "ou") {
+			want[w]++
+		}
+	}
+	got := make(map[string]int)
+	for _, p := range res.Output {
+		for _, kv := range p {
+			n, _ := strconv.Atoi(kv.Value)
+			got[kv.Key] = n
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d matched words, want %d", len(got), len(want))
+	}
+	for w, n := range want {
+		if got[w] != n {
+			t.Errorf("match[%q] = %d, want %d", w, got[w], n)
+		}
+	}
+	// Output is far smaller than input: grep's tiny map-output ratio.
+	if res.Counters.MapOutputRatio() > 0.5 {
+		t.Errorf("grep map output ratio %.2f unexpectedly high", res.Counters.MapOutputRatio())
+	}
+}
+
+func TestGrepSortByFrequencyStage(t *testing.T) {
+	g := NewGrep("ou")
+	res, _ := runWorkload(t, g, 8*units.KB, 2*units.KB, 1)
+	// Feed stage-1 output into stage 2.
+	var sb strings.Builder
+	for _, p := range res.Output {
+		for _, kv := range p {
+			sb.WriteString(kv.Key + " " + kv.Value + "\n")
+		}
+	}
+	store, err := hdfs.NewStore(hdfs.Config{BlockSize: 4 * units.KB, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write("stage1", []byte(sb.String())); err != nil {
+		t.Fatal(err)
+	}
+	cfg := mapreduce.DefaultConfig("grep-sort")
+	res2, err := mapreduce.NewEngine(store).Run(g.SortByFrequency(cfg), "stage1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res2.Output[0]
+	if len(out) == 0 {
+		t.Fatal("empty frequency-sorted output")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Key < out[i-1].Key {
+			t.Fatalf("frequency order violated at %d", i)
+		}
+	}
+}
+
+func TestNaiveBayesModelLearns(t *testing.T) {
+	nb := NewNaiveBayes()
+	res, _ := runWorkload(t, nb, 64*units.KB, 16*units.KB, 3)
+	model, err := NewModel(res.SortedOutput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if model.Labels() != len(nbClasses) {
+		t.Errorf("model has %d labels, want %d", model.Labels(), len(nbClasses))
+	}
+	if model.VocabularySize() == 0 {
+		t.Error("empty vocabulary")
+	}
+	// Classify a held-out set generated with a different seed; the corpus is
+	// learnable by construction, so accuracy must clearly beat chance (25%).
+	test := GenerateLabeledDocs(16*units.KB, 999)
+	correct, total := 0, 0
+	for _, line := range strings.Split(strings.TrimRight(string(test), "\n"), "\n") {
+		tab := strings.IndexByte(line, '\t')
+		if tab <= 0 {
+			continue
+		}
+		total++
+		if model.Classify(strings.Fields(line[tab+1:])) == line[:tab] {
+			correct++
+		}
+	}
+	acc := float64(correct) / float64(total)
+	if acc < 0.45 {
+		t.Errorf("held-out accuracy %.2f, want >= 0.45 (chance is 0.25)", acc)
+	}
+}
+
+func TestNaiveBayesModelErrors(t *testing.T) {
+	if _, err := NewModel(nil); err == nil {
+		t.Error("empty model accepted")
+	}
+	if _, err := NewModel([]mapreduce.KV{{Key: "bogus", Value: "1"}}); err == nil {
+		t.Error("unknown key accepted")
+	}
+	if _, err := NewModel([]mapreduce.KV{{Key: nbDocKey + "a", Value: "x"}}); err == nil {
+		t.Error("non-numeric count accepted")
+	}
+	if _, err := NewModel([]mapreduce.KV{{Key: nbWordKey + "noSep", Value: "1"}}); err == nil {
+		t.Error("malformed word key accepted")
+	}
+}
+
+func TestFPTreeMinesKnownPatterns(t *testing.T) {
+	// Classic example: {a,b} appears 3 times, {a} 4, {b} 3, {c} 2.
+	txs := [][]string{
+		{"a", "b", "c"},
+		{"a", "b"},
+		{"a", "b", "d"},
+		{"a", "c"},
+		{"e"},
+	}
+	patterns := MineTransactions(txs, 2)
+	got := make(map[string]int)
+	for _, p := range patterns {
+		got[p.Key()] = p.Support
+	}
+	want := map[string]int{
+		"a": 4, "b": 3, "c": 2, "a,b": 3, "a,c": 2,
+	}
+	if len(got) != len(want) {
+		t.Fatalf("mined %v, want %v", got, want)
+	}
+	for k, s := range want {
+		if got[k] != s {
+			t.Errorf("support[%s] = %d, want %d", k, got[k], s)
+		}
+	}
+}
+
+func TestFPTreeSingleItemAndEmpty(t *testing.T) {
+	tree := NewFPTree(1)
+	if !tree.Empty() {
+		t.Error("new tree not empty")
+	}
+	tree.Insert([]string{"x"}, 3)
+	tree.Insert(nil, 5)           // no-op
+	tree.Insert([]string{"x"}, 0) // non-positive count ignored
+	if tree.Support("x") != 3 {
+		t.Errorf("support(x) = %d, want 3", tree.Support("x"))
+	}
+	pats := tree.Mine()
+	if len(pats) != 1 || pats[0].Key() != "x" || pats[0].Support != 3 {
+		t.Errorf("Mine = %v", pats)
+	}
+}
+
+func TestDistributedFPGrowthMatchesReference(t *testing.T) {
+	fp := NewFPGrowth(3)
+	input := GenerateTransactions(8*units.KB, 7)
+	var txs [][]string
+	for _, line := range strings.Split(strings.TrimRight(string(input), "\n"), "\n") {
+		txs = append(txs, strings.Fields(line))
+	}
+	want := make(map[string]int)
+	for _, p := range MineTransactions(txs, 3) {
+		want[p.Key()] = p.Support
+	}
+
+	store, err := hdfs.NewStore(hdfs.Config{BlockSize: 2 * units.KB, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write("tx", input); err != nil {
+		t.Fatal(err)
+	}
+	cfg := mapreduce.DefaultConfig("fpgrowth")
+	cfg.NumReducers = 4
+	cfg.Parallelism = 4
+	job, err := fp.Build(cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapreduce.NewEngine(store).Run(job, "tx")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pats, err := ParsePatterns(res.SortedOutput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make(map[string]int)
+	for _, p := range pats {
+		if _, dup := got[p.Key()]; dup {
+			t.Fatalf("pattern %q mined twice", p.Key())
+		}
+		got[p.Key()] = p.Support
+	}
+	if len(got) != len(want) {
+		t.Fatalf("distributed mined %d patterns, reference %d", len(got), len(want))
+	}
+	for k, s := range want {
+		if got[k] != s {
+			t.Errorf("support[%s] = %d, want %d", k, got[k], s)
+		}
+	}
+	if len(want) < 10 {
+		t.Fatalf("test corpus too sparse: only %d patterns", len(want))
+	}
+}
+
+func TestFPGrowthEmbeddedPatternsFound(t *testing.T) {
+	fp := NewFPGrowth(5)
+	res, _ := runWorkload(t, fp, 8*units.KB, 2*units.KB, 2)
+	pats, err := ParsePatterns(res.SortedOutput())
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[string]bool)
+	for _, p := range pats {
+		keys[p.Key()] = true
+	}
+	// The generator embeds {i001,i002,i003} and {i004,i005} with ~30%
+	// probability each; at 8 KB (hundreds of transactions) they must be
+	// frequent.
+	for _, want := range []string{"i001,i002,i003", "i004,i005"} {
+		if !keys[want] {
+			t.Errorf("embedded pattern %s not mined (got %d patterns)", want, len(pats))
+		}
+	}
+}
+
+func TestSpecCombinerReduction(t *testing.T) {
+	s := wordCountSpec()
+	want := s.MapOutputRatio / s.ShuffleRatio
+	if got := s.CombinerReduction(); got != want {
+		t.Errorf("CombinerReduction = %v, want %v", got, want)
+	}
+	if got := sortSpec().CombinerReduction(); got != 1 {
+		t.Errorf("no-combiner reduction = %v, want 1", got)
+	}
+}
+
+func TestSpecValidateRejectsBad(t *testing.T) {
+	s := wordCountSpec()
+	s.ShuffleRatio = s.MapOutputRatio * 2
+	if err := s.Validate(); err == nil {
+		t.Error("shuffle ratio above map output accepted")
+	}
+	s = wordCountSpec()
+	s.MapOutputRatio = -1
+	if err := s.Validate(); err == nil {
+		t.Error("negative output ratio accepted")
+	}
+	s = wordCountSpec()
+	s.MapProfile.ILP = 0
+	if err := s.Validate(); err == nil {
+		t.Error("invalid map profile accepted")
+	}
+}
+
+func TestSampleCutsErrors(t *testing.T) {
+	if cuts, err := sampleCuts([]byte("a\nb\n"), 1, func(s string) string { return s }); err != nil || cuts != nil {
+		t.Errorf("single reducer should need no cuts, got %v, %v", cuts, err)
+	}
+	if _, err := sampleCuts([]byte("a\n"), 5, func(s string) string { return s }); err == nil {
+		t.Error("too few samples accepted")
+	}
+	cuts, err := sampleCuts([]byte("d\nb\na\nc\n"), 2, func(s string) string { return s })
+	if err != nil || len(cuts) != 1 {
+		t.Fatalf("cuts = %v, err %v", cuts, err)
+	}
+	if cuts[0] != "c" {
+		t.Errorf("median cut = %q, want c", cuts[0])
+	}
+}
+
+// TestGrepFullPipeline chains grep's two jobs (search, then sort matches by
+// frequency) through the engine's pipeline support and checks the final
+// frequency order against a direct count.
+func TestGrepFullPipeline(t *testing.T) {
+	g := NewGrep("ou")
+	input := g.Generate(16*units.KB, 3)
+	store, err := hdfs.NewStore(hdfs.Config{BlockSize: 4 * units.KB, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write("in", input); err != nil {
+		t.Fatal(err)
+	}
+	stages := []mapreduce.Stage{
+		{Name: "search", Build: func(in []byte) (mapreduce.Job, error) {
+			cfg := mapreduce.DefaultConfig("grep-search")
+			cfg.NumReducers = 2
+			return g.Build(cfg, in)
+		}},
+		{Name: "freqsort", Build: func([]byte) (mapreduce.Job, error) {
+			return g.SortByFrequency(mapreduce.DefaultConfig("grep-sort")), nil
+		}},
+	}
+	res, err := mapreduce.NewEngine(store).RunPipeline(stages, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := res.Final.Output[0]
+	if len(out) == 0 {
+		t.Fatal("empty pipeline output")
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Key < out[i-1].Key {
+			t.Fatalf("frequency order violated at %d", i)
+		}
+	}
+	// The most frequent match must be the word with the highest direct count.
+	counts := map[string]int{}
+	for _, w := range strings.Fields(string(input)) {
+		if strings.Contains(w, "ou") {
+			counts[w]++
+		}
+	}
+	bestWord, bestCount := "", 0
+	for w, n := range counts {
+		if n > bestCount {
+			bestWord, bestCount = w, n
+		}
+	}
+	if got := out[len(out)-1].Value; got != bestWord {
+		t.Errorf("top match = %q, want %q (count %d)", got, bestWord, bestCount)
+	}
+}
+
+func TestGenerateTextWithOptions(t *testing.T) {
+	// Bigger vocabularies produce more distinct words; higher skew fewer.
+	distinct := func(opts TextOptions) int {
+		data, err := GenerateTextWith(64*units.KB, 9, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen := map[string]bool{}
+		for _, w := range strings.Fields(string(data)) {
+			seen[w] = true
+		}
+		return len(seen)
+	}
+	small := DefaultTextOptions()
+	big := DefaultTextOptions()
+	big.Vocabulary = 5000
+	if d1, d2 := distinct(small), distinct(big); d2 <= d1 {
+		t.Errorf("5000-word vocabulary produced %d distinct vs %d for default", d2, d1)
+	}
+	flat := DefaultTextOptions()
+	flat.Vocabulary = 5000
+	flat.ZipfS = 1.01
+	steep := flat
+	steep.ZipfS = 3.0
+	if df, ds := distinct(flat), distinct(steep); ds >= df {
+		t.Errorf("steeper skew produced %d distinct vs %d for flat", ds, df)
+	}
+	// Option validation.
+	bad := DefaultTextOptions()
+	bad.Vocabulary = 0
+	if _, err := GenerateTextWith(units.KB, 1, bad); err == nil {
+		t.Error("zero vocabulary accepted")
+	}
+	bad = DefaultTextOptions()
+	bad.ZipfS = 1.0
+	if _, err := GenerateTextWith(units.KB, 1, bad); err == nil {
+		t.Error("Zipf exponent 1.0 accepted")
+	}
+	bad = DefaultTextOptions()
+	bad.MaxWords = bad.MinWords - 1
+	if _, err := GenerateTextWith(units.KB, 1, bad); err == nil {
+		t.Error("inverted sentence bounds accepted")
+	}
+}
+
+func TestGenerateTransactionsWithOptions(t *testing.T) {
+	opts := DefaultTransactionOptions()
+	opts.Patterns = [][]int{{7, 8, 9}}
+	opts.PatternProbability = 0.9
+	opts.MaxNoise = 0
+	data, err := GenerateTransactionsWith(4*units.KB, 21, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With the pattern at 90% and no noise, {7,8,9} must dominate.
+	var txs [][]string
+	for _, line := range strings.Split(strings.TrimRight(string(data), "\n"), "\n") {
+		txs = append(txs, strings.Fields(line))
+	}
+	pats := MineTransactions(txs, len(txs)/2)
+	keys := map[string]bool{}
+	for _, p := range pats {
+		keys[p.Key()] = true
+	}
+	if !keys["i007,i008,i009"] {
+		t.Errorf("dominant pattern not mined; got %d patterns", len(pats))
+	}
+	bad := DefaultTransactionOptions()
+	bad.Patterns = [][]int{{999}}
+	if _, err := GenerateTransactionsWith(units.KB, 1, bad); err == nil {
+		t.Error("out-of-universe pattern item accepted")
+	}
+	bad = DefaultTransactionOptions()
+	bad.PatternProbability = 1.5
+	if _, err := GenerateTransactionsWith(units.KB, 1, bad); err == nil {
+		t.Error("probability > 1 accepted")
+	}
+	bad = DefaultTransactionOptions()
+	bad.Items = 1
+	if _, err := GenerateTransactionsWith(units.KB, 1, bad); err == nil {
+		t.Error("single-item universe accepted")
+	}
+}
