@@ -8,6 +8,7 @@ package heterohadoop_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"heterohadoop/internal/expt"
@@ -18,22 +19,40 @@ import (
 	"heterohadoop/internal/workloads"
 )
 
-// benchArtefact runs one expt generator per iteration.
+// benchArtefact runs one expt generator per iteration, as a pair of
+// sub-benchmarks: "serial" pins the sweep pool to one worker, "parallel"
+// uses one worker per CPU. The simulator result cache is cleared before
+// every iteration so each measures the cost of a cold regeneration —
+// compare the pair to see the executor speedup, e.g.
+//
+//	go test -bench 'Fig03|Fig17|Table3' -count 5
 func benchArtefact(b *testing.B, id string) {
 	b.Helper()
 	g, err := expt.ByID(id)
 	if err != nil {
 		b.Fatal(err)
 	}
-	var rows int
-	for i := 0; i < b.N; i++ {
-		tbl, err := g.Run()
-		if err != nil {
-			b.Fatal(err)
-		}
-		rows = len(tbl.Rows)
+	for _, mode := range []struct {
+		name  string
+		width int
+	}{
+		{"serial", 1},
+		{"parallel", runtime.NumCPU()},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			defer expt.SetParallelism(expt.SetParallelism(mode.width))
+			var rows int
+			for i := 0; i < b.N; i++ {
+				sim.ResetCache()
+				tbl, err := g.Run()
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows = len(tbl.Rows)
+			}
+			b.ReportMetric(float64(rows), "rows")
+		})
 	}
-	b.ReportMetric(float64(rows), "rows")
 }
 
 func BenchmarkTable1Architecture(b *testing.B)    { benchArtefact(b, "table1") }
@@ -57,6 +76,35 @@ func BenchmarkFig16AccelBlockSize(b *testing.B)   { benchArtefact(b, "fig16") }
 func BenchmarkTable3Cost(b *testing.B)            { benchArtefact(b, "table3") }
 func BenchmarkFig17Spider(b *testing.B)           { benchArtefact(b, "fig17") }
 func BenchmarkSchedulingCase(b *testing.B)        { benchArtefact(b, "sched") }
+
+// BenchmarkFullEvaluation regenerates every artefact per iteration.
+// "cold" clears the result cache each time, so it still benefits from
+// cells shared across artefacts within the pass; "warm" keeps the cache
+// populated across iterations — the steady-state cost of re-running the
+// evaluation in one process.
+func BenchmarkFullEvaluation(b *testing.B) {
+	for _, mode := range []struct {
+		name string
+		cold bool
+	}{
+		{"cold", true},
+		{"warm", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			sim.ResetCache()
+			for i := 0; i < b.N; i++ {
+				if mode.cold {
+					sim.ResetCache()
+				}
+				for _, g := range expt.All() {
+					if _, err := g.Run(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
 
 // ---- engine micro-benchmarks: the real execution path under load ----
 

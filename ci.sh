@@ -1,0 +1,11 @@
+#!/bin/sh
+# ci.sh — the repository's continuous-integration gate.
+#
+# Runs the static checks, a full build, and the test suite under the race
+# detector (the sweep executor and result cache are concurrent by default,
+# so -race is part of the gate, not an optional extra).
+set -eux
+
+go vet ./...
+go build ./...
+go test -race ./...

@@ -104,11 +104,32 @@ func TestExperimentsCLI(t *testing.T) {
 	if !strings.HasPrefix(string(data), "Suite,") {
 		t.Errorf("CSV header wrong: %q", string(data[:20]))
 	}
-	if err := exec.Command(bin, "-only", "fig99").Run(); err == nil {
+	// Unknown ids are all rejected upfront with the valid ids listed.
+	msg, err := exec.Command(bin, "-only", "fig99,bogus,fig1").CombinedOutput()
+	if err == nil {
 		t.Error("unknown artefact accepted")
+	}
+	for _, want := range []string{"unknown artefact id(s)", "fig99", "bogus", "valid ids:", "table3"} {
+		if !strings.Contains(string(msg), want) {
+			t.Errorf("unknown-id error missing %q:\n%s", want, msg)
+		}
 	}
 	if err := exec.Command(bin, "-format", "xml").Run(); err == nil {
 		t.Error("unknown format accepted")
+	}
+	if err := exec.Command(bin, "-parallel", "0").Run(); err == nil {
+		t.Error("-parallel 0 accepted")
+	}
+	// -v reports the simulator cache counters on stderr.
+	out = run(t, bin, "-only", "fig5", "-v")
+	if !strings.Contains(out, "sim cache:") || !strings.Contains(out, "hit rate") {
+		t.Errorf("-v missing cache statistics:\n%s", out)
+	}
+	// Serial and parallel regeneration must be byte-identical.
+	serial := run(t, bin, "-only", "fig3,table3", "-parallel", "1")
+	parallel := run(t, bin, "-only", "fig3,table3", "-parallel", "4")
+	if serial != parallel {
+		t.Errorf("-parallel 1 and -parallel 4 outputs differ:\n%s\n----\n%s", serial, parallel)
 	}
 }
 

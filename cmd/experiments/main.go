@@ -6,7 +6,9 @@
 //	experiments                      # regenerate everything, in the paper's order
 //	experiments -list                # list artefact ids
 //	experiments -only fig3,table3
+//	experiments -parallel 1          # serial sweeps (default: one worker per CPU)
 //	experiments -format csv -outdir results/   # one CSV per artefact
+//	experiments -v                   # report simulator cache statistics on stderr
 package main
 
 import (
@@ -15,9 +17,13 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"sort"
 	"strings"
 
 	"heterohadoop/internal/expt"
+	"heterohadoop/internal/pool"
+	"heterohadoop/internal/sim"
 )
 
 func main() {
@@ -26,6 +32,8 @@ func main() {
 	format := flag.String("format", "text", "output format: text|csv|md")
 	outdir := flag.String("outdir", "", "write one file per artefact into this directory (default stdout)")
 	chart := flag.String("chart", "", "render this column as an ASCII bar chart instead of a table")
+	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool width for sweeps and artefact generation (1 = serial)")
+	verbose := flag.Bool("v", false, "print simulator cache statistics to stderr")
 	flag.Parse()
 
 	if *list {
@@ -35,20 +43,17 @@ func main() {
 		return
 	}
 
-	gens := expt.All()
-	if *only != "" {
-		gens = gens[:0]
-		for _, id := range strings.Split(*only, ",") {
-			g, err := expt.ByID(strings.TrimSpace(id))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
-			}
-			gens = append(gens, g)
-		}
+	gens, err := selectGenerators(*only)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
 	}
 	if *format != "text" && *format != "csv" && *format != "md" {
 		fmt.Fprintf(os.Stderr, "unknown format %q (text|csv|md)\n", *format)
+		os.Exit(2)
+	}
+	if *parallel < 1 {
+		fmt.Fprintf(os.Stderr, "-parallel must be >= 1, got %d\n", *parallel)
 		os.Exit(2)
 	}
 	if *outdir != "" {
@@ -57,43 +62,97 @@ func main() {
 			os.Exit(1)
 		}
 	}
-	for _, g := range gens {
-		tbl, err := g.Run()
+
+	// Sweep grids and artefact generation share the pool width; tables are
+	// produced concurrently but rendered serially in the paper's order.
+	expt.SetParallelism(*parallel)
+	tables, err := pool.Map(*parallel, len(gens), func(i int) (expt.Table, error) {
+		tbl, err := gens[i].Run()
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", g.ID, err)
+			return expt.Table{}, fmt.Errorf("%s: %v", gens[i].ID, err)
+		}
+		return tbl, nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	for _, tbl := range tables {
+		if err := render(tbl, *format, *outdir, *chart); err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		var w io.Writer = os.Stdout
-		if *outdir != "" {
-			ext := ".txt"
-			switch *format {
-			case "csv":
-				ext = ".csv"
-			case "md":
-				ext = ".md"
-			}
-			f, err := os.Create(filepath.Join(*outdir, g.ID+ext))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			w = f
-			defer f.Close()
+	}
+	if *verbose {
+		s := sim.Stats()
+		fmt.Fprintf(os.Stderr,
+			"sim cache: %d hits, %d misses, %d coalesced, %d in flight, %d entries, %.1f%% hit rate\n",
+			s.Hits, s.Misses, s.Coalesced, s.InFlight, s.Entries, 100*s.HitRate())
+	}
+}
+
+// selectGenerators resolves -only to an ordered generator list, rejecting
+// every unknown id upfront — before any artefact is generated — with a
+// message listing the valid ids.
+func selectGenerators(only string) ([]expt.Generator, error) {
+	if only == "" {
+		return expt.All(), nil
+	}
+	var gens []expt.Generator
+	var unknown []string
+	for _, id := range strings.Split(only, ",") {
+		id = strings.TrimSpace(id)
+		if id == "" {
+			continue
 		}
-		var werr error
-		switch {
-		case *chart != "":
-			werr = tbl.RenderBars(w, *chart, 48)
-		case *format == "csv":
-			werr = tbl.WriteCSV(w)
-		case *format == "md":
-			werr = tbl.WriteMarkdown(w)
-		default:
-			werr = tbl.Fprint(w)
+		g, err := expt.ByID(id)
+		if err != nil {
+			unknown = append(unknown, id)
+			continue
 		}
-		if werr != nil {
-			fmt.Fprintln(os.Stderr, werr)
-			os.Exit(1)
+		gens = append(gens, g)
+	}
+	if len(unknown) > 0 {
+		var valid []string
+		for _, g := range expt.All() {
+			valid = append(valid, g.ID)
 		}
+		sort.Strings(valid)
+		return nil, fmt.Errorf("unknown artefact id(s): %s\nvalid ids: %s",
+			strings.Join(unknown, ", "), strings.Join(valid, ", "))
+	}
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("-only selected no artefacts")
+	}
+	return gens, nil
+}
+
+// render writes one table to stdout or its per-artefact file.
+func render(tbl expt.Table, format, outdir, chart string) error {
+	var w io.Writer = os.Stdout
+	if outdir != "" {
+		ext := ".txt"
+		switch format {
+		case "csv":
+			ext = ".csv"
+		case "md":
+			ext = ".md"
+		}
+		f, err := os.Create(filepath.Join(outdir, tbl.ID+ext))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	switch {
+	case chart != "":
+		return tbl.RenderBars(w, chart, 48)
+	case format == "csv":
+		return tbl.WriteCSV(w)
+	case format == "md":
+		return tbl.WriteMarkdown(w)
+	default:
+		return tbl.Fprint(w)
 	}
 }

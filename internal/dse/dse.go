@@ -14,6 +14,7 @@ import (
 	"heterohadoop/internal/cache"
 	"heterohadoop/internal/cpu"
 	"heterohadoop/internal/hdfs"
+	"heterohadoop/internal/pool"
 	"heterohadoop/internal/power"
 	"heterohadoop/internal/sim"
 	"heterohadoop/internal/units"
@@ -128,7 +129,11 @@ func PaperMix() Mix {
 }
 
 // Explore scores every candidate on the mix at the given knobs and marks
-// the Pareto frontier. Results are sorted by EDP ascending.
+// the Pareto frontier. Results are sorted by EDP ascending. The flattened
+// (candidate x mix entry) grid runs across the worker pool, and each
+// simulation goes through the result cache; the per-candidate totals are
+// accumulated serially in mix order, so results are identical at any
+// pool width.
 func Explore(space []Candidate, mix Mix, block units.Bytes, f units.Hertz, cores int) ([]Result, error) {
 	if len(space) == 0 {
 		return nil, fmt.Errorf("dse: empty candidate space")
@@ -136,25 +141,36 @@ func Explore(space []Candidate, mix Mix, block units.Bytes, f units.Hertz, cores
 	if len(mix) == 0 {
 		return nil, fmt.Errorf("dse: empty workload mix")
 	}
-	results := make([]Result, 0, len(space))
 	for _, cand := range space {
 		if cores < 1 || cores > cand.Core.MaxCores {
 			return nil, fmt.Errorf("dse: %s: %d cores out of range", cand.Name, cores)
 		}
+	}
+	reports, err := pool.Map(pool.DefaultWidth(), len(space)*len(mix), func(k int) (sim.Report, error) {
+		cand := space[k/len(mix)]
+		entry := mix[k%len(mix)]
 		node := sim.Node{Core: cand.Core, Power: cand.Power, Disk: defaultDisk(), ActiveCores: cores}
+		r, err := sim.RunCached(sim.NewCluster(node), sim.JobSpec{
+			Name:        entry.Workload.Name(),
+			Spec:        entry.Workload.Spec(),
+			DataPerNode: entry.Data,
+			BlockSize:   block,
+			Frequency:   f,
+		})
+		if err != nil {
+			return sim.Report{}, fmt.Errorf("dse: %s on %s: %w", entry.Workload.Name(), cand.Name, err)
+		}
+		return r, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	results := make([]Result, 0, len(space))
+	for ci, cand := range space {
 		var delay units.Seconds
 		var energy units.Joules
-		for _, entry := range mix {
-			r, err := sim.Run(sim.NewCluster(node), sim.JobSpec{
-				Name:        entry.Workload.Name(),
-				Spec:        entry.Workload.Spec(),
-				DataPerNode: entry.Data,
-				BlockSize:   block,
-				Frequency:   f,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("dse: %s on %s: %w", entry.Workload.Name(), cand.Name, err)
-			}
+		for mi, entry := range mix {
+			r := reports[ci*len(mix)+mi]
 			delay += units.Seconds(float64(r.Total.Time) * entry.Weight)
 			energy += units.Joules(float64(r.Total.Energy) * entry.Weight)
 		}

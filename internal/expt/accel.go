@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"heterohadoop/internal/accel"
+	"heterohadoop/internal/pool"
 	"heterohadoop/internal/sim"
 	"heterohadoop/internal/units"
 	"heterohadoop/internal/workloads"
@@ -34,24 +35,30 @@ func accelRatio(w workloads.Workload, blockMB int, fGHz, acceleration float64) (
 	return accel.SpeedupRatio(aB, xB, aA, xA), nil
 }
 
-// accelTable builds a table of Eq. 1 ratios over a swept parameter.
+// accelTable builds a table of Eq. 1 ratios over a swept parameter. The
+// (value, workload) grid is flattened onto the worker pool; each ratio's
+// four simulator runs go through the result cache, so the 512 MB / 1.8 GHz
+// cells shared between Figs 14-16 are computed once.
 func accelTable(id, title, param string, values []string, eval func(w workloads.Workload, i int) (float64, error)) (Table, error) {
+	all := workloads.All()
 	header := append([]string{param}, func() []string {
 		var h []string
-		for _, w := range workloads.All() {
+		for _, w := range all {
 			h = append(h, shortName(w.Name()))
 		}
 		return h
 	}()...)
+	ratios, err := pool.Map(Parallelism(), len(values)*len(all), func(k int) (float64, error) {
+		return eval(all[k%len(all)], k/len(all))
+	})
+	if err != nil {
+		return Table{}, err
+	}
 	var rows [][]string
 	for i, v := range values {
 		row := []string{v}
-		for _, w := range workloads.All() {
-			r, err := eval(w, i)
-			if err != nil {
-				return Table{}, err
-			}
-			row = append(row, f2(r))
+		for wi := range all {
+			row = append(row, f2(ratios[i*len(all)+wi]))
 		}
 		rows = append(rows, row)
 	}

@@ -5,30 +5,53 @@ import (
 
 	"heterohadoop/internal/cpu"
 	"heterohadoop/internal/metrics"
+	"heterohadoop/internal/pool"
 	"heterohadoop/internal/sched"
 	"heterohadoop/internal/units"
 	"heterohadoop/internal/workloads"
 )
 
 // costSamples evaluates all (platform, core count) cells of Table 3 for one
-// workload.
+// workload, fanning the cell grid out across the pool. The underlying
+// simulations are cached, so Table 3, Fig 17 and the scheduling search all
+// share one evaluation per cell.
 func costSamples(w workloads.Workload) (map[string]metrics.Sample, error) {
-	out := make(map[string]metrics.Sample, 8)
 	data := paperDataSize(w.Name())
+	type costCell struct {
+		kind  cpu.Kind
+		key   string
+		cores int
+	}
+	var cells []costCell
 	for _, kind := range []cpu.Kind{cpu.Little, cpu.Big} {
 		label := "A"
 		if kind == cpu.Big {
 			label = "X"
 		}
 		for _, m := range sched.CoreCounts {
-			s, err := sched.Evaluate(w, kind, m, data, 1.8*units.GHz)
-			if err != nil {
-				return nil, err
-			}
-			out[fmt.Sprintf("%s%d", label, m)] = s
+			cells = append(cells, costCell{kind, fmt.Sprintf("%s%d", label, m), m})
 		}
 	}
+	samples, err := pool.Map(Parallelism(), len(cells), func(i int) (metrics.Sample, error) {
+		return sched.Evaluate(w, cells[i].kind, cells[i].cores, data, 1.8*units.GHz)
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]metrics.Sample, len(cells))
+	for i, c := range cells {
+		out[c.key] = samples[i]
+	}
 	return out, nil
+}
+
+// allCostSamples evaluates costSamples for every workload concurrently,
+// returned in workloads.All() order.
+func allCostSamples() ([]map[string]metrics.Sample, error) {
+	all := workloads.All()
+	return pool.Map(Parallelism(), len(all), func(i int) (map[string]metrics.Sample, error) {
+		return costSamples(all[i])
+	})
 }
 
 // Table3 reproduces the operational and capital cost table: EDP, ED2P, EDAP
@@ -44,14 +67,15 @@ func Table3() (Table, error) {
 		{"EDAP (J mm2 s)", func(s metrics.Sample) float64 { return s.EDAP() }},
 		{"ED2AP (J mm2 s2)", func(s metrics.Sample) float64 { return s.ED2AP() }},
 	}
+	bySample, err := allCostSamples()
+	if err != nil {
+		return Table{}, err
+	}
 	var rows [][]string
 	cells := []string{"A2", "A4", "A6", "A8", "X2", "X4", "X6", "X8"}
 	for _, mt := range metricsList {
-		for _, w := range workloads.All() {
-			samples, err := costSamples(w)
-			if err != nil {
-				return Table{}, err
-			}
+		for wi, w := range workloads.All() {
+			samples := bySample[wi]
 			row := []string{mt.name, shortName(w.Name())}
 			for _, c := range cells {
 				row = append(row, sci(mt.score(samples[c])))
@@ -71,12 +95,13 @@ func Table3() (Table, error) {
 // (platform, core count), normalized to the 8-Xeon-core configuration.
 func Fig17() (Table, error) {
 	header := []string{"Workload", "Config", "EDP", "ED2P", "EDAP", "ED2AP"}
+	bySample, err := allCostSamples()
+	if err != nil {
+		return Table{}, err
+	}
 	var rows [][]string
-	for _, w := range workloads.All() {
-		samples, err := costSamples(w)
-		if err != nil {
-			return Table{}, err
-		}
+	for wi, w := range workloads.All() {
+		samples := bySample[wi]
 		ref := samples["X8"]
 		for _, c := range []string{"A2", "A4", "A6", "A8", "X2", "X4", "X6", "X8"} {
 			s := samples[c]
@@ -101,27 +126,30 @@ func Fig17() (Table, error) {
 // the exhaustive-search optimum for each workload under each goal.
 func SchedulingCase() (Table, error) {
 	header := []string{"Workload", "Class", "Goal", "Policy", "Optimal", "Optimal score"}
-	var rows [][]string
-	for _, w := range workloads.All() {
-		for _, goal := range []sched.Goal{sched.MinEDP, sched.MinED2P, sched.MinEDAP, sched.MinED2AP} {
-			policy := sched.Policy(w.Class(), goal)
-			opt, sample, err := sched.Optimal(w, goal, paperDataSize(w.Name()), 1.8*units.GHz)
-			if err != nil {
-				return Table{}, err
-			}
-			score := map[sched.Goal]func() float64{
-				sched.MinEDP:   sample.EDP,
-				sched.MinED2P:  sample.ED2P,
-				sched.MinEDAP:  sample.EDAP,
-				sched.MinED2AP: sample.ED2AP,
-			}[goal]()
-			rows = append(rows, []string{
-				shortName(w.Name()), w.Class().String(), goal.String(),
-				fmt.Sprintf("%v/%d", policy.Kind, policy.Cores),
-				fmt.Sprintf("%v/%d", opt.Kind, opt.Cores),
-				sci(score),
-			})
+	all := workloads.All()
+	goals := []sched.Goal{sched.MinEDP, sched.MinED2P, sched.MinEDAP, sched.MinED2AP}
+	rows, err := mapRows(len(all)*len(goals), func(k int) ([]string, error) {
+		w, goal := all[k/len(goals)], goals[k%len(goals)]
+		policy := sched.Policy(w.Class(), goal)
+		opt, sample, err := sched.Optimal(w, goal, paperDataSize(w.Name()), 1.8*units.GHz)
+		if err != nil {
+			return nil, err
 		}
+		score := map[sched.Goal]func() float64{
+			sched.MinEDP:   sample.EDP,
+			sched.MinED2P:  sample.ED2P,
+			sched.MinEDAP:  sample.EDAP,
+			sched.MinED2AP: sample.ED2AP,
+		}[goal]()
+		return []string{
+			shortName(w.Name()), w.Class().String(), goal.String(),
+			fmt.Sprintf("%v/%d", policy.Kind, policy.Cores),
+			fmt.Sprintf("%v/%d", opt.Kind, opt.Cores),
+			sci(score),
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
 	return Table{
 		ID:     "sched",

@@ -161,9 +161,10 @@ func shortName(name string) string {
 	}
 }
 
-// run simulates one configuration.
+// run simulates one configuration through the process-wide result cache,
+// so cells shared between artefacts are only ever computed once.
 func run(w workloads.Workload, node sim.Node, data units.Bytes, blockMB int, fGHz float64) (sim.Report, error) {
-	return sim.Run(sim.NewCluster(node), sim.JobSpec{
+	return sim.RunCached(sim.NewCluster(node), sim.JobSpec{
 		Name:        w.Name(),
 		Spec:        w.Spec(),
 		DataPerNode: data,

@@ -47,35 +47,40 @@ func ExtDSE() (Table, error) {
 }
 
 // ExtPhaseSplit compares homogeneous deployments against the little-map/
-// big-reduce split for every workload.
+// big-reduce split for every workload. Workload rows run on the pool; the
+// homogeneous runs coalesce with the split's per-side runs in the cache.
 func ExtPhaseSplit() (Table, error) {
 	little := sim.NewCluster(sim.AtomNode(8))
 	big := sim.NewCluster(sim.XeonNode(8))
-	var rows [][]string
-	for _, w := range workloads.All() {
+	all := workloads.All()
+	rows, err := mapRows(len(all), func(i int) ([]string, error) {
+		w := all[i]
 		job := sim.JobSpec{
 			Name: w.Name(), Spec: w.Spec(), DataPerNode: paperDataSize(w.Name()),
 			BlockSize: 512 * units.MB, Frequency: 1.8 * units.GHz,
 		}
-		homoL, err := sim.Run(little, job)
+		homoL, err := sim.RunCached(little, job)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		homoB, err := sim.Run(big, job)
+		homoB, err := sim.RunCached(big, job)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		split, err := sim.RunPhaseSplit(little, big, job)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
-		rows = append(rows, []string{
+		return []string{
 			shortName(w.Name()),
 			f1(float64(homoL.Total.Time)), sci(edpOf(homoL.Total)),
 			f1(float64(homoB.Total.Time)), sci(edpOf(homoB.Total)),
 			f1(float64(split.Total.Time)), sci(split.EDP()),
 			f1(float64(split.Handoff.Time)),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
 	return Table{
 		ID:    "ext-phasesplit",
@@ -90,28 +95,32 @@ func ExtPhaseSplit() (Table, error) {
 // every workload on the little cluster.
 func ExtPerPhaseDVFS() (Table, error) {
 	cluster := sim.NewCluster(sim.AtomNode(8))
-	var rows [][]string
-	for _, w := range workloads.All() {
+	all := workloads.All()
+	rows, err := mapRows(len(all), func(i int) ([]string, error) {
+		w := all[i]
 		job := sim.JobSpec{
 			Name: w.Name(), Spec: w.Spec(), DataPerNode: paperDataSize(w.Name()),
 			BlockSize: 512 * units.MB, Frequency: 1.8 * units.GHz,
 		}
 		uniform, err := sim.RunPerPhaseDVFS(cluster, job, 1.8, 1.8)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		best, err := sim.BestPerPhaseDVFS(cluster, job)
 		if err != nil {
-			return Table{}, err
+			return nil, err
 		}
 		saving := 1 - best.EDP()/uniform.EDP()
-		rows = append(rows, []string{
+		return []string{
 			shortName(w.Name()),
 			fmt.Sprintf("%.1f/%.1f", best.MapFrequency, best.ReduceFrequency),
 			sci(uniform.EDP()),
 			sci(best.EDP()),
 			fmt.Sprintf("%.1f%%", 100*saving),
-		})
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
 	return Table{
 		ID:     "ext-dvfs",
@@ -125,32 +134,35 @@ func ExtPerPhaseDVFS() (Table, error) {
 // components (cores, uncore, DRAM, disk) on both platforms — the
 // constituents the paper's wall meter aggregates.
 func ExtPowerBreakdown() (Table, error) {
-	var rows [][]string
-	for _, w := range workloads.All() {
-		for _, p := range []struct {
-			label string
-			node  sim.Node
-			model power.Model
-		}{
-			{"Atom", sim.AtomNode(8), power.AtomNode()},
-			{"Xeon", sim.XeonNode(8), power.XeonNode()},
-		} {
-			r, err := sim.Run(sim.NewCluster(p.node), sim.JobSpec{
-				Name: w.Name(), Spec: w.Spec(), DataPerNode: paperDataSize(w.Name()),
-				BlockSize: 512 * units.MB, Frequency: 1.8 * units.GHz,
-			})
-			if err != nil {
-				return Table{}, err
-			}
-			m, _ := r.MapReduceOnly()
-			b := p.model.DynamicBreakdown(m.Draw)
-			rows = append(rows, []string{
-				shortName(w.Name()), p.label,
-				f1(float64(m.AvgPower)),
-				f1(float64(b.Cores)), f1(float64(b.Uncore)),
-				f1(float64(b.DRAM)), f1(float64(b.Disk)),
-			})
+	all := workloads.All()
+	plats := []struct {
+		label string
+		node  sim.Node
+		model power.Model
+	}{
+		{"Atom", sim.AtomNode(8), power.AtomNode()},
+		{"Xeon", sim.XeonNode(8), power.XeonNode()},
+	}
+	rows, err := mapRows(len(all)*len(plats), func(k int) ([]string, error) {
+		w, p := all[k/len(plats)], plats[k%len(plats)]
+		r, err := sim.RunCached(sim.NewCluster(p.node), sim.JobSpec{
+			Name: w.Name(), Spec: w.Spec(), DataPerNode: paperDataSize(w.Name()),
+			BlockSize: 512 * units.MB, Frequency: 1.8 * units.GHz,
+		})
+		if err != nil {
+			return nil, err
 		}
+		m, _ := r.MapReduceOnly()
+		b := p.model.DynamicBreakdown(m.Draw)
+		return []string{
+			shortName(w.Name()), p.label,
+			f1(float64(m.AvgPower)),
+			f1(float64(b.Cores)), f1(float64(b.Uncore)),
+			f1(float64(b.DRAM)), f1(float64(b.Disk)),
+		}, nil
+	})
+	if err != nil {
+		return Table{}, err
 	}
 	return Table{
 		ID:     "ext-power",

@@ -22,24 +22,45 @@ func bothPlatforms() []platform {
 	}
 }
 
+// atomFirst orders the platforms as the EDP figures present them.
+func atomFirst() []platform {
+	return []platform{
+		{"Atom", func() sim.Node { return sim.AtomNode(8) }},
+		{"Xeon", func() sim.Node { return sim.XeonNode(8) }},
+	}
+}
+
 // execTimeSweep builds the Fig 3/4 style table: execution time for every
-// (platform, frequency, block size) cell.
+// (platform, frequency, block size) cell. The cell grid runs on the pool;
+// rows are assembled serially in grid order.
 func execTimeSweep(id, title string, ws []workloads.Workload, blockSizes []int, data func(string) units.Bytes) (Table, error) {
 	header := []string{"Platform", "Freq[GHz]", "Block[MB]"}
 	for _, w := range ws {
 		header = append(header, shortName(w.Name())+"[s]")
 	}
+	var cells []simCell
+	for _, p := range bothPlatforms() {
+		for _, f := range paperFrequencies {
+			for _, bs := range blockSizes {
+				for _, w := range ws {
+					cells = append(cells, simCell{w, p.node(), data(w.Name()), bs, f})
+				}
+			}
+		}
+	}
+	reps, err := runCells(cells)
+	if err != nil {
+		return Table{}, err
+	}
 	var rows [][]string
+	i := 0
 	for _, p := range bothPlatforms() {
 		for _, f := range paperFrequencies {
 			for _, bs := range blockSizes {
 				row := []string{p.label, f1(f), fmt.Sprintf("%d", bs)}
-				for _, w := range ws {
-					r, err := run(w, p.node(), data(w.Name()), bs, f)
-					if err != nil {
-						return Table{}, err
-					}
-					row = append(row, f1(float64(r.Total.Time)))
+				for range ws {
+					row = append(row, f1(float64(reps[i].Total.Time)))
+					i++
 				}
 				rows = append(rows, row)
 			}
@@ -68,31 +89,42 @@ func Fig4() (Table, error) {
 
 // edpVsFrequency builds the Fig 5/6 style table: whole-application EDP per
 // (platform, frequency), normalized per workload to Atom at 1.2 GHz with
-// the 512 MB block, exactly as the paper normalizes.
+// the 512 MB block, exactly as the paper normalizes. The normalization
+// reference cells are appended to the grid; the cache coalesces them with
+// their grid duplicates, so they cost nothing extra.
 func edpVsFrequency(id, title string, ws []workloads.Workload) (Table, error) {
 	header := []string{"Platform", "Freq[GHz]"}
 	for _, w := range ws {
 		header = append(header, shortName(w.Name()))
 	}
-	// Normalization references.
-	refs := map[string]float64{}
-	for _, w := range ws {
-		r, err := run(w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.2)
-		if err != nil {
-			return Table{}, err
+	var cells []simCell
+	for _, p := range atomFirst() {
+		for _, f := range paperFrequencies {
+			for _, w := range ws {
+				cells = append(cells, simCell{w, p.node(), paperDataSize(w.Name()), 512, f})
+			}
 		}
-		refs[w.Name()] = edpOf(r.Total)
+	}
+	gridLen := len(cells)
+	for _, w := range ws {
+		cells = append(cells, simCell{w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.2})
+	}
+	reps, err := runCells(cells)
+	if err != nil {
+		return Table{}, err
+	}
+	refs := map[string]float64{}
+	for wi, w := range ws {
+		refs[w.Name()] = edpOf(reps[gridLen+wi].Total)
 	}
 	var rows [][]string
-	for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
+	i := 0
+	for _, p := range atomFirst() {
 		for _, f := range paperFrequencies {
 			row := []string{p.label, f1(f)}
 			for _, w := range ws {
-				r, err := run(w, p.node(), paperDataSize(w.Name()), 512, f)
-				if err != nil {
-					return Table{}, err
-				}
-				row = append(row, f2(edpOf(r.Total)/refs[w.Name()]))
+				row = append(row, f2(edpOf(reps[i].Total)/refs[w.Name()]))
+				i++
 			}
 			rows = append(rows, row)
 		}
@@ -121,17 +153,29 @@ func phaseEDP(id, title string, ws []workloads.Workload) (Table, error) {
 	for _, w := range ws {
 		header = append(header, shortName(w.Name())+"-map", shortName(w.Name())+"-red")
 	}
+	var cells []simCell
+	for _, p := range atomFirst() {
+		for _, f := range paperFrequencies {
+			for _, w := range ws {
+				cells = append(cells, simCell{w, p.node(), paperDataSize(w.Name()), 512, f})
+			}
+		}
+	}
+	gridLen := len(cells)
+	for _, w := range ws {
+		cells = append(cells, simCell{w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.2})
+	}
+	reps, err := runCells(cells)
+	if err != nil {
+		return Table{}, err
+	}
 	type refKey struct {
 		name  string
 		phase int
 	}
 	refs := map[refKey]float64{}
-	for _, w := range ws {
-		r, err := run(w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.2)
-		if err != nil {
-			return Table{}, err
-		}
-		m, red := r.MapReduceOnly()
+	for wi, w := range ws {
+		m, red := reps[gridLen+wi].MapReduceOnly()
 		refs[refKey{w.Name(), 0}] = edpOf(m)
 		refs[refKey{w.Name(), 1}] = edpOf(red)
 	}
@@ -142,15 +186,13 @@ func phaseEDP(id, title string, ws []workloads.Workload) (Table, error) {
 		return f2(v / ref)
 	}
 	var rows [][]string
-	for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
+	i := 0
+	for _, p := range atomFirst() {
 		for _, f := range paperFrequencies {
 			row := []string{p.label, f1(f)}
 			for _, w := range ws {
-				r, err := run(w, p.node(), paperDataSize(w.Name()), 512, f)
-				if err != nil {
-					return Table{}, err
-				}
-				m, red := r.MapReduceOnly()
+				m, red := reps[i].MapReduceOnly()
+				i++
 				row = append(row,
 					norm(edpOf(m), refs[refKey{w.Name(), 0}]),
 					norm(edpOf(red), refs[refKey{w.Name(), 1}]))
@@ -182,18 +224,25 @@ func Fig9() (Table, error) {
 	for _, w := range workloads.All() {
 		header = append(header, shortName(w.Name()))
 	}
+	var cells []simCell
+	for _, bs := range microBlockSizes {
+		for _, w := range workloads.All() {
+			cells = append(cells,
+				simCell{w, sim.AtomNode(8), paperDataSize(w.Name()), bs, 1.8},
+				simCell{w, sim.XeonNode(8), paperDataSize(w.Name()), bs, 1.8})
+		}
+	}
+	reps, err := runCells(cells)
+	if err != nil {
+		return Table{}, err
+	}
 	var rows [][]string
+	i := 0
 	for _, bs := range microBlockSizes {
 		row := []string{fmt.Sprintf("%d", bs)}
-		for _, w := range workloads.All() {
-			a, err := run(w, sim.AtomNode(8), paperDataSize(w.Name()), bs, 1.8)
-			if err != nil {
-				return Table{}, err
-			}
-			x, err := run(w, sim.XeonNode(8), paperDataSize(w.Name()), bs, 1.8)
-			if err != nil {
-				return Table{}, err
-			}
+		for range workloads.All() {
+			a, x := reps[i], reps[i+1]
+			i += 2
 			row = append(row, f2(edpOf(x.Total)/edpOf(a.Total)))
 		}
 		rows = append(rows, row)
@@ -209,17 +258,41 @@ func Fig9() (Table, error) {
 // dataSizes are the per-node input sweeps of Figs 10-13.
 var dataSizes = []units.Bytes{units.GB, 10 * units.GB, 20 * units.GB}
 
+// dataSizeGrid enumerates the Fig 10-13 cell grid (workload x platform x
+// data size at 512 MB / 1.8 GHz) and runs it on the pool. The returned
+// index function addresses a report by its loop coordinates.
+func dataSizeGrid(ws []workloads.Workload) ([]sim.Report, func(wi, pi, si int) sim.Report, error) {
+	var cells []simCell
+	for _, w := range ws {
+		for _, p := range atomFirst() {
+			for _, sz := range dataSizes {
+				cells = append(cells, simCell{w, p.node(), sz, 512, 1.8})
+			}
+		}
+	}
+	reps, err := runCells(cells)
+	if err != nil {
+		return nil, nil, err
+	}
+	stride := len(atomFirst()) * len(dataSizes)
+	at := func(wi, pi, si int) sim.Report {
+		return reps[wi*stride+pi*len(dataSizes)+si]
+	}
+	return reps, at, nil
+}
+
 // breakdownSweep builds the Fig 10/11 style table: per-phase execution time
 // share plus the total, per (workload, platform, data size).
 func breakdownSweep(id, title string, ws []workloads.Workload) (Table, error) {
+	_, at, err := dataSizeGrid(ws)
+	if err != nil {
+		return Table{}, err
+	}
 	var rows [][]string
-	for _, w := range ws {
-		for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
-			for _, sz := range dataSizes {
-				r, err := run(w, p.node(), sz, 512, 1.8)
-				if err != nil {
-					return Table{}, err
-				}
+	for wi, w := range ws {
+		for pi, p := range atomFirst() {
+			for si, sz := range dataSizes {
+				r := at(wi, pi, si)
 				m, red := r.MapReduceOnly()
 				oth := r.Others()
 				tot := float64(r.Total.Time)
@@ -261,17 +334,17 @@ func Fig11() (Table, error) {
 // to Atom at 1 GB.
 func Fig12() (Table, error) {
 	header := []string{"Workload", "Platform", "1GB", "10GB", "20GB"}
+	_, at, err := dataSizeGrid(workloads.All())
+	if err != nil {
+		return Table{}, err
+	}
 	var rows [][]string
-	for _, w := range workloads.All() {
+	for wi, w := range workloads.All() {
 		ref := 0.0
-		for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
+		for pi, p := range atomFirst() {
 			row := []string{shortName(w.Name()), p.label}
-			for _, sz := range dataSizes {
-				r, err := run(w, p.node(), sz, 512, 1.8)
-				if err != nil {
-					return Table{}, err
-				}
-				v := edpOf(r.Total)
+			for si := range dataSizes {
+				v := edpOf(at(wi, pi, si).Total)
 				if ref == 0 {
 					ref = v
 				}
@@ -289,21 +362,22 @@ func Fig12() (Table, error) {
 }
 
 // Fig13 gives map- and reduce-phase EDP vs data size, normalized per
-// workload and phase to Atom at 1 GB.
+// workload and phase to Atom at 1 GB. Both phase passes read the same
+// cached grid instead of re-simulating it.
 func Fig13() (Table, error) {
 	header := []string{"Workload", "Platform", "Phase", "1GB", "10GB", "20GB"}
+	_, at, err := dataSizeGrid(workloads.All())
+	if err != nil {
+		return Table{}, err
+	}
 	var rows [][]string
-	for _, w := range workloads.All() {
+	for wi, w := range workloads.All() {
 		for phaseIdx, phaseName := range []string{"map", "reduce"} {
 			ref := 0.0
-			for _, p := range []platform{{"Atom", func() sim.Node { return sim.AtomNode(8) }}, {"Xeon", func() sim.Node { return sim.XeonNode(8) }}} {
+			for pi, p := range atomFirst() {
 				row := []string{shortName(w.Name()), p.label, phaseName}
-				for _, sz := range dataSizes {
-					r, err := run(w, p.node(), sz, 512, 1.8)
-					if err != nil {
-						return Table{}, err
-					}
-					m, red := r.MapReduceOnly()
+				for si := range dataSizes {
+					m, red := at(wi, pi, si).MapReduceOnly()
 					v := edpOf(m)
 					if phaseIdx == 1 {
 						v = edpOf(red)

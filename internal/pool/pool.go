@@ -1,0 +1,90 @@
+// Package pool provides the bounded worker pool behind the parallel
+// evaluation pipeline: ordered fan-out of a fixed index space across a
+// configurable number of goroutines. Results come back in index order, so
+// callers that assemble rows from them produce byte-identical output at
+// any width — the property the artefact golden files pin down.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultWidth is the pool width used when callers pass a non-positive
+// width: one worker per schedulable CPU.
+func DefaultWidth() int { return runtime.GOMAXPROCS(0) }
+
+// Map evaluates fn(i) for every i in [0, n) on up to width goroutines and
+// returns the results in index order. A non-positive width means
+// DefaultWidth; width 1 runs inline with no goroutines. On failure Map
+// stops handing out new indices and returns the error of the lowest
+// failing index among those evaluated, with a nil slice.
+func Map[T any](width, n int, fn func(int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if width <= 0 {
+		width = DefaultWidth()
+	}
+	if width > n {
+		width = n
+	}
+	out := make([]T, n)
+	if width == 1 {
+		for i := 0; i < n; i++ {
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		wg     sync.WaitGroup
+
+		mu       sync.Mutex
+		firstIdx = -1
+		firstErr error
+	)
+	worker := func() {
+		defer wg.Done()
+		for {
+			i := int(next.Add(1)) - 1
+			if i >= n || failed.Load() {
+				return
+			}
+			v, err := fn(i)
+			if err != nil {
+				failed.Store(true)
+				mu.Lock()
+				if firstIdx < 0 || i < firstIdx {
+					firstIdx, firstErr = i, err
+				}
+				mu.Unlock()
+				return
+			}
+			out[i] = v
+		}
+	}
+	wg.Add(width)
+	for w := 0; w < width; w++ {
+		go worker()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return out, nil
+}
+
+// ForEach is Map for side-effecting work without per-index results.
+func ForEach(width, n int, fn func(int) error) error {
+	_, err := Map(width, n, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

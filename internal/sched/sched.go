@@ -128,7 +128,7 @@ func Evaluate(w workloads.Workload, kind cpu.Kind, cores int, data units.Bytes, 
 	if block < units.MB {
 		block = units.MB
 	}
-	r, err := sim.Run(sim.NewCluster(node), sim.JobSpec{
+	r, err := sim.RunCached(sim.NewCluster(node), sim.JobSpec{
 		Name:        w.Name(),
 		Spec:        w.Spec(),
 		DataPerNode: data,

@@ -1,0 +1,179 @@
+package sim
+
+import (
+	"reflect"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+	"heterohadoop/internal/workloads"
+)
+
+func testJob(t testing.TB) (Cluster, JobSpec) {
+	t.Helper()
+	w, err := workloads.ByName("wordcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return NewCluster(AtomNode(8)), JobSpec{
+		Name:        "wordcount",
+		Spec:        w.Spec(),
+		DataPerNode: units.GB,
+		BlockSize:   256 * units.MB,
+		Frequency:   1.8 * units.GHz,
+	}
+}
+
+func TestRunCachedMemoizes(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cluster, job := testJob(t)
+
+	r1, err := RunCached(cluster, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RunCached(cluster, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, r2) {
+		t.Error("cached report differs from the computed one")
+	}
+	direct, err := Run(cluster, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(r1, direct) {
+		t.Error("cached report differs from a direct Run")
+	}
+
+	s := Stats()
+	if s.Misses != 1 || s.Hits != 1 || s.Coalesced != 0 {
+		t.Errorf("stats after 2 lookups: %+v, want 1 miss / 1 hit", s)
+	}
+	if s.Entries != 1 || s.InFlight != 0 {
+		t.Errorf("stats: %+v, want 1 entry and 0 in flight", s)
+	}
+	if got := s.HitRate(); got != 0.5 {
+		t.Errorf("hit rate %v, want 0.5", got)
+	}
+}
+
+func TestRunCachedCanonicalizesDefaults(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cluster, job := testJob(t)
+	if _, err := RunCached(cluster, job); err != nil {
+		t.Fatal(err)
+	}
+	// Spelling out Hadoop's defaults must land on the same cache cell.
+	explicit := job
+	explicit.SortBuffer = 100 * units.MB
+	explicit.MergeFactor = 10
+	explicit.Reducers = cluster.Node.ActiveCores
+	if _, err := RunCached(cluster, explicit); err != nil {
+		t.Fatal(err)
+	}
+	if s := Stats(); s.Misses != 1 || s.Hits != 1 {
+		t.Errorf("defaulted and explicit specs did not coalesce: %+v", s)
+	}
+	// A genuinely different knob must not.
+	other := job
+	other.Frequency = 1.2 * units.GHz
+	if _, err := RunCached(cluster, other); err != nil {
+		t.Fatal(err)
+	}
+	if s := Stats(); s.Misses != 2 {
+		t.Errorf("distinct frequency shared a cache cell: %+v", s)
+	}
+}
+
+func TestRunCachedReturnsIndependentReports(t *testing.T) {
+	ResetCache()
+	defer ResetCache()
+	cluster, job := testJob(t)
+	r1, err := RunCached(cluster, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1.Phases[mapreduce.PhaseMap] = PhaseStat{Time: 12345}
+	r2, err := RunCached(cluster, job)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Phases[mapreduce.PhaseMap].Time == 12345 {
+		t.Error("mutating a returned report leaked into the cache")
+	}
+}
+
+func TestSingleFlightCoalescesDuplicates(t *testing.T) {
+	c := newResultCache()
+	var calls atomic.Int32
+	gate := make(chan struct{})
+	running := make(chan struct{})
+
+	const waiters = 8
+	var wg sync.WaitGroup
+	reports := make([]Report, waiters)
+
+	// Leader: blocks inside fn so the entry stays in flight.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		reports[0], _ = c.do([]byte("cell"), func() (Report, error) {
+			calls.Add(1)
+			close(running)
+			<-gate
+			return Report{Workload: "leader"}, nil
+		})
+	}()
+	<-running
+
+	// Followers arriving mid-flight must coalesce, not recompute.
+	for i := 1; i < waiters; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			reports[i], _ = c.do([]byte("cell"), func() (Report, error) {
+				calls.Add(1)
+				return Report{Workload: "follower"}, nil
+			})
+		}()
+	}
+	waitFor(t, func() bool { return c.snapshot().Coalesced == waiters-1 })
+	if s := c.snapshot(); s.InFlight != 1 {
+		t.Errorf("in-flight gauge %d while the leader computes, want 1", s.InFlight)
+	}
+	close(gate)
+	wg.Wait()
+
+	if got := calls.Load(); got != 1 {
+		t.Errorf("%d computations for one key, want 1", got)
+	}
+	for i, r := range reports {
+		if r.Workload != "leader" {
+			t.Errorf("waiter %d got %q, want the leader's result", i, r.Workload)
+		}
+	}
+	s := c.snapshot()
+	if s.Misses != 1 || s.Coalesced != waiters-1 || s.InFlight != 0 {
+		t.Errorf("final stats %+v, want 1 miss, %d coalesced, 0 in flight", s, waiters-1)
+	}
+}
+
+// waitFor polls cond until true or the deadline expires.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition never became true")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,202 @@
+package sim
+
+// cachekey.go builds the result cache's canonical key. The key must (a)
+// cover every field that can influence a simulation — a dropped field
+// means silently wrong cached results — and (b) be cheap, because at the
+// evaluation pipeline's scale key construction competes with the
+// simulation itself (an early %#v-based key spent more time in fmt's
+// reflection than in the simulator). So the key is a hand-rolled binary
+// serialization, field by field, and TestCacheKeyDependsOnEveryField
+// walks the input structs with reflection to prove that mutating any
+// reachable field changes the key.
+
+import (
+	"encoding/binary"
+	"math"
+	"sort"
+	"sync"
+
+	"heterohadoop/internal/cache"
+	"heterohadoop/internal/cpu"
+	"heterohadoop/internal/hdfs"
+	"heterohadoop/internal/isa"
+	"heterohadoop/internal/power"
+	"heterohadoop/internal/workloads"
+)
+
+// keyBuf accumulates the binary key. Strings are length-prefixed and
+// slices are count-prefixed, so no two distinct inputs share an encoding.
+type keyBuf struct {
+	b []byte
+}
+
+func (k *keyBuf) str(s string) {
+	k.b = binary.AppendUvarint(k.b, uint64(len(s)))
+	k.b = append(k.b, s...)
+}
+
+func (k *keyBuf) i64(v int64) {
+	k.b = binary.AppendVarint(k.b, v)
+}
+
+func (k *keyBuf) f64(v float64) {
+	k.b = binary.LittleEndian.AppendUint64(k.b, math.Float64bits(v))
+}
+
+func (k *keyBuf) bool(v bool) {
+	if v {
+		k.b = append(k.b, 1)
+	} else {
+		k.b = append(k.b, 0)
+	}
+}
+
+func (k *keyBuf) cluster(c Cluster) {
+	k.node(c.Node)
+	k.i64(int64(c.Nodes))
+	k.i64(int64(c.Network))
+}
+
+func (k *keyBuf) node(n Node) {
+	k.core(n.Core)
+	k.power(n.Power)
+	k.disk(n.Disk)
+	k.i64(int64(n.ActiveCores))
+}
+
+func (k *keyBuf) core(c cpu.Core) {
+	k.str(c.Name)
+	k.i64(int64(c.Kind))
+	k.i64(int64(c.IssueWidth))
+	k.f64(c.FrontendEfficiency)
+	k.f64(c.BranchPenaltyCycles)
+	k.f64(c.StallExposure)
+	k.f64(c.MLP)
+	k.f64(c.UncoreScaling)
+	k.f64(c.MemContention)
+	k.hierarchy(c.Hierarchy)
+	k.i64(int64(len(c.Frequencies)))
+	for _, f := range c.Frequencies {
+		k.f64(float64(f))
+	}
+	k.f64(float64(c.NominalFrequency))
+	k.f64(float64(c.Area))
+	k.i64(int64(c.MaxCores))
+	k.bool(c.SoC)
+}
+
+func (k *keyBuf) hierarchy(h cache.Hierarchy) {
+	k.str(h.Name)
+	k.i64(int64(len(h.Levels)))
+	for _, l := range h.Levels {
+		k.str(l.Name)
+		k.i64(int64(l.Size))
+		k.i64(int64(l.LineSize))
+		k.i64(int64(l.Assoc))
+		k.f64(l.LatencyCycles)
+	}
+	k.f64(float64(h.MemLatency))
+	k.i64(int64(h.MemBandwidth))
+}
+
+func (k *keyBuf) power(m power.Model) {
+	k.str(m.Name)
+	k.i64(int64(len(m.Curve)))
+	for _, p := range m.Curve {
+		k.f64(float64(p.F))
+		k.f64(float64(p.V))
+	}
+	k.f64(float64(m.CoreDynamicNominal))
+	k.f64(float64(m.CoreStatic))
+	k.f64(float64(m.UncoreActive))
+	k.f64(float64(m.DRAMActive))
+	k.f64(float64(m.DiskActive))
+	k.f64(float64(m.IdleSystem))
+}
+
+func (k *keyBuf) disk(d hdfs.Disk) {
+	k.i64(int64(d.ReadBandwidth))
+	k.i64(int64(d.WriteBandwidth))
+	k.f64(float64(d.SeekTime))
+	k.i64(int64(d.RequestSize))
+}
+
+func (k *keyBuf) job(j JobSpec) {
+	k.str(j.Name)
+	k.workloadSpec(j.Spec)
+	k.i64(int64(j.DataPerNode))
+	k.i64(int64(j.BlockSize))
+	k.f64(float64(j.Frequency))
+	k.i64(int64(j.SortBuffer))
+	k.i64(int64(j.MergeFactor))
+	k.i64(int64(j.Reducers))
+	k.f64(j.TaskFailureRate)
+	k.f64(j.NonLocalFraction)
+	k.f64(j.SlowstartOverlap)
+}
+
+func (k *keyBuf) workloadSpec(s workloads.Spec) {
+	k.profile(s.MapProfile)
+	k.profile(s.ReduceProfile)
+	k.f64(s.MapOutputRatio)
+	k.f64(s.ShuffleRatio)
+	k.f64(s.ReduceOutputRatio)
+	k.f64(s.SpillReduction)
+	k.bool(s.HasReduce)
+	k.bool(s.SortSpill)
+}
+
+func (k *keyBuf) profile(p isa.Profile) {
+	k.str(p.Name)
+	k.f64(p.InstructionsPerByte)
+	k.mix(p.Mix)
+	k.f64(float64(p.Mem.WorkingSet))
+	k.f64(p.Mem.Locality)
+	k.f64(p.Mem.CompulsoryMissRatio)
+	k.f64(p.Mem.Dependence)
+	k.f64(p.BranchMispredictRate)
+	k.f64(p.ILP)
+}
+
+func (k *keyBuf) mix(m isa.Mix) {
+	k.i64(int64(len(m)))
+	// The canonical classes are a small dense range; probing them in
+	// declaration order avoids the allocate-and-sort a map walk would
+	// need. Entries outside the range (never produced by isa, but the key
+	// must stay exact) fall back to a sorted walk.
+	seen := 0
+	canonical := isa.Classes()
+	for _, c := range canonical {
+		if v, ok := m[c]; ok {
+			k.i64(int64(c))
+			k.f64(v)
+			seen++
+		}
+	}
+	if seen != len(m) {
+		var rest []int
+		for c := range m {
+			if int(c) < 0 || int(c) >= len(canonical) {
+				rest = append(rest, int(c))
+			}
+		}
+		sort.Ints(rest)
+		for _, c := range rest {
+			k.i64(int64(c))
+			k.f64(m[isa.Class(c)])
+		}
+	}
+}
+
+// keyPool recycles key buffers across RunCached calls; one full key is
+// well under a kilobyte.
+var keyPool = sync.Pool{New: func() any { return &keyBuf{b: make([]byte, 0, 1024)} }}
+
+// cacheKey canonicalizes the full (cluster, job) input into a compact
+// binary string covering every field either struct can reach.
+func cacheKey(cluster Cluster, job JobSpec) string {
+	k := keyBuf{b: make([]byte, 0, 1024)}
+	k.cluster(cluster)
+	k.job(job)
+	return string(k.b)
+}

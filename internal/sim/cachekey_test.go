@@ -1,0 +1,116 @@
+package sim
+
+// cachekey_test.go proves the hand-rolled cache key is complete: it walks
+// every field reachable from (Cluster, JobSpec) with reflection, perturbs
+// it, and requires the key to change. If a field is ever added to any of
+// the keyed structs and forgotten in cachekey.go, this test fails naming
+// the exact field path.
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestCacheKeyDependsOnEveryField(t *testing.T) {
+	cluster, job := testJob(t)
+	job.setDefaults(cluster.Node)
+	// Give the optional knobs non-degenerate values so perturbation is
+	// exercised on realistic state.
+	job.TaskFailureRate = 0.01
+	job.NonLocalFraction = 0.05
+	job.SlowstartOverlap = 0.1
+
+	base := cacheKey(cluster, job)
+	key := func() string { return cacheKey(cluster, job) }
+
+	check := func(path string) {
+		t.Helper()
+		if key() == base {
+			t.Errorf("cache key ignores %s — add it to cacheKey in cachekey.go", path)
+		}
+	}
+	restore := func(path string) {
+		t.Helper()
+		if key() != base {
+			t.Fatalf("key did not return to baseline after restoring %s", path)
+		}
+	}
+
+	var walk func(path string, v reflect.Value)
+	walk = func(path string, v reflect.Value) {
+		switch v.Kind() {
+		case reflect.Struct:
+			for i := 0; i < v.NumField(); i++ {
+				walk(path+"."+v.Type().Field(i).Name, v.Field(i))
+			}
+		case reflect.String:
+			old := v.String()
+			v.SetString(old + "?")
+			check(path)
+			v.SetString(old)
+			restore(path)
+		case reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64:
+			old := v.Int()
+			v.SetInt(old + 1)
+			check(path)
+			v.SetInt(old)
+			restore(path)
+		case reflect.Float32, reflect.Float64:
+			old := v.Float()
+			v.SetFloat(old + 1)
+			check(path)
+			v.SetFloat(old)
+			restore(path)
+		case reflect.Bool:
+			old := v.Bool()
+			v.SetBool(!old)
+			check(path)
+			v.SetBool(old)
+			restore(path)
+		case reflect.Slice:
+			if v.Len() == 0 {
+				t.Fatalf("%s is empty; the walk cannot prove its elements are keyed", path)
+			}
+			// Length must be keyed... (copy the header before Set mutates
+			// the field in place)
+			old := reflect.ValueOf(v.Interface())
+			v.Set(reflect.Append(v, reflect.Zero(v.Type().Elem())))
+			check(path + "(len)")
+			v.Set(old)
+			restore(path + "(len)")
+			// ...and so must each element's fields.
+			walk(path+"[0]", v.Index(0))
+		case reflect.Map:
+			if v.Len() == 0 {
+				t.Fatalf("%s is empty; the walk cannot prove its entries are keyed", path)
+			}
+			mk := v.MapKeys()[0]
+			oldVal := v.MapIndex(mk)
+			bumped := reflect.New(oldVal.Type()).Elem()
+			bumped.SetFloat(oldVal.Float() + 1)
+			v.SetMapIndex(mk, bumped)
+			check(path + "[entry]")
+			v.SetMapIndex(mk, oldVal)
+			restore(path + "[entry]")
+		default:
+			t.Fatalf("%s has unhandled kind %s — extend the walk and cacheKey", path, v.Kind())
+		}
+	}
+
+	walk("Cluster", reflect.ValueOf(&cluster).Elem())
+	walk("JobSpec", reflect.ValueOf(&job).Elem())
+}
+
+func TestCacheKeyDistinguishesAdjacentStrings(t *testing.T) {
+	// Length-prefixing means a boundary shift between adjacent strings
+	// cannot produce the same key.
+	cluster, a := testJob(t)
+	_, b := testJob(t)
+	a.setDefaults(cluster.Node)
+	b.setDefaults(cluster.Node)
+	a.Name = "word"
+	b.Name = "wordcount"
+	if cacheKey(cluster, a) == cacheKey(cluster, b) {
+		t.Fatal("keys collide across different job names")
+	}
+}

@@ -33,13 +33,13 @@ func (r PerPhaseDVFSReport) EDP() float64 {
 func RunPerPhaseDVFS(cluster Cluster, job JobSpec, mapF, reduceF float64) (PerPhaseDVFSReport, error) {
 	mapJob := job
 	mapJob.Frequency = ghz(mapF)
-	mapRep, err := Run(cluster, mapJob)
+	mapRep, err := RunCached(cluster, mapJob)
 	if err != nil {
 		return PerPhaseDVFSReport{}, fmt.Errorf("sim: per-phase DVFS map side: %w", err)
 	}
 	redJob := job
 	redJob.Frequency = ghz(reduceF)
-	redRep, err := Run(cluster, redJob)
+	redRep, err := RunCached(cluster, redJob)
 	if err != nil {
 		return PerPhaseDVFSReport{}, fmt.Errorf("sim: per-phase DVFS reduce side: %w", err)
 	}

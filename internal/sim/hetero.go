@@ -31,11 +31,11 @@ type PhaseSplitReport struct {
 // crosses the network between the two platforms, which costs an extra
 // serialized transfer at the slower of the two clusters' link speeds.
 func RunPhaseSplit(mapCluster, reduceCluster Cluster, job JobSpec) (PhaseSplitReport, error) {
-	mapRep, err := Run(mapCluster, job)
+	mapRep, err := RunCached(mapCluster, job)
 	if err != nil {
 		return PhaseSplitReport{}, fmt.Errorf("sim: phase-split map side: %w", err)
 	}
-	redRep, err := Run(reduceCluster, job)
+	redRep, err := RunCached(reduceCluster, job)
 	if err != nil {
 		return PhaseSplitReport{}, fmt.Errorf("sim: phase-split reduce side: %w", err)
 	}
