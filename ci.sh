@@ -2,10 +2,24 @@
 # ci.sh — the repository's continuous-integration gate.
 #
 # Runs the static checks, a full build, and the test suite under the race
-# detector (the sweep executor and result cache are concurrent by default,
-# so -race is part of the gate, not an optional extra).
+# detector (the sweep executor, result cache and observer fan-out are
+# concurrent by default, so -race is part of the gate, not an optional
+# extra), then smoke-tests the observability layer end to end: one artefact
+# regenerated with -trace must emit JSONL that tracecheck can decode and
+# that covers the artefact's span.
 set -eux
+
+# Formatting drift gate: gofmt must be a no-op over the whole tree.
+test -z "$(gofmt -l .)"
 
 go vet ./...
 go build ./...
 go test -race ./...
+
+# Observability smoke: regenerate one artefact with a streaming trace and
+# validate the emitted JSONL (decodes line by line, spans balance, and an
+# expt.artefact span covers table3).
+trace_file="$(mktemp /tmp/heterohadoop-trace.XXXXXX.jsonl)"
+trap 'rm -f "$trace_file"' EXIT
+go run ./cmd/experiments -only table3 -trace "$trace_file" -progress >/dev/null
+go run ./internal/obs/tracecheck -artefacts table3 "$trace_file"

@@ -9,9 +9,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"heterohadoop/internal/dse"
 	"heterohadoop/internal/units"
@@ -25,7 +28,10 @@ func main() {
 	)
 	flag.Parse()
 
-	results, err := dse.Explore(dse.DefaultSpace(), dse.PaperMix(),
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	results, err := dse.ExploreCtx(ctx, dse.DefaultSpace(), dse.PaperMix(),
 		units.Bytes(*blockMB)*units.MB, units.Hertz(*freqGHz)*units.GHz, *cores)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

@@ -9,19 +9,30 @@
 //	experiments -parallel 1          # serial sweeps (default: one worker per CPU)
 //	experiments -format csv -outdir results/   # one CSV per artefact
 //	experiments -v                   # report simulator cache statistics on stderr
+//	experiments -trace run.jsonl     # stream a JSONL span/counter trace
+//	experiments -progress            # live artefact progress on stderr
+//
+// Interrupting the run (SIGINT/SIGTERM) cancels the evaluation: the sweep
+// executor stops within one simulation cell and the partial trace is
+// flushed.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
+	"sync/atomic"
+	"syscall"
 
 	"heterohadoop/internal/expt"
+	"heterohadoop/internal/obs"
 	"heterohadoop/internal/pool"
 	"heterohadoop/internal/sim"
 )
@@ -33,7 +44,9 @@ func main() {
 	outdir := flag.String("outdir", "", "write one file per artefact into this directory (default stdout)")
 	chart := flag.String("chart", "", "render this column as an ASCII bar chart instead of a table")
 	parallel := flag.Int("parallel", runtime.NumCPU(), "worker-pool width for sweeps and artefact generation (1 = serial)")
-	verbose := flag.Bool("v", false, "print simulator cache statistics to stderr")
+	verbose := flag.Bool("v", false, "print simulator cache statistics and span summaries to stderr")
+	trace := flag.String("trace", "", "stream a JSONL observability trace to this file")
+	progress := flag.Bool("progress", false, "print artefact completion progress to stderr")
 	flag.Parse()
 
 	if *list {
@@ -63,20 +76,68 @@ func main() {
 		}
 	}
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// Assemble the observer stack: -v aggregates in memory, -trace streams
+	// JSONL, -progress prints completion lines. With none of them the
+	// evaluation runs on the allocation-free no-op path.
+	var parts []obs.Observer
+	var collector *obs.Collector
+	if *verbose {
+		collector = obs.NewCollector()
+		parts = append(parts, collector)
+	}
+	var tw *obs.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+		parts = append(parts, tw)
+	}
+	if *progress {
+		parts = append(parts, obs.NewProgressPrinter(os.Stderr))
+	}
+	ob := obs.Tee(parts...)
+	ctx = obs.NewContext(ctx, ob)
+
 	// Sweep grids and artefact generation share the pool width; tables are
 	// produced concurrently but rendered serially in the paper's order.
 	expt.SetParallelism(*parallel)
-	tables, err := pool.Map(*parallel, len(gens), func(i int) (expt.Table, error) {
-		tbl, err := gens[i].Run()
+	var done atomic.Int64
+	if ob.Enabled() {
+		ob.Progress("artefacts", 0, len(gens))
+	}
+	tables, err := pool.MapCtx(ctx, *parallel, len(gens), func(i int) (expt.Table, error) {
+		tbl, err := gens[i].RunCtx(ctx)
 		if err != nil {
 			return expt.Table{}, fmt.Errorf("%s: %v", gens[i].ID, err)
 		}
+		if ob.Enabled() {
+			ob.Progress("artefacts", int(done.Add(1)), len(gens))
+		}
 		return tbl, nil
 	})
+	// Flush whatever was traced, even on failure or interrupt (os.Exit
+	// below would skip a defer).
+	flushTrace := func() {
+		if tw == nil {
+			return
+		}
+		if err := tw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
 	if err != nil {
+		flushTrace()
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	flushTrace()
 	for _, tbl := range tables {
 		if err := render(tbl, *format, *outdir, *chart); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -88,6 +149,9 @@ func main() {
 		fmt.Fprintf(os.Stderr,
 			"sim cache: %d hits, %d misses, %d coalesced, %d in flight, %d entries, %.1f%% hit rate\n",
 			s.Hits, s.Misses, s.Coalesced, s.InFlight, s.Entries, 100*s.HitRate())
+		if err := collector.WriteSummary(os.Stderr); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
 	}
 }
 

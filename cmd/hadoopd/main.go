@@ -8,18 +8,26 @@
 //	hadoopd -role worker -master 127.0.0.1:4000 -id node1-slot0
 //	hadoopd -role submit -master 127.0.0.1:4000 -workload wordcount \
 //	        -input data.txt -reducers 4 -block 65536
+//
+// Both long-running roles accept -trace FILE to stream a JSONL
+// observability trace (dist.submit/dist.task spans, reassignment and
+// speculation counters, map/reduce progress) and exit cleanly on
+// SIGINT/SIGTERM, flushing the trace.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/rpc"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"heterohadoop/internal/dist"
 	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/obs"
 )
 
 func main() {
@@ -34,31 +42,65 @@ func main() {
 		block    = flag.Int("block", 64*1024, "split size in bytes (role=submit)")
 		pattern  = flag.String("pattern", "", "grep pattern (role=submit, workload=grep)")
 		timeout  = flag.Duration("task-timeout", 10*time.Second, "task reassignment timeout (role=master)")
+		specFrac = flag.Float64("spec-fraction", 0.5, "speculative-execution age fraction of the timeout (role=master)")
+		poll     = flag.Duration("poll", 10*time.Millisecond, "idle poll interval (role=worker)")
+		trace    = flag.String("trace", "", "stream a JSONL observability trace to this file (master/worker)")
 		out      = flag.String("out", "", "output file for results (role=submit; default stdout)")
 	)
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// The observer stack is shared by the master and worker roles; with no
+	// -trace it stays on the allocation-free no-op path.
+	ob := obs.Nop
+	var tw *obs.TraceWriter
+	if *trace != "" {
+		f, err := os.Create(*trace)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw = obs.NewTraceWriter(f)
+		ob = tw
+	}
+	flushTrace := func() {
+		if tw == nil {
+			return
+		}
+		if err := tw.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}
+
 	switch *role {
 	case "master":
-		m, err := dist.NewMaster(*addr, *timeout)
+		m, err := dist.StartMaster(*addr,
+			dist.WithTaskTimeout(*timeout),
+			dist.WithSpeculativeFraction(*specFrac),
+			dist.WithObserver(ob))
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("master listening on %s\n", m.Addr())
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		<-sig
+		<-ctx.Done()
 		m.Close()
+		flushTrace()
 	case "worker":
 		if *id == "" {
 			*id = fmt.Sprintf("worker-%d", os.Getpid())
 		}
-		w, err := dist.NewWorker(*id, *master)
+		w, err := dist.ConnectWorker(*id, *master,
+			dist.WithPollInterval(*poll),
+			dist.WithObserver(ob))
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("worker %s polling %s\n", *id, *master)
-		if err := w.RunForever(); err != nil {
+		err = w.RunForeverCtx(ctx)
+		flushTrace()
+		if err != nil && ctx.Err() == nil {
 			fatal(err)
 		}
 	case "submit":

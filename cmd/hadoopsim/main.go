@@ -8,9 +8,11 @@
 //	hadoopsim -workload wordcount -data 1 -block 256 -freq 1.8
 //	hadoopsim -workload terasort -compare
 //	hadoopsim -workload fpgrowth -real -realsize 65536
+//	hadoopsim -workload sort -trace run.jsonl   # JSONL sim.run span trace
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -18,6 +20,7 @@ import (
 	"heterohadoop/internal/core"
 	"heterohadoop/internal/cpu"
 	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/obs"
 	"heterohadoop/internal/sim"
 	"heterohadoop/internal/units"
 	"heterohadoop/internal/workloads"
@@ -37,8 +40,22 @@ func main() {
 		advise   = flag.Bool("advise", false, "co-tune DVFS and block size within a 10% slowdown budget")
 		des      = flag.Bool("des", false, "refine the map phase with the task-level discrete-event scheduler")
 		jitter   = flag.Float64("jitter", 0.15, "per-task duration jitter for -des")
+		trace    = flag.String("trace", "", "stream a JSONL observability trace to this file")
 	)
 	flag.Parse()
+
+	ctx := context.Background()
+	if *trace != "" {
+		tf, err := os.Create(*trace)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer tf.Close()
+		tw := obs.NewTraceWriter(tf)
+		defer tw.Close()
+		ctx = obs.NewContext(ctx, tw)
+	}
 
 	w, err := workloads.ByName(*name)
 	if err != nil {
@@ -66,7 +83,7 @@ func main() {
 	}
 
 	if *compare {
-		cmp, err := core.Compare(w, data, block, f)
+		cmp, err := core.CompareCtx(ctx, w, data, block, f)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
@@ -89,7 +106,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "unknown platform %q\n", *platform)
 		os.Exit(2)
 	}
-	r, err := core.Characterize(core.Config{
+	r, err := core.CharacterizeCtx(ctx, core.Config{
 		Workload:    w,
 		DataPerNode: data,
 		BlockSize:   block,

@@ -23,6 +23,7 @@ func main() {
 		size = flag.Int64("size", int64(units.MB), "approximate output size in bytes")
 		seed = flag.Int64("seed", 1, "generator seed")
 		out  = flag.String("out", "", "output file (default stdout)")
+		verb = flag.Bool("v", false, "report the generated size on stderr")
 	)
 	flag.Parse()
 
@@ -62,5 +63,8 @@ func main() {
 	if _, err := w.Write(data); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
+	}
+	if *verb {
+		fmt.Fprintf(os.Stderr, "teragen: %d bytes of %s data (seed %d)\n", len(data), *kind, *seed)
 	}
 }

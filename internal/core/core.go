@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"heterohadoop/internal/cpu"
@@ -70,13 +71,21 @@ type Report struct {
 	Sample metrics.Sample
 }
 
-// Characterize simulates the workload on the platform at paper scale.
+// Characterize simulates the workload on the platform at paper scale. It
+// is CharacterizeCtx with a background context.
 func Characterize(cfg Config) (Report, error) {
+	return CharacterizeCtx(context.Background(), cfg)
+}
+
+// CharacterizeCtx is Characterize with cancellation and observability: the
+// simulation runs under the context's observer (sim.run spans, per-phase
+// gauges) and aborts early if the context is cancelled.
+func CharacterizeCtx(ctx context.Context, cfg Config) (Report, error) {
 	if cfg.Workload == nil {
 		return Report{}, fmt.Errorf("core: no workload")
 	}
 	node := cfg.Platform.node()
-	r, err := sim.Run(sim.NewCluster(node), sim.JobSpec{
+	r, err := sim.RunCtx(ctx, sim.NewCluster(node), sim.JobSpec{
 		Name:        cfg.Workload.Name(),
 		Spec:        cfg.Workload.Spec(),
 		DataPerNode: cfg.DataPerNode,
@@ -113,14 +122,20 @@ type Comparison struct {
 }
 
 // Compare characterizes the workload on both platforms at the given knobs
-// and derives the paper's verdicts.
+// and derives the paper's verdicts. It is CompareCtx with a background
+// context.
 func Compare(w workloads.Workload, data, block units.Bytes, f units.Hertz) (Comparison, error) {
-	little, err := Characterize(Config{Workload: w, DataPerNode: data, BlockSize: block,
+	return CompareCtx(context.Background(), w, data, block, f)
+}
+
+// CompareCtx is Compare with cancellation and observability.
+func CompareCtx(ctx context.Context, w workloads.Workload, data, block units.Bytes, f units.Hertz) (Comparison, error) {
+	little, err := CharacterizeCtx(ctx, Config{Workload: w, DataPerNode: data, BlockSize: block,
 		Platform: Platform{Kind: cpu.Little, Cores: 8, Frequency: f}})
 	if err != nil {
 		return Comparison{}, err
 	}
-	big, err := Characterize(Config{Workload: w, DataPerNode: data, BlockSize: block,
+	big, err := CharacterizeCtx(ctx, Config{Workload: w, DataPerNode: data, BlockSize: block,
 		Platform: Platform{Kind: cpu.Big, Cores: 8, Frequency: f}})
 	if err != nil {
 		return Comparison{}, err

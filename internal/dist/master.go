@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"net"
 	"net/rpc"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/obs"
 )
 
 // taskState tracks one task attempt's lifecycle in the master's tables.
@@ -25,10 +27,13 @@ type taskState struct {
 type Master struct {
 	mu sync.Mutex
 
-	registry    *Registry
-	listener    net.Listener
-	server      *rpc.Server
-	taskTimeout time.Duration
+	registry     *Registry
+	listener     net.Listener
+	server       *rpc.Server
+	taskTimeout  time.Duration
+	specFraction float64
+	ob           obs.Observer
+	closed       bool
 
 	// Per-job state.
 	running     bool
@@ -48,31 +53,42 @@ type Master struct {
 	workers     map[string]time.Time
 }
 
-// SpeculativeAge is the in-flight age after which an idle worker is given
-// a backup copy of a still-running task (speculative execution). It is a
-// fraction of the task timeout.
-const speculativeFraction = 0.5
-
 // NewMaster starts a master listening on addr ("127.0.0.1:0" for an
 // ephemeral port). taskTimeout bounds how long a task may stay assigned
 // without completion before it is reissued to another worker; idle workers
 // additionally receive speculative copies of tasks that have been running
 // for more than half the timeout.
+//
+// Deprecated: use StartMaster with WithTaskTimeout; this wrapper remains
+// for source compatibility with the positional API.
 func NewMaster(addr string, taskTimeout time.Duration) (*Master, error) {
-	if taskTimeout <= 0 {
-		taskTimeout = 5 * time.Second
+	return StartMaster(addr, WithTaskTimeout(taskTimeout))
+}
+
+// StartMaster starts a master listening on addr ("127.0.0.1:0" for an
+// ephemeral port), configured by functional options: WithTaskTimeout
+// bounds unfinished assignments before reissue, WithSpeculativeFraction
+// tunes when idle workers receive backup copies of stragglers, and
+// WithObserver attaches telemetry (submit spans, phase progress,
+// reassignment/speculation counters).
+func StartMaster(addr string, opts ...Option) (*Master, error) {
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: master listen: %w", err)
 	}
 	m := &Master{
-		registry:    NewRegistry(),
-		listener:    ln,
-		server:      rpc.NewServer(),
-		taskTimeout: taskTimeout,
-		phase:       "idle",
-		workers:     make(map[string]time.Time),
+		registry:     NewRegistry(),
+		listener:     ln,
+		server:       rpc.NewServer(),
+		taskTimeout:  cfg.taskTimeout,
+		specFraction: cfg.specFraction,
+		ob:           cfg.observer,
+		phase:        "idle",
+		workers:      make(map[string]time.Time),
 	}
 	if err := m.server.RegisterName("Master", &masterRPC{m: m}); err != nil {
 		ln.Close()
@@ -85,8 +101,14 @@ func NewMaster(addr string, taskTimeout time.Duration) (*Master, error) {
 // Addr returns the master's listen address for workers to dial.
 func (m *Master) Addr() string { return m.listener.Addr().String() }
 
-// Close stops accepting connections.
-func (m *Master) Close() error { return m.listener.Close() }
+// Close stops accepting connections; subsequent submissions fail with
+// ErrMasterClosed.
+func (m *Master) Close() error {
+	m.mu.Lock()
+	m.closed = true
+	m.mu.Unlock()
+	return m.listener.Close()
+}
 
 // Registry exposes the job registry for custom registrations.
 func (m *Master) Registry() *Registry { return m.registry }
@@ -122,10 +144,23 @@ func (m *Master) Stats() Stats {
 // Submit runs one job across the connected workers: the input is split
 // into record-aligned chunks of roughly blockSize bytes (one map task
 // each), map outputs are shuffled master-side, and reduce partitions are
-// dispatched as reduce tasks. Submit blocks until the job completes.
+// dispatched as reduce tasks. Submit blocks until the job completes. It is
+// SubmitCtx with a background context.
 func (m *Master) Submit(desc JobDescriptor, input []byte, blockSize int) (*mapreduce.Result, error) {
+	return m.SubmitCtx(context.Background(), desc, input, blockSize)
+}
+
+// SubmitCtx is Submit with cancellation: a cancelled context aborts the
+// job — the master returns to idle, workers polling for the next task are
+// told the job is over, and the error wraps ctx.Err(). The master's
+// Observer (WithObserver) receives a "dist.submit" span covering the
+// whole job.
+func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte, blockSize int) (*mapreduce.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, fmt.Errorf("dist: submit cancelled: %w", err)
+	}
 	if desc.NumReducers < 1 {
-		return nil, fmt.Errorf("dist: need at least one reducer")
+		return nil, fmt.Errorf("%w: need at least one reducer", ErrInvalidJob)
 	}
 	// Validate the descriptor builds locally before distributing, and
 	// prepare sampler/f-list auxiliary data.
@@ -133,17 +168,21 @@ func (m *Master) Submit(desc JobDescriptor, input []byte, blockSize int) (*mapre
 		return nil, err
 	}
 	if _, err := m.registry.Build(desc); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrInvalidJob, err)
 	}
 	chunks := mapreduce.SplitInput(input, blockSize)
 	if len(chunks) == 0 {
-		return nil, fmt.Errorf("dist: empty input")
+		return nil, ErrEmptyInput
 	}
 
 	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		return nil, ErrMasterClosed
+	}
 	if m.running {
 		m.mu.Unlock()
-		return nil, fmt.Errorf("dist: a job is already running")
+		return nil, ErrJobRunning
 	}
 	m.running = true
 	m.desc = desc
@@ -165,7 +204,29 @@ func (m *Master) Submit(desc JobDescriptor, input []byte, blockSize int) (*mapre
 	done := m.doneCh
 	m.mu.Unlock()
 
-	<-done
+	var sp obs.Span
+	if m.ob.Enabled() {
+		sp = obs.Start(m.ob, "dist.submit",
+			obs.Str("job", desc.Workload),
+			obs.Int("maps", int64(len(chunks))),
+			obs.Int("reducers", int64(desc.NumReducers)))
+		m.ob.Progress("dist.map", 0, len(chunks))
+	}
+
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Abort: return the master to idle so pollers wind down and a new
+		// submission can start. Late completions from in-flight workers are
+		// ignored by the phase guards in completeMap/completeReduce.
+		m.mu.Lock()
+		m.running = false
+		m.phase = "idle"
+		m.mu.Unlock()
+		sp.End()
+		return nil, fmt.Errorf("dist: job %s aborted: %w", desc.Workload, ctx.Err())
+	}
+	sp.End()
 
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -194,6 +255,7 @@ func (m *Master) nextTask(workerID string) Task {
 		}
 		if ts.assigned {
 			m.reassigned++
+			m.ob.Count("dist.tasks.reassigned", 1)
 		}
 		ts.assigned = true
 		ts.assignee = workerID
@@ -202,7 +264,7 @@ func (m *Master) nextTask(workerID string) Task {
 	}
 	// Nothing pending: speculate on the oldest aging straggler owned by
 	// someone else (first result wins; duplicates are discarded).
-	specAge := time.Duration(float64(m.taskTimeout) * speculativeFraction)
+	specAge := time.Duration(float64(m.taskTimeout) * m.specFraction)
 	var oldest *taskState
 	for _, ts := range pool {
 		if ts.done || !ts.assigned || ts.assignee == workerID {
@@ -217,6 +279,7 @@ func (m *Master) nextTask(workerID string) Task {
 	}
 	if oldest != nil {
 		m.speculative++
+		m.ob.Count("dist.tasks.speculative", 1)
 		oldest.assignedAt = now // throttle repeated speculation
 		oldest.assignee = workerID
 		return oldest.task
@@ -237,6 +300,9 @@ func (m *Master) completeMap(res *MapDone) {
 	m.mapOutputs[res.Seq] = res.Parts
 	m.counters.Add(res.Counters)
 	m.mapsLeft--
+	if m.ob.Enabled() {
+		m.ob.Progress("dist.map", len(m.mapTasks)-m.mapsLeft, len(m.mapTasks))
+	}
 	if m.mapsLeft == 0 {
 		m.startReducePhase()
 	}
@@ -276,6 +342,9 @@ func (m *Master) completeReduce(res *ReduceDone) {
 	m.redOutputs[res.Partition] = res.Output
 	m.counters.Add(res.Counters)
 	m.redsLeft--
+	if m.ob.Enabled() {
+		m.ob.Progress("dist.reduce", len(m.redTasks)-m.redsLeft, len(m.redTasks))
+	}
 	if m.redsLeft == 0 {
 		m.phase = "idle"
 		close(m.doneCh)
@@ -329,6 +398,7 @@ func (r *masterRPC) ReportFailure(f TaskFailed, _ *Ack) error {
 	if ts.assigned && ts.assignee == f.WorkerID {
 		ts.assigned = false
 		r.m.reassigned++
+		r.m.ob.Count("dist.tasks.reassigned", 1)
 	}
 	return nil
 }

@@ -1,0 +1,187 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+
+	"heterohadoop/internal/obs"
+	"heterohadoop/internal/units"
+	"heterohadoop/internal/workloads"
+)
+
+func TestOptionsRejectInvalidValues(t *testing.T) {
+	cfg := defaultConfig()
+	for _, opt := range []Option{
+		WithTaskTimeout(0), WithTaskTimeout(-time.Second),
+		WithSpeculativeFraction(0), WithSpeculativeFraction(-1), WithSpeculativeFraction(1.5),
+		WithPollInterval(0), WithPollInterval(-time.Millisecond),
+		WithObserver(nil),
+	} {
+		opt(&cfg)
+	}
+	def := defaultConfig()
+	if cfg != def {
+		t.Errorf("invalid option values changed the config: %+v, want %+v", cfg, def)
+	}
+
+	WithTaskTimeout(time.Minute)(&cfg)
+	WithSpeculativeFraction(0.25)(&cfg)
+	WithPollInterval(time.Second)(&cfg)
+	if cfg.taskTimeout != time.Minute || cfg.specFraction != 0.25 || cfg.pollInterval != time.Second {
+		t.Errorf("valid option values not applied: %+v", cfg)
+	}
+}
+
+func TestStartMasterAppliesOptions(t *testing.T) {
+	m, err := StartMaster("127.0.0.1:0",
+		WithTaskTimeout(42*time.Second), WithSpeculativeFraction(0.75))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if m.taskTimeout != 42*time.Second {
+		t.Errorf("taskTimeout %v, want 42s", m.taskTimeout)
+	}
+	if m.specFraction != 0.75 {
+		t.Errorf("specFraction %v, want 0.75", m.specFraction)
+	}
+}
+
+func TestSubmitCtxAbortsOnCancel(t *testing.T) {
+	// No workers: the job would sit in the map phase forever without the
+	// deadline firing.
+	m, err := StartMaster("127.0.0.1:0", WithTaskTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	input := workloads.GenerateText(8*units.KB, 3)
+	_, err = m.SubmitCtx(ctx, JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 2*1024)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("aborted submit: %v, want wrapped context.DeadlineExceeded", err)
+	}
+
+	// The abort must return the master to idle so the next job can run.
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w, err := ConnectWorker("retry-"+strconv.Itoa(i), m.Addr())
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(); err != nil {
+				t.Errorf("%s: %v", w.ID, err)
+			}
+		}()
+		defer w.Close()
+	}
+	if _, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 2*1024); err != nil {
+		t.Fatalf("submit after aborted job: %v", err)
+	}
+	wg.Wait()
+}
+
+func TestSubmitCtxSentinels(t *testing.T) {
+	m, err := StartMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+
+	if _, err := m.SubmitCtx(ctx, JobDescriptor{Workload: "wordcount", NumReducers: 0}, []byte("x"), 8); !errors.Is(err, ErrInvalidJob) {
+		t.Errorf("zero reducers: %v, want wrapped ErrInvalidJob", err)
+	}
+	if _, err := m.SubmitCtx(ctx, JobDescriptor{Workload: "no-such", NumReducers: 1}, []byte("x"), 8); !errors.Is(err, ErrInvalidJob) {
+		t.Errorf("unknown workload: %v, want wrapped ErrInvalidJob", err)
+	}
+	if _, err := m.SubmitCtx(ctx, JobDescriptor{Workload: "wordcount", NumReducers: 1}, nil, 8); !errors.Is(err, ErrEmptyInput) {
+		t.Errorf("empty input: %v, want wrapped ErrEmptyInput", err)
+	}
+	m.Close()
+	if _, err := m.SubmitCtx(ctx, JobDescriptor{Workload: "wordcount", NumReducers: 1}, []byte("x y"), 8); !errors.Is(err, ErrMasterClosed) {
+		t.Errorf("closed master: %v, want wrapped ErrMasterClosed", err)
+	}
+}
+
+func TestDistJobEmitsObserverEvents(t *testing.T) {
+	c := obs.NewCollector()
+	m, err := StartMaster("127.0.0.1:0", WithTaskTimeout(5*time.Second), WithObserver(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	var wg sync.WaitGroup
+	for i := 0; i < 2; i++ {
+		w, err := ConnectWorker("obs-"+strconv.Itoa(i), m.Addr(), WithObserver(c))
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := w.Run(); err != nil {
+				t.Errorf("%s: %v", w.ID, err)
+			}
+		}()
+		defer w.Close()
+	}
+
+	input := workloads.GenerateText(16*units.KB, 7)
+	res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 4*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+
+	if n := c.SpanCount("dist.submit"); n != 1 {
+		t.Errorf("dist.submit span count %d, want 1", n)
+	}
+	want := int64(res.Counters.MapTasks + res.Counters.ReduceTasks)
+	if n := c.SpanCount("dist.task"); n < want {
+		t.Errorf("dist.task span count %d, want >= %d", n, want)
+	}
+	snap := c.Snapshot()
+	if p := snap.Progress["dist.map"]; p.Done != p.Total || p.Total != res.Counters.MapTasks {
+		t.Errorf("dist.map progress %+v, want %d/%d", p, res.Counters.MapTasks, res.Counters.MapTasks)
+	}
+	if p := snap.Progress["dist.reduce"]; p.Done != p.Total || p.Total != res.Counters.ReduceTasks {
+		t.Errorf("dist.reduce progress %+v, want %d/%d", p, res.Counters.ReduceTasks, res.Counters.ReduceTasks)
+	}
+}
+
+func TestReportFailureSurfacesRPCErrors(t *testing.T) {
+	m, err := StartMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	c := obs.NewCollector()
+	w, err := ConnectWorker("rf", m.Addr(), WithObserver(c))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Sever the connection, then fail a task: the failure report cannot
+	// reach the master, and that delivery error must be counted instead of
+	// dropped.
+	if err := w.client.Close(); err != nil {
+		t.Fatal(err)
+	}
+	w.reportFailure(Task{Kind: TaskMap, Seq: 1}, errors.New("synthetic task failure"))
+	if n := w.ReportErrors(); n != 1 {
+		t.Errorf("ReportErrors() = %d, want 1", n)
+	}
+	if n := c.Counter("dist.worker.report_errors"); n != 1 {
+		t.Errorf("report_errors counter = %d, want 1", n)
+	}
+}

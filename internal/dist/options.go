@@ -1,0 +1,93 @@
+package dist
+
+// options.go holds the functional options shared by StartMaster and
+// ConnectWorker, plus the package's sentinel errors. The positional
+// constructors (NewMaster, NewWorker) remain as deprecated wrappers.
+
+import (
+	"errors"
+	"time"
+
+	"heterohadoop/internal/obs"
+)
+
+// Sentinel errors: callers branch with errors.Is instead of matching
+// message strings.
+var (
+	// ErrMasterClosed marks a submission against a master whose listener
+	// has been closed.
+	ErrMasterClosed = errors.New("dist: master closed")
+	// ErrJobRunning marks a submission while another job is in flight.
+	ErrJobRunning = errors.New("dist: a job is already running")
+	// ErrEmptyInput marks a submission whose input splits to zero chunks.
+	ErrEmptyInput = errors.New("dist: empty input")
+	// ErrInvalidJob marks a job descriptor that fails validation.
+	ErrInvalidJob = errors.New("dist: invalid job")
+)
+
+// config carries the tunables behind the functional options. Master and
+// worker read the fields they care about and ignore the rest, so the
+// option names are shared (WithObserver works on both).
+type config struct {
+	taskTimeout  time.Duration
+	specFraction float64
+	pollInterval time.Duration
+	observer     obs.Observer
+}
+
+func defaultConfig() config {
+	return config{
+		taskTimeout:  5 * time.Second,
+		specFraction: 0.5,
+		pollInterval: 10 * time.Millisecond,
+		observer:     obs.Nop,
+	}
+}
+
+// Option configures a Master (StartMaster) or Worker (ConnectWorker).
+// Options irrelevant to the component they are passed to are ignored.
+type Option func(*config)
+
+// WithTaskTimeout bounds how long a task may stay assigned without
+// completion before the master reissues it. Non-positive values keep the
+// default (5s).
+func WithTaskTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.taskTimeout = d
+		}
+	}
+}
+
+// WithSpeculativeFraction sets the in-flight age — as a fraction of the
+// task timeout — after which an idle worker is handed a backup copy of a
+// still-running task. Values outside (0, 1] keep the default (0.5).
+func WithSpeculativeFraction(f float64) Option {
+	return func(c *config) {
+		if f > 0 && f <= 1 {
+			c.specFraction = f
+		}
+	}
+}
+
+// WithPollInterval sets the worker's idle poll spacing (the heartbeat
+// period). Non-positive values keep the default (10ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.pollInterval = d
+		}
+	}
+}
+
+// WithObserver attaches an Observer: the master emits dist.submit spans,
+// map/reduce progress and reassignment/speculation counters; the worker
+// emits dist.task spans and failure-report counters. A nil observer keeps
+// the default (obs.Nop).
+func WithObserver(o obs.Observer) Option {
+	return func(c *config) {
+		if o != nil {
+			c.observer = o
+		}
+	}
+}

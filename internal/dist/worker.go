@@ -1,12 +1,14 @@
 package dist
 
 import (
+	"context"
 	"fmt"
 	"net/rpc"
 	"sync"
 	"time"
 
 	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/obs"
 )
 
 // Worker executes tasks for a master. One Worker runs one polling loop;
@@ -19,17 +21,36 @@ type Worker struct {
 
 	registry *Registry
 	client   *rpc.Client
+	ob       obs.Observer
 
 	mu      sync.Mutex
 	stopped bool
-	// TasksRun counts completed task attempts (observability/tests).
+	// tasksRun counts completed task attempts (observability/tests).
 	tasksRun int
+	// reportErrors counts failure reports that themselves failed to reach
+	// the master over RPC.
+	reportErrors int
 }
 
 // NewWorker dials the master and returns a ready worker.
+//
+// Deprecated: use ConnectWorker with options; this wrapper remains for
+// source compatibility with the positional API.
 func NewWorker(id, masterAddr string) (*Worker, error) {
+	return ConnectWorker(id, masterAddr)
+}
+
+// ConnectWorker dials the master and returns a ready worker, configured by
+// functional options: WithPollInterval sets the idle heartbeat period and
+// WithObserver attaches telemetry (dist.task spans, failure-report
+// counters).
+func ConnectWorker(id, masterAddr string, opts ...Option) (*Worker, error) {
 	if id == "" {
 		return nil, fmt.Errorf("dist: worker needs an id")
+	}
+	cfg := defaultConfig()
+	for _, opt := range opts {
+		opt(&cfg)
 	}
 	client, err := rpc.Dial("tcp", masterAddr)
 	if err != nil {
@@ -37,9 +58,10 @@ func NewWorker(id, masterAddr string) (*Worker, error) {
 	}
 	return &Worker{
 		ID:           id,
-		PollInterval: 10 * time.Millisecond,
+		PollInterval: cfg.pollInterval,
 		registry:     NewRegistry(),
 		client:       client,
+		ob:           cfg.observer,
 	}, nil
 }
 
@@ -53,6 +75,16 @@ func (w *Worker) TasksRun() int {
 	return w.tasksRun
 }
 
+// ReportErrors reports how many task-failure reports could not be
+// delivered to the master (the RPC itself failed). The master's timeout
+// path still recovers the task; the counter surfaces the degraded
+// signalling that used to be dropped silently.
+func (w *Worker) ReportErrors() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.reportErrors
+}
+
 // Stop makes the polling loop exit after the current task.
 func (w *Worker) Stop() {
 	w.mu.Lock()
@@ -61,11 +93,19 @@ func (w *Worker) Stop() {
 }
 
 // reportFailure tells the master to requeue a task this worker could not
-// run; best-effort (the timeout path covers a lost report).
+// run. Delivery is best-effort — the master's timeout path covers a lost
+// report — but a failed report is no longer dropped silently: it is
+// counted (ReportErrors) and surfaced through the observer.
 func (w *Worker) reportFailure(task Task, cause error) {
-	_ = w.client.Call("Master.ReportFailure", TaskFailed{
+	err := w.client.Call("Master.ReportFailure", TaskFailed{
 		WorkerID: w.ID, Kind: task.Kind, Seq: task.Seq, Reason: cause.Error(),
 	}, &Ack{})
+	if err != nil {
+		w.mu.Lock()
+		w.reportErrors++
+		w.mu.Unlock()
+		w.ob.Count("dist.worker.report_errors", 1)
+	}
 }
 
 // Close tears down the connection.
@@ -83,15 +123,26 @@ func (w *Worker) isStopped() bool {
 // Run polls the master for tasks and executes them until the master
 // reports the job done or Stop is called. It returns the first hard error
 // (task execution errors are hard: the job cannot succeed with a broken
-// factory).
-func (w *Worker) Run() error { return w.run(false) }
+// factory). It is RunCtx with a background context.
+func (w *Worker) Run() error { return w.run(context.Background(), false) }
+
+// RunCtx is Run with cancellation: a cancelled context stops the loop at
+// the next poll or idle sleep with an error wrapping ctx.Err().
+func (w *Worker) RunCtx(ctx context.Context) error { return w.run(ctx, false) }
 
 // RunForever is the daemon mode: the worker keeps polling across jobs,
-// treating an idle master as "wait", until Stop is called.
-func (w *Worker) RunForever() error { return w.run(true) }
+// treating an idle master as "wait", until Stop is called. It is
+// RunForeverCtx with a background context.
+func (w *Worker) RunForever() error { return w.run(context.Background(), true) }
 
-func (w *Worker) run(persistent bool) error {
+// RunForeverCtx is RunForever with cancellation.
+func (w *Worker) RunForeverCtx(ctx context.Context) error { return w.run(ctx, true) }
+
+func (w *Worker) run(ctx context.Context, persistent bool) error {
 	for !w.isStopped() {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("dist: worker %s: cancelled: %w", w.ID, err)
+		}
 		var task Task
 		if err := w.client.Call("Master.GetTask", GetTaskArgs{WorkerID: w.ID}, &task); err != nil {
 			if w.isStopped() {
@@ -102,12 +153,16 @@ func (w *Worker) run(persistent bool) error {
 		switch task.Kind {
 		case TaskDone:
 			if persistent {
-				time.Sleep(w.PollInterval)
+				if err := w.idle(ctx); err != nil {
+					return err
+				}
 				continue
 			}
 			return nil
 		case TaskWait:
-			time.Sleep(w.PollInterval)
+			if err := w.idle(ctx); err != nil {
+				return err
+			}
 		case TaskMap:
 			if err := w.runMap(task); err != nil {
 				if w.isStopped() {
@@ -129,7 +184,33 @@ func (w *Worker) run(persistent bool) error {
 	return nil
 }
 
+// idle sleeps one poll interval, waking early on cancellation.
+func (w *Worker) idle(ctx context.Context) error {
+	timer := time.NewTimer(w.PollInterval)
+	defer timer.Stop()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("dist: worker %s: cancelled: %w", w.ID, ctx.Err())
+	case <-timer.C:
+		return nil
+	}
+}
+
+// taskSpan opens a dist.task span for one attempt when the observer is
+// enabled; the returned span is inert otherwise.
+func (w *Worker) taskSpan(task Task) obs.Span {
+	if !w.ob.Enabled() {
+		return obs.Span{}
+	}
+	return obs.Start(w.ob, "dist.task",
+		obs.Str("kind", task.Kind),
+		obs.Int("seq", int64(task.Seq)),
+		obs.Str("worker", w.ID))
+}
+
 func (w *Worker) runMap(task Task) error {
+	sp := w.taskSpan(task)
+	defer sp.End()
 	job, err := w.registry.Build(task.Job)
 	if err != nil {
 		w.reportFailure(task, err)
@@ -149,6 +230,8 @@ func (w *Worker) runMap(task Task) error {
 }
 
 func (w *Worker) runReduce(task Task) error {
+	sp := w.taskSpan(task)
+	defer sp.End()
 	job, err := w.registry.Build(task.Job)
 	if err != nil {
 		w.reportFailure(task, err)

@@ -8,6 +8,7 @@
 package dse
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -134,7 +135,17 @@ func PaperMix() Mix {
 // simulation goes through the result cache; the per-candidate totals are
 // accumulated serially in mix order, so results are identical at any
 // pool width.
+//
+// Explore is ExploreCtx with a background context.
 func Explore(space []Candidate, mix Mix, block units.Bytes, f units.Hertz, cores int) ([]Result, error) {
+	return ExploreCtx(context.Background(), space, mix, block, f, cores)
+}
+
+// ExploreCtx is Explore with cancellation and observability: the context
+// flows through the worker pool into every cached simulation, so a
+// cancelled context stops the sweep within one cell and an Observer
+// carried by ctx sees per-cell sim.run spans and cache counters.
+func ExploreCtx(ctx context.Context, space []Candidate, mix Mix, block units.Bytes, f units.Hertz, cores int) ([]Result, error) {
 	if len(space) == 0 {
 		return nil, fmt.Errorf("dse: empty candidate space")
 	}
@@ -146,11 +157,11 @@ func Explore(space []Candidate, mix Mix, block units.Bytes, f units.Hertz, cores
 			return nil, fmt.Errorf("dse: %s: %d cores out of range", cand.Name, cores)
 		}
 	}
-	reports, err := pool.Map(pool.DefaultWidth(), len(space)*len(mix), func(k int) (sim.Report, error) {
+	reports, err := pool.MapCtx(ctx, pool.DefaultWidth(), len(space)*len(mix), func(k int) (sim.Report, error) {
 		cand := space[k/len(mix)]
 		entry := mix[k%len(mix)]
 		node := sim.Node{Core: cand.Core, Power: cand.Power, Disk: defaultDisk(), ActiveCores: cores}
-		r, err := sim.RunCached(sim.NewCluster(node), sim.JobSpec{
+		r, err := sim.RunCachedCtx(ctx, sim.NewCluster(node), sim.JobSpec{
 			Name:        entry.Workload.Name(),
 			Spec:        entry.Workload.Spec(),
 			DataPerNode: entry.Data,

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"heterohadoop/internal/accel"
@@ -12,13 +13,13 @@ import (
 
 // accelRatio computes the paper's Eq. 1 before/after speedup ratio for one
 // workload at the given knobs.
-func accelRatio(w workloads.Workload, blockMB int, fGHz, acceleration float64) (float64, error) {
+func accelRatio(ctx context.Context, w workloads.Workload, blockMB int, fGHz, acceleration float64) (float64, error) {
 	data := paperDataSize(w.Name())
-	aB, err := run(w, sim.AtomNode(8), data, blockMB, fGHz)
+	aB, err := runCtx(ctx, w, sim.AtomNode(8), data, blockMB, fGHz)
 	if err != nil {
 		return 0, err
 	}
-	xB, err := run(w, sim.XeonNode(8), data, blockMB, fGHz)
+	xB, err := runCtx(ctx, w, sim.XeonNode(8), data, blockMB, fGHz)
 	if err != nil {
 		return 0, err
 	}
@@ -39,7 +40,7 @@ func accelRatio(w workloads.Workload, blockMB int, fGHz, acceleration float64) (
 // (value, workload) grid is flattened onto the worker pool; each ratio's
 // four simulator runs go through the result cache, so the 512 MB / 1.8 GHz
 // cells shared between Figs 14-16 are computed once.
-func accelTable(id, title, param string, values []string, eval func(w workloads.Workload, i int) (float64, error)) (Table, error) {
+func accelTable(ctx context.Context, id, title, param string, values []string, eval func(w workloads.Workload, i int) (float64, error)) (Table, error) {
 	all := workloads.All()
 	header := append([]string{param}, func() []string {
 		var h []string
@@ -48,7 +49,7 @@ func accelTable(id, title, param string, values []string, eval func(w workloads.
 		}
 		return h
 	}()...)
-	ratios, err := pool.Map(Parallelism(), len(values)*len(all), func(k int) (float64, error) {
+	ratios, err := pool.MapCtx(ctx, Parallelism(), len(values)*len(all), func(k int) (float64, error) {
 		return eval(all[k%len(all)], k/len(all))
 	})
 	if err != nil {
@@ -68,41 +69,53 @@ func accelTable(id, title, param string, values []string, eval func(w workloads.
 // fig14Accelerations is the paper's swept mapper acceleration range.
 var fig14Accelerations = []float64{1, 2, 5, 10, 20, 40, 60, 80, 100}
 
-// Fig14 sweeps the mapper acceleration rate at 512 MB / 1.8 GHz.
-func Fig14() (Table, error) {
+// Fig14 sweeps the mapper acceleration rate at 512 MB / 1.8 GHz. It is
+// Fig14Ctx with a background context.
+func Fig14() (Table, error) { return Fig14Ctx(context.Background()) }
+
+// Fig14Ctx is Fig14 with cancellation and observability.
+func Fig14Ctx(ctx context.Context) (Table, error) {
 	var labels []string
 	for _, k := range fig14Accelerations {
 		labels = append(labels, fmt.Sprintf("%gx", k))
 	}
-	return accelTable("fig14",
+	return accelTable(ctx, "fig14",
 		"Speedup of Atom vs Xeon after acceleration relative to before (Eq. 1) vs mapper acceleration",
 		"Accel", labels,
 		func(w workloads.Workload, i int) (float64, error) {
-			return accelRatio(w, 512, 1.8, fig14Accelerations[i])
+			return accelRatio(ctx, w, 512, 1.8, fig14Accelerations[i])
 		})
 }
 
-// Fig15 sweeps frequency at a fixed 30x acceleration.
-func Fig15() (Table, error) {
+// Fig15 sweeps frequency at a fixed 30x acceleration. It is Fig15Ctx with
+// a background context.
+func Fig15() (Table, error) { return Fig15Ctx(context.Background()) }
+
+// Fig15Ctx is Fig15 with cancellation and observability.
+func Fig15Ctx(ctx context.Context) (Table, error) {
 	var labels []string
 	for _, f := range paperFrequencies {
 		labels = append(labels, f1(f)+"GHz")
 	}
-	return accelTable("fig15",
+	return accelTable(ctx, "fig15",
 		"Post-acceleration speedup ratio (Eq. 1) vs frequency (30x acceleration, 512MB)",
 		"Freq", labels,
 		func(w workloads.Workload, i int) (float64, error) {
-			return accelRatio(w, 512, paperFrequencies[i], 30)
+			return accelRatio(ctx, w, 512, paperFrequencies[i], 30)
 		})
 }
 
-// Fig16 sweeps HDFS block size at a fixed 30x acceleration.
-func Fig16() (Table, error) {
+// Fig16 sweeps HDFS block size at a fixed 30x acceleration. It is Fig16Ctx
+// with a background context.
+func Fig16() (Table, error) { return Fig16Ctx(context.Background()) }
+
+// Fig16Ctx is Fig16 with cancellation and observability.
+func Fig16Ctx(ctx context.Context) (Table, error) {
 	var labels []string
 	for _, bs := range microBlockSizes {
 		labels = append(labels, fmt.Sprintf("%dMB", bs))
 	}
-	return accelTable("fig16",
+	return accelTable(ctx, "fig16",
 		"Post-acceleration speedup ratio (Eq. 1) vs HDFS block size (30x acceleration, 1.8GHz)",
 		"Block", labels,
 		func(w workloads.Workload, i int) (float64, error) {
@@ -113,7 +126,7 @@ func Fig16() (Table, error) {
 					bs = 64
 				}
 			}
-			return accelRatio(w, bs, 1.8, 30)
+			return accelRatio(ctx, w, bs, 1.8, 30)
 		})
 }
 

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"heterohadoop/internal/cpu"
@@ -12,8 +13,12 @@ import (
 )
 
 // Table1 echoes the paper's architectural parameters (Table 1) from the
-// shipped core models.
-func Table1() (Table, error) {
+// shipped core models. It is Table1Ctx with a background context.
+func Table1() (Table, error) { return Table1Ctx(context.Background()) }
+
+// Table1Ctx is Table1 with cancellation and observability (the table is
+// static, so only the generator-level span applies).
+func Table1Ctx(_ context.Context) (Table, error) {
 	atom, xeon := cpu.AtomC2758(), cpu.XeonE52420()
 	row := func(name string, a, x string) []string { return []string{name, a, x} }
 	cacheRow := func(core cpu.Core, i int) string {
@@ -39,8 +44,13 @@ func Table1() (Table, error) {
 	}, nil
 }
 
-// Table2 lists the studied applications (Table 2).
-func Table2() (Table, error) {
+// Table2 lists the studied applications (Table 2). It is Table2Ctx with a
+// background context.
+func Table2() (Table, error) { return Table2Ctx(context.Background()) }
+
+// Table2Ctx is Table2 with cancellation and observability (the table is
+// static, so only the generator-level span applies).
+func Table2Ctx(_ context.Context) (Table, error) {
 	rows := [][]string{}
 	for _, w := range workloads.MicroBenchmarks() {
 		rows = append(rows, []string{"Hadoop micro-benchmark", w.Name(), shortName(w.Name()), w.Class().String()})
@@ -61,8 +71,14 @@ func Table2() (Table, error) {
 }
 
 // Fig1 reproduces the IPC comparison: suite-average IPC of SPEC, PARSEC and
-// Hadoop on both cores at 1.8 GHz.
-func Fig1() (Table, error) {
+// Hadoop on both cores at 1.8 GHz. It is Fig1Ctx with a background context.
+func Fig1() (Table, error) { return Fig1Ctx(context.Background()) }
+
+// Fig1Ctx is Fig1 with cancellation and observability.
+func Fig1Ctx(ctx context.Context) (Table, error) {
+	if err := ctx.Err(); err != nil {
+		return Table{}, fmt.Errorf("expt: fig1: cancelled: %w", err)
+	}
 	atomCore, xeonCore := cpu.AtomC2758(), cpu.XeonE52420()
 	atomPM, xeonPM := power.AtomNode(), power.XeonNode()
 	f := 1.8 * units.GHz
@@ -124,8 +140,12 @@ func Fig1() (Table, error) {
 }
 
 // Fig2 reproduces the EDxP ratio comparison between suites: Atom-to-Xeon
-// EDP, ED2P and ED3P ratios for SPEC, PARSEC and the Hadoop average.
-func Fig2() (Table, error) {
+// EDP, ED2P and ED3P ratios for SPEC, PARSEC and the Hadoop average. It is
+// Fig2Ctx with a background context.
+func Fig2() (Table, error) { return Fig2Ctx(context.Background()) }
+
+// Fig2Ctx is Fig2 with cancellation and observability.
+func Fig2Ctx(ctx context.Context) (Table, error) {
 	f := 1.8 * units.GHz
 	ratioRow := func(label string, edp, ed2p, ed3p float64) []string {
 		return []string{label, f2(edp), f2(ed2p), f2(ed3p)}
@@ -152,11 +172,11 @@ func Fig2() (Table, error) {
 	// Hadoop average over the six workloads at the paper configuration.
 	var sumEDP, sumED2P, sumED3P float64
 	for _, w := range workloads.All() {
-		a, err := run(w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.8)
+		a, err := runCtx(ctx, w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.8)
 		if err != nil {
 			return Table{}, err
 		}
-		x, err := run(w, sim.XeonNode(8), paperDataSize(w.Name()), 512, 1.8)
+		x, err := runCtx(ctx, w, sim.XeonNode(8), paperDataSize(w.Name()), 512, 1.8)
 		if err != nil {
 			return Table{}, err
 		}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"heterohadoop/internal/cpu"
@@ -15,7 +16,7 @@ import (
 // workload, fanning the cell grid out across the pool. The underlying
 // simulations are cached, so Table 3, Fig 17 and the scheduling search all
 // share one evaluation per cell.
-func costSamples(w workloads.Workload) (map[string]metrics.Sample, error) {
+func costSamples(ctx context.Context, w workloads.Workload) (map[string]metrics.Sample, error) {
 	data := paperDataSize(w.Name())
 	type costCell struct {
 		kind  cpu.Kind
@@ -32,8 +33,8 @@ func costSamples(w workloads.Workload) (map[string]metrics.Sample, error) {
 			cells = append(cells, costCell{kind, fmt.Sprintf("%s%d", label, m), m})
 		}
 	}
-	samples, err := pool.Map(Parallelism(), len(cells), func(i int) (metrics.Sample, error) {
-		return sched.Evaluate(w, cells[i].kind, cells[i].cores, data, 1.8*units.GHz)
+	samples, err := pool.MapCtx(ctx, Parallelism(), len(cells), func(i int) (metrics.Sample, error) {
+		return sched.EvaluateCtx(ctx, w, cells[i].kind, cells[i].cores, data, 1.8*units.GHz)
 	})
 	if err != nil {
 		return nil, err
@@ -47,16 +48,20 @@ func costSamples(w workloads.Workload) (map[string]metrics.Sample, error) {
 
 // allCostSamples evaluates costSamples for every workload concurrently,
 // returned in workloads.All() order.
-func allCostSamples() ([]map[string]metrics.Sample, error) {
+func allCostSamples(ctx context.Context) ([]map[string]metrics.Sample, error) {
 	all := workloads.All()
-	return pool.Map(Parallelism(), len(all), func(i int) (map[string]metrics.Sample, error) {
-		return costSamples(all[i])
+	return pool.MapCtx(ctx, Parallelism(), len(all), func(i int) (map[string]metrics.Sample, error) {
+		return costSamples(ctx, all[i])
 	})
 }
 
 // Table3 reproduces the operational and capital cost table: EDP, ED2P, EDAP
-// and ED2AP for 2/4/6/8 cores (mappers = cores) on both platforms.
-func Table3() (Table, error) {
+// and ED2AP for 2/4/6/8 cores (mappers = cores) on both platforms. It is
+// Table3Ctx with a background context.
+func Table3() (Table, error) { return Table3Ctx(context.Background()) }
+
+// Table3Ctx is Table3 with cancellation and observability.
+func Table3Ctx(ctx context.Context) (Table, error) {
 	header := []string{"Metric", "Workload", "Atom-M2", "Atom-M4", "Atom-M6", "Atom-M8", "Xeon-M2", "Xeon-M4", "Xeon-M6", "Xeon-M8"}
 	metricsList := []struct {
 		name  string
@@ -67,7 +72,7 @@ func Table3() (Table, error) {
 		{"EDAP (J mm2 s)", func(s metrics.Sample) float64 { return s.EDAP() }},
 		{"ED2AP (J mm2 s2)", func(s metrics.Sample) float64 { return s.ED2AP() }},
 	}
-	bySample, err := allCostSamples()
+	bySample, err := allCostSamples(ctx)
 	if err != nil {
 		return Table{}, err
 	}
@@ -92,10 +97,14 @@ func Table3() (Table, error) {
 }
 
 // Fig17 reproduces the spider-graph data: the four cost metrics for every
-// (platform, core count), normalized to the 8-Xeon-core configuration.
-func Fig17() (Table, error) {
+// (platform, core count), normalized to the 8-Xeon-core configuration. It
+// is Fig17Ctx with a background context.
+func Fig17() (Table, error) { return Fig17Ctx(context.Background()) }
+
+// Fig17Ctx is Fig17 with cancellation and observability.
+func Fig17Ctx(ctx context.Context) (Table, error) {
 	header := []string{"Workload", "Config", "EDP", "ED2P", "EDAP", "ED2AP"}
-	bySample, err := allCostSamples()
+	bySample, err := allCostSamples(ctx)
 	if err != nil {
 		return Table{}, err
 	}
@@ -123,15 +132,19 @@ func Fig17() (Table, error) {
 }
 
 // SchedulingCase reproduces the §3.5 case study: the policy decision and
-// the exhaustive-search optimum for each workload under each goal.
-func SchedulingCase() (Table, error) {
+// the exhaustive-search optimum for each workload under each goal. It is
+// SchedulingCaseCtx with a background context.
+func SchedulingCase() (Table, error) { return SchedulingCaseCtx(context.Background()) }
+
+// SchedulingCaseCtx is SchedulingCase with cancellation and observability.
+func SchedulingCaseCtx(ctx context.Context) (Table, error) {
 	header := []string{"Workload", "Class", "Goal", "Policy", "Optimal", "Optimal score"}
 	all := workloads.All()
 	goals := []sched.Goal{sched.MinEDP, sched.MinED2P, sched.MinEDAP, sched.MinED2AP}
-	rows, err := mapRows(len(all)*len(goals), func(k int) ([]string, error) {
+	rows, err := mapRowsCtx(ctx, len(all)*len(goals), func(k int) ([]string, error) {
 		w, goal := all[k/len(goals)], goals[k%len(goals)]
 		policy := sched.Policy(w.Class(), goal)
-		opt, sample, err := sched.Optimal(w, goal, paperDataSize(w.Name()), 1.8*units.GHz)
+		opt, sample, err := sched.OptimalCtx(ctx, w, goal, paperDataSize(w.Name()), 1.8*units.GHz)
 		if err != nil {
 			return nil, err
 		}

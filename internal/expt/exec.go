@@ -11,6 +11,7 @@ package expt
 // search) are simulated once per process.
 
 import (
+	"context"
 	"sync/atomic"
 
 	"heterohadoop/internal/pool"
@@ -51,16 +52,19 @@ type simCell struct {
 	fGHz    float64
 }
 
-// runCells evaluates the grid across the pool and returns reports in cell
-// order.
-func runCells(cells []simCell) ([]sim.Report, error) {
-	return pool.Map(Parallelism(), len(cells), func(i int) (sim.Report, error) {
+// runCellsCtx evaluates the grid across the pool and returns reports in
+// cell order. The context flows into every cell, so cancellation stops
+// the sweep within one simulation and the carried observer sees each
+// cell's sim.run span and cache counters.
+func runCellsCtx(ctx context.Context, cells []simCell) ([]sim.Report, error) {
+	return pool.MapCtx(ctx, Parallelism(), len(cells), func(i int) (sim.Report, error) {
 		c := cells[i]
-		return run(c.w, c.node, c.data, c.blockMB, c.fGHz)
+		return runCtx(ctx, c.w, c.node, c.data, c.blockMB, c.fGHz)
 	})
 }
 
-// mapRows builds one row per index across the pool, preserving row order.
-func mapRows(n int, fn func(i int) ([]string, error)) ([][]string, error) {
-	return pool.Map(Parallelism(), n, fn)
+// mapRowsCtx builds one row per index across the pool, preserving row
+// order.
+func mapRowsCtx(ctx context.Context, n int, fn func(i int) ([]string, error)) ([][]string, error) {
+	return pool.MapCtx(ctx, Parallelism(), n, fn)
 }

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"heterohadoop/internal/dse"
@@ -16,9 +17,12 @@ import (
 // as the reproduced figures.
 
 // ExtDSE scores the default candidate space on the paper mix and reports
-// the Pareto frontier.
-func ExtDSE() (Table, error) {
-	results, err := dse.Explore(dse.DefaultSpace(), dse.PaperMix(), 256*units.MB, 1.8*units.GHz, 8)
+// the Pareto frontier. It is ExtDSECtx with a background context.
+func ExtDSE() (Table, error) { return ExtDSECtx(context.Background()) }
+
+// ExtDSECtx is ExtDSE with cancellation and observability.
+func ExtDSECtx(ctx context.Context) (Table, error) {
+	results, err := dse.ExploreCtx(ctx, dse.DefaultSpace(), dse.PaperMix(), 256*units.MB, 1.8*units.GHz, 8)
 	if err != nil {
 		return Table{}, err
 	}
@@ -49,21 +53,25 @@ func ExtDSE() (Table, error) {
 // ExtPhaseSplit compares homogeneous deployments against the little-map/
 // big-reduce split for every workload. Workload rows run on the pool; the
 // homogeneous runs coalesce with the split's per-side runs in the cache.
-func ExtPhaseSplit() (Table, error) {
+// It is ExtPhaseSplitCtx with a background context.
+func ExtPhaseSplit() (Table, error) { return ExtPhaseSplitCtx(context.Background()) }
+
+// ExtPhaseSplitCtx is ExtPhaseSplit with cancellation and observability.
+func ExtPhaseSplitCtx(ctx context.Context) (Table, error) {
 	little := sim.NewCluster(sim.AtomNode(8))
 	big := sim.NewCluster(sim.XeonNode(8))
 	all := workloads.All()
-	rows, err := mapRows(len(all), func(i int) ([]string, error) {
+	rows, err := mapRowsCtx(ctx, len(all), func(i int) ([]string, error) {
 		w := all[i]
 		job := sim.JobSpec{
 			Name: w.Name(), Spec: w.Spec(), DataPerNode: paperDataSize(w.Name()),
 			BlockSize: 512 * units.MB, Frequency: 1.8 * units.GHz,
 		}
-		homoL, err := sim.RunCached(little, job)
+		homoL, err := sim.RunCachedCtx(ctx, little, job)
 		if err != nil {
 			return nil, err
 		}
-		homoB, err := sim.RunCached(big, job)
+		homoB, err := sim.RunCachedCtx(ctx, big, job)
 		if err != nil {
 			return nil, err
 		}
@@ -92,11 +100,16 @@ func ExtPhaseSplit() (Table, error) {
 }
 
 // ExtPerPhaseDVFS reports the EDP-optimal per-phase DVFS assignment for
-// every workload on the little cluster.
-func ExtPerPhaseDVFS() (Table, error) {
+// every workload on the little cluster. It is ExtPerPhaseDVFSCtx with a
+// background context.
+func ExtPerPhaseDVFS() (Table, error) { return ExtPerPhaseDVFSCtx(context.Background()) }
+
+// ExtPerPhaseDVFSCtx is ExtPerPhaseDVFS with cancellation and
+// observability.
+func ExtPerPhaseDVFSCtx(ctx context.Context) (Table, error) {
 	cluster := sim.NewCluster(sim.AtomNode(8))
 	all := workloads.All()
-	rows, err := mapRows(len(all), func(i int) ([]string, error) {
+	rows, err := mapRowsCtx(ctx, len(all), func(i int) ([]string, error) {
 		w := all[i]
 		job := sim.JobSpec{
 			Name: w.Name(), Spec: w.Spec(), DataPerNode: paperDataSize(w.Name()),
@@ -132,8 +145,13 @@ func ExtPerPhaseDVFS() (Table, error) {
 
 // ExtPowerBreakdown decomposes each workload's map-phase dynamic power into
 // components (cores, uncore, DRAM, disk) on both platforms — the
-// constituents the paper's wall meter aggregates.
-func ExtPowerBreakdown() (Table, error) {
+// constituents the paper's wall meter aggregates. It is
+// ExtPowerBreakdownCtx with a background context.
+func ExtPowerBreakdown() (Table, error) { return ExtPowerBreakdownCtx(context.Background()) }
+
+// ExtPowerBreakdownCtx is ExtPowerBreakdown with cancellation and
+// observability.
+func ExtPowerBreakdownCtx(ctx context.Context) (Table, error) {
 	all := workloads.All()
 	plats := []struct {
 		label string
@@ -143,9 +161,9 @@ func ExtPowerBreakdown() (Table, error) {
 		{"Atom", sim.AtomNode(8), power.AtomNode()},
 		{"Xeon", sim.XeonNode(8), power.XeonNode()},
 	}
-	rows, err := mapRows(len(all)*len(plats), func(k int) ([]string, error) {
+	rows, err := mapRowsCtx(ctx, len(all)*len(plats), func(k int) ([]string, error) {
 		w, p := all[k/len(plats)], plats[k%len(plats)]
-		r, err := sim.RunCached(sim.NewCluster(p.node), sim.JobSpec{
+		r, err := sim.RunCachedCtx(ctx, sim.NewCluster(p.node), sim.JobSpec{
 			Name: w.Name(), Spec: w.Spec(), DataPerNode: paperDataSize(w.Name()),
 			BlockSize: 512 * units.MB, Frequency: 1.8 * units.GHz,
 		})

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"heterohadoop/internal/sim"
@@ -33,7 +34,7 @@ func atomFirst() []platform {
 // execTimeSweep builds the Fig 3/4 style table: execution time for every
 // (platform, frequency, block size) cell. The cell grid runs on the pool;
 // rows are assembled serially in grid order.
-func execTimeSweep(id, title string, ws []workloads.Workload, blockSizes []int, data func(string) units.Bytes) (Table, error) {
+func execTimeSweep(ctx context.Context, id, title string, ws []workloads.Workload, blockSizes []int, data func(string) units.Bytes) (Table, error) {
 	header := []string{"Platform", "Freq[GHz]", "Block[MB]"}
 	for _, w := range ws {
 		header = append(header, shortName(w.Name())+"[s]")
@@ -48,7 +49,7 @@ func execTimeSweep(id, title string, ws []workloads.Workload, blockSizes []int, 
 			}
 		}
 	}
-	reps, err := runCells(cells)
+	reps, err := runCellsCtx(ctx, cells)
 	if err != nil {
 		return Table{}, err
 	}
@@ -70,18 +71,24 @@ func execTimeSweep(id, title string, ws []workloads.Workload, blockSizes []int, 
 }
 
 // Fig3 sweeps the four micro-benchmarks at 1 GB/node over block size and
-// frequency on both clusters.
-func Fig3() (Table, error) {
-	return execTimeSweep("fig3",
+// frequency on both clusters. It is Fig3Ctx with a background context.
+func Fig3() (Table, error) { return Fig3Ctx(context.Background()) }
+
+// Fig3Ctx is Fig3 with cancellation and observability.
+func Fig3Ctx(ctx context.Context) (Table, error) {
+	return execTimeSweep(ctx, "fig3",
 		"Execution time of Hadoop micro-benchmarks vs HDFS block size and frequency (1 GB/node)",
 		workloads.MicroBenchmarks(), microBlockSizes,
 		func(string) units.Bytes { return units.GB })
 }
 
 // Fig4 sweeps the two real-world applications at 10 GB/node (block sizes
-// from 64 MB per the paper).
-func Fig4() (Table, error) {
-	return execTimeSweep("fig4",
+// from 64 MB per the paper). It is Fig4Ctx with a background context.
+func Fig4() (Table, error) { return Fig4Ctx(context.Background()) }
+
+// Fig4Ctx is Fig4 with cancellation and observability.
+func Fig4Ctx(ctx context.Context) (Table, error) {
+	return execTimeSweep(ctx, "fig4",
 		"Execution time of real-world applications vs HDFS block size and frequency (10 GB/node)",
 		workloads.RealWorld(), realBlockSizes,
 		func(string) units.Bytes { return 10 * units.GB })
@@ -92,7 +99,7 @@ func Fig4() (Table, error) {
 // the 512 MB block, exactly as the paper normalizes. The normalization
 // reference cells are appended to the grid; the cache coalesces them with
 // their grid duplicates, so they cost nothing extra.
-func edpVsFrequency(id, title string, ws []workloads.Workload) (Table, error) {
+func edpVsFrequency(ctx context.Context, id, title string, ws []workloads.Workload) (Table, error) {
 	header := []string{"Platform", "Freq[GHz]"}
 	for _, w := range ws {
 		header = append(header, shortName(w.Name()))
@@ -109,7 +116,7 @@ func edpVsFrequency(id, title string, ws []workloads.Workload) (Table, error) {
 	for _, w := range ws {
 		cells = append(cells, simCell{w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.2})
 	}
-	reps, err := runCells(cells)
+	reps, err := runCellsCtx(ctx, cells)
 	if err != nil {
 		return Table{}, err
 	}
@@ -132,23 +139,31 @@ func edpVsFrequency(id, title string, ws []workloads.Workload) (Table, error) {
 	return Table{ID: id, Title: title, Header: header, Rows: rows}, nil
 }
 
-// Fig5 gives whole-application EDP vs frequency for NB and FP.
-func Fig5() (Table, error) {
-	return edpVsFrequency("fig5",
+// Fig5 gives whole-application EDP vs frequency for NB and FP. It is
+// Fig5Ctx with a background context.
+func Fig5() (Table, error) { return Fig5Ctx(context.Background()) }
+
+// Fig5Ctx is Fig5 with cancellation and observability.
+func Fig5Ctx(ctx context.Context) (Table, error) {
+	return edpVsFrequency(ctx, "fig5",
 		"EDP of real-world applications vs frequency (normalized to Atom @1.2GHz)",
 		workloads.RealWorld())
 }
 
 // Fig6 gives whole-application EDP vs frequency for the micro-benchmarks.
-func Fig6() (Table, error) {
-	return edpVsFrequency("fig6",
+// It is Fig6Ctx with a background context.
+func Fig6() (Table, error) { return Fig6Ctx(context.Background()) }
+
+// Fig6Ctx is Fig6 with cancellation and observability.
+func Fig6Ctx(ctx context.Context) (Table, error) {
+	return edpVsFrequency(ctx, "fig6",
 		"EDP of micro-benchmarks vs frequency (normalized to Atom @1.2GHz)",
 		workloads.MicroBenchmarks())
 }
 
 // phaseEDP builds the Fig 7/8 style table: map- and reduce-phase EDP per
 // (platform, frequency), normalized per workload and phase to Atom @1.2 GHz.
-func phaseEDP(id, title string, ws []workloads.Workload) (Table, error) {
+func phaseEDP(ctx context.Context, id, title string, ws []workloads.Workload) (Table, error) {
 	header := []string{"Platform", "Freq[GHz]"}
 	for _, w := range ws {
 		header = append(header, shortName(w.Name())+"-map", shortName(w.Name())+"-red")
@@ -165,7 +180,7 @@ func phaseEDP(id, title string, ws []workloads.Workload) (Table, error) {
 	for _, w := range ws {
 		cells = append(cells, simCell{w, sim.AtomNode(8), paperDataSize(w.Name()), 512, 1.2})
 	}
-	reps, err := runCells(cells)
+	reps, err := runCellsCtx(ctx, cells)
 	if err != nil {
 		return Table{}, err
 	}
@@ -204,22 +219,33 @@ func phaseEDP(id, title string, ws []workloads.Workload) (Table, error) {
 }
 
 // Fig7 gives map/reduce phase EDP vs frequency for the micro-benchmarks.
-func Fig7() (Table, error) {
-	return phaseEDP("fig7",
+// It is Fig7Ctx with a background context.
+func Fig7() (Table, error) { return Fig7Ctx(context.Background()) }
+
+// Fig7Ctx is Fig7 with cancellation and observability.
+func Fig7Ctx(ctx context.Context) (Table, error) {
+	return phaseEDP(ctx, "fig7",
 		"Map/Reduce phase EDP of micro-benchmarks vs frequency (normalized to Atom @1.2GHz)",
 		workloads.MicroBenchmarks())
 }
 
-// Fig8 gives map/reduce phase EDP vs frequency for NB and FP.
-func Fig8() (Table, error) {
-	return phaseEDP("fig8",
+// Fig8 gives map/reduce phase EDP vs frequency for NB and FP. It is
+// Fig8Ctx with a background context.
+func Fig8() (Table, error) { return Fig8Ctx(context.Background()) }
+
+// Fig8Ctx is Fig8 with cancellation and observability.
+func Fig8Ctx(ctx context.Context) (Table, error) {
+	return phaseEDP(ctx, "fig8",
 		"Map/Reduce phase EDP of real-world applications vs frequency (normalized to Atom @1.2GHz)",
 		workloads.RealWorld())
 }
 
 // Fig9 gives the Xeon-to-Atom EDP ratio as a function of block size at
-// 1.8 GHz for all six workloads.
-func Fig9() (Table, error) {
+// 1.8 GHz for all six workloads. It is Fig9Ctx with a background context.
+func Fig9() (Table, error) { return Fig9Ctx(context.Background()) }
+
+// Fig9Ctx is Fig9 with cancellation and observability.
+func Fig9Ctx(ctx context.Context) (Table, error) {
 	header := []string{"Block[MB]"}
 	for _, w := range workloads.All() {
 		header = append(header, shortName(w.Name()))
@@ -232,7 +258,7 @@ func Fig9() (Table, error) {
 				simCell{w, sim.XeonNode(8), paperDataSize(w.Name()), bs, 1.8})
 		}
 	}
-	reps, err := runCells(cells)
+	reps, err := runCellsCtx(ctx, cells)
 	if err != nil {
 		return Table{}, err
 	}
@@ -261,7 +287,7 @@ var dataSizes = []units.Bytes{units.GB, 10 * units.GB, 20 * units.GB}
 // dataSizeGrid enumerates the Fig 10-13 cell grid (workload x platform x
 // data size at 512 MB / 1.8 GHz) and runs it on the pool. The returned
 // index function addresses a report by its loop coordinates.
-func dataSizeGrid(ws []workloads.Workload) ([]sim.Report, func(wi, pi, si int) sim.Report, error) {
+func dataSizeGrid(ctx context.Context, ws []workloads.Workload) ([]sim.Report, func(wi, pi, si int) sim.Report, error) {
 	var cells []simCell
 	for _, w := range ws {
 		for _, p := range atomFirst() {
@@ -270,7 +296,7 @@ func dataSizeGrid(ws []workloads.Workload) ([]sim.Report, func(wi, pi, si int) s
 			}
 		}
 	}
-	reps, err := runCells(cells)
+	reps, err := runCellsCtx(ctx, cells)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -283,8 +309,8 @@ func dataSizeGrid(ws []workloads.Workload) ([]sim.Report, func(wi, pi, si int) s
 
 // breakdownSweep builds the Fig 10/11 style table: per-phase execution time
 // share plus the total, per (workload, platform, data size).
-func breakdownSweep(id, title string, ws []workloads.Workload) (Table, error) {
-	_, at, err := dataSizeGrid(ws)
+func breakdownSweep(ctx context.Context, id, title string, ws []workloads.Workload) (Table, error) {
+	_, at, err := dataSizeGrid(ctx, ws)
 	if err != nil {
 		return Table{}, err
 	}
@@ -315,26 +341,37 @@ func breakdownSweep(id, title string, ws []workloads.Workload) (Table, error) {
 }
 
 // Fig10 gives the execution-time breakdown vs data size for WC and TS.
-func Fig10() (Table, error) {
+// It is Fig10Ctx with a background context.
+func Fig10() (Table, error) { return Fig10Ctx(context.Background()) }
+
+// Fig10Ctx is Fig10 with cancellation and observability.
+func Fig10Ctx(ctx context.Context) (Table, error) {
 	wc, _ := workloads.ByName("wordcount")
 	ts, _ := workloads.ByName("terasort")
-	return breakdownSweep("fig10",
+	return breakdownSweep(ctx, "fig10",
 		"Execution time and breakdown of micro-benchmarks vs input size (512MB, 1.8GHz)",
 		[]workloads.Workload{wc, ts})
 }
 
 // Fig11 gives the execution-time breakdown vs data size for NB and FP.
-func Fig11() (Table, error) {
-	return breakdownSweep("fig11",
+// It is Fig11Ctx with a background context.
+func Fig11() (Table, error) { return Fig11Ctx(context.Background()) }
+
+// Fig11Ctx is Fig11 with cancellation and observability.
+func Fig11Ctx(ctx context.Context) (Table, error) {
+	return breakdownSweep(ctx, "fig11",
 		"Execution time and breakdown of real-world applications vs input size (512MB, 1.8GHz)",
 		workloads.RealWorld())
 }
 
 // Fig12 gives whole-application EDP vs data size, normalized per workload
-// to Atom at 1 GB.
-func Fig12() (Table, error) {
+// to Atom at 1 GB. It is Fig12Ctx with a background context.
+func Fig12() (Table, error) { return Fig12Ctx(context.Background()) }
+
+// Fig12Ctx is Fig12 with cancellation and observability.
+func Fig12Ctx(ctx context.Context) (Table, error) {
 	header := []string{"Workload", "Platform", "1GB", "10GB", "20GB"}
-	_, at, err := dataSizeGrid(workloads.All())
+	_, at, err := dataSizeGrid(ctx, workloads.All())
 	if err != nil {
 		return Table{}, err
 	}
@@ -363,10 +400,14 @@ func Fig12() (Table, error) {
 
 // Fig13 gives map- and reduce-phase EDP vs data size, normalized per
 // workload and phase to Atom at 1 GB. Both phase passes read the same
-// cached grid instead of re-simulating it.
-func Fig13() (Table, error) {
+// cached grid instead of re-simulating it. It is Fig13Ctx with a
+// background context.
+func Fig13() (Table, error) { return Fig13Ctx(context.Background()) }
+
+// Fig13Ctx is Fig13 with cancellation and observability.
+func Fig13Ctx(ctx context.Context) (Table, error) {
 	header := []string{"Workload", "Platform", "Phase", "1GB", "10GB", "20GB"}
-	_, at, err := dataSizeGrid(workloads.All())
+	_, at, err := dataSizeGrid(ctx, workloads.All())
 	if err != nil {
 		return Table{}, err
 	}

@@ -1,0 +1,204 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+)
+
+// SpanSummary aggregates every completed span of one name.
+type SpanSummary struct {
+	// Count is the number of completed spans.
+	Count int64
+	// Total, Min and Max summarize the wall-clock durations.
+	Total time.Duration
+	Min   time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration, or 0 before any completion.
+func (s SpanSummary) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Progress is the last reported completion state of one labelled unit.
+type Progress struct {
+	Done  int
+	Total int
+}
+
+// Snapshot is a point-in-time copy of a Collector's aggregates.
+type Snapshot struct {
+	// Spans maps span name to its duration summary (completed spans only).
+	Spans map[string]SpanSummary
+	// Counters maps counter name to its accumulated value.
+	Counters map[string]int64
+	// Gauges maps gauge name to its most recent value.
+	Gauges map[string]float64
+	// Progress maps label to the last reported done/total.
+	Progress map[string]Progress
+}
+
+// Collector is the in-memory aggregating observer: per-span-name duration
+// summaries, counters, gauges and progress, safe for concurrent emission.
+// Use it when the caller wants to inspect what a run did (cache hit rates,
+// tasks reassigned, per-phase span costs) without streaming a trace.
+type Collector struct {
+	mu       sync.Mutex
+	nextID   SpanID
+	active   map[SpanID]activeSpan
+	spans    map[string]SpanSummary
+	counters map[string]int64
+	gauges   map[string]float64
+	progress map[string]Progress
+	clock    func() time.Time
+}
+
+// activeSpan is one open span awaiting SpanEnd.
+type activeSpan struct {
+	name  string
+	start time.Time
+}
+
+// NewCollector returns an empty collector.
+func NewCollector() *Collector {
+	return &Collector{
+		active:   make(map[SpanID]activeSpan),
+		spans:    make(map[string]SpanSummary),
+		counters: make(map[string]int64),
+		gauges:   make(map[string]float64),
+		progress: make(map[string]Progress),
+		clock:    time.Now,
+	}
+}
+
+// Enabled always reports true: a collector wants every event.
+func (c *Collector) Enabled() bool { return true }
+
+// SpanStart opens a span; attributes are not aggregated (use TraceWriter
+// for attribute-level detail).
+func (c *Collector) SpanStart(name string, _ []Attr) SpanID {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.nextID++
+	c.active[c.nextID] = activeSpan{name: name, start: now}
+	return c.nextID
+}
+
+// SpanEnd folds the finished span into its name's summary.
+func (c *Collector) SpanEnd(id SpanID) {
+	now := c.clock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	sp, ok := c.active[id]
+	if !ok {
+		return
+	}
+	delete(c.active, id)
+	d := now.Sub(sp.start)
+	s := c.spans[sp.name]
+	if s.Count == 0 || d < s.Min {
+		s.Min = d
+	}
+	if d > s.Max {
+		s.Max = d
+	}
+	s.Count++
+	s.Total += d
+	c.spans[sp.name] = s
+}
+
+// Count adds delta to the named counter.
+func (c *Collector) Count(name string, delta int64) {
+	c.mu.Lock()
+	c.counters[name] += delta
+	c.mu.Unlock()
+}
+
+// Gauge records the latest value of the named gauge.
+func (c *Collector) Gauge(name string, value float64) {
+	c.mu.Lock()
+	c.gauges[name] = value
+	c.mu.Unlock()
+}
+
+// Progress records the latest done/total for the label.
+func (c *Collector) Progress(label string, done, total int) {
+	c.mu.Lock()
+	c.progress[label] = Progress{Done: done, Total: total}
+	c.mu.Unlock()
+}
+
+// Counter returns the current value of one counter (0 if never counted).
+func (c *Collector) Counter(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.counters[name]
+}
+
+// SpanCount returns how many spans of the given name have completed.
+func (c *Collector) SpanCount(name string) int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.spans[name].Count
+}
+
+// Snapshot copies the current aggregates.
+func (c *Collector) Snapshot() Snapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := Snapshot{
+		Spans:    make(map[string]SpanSummary, len(c.spans)),
+		Counters: make(map[string]int64, len(c.counters)),
+		Gauges:   make(map[string]float64, len(c.gauges)),
+		Progress: make(map[string]Progress, len(c.progress)),
+	}
+	for k, v := range c.spans {
+		out.Spans[k] = v
+	}
+	for k, v := range c.counters {
+		out.Counters[k] = v
+	}
+	for k, v := range c.gauges {
+		out.Gauges[k] = v
+	}
+	for k, v := range c.progress {
+		out.Progress[k] = v
+	}
+	return out
+}
+
+// WriteSummary renders the aggregates as aligned text, one line per span
+// name and counter, in sorted order — the -v report of cmd/experiments.
+func (c *Collector) WriteSummary(w io.Writer) error {
+	snap := c.Snapshot()
+	var names []string
+	for n := range snap.Spans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		s := snap.Spans[n]
+		if _, err := fmt.Fprintf(w, "span %-20s n=%-5d total=%-12v mean=%v\n",
+			n, s.Count, s.Total.Round(time.Microsecond), s.Mean().Round(time.Microsecond)); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for n := range snap.Counters {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		if _, err := fmt.Fprintf(w, "count %-19s %d\n", n, snap.Counters[n]); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestNopFastPathAllocationFree pins the tentpole's performance contract:
+// the instrumented hot paths, run without an observer, must not allocate.
+func TestNopFastPathAllocationFree(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		o := FromContext(ctx)
+		var sp Span
+		if o.Enabled() {
+			sp = Start(o, "hot", Str("k", "v"))
+		}
+		sp.End()
+		o.Count("hits", 1)
+		o.Gauge("g", 1.0)
+	})
+	if allocs != 0 {
+		t.Fatalf("no-op observer path allocates %v per op, want 0", allocs)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	if FromContext(context.Background()) != Nop {
+		t.Error("empty context should yield Nop")
+	}
+	c := NewCollector()
+	ctx := NewContext(context.Background(), c)
+	if FromContext(ctx) != Observer(c) {
+		t.Error("carried observer not returned")
+	}
+	if NewContext(ctx, nil) != ctx {
+		t.Error("nil observer should leave the context unchanged")
+	}
+}
+
+func TestCollectorAggregates(t *testing.T) {
+	c := NewCollector()
+	now := time.Unix(0, 0)
+	c.clock = func() time.Time { return now }
+
+	id := c.SpanStart("work", nil)
+	now = now.Add(10 * time.Millisecond)
+	c.SpanEnd(id)
+	id = c.SpanStart("work", nil)
+	now = now.Add(30 * time.Millisecond)
+	c.SpanEnd(id)
+	c.Count("n", 2)
+	c.Count("n", 3)
+	c.Gauge("g", 1.5)
+	c.Gauge("g", 2.5)
+	c.Progress("rows", 3, 10)
+
+	s := c.Snapshot()
+	w := s.Spans["work"]
+	if w.Count != 2 || w.Min != 10*time.Millisecond || w.Max != 30*time.Millisecond || w.Total != 40*time.Millisecond {
+		t.Errorf("span summary wrong: %+v", w)
+	}
+	if w.Mean() != 20*time.Millisecond {
+		t.Errorf("mean = %v, want 20ms", w.Mean())
+	}
+	if s.Counters["n"] != 5 {
+		t.Errorf("counter = %d, want 5", s.Counters["n"])
+	}
+	if s.Gauges["g"] != 2.5 {
+		t.Errorf("gauge = %v, want last value 2.5", s.Gauges["g"])
+	}
+	if s.Progress["rows"] != (Progress{Done: 3, Total: 10}) {
+		t.Errorf("progress = %+v", s.Progress["rows"])
+	}
+	// Ending an unknown span is a no-op.
+	c.SpanEnd(9999)
+	if c.SpanCount("work") != 2 {
+		t.Error("unknown SpanEnd perturbed the summaries")
+	}
+
+	var buf bytes.Buffer
+	if err := c.WriteSummary(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "span work") || !strings.Contains(out, "count n") {
+		t.Errorf("summary missing lines:\n%s", out)
+	}
+}
+
+// TestCollectorConcurrent exercises concurrent emission; the race detector
+// in ci.sh turns any unsynchronized access into a failure.
+func TestCollectorConcurrent(t *testing.T) {
+	c := NewCollector()
+	tw := NewTraceWriter(&bytes.Buffer{})
+	o := Tee(c, tw)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				sp := Start(o, "span", Int("i", int64(i)))
+				o.Count("ops", 1)
+				o.Gauge("last", float64(i))
+				o.Progress("work", i, 200)
+				sp.End()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Counter("ops"); got != 8*200 {
+		t.Errorf("ops = %d, want %d", got, 8*200)
+	}
+	if got := c.SpanCount("span"); got != 8*200 {
+		t.Errorf("spans = %d, want %d", got, 8*200)
+	}
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTraceWriterRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	sp := Start(tw, "outer", Str("artefact", "fig3"), Int("cells", 40))
+	tw.Count("sim.cache.misses", 4)
+	tw.Gauge("sim.phase.map.seconds", 12.5)
+	tw.Progress("artefacts", 1, 25)
+	sp.End()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 4 {
+		t.Fatalf("got %d events, want 4", len(events))
+	}
+	byType := map[string]TraceEvent{}
+	for _, ev := range events {
+		byType[ev.Type] = ev
+	}
+	span := byType["span"]
+	if span.Name != "outer" || span.Attrs["artefact"] != "fig3" || span.Attrs["cells"] != "40" {
+		t.Errorf("span event wrong: %+v", span)
+	}
+	if span.Start == "" {
+		t.Error("span missing start timestamp")
+	}
+	if byType["count"].Delta != 4 || byType["gauge"].Value != 12.5 {
+		t.Errorf("count/gauge wrong: %+v %+v", byType["count"], byType["gauge"])
+	}
+	if byType["progress"].Done != 1 || byType["progress"].Total != 25 {
+		t.Errorf("progress wrong: %+v", byType["progress"])
+	}
+}
+
+func TestReadTraceRejectsGarbage(t *testing.T) {
+	if _, err := ReadTrace(strings.NewReader("{\"type\":\"span\",\"name\":\"a\"}\nnot json\n")); err == nil {
+		t.Error("malformed line accepted")
+	}
+	if _, err := ReadTrace(strings.NewReader("{\"name\":\"untyped\"}\n")); err == nil {
+		t.Error("missing type accepted")
+	}
+}
+
+func TestTee(t *testing.T) {
+	if Tee() != Nop {
+		t.Error("empty Tee should be Nop")
+	}
+	if Tee(nil, Nop) != Nop {
+		t.Error("Tee of nil/Nop should be Nop")
+	}
+	c := NewCollector()
+	if Tee(c) != Observer(c) {
+		t.Error("single-part Tee should unwrap")
+	}
+	c2 := NewCollector()
+	o := Tee(c, c2)
+	sp := Start(o, "x")
+	sp.End()
+	o.Count("n", 1)
+	if c.SpanCount("x") != 1 || c2.SpanCount("x") != 1 {
+		t.Error("span not fanned out to both parts")
+	}
+	if c.Counter("n") != 1 || c2.Counter("n") != 1 {
+		t.Error("count not fanned out to both parts")
+	}
+	// Unknown span end must be ignored.
+	o.SpanEnd(424242)
+}
+
+func TestProgressPrinter(t *testing.T) {
+	var buf bytes.Buffer
+	p := NewProgressPrinter(&buf)
+	sp := Start(p, "ignored")
+	sp.End()
+	p.Count("ignored", 1)
+	p.Gauge("ignored", 1)
+	p.Progress("artefacts", 2, 25)
+	if got := buf.String(); got != "artefacts 2/25\n" {
+		t.Errorf("progress output = %q", got)
+	}
+}

@@ -1,0 +1,42 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// ProgressPrinter is an Observer that renders only progress events, one
+// line per report ("label 3/25"), and drops spans, counters and gauges.
+// cmd/experiments -progress attaches one to stderr.
+type ProgressPrinter struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewProgressPrinter returns a progress-only observer writing to w.
+func NewProgressPrinter(w io.Writer) *ProgressPrinter {
+	return &ProgressPrinter{w: w}
+}
+
+// Enabled always reports true so emitters keep sending events.
+func (p *ProgressPrinter) Enabled() bool { return true }
+
+// SpanStart is dropped.
+func (p *ProgressPrinter) SpanStart(string, []Attr) SpanID { return 0 }
+
+// SpanEnd is dropped.
+func (p *ProgressPrinter) SpanEnd(SpanID) {}
+
+// Count is dropped.
+func (p *ProgressPrinter) Count(string, int64) {}
+
+// Gauge is dropped.
+func (p *ProgressPrinter) Gauge(string, float64) {}
+
+// Progress prints one line per report.
+func (p *ProgressPrinter) Progress(label string, done, total int) {
+	p.mu.Lock()
+	fmt.Fprintf(p.w, "%s %d/%d\n", label, done, total)
+	p.mu.Unlock()
+}

@@ -1,0 +1,79 @@
+package obs
+
+import "sync"
+
+// Tee fans events out to several observers. Nil and Nop parts are dropped;
+// with no live part it returns Nop, and a single live part is returned
+// directly (no wrapper cost).
+func Tee(parts ...Observer) Observer {
+	var live []Observer
+	for _, p := range parts {
+		if p == nil || p == Nop {
+			continue
+		}
+		live = append(live, p)
+	}
+	switch len(live) {
+	case 0:
+		return Nop
+	case 1:
+		return live[0]
+	}
+	return &tee{parts: live, open: make(map[SpanID][]SpanID)}
+}
+
+// tee is the fan-out observer: it issues its own span ids and remembers
+// each part's id so SpanEnd can be forwarded correctly.
+type tee struct {
+	parts []Observer
+
+	mu   sync.Mutex
+	next SpanID
+	open map[SpanID][]SpanID
+}
+
+func (t *tee) Enabled() bool { return true }
+
+func (t *tee) SpanStart(name string, attrs []Attr) SpanID {
+	ids := make([]SpanID, len(t.parts))
+	for i, p := range t.parts {
+		ids[i] = p.SpanStart(name, attrs)
+	}
+	t.mu.Lock()
+	t.next++
+	id := t.next
+	t.open[id] = ids
+	t.mu.Unlock()
+	return id
+}
+
+func (t *tee) SpanEnd(id SpanID) {
+	t.mu.Lock()
+	ids, ok := t.open[id]
+	delete(t.open, id)
+	t.mu.Unlock()
+	if !ok {
+		return
+	}
+	for i, p := range t.parts {
+		p.SpanEnd(ids[i])
+	}
+}
+
+func (t *tee) Count(name string, delta int64) {
+	for _, p := range t.parts {
+		p.Count(name, delta)
+	}
+}
+
+func (t *tee) Gauge(name string, value float64) {
+	for _, p := range t.parts {
+		p.Gauge(name, value)
+	}
+}
+
+func (t *tee) Progress(label string, done, total int) {
+	for _, p := range t.parts {
+		p.Progress(label, done, total)
+	}
+}

@@ -1,0 +1,179 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// TraceEvent is one line of the JSONL trace stream. Every event carries
+// Type and Name; the remaining fields depend on the type:
+//
+//	"span"     — Span id, Attrs, Start (RFC3339Nano) and DurationNS; one
+//	             record per completed span, written at span end.
+//	"count"    — Delta added to the named counter.
+//	"gauge"    — Value of the named gauge.
+//	"progress" — Done and Total for the named label.
+type TraceEvent struct {
+	Type       string            `json:"type"`
+	Name       string            `json:"name"`
+	Span       uint64            `json:"span,omitempty"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Start      string            `json:"start,omitempty"`
+	DurationNS int64             `json:"duration_ns,omitempty"`
+	Delta      int64             `json:"delta,omitempty"`
+	Value      float64           `json:"value,omitempty"`
+	Done       int               `json:"done,omitempty"`
+	Total      int               `json:"total,omitempty"`
+}
+
+// TraceWriter streams events as JSON Lines: one self-contained JSON object
+// per line, decodable with ReadTrace (or any JSONL tool). Spans are
+// buffered in memory while open and written as a single record when they
+// end, so the stream needs no start/end pairing by consumers. Safe for
+// concurrent emission; call Close (or Flush) before reading the output.
+type TraceWriter struct {
+	mu     sync.Mutex
+	bw     *bufio.Writer
+	enc    *json.Encoder
+	nextID SpanID
+	open   map[SpanID]openSpan
+	err    error
+	clock  func() time.Time
+}
+
+// openSpan is a span awaiting its end record.
+type openSpan struct {
+	name  string
+	attrs map[string]string
+	start time.Time
+}
+
+// NewTraceWriter wraps w in a streaming JSONL trace observer.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	bw := bufio.NewWriter(w)
+	return &TraceWriter{
+		bw:    bw,
+		enc:   json.NewEncoder(bw),
+		open:  make(map[SpanID]openSpan),
+		clock: time.Now,
+	}
+}
+
+// Enabled always reports true: a trace writer wants every event.
+func (t *TraceWriter) Enabled() bool { return true }
+
+// SpanStart records the span's name, attributes and start time; the JSONL
+// record is emitted at SpanEnd.
+func (t *TraceWriter) SpanStart(name string, attrs []Attr) SpanID {
+	now := t.clock()
+	var m map[string]string
+	if len(attrs) > 0 {
+		m = make(map[string]string, len(attrs))
+		for _, a := range attrs {
+			m[a.Key] = a.Value
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.nextID++
+	t.open[t.nextID] = openSpan{name: name, attrs: m, start: now}
+	return t.nextID
+}
+
+// SpanEnd emits the completed span as one JSONL record.
+func (t *TraceWriter) SpanEnd(id SpanID) {
+	now := t.clock()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	sp, ok := t.open[id]
+	if !ok {
+		return
+	}
+	delete(t.open, id)
+	t.emit(TraceEvent{
+		Type:       "span",
+		Name:       sp.name,
+		Span:       uint64(id),
+		Attrs:      sp.attrs,
+		Start:      sp.start.Format(time.RFC3339Nano),
+		DurationNS: now.Sub(sp.start).Nanoseconds(),
+	})
+}
+
+// Count emits a counter increment record.
+func (t *TraceWriter) Count(name string, delta int64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emit(TraceEvent{Type: "count", Name: name, Delta: delta})
+}
+
+// Gauge emits a gauge record.
+func (t *TraceWriter) Gauge(name string, value float64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emit(TraceEvent{Type: "gauge", Name: name, Value: value})
+}
+
+// Progress emits a progress record.
+func (t *TraceWriter) Progress(label string, done, total int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emit(TraceEvent{Type: "progress", Name: label, Done: done, Total: total})
+}
+
+// emit encodes one event; called under t.mu. The first encoding error
+// sticks and suppresses further writes (surfaced by Close/Flush).
+func (t *TraceWriter) emit(ev TraceEvent) {
+	if t.err != nil {
+		return
+	}
+	t.err = t.enc.Encode(ev)
+}
+
+// Flush drains buffered records to the underlying writer and reports the
+// first error the stream hit.
+func (t *TraceWriter) Flush() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err != nil {
+		return t.err
+	}
+	t.err = t.bw.Flush()
+	return t.err
+}
+
+// Close flushes the stream. The underlying writer is not closed (the
+// caller owns it).
+func (t *TraceWriter) Close() error { return t.Flush() }
+
+// ReadTrace decodes a JSONL trace stream, failing on the first malformed
+// line — the validation the CI smoke test runs over cmd/experiments -trace
+// output.
+func ReadTrace(r io.Reader) ([]TraceEvent, error) {
+	var out []TraceEvent
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		if ev.Type == "" {
+			return nil, fmt.Errorf("obs: trace line %d: missing event type", line)
+		}
+		out = append(out, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: reading trace: %w", err)
+	}
+	return out, nil
+}

@@ -1,0 +1,70 @@
+// Command tracecheck validates a JSONL trace emitted by the obs layer
+// (cmd/experiments -trace, cmd/hadoopd -trace): every line must decode as
+// an obs.TraceEvent, and at least one span must be present. With
+// -artefacts, the trace must contain an "expt.artefact" span for each
+// listed artefact id — the CI smoke gate over cmd/experiments.
+//
+// Usage:
+//
+//	tracecheck trace.jsonl
+//	tracecheck -artefacts table3,fig9 trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heterohadoop/internal/obs"
+)
+
+func main() {
+	artefacts := flag.String("artefacts", "", "comma-separated artefact ids that must have expt.artefact spans")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-artefacts ids] trace.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer f.Close()
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	spans := 0
+	seen := map[string]bool{}
+	for _, ev := range events {
+		if ev.Type != "span" {
+			continue
+		}
+		spans++
+		if ev.Name == "expt.artefact" {
+			seen[ev.Attrs["id"]] = true
+		}
+	}
+	if spans == 0 {
+		fmt.Fprintln(os.Stderr, "tracecheck: no span events in trace")
+		os.Exit(1)
+	}
+	if *artefacts != "" {
+		var missing []string
+		for _, id := range strings.Split(*artefacts, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" && !seen[id] {
+				missing = append(missing, id)
+			}
+		}
+		if len(missing) > 0 {
+			fmt.Fprintf(os.Stderr, "tracecheck: missing expt.artefact spans for: %s\n", strings.Join(missing, ", "))
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("tracecheck: %d events, %d spans ok\n", len(events), spans)
+}

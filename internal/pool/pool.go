@@ -3,9 +3,16 @@
 // configurable number of goroutines. Results come back in index order, so
 // callers that assemble rows from them produce byte-identical output at
 // any width — the property the artefact golden files pin down.
+//
+// MapCtx and ForEachCtx are the context-aware entry points: a cancelled
+// context stops the pool from handing out new indices, and the call
+// returns an error wrapping the context's error. The legacy Map/ForEach
+// delegate to them with context.Background().
 package pool
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -15,12 +22,17 @@ import (
 // width: one worker per schedulable CPU.
 func DefaultWidth() int { return runtime.GOMAXPROCS(0) }
 
-// Map evaluates fn(i) for every i in [0, n) on up to width goroutines and
-// returns the results in index order. A non-positive width means
-// DefaultWidth; width 1 runs inline with no goroutines. On failure Map
+// MapCtx evaluates fn(i) for every i in [0, n) on up to width goroutines
+// and returns the results in index order. A non-positive width means
+// DefaultWidth; width 1 runs inline with no goroutines. On failure MapCtx
 // stops handing out new indices and returns the error of the lowest
 // failing index among those evaluated, with a nil slice.
-func Map[T any](width, n int, fn func(int) (T, error)) ([]T, error) {
+//
+// Cancellation is checked before every index: once ctx is done, no new
+// fn(i) starts (in-flight calls finish) and the returned error wraps
+// ctx.Err(), so callers can errors.Is it against context.Canceled or
+// context.DeadlineExceeded.
+func MapCtx[T any](ctx context.Context, width, n int, fn func(int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
@@ -33,6 +45,9 @@ func Map[T any](width, n int, fn func(int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	if width == 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("pool: cancelled before index %d: %w", i, err)
+			}
 			v, err := fn(i)
 			if err != nil {
 				return nil, err
@@ -50,6 +65,14 @@ func Map[T any](width, n int, fn func(int) (T, error)) ([]T, error) {
 		firstIdx = -1
 		firstErr error
 	)
+	fail := func(i int, err error) {
+		failed.Store(true)
+		mu.Lock()
+		if firstIdx < 0 || i < firstIdx {
+			firstIdx, firstErr = i, err
+		}
+		mu.Unlock()
+	}
 	worker := func() {
 		defer wg.Done()
 		for {
@@ -57,14 +80,13 @@ func Map[T any](width, n int, fn func(int) (T, error)) ([]T, error) {
 			if i >= n || failed.Load() {
 				return
 			}
+			if err := ctx.Err(); err != nil {
+				fail(i, fmt.Errorf("pool: cancelled before index %d: %w", i, err))
+				return
+			}
 			v, err := fn(i)
 			if err != nil {
-				failed.Store(true)
-				mu.Lock()
-				if firstIdx < 0 || i < firstIdx {
-					firstIdx, firstErr = i, err
-				}
-				mu.Unlock()
+				fail(i, err)
 				return
 			}
 			out[i] = v
@@ -81,10 +103,20 @@ func Map[T any](width, n int, fn func(int) (T, error)) ([]T, error) {
 	return out, nil
 }
 
-// ForEach is Map for side-effecting work without per-index results.
-func ForEach(width, n int, fn func(int) error) error {
-	_, err := Map(width, n, func(i int) (struct{}, error) {
+// Map is MapCtx without cancellation.
+func Map[T any](width, n int, fn func(int) (T, error)) ([]T, error) {
+	return MapCtx(context.Background(), width, n, fn)
+}
+
+// ForEachCtx is MapCtx for side-effecting work without per-index results.
+func ForEachCtx(ctx context.Context, width, n int, fn func(int) error) error {
+	_, err := MapCtx(ctx, width, n, func(i int) (struct{}, error) {
 		return struct{}{}, fn(i)
 	})
 	return err
+}
+
+// ForEach is ForEachCtx without cancellation.
+func ForEach(width, n int, fn func(int) error) error {
+	return ForEachCtx(context.Background(), width, n, fn)
 }

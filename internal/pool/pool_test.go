@@ -1,6 +1,7 @@
 package pool
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -63,6 +64,45 @@ func TestMapStopsHandingOutWorkAfterError(t *testing.T) {
 	// remaining thousands of indices must be skipped.
 	if c := calls.Load(); c > 4 {
 		t.Errorf("%d calls after failure, want early stop", c)
+	}
+}
+
+func TestMapCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var calls atomic.Int64
+	out, err := MapCtx(ctx, 4, 100, func(i int) (int, error) {
+		calls.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want wrapped context.Canceled", err)
+	}
+	if out != nil {
+		t.Errorf("results %v returned alongside cancellation", out)
+	}
+	if c := calls.Load(); c != 0 {
+		t.Errorf("%d calls despite pre-cancelled context", c)
+	}
+}
+
+func TestMapCtxCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var calls atomic.Int64
+	_, err := MapCtx(ctx, 2, 10_000, func(i int) (int, error) {
+		if calls.Add(1) == 3 {
+			cancel()
+		}
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v, want wrapped context.Canceled", err)
+	}
+	// The two in-flight cells may finish, but the remaining thousands of
+	// indices must be skipped once the cancellation is observed.
+	if c := calls.Load(); c > 8 {
+		t.Errorf("%d calls after cancellation, want early stop", c)
 	}
 }
 

@@ -6,6 +6,7 @@
 package sched
 
 import (
+	"context"
 	"fmt"
 
 	"heterohadoop/internal/cpu"
@@ -111,8 +112,16 @@ func Policy(class workloads.Class, goal Goal) Decision {
 }
 
 // Evaluate simulates the workload on the given core class and count and
-// returns the cost-metric sample (energy, delay, chip area).
+// returns the cost-metric sample (energy, delay, chip area). It is
+// EvaluateCtx with a background context.
 func Evaluate(w workloads.Workload, kind cpu.Kind, cores int, data units.Bytes, f units.Hertz) (metrics.Sample, error) {
+	return EvaluateCtx(context.Background(), w, kind, cores, data, f)
+}
+
+// EvaluateCtx is Evaluate with cancellation and observability: the context
+// flows into the cached simulator run, so an Observer carried by it sees
+// the cache counters and sim.run spans, and cancellation aborts the cell.
+func EvaluateCtx(ctx context.Context, w workloads.Workload, kind cpu.Kind, cores int, data units.Bytes, f units.Hertz) (metrics.Sample, error) {
 	node := sim.AtomNode(cores)
 	if kind == cpu.Big {
 		node = sim.XeonNode(cores)
@@ -128,7 +137,7 @@ func Evaluate(w workloads.Workload, kind cpu.Kind, cores int, data units.Bytes, 
 	if block < units.MB {
 		block = units.MB
 	}
-	r, err := sim.RunCached(sim.NewCluster(node), sim.JobSpec{
+	r, err := sim.RunCachedCtx(ctx, sim.NewCluster(node), sim.JobSpec{
 		Name:        w.Name(),
 		Spec:        w.Spec(),
 		DataPerNode: data,
@@ -152,8 +161,15 @@ func Evaluate(w workloads.Workload, kind cpu.Kind, cores int, data units.Bytes, 
 }
 
 // Optimal exhaustively searches both core classes and all core counts for
-// the allocation minimizing the goal, using the simulator.
+// the allocation minimizing the goal, using the simulator. It is
+// OptimalCtx with a background context.
 func Optimal(w workloads.Workload, goal Goal, data units.Bytes, f units.Hertz) (Decision, metrics.Sample, error) {
+	return OptimalCtx(context.Background(), w, goal, data, f)
+}
+
+// OptimalCtx is Optimal with cancellation: a cancelled context stops the
+// search at the next cell with an error wrapping ctx.Err().
+func OptimalCtx(ctx context.Context, w workloads.Workload, goal Goal, data units.Bytes, f units.Hertz) (Decision, metrics.Sample, error) {
 	var (
 		best       Decision
 		bestSample metrics.Sample
@@ -161,7 +177,7 @@ func Optimal(w workloads.Workload, goal Goal, data units.Bytes, f units.Hertz) (
 	)
 	for _, kind := range []cpu.Kind{cpu.Little, cpu.Big} {
 		for _, m := range CoreCounts {
-			s, err := Evaluate(w, kind, m, data, f)
+			s, err := EvaluateCtx(ctx, w, kind, m, data, f)
 			if err != nil {
 				return Decision{}, metrics.Sample{}, err
 			}

@@ -12,9 +12,13 @@ package sim
 // once the sweep executor fans cells out across a worker pool.
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"sync"
 
 	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/obs"
 )
 
 // CacheStats is a snapshot of the result-cache counters.
@@ -62,23 +66,48 @@ func newResultCache() *resultCache {
 	return &resultCache{entries: make(map[string]*cacheEntry)}
 }
 
+// cacheOutcome classifies how one lookup was served; RunCachedCtx turns
+// it into the matching observer counter.
+type cacheOutcome int
+
+const (
+	outcomeMiss cacheOutcome = iota
+	outcomeHit
+	outcomeCoalesced
+)
+
 // do returns the memoized result for key, computing it with fn on the
 // first request. Concurrent requests for the same key share one fn call.
-// The key is taken as bytes so the hot path — a hit — does a map lookup
-// through string(key) without allocating; only a miss copies the key into
-// the map.
 func (c *resultCache) do(key []byte, fn func() (Report, error)) (Report, error) {
+	rep, _, err := c.doCtx(context.Background(), key, fn)
+	return rep, err
+}
+
+// doCtx is do with cancellation: a waiter whose ctx expires abandons the
+// in-flight computation (which completes for other waiters), and an entry
+// whose computation itself failed with a context error is evicted, so one
+// cancelled run cannot poison the process-wide cache with a cancellation
+// error. The key is taken as bytes so the hot path — a hit — does a map
+// lookup through string(key) without allocating; only a miss copies the
+// key into the map.
+func (c *resultCache) doCtx(ctx context.Context, key []byte, fn func() (Report, error)) (Report, cacheOutcome, error) {
 	c.mu.Lock()
 	if e, ok := c.entries[string(key)]; ok {
+		outcome := outcomeHit
 		select {
 		case <-e.done:
 			c.stats.Hits++
 		default:
 			c.stats.Coalesced++
+			outcome = outcomeCoalesced
 		}
 		c.mu.Unlock()
-		<-e.done
-		return e.report.clone(), e.err
+		select {
+		case <-e.done:
+		case <-ctx.Done():
+			return Report{}, outcome, fmt.Errorf("sim: cache wait cancelled: %w", ctx.Err())
+		}
+		return e.report.clone(), outcome, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
 	c.entries[string(key)] = e
@@ -90,9 +119,16 @@ func (c *resultCache) do(key []byte, fn func() (Report, error)) (Report, error) 
 
 	c.mu.Lock()
 	c.stats.InFlight--
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// Don't memoize a cancellation: the cell was never computed. Guard
+		// against a concurrent reset having replaced the table.
+		if cur, ok := c.entries[string(key)]; ok && cur == e {
+			delete(c.entries, string(key))
+		}
+	}
 	c.mu.Unlock()
 	close(e.done)
-	return e.report.clone(), e.err
+	return e.report.clone(), outcomeMiss, e.err
 }
 
 // snapshot returns the current counters.
@@ -135,15 +171,38 @@ var defaultCache = newResultCache()
 // served from memory. Defaults are applied before keying, so a JobSpec
 // with explicit Hadoop defaults and one relying on zero values coalesce.
 func RunCached(cluster Cluster, job JobSpec) (Report, error) {
+	return RunCachedCtx(context.Background(), cluster, job)
+}
+
+// RunCachedCtx is RunCtx behind the process-wide result cache. An Observer
+// carried by ctx receives sim.cache.hits / sim.cache.misses /
+// sim.cache.coalesced counters per lookup; cancellation aborts the lookup
+// (including a coalesced wait on another goroutine's computation) with an
+// error wrapping ctx.Err(), and a computation that itself ends in a
+// context error is not memoized.
+func RunCachedCtx(ctx context.Context, cluster Cluster, job JobSpec) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, fmt.Errorf("sim: %s: cancelled: %w", job.Name, err)
+	}
 	job.setDefaults(cluster.Node)
 	k := keyPool.Get().(*keyBuf)
 	k.b = k.b[:0]
 	k.cluster(cluster)
 	k.job(job)
-	rep, err := defaultCache.do(k.b, func() (Report, error) {
-		return Run(cluster, job)
+	rep, outcome, err := defaultCache.doCtx(ctx, k.b, func() (Report, error) {
+		return RunCtx(ctx, cluster, job)
 	})
 	keyPool.Put(k)
+	if ob := obs.FromContext(ctx); ob.Enabled() {
+		switch outcome {
+		case outcomeHit:
+			ob.Count("sim.cache.hits", 1)
+		case outcomeMiss:
+			ob.Count("sim.cache.misses", 1)
+		case outcomeCoalesced:
+			ob.Count("sim.cache.coalesced", 1)
+		}
+	}
 	return rep, err
 }
 

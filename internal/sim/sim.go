@@ -16,6 +16,8 @@
 package sim
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
@@ -23,9 +25,23 @@ import (
 	"heterohadoop/internal/hdfs"
 	"heterohadoop/internal/isa"
 	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/obs"
 	"heterohadoop/internal/power"
 	"heterohadoop/internal/units"
 	"heterohadoop/internal/workloads"
+)
+
+// Sentinel errors: callers branch with errors.Is instead of matching
+// message strings. Validation failures wrap ErrInvalidCluster/ErrInvalidJob
+// with the specific cause appended.
+var (
+	// ErrInvalidCluster marks a cluster or node configuration that fails
+	// validation.
+	ErrInvalidCluster = errors.New("sim: invalid cluster")
+	// ErrInvalidJob marks a JobSpec that fails validation.
+	ErrInvalidJob = errors.New("sim: invalid job")
+	// ErrUnsupportedFrequency marks a DVFS point outside the core's table.
+	ErrUnsupportedFrequency = errors.New("sim: unsupported frequency")
 )
 
 // Node is one server configuration: a core model, a node power model, a
@@ -79,16 +95,17 @@ func NewCluster(node Node) Cluster {
 	return Cluster{Node: node, Nodes: 3, Network: 125 * units.MB}
 }
 
-// Validate checks the cluster configuration.
+// Validate checks the cluster configuration; failures wrap
+// ErrInvalidCluster.
 func (c Cluster) Validate() error {
 	if err := c.Node.Validate(); err != nil {
-		return err
+		return fmt.Errorf("%w: %v", ErrInvalidCluster, err)
 	}
 	if c.Nodes < 1 {
-		return fmt.Errorf("sim: cluster needs at least one node")
+		return fmt.Errorf("%w: needs at least one node", ErrInvalidCluster)
 	}
 	if c.Network <= 0 {
-		return fmt.Errorf("sim: network bandwidth must be positive")
+		return fmt.Errorf("%w: network bandwidth must be positive", ErrInvalidCluster)
 	}
 	return nil
 }
@@ -139,31 +156,33 @@ func (j *JobSpec) setDefaults(node Node) {
 	}
 }
 
-// Validate checks the job parameters.
+// Validate checks the job parameters; failures wrap ErrInvalidJob, so
+// callers use errors.Is(err, sim.ErrInvalidJob) rather than matching
+// message strings.
 func (j JobSpec) Validate() error {
 	if j.Name == "" {
-		return fmt.Errorf("sim: job has no name")
+		return fmt.Errorf("%w: job has no name", ErrInvalidJob)
 	}
 	if err := j.Spec.Validate(); err != nil {
-		return err
+		return fmt.Errorf("%w: %s: %v", ErrInvalidJob, j.Name, err)
 	}
 	if j.DataPerNode <= 0 {
-		return fmt.Errorf("sim: %s: data size must be positive", j.Name)
+		return fmt.Errorf("%w: %s: data size must be positive", ErrInvalidJob, j.Name)
 	}
 	if j.BlockSize <= 0 {
-		return fmt.Errorf("sim: %s: block size must be positive", j.Name)
+		return fmt.Errorf("%w: %s: block size must be positive", ErrInvalidJob, j.Name)
 	}
 	if j.Frequency <= 0 {
-		return fmt.Errorf("sim: %s: frequency must be positive", j.Name)
+		return fmt.Errorf("%w: %s: frequency must be positive", ErrInvalidJob, j.Name)
 	}
 	if j.TaskFailureRate < 0 || j.TaskFailureRate >= 1 {
-		return fmt.Errorf("sim: %s: task failure rate %v out of [0,1)", j.Name, j.TaskFailureRate)
+		return fmt.Errorf("%w: %s: task failure rate %v out of [0,1)", ErrInvalidJob, j.Name, j.TaskFailureRate)
 	}
 	if j.NonLocalFraction < 0 || j.NonLocalFraction > 1 {
-		return fmt.Errorf("sim: %s: non-local fraction %v out of [0,1]", j.Name, j.NonLocalFraction)
+		return fmt.Errorf("%w: %s: non-local fraction %v out of [0,1]", ErrInvalidJob, j.Name, j.NonLocalFraction)
 	}
 	if j.SlowstartOverlap < 0 || j.SlowstartOverlap > 1 {
-		return fmt.Errorf("sim: %s: slowstart overlap %v out of [0,1]", j.Name, j.SlowstartOverlap)
+		return fmt.Errorf("%w: %s: slowstart overlap %v out of [0,1]", ErrInvalidJob, j.Name, j.SlowstartOverlap)
 	}
 	return nil
 }
@@ -335,8 +354,43 @@ func diskDiscount(data units.Bytes) float64 {
 }
 
 // Run simulates the job on the cluster and reports per-phase time and
-// energy for one node.
+// energy for one node. It is RunCtx with a background context and no
+// observer.
 func Run(cluster Cluster, job JobSpec) (Report, error) {
+	return RunCtx(context.Background(), cluster, job)
+}
+
+// RunCtx simulates the job on the cluster and reports per-phase time and
+// energy for one node. A cancelled context aborts before the model runs
+// with an error wrapping ctx.Err(); an Observer carried by the context
+// (obs.NewContext) receives a "sim.run" span plus per-phase duration
+// gauges. With no observer the instrumentation is allocation-free.
+func RunCtx(ctx context.Context, cluster Cluster, job JobSpec) (Report, error) {
+	if err := ctx.Err(); err != nil {
+		return Report{}, fmt.Errorf("sim: %s: cancelled: %w", job.Name, err)
+	}
+	ob := obs.FromContext(ctx)
+	var sp obs.Span
+	if ob.Enabled() {
+		sp = obs.Start(ob, "sim.run",
+			obs.Str("workload", job.Name),
+			obs.Str("core", cluster.Node.Core.Name))
+		defer sp.End()
+	}
+	rep, err := simulate(cluster, job)
+	if err != nil {
+		return Report{}, err
+	}
+	if ob.Enabled() {
+		for _, ph := range mapreduce.Phases() {
+			ob.Gauge("sim.phase."+ph.String()+".seconds", float64(rep.Phases[ph].Time))
+		}
+	}
+	return rep, nil
+}
+
+// simulate is the analytic model itself, shared by Run and RunCtx.
+func simulate(cluster Cluster, job JobSpec) (Report, error) {
 	if err := cluster.Validate(); err != nil {
 		return Report{}, err
 	}
@@ -346,7 +400,7 @@ func Run(cluster Cluster, job JobSpec) (Report, error) {
 	}
 	node := cluster.Node
 	if !node.Core.SupportsFrequency(job.Frequency) {
-		return Report{}, fmt.Errorf("sim: %s: core %s does not support %v", job.Name, node.Core.Name, job.Frequency)
+		return Report{}, fmt.Errorf("%w: %s: core %s does not support %v", ErrUnsupportedFrequency, job.Name, node.Core.Name, job.Frequency)
 	}
 
 	spec := job.Spec
