@@ -35,7 +35,11 @@ type Master struct {
 	ob           obs.Observer
 	closed       bool
 
-	// Per-job state.
+	// Per-job state. epoch is the job generation: it is bumped on every
+	// submission and on every abort, and every Task carries it, so
+	// completion/failure reports from a previous (aborted or finished) job
+	// can never be recorded against the current one.
+	epoch       uint64
 	running     bool
 	desc        JobDescriptor
 	nparts      int
@@ -184,6 +188,7 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 		m.mu.Unlock()
 		return nil, ErrJobRunning
 	}
+	m.epoch++
 	m.running = true
 	m.desc = desc
 	m.nparts = desc.NumReducers
@@ -192,7 +197,7 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 	m.mapsLeft = len(chunks)
 	for i, c := range chunks {
 		m.mapTasks[i] = &taskState{task: Task{
-			Kind: TaskMap, Seq: i, Job: desc, NParts: desc.NumReducers, SplitData: c,
+			Kind: TaskMap, Epoch: m.epoch, Seq: i, Job: desc, NParts: desc.NumReducers, SplitData: c,
 		}}
 	}
 	m.redTasks = nil
@@ -216,12 +221,17 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 	select {
 	case <-done:
 	case <-ctx.Done():
-		// Abort: return the master to idle so pollers wind down and a new
-		// submission can start. Late completions from in-flight workers are
-		// ignored by the phase guards in completeMap/completeReduce.
+		// Abort: return the master to idle so pollers wind down (nextTask
+		// answers TaskDone while idle) and a new submission can start. The
+		// epoch bump makes the aborted job's in-flight completions and
+		// failure reports stale, so they can never be recorded against a
+		// later job; dropping the task tables releases the job's split and
+		// shuffle data instead of pinning it until the next Submit.
 		m.mu.Lock()
+		m.epoch++
 		m.running = false
 		m.phase = "idle"
+		m.clearJobLocked()
 		m.mu.Unlock()
 		sp.End()
 		return nil, fmt.Errorf("dist: job %s aborted: %w", desc.Workload, ctx.Err())
@@ -235,12 +245,29 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 	res := &mapreduce.Result{Output: m.redOutputs, Counters: m.counters}
 	res.Counters.MapTasks = len(chunks)
 	res.Counters.ReduceTasks = desc.NumReducers
+	m.clearJobLocked()
 	return res, nil
+}
+
+// clearJobLocked drops the finished (or aborted) job's task tables and
+// buffered outputs so split and shuffle data are not pinned in memory
+// until the next submission. Called under m.mu with phase == "idle".
+func (m *Master) clearJobLocked() {
+	m.mapTasks = nil
+	m.mapOutputs = nil
+	m.redTasks = nil
+	m.redOutputs = nil
 }
 
 // nextTask hands out a pending or timed-out task, or a speculative backup
 // of an aging straggler run by a different worker; called under m.mu.
 func (m *Master) nextTask(workerID string) Task {
+	if m.phase == "idle" {
+		// No job in flight (finished or aborted): tell the poller the job is
+		// over before scanning any leftover tables, so an aborted job's
+		// undone tasks are never reissued as dead work.
+		return Task{Kind: TaskDone}
+	}
 	pool := m.mapTasks
 	if m.phase == "reduce" {
 		pool = m.redTasks
@@ -284,16 +311,16 @@ func (m *Master) nextTask(workerID string) Task {
 		oldest.assignee = workerID
 		return oldest.task
 	}
-	if m.phase == "idle" {
-		return Task{Kind: TaskDone}
-	}
 	return Task{Kind: TaskWait}
 }
 
 // completeMap records a map result; duplicate completions (from reissued
-// attempts) are ignored. Called under m.mu.
+// attempts) and stale completions (wrong epoch: the reporting worker was
+// running a job that has since been aborted) are ignored. Called under
+// m.mu.
 func (m *Master) completeMap(res *MapDone) {
-	if m.phase != "map" || res.Seq < 0 || res.Seq >= len(m.mapTasks) || m.mapTasks[res.Seq].done {
+	if res.Epoch != m.epoch || m.phase != "map" ||
+		res.Seq < 0 || res.Seq >= len(m.mapTasks) || m.mapTasks[res.Seq].done {
 		return
 	}
 	m.mapTasks[res.Seq].done = true
@@ -325,17 +352,18 @@ func (m *Master) startReducePhase() {
 			}
 		}
 		m.redTasks[p] = &taskState{task: Task{
-			Kind: TaskReduce, Seq: p, Job: m.desc, Partition: p, Segments: segs,
+			Kind: TaskReduce, Epoch: m.epoch, Seq: p, Job: m.desc, Partition: p, Segments: segs,
 		}}
 	}
 	m.counters.ShuffleSegments = segments
 	m.phase = "reduce"
 }
 
-// completeReduce records a reduce result; duplicates ignored. Called under
-// m.mu.
+// completeReduce records a reduce result; duplicates and stale (wrong
+// epoch) completions ignored. Called under m.mu.
 func (m *Master) completeReduce(res *ReduceDone) {
-	if m.phase != "reduce" || res.Seq < 0 || res.Seq >= len(m.redTasks) || m.redTasks[res.Seq].done {
+	if res.Epoch != m.epoch || m.phase != "reduce" ||
+		res.Seq < 0 || res.Seq >= len(m.redTasks) || m.redTasks[res.Seq].done {
 		return
 	}
 	m.redTasks[res.Seq].done = true
@@ -383,10 +411,14 @@ func (r *masterRPC) CompleteReduce(res ReduceDone, _ *Ack) error {
 }
 
 // ReportFailure requeues a task whose worker hit an execution error: the
-// assignment is cleared so the next poll can hand it out again.
+// assignment is cleared so the next poll can hand it out again. Stale
+// reports (wrong epoch) are ignored.
 func (r *masterRPC) ReportFailure(f TaskFailed, _ *Ack) error {
 	r.m.mu.Lock()
 	defer r.m.mu.Unlock()
+	if f.Epoch != r.m.epoch {
+		return nil
+	}
 	pool := r.m.mapTasks
 	if f.Kind == TaskReduce {
 		pool = r.m.redTasks

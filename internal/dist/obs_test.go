@@ -3,11 +3,14 @@ package dist
 import (
 	"context"
 	"errors"
+	"net/rpc"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"heterohadoop/internal/mapreduce"
 	"heterohadoop/internal/obs"
 	"heterohadoop/internal/units"
 	"heterohadoop/internal/workloads"
@@ -88,6 +91,184 @@ func TestSubmitCtxAbortsOnCancel(t *testing.T) {
 		t.Fatalf("submit after aborted job: %v", err)
 	}
 	wg.Wait()
+}
+
+// stealMapTask polls GetTask as workerID until the master hands out a map
+// task, so tests can hold an in-flight assignment without running it.
+func stealMapTask(t *testing.T, client *rpc.Client, workerID string) Task {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var task Task
+		if err := client.Call("Master.GetTask", GetTaskArgs{WorkerID: workerID}, &task); err != nil {
+			t.Fatal(err)
+		}
+		if task.Kind == TaskMap {
+			return task
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("never received a map task")
+	return Task{}
+}
+
+// TestStaleCompletionRejectedAfterAbort reproduces the cross-job
+// contamination hazard: a worker still executing a task from an aborted
+// job reports its result after a new job has been submitted, with a Seq
+// that is valid in the new job's range. The epoch guard must reject it so
+// the aborted job's output is never recorded as the new job's.
+func TestStaleCompletionRejectedAfterAbort(t *testing.T) {
+	m, err := StartMaster("127.0.0.1:0", WithTaskTimeout(time.Minute))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	stale, err := rpc.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer stale.Close()
+
+	// Job A: the stale worker grabs map task 0, then the job is cancelled
+	// with the task still in flight.
+	ctxA, cancelA := context.WithCancel(context.Background())
+	defer cancelA()
+	errA := make(chan error, 1)
+	go func() {
+		_, err := m.SubmitCtx(ctxA, JobDescriptor{Workload: "wordcount", NumReducers: 1},
+			workloads.GenerateText(8*units.KB, 3), 2*1024)
+		errA <- err
+	}()
+	staleTask := stealMapTask(t, stale, "stale")
+	cancelA()
+	if err := <-errA; !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted submit: %v, want wrapped context.Canceled", err)
+	}
+
+	// Job B: submitted before the stale worker reports. Wait for its map
+	// phase, then deliver the aborted job's completion — same Seq, old
+	// epoch — while no honest worker has run yet.
+	inputB := workloads.GenerateText(8*units.KB, 5)
+	resCh := make(chan *mapreduce.Result, 1)
+	errB := make(chan error, 1)
+	go func() {
+		res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 1}, inputB, 2*1024)
+		if err != nil {
+			errB <- err
+			return
+		}
+		resCh <- res
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		m.mu.Lock()
+		ph := m.phase
+		m.mu.Unlock()
+		if ph == "map" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job B never reached the map phase")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	bogus := MapDone{
+		WorkerID: "stale", Epoch: staleTask.Epoch, Seq: staleTask.Seq,
+		Parts: [][]mapreduce.KV{{{Key: "bogus", Value: "999"}}},
+	}
+	if err := stale.Call("Master.CompleteMap", bogus, &Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	m.mu.Lock()
+	contaminated := m.mapTasks[staleTask.Seq].done
+	m.mu.Unlock()
+	if contaminated {
+		t.Fatal("stale completion from the aborted job was recorded against the new job")
+	}
+
+	// An honest worker finishes job B; its output must match job B's input
+	// exactly, with no trace of the stale report.
+	w, err := ConnectWorker("honest", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go func() {
+		if err := w.Run(); err != nil {
+			t.Error(err)
+		}
+	}()
+	select {
+	case err := <-errB:
+		t.Fatal(err)
+	case res := <-resCh:
+		got := outputCounts(t, res)
+		if _, ok := got["bogus"]; ok {
+			t.Error("stale map output surfaced in the new job's result")
+		}
+		want := map[string]int{}
+		for _, word := range strings.Fields(string(inputB)) {
+			want[word]++
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%d words, want %d", len(got), len(want))
+		}
+		for k, v := range want {
+			if got[k] != v {
+				t.Errorf("count[%q] = %d, want %d", k, got[k], v)
+			}
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("job B never completed")
+	}
+}
+
+// TestAbortedJobTasksNotReissued checks the abort winds the job down for
+// pollers: the aborted job's undone tasks must not be handed out again
+// (even after the reassignment timeout has passed), non-persistent workers
+// get TaskDone, and the job's task tables are released.
+func TestAbortedJobTasksNotReissued(t *testing.T) {
+	m, err := StartMaster("127.0.0.1:0", WithTaskTimeout(30*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	client, err := rpc.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.SubmitCtx(ctx, JobDescriptor{Workload: "wordcount", NumReducers: 1},
+			workloads.GenerateText(8*units.KB, 7), 2*1024)
+		errCh <- err
+	}()
+	stealMapTask(t, client, "holder")
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted submit: %v, want wrapped context.Canceled", err)
+	}
+
+	// Past the task timeout the aborted job's tasks would be reissuable if
+	// they were still in the pool; pollers must see TaskDone instead.
+	time.Sleep(60 * time.Millisecond)
+	var task Task
+	if err := client.Call("Master.GetTask", GetTaskArgs{WorkerID: "late"}, &task); err != nil {
+		t.Fatal(err)
+	}
+	if task.Kind != TaskDone {
+		t.Errorf("poll after abort returned %q, want %q", task.Kind, TaskDone)
+	}
+	m.mu.Lock()
+	leaked := m.mapTasks != nil || m.redTasks != nil || m.mapOutputs != nil
+	m.mu.Unlock()
+	if leaked {
+		t.Error("aborted job's task tables still pinned after abort")
+	}
 }
 
 func TestSubmitCtxSentinels(t *testing.T) {

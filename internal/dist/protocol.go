@@ -41,6 +41,11 @@ const (
 type Task struct {
 	// Kind is one of the Task* constants.
 	Kind string
+	// Epoch is the master's job generation the task belongs to. Workers
+	// echo it in completion and failure reports so results from a job that
+	// has since been aborted or superseded are rejected instead of being
+	// recorded against the wrong job.
+	Epoch uint64
 	// Seq identifies the task attempt's slot in the master's tables.
 	Seq int
 	// Job describes how to build the job.
@@ -60,17 +65,20 @@ type GetTaskArgs struct {
 	WorkerID string
 }
 
-// MapDone reports a completed map task.
+// MapDone reports a completed map task. Epoch is copied from the Task.
 type MapDone struct {
 	WorkerID string
+	Epoch    uint64
 	Seq      int
 	Parts    [][]mapreduce.KV
 	Counters mapreduce.Counters
 }
 
-// ReduceDone reports a completed reduce task.
+// ReduceDone reports a completed reduce task. Epoch is copied from the
+// Task.
 type ReduceDone struct {
 	WorkerID  string
+	Epoch     uint64
 	Seq       int
 	Partition int
 	Output    []mapreduce.KV
@@ -84,6 +92,7 @@ type Ack struct{}
 // master can requeue it immediately instead of waiting out the timeout.
 type TaskFailed struct {
 	WorkerID string
+	Epoch    uint64
 	Kind     string
 	Seq      int
 	Reason   string

@@ -98,7 +98,7 @@ func (w *Worker) Stop() {
 // counted (ReportErrors) and surfaced through the observer.
 func (w *Worker) reportFailure(task Task, cause error) {
 	err := w.client.Call("Master.ReportFailure", TaskFailed{
-		WorkerID: w.ID, Kind: task.Kind, Seq: task.Seq, Reason: cause.Error(),
+		WorkerID: w.ID, Epoch: task.Epoch, Kind: task.Kind, Seq: task.Seq, Reason: cause.Error(),
 	}, &Ack{})
 	if err != nil {
 		w.mu.Lock()
@@ -225,7 +225,7 @@ func (w *Worker) runMap(task Task) error {
 	w.tasksRun++
 	w.mu.Unlock()
 	return w.client.Call("Master.CompleteMap", MapDone{
-		WorkerID: w.ID, Seq: task.Seq, Parts: parts, Counters: counters,
+		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Parts: parts, Counters: counters,
 	}, &Ack{})
 }
 
@@ -246,6 +246,6 @@ func (w *Worker) runReduce(task Task) error {
 	w.tasksRun++
 	w.mu.Unlock()
 	return w.client.Call("Master.CompleteReduce", ReduceDone{
-		WorkerID: w.ID, Seq: task.Seq, Partition: task.Partition, Output: out, Counters: counters,
+		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Partition: task.Partition, Output: out, Counters: counters,
 	}, &Ack{})
 }

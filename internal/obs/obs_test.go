@@ -3,6 +3,7 @@ package obs
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"strings"
 	"sync"
 	"testing"
@@ -159,6 +160,47 @@ func TestTraceWriterRoundTrip(t *testing.T) {
 	}
 	if byType["progress"].Done != 1 || byType["progress"].Total != 25 {
 		t.Errorf("progress wrong: %+v", byType["progress"])
+	}
+}
+
+// TestTraceZeroValuesSerialized pins the JSONL schema contract: a
+// legitimate zero — Gauge(name, 0), Progress(label, 0, total), a
+// zero-delta counter — must appear in the record, so trace consumers can
+// tell "zero" from "absent".
+func TestTraceZeroValuesSerialized(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.Gauge("load", 0)
+	tw.Progress("rows", 0, 10)
+	tw.Count("noop", 0)
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	wantKeys := map[string][]string{
+		"gauge":    {"value"},
+		"count":    {"delta"},
+		"progress": {"done", "total"},
+	}
+	seen := 0
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		var raw map[string]any
+		if err := json.Unmarshal([]byte(line), &raw); err != nil {
+			t.Fatalf("line %q: %v", line, err)
+		}
+		typ, _ := raw["type"].(string)
+		for _, k := range wantKeys[typ] {
+			seen++
+			if _, ok := raw[k]; !ok {
+				t.Errorf("%s record dropped zero-valued %q: %s", typ, k, line)
+			}
+		}
+	}
+	if seen != 4 {
+		t.Fatalf("checked %d value-bearing fields, want 4", seen)
+	}
+	if ev, err := ReadTrace(bytes.NewReader(buf.Bytes())); err != nil || len(ev) != 3 {
+		t.Fatalf("round-trip: %d events, err %v", len(ev), err)
 	}
 }
 

@@ -17,17 +17,23 @@ import (
 //	"count"    — Delta added to the named counter.
 //	"gauge"    — Value of the named gauge.
 //	"progress" — Done and Total for the named label.
+//
+// The value-bearing fields (DurationNS, Delta, Value, Done, Total) are
+// serialized unconditionally so a legitimate zero — Gauge(name, 0),
+// Progress(label, 0, total) — stays distinguishable from an absent field;
+// consumers dispatch on Type to know which of them are meaningful. Only
+// the span-identity fields (Span, Attrs, Start) are omitted when empty.
 type TraceEvent struct {
 	Type       string            `json:"type"`
 	Name       string            `json:"name"`
 	Span       uint64            `json:"span,omitempty"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
 	Start      string            `json:"start,omitempty"`
-	DurationNS int64             `json:"duration_ns,omitempty"`
-	Delta      int64             `json:"delta,omitempty"`
-	Value      float64           `json:"value,omitempty"`
-	Done       int               `json:"done,omitempty"`
-	Total      int               `json:"total,omitempty"`
+	DurationNS int64             `json:"duration_ns"`
+	Delta      int64             `json:"delta"`
+	Value      float64           `json:"value"`
+	Done       int               `json:"done"`
+	Total      int               `json:"total"`
 }
 
 // TraceWriter streams events as JSON Lines: one self-contained JSON object

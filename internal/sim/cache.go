@@ -87,12 +87,19 @@ func (c *resultCache) do(key []byte, fn func() (Report, error)) (Report, error) 
 // in-flight computation (which completes for other waiters), and an entry
 // whose computation itself failed with a context error is evicted, so one
 // cancelled run cannot poison the process-wide cache with a cancellation
-// error. The key is taken as bytes so the hot path — a hit — does a map
-// lookup through string(key) without allocating; only a miss copies the
-// key into the map.
+// error. A coalesced waiter whose own ctx is still live when the computing
+// goroutine is cancelled does not inherit that foreign cancellation: the
+// entry has been evicted, so the waiter loops and retries the lookup
+// (joining a fresh computation or running fn itself). The key is taken as
+// bytes so the hot path — a hit — does a map lookup through string(key)
+// without allocating; only a miss copies the key into the map.
 func (c *resultCache) doCtx(ctx context.Context, key []byte, fn func() (Report, error)) (Report, cacheOutcome, error) {
 	c.mu.Lock()
-	if e, ok := c.entries[string(key)]; ok {
+	for {
+		e, ok := c.entries[string(key)]
+		if !ok {
+			break
+		}
 		outcome := outcomeHit
 		select {
 		case <-e.done:
@@ -107,6 +114,13 @@ func (c *resultCache) doCtx(ctx context.Context, key []byte, fn func() (Report, 
 		case <-ctx.Done():
 			return Report{}, outcome, fmt.Errorf("sim: cache wait cancelled: %w", ctx.Err())
 		}
+		if isContextErr(e.err) && ctx.Err() == nil {
+			// The computation we joined was cancelled, but we weren't: its
+			// entry was evicted above, so retry rather than returning the
+			// foreign cancellation as our own result.
+			c.mu.Lock()
+			continue
+		}
 		return e.report.clone(), outcome, e.err
 	}
 	e := &cacheEntry{done: make(chan struct{})}
@@ -119,7 +133,7 @@ func (c *resultCache) doCtx(ctx context.Context, key []byte, fn func() (Report, 
 
 	c.mu.Lock()
 	c.stats.InFlight--
-	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+	if isContextErr(e.err) {
 		// Don't memoize a cancellation: the cell was never computed. Guard
 		// against a concurrent reset having replaced the table.
 		if cur, ok := c.entries[string(key)]; ok && cur == e {
@@ -129,6 +143,12 @@ func (c *resultCache) doCtx(ctx context.Context, key []byte, fn func() (Report, 
 	c.mu.Unlock()
 	close(e.done)
 	return e.report.clone(), outcomeMiss, e.err
+}
+
+// isContextErr reports whether err came from context cancellation or
+// deadline expiry — the error class that is never memoized.
+func isContextErr(err error) bool {
+	return err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded))
 }
 
 // snapshot returns the current counters.

@@ -1,6 +1,9 @@
 package sim
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"reflect"
 	"sync"
 	"sync/atomic"
@@ -163,6 +166,62 @@ func TestSingleFlightCoalescesDuplicates(t *testing.T) {
 	s := c.snapshot()
 	if s.Misses != 1 || s.Coalesced != waiters-1 || s.InFlight != 0 {
 		t.Errorf("final stats %+v, want 1 miss, %d coalesced, 0 in flight", s, waiters-1)
+	}
+}
+
+// TestCacheWaiterSurvivesForeignCancellation pins the coalescing contract
+// under cancellation: a waiter whose own context is live must not inherit
+// the computing goroutine's context.Canceled — it retries the lookup and
+// computes the cell itself.
+func TestCacheWaiterSurvivesForeignCancellation(t *testing.T) {
+	c := newResultCache()
+	key := []byte("cell")
+	started := make(chan struct{})
+	release := make(chan struct{})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+
+	firstErr := make(chan error, 1)
+	go func() {
+		_, _, err := c.doCtx(ctx1, key, func() (Report, error) {
+			close(started)
+			<-release
+			return Report{}, fmt.Errorf("sim: cell aborted: %w", ctx1.Err())
+		})
+		firstErr <- err
+	}()
+	<-started
+
+	// An independent sweep with a live context coalesces onto the
+	// in-flight cell.
+	type outcome struct {
+		rep Report
+		err error
+	}
+	second := make(chan outcome, 1)
+	go func() {
+		rep, _, err := c.doCtx(context.Background(), key, func() (Report, error) {
+			return Report{Workload: "retry"}, nil
+		})
+		second <- outcome{rep, err}
+	}()
+	waitFor(t, func() bool { return c.snapshot().Coalesced == 1 })
+
+	// Cancel the computing goroutine's sweep; its error must stay its own.
+	cancel1()
+	close(release)
+	if err := <-firstErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled computation returned %v, want context.Canceled", err)
+	}
+	got := <-second
+	if got.err != nil {
+		t.Fatalf("live waiter inherited foreign cancellation: %v", got.err)
+	}
+	if got.rep.Workload != "retry" {
+		t.Errorf("live waiter got %q, want its own retried computation", got.rep.Workload)
+	}
+	if s := c.snapshot(); s.Entries != 1 {
+		t.Errorf("entries %d after retry, want the retried cell memoized", s.Entries)
 	}
 }
 
