@@ -108,7 +108,13 @@ func BenchmarkFullEvaluation(b *testing.B) {
 
 // ---- engine micro-benchmarks: the real execution path under load ----
 
-// benchEngine runs a real workload end to end per iteration.
+// benchEngine runs a real workload end to end per iteration, as a pair of
+// sub-benchmarks: "serial" pins one task slot and the legacy barrier
+// shuffle (the measurement baseline), "parallel" uses the default
+// configuration — one slot per CPU with the streaming shuffle. Output is
+// byte-identical between the two (engine_parity_test.go pins this); the
+// pair measures only the executor. cmd/benchmr records the same pair at
+// paper-adjacent sizes into BENCH_mapreduce.json.
 func benchEngine(b *testing.B, name string, size units.Bytes) {
 	b.Helper()
 	w, err := workloads.ByName(name)
@@ -116,26 +122,38 @@ func benchEngine(b *testing.B, name string, size units.Bytes) {
 		b.Fatal(err)
 	}
 	input := w.Generate(size, 42)
-	b.SetBytes(int64(len(input)))
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		store, err := hdfs.NewStore(hdfs.Config{BlockSize: size / 4, Replication: 1})
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := store.Write("in", input); err != nil {
-			b.Fatal(err)
-		}
-		cfg := mapreduce.DefaultConfig(name)
-		cfg.NumReducers = 2
-		cfg.Parallelism = 4
-		job, err := w.Build(cfg, input)
-		if err != nil {
-			b.Fatal(err)
-		}
-		if _, err := mapreduce.NewEngine(store).Run(job, "in"); err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []struct {
+		name        string
+		parallelism int
+		barrier     bool
+	}{
+		{"serial", 1, true},
+		{"parallel", 0, false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			b.SetBytes(int64(len(input)))
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				store, err := hdfs.NewStore(hdfs.Config{BlockSize: size / 4, Replication: 1})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := store.Write("in", input); err != nil {
+					b.Fatal(err)
+				}
+				cfg := mapreduce.DefaultConfig(name)
+				cfg.NumReducers = 2
+				cfg.Parallelism = mode.parallelism
+				cfg.BarrierShuffle = mode.barrier
+				job, err := w.Build(cfg, input)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if _, err := mapreduce.NewEngine(store).Run(job, "in"); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

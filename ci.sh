@@ -20,6 +20,20 @@ go test -race ./...
 # validate the emitted JSONL (decodes line by line, spans balance, and an
 # expt.artefact span covers table3).
 trace_file="$(mktemp /tmp/heterohadoop-trace.XXXXXX.jsonl)"
-trap 'rm -f "$trace_file"' EXIT
+bench_file="$(mktemp /tmp/heterohadoop-bench.XXXXXX.json)"
+trap 'rm -f "$trace_file" "$bench_file"' EXIT
 go run ./cmd/experiments -only table3 -trace "$trace_file" -progress >/dev/null
 go run ./internal/obs/tracecheck -artefacts table3 "$trace_file"
+
+# Benchmark smoke: every engine and shuffle-merge benchmark must run one
+# iteration cleanly (catches benchmarks broken by engine refactors without
+# paying for a full measurement).
+go test -run '^$' -bench 'BenchmarkEngine|BenchmarkShuffleMerge' -benchtime 1x ./internal/mapreduce/ .
+
+# Benchmark trajectory: re-measure the engine executor and print a
+# benchstat-style delta against the committed BENCH_mapreduce.json (8 MB
+# wordcount rows are the CI-sized comparison points; the 64 MB rows in the
+# baseline are the paper-scale record). The speedup gate arms only on
+# machines with GOMAXPROCS >= 4.
+go run ./cmd/benchmr -workloads wordcount -size 8388608 \
+	-baseline BENCH_mapreduce.json -out "$bench_file" -minspeedup 2

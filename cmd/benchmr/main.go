@@ -1,0 +1,200 @@
+// Command benchmr benchmarks the MapReduce engine's executor directly —
+// no `go test` harness — and records the results as JSON, so CI can track
+// the serial-vs-parallel trajectory across commits. Each workload is run
+// twice over the same input: "serial" (one task slot, legacy barrier
+// shuffle) and "parallel" (one slot per CPU, streaming shuffle); output is
+// byte-identical between the two, so the pair isolates the executor.
+//
+// Usage:
+//
+//	benchmr                               # 64 MB wordcount+terasort -> BENCH_mapreduce.json
+//	benchmr -workloads wordcount -size 8388608 -out /tmp/bench.json
+//	benchmr -baseline BENCH_mapreduce.json -out /tmp/bench.json   # benchstat-style delta
+//
+// With -minspeedup N the command exits non-zero when a workload's
+// parallel/serial speedup falls below N — the trajectory gate. The gate
+// only arms on machines with GOMAXPROCS >= 4; on smaller machines there is
+// no parallelism to measure and the run is recorded but not judged.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+
+	"heterohadoop/internal/hdfs"
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+	"heterohadoop/internal/workloads"
+)
+
+// Row is one benchmark measurement, one mode of one workload.
+type Row struct {
+	Name       string  `json:"name"` // "<workload>/serial" or "<workload>/parallel"
+	InputBytes int64   `json:"input_bytes"`
+	NsPerOp    int64   `json:"ns_per_op"`
+	Speedup    float64 `json:"speedup"` // serial time / this mode's time
+	GoMaxProcs int     `json:"gomaxprocs"`
+}
+
+func main() {
+	var (
+		size       = flag.Int64("size", int64(64*units.MB), "input size per workload in bytes")
+		names      = flag.String("workloads", "wordcount,terasort", "comma-separated workload names")
+		reducers   = flag.Int("reducers", 4, "reduce-partition count")
+		runs       = flag.Int("runs", 1, "runs per mode; best time wins")
+		out        = flag.String("out", "BENCH_mapreduce.json", "output JSON path")
+		baseline   = flag.String("baseline", "", "baseline JSON to print a benchstat-style delta against")
+		minSpeedup = flag.Float64("minspeedup", 0, "fail if any parallel speedup is below this (armed only at GOMAXPROCS >= 4)")
+	)
+	flag.Parse()
+
+	var rows []Row
+	for _, name := range strings.Split(*names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w, err := workloads.ByName(name)
+		if err != nil {
+			fatal(err)
+		}
+		wr, err := benchWorkload(w, units.Bytes(*size), *reducers, *runs)
+		if err != nil {
+			fatal(err)
+		}
+		rows = append(rows, wr...)
+	}
+
+	for _, r := range rows {
+		fmt.Printf("%-24s %12s/op  %6.2fx  (GOMAXPROCS=%d)\n",
+			r.Name, time.Duration(r.NsPerOp).Round(time.Millisecond), r.Speedup, r.GoMaxProcs)
+	}
+	if *baseline != "" {
+		printDelta(*baseline, rows)
+	}
+
+	buf, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+
+	if *minSpeedup > 0 {
+		if procs := runtime.GOMAXPROCS(0); procs < 4 {
+			fmt.Printf("speedup gate skipped: GOMAXPROCS=%d < 4\n", procs)
+			return
+		}
+		for _, r := range rows {
+			if strings.HasSuffix(r.Name, "/parallel") && r.Speedup < *minSpeedup {
+				fatal(fmt.Errorf("benchmr: %s speedup %.2fx below gate %.2fx", r.Name, r.Speedup, *minSpeedup))
+			}
+		}
+	}
+}
+
+// benchWorkload measures one workload in both executor modes over the same
+// generated input.
+func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int) ([]Row, error) {
+	input := w.Generate(size, 42)
+	// Enough splits that every slot has work for several waves.
+	block := size / 16
+	if block < 4*units.KB {
+		block = 4 * units.KB
+	}
+	run := func(parallelism int, barrier bool) (time.Duration, error) {
+		best := time.Duration(0)
+		for i := 0; i < runs; i++ {
+			store, err := hdfs.NewStore(hdfs.Config{BlockSize: block, Replication: 1})
+			if err != nil {
+				return 0, err
+			}
+			if _, err := store.Write("in", input); err != nil {
+				return 0, err
+			}
+			cfg := mapreduce.DefaultConfig(w.Name())
+			cfg.NumReducers = reducers
+			cfg.Parallelism = parallelism
+			cfg.BarrierShuffle = barrier
+			job, err := w.Build(cfg, input)
+			if err != nil {
+				return 0, err
+			}
+			start := time.Now()
+			if _, err := mapreduce.NewEngine(store).Run(job, "in"); err != nil {
+				return 0, err
+			}
+			if d := time.Since(start); best == 0 || d < best {
+				best = d
+			}
+		}
+		return best, nil
+	}
+	serial, err := run(1, true)
+	if err != nil {
+		return nil, fmt.Errorf("%s serial: %w", w.Name(), err)
+	}
+	parallel, err := run(0, false)
+	if err != nil {
+		return nil, fmt.Errorf("%s parallel: %w", w.Name(), err)
+	}
+	procs := runtime.GOMAXPROCS(0)
+	return []Row{
+		{Name: w.Name() + "/serial", InputBytes: int64(len(input)), NsPerOp: serial.Nanoseconds(), Speedup: 1, GoMaxProcs: procs},
+		{Name: w.Name() + "/parallel", InputBytes: int64(len(input)), NsPerOp: parallel.Nanoseconds(),
+			Speedup: float64(serial) / float64(parallel), GoMaxProcs: procs},
+	}, nil
+}
+
+// printDelta prints a benchstat-style old/new comparison against a prior
+// JSON record. Rows are matched by name and input size; unmatched rows on
+// either side are reported, not silently dropped.
+func printDelta(path string, rows []Row) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("no baseline (%v); skipping delta\n", err)
+		return
+	}
+	var base []Row
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Printf("unreadable baseline %s (%v); skipping delta\n", path, err)
+		return
+	}
+	type key struct {
+		name string
+		size int64
+	}
+	old := make(map[key]Row, len(base))
+	for _, r := range base {
+		old[key{r.Name, r.InputBytes}] = r
+	}
+	fmt.Printf("\n%-24s %14s %14s %8s\n", "name", "old/op", "new/op", "delta")
+	for _, r := range rows {
+		k := key{r.Name, r.InputBytes}
+		o, ok := old[k]
+		if !ok {
+			fmt.Printf("%-24s %14s %14s %8s\n", r.Name, "-",
+				time.Duration(r.NsPerOp).Round(time.Millisecond).String(), "new")
+			continue
+		}
+		delta := 100 * (float64(r.NsPerOp) - float64(o.NsPerOp)) / float64(o.NsPerOp)
+		fmt.Printf("%-24s %14s %14s %+7.1f%%\n", r.Name,
+			time.Duration(o.NsPerOp).Round(time.Millisecond).String(),
+			time.Duration(r.NsPerOp).Round(time.Millisecond).String(), delta)
+		delete(old, k)
+	}
+	for k := range old {
+		fmt.Printf("%-24s (baseline row not measured in this run)\n", k.name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

@@ -37,6 +37,7 @@ func main() {
 		compare  = flag.Bool("compare", false, "characterize both platforms and print the verdicts")
 		real     = flag.Bool("real", false, "also execute the workload for real on the MapReduce engine")
 		realSize = flag.Int("realsize", 64*1024, "real-run input size in bytes")
+		parallel = flag.Int("parallel", 0, "real-run task slots: 0 = one per CPU, 1 = serial")
 		advise   = flag.Bool("advise", false, "co-tune DVFS and block size within a 10% slowdown budget")
 		des      = flag.Bool("des", false, "refine the map phase with the task-level discrete-event scheduler")
 		jitter   = flag.Float64("jitter", 0.15, "per-task duration jitter for -des")
@@ -148,7 +149,7 @@ func main() {
 	}
 
 	if *real {
-		res, err := core.RunReal(w, units.Bytes(*realSize), units.Bytes(*realSize/4), *cores, 42)
+		res, err := core.RunRealParallel(w, units.Bytes(*realSize), units.Bytes(*realSize/4), *cores, *parallel, 42)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)

@@ -1,0 +1,72 @@
+package heterohadoop_test
+
+// engine_parity_test.go pins the streaming shuffle's determinism claim at
+// the workload level: for every studied application, the default streaming
+// execution must produce output byte-identical to the legacy two-phase
+// barrier path, at any parallelism. It lives at the repo root because
+// internal/workloads imports internal/mapreduce.
+
+import (
+	"reflect"
+	"testing"
+
+	"heterohadoop/internal/hdfs"
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+	"heterohadoop/internal/workloads"
+)
+
+func runWorkload(t *testing.T, w workloads.Workload, input []byte, barrier bool, parallelism int) *mapreduce.Result {
+	t.Helper()
+	store, err := hdfs.NewStore(hdfs.Config{BlockSize: units.Bytes(len(input))/6 + 1, Replication: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Write("in", input); err != nil {
+		t.Fatal(err)
+	}
+	cfg := mapreduce.DefaultConfig(w.Name())
+	cfg.NumReducers = 3
+	cfg.SortBuffer = 4 * units.KB // force spills so the merge machinery runs
+	cfg.BarrierShuffle = barrier
+	cfg.Parallelism = parallelism
+	job, err := w.Build(cfg, input)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := mapreduce.NewEngine(store).Run(job, "in")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestStreamingShuffleParityAllWorkloads checks, for every workload, that
+// the streaming path's per-partition output and global sorted output are
+// identical to the barrier path's, and that the counters agree except for
+// the streaming-only ReduceMergePasses.
+func TestStreamingShuffleParityAllWorkloads(t *testing.T) {
+	for _, w := range workloads.All() {
+		w := w
+		t.Run(w.Name(), func(t *testing.T) {
+			t.Parallel()
+			input := w.Generate(64*units.KB, 42)
+			want := runWorkload(t, w, input, true, 1)
+			for _, par := range []int{1, 0} { // serial and one-slot-per-CPU
+				got := runWorkload(t, w, input, false, par)
+				if !reflect.DeepEqual(got.Output, want.Output) {
+					t.Fatalf("parallelism %d: streaming output differs from barrier output", par)
+				}
+				if !reflect.DeepEqual(got.SortedOutput(), want.SortedOutput()) {
+					t.Fatalf("parallelism %d: SortedOutput differs", par)
+				}
+				gc, wc := got.Counters, want.Counters
+				gc.ReduceMergePasses = 0
+				wc.ReduceMergePasses = 0
+				if gc != wc {
+					t.Fatalf("parallelism %d: counters differ:\nstreaming %+v\nbarrier   %+v", par, gc, wc)
+				}
+			}
+		})
+	}
+}

@@ -27,34 +27,39 @@ type taskState struct {
 type Master struct {
 	mu sync.Mutex
 
-	registry     *Registry
-	listener     net.Listener
-	server       *rpc.Server
-	taskTimeout  time.Duration
-	specFraction float64
-	ob           obs.Observer
-	closed       bool
+	registry        *Registry
+	listener        net.Listener
+	server          *rpc.Server
+	taskTimeout     time.Duration
+	specFraction    float64
+	reduceSlowstart float64
+	ob              obs.Observer
+	closed          bool
 
 	// Per-job state. epoch is the job generation: it is bumped on every
 	// submission and on every abort, and every Task carries it, so
 	// completion/failure reports from a previous (aborted or finished) job
 	// can never be recorded against the current one.
-	epoch       uint64
-	running     bool
-	desc        JobDescriptor
-	nparts      int
-	mapTasks    []*taskState
-	mapOutputs  [][][]mapreduce.KV // per map task: per partition
-	mapsLeft    int
-	redTasks    []*taskState
-	redOutputs  [][]mapreduce.KV
-	redsLeft    int
-	counters    mapreduce.Counters
-	reassigned  int
-	speculative int
-	phase       string // "map" | "reduce" | "idle"
-	doneCh      chan struct{}
-	workers     map[string]time.Time
+	epoch    uint64
+	running  bool
+	desc     JobDescriptor
+	nparts   int
+	mapTasks []*taskState
+	// partSegs is the streaming shuffle: per partition, the sorted segments
+	// published by completed map tasks, tagged with the producing task's
+	// Seq. Reducers stream it with FetchSegments while maps are running.
+	partSegs     [][]TaggedSegment
+	mapsLeft     int
+	redTasks     []*taskState
+	redOutputs   [][]mapreduce.KV
+	redsLeft     int
+	counters     mapreduce.Counters
+	reassigned   int
+	speculative  int
+	earlyReduces int
+	phase        string // "map" | "reduce" | "idle"
+	doneCh       chan struct{}
+	workers      map[string]time.Time
 }
 
 // NewMaster starts a master listening on addr ("127.0.0.1:0" for an
@@ -85,14 +90,15 @@ func StartMaster(addr string, opts ...Option) (*Master, error) {
 		return nil, fmt.Errorf("dist: master listen: %w", err)
 	}
 	m := &Master{
-		registry:     NewRegistry(),
-		listener:     ln,
-		server:       rpc.NewServer(),
-		taskTimeout:  cfg.taskTimeout,
-		specFraction: cfg.specFraction,
-		ob:           cfg.observer,
-		phase:        "idle",
-		workers:      make(map[string]time.Time),
+		registry:        NewRegistry(),
+		listener:        ln,
+		server:          rpc.NewServer(),
+		taskTimeout:     cfg.taskTimeout,
+		specFraction:    cfg.specFraction,
+		reduceSlowstart: cfg.reduceSlowstart,
+		ob:              cfg.observer,
+		phase:           "idle",
+		workers:         make(map[string]time.Time),
 	}
 	if err := m.server.RegisterName("Master", &masterRPC{m: m}); err != nil {
 		ln.Close()
@@ -136,13 +142,21 @@ type Stats struct {
 	// Speculative is the number of backup task attempts launched for
 	// still-running stragglers.
 	Speculative int
+	// EarlyReduces is the number of reduce tasks dispatched before the map
+	// wave had fully drained (slowstart-gated streaming shuffle).
+	EarlyReduces int
 }
 
 // Stats returns the master's current statistics.
 func (m *Master) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	return Stats{Workers: len(m.workers), Reassigned: m.reassigned, Speculative: m.speculative}
+	return Stats{
+		Workers:      len(m.workers),
+		Reassigned:   m.reassigned,
+		Speculative:  m.speculative,
+		EarlyReduces: m.earlyReduces,
+	}
 }
 
 // Submit runs one job across the connected workers: the input is split
@@ -193,14 +207,22 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 	m.desc = desc
 	m.nparts = desc.NumReducers
 	m.mapTasks = make([]*taskState, len(chunks))
-	m.mapOutputs = make([][][]mapreduce.KV, len(chunks))
+	m.partSegs = make([][]TaggedSegment, desc.NumReducers)
 	m.mapsLeft = len(chunks)
 	for i, c := range chunks {
 		m.mapTasks[i] = &taskState{task: Task{
 			Kind: TaskMap, Epoch: m.epoch, Seq: i, Job: desc, NParts: desc.NumReducers, SplitData: c,
 		}}
 	}
-	m.redTasks = nil
+	// Reduce tasks exist from the start: they carry no shuffle data (workers
+	// stream segments with FetchSegments), so they can be dispatched as soon
+	// as the slowstart threshold of completed maps is met.
+	m.redTasks = make([]*taskState, desc.NumReducers)
+	for p := 0; p < desc.NumReducers; p++ {
+		m.redTasks[p] = &taskState{task: Task{
+			Kind: TaskReduce, Epoch: m.epoch, Seq: p, Job: desc, NParts: desc.NumReducers, Partition: p,
+		}}
+	}
 	m.redOutputs = make([][]mapreduce.KV, desc.NumReducers)
 	m.redsLeft = desc.NumReducers
 	m.counters = mapreduce.Counters{}
@@ -254,13 +276,17 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 // until the next submission. Called under m.mu with phase == "idle".
 func (m *Master) clearJobLocked() {
 	m.mapTasks = nil
-	m.mapOutputs = nil
+	m.partSegs = nil
 	m.redTasks = nil
 	m.redOutputs = nil
 }
 
 // nextTask hands out a pending or timed-out task, or a speculative backup
 // of an aging straggler run by a different worker; called under m.mu.
+//
+// Map tasks take priority; once the slowstart fraction of maps has
+// completed, reduce tasks become eligible too, so reducers start streaming
+// segments while the tail of the map wave is still running.
 func (m *Master) nextTask(workerID string) Task {
 	if m.phase == "idle" {
 		// No job in flight (finished or aborted): tell the poller the job is
@@ -268,11 +294,53 @@ func (m *Master) nextTask(workerID string) Task {
 		// undone tasks are never reissued as dead work.
 		return Task{Kind: TaskDone}
 	}
-	pool := m.mapTasks
-	if m.phase == "reduce" {
-		pool = m.redTasks
-	}
 	now := time.Now()
+	if task, ok := m.assignFrom(m.mapTasks, workerID, now); ok {
+		return task
+	}
+	if m.reduceEligible() {
+		if task, ok := m.assignFrom(m.redTasks, workerID, now); ok {
+			if m.phase == "map" {
+				m.earlyReduces++
+				m.ob.Count("dist.tasks.early_reduce", 1)
+			}
+			return task
+		}
+	}
+	// Nothing pending: speculate on the oldest aging straggler owned by
+	// someone else (first result wins; duplicates are discarded).
+	pools := [][]*taskState{m.mapTasks}
+	if m.reduceEligible() {
+		pools = append(pools, m.redTasks)
+	}
+	specAge := time.Duration(float64(m.taskTimeout) * m.specFraction)
+	var oldest *taskState
+	for _, pool := range pools {
+		for _, ts := range pool {
+			if ts.done || !ts.assigned || ts.assignee == workerID {
+				continue
+			}
+			if now.Sub(ts.assignedAt) < specAge {
+				continue
+			}
+			if oldest == nil || ts.assignedAt.Before(oldest.assignedAt) {
+				oldest = ts
+			}
+		}
+	}
+	if oldest != nil {
+		m.speculative++
+		m.ob.Count("dist.tasks.speculative", 1)
+		oldest.assignedAt = now // throttle repeated speculation
+		oldest.assignee = workerID
+		return oldest.task
+	}
+	return Task{Kind: TaskWait}
+}
+
+// assignFrom hands out the first pending or timed-out task in pool; called
+// under m.mu.
+func (m *Master) assignFrom(pool []*taskState, workerID string, now time.Time) (Task, bool) {
 	for _, ts := range pool {
 		if ts.done {
 			continue
@@ -287,82 +355,105 @@ func (m *Master) nextTask(workerID string) Task {
 		ts.assigned = true
 		ts.assignee = workerID
 		ts.assignedAt = now
-		return ts.task
+		return ts.task, true
 	}
-	// Nothing pending: speculate on the oldest aging straggler owned by
-	// someone else (first result wins; duplicates are discarded).
-	specAge := time.Duration(float64(m.taskTimeout) * m.specFraction)
-	var oldest *taskState
-	for _, ts := range pool {
-		if ts.done || !ts.assigned || ts.assignee == workerID {
-			continue
-		}
-		if now.Sub(ts.assignedAt) < specAge {
-			continue
-		}
-		if oldest == nil || ts.assignedAt.Before(oldest.assignedAt) {
-			oldest = ts
-		}
-	}
-	if oldest != nil {
-		m.speculative++
-		m.ob.Count("dist.tasks.speculative", 1)
-		oldest.assignedAt = now // throttle repeated speculation
-		oldest.assignee = workerID
-		return oldest.task
-	}
-	return Task{Kind: TaskWait}
+	return Task{}, false
 }
 
-// completeMap records a map result; duplicate completions (from reissued
+// reduceEligible reports whether reduce tasks may be dispatched: always in
+// the reduce phase, and during the map phase once the slowstart fraction of
+// maps has completed. Called under m.mu.
+func (m *Master) reduceEligible() bool {
+	if m.phase == "reduce" {
+		return true
+	}
+	if m.phase != "map" || len(m.mapTasks) == 0 {
+		return false
+	}
+	done := len(m.mapTasks) - m.mapsLeft
+	return float64(done) >= m.reduceSlowstart*float64(len(m.mapTasks))
+}
+
+// completeMap records a map result and publishes the task's non-empty
+// segments to the streaming shuffle, where already-dispatched reducers pick
+// them up on their next fetch. Duplicate completions (from reissued
 // attempts) and stale completions (wrong epoch: the reporting worker was
 // running a job that has since been aborted) are ignored. Called under
 // m.mu.
 func (m *Master) completeMap(res *MapDone) {
-	if res.Epoch != m.epoch || m.phase != "map" ||
+	if res.Epoch != m.epoch || m.mapTasks == nil ||
 		res.Seq < 0 || res.Seq >= len(m.mapTasks) || m.mapTasks[res.Seq].done {
 		return
 	}
 	m.mapTasks[res.Seq].done = true
-	m.mapOutputs[res.Seq] = res.Parts
 	m.counters.Add(res.Counters)
+	nonEmpty := res.NonEmpty
+	if nonEmpty == nil {
+		// Legacy sender: derive the availability report from the payload.
+		for p, part := range res.Parts {
+			if len(part) > 0 {
+				nonEmpty = append(nonEmpty, p)
+			}
+		}
+	}
+	for _, p := range nonEmpty {
+		if p < 0 || p >= len(m.partSegs) || p >= len(res.Parts) || len(res.Parts[p]) == 0 {
+			continue
+		}
+		m.partSegs[p] = append(m.partSegs[p], TaggedSegment{MapSeq: res.Seq, Recs: res.Parts[p]})
+		m.counters.ShuffleSegments++
+		for _, kv := range res.Parts[p] {
+			m.counters.ShuffleBytes += kv.Bytes()
+		}
+	}
 	m.mapsLeft--
 	if m.ob.Enabled() {
 		m.ob.Progress("dist.map", len(m.mapTasks)-m.mapsLeft, len(m.mapTasks))
 	}
-	if m.mapsLeft == 0 {
-		m.startReducePhase()
+	if m.mapsLeft == 0 && m.phase == "map" {
+		m.phase = "reduce"
 	}
 }
 
-// startReducePhase builds the shuffle and enqueues reduce tasks; called
-// under m.mu at the end of the map phase.
-func (m *Master) startReducePhase() {
-	segments := 0
-	m.redTasks = make([]*taskState, m.nparts)
-	for p := 0; p < m.nparts; p++ {
-		var segs [][]mapreduce.KV
-		for _, mo := range m.mapOutputs {
-			if p < len(mo) && len(mo[p]) > 0 {
-				segs = append(segs, mo[p])
-				segments++
-				for _, kv := range mo[p] {
-					m.counters.ShuffleBytes += kv.Bytes()
-				}
-			}
-		}
-		m.redTasks[p] = &taskState{task: Task{
-			Kind: TaskReduce, Epoch: m.epoch, Seq: p, Job: m.desc, Partition: p, Segments: segs,
-		}}
+// fetchSegments answers one reducer's streaming fetch; called under m.mu.
+// The reply is Stale — abandon the task — when the epoch is wrong or the
+// job's tables are gone (aborted or finished).
+func (m *Master) fetchSegments(args *FetchSegmentsArgs, reply *FetchSegmentsReply) {
+	if args.Epoch != m.epoch || m.partSegs == nil ||
+		args.Partition < 0 || args.Partition >= len(m.partSegs) {
+		reply.Stale = true
+		return
 	}
-	m.counters.ShuffleSegments = segments
-	m.phase = "reduce"
+	segs := m.partSegs[args.Partition]
+	cur := args.Cursor
+	if cur < 0 {
+		cur = 0
+	}
+	if cur > len(segs) {
+		cur = len(segs)
+	}
+	if cur < len(segs) {
+		reply.Segments = append([]TaggedSegment(nil), segs[cur:]...)
+	}
+	reply.Cursor = len(segs)
+	reply.Complete = m.mapsLeft == 0
+	// A reducer actively streaming is alive: refresh its lease so a long
+	// fetch wait behind a slow map wave does not read as a timeout and
+	// trigger a spurious reassignment.
+	if args.Partition < len(m.redTasks) {
+		if ts := m.redTasks[args.Partition]; ts != nil && ts.assigned && !ts.done && ts.assignee == args.WorkerID {
+			ts.assignedAt = time.Now()
+		}
+	}
 }
 
 // completeReduce records a reduce result; duplicates and stale (wrong
-// epoch) completions ignored. Called under m.mu.
+// epoch) completions ignored. Early completions — while the tail of the map
+// wave is still running — are legitimate only in theory (a reducer cannot
+// finish before its shuffle is Complete), so the guard checks the task
+// tables rather than the phase. Called under m.mu.
 func (m *Master) completeReduce(res *ReduceDone) {
-	if res.Epoch != m.epoch || m.phase != "reduce" ||
+	if res.Epoch != m.epoch || m.redTasks == nil ||
 		res.Seq < 0 || res.Seq >= len(m.redTasks) || m.redTasks[res.Seq].done {
 		return
 	}
@@ -399,6 +490,18 @@ func (r *masterRPC) CompleteMap(res MapDone, _ *Ack) error {
 	r.m.mu.Lock()
 	defer r.m.mu.Unlock()
 	r.m.completeMap(&res)
+	return nil
+}
+
+// FetchSegments streams one partition's shuffle segments to the fetching
+// reducer, from its cursor forward. Workers call it in a loop until the
+// reply is Complete (map wave drained, every segment delivered) or Stale
+// (the job is gone; abandon the task).
+func (r *masterRPC) FetchSegments(args FetchSegmentsArgs, reply *FetchSegmentsReply) error {
+	r.m.mu.Lock()
+	defer r.m.mu.Unlock()
+	r.m.workers[args.WorkerID] = time.Now()
+	r.m.fetchSegments(&args, reply)
 	return nil
 }
 

@@ -264,7 +264,7 @@ func TestAbortedJobTasksNotReissued(t *testing.T) {
 		t.Errorf("poll after abort returned %q, want %q", task.Kind, TaskDone)
 	}
 	m.mu.Lock()
-	leaked := m.mapTasks != nil || m.redTasks != nil || m.mapOutputs != nil
+	leaked := m.mapTasks != nil || m.redTasks != nil || m.partSegs != nil
 	m.mu.Unlock()
 	if leaked {
 		t.Error("aborted job's task tables still pinned after abort")

@@ -29,18 +29,20 @@ var (
 // worker read the fields they care about and ignore the rest, so the
 // option names are shared (WithObserver works on both).
 type config struct {
-	taskTimeout  time.Duration
-	specFraction float64
-	pollInterval time.Duration
-	observer     obs.Observer
+	taskTimeout     time.Duration
+	specFraction    float64
+	reduceSlowstart float64
+	pollInterval    time.Duration
+	observer        obs.Observer
 }
 
 func defaultConfig() config {
 	return config{
-		taskTimeout:  5 * time.Second,
-		specFraction: 0.5,
-		pollInterval: 10 * time.Millisecond,
-		observer:     obs.Nop,
+		taskTimeout:     5 * time.Second,
+		specFraction:    0.5,
+		reduceSlowstart: 0.5,
+		pollInterval:    10 * time.Millisecond,
+		observer:        obs.Nop,
 	}
 }
 
@@ -66,6 +68,19 @@ func WithSpeculativeFraction(f float64) Option {
 	return func(c *config) {
 		if f > 0 && f <= 1 {
 			c.specFraction = f
+		}
+	}
+}
+
+// WithReduceSlowstart sets the fraction of map tasks that must have
+// completed before reduce tasks become eligible for dispatch while the map
+// wave is still running — Hadoop's mapreduce.job.reduce.slowstart.
+// completedmaps. 1 restores the strict barrier (reduces only after every
+// map); values outside (0, 1] keep the default (0.5).
+func WithReduceSlowstart(f float64) Option {
+	return func(c *config) {
+		if f > 0 && f <= 1 {
+			c.reduceSlowstart = f
 		}
 	}
 }

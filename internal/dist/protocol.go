@@ -54,10 +54,11 @@ type Task struct {
 	NParts int
 	// SplitData is the record-aligned input chunk (map tasks).
 	SplitData []byte
-	// Partition is the reduce partition index (reduce tasks).
+	// Partition is the reduce partition index (reduce tasks). Reduce tasks
+	// carry no shuffle data: the worker streams its partition's segments
+	// from the master with Master.FetchSegments while the map wave is still
+	// running.
 	Partition int
-	// Segments are the sorted shuffle segments (reduce tasks).
-	Segments [][]mapreduce.KV
 }
 
 // GetTaskArgs is the worker's poll request (the heartbeat).
@@ -71,7 +72,43 @@ type MapDone struct {
 	Epoch    uint64
 	Seq      int
 	Parts    [][]mapreduce.KV
+	// NonEmpty lists the partitions in Parts that actually hold records —
+	// the availability report that lets the master publish this task's
+	// segments to early-dispatched reducers without rescanning Parts. A nil
+	// NonEmpty makes the master derive it (legacy senders).
+	NonEmpty []int
 	Counters mapreduce.Counters
+}
+
+// TaggedSegment is one map task's sorted output for one partition, tagged
+// with the producing task's Seq so reducers can restore map-task order —
+// the order the engine's stable merge is defined over — no matter the
+// order segments were fetched in.
+type TaggedSegment struct {
+	MapSeq int
+	Recs   []mapreduce.KV
+}
+
+// FetchSegmentsArgs asks the master for one partition's shuffle segments,
+// starting at Cursor (the count of segments already fetched). Epoch is
+// copied from the reduce Task so a fetch for an aborted or superseded job
+// is answered Stale instead of with the wrong job's data.
+type FetchSegmentsArgs struct {
+	WorkerID  string
+	Epoch     uint64
+	Partition int
+	Cursor    int
+}
+
+// FetchSegmentsReply carries the segments published since the cursor.
+// Complete is set once the map wave has drained and every segment has been
+// handed out, so the fetching reducer can start its final merge. Stale
+// tells the worker to abandon the task: the job it belongs to is gone.
+type FetchSegmentsReply struct {
+	Segments []TaggedSegment
+	Cursor   int
+	Complete bool
+	Stale    bool
 }
 
 // ReduceDone reports a completed reduce task. Epoch is copied from the

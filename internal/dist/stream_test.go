@@ -1,0 +1,203 @@
+package dist
+
+import (
+	"context"
+	"errors"
+	"net/rpc"
+	"testing"
+	"time"
+
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+	"heterohadoop/internal/workloads"
+)
+
+// TestEarlyReduceDispatchAndStreamingFetch drives the master by hand: it
+// steals every map task, completes just past the slowstart fraction, and
+// asserts that a reduce task is dispatched while the map wave is still
+// running and that FetchSegments streams the published segments
+// incrementally — Complete only once the last map has reported.
+func TestEarlyReduceDispatchAndStreamingFetch(t *testing.T) {
+	input := workloads.GenerateText(8*units.KB, 3)
+	desc := JobDescriptor{Workload: "wordcount", NumReducers: 2}
+	m, err := StartMaster("127.0.0.1:0", WithTaskTimeout(5*time.Second), WithReduceSlowstart(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	client, err := rpc.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := m.SubmitCtx(ctx, desc, input, 2*1024)
+		errCh <- err
+	}()
+
+	job, err := NewRegistry().Build(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Steal every map task; polling must then answer TaskWait (no reduce is
+	// eligible before the slowstart threshold).
+	var maps []Task
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		var task Task
+		if err := client.Call("Master.GetTask", GetTaskArgs{WorkerID: "tester"}, &task); err != nil {
+			t.Fatal(err)
+		}
+		if task.Kind == TaskMap {
+			maps = append(maps, task)
+			continue
+		}
+		if task.Kind == TaskWait && len(maps) > 0 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if len(maps) < 3 {
+		t.Fatalf("stole %d map tasks, need >= 3 for a split wave", len(maps))
+	}
+
+	complete := func(task Task) {
+		t.Helper()
+		parts, counters, err := mapreduce.ExecuteMapSplit(job, task.SplitData, task.NParts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := client.Call("Master.CompleteMap", MapDone{
+			WorkerID: "tester", Epoch: task.Epoch, Seq: task.Seq, Parts: parts, Counters: counters,
+		}, &Ack{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	half := (len(maps) + 1) / 2
+	for _, task := range maps[:half] {
+		complete(task)
+	}
+
+	// Past slowstart with maps still outstanding: the next poll must hand
+	// out a reduce task.
+	var red Task
+	if err := client.Call("Master.GetTask", GetTaskArgs{WorkerID: "tester"}, &red); err != nil {
+		t.Fatal(err)
+	}
+	if red.Kind != TaskReduce {
+		t.Fatalf("poll past slowstart returned %q, want %q", red.Kind, TaskReduce)
+	}
+	if st := m.Stats(); st.EarlyReduces < 1 {
+		t.Errorf("EarlyReduces = %d, want >= 1", st.EarlyReduces)
+	}
+
+	// The stream so far: published segments, but not Complete.
+	var r1 FetchSegmentsReply
+	if err := client.Call("Master.FetchSegments", FetchSegmentsArgs{
+		WorkerID: "tester", Epoch: red.Epoch, Partition: red.Partition,
+	}, &r1); err != nil {
+		t.Fatal(err)
+	}
+	if r1.Stale {
+		t.Fatal("fetch during the job reported Stale")
+	}
+	if r1.Complete {
+		t.Fatalf("fetch Complete with %d/%d maps done", half, len(maps))
+	}
+
+	// A wrong-epoch fetch — a worker left over from an aborted job — must
+	// be told Stale, not fed the current job's data.
+	var stale FetchSegmentsReply
+	if err := client.Call("Master.FetchSegments", FetchSegmentsArgs{
+		WorkerID: "ghost", Epoch: red.Epoch + 1, Partition: red.Partition,
+	}, &stale); err != nil {
+		t.Fatal(err)
+	}
+	if !stale.Stale {
+		t.Error("wrong-epoch fetch not reported Stale")
+	}
+
+	// Drain the map wave; the stream must then complete from the cursor.
+	for _, task := range maps[half:] {
+		complete(task)
+	}
+	var r2 FetchSegmentsReply
+	if err := client.Call("Master.FetchSegments", FetchSegmentsArgs{
+		WorkerID: "tester", Epoch: red.Epoch, Partition: red.Partition, Cursor: r1.Cursor,
+	}, &r2); err != nil {
+		t.Fatal(err)
+	}
+	if r2.Stale || !r2.Complete {
+		t.Fatalf("fetch after map drain: stale=%v complete=%v, want complete", r2.Stale, r2.Complete)
+	}
+	segs := append(append([]TaggedSegment(nil), r1.Segments...), r2.Segments...)
+	seen := map[int]bool{}
+	for _, s := range segs {
+		if s.MapSeq < 0 || s.MapSeq >= len(maps) {
+			t.Fatalf("segment tagged with MapSeq %d outside the wave", s.MapSeq)
+		}
+		if seen[s.MapSeq] {
+			t.Fatalf("map %d published twice to partition %d", s.MapSeq, red.Partition)
+		}
+		seen[s.MapSeq] = true
+		if len(s.Recs) == 0 {
+			t.Fatalf("map %d published an empty segment", s.MapSeq)
+		}
+	}
+	if len(segs) == 0 {
+		t.Fatal("no segments streamed for a wordcount partition")
+	}
+
+	// Abort: the epoch guard must extend to the segment stream.
+	cancel()
+	if err := <-errCh; !errors.Is(err, context.Canceled) {
+		t.Fatalf("aborted submit: %v, want wrapped context.Canceled", err)
+	}
+	var r3 FetchSegmentsReply
+	if err := client.Call("Master.FetchSegments", FetchSegmentsArgs{
+		WorkerID: "tester", Epoch: red.Epoch, Partition: red.Partition, Cursor: r2.Cursor,
+	}, &r3); err != nil {
+		t.Fatal(err)
+	}
+	if !r3.Stale {
+		t.Error("fetch after abort not reported Stale")
+	}
+}
+
+// TestReduceSlowstartOneRestoresBarrier checks the strict-barrier opt-out:
+// with slowstart 1.0 no reduce may be dispatched until every map is done,
+// yet the job still completes.
+func TestReduceSlowstartOneRestoresBarrier(t *testing.T) {
+	input := workloads.GenerateText(8*units.KB, 9)
+	m, err := StartMaster("127.0.0.1:0", WithTaskTimeout(5*time.Second), WithReduceSlowstart(1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	w, err := ConnectWorker("w0", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	runErr := make(chan error, 1)
+	go func() { runErr <- w.Run() }()
+
+	res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 2*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := <-runErr; err != nil {
+		t.Fatal(err)
+	}
+	if res.Counters.ReduceTasks != 2 {
+		t.Errorf("ReduceTasks = %d, want 2", res.Counters.ReduceTasks)
+	}
+	if st := m.Stats(); st.EarlyReduces != 0 {
+		t.Errorf("EarlyReduces = %d with slowstart 1.0, want 0", st.EarlyReduces)
+	}
+}

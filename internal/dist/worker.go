@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"net/rpc"
+	"sort"
 	"sync"
 	"time"
 
@@ -30,6 +31,16 @@ type Worker struct {
 	// reportErrors counts failure reports that themselves failed to reach
 	// the master over RPC.
 	reportErrors int
+
+	// bg tracks in-flight streaming reduce attempts. Reduce tasks run in
+	// the background so the polling loop keeps serving map tasks while the
+	// reducer waits for the shuffle to complete — with synchronous reduces a
+	// single worker would deadlock, holding a reduce that can never finish
+	// because the remaining maps are never polled for.
+	bg sync.WaitGroup
+	// bgErr is the first hard error hit by a background reduce; it stops
+	// the worker and is returned when the polling loop exits.
+	bgErr error
 }
 
 // NewWorker dials the master and returns a ready worker.
@@ -139,6 +150,10 @@ func (w *Worker) RunForever() error { return w.run(context.Background(), true) }
 func (w *Worker) RunForeverCtx(ctx context.Context) error { return w.run(ctx, true) }
 
 func (w *Worker) run(ctx context.Context, persistent bool) error {
+	// Background reduces terminate on their own within a poll interval of
+	// any exit condition (stop, cancellation, closed connection, stale
+	// epoch); wait for them so no attempt outlives Run.
+	defer w.bg.Wait()
 	for !w.isStopped() {
 		if err := ctx.Err(); err != nil {
 			return fmt.Errorf("dist: worker %s: cancelled: %w", w.ID, err)
@@ -146,7 +161,7 @@ func (w *Worker) run(ctx context.Context, persistent bool) error {
 		var task Task
 		if err := w.client.Call("Master.GetTask", GetTaskArgs{WorkerID: w.ID}, &task); err != nil {
 			if w.isStopped() {
-				return nil // Close raced with the poll: clean shutdown
+				break // Close raced with the poll: clean shutdown
 			}
 			return fmt.Errorf("dist: worker %s poll: %w", w.ID, err)
 		}
@@ -158,7 +173,8 @@ func (w *Worker) run(ctx context.Context, persistent bool) error {
 				}
 				continue
 			}
-			return nil
+			w.bg.Wait()
+			return w.takeBgErr()
 		case TaskWait:
 			if err := w.idle(ctx); err != nil {
 				return err
@@ -166,22 +182,29 @@ func (w *Worker) run(ctx context.Context, persistent bool) error {
 		case TaskMap:
 			if err := w.runMap(task); err != nil {
 				if w.isStopped() {
-					return nil
+					break
 				}
 				return err
 			}
 		case TaskReduce:
-			if err := w.runReduce(task); err != nil {
-				if w.isStopped() {
-					return nil
-				}
-				return err
-			}
+			// Streamed in the background: the fetch loop may have to wait
+			// for the tail of the map wave, and this polling loop is what
+			// runs those maps.
+			w.bg.Add(1)
+			go w.runReduceBg(ctx, task)
 		default:
 			return fmt.Errorf("dist: worker %s: unknown task kind %q", w.ID, task.Kind)
 		}
 	}
-	return nil
+	w.bg.Wait()
+	return w.takeBgErr()
+}
+
+// takeBgErr returns the first background-reduce error, if any.
+func (w *Worker) takeBgErr() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.bgErr
 }
 
 // idle sleeps one poll interval, waking early on cancellation.
@@ -221,23 +244,97 @@ func (w *Worker) runMap(task Task) error {
 		w.reportFailure(task, err)
 		return fmt.Errorf("dist: worker %s map %d: %w", w.ID, task.Seq, err)
 	}
+	// The availability report: which partitions this task actually feeds,
+	// so the master can publish the segments to early-dispatched reducers
+	// without rescanning the payload.
+	nonEmpty := make([]int, 0, len(parts))
+	for p, part := range parts {
+		if len(part) > 0 {
+			nonEmpty = append(nonEmpty, p)
+		}
+	}
 	w.mu.Lock()
 	w.tasksRun++
 	w.mu.Unlock()
 	return w.client.Call("Master.CompleteMap", MapDone{
-		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Parts: parts, Counters: counters,
+		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Parts: parts, NonEmpty: nonEmpty, Counters: counters,
 	}, &Ack{})
 }
 
-func (w *Worker) runReduce(task Task) error {
+// runReduceBg runs one streaming reduce attempt in the background. A hard
+// error is recorded and stops the worker; the polling loop returns it.
+func (w *Worker) runReduceBg(ctx context.Context, task Task) {
+	defer w.bg.Done()
 	sp := w.taskSpan(task)
 	defer sp.End()
+	if err := w.runReduceStreaming(ctx, task); err != nil {
+		w.mu.Lock()
+		// An error after Stop/Close is shutdown fallout (closed connection),
+		// not a task failure — the same suppression the synchronous task
+		// paths apply.
+		if !w.stopped && w.bgErr == nil {
+			w.bgErr = err
+		}
+		w.stopped = true
+		w.mu.Unlock()
+	}
+}
+
+// runReduceStreaming fetches the task's partition segments from the master
+// as the map wave publishes them, then merges and reduces once the shuffle
+// is complete. A Stale reply or cancellation abandons the attempt quietly
+// (the job is gone, or the loop owner reports the cancellation).
+func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	job, err := w.registry.Build(task.Job)
 	if err != nil {
 		w.reportFailure(task, err)
 		return err
 	}
-	out, counters, err := mapreduce.ExecuteReduce(job, task.Segments)
+	var segs []TaggedSegment
+	cursor := 0
+	for {
+		if w.isStopped() || ctx.Err() != nil {
+			return nil
+		}
+		var reply FetchSegmentsReply
+		err := w.client.Call("Master.FetchSegments", FetchSegmentsArgs{
+			WorkerID: w.ID, Epoch: task.Epoch, Partition: task.Partition, Cursor: cursor,
+		}, &reply)
+		if err != nil {
+			if w.isStopped() {
+				return nil
+			}
+			return fmt.Errorf("dist: worker %s reduce %d fetch: %w", w.ID, task.Seq, err)
+		}
+		if reply.Stale {
+			return nil
+		}
+		segs = append(segs, reply.Segments...)
+		cursor = reply.Cursor
+		if reply.Complete {
+			break
+		}
+		if len(reply.Segments) == 0 {
+			// Nothing new: wait a heartbeat for more maps to finish.
+			timer := time.NewTimer(w.PollInterval)
+			select {
+			case <-ctx.Done():
+				timer.Stop()
+				return nil
+			case <-timer.C:
+			}
+		}
+	}
+	// Restore map-task order — the order the engine's stable merge is
+	// defined over — regardless of fetch interleaving.
+	sort.Slice(segs, func(i, j int) bool { return segs[i].MapSeq < segs[j].MapSeq })
+	parts := make([][]mapreduce.KV, 0, len(segs))
+	for _, s := range segs {
+		if len(s.Recs) > 0 {
+			parts = append(parts, s.Recs)
+		}
+	}
+	out, counters, err := mapreduce.ExecuteReduce(job, parts)
 	if err != nil {
 		w.reportFailure(task, err)
 		return fmt.Errorf("dist: worker %s reduce %d: %w", w.ID, task.Seq, err)

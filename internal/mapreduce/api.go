@@ -137,8 +137,15 @@ type Config struct {
 	SortBuffer units.Bytes
 	// MergeFactor is the fan-in of each merge pass (Hadoop's io.sort.factor).
 	MergeFactor int
-	// Parallelism is the number of concurrent task slots. Zero means 1.
+	// Parallelism is the number of concurrent task slots. Zero means one
+	// slot per schedulable CPU (runtime.GOMAXPROCS); set 1 explicitly for a
+	// serial run.
 	Parallelism int
+	// BarrierShuffle opts out of the streaming shuffle: the map wave runs to
+	// a hard barrier before any reduce-side merging starts, as classic
+	// two-phase Hadoop does. Output is byte-identical either way; the flag
+	// exists for baselines and A/B measurements.
+	BarrierShuffle bool
 	// MaxAttempts is how many times a failed task is retried before the
 	// job aborts. Zero means 1 attempt (no retries).
 	MaxAttempts int
@@ -148,14 +155,15 @@ type Config struct {
 }
 
 // DefaultConfig returns a configuration with Hadoop-flavoured defaults:
-// 100 MB sort buffer, merge factor 10, one reducer.
+// 100 MB sort buffer, merge factor 10, one reducer, one task slot per
+// schedulable CPU.
 func DefaultConfig(name string) Config {
 	return Config{
 		Name:        name,
 		NumReducers: 1,
 		SortBuffer:  100 * units.MB,
 		MergeFactor: 10,
-		Parallelism: 1,
+		Parallelism: 0, // auto: runtime.GOMAXPROCS
 		MaxAttempts: 1,
 	}
 }

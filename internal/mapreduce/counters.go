@@ -69,6 +69,10 @@ type Counters struct {
 	MergeBytes      units.Bytes // bytes re-read and re-written by merges
 	ShuffleBytes    units.Bytes
 	ShuffleSegments int
+	// ReduceMergePasses counts reduce-side interim merge passes performed
+	// by the streaming shuffle while the map wave was still running. The
+	// barrier path never records any; output is identical either way.
+	ReduceMergePasses int
 
 	ReduceInputGroups   int64
 	ReduceInputRecords  int64
@@ -95,6 +99,7 @@ func (c *Counters) Add(o Counters) {
 	c.MergeBytes += o.MergeBytes
 	c.ShuffleBytes += o.ShuffleBytes
 	c.ShuffleSegments += o.ShuffleSegments
+	c.ReduceMergePasses += o.ReduceMergePasses
 	c.ReduceInputGroups += o.ReduceInputGroups
 	c.ReduceInputRecords += o.ReduceInputRecords
 	c.ReduceOutputRecords += o.ReduceOutputRecords

@@ -2,10 +2,10 @@ package mapreduce
 
 import (
 	"bytes"
-	"container/heap"
 	"context"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strconv"
 	"sync"
@@ -51,7 +51,9 @@ func (e *Engine) Run(job Job, input string) (*Result, error) {
 }
 
 // RunContext is Run with cancellation: a cancelled context aborts the job
-// between tasks and returns the context's error.
+// between tasks and returns the context's error. On failure the partial
+// Result carries the counters of the tasks that did complete (MapTasks
+// counts only finished map tasks), alongside the error.
 func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result, error) {
 	if err := job.Validate(); err != nil {
 		return nil, err
@@ -78,44 +80,59 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 		job.Partitioner = HashPartitioner()
 	}
 
-	total := &Counters{}
 	nparts := job.Config.NumReducers
 	mapOnly := nparts == 0
 	if mapOnly {
 		nparts = 1
 	}
-
-	// ---- Map phase: one task per split, run on a bounded worker pool.
-	mapOutputs := make([][][]KV, len(splits)) // [task][partition]sorted records
 	par := job.Config.Parallelism
+	if par == 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
 	if par < 1 {
 		par = 1
 	}
+	// Map-only jobs have no shuffle to stream; BarrierShuffle is the
+	// explicit opt-out onto the legacy two-phase path.
+	if mapOnly || job.Config.BarrierShuffle {
+		return e.runBarrier(ctx, job, data, splits, nparts, mapOnly, par)
+	}
+	return e.runStreaming(ctx, job, data, splits, nparts, par)
+}
+
+// runBarrier is the two-phase execution path: the map wave runs to
+// completion, the shuffle is assembled in one step, then reduce tasks run.
+func (e *Engine) runBarrier(ctx context.Context, job Job, data []byte, splits []splitRange, nparts int, mapOnly bool, par int) (*Result, error) {
+	total := &Counters{}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+
+	// ---- Map phase: one task per split, run on a bounded worker pool.
+	// Each task writes only its own slots; aggregation happens once after
+	// the wave drains, so the hot path takes no locks.
 	var (
-		wg       sync.WaitGroup
-		sem      = make(chan struct{}, par)
-		mu       sync.Mutex // guards total and firstErr
-		firstErr error
+		mapOutputs   = make([][][]KV, len(splits)) // [task][partition]sorted records
+		taskErr      = make([]error, len(splits))
+		taskCounters = make([]Counters, len(splits))
+		completed    = make([]bool, len(splits))
 	)
-	setErr := func(err error) {
-		mu.Lock()
-		defer mu.Unlock()
-		if firstErr == nil {
-			firstErr = err
-		}
-	}
-	addCounters := func(tc Counters) {
-		mu.Lock()
-		defer mu.Unlock()
-		total.Add(tc)
-	}
+	dispatched := 0
+	var ctxErr error
 	for i, split := range splits {
 		if err := ctx.Err(); err != nil {
-			setErr(err)
+			ctxErr = err
 			break
 		}
-		wg.Add(1)
 		sem <- struct{}{}
+		// Re-check after (possibly) blocking on a slot: a cancellation that
+		// lands while waiting must not dispatch another task.
+		if err := ctx.Err(); err != nil {
+			<-sem
+			ctxErr = err
+			break
+		}
+		dispatched++
+		wg.Add(1)
 		go func(i int, split splitRange) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -124,20 +141,29 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 				return runMapTask(job, data, split, nparts)
 			})
 			if err != nil {
-				setErr(err)
+				taskErr[i] = err
 				return
 			}
 			mapOutputs[i] = out
-			addCounters(tc)
+			taskCounters[i] = tc
+			completed[i] = true
 		}(i, split)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for i := 0; i < dispatched; i++ {
+		if completed[i] {
+			total.MapTasks++
+			total.Add(taskCounters[i])
+		}
 	}
-	mu.Lock()
-	total.MapTasks = len(splits)
-	mu.Unlock()
+	for i := 0; i < dispatched; i++ {
+		if taskErr[i] != nil {
+			return &Result{Counters: *total}, taskErr[i]
+		}
+	}
+	if ctxErr != nil {
+		return &Result{Counters: *total}, fmt.Errorf("mapreduce: %s: %w", job.Config.Name, ctxErr)
+	}
 
 	if mapOnly {
 		out := make([][]KV, len(splits))
@@ -168,14 +194,25 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 	total.ReduceTasks = nparts
 
 	// ---- Reduce phase.
-	output := make([][]KV, nparts)
+	var (
+		output      = make([][]KV, nparts)
+		redErr      = make([]error, nparts)
+		redCounters = make([]Counters, nparts)
+		redDone     = make([]bool, nparts)
+	)
+	ctxErr = nil
 	for p := 0; p < nparts; p++ {
 		if err := ctx.Err(); err != nil {
-			setErr(err)
+			ctxErr = err
+			break
+		}
+		sem <- struct{}{}
+		if err := ctx.Err(); err != nil {
+			<-sem
+			ctxErr = err
 			break
 		}
 		wg.Add(1)
-		sem <- struct{}{}
 		go func(p int) {
 			defer wg.Done()
 			defer func() { <-sem }()
@@ -185,16 +222,27 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 				return [][]KV{kvs}, c, err
 			})
 			if err != nil {
-				setErr(err)
+				redErr[p] = err
 				return
 			}
 			output[p] = out[0]
-			addCounters(tc)
+			redCounters[p] = tc
+			redDone[p] = true
 		}(p)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	for p := 0; p < nparts; p++ {
+		if redDone[p] {
+			total.Add(redCounters[p])
+		}
+	}
+	for p := 0; p < nparts; p++ {
+		if redErr[p] != nil {
+			return &Result{Counters: *total}, redErr[p]
+		}
+	}
+	if ctxErr != nil {
+		return &Result{Counters: *total}, fmt.Errorf("mapreduce: %s: %w", job.Config.Name, ctxErr)
 	}
 
 	return &Result{Output: output, Counters: *total}, nil
@@ -234,13 +282,19 @@ type splitRange struct {
 }
 
 // runMapTask executes the mapper over one split with Hadoop's sort-buffer
-// spill discipline and returns per-partition sorted output.
+// spill discipline and returns per-partition sorted output. The sort buffer
+// is pooled across tasks.
 func runMapTask(job Job, data []byte, split splitRange, nparts int) ([][]KV, Counters, error) {
 	var c Counters
 	c.MapInputBytes = units.Bytes(split.end - split.start)
 
+	bufp := mapBufferPool.Get().(*[]KV)
+	buffer := (*bufp)[:0]
+	defer func() {
+		*bufp = buffer[:0]
+		mapBufferPool.Put(bufp)
+	}()
 	var (
-		buffer    []KV
 		bufBytes  units.Bytes
 		spills    [][][]KV // per spill: per-partition sorted records
 		spillStat = func(n int, b units.Bytes) {
@@ -278,14 +332,15 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([][]KV, Cou
 		}
 	}
 
-	for _, rec := range splitRecords(data, split.start, split.end) {
+	err := forEachRecord(data, split.start, split.end, func(offset int, line string) error {
 		c.MapInputRecords++
-		if err := job.Mapper.Map(strconv.Itoa(rec.offset), rec.line, emit); err != nil {
-			return nil, c, fmt.Errorf("mapreduce: %s: map: %w", job.Config.Name, err)
+		if err := job.Mapper.Map(strconv.Itoa(offset), line, emit); err != nil {
+			return fmt.Errorf("mapreduce: %s: map: %w", job.Config.Name, err)
 		}
-		if mapErr != nil {
-			return nil, c, mapErr
-		}
+		return mapErr
+	})
+	if err != nil {
+		return nil, c, err
 	}
 	if err := doSpill(); err != nil {
 		return nil, c, err
@@ -318,31 +373,55 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([][]KV, Cou
 
 // spill sorts the buffered records, applies the combiner if configured,
 // and partitions the result. It returns the per-partition sorted records,
-// the record count and byte size actually spilled.
+// the record count and byte size actually spilled. The sort copy and the
+// partition-index scratch come from pools; the per-partition slices are
+// sized exactly from a counting pass, so each is a single allocation.
 func spill(job Job, buffer []KV, nparts int, c *Counters) ([][]KV, int, units.Bytes, error) {
-	sorted := make([]KV, len(buffer))
-	copy(sorted, buffer)
+	sp := kvScratchPool.Get().(*[]KV)
+	sorted := append((*sp)[:0], buffer...)
+	defer func() {
+		*sp = sorted[:0]
+		kvScratchPool.Put(sp)
+	}()
 	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
 
+	working := sorted
 	if job.Combiner != nil {
 		combined, err := combine(job, sorted, c)
 		if err != nil {
 			return nil, 0, 0, err
 		}
-		sorted = combined
+		working = combined
 	}
 
-	parts := make([][]KV, nparts)
+	idxp := partScratchPool.Get().(*[]int32)
+	ids := (*idxp)[:0]
+	defer func() {
+		*idxp = ids[:0]
+		partScratchPool.Put(idxp)
+	}()
+	counts := make([]int, nparts)
 	var bytes units.Bytes
-	for _, kv := range sorted {
+	for _, kv := range working {
 		p := job.Partitioner.Partition(kv.Key, nparts)
 		if p < 0 || p >= nparts {
 			return nil, 0, 0, fmt.Errorf("mapreduce: %s: partitioner returned %d for %d partitions", job.Config.Name, p, nparts)
 		}
-		parts[p] = append(parts[p], kv)
+		ids = append(ids, int32(p))
+		counts[p]++
 		bytes += kv.Bytes()
 	}
-	return parts, len(sorted), bytes, nil
+	parts := make([][]KV, nparts)
+	for p, n := range counts {
+		if n > 0 {
+			parts[p] = make([]KV, 0, n)
+		}
+	}
+	for i, kv := range working {
+		p := ids[i]
+		parts[p] = append(parts[p], kv)
+	}
+	return parts, len(working), bytes, nil
 }
 
 // combine runs the combiner over key groups of a sorted record slice.
@@ -376,8 +455,14 @@ func combine(job Job, sorted []KV, c *Counters) ([]KV, error) {
 // runReduceTask merges the sorted shuffle segments for one partition and
 // applies the reducer per key group.
 func runReduceTask(job Job, segments [][]KV) ([]KV, Counters, error) {
+	return reduceMerged(job, mergeSorted(segments))
+}
+
+// reduceMerged applies the reducer per key group over one partition's fully
+// merged record stream. The streaming path calls it directly with the
+// incrementally merged stream; the barrier path goes through runReduceTask.
+func reduceMerged(job Job, merged []KV) ([]KV, Counters, error) {
 	var c Counters
-	merged := mergeSorted(segments)
 	c.ReduceInputRecords = int64(len(merged))
 
 	sameGroup := func(a, b string) bool { return a == b }
@@ -424,79 +509,22 @@ func mergePasses(n, factor int) int {
 	return passes
 }
 
-// kvHeapItem is one cursor in the k-way merge.
-type kvHeapItem struct {
-	seg, idx int
-	key      string
-}
-
-type kvHeap struct {
-	items []kvHeapItem
-	segs  [][]KV
-}
-
-func (h *kvHeap) Len() int { return len(h.items) }
-func (h *kvHeap) Less(i, j int) bool {
-	if h.items[i].key != h.items[j].key {
-		return h.items[i].key < h.items[j].key
-	}
-	return h.items[i].seg < h.items[j].seg // stable across segments
-}
-func (h *kvHeap) Swap(i, j int)      { h.items[i], h.items[j] = h.items[j], h.items[i] }
-func (h *kvHeap) Push(x interface{}) { h.items = append(h.items, x.(kvHeapItem)) }
-func (h *kvHeap) Pop() interface{} {
-	old := h.items
-	n := len(old)
-	it := old[n-1]
-	h.items = old[:n-1]
-	return it
-}
-
-// mergeSorted merges already-sorted segments into one sorted slice.
-func mergeSorted(segments [][]KV) []KV {
-	switch len(segments) {
-	case 0:
-		return nil
-	case 1:
-		out := make([]KV, len(segments[0]))
-		copy(out, segments[0])
-		return out
-	}
-	total := 0
-	h := &kvHeap{segs: segments}
-	for s, seg := range segments {
-		total += len(seg)
-		if len(seg) > 0 {
-			h.items = append(h.items, kvHeapItem{seg: s, idx: 0, key: seg[0].Key})
-		}
-	}
-	heap.Init(h)
-	out := make([]KV, 0, total)
-	for h.Len() > 0 {
-		it := heap.Pop(h).(kvHeapItem)
-		out = append(out, segments[it.seg][it.idx])
-		if next := it.idx + 1; next < len(segments[it.seg]) {
-			heap.Push(h, kvHeapItem{seg: it.seg, idx: next, key: segments[it.seg][next].Key})
-		}
-	}
-	return out
-}
-
 // record is one line-based input record.
 type record struct {
 	offset int
 	line   string
 }
 
-// splitRecords implements Hadoop's LineRecordReader split semantics over the
-// byte range [start, end): a non-first split discards everything up to and
-// including its first newline (that partial/whole line belongs to the
-// previous split, which reads past its own end to finish it), and a line
-// starting at or before end — even exactly at end — belongs to this split
-// and is read to completion beyond the boundary. Every line of the file is
-// therefore processed by exactly one map task, regardless of where block
-// boundaries cut it.
-func splitRecords(data []byte, start, end int) []record {
+// forEachRecord streams the records of the byte range [start, end) to fn
+// under Hadoop's LineRecordReader split semantics: a non-first split
+// discards everything up to and including its first newline (that
+// partial/whole line belongs to the previous split, which reads past its
+// own end to finish it), and a line starting at or before end — even
+// exactly at end — belongs to this split and is read to completion beyond
+// the boundary. Every line of the file is therefore processed by exactly
+// one map task, regardless of where block boundaries cut it. A non-nil
+// error from fn stops the iteration and is returned.
+func forEachRecord(data []byte, start, end int, fn func(offset int, line string) error) error {
 	pos := start
 	if start > 0 {
 		i := bytes.IndexByte(data[start:], '\n')
@@ -505,7 +533,6 @@ func splitRecords(data []byte, start, end int) []record {
 		}
 		pos = start + i + 1
 	}
-	var recs []record
 	for pos <= end && pos < len(data) {
 		i := bytes.IndexByte(data[pos:], '\n')
 		var lineEnd int
@@ -515,9 +542,22 @@ func splitRecords(data []byte, start, end int) []record {
 			lineEnd = pos + i
 		}
 		if lineEnd > pos {
-			recs = append(recs, record{offset: pos, line: string(data[pos:lineEnd])})
+			if err := fn(pos, string(data[pos:lineEnd])); err != nil {
+				return err
+			}
 		}
 		pos = lineEnd + 1
 	}
+	return nil
+}
+
+// splitRecords materializes forEachRecord's stream — kept for tests and
+// callers that want the records as a slice.
+func splitRecords(data []byte, start, end int) []record {
+	var recs []record
+	_ = forEachRecord(data, start, end, func(offset int, line string) error {
+		recs = append(recs, record{offset: offset, line: line})
+		return nil
+	})
 	return recs
 }

@@ -1,0 +1,286 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"heterohadoop/internal/units"
+)
+
+// stream.go implements the streaming shuffle: map tasks publish their
+// per-partition sorted segments to partition channels the moment they
+// finish, and per-partition collectors merge segments incrementally while
+// the rest of the map wave is still running — Hadoop's overlapped
+// shuffle/sort phase, instead of a global barrier between map and reduce.
+//
+// Determinism: the barrier path merges each partition's segments in map
+// task order with a stable k-way merge (key ties broken by task index).
+// Stable merging is associative over contiguous runs, so the collector only
+// ever merges runs covering *adjacent* task-index intervals; any such
+// interim merge schedule yields output byte-identical to the one-shot
+// barrier merge, no matter the order segments arrive in. To know which
+// intervals are adjacent, every map task publishes a segment for every
+// partition — empty ones included, as coverage markers.
+
+// segment is one map task's sorted output for one partition, tagged with
+// the producing task's index.
+type segment struct {
+	task int
+	recs []KV
+}
+
+// runStreaming executes the job with the streaming shuffle. Collectors hold
+// no task slot while waiting for segments — they acquire one only for the
+// final merge+reduce, after their partition's channel closes — so reduce
+// work can never starve the map wave of slots.
+func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits []splitRange, nparts, par int) (*Result, error) {
+	nsplits := len(splits)
+	chans := make([]chan segment, nparts)
+	for p := range chans {
+		// Buffered to the task count: publishers never block, so a map task
+		// releases its slot immediately after finishing.
+		chans[p] = make(chan segment, nsplits)
+	}
+	sem := make(chan struct{}, par)
+
+	var (
+		failed       atomic.Bool
+		taskErr      = make([]error, nsplits)
+		taskCounters = make([]Counters, nsplits)
+		completed    = make([]bool, nsplits)
+	)
+
+	// ---- Reduce collectors: started before the first map task so merging
+	// begins as soon as segments arrive.
+	var (
+		redWg       sync.WaitGroup
+		redErr      = make([]error, nparts)
+		redCounters = make([]Counters, nparts)
+		output      = make([][]KV, nparts)
+	)
+	redWg.Add(nparts)
+	for p := 0; p < nparts; p++ {
+		go func(p int) {
+			defer redWg.Done()
+			col := newCollector(nsplits, job.Config.MergeFactor)
+			for seg := range chans[p] {
+				col.add(seg)
+			}
+			if failed.Load() {
+				return // a map task failed or dispatch was cancelled; abort
+			}
+			if err := ctx.Err(); err != nil {
+				redErr[p] = fmt.Errorf("mapreduce: %s: reduce-%d: %w", job.Config.Name, p, err)
+				return
+			}
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
+			out, tc, err := e.runWithRetry(job, taskID, func() ([][]KV, Counters, error) {
+				kvs, c, err := reduceMerged(job, col.finish())
+				return [][]KV{kvs}, c, err
+			})
+			if err != nil {
+				redErr[p] = err
+				return
+			}
+			output[p] = out[0]
+			tc.ReduceMergePasses += col.interimPasses
+			redCounters[p] = tc
+		}(p)
+	}
+
+	// ---- Map phase.
+	var mapWg sync.WaitGroup
+	dispatched := 0
+	var ctxErr error
+	for i, split := range splits {
+		if err := ctx.Err(); err != nil {
+			ctxErr = err
+			break
+		}
+		sem <- struct{}{}
+		// Re-check after (possibly) blocking on a slot: a cancellation that
+		// lands while waiting must not dispatch another task.
+		if err := ctx.Err(); err != nil {
+			<-sem
+			ctxErr = err
+			break
+		}
+		dispatched++
+		mapWg.Add(1)
+		go func(i int, split splitRange) {
+			defer mapWg.Done()
+			defer func() { <-sem }()
+			taskID := fmt.Sprintf("%s/map-%d", job.Config.Name, i)
+			out, tc, err := e.runWithRetry(job, taskID, func() ([][]KV, Counters, error) {
+				return runMapTask(job, data, split, nparts)
+			})
+			if err != nil {
+				taskErr[i] = err
+				failed.Store(true)
+				return
+			}
+			// Shuffle traffic is counted at publish time; the per-task sums
+			// add up to exactly the barrier path's post-hoc accounting.
+			var shuffleBytes units.Bytes
+			for p := 0; p < nparts; p++ {
+				if len(out[p]) > 0 {
+					tc.ShuffleSegments++
+					for _, kv := range out[p] {
+						shuffleBytes += kv.Bytes()
+					}
+				}
+			}
+			tc.ShuffleBytes = shuffleBytes
+			taskCounters[i] = tc
+			completed[i] = true
+			for p := 0; p < nparts; p++ {
+				chans[p] <- segment{task: i, recs: out[p]}
+			}
+		}(i, split)
+	}
+	if ctxErr != nil {
+		failed.Store(true)
+	}
+	mapWg.Wait()
+	// The map wave has drained; closing the channels moves collectors to
+	// their final merge (or bails them out if the job failed).
+	for p := range chans {
+		close(chans[p])
+	}
+	redWg.Wait()
+
+	// ---- Aggregate per-task locals once, lock-free.
+	total := &Counters{}
+	for i := 0; i < dispatched; i++ {
+		if completed[i] {
+			total.MapTasks++
+			total.Add(taskCounters[i])
+		}
+	}
+	for i := 0; i < dispatched; i++ {
+		if taskErr[i] != nil {
+			return &Result{Counters: *total}, taskErr[i]
+		}
+	}
+	if ctxErr != nil {
+		return &Result{Counters: *total}, fmt.Errorf("mapreduce: %s: %w", job.Config.Name, ctxErr)
+	}
+	total.ReduceTasks = nparts
+	for p := 0; p < nparts; p++ {
+		total.Add(redCounters[p])
+	}
+	for p := 0; p < nparts; p++ {
+		if redErr[p] != nil {
+			return &Result{Counters: *total}, redErr[p]
+		}
+	}
+	return &Result{Output: output, Counters: *total}, nil
+}
+
+// mergeRun is a sorted run covering the contiguous map-task interval
+// [lo, hi] of one partition.
+type mergeRun struct {
+	lo, hi int
+	recs   []KV
+}
+
+// collector incrementally merges one partition's segments as they arrive.
+// Runs are kept sorted by task interval; once a chain of adjacent runs
+// reaches the merge fan-in it is merged into one run (an interim pass,
+// mirroring the map side's MergeFactor discipline).
+type collector struct {
+	runs          []mergeRun // sorted by lo, intervals disjoint
+	factor        int
+	interimPasses int
+	merged        []KV
+	finished      bool
+}
+
+func newCollector(nsplits, factor int) *collector {
+	return &collector{runs: make([]mergeRun, 0, nsplits), factor: factor}
+}
+
+// add inserts one segment as a unit run at its interval position and
+// coalesces any adjacency chain that has grown to the fan-in.
+func (c *collector) add(seg segment) {
+	run := mergeRun{lo: seg.task, hi: seg.task, recs: seg.recs}
+	i := sort.Search(len(c.runs), func(i int) bool { return c.runs[i].lo > run.lo })
+	c.runs = append(c.runs, mergeRun{})
+	copy(c.runs[i+1:], c.runs[i:])
+	c.runs[i] = run
+	c.coalesce()
+}
+
+// coalesce merges the longest chain of interval-adjacent runs while one of
+// at least MergeFactor runs exists.
+func (c *collector) coalesce() {
+	for {
+		bestStart, bestLen := -1, 0
+		for i := 0; i < len(c.runs); {
+			j := i
+			for j+1 < len(c.runs) && c.runs[j].hi+1 == c.runs[j+1].lo {
+				j++
+			}
+			if n := j - i + 1; n > bestLen {
+				bestStart, bestLen = i, n
+			}
+			i = j + 1
+		}
+		if bestLen < c.factor {
+			return
+		}
+		c.mergeChain(bestStart, bestLen)
+	}
+}
+
+// mergeChain replaces runs[start : start+n] — which cover one contiguous
+// task interval — with their stable merge.
+func (c *collector) mergeChain(start, n int) {
+	segs := make([][]KV, 0, n)
+	total := 0
+	for _, r := range c.runs[start : start+n] {
+		if len(r.recs) > 0 {
+			segs = append(segs, r.recs)
+			total += len(r.recs)
+		}
+	}
+	var recs []KV
+	switch len(segs) {
+	case 0:
+	case 1:
+		recs = segs[0] // a single non-empty run is already in final order
+	default:
+		recs = make([]KV, 0, total)
+		t := newLoserTree(segs)
+		for i := 0; i < total; i++ {
+			recs = append(recs, t.next())
+		}
+		putLoserTree(t)
+		c.interimPasses++
+	}
+	c.runs[start] = mergeRun{lo: c.runs[start].lo, hi: c.runs[start+n-1].hi, recs: recs}
+	c.runs = append(c.runs[:start+1], c.runs[start+n:]...)
+}
+
+// finish merges the remaining runs into the partition's final record
+// stream. It is idempotent, so a retried reduce attempt reuses the merge.
+func (c *collector) finish() []KV {
+	if c.finished {
+		return c.merged
+	}
+	c.finished = true
+	segs := make([][]KV, 0, len(c.runs))
+	for _, r := range c.runs {
+		if len(r.recs) > 0 {
+			segs = append(segs, r.recs)
+		}
+	}
+	c.merged = mergeSorted(segs)
+	c.runs = nil
+	return c.merged
+}

@@ -1,0 +1,139 @@
+package mapreduce
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+
+	"heterohadoop/internal/units"
+)
+
+// TestPartialResultCountsOnlyCompletedMaps pins the MapTasks accounting on
+// early abort: a run cancelled mid-wave must return a partial result whose
+// MapTasks counter equals the number of map tasks that actually completed,
+// not the number of splits.
+func TestPartialResultCountsOnlyCompletedMaps(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 400; i++ {
+		fmt.Fprintf(&sb, "line %d with words\n", i)
+	}
+	for _, barrier := range []bool{false, true} {
+		name := "streaming"
+		if barrier {
+			name = "barrier"
+		}
+		t.Run(name, func(t *testing.T) {
+			e := newEngine(t, 64, sb.String())
+			cfg := DefaultConfig("wc-partial")
+			cfg.Parallelism = 1
+			cfg.BarrierShuffle = barrier
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			// Cancel from inside the third map attempt: tasks 0 and 1 complete,
+			// task 2 completes too (cancellation is checked between dispatches),
+			// and no further task starts.
+			calls := 0
+			cfg.FailureInjector = func(task string, attempt int) error {
+				calls++
+				if calls == 3 {
+					cancel()
+				}
+				return nil
+			}
+			res, err := e.RunContext(ctx, wordCountJob(cfg), "input")
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want wrapped context.Canceled", err)
+			}
+			if res == nil {
+				t.Fatal("cancelled run returned no partial result")
+			}
+			if got := res.Counters.MapTasks; got != 3 {
+				t.Errorf("partial MapTasks = %d, want 3 (completed tasks only)", got)
+			}
+			if res.Counters.ReduceTasks != 0 {
+				t.Errorf("partial ReduceTasks = %d, want 0", res.Counters.ReduceTasks)
+			}
+		})
+	}
+}
+
+// TestStreamingMatchesBarrierConcurrentPublication drives the streaming
+// shuffle hard — many small splits publishing into many partitions at full
+// parallelism — and checks byte-identical output against the barrier path.
+// Run under -race this doubles as the concurrent-segment-publication race
+// test.
+func TestStreamingMatchesBarrierConcurrentPublication(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 600; i++ {
+		fmt.Fprintf(&sb, "w%d x%d shared tail%d\n", i%97, i%13, i%7)
+	}
+	input := sb.String()
+
+	run := func(barrier bool) *Result {
+		t.Helper()
+		e := newEngine(t, 64, input) // ~hundreds of map tasks
+		cfg := DefaultConfig("wc-pub")
+		cfg.NumReducers = 16 // some partitions stay empty
+		cfg.BarrierShuffle = barrier
+		res, err := e.Run(wordCountJob(cfg), "input")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	want := run(true)
+	for round := 0; round < 4; round++ {
+		got := run(false)
+		if !reflect.DeepEqual(got.Output, want.Output) {
+			t.Fatalf("round %d: streaming output differs from barrier output", round)
+		}
+		// Counters must agree except for the streaming-only interim passes.
+		w, g := want.Counters, got.Counters
+		g.ReduceMergePasses = 0
+		w.ReduceMergePasses = 0
+		if g != w {
+			t.Fatalf("round %d: counters differ:\nstreaming %+v\nbarrier   %+v", round, g, w)
+		}
+	}
+}
+
+// FuzzStreamingShuffleParity fuzzes the determinism claim: for arbitrary
+// input bytes, block sizes and reducer counts — including counts far above
+// the key count, so most partitions are empty — the streaming shuffle's
+// output must match the barrier path exactly.
+func FuzzStreamingShuffleParity(f *testing.F) {
+	f.Add([]byte("a b c\nb c d\nc d e\n"), uint8(8), uint8(4))
+	f.Add([]byte("lone\n"), uint8(2), uint8(31)) // 31 reducers, 1 key: empty partitions
+	f.Add([]byte("x x x x x x x x\n"), uint8(1), uint8(16))
+	f.Add([]byte(""), uint8(4), uint8(3))
+	f.Fuzz(func(t *testing.T, data []byte, bsRaw, nredRaw uint8) {
+		data = bytes.ReplaceAll(data, []byte{0}, []byte{'\n'})
+		if len(data) == 0 {
+			return
+		}
+		bs := int(bsRaw%64) + 1
+		nred := int(nredRaw%32) + 1
+		run := func(barrier bool) *Result {
+			t.Helper()
+			e := newEngine(t, units.Bytes(bs), string(data))
+			cfg := DefaultConfig("wc-fuzz")
+			cfg.NumReducers = nred
+			cfg.SortBuffer = 64 // tiny buffer: spills on most inputs
+			cfg.BarrierShuffle = barrier
+			res, err := e.Run(wordCountJob(cfg), "input")
+			if err != nil {
+				t.Fatal(err)
+			}
+			return res
+		}
+		want := run(true)
+		got := run(false)
+		if !reflect.DeepEqual(got.Output, want.Output) {
+			t.Fatalf("streaming/barrier divergence: bs=%d nred=%d input=%q", bs, nred, data)
+		}
+	})
+}

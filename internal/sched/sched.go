@@ -11,6 +11,7 @@ import (
 
 	"heterohadoop/internal/cpu"
 	"heterohadoop/internal/metrics"
+	"heterohadoop/internal/pool"
 	"heterohadoop/internal/sim"
 	"heterohadoop/internal/units"
 	"heterohadoop/internal/workloads"
@@ -168,24 +169,39 @@ func Optimal(w workloads.Workload, goal Goal, data units.Bytes, f units.Hertz) (
 }
 
 // OptimalCtx is Optimal with cancellation: a cancelled context stops the
-// search at the next cell with an error wrapping ctx.Err().
+// search with an error wrapping ctx.Err().
+//
+// The cells of the class × core-count grid are independent simulator runs,
+// so they are evaluated concurrently; the argmin scan afterwards walks the
+// results in grid order, which keeps the tie-break (first strictly smaller
+// score wins) identical to the old sequential loop.
 func OptimalCtx(ctx context.Context, w workloads.Workload, goal Goal, data units.Bytes, f units.Hertz) (Decision, metrics.Sample, error) {
+	type cell struct {
+		kind  cpu.Kind
+		cores int
+	}
+	cells := make([]cell, 0, 2*len(CoreCounts))
+	for _, kind := range []cpu.Kind{cpu.Little, cpu.Big} {
+		for _, m := range CoreCounts {
+			cells = append(cells, cell{kind: kind, cores: m})
+		}
+	}
+	samples, err := pool.MapCtx(ctx, 0, len(cells), func(i int) (metrics.Sample, error) {
+		return EvaluateCtx(ctx, w, cells[i].kind, cells[i].cores, data, f)
+	})
+	if err != nil {
+		return Decision{}, metrics.Sample{}, err
+	}
 	var (
 		best       Decision
 		bestSample metrics.Sample
 		bestScore  = -1.0
 	)
-	for _, kind := range []cpu.Kind{cpu.Little, cpu.Big} {
-		for _, m := range CoreCounts {
-			s, err := EvaluateCtx(ctx, w, kind, m, data, f)
-			if err != nil {
-				return Decision{}, metrics.Sample{}, err
-			}
-			if score := goal.score(s); bestScore < 0 || score < bestScore {
-				bestScore = score
-				bestSample = s
-				best = Decision{Kind: kind, Cores: m, Rationale: fmt.Sprintf("exhaustive argmin of %v", goal)}
-			}
+	for i, s := range samples {
+		if score := goal.score(s); bestScore < 0 || score < bestScore {
+			bestScore = score
+			bestSample = s
+			best = Decision{Kind: cells[i].kind, Cores: cells[i].cores, Rationale: fmt.Sprintf("exhaustive argmin of %v", goal)}
 		}
 	}
 	return best, bestSample, nil

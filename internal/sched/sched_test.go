@@ -1,6 +1,8 @@
 package sched
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"heterohadoop/internal/cpu"
@@ -149,5 +151,57 @@ func TestAllocateExhaustedPool(t *testing.T) {
 	got := Allocate(Pool{BigCores: 1, LittleCores: 1}, []workloads.Workload{workloads.NewWordCount()}, MinEDP)
 	if got[0].Decision.Cores != 0 {
 		t.Errorf("exhausted pool still allocated %d cores", got[0].Decision.Cores)
+	}
+}
+
+// TestOptimalCtxParallelDeterministic pins the parallel exhaustive search
+// to the old sequential loop: identical decision and sample on repeated
+// runs, and identical to a hand-rolled sequential argmin over the same
+// grid (same first-strictly-smaller tie-break).
+func TestOptimalCtxParallelDeterministic(t *testing.T) {
+	w := workloads.NewTeraSort()
+	goal := MinEDAP
+	data := units.GB
+	f := 1.8 * units.GHz
+
+	var (
+		want      Decision
+		wantScore = -1.0
+	)
+	for _, kind := range []cpu.Kind{cpu.Little, cpu.Big} {
+		for _, m := range CoreCounts {
+			s, err := Evaluate(w, kind, m, data, f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if score := goal.score(s); wantScore < 0 || score < wantScore {
+				wantScore = score
+				want = Decision{Kind: kind, Cores: m}
+			}
+		}
+	}
+	for run := 0; run < 3; run++ {
+		got, sample, err := Optimal(w, goal, data, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Kind != want.Kind || got.Cores != want.Cores {
+			t.Fatalf("run %d: parallel argmin %v/%d, sequential reference %v/%d",
+				run, got.Kind, got.Cores, want.Kind, want.Cores)
+		}
+		if goal.score(sample) != wantScore {
+			t.Fatalf("run %d: score %v, want %v", run, goal.score(sample), wantScore)
+		}
+	}
+}
+
+// TestOptimalCtxCancelled checks that cancellation surfaces as a wrapped
+// context error instead of a partial result.
+func TestOptimalCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := OptimalCtx(ctx, workloads.NewWordCount(), MinEDP, units.GB, 1.8*units.GHz)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled search: %v, want wrapped context.Canceled", err)
 	}
 }

@@ -81,7 +81,7 @@ func Measure(w workloads.Workload, opts Options) (Measurement, error) {
 	}
 	cfg := mapreduce.DefaultConfig("trace/" + w.Name())
 	cfg.NumReducers = opts.Reducers
-	cfg.Parallelism = 4
+	cfg.Parallelism = 0 // auto: one slot per CPU; counters are parallelism-independent
 	if opts.SortBuffer > 0 {
 		cfg.SortBuffer = opts.SortBuffer
 	}
