@@ -34,6 +34,17 @@ go test -run '^$' -bench 'BenchmarkEngine|BenchmarkShuffleMerge' -benchtime 1x .
 # benchstat-style delta against the committed BENCH_mapreduce.json (8 MB
 # wordcount rows are the CI-sized comparison points; the 64 MB rows in the
 # baseline are the paper-scale record). The speedup gate arms only on
-# machines with GOMAXPROCS >= 4.
+# machines with GOMAXPROCS >= 4; the allocation gate is machine-independent
+# and arms whenever the matching baseline row carries allocs_per_op — it is
+# the regression fence for the flat-arena record path (a revived per-record
+# allocation multiplies allocs/op by orders of magnitude, so 1.5x is
+# generous headroom for noise while catching any real regression).
 go run ./cmd/benchmr -workloads wordcount -size 8388608 \
-	-baseline BENCH_mapreduce.json -out "$bench_file" -minspeedup 2
+	-baseline BENCH_mapreduce.json -out "$bench_file" -minspeedup 2 \
+	-maxallocfactor 1.5
+
+# String-vs-arena equivalence corpus: the parity fuzz seeds (all six
+# workloads plus adversarial record shapes) already run inside the blanket
+# race gate above; this re-runs them spotlighted, still under -race, so a
+# corpus failure is easy to attribute.
+go test -race -run 'TestArenaStringCounterParityAllWorkloads|FuzzStringVsArenaParity' .

@@ -4,6 +4,9 @@
 // twice over the same input: "serial" (one task slot, legacy barrier
 // shuffle) and "parallel" (one slot per CPU, streaming shuffle); output is
 // byte-identical between the two, so the pair isolates the executor.
+// Alongside wall time, every row records the run's heap-allocation profile
+// (allocs/op and bytes/op, `go test -benchmem` style), so the flat-arena
+// record path's GC pressure is tracked with the same trajectory machinery.
 //
 // Usage:
 //
@@ -15,6 +18,12 @@
 // parallel/serial speedup falls below N — the trajectory gate. The gate
 // only arms on machines with GOMAXPROCS >= 4; on smaller machines there is
 // no parallelism to measure and the run is recorded but not judged.
+//
+// With -maxallocfactor F the command exits non-zero when a row's allocs/op
+// exceeds its baseline row's allocs/op by more than the factor F — the
+// allocation-regression gate. Unlike wall time, allocation counts are
+// machine-independent, so this gate arms whenever the baseline row carries
+// allocation data.
 package main
 
 import (
@@ -34,22 +43,25 @@ import (
 
 // Row is one benchmark measurement, one mode of one workload.
 type Row struct {
-	Name       string  `json:"name"` // "<workload>/serial" or "<workload>/parallel"
-	InputBytes int64   `json:"input_bytes"`
-	NsPerOp    int64   `json:"ns_per_op"`
-	Speedup    float64 `json:"speedup"` // serial time / this mode's time
-	GoMaxProcs int     `json:"gomaxprocs"`
+	Name        string  `json:"name"` // "<workload>/serial" or "<workload>/parallel"
+	InputBytes  int64   `json:"input_bytes"`
+	NsPerOp     int64   `json:"ns_per_op"`
+	Speedup     float64 `json:"speedup"` // serial time / this mode's time
+	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
+	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
+	GoMaxProcs  int     `json:"gomaxprocs"`
 }
 
 func main() {
 	var (
-		size       = flag.Int64("size", int64(64*units.MB), "input size per workload in bytes")
-		names      = flag.String("workloads", "wordcount,terasort", "comma-separated workload names")
-		reducers   = flag.Int("reducers", 4, "reduce-partition count")
-		runs       = flag.Int("runs", 1, "runs per mode; best time wins")
-		out        = flag.String("out", "BENCH_mapreduce.json", "output JSON path")
-		baseline   = flag.String("baseline", "", "baseline JSON to print a benchstat-style delta against")
-		minSpeedup = flag.Float64("minspeedup", 0, "fail if any parallel speedup is below this (armed only at GOMAXPROCS >= 4)")
+		size           = flag.Int64("size", int64(64*units.MB), "input size per workload in bytes")
+		names          = flag.String("workloads", "wordcount,terasort", "comma-separated workload names")
+		reducers       = flag.Int("reducers", 4, "reduce-partition count")
+		runs           = flag.Int("runs", 1, "runs per mode; best time wins")
+		out            = flag.String("out", "BENCH_mapreduce.json", "output JSON path")
+		baseline       = flag.String("baseline", "", "baseline JSON to print a benchstat-style delta against")
+		minSpeedup     = flag.Float64("minspeedup", 0, "fail if any parallel speedup is below this (armed only at GOMAXPROCS >= 4)")
+		maxAllocFactor = flag.Float64("maxallocfactor", 0, "fail if any row's allocs/op exceeds its baseline row's by this factor")
 	)
 	flag.Parse()
 
@@ -71,11 +83,13 @@ func main() {
 	}
 
 	for _, r := range rows {
-		fmt.Printf("%-24s %12s/op  %6.2fx  (GOMAXPROCS=%d)\n",
-			r.Name, time.Duration(r.NsPerOp).Round(time.Millisecond), r.Speedup, r.GoMaxProcs)
+		fmt.Printf("%-24s %12s/op  %6.2fx  %12d allocs/op  %12d B/op  (GOMAXPROCS=%d)\n",
+			r.Name, time.Duration(r.NsPerOp).Round(time.Millisecond), r.Speedup,
+			r.AllocsPerOp, r.BytesPerOp, r.GoMaxProcs)
 	}
-	if *baseline != "" {
-		printDelta(*baseline, rows)
+	base := loadBaseline(*baseline)
+	if base != nil {
+		printDelta(base, rows)
 	}
 
 	buf, err := json.MarshalIndent(rows, "", "  ")
@@ -89,14 +103,38 @@ func main() {
 	if *minSpeedup > 0 {
 		if procs := runtime.GOMAXPROCS(0); procs < 4 {
 			fmt.Printf("speedup gate skipped: GOMAXPROCS=%d < 4\n", procs)
-			return
-		}
-		for _, r := range rows {
-			if strings.HasSuffix(r.Name, "/parallel") && r.Speedup < *minSpeedup {
-				fatal(fmt.Errorf("benchmr: %s speedup %.2fx below gate %.2fx", r.Name, r.Speedup, *minSpeedup))
+		} else {
+			for _, r := range rows {
+				if strings.HasSuffix(r.Name, "/parallel") && r.Speedup < *minSpeedup {
+					fatal(fmt.Errorf("benchmr: %s speedup %.2fx below gate %.2fx", r.Name, r.Speedup, *minSpeedup))
+				}
 			}
 		}
 	}
+	if *maxAllocFactor > 0 {
+		if base == nil {
+			fmt.Println("allocation gate skipped: no readable baseline")
+			return
+		}
+		for _, r := range rows {
+			o, ok := base[rowKey{r.Name, r.InputBytes}]
+			if !ok || o.AllocsPerOp <= 0 {
+				continue // baseline predates allocation recording for this row
+			}
+			if limit := int64(float64(o.AllocsPerOp) * *maxAllocFactor); r.AllocsPerOp > limit {
+				fatal(fmt.Errorf("benchmr: %s allocates %d/op, above gate %d/op (baseline %d x factor %.2f)",
+					r.Name, r.AllocsPerOp, limit, o.AllocsPerOp, *maxAllocFactor))
+			}
+		}
+	}
+}
+
+// measurement is one timed run's cost: wall time plus the heap allocation
+// profile observed across the run.
+type measurement struct {
+	elapsed time.Duration
+	allocs  int64
+	bytes   int64
 }
 
 // benchWorkload measures one workload in both executor modes over the same
@@ -108,15 +146,15 @@ func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int) (
 	if block < 4*units.KB {
 		block = 4 * units.KB
 	}
-	run := func(parallelism int, barrier bool) (time.Duration, error) {
-		best := time.Duration(0)
+	run := func(parallelism int, barrier bool) (measurement, error) {
+		var best measurement
 		for i := 0; i < runs; i++ {
 			store, err := hdfs.NewStore(hdfs.Config{BlockSize: block, Replication: 1})
 			if err != nil {
-				return 0, err
+				return measurement{}, err
 			}
 			if _, err := store.Write("in", input); err != nil {
-				return 0, err
+				return measurement{}, err
 			}
 			cfg := mapreduce.DefaultConfig(w.Name())
 			cfg.NumReducers = reducers
@@ -124,14 +162,22 @@ func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int) (
 			cfg.BarrierShuffle = barrier
 			job, err := w.Build(cfg, input)
 			if err != nil {
-				return 0, err
+				return measurement{}, err
 			}
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
 			start := time.Now()
 			if _, err := mapreduce.NewEngine(store).Run(job, "in"); err != nil {
-				return 0, err
+				return measurement{}, err
 			}
-			if d := time.Since(start); best == 0 || d < best {
-				best = d
+			elapsed := time.Since(start)
+			runtime.ReadMemStats(&after)
+			if best.elapsed == 0 || elapsed < best.elapsed {
+				best = measurement{
+					elapsed: elapsed,
+					allocs:  int64(after.Mallocs - before.Mallocs),
+					bytes:   int64(after.TotalAlloc - before.TotalAlloc),
+				}
 			}
 		}
 		return best, nil
@@ -146,50 +192,73 @@ func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int) (
 	}
 	procs := runtime.GOMAXPROCS(0)
 	return []Row{
-		{Name: w.Name() + "/serial", InputBytes: int64(len(input)), NsPerOp: serial.Nanoseconds(), Speedup: 1, GoMaxProcs: procs},
-		{Name: w.Name() + "/parallel", InputBytes: int64(len(input)), NsPerOp: parallel.Nanoseconds(),
-			Speedup: float64(serial) / float64(parallel), GoMaxProcs: procs},
+		{Name: w.Name() + "/serial", InputBytes: int64(len(input)), NsPerOp: serial.elapsed.Nanoseconds(),
+			Speedup: 1, AllocsPerOp: serial.allocs, BytesPerOp: serial.bytes, GoMaxProcs: procs},
+		{Name: w.Name() + "/parallel", InputBytes: int64(len(input)), NsPerOp: parallel.elapsed.Nanoseconds(),
+			Speedup:     float64(serial.elapsed) / float64(parallel.elapsed),
+			AllocsPerOp: parallel.allocs, BytesPerOp: parallel.bytes, GoMaxProcs: procs},
 	}, nil
+}
+
+// rowKey matches measurement rows across runs by name and input size.
+type rowKey struct {
+	name string
+	size int64
+}
+
+// loadBaseline reads a prior JSON record into a lookup map; a missing or
+// unreadable baseline is reported and returns nil (delta and gates skip).
+func loadBaseline(path string) map[rowKey]Row {
+	if path == "" {
+		return nil
+	}
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Printf("no baseline (%v); skipping delta\n", err)
+		return nil
+	}
+	var base []Row
+	if err := json.Unmarshal(buf, &base); err != nil {
+		fmt.Printf("unreadable baseline %s (%v); skipping delta\n", path, err)
+		return nil
+	}
+	old := make(map[rowKey]Row, len(base))
+	for _, r := range base {
+		old[rowKey{r.Name, r.InputBytes}] = r
+	}
+	return old
 }
 
 // printDelta prints a benchstat-style old/new comparison against a prior
 // JSON record. Rows are matched by name and input size; unmatched rows on
 // either side are reported, not silently dropped.
-func printDelta(path string, rows []Row) {
-	buf, err := os.ReadFile(path)
-	if err != nil {
-		fmt.Printf("no baseline (%v); skipping delta\n", err)
-		return
+func printDelta(old map[rowKey]Row, rows []Row) {
+	unmatched := make(map[rowKey]bool, len(old))
+	for k := range old {
+		unmatched[k] = true
 	}
-	var base []Row
-	if err := json.Unmarshal(buf, &base); err != nil {
-		fmt.Printf("unreadable baseline %s (%v); skipping delta\n", path, err)
-		return
-	}
-	type key struct {
-		name string
-		size int64
-	}
-	old := make(map[key]Row, len(base))
-	for _, r := range base {
-		old[key{r.Name, r.InputBytes}] = r
-	}
-	fmt.Printf("\n%-24s %14s %14s %8s\n", "name", "old/op", "new/op", "delta")
+	fmt.Printf("\n%-24s %14s %14s %8s %14s %14s %8s\n",
+		"name", "old/op", "new/op", "delta", "old-allocs", "new-allocs", "delta")
 	for _, r := range rows {
-		k := key{r.Name, r.InputBytes}
+		k := rowKey{r.Name, r.InputBytes}
 		o, ok := old[k]
 		if !ok {
-			fmt.Printf("%-24s %14s %14s %8s\n", r.Name, "-",
-				time.Duration(r.NsPerOp).Round(time.Millisecond).String(), "new")
+			fmt.Printf("%-24s %14s %14s %8s %14s %14d %8s\n", r.Name, "-",
+				time.Duration(r.NsPerOp).Round(time.Millisecond).String(), "new", "-", r.AllocsPerOp, "new")
 			continue
 		}
+		allocDelta := "-"
+		if o.AllocsPerOp > 0 {
+			allocDelta = fmt.Sprintf("%+.1f%%", 100*(float64(r.AllocsPerOp)-float64(o.AllocsPerOp))/float64(o.AllocsPerOp))
+		}
 		delta := 100 * (float64(r.NsPerOp) - float64(o.NsPerOp)) / float64(o.NsPerOp)
-		fmt.Printf("%-24s %14s %14s %+7.1f%%\n", r.Name,
+		fmt.Printf("%-24s %14s %14s %+7.1f%% %14d %14d %8s\n", r.Name,
 			time.Duration(o.NsPerOp).Round(time.Millisecond).String(),
-			time.Duration(r.NsPerOp).Round(time.Millisecond).String(), delta)
-		delete(old, k)
+			time.Duration(r.NsPerOp).Round(time.Millisecond).String(), delta,
+			o.AllocsPerOp, r.AllocsPerOp, allocDelta)
+		delete(unmatched, k)
 	}
-	for k := range old {
+	for k := range unmatched {
 		fmt.Printf("%-24s (baseline row not measured in this run)\n", k.name)
 	}
 }

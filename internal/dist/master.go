@@ -48,10 +48,12 @@ type Master struct {
 	// partSegs is the streaming shuffle: per partition, the sorted segments
 	// published by completed map tasks, tagged with the producing task's
 	// Seq. Reducers stream it with FetchSegments while maps are running.
-	partSegs     [][]TaggedSegment
-	mapsLeft     int
-	redTasks     []*taskState
-	redOutputs   [][]mapreduce.KV
+	partSegs [][]TaggedSegment
+	mapsLeft int
+	redTasks []*taskState
+	// redOutputs holds each partition's output as a wire-encoded segment
+	// blob, decoded once when the job completes.
+	redOutputs   [][]byte
 	redsLeft     int
 	counters     mapreduce.Counters
 	reassigned   int
@@ -223,7 +225,7 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 			Kind: TaskReduce, Epoch: m.epoch, Seq: p, Job: desc, NParts: desc.NumReducers, Partition: p,
 		}}
 	}
-	m.redOutputs = make([][]mapreduce.KV, desc.NumReducers)
+	m.redOutputs = make([][]byte, desc.NumReducers)
 	m.redsLeft = desc.NumReducers
 	m.counters = mapreduce.Counters{}
 	m.phase = "map"
@@ -264,7 +266,18 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 	defer m.mu.Unlock()
 	m.running = false
 	m.phase = "idle"
-	res := &mapreduce.Result{Output: m.redOutputs, Counters: m.counters}
+	// Decode the partition outputs into string records once, at the public
+	// Result boundary; everything upstream stayed in wire form.
+	output := make([][]mapreduce.KV, len(m.redOutputs))
+	for p, blob := range m.redOutputs {
+		seg, err := mapreduce.DecodeSegment(blob)
+		if err != nil {
+			m.clearJobLocked()
+			return nil, fmt.Errorf("dist: job %s: partition %d output: %w", desc.Workload, p, err)
+		}
+		output[p] = seg.KVs()
+	}
+	res := &mapreduce.Result{Output: output, Counters: m.counters}
 	res.Counters.MapTasks = len(chunks)
 	res.Counters.ReduceTasks = desc.NumReducers
 	m.clearJobLocked()
@@ -389,22 +402,28 @@ func (m *Master) completeMap(res *MapDone) {
 	m.counters.Add(res.Counters)
 	nonEmpty := res.NonEmpty
 	if nonEmpty == nil {
-		// Legacy sender: derive the availability report from the payload.
+		// Legacy sender: derive the availability report from the segment
+		// headers (O(1) per partition, no payload decode).
 		for p, part := range res.Parts {
-			if len(part) > 0 {
+			if n, _, err := mapreduce.SegmentStats(part); err == nil && n > 0 {
 				nonEmpty = append(nonEmpty, p)
 			}
 		}
 	}
 	for _, p := range nonEmpty {
-		if p < 0 || p >= len(m.partSegs) || p >= len(res.Parts) || len(res.Parts[p]) == 0 {
+		if p < 0 || p >= len(m.partSegs) || p >= len(res.Parts) {
 			continue
 		}
-		m.partSegs[p] = append(m.partSegs[p], TaggedSegment{MapSeq: res.Seq, Recs: res.Parts[p]})
-		m.counters.ShuffleSegments++
-		for _, kv := range res.Parts[p] {
-			m.counters.ShuffleBytes += kv.Bytes()
+		// The blob is forwarded to reducers untouched; only its header is
+		// read, for the shuffle accounting the engine's in-process paths
+		// compute from the same per-record formula.
+		nrecs, segBytes, err := mapreduce.SegmentStats(res.Parts[p])
+		if err != nil || nrecs == 0 {
+			continue
 		}
+		m.partSegs[p] = append(m.partSegs[p], TaggedSegment{MapSeq: res.Seq, Data: res.Parts[p]})
+		m.counters.ShuffleSegments++
+		m.counters.ShuffleBytes += segBytes
 	}
 	m.mapsLeft--
 	if m.ob.Enabled() {

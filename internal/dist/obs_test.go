@@ -174,7 +174,8 @@ func TestStaleCompletionRejectedAfterAbort(t *testing.T) {
 	}
 	bogus := MapDone{
 		WorkerID: "stale", Epoch: staleTask.Epoch, Seq: staleTask.Seq,
-		Parts: [][]mapreduce.KV{{{Key: "bogus", Value: "999"}}},
+		Parts: [][]byte{mapreduce.EncodeSegment(mapreduce.SegmentFromKVs(
+			[]mapreduce.KV{{Key: "bogus", Value: "999"}}))},
 	}
 	if err := stale.Call("Master.CompleteMap", bogus, &Ack{}); err != nil {
 		t.Fatal(err)

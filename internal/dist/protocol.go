@@ -67,26 +67,35 @@ type GetTaskArgs struct {
 }
 
 // MapDone reports a completed map task. Epoch is copied from the Task.
+//
+// Parts carries one wire-encoded segment per partition
+// (mapreduce.EncodeSegment): a length-prefixed binary blob gob treats as
+// one opaque []byte, instead of reflecting over every KV as the legacy
+// [][]KV payload did. Empty partitions still ship their 8-byte header —
+// the coverage marker the reduce-side stable merge is defined over.
 type MapDone struct {
 	WorkerID string
 	Epoch    uint64
 	Seq      int
-	Parts    [][]mapreduce.KV
+	Parts    [][]byte
 	// NonEmpty lists the partitions in Parts that actually hold records —
 	// the availability report that lets the master publish this task's
 	// segments to early-dispatched reducers without rescanning Parts. A nil
-	// NonEmpty makes the master derive it (legacy senders).
+	// NonEmpty makes the master derive it from the segment headers (legacy
+	// senders).
 	NonEmpty []int
 	Counters mapreduce.Counters
 }
 
-// TaggedSegment is one map task's sorted output for one partition, tagged
-// with the producing task's Seq so reducers can restore map-task order —
-// the order the engine's stable merge is defined over — no matter the
-// order segments were fetched in.
+// TaggedSegment is one map task's sorted output for one partition — a
+// wire-encoded segment blob (mapreduce.DecodeSegment) — tagged with the
+// producing task's Seq so reducers can restore map-task order — the order
+// the engine's stable merge is defined over — no matter the order segments
+// were fetched in. The master forwards Data untouched; only the worker
+// ever decodes it.
 type TaggedSegment struct {
 	MapSeq int
-	Recs   []mapreduce.KV
+	Data   []byte
 }
 
 // FetchSegmentsArgs asks the master for one partition's shuffle segments,
@@ -112,13 +121,14 @@ type FetchSegmentsReply struct {
 }
 
 // ReduceDone reports a completed reduce task. Epoch is copied from the
-// Task.
+// Task. Output is the partition's sorted output as one wire-encoded
+// segment blob; the master decodes it once, at job completion.
 type ReduceDone struct {
 	WorkerID  string
 	Epoch     uint64
 	Seq       int
 	Partition int
-	Output    []mapreduce.KV
+	Output    []byte
 	Counters  mapreduce.Counters
 }
 

@@ -68,10 +68,16 @@ func TestEarlyReduceDispatchAndStreamingFetch(t *testing.T) {
 
 	complete := func(task Task) {
 		t.Helper()
-		parts, counters, err := mapreduce.ExecuteMapSplit(job, task.SplitData, task.NParts)
+		segs, counters, err := mapreduce.ExecuteMapSplit(job, task.SplitData, task.NParts)
 		if err != nil {
 			t.Fatal(err)
 		}
+		parts := make([][]byte, len(segs))
+		for p, seg := range segs {
+			parts[p] = mapreduce.EncodeSegment(seg)
+		}
+		// NonEmpty deliberately omitted: the master must derive it from the
+		// segment headers (the legacy-sender path).
 		if err := client.Call("Master.CompleteMap", MapDone{
 			WorkerID: "tester", Epoch: task.Epoch, Seq: task.Seq, Parts: parts, Counters: counters,
 		}, &Ack{}); err != nil {
@@ -145,7 +151,11 @@ func TestEarlyReduceDispatchAndStreamingFetch(t *testing.T) {
 			t.Fatalf("map %d published twice to partition %d", s.MapSeq, red.Partition)
 		}
 		seen[s.MapSeq] = true
-		if len(s.Recs) == 0 {
+		seg, err := mapreduce.DecodeSegment(s.Data)
+		if err != nil {
+			t.Fatalf("map %d published an undecodable segment: %v", s.MapSeq, err)
+		}
+		if seg.Len() == 0 {
 			t.Fatalf("map %d published an empty segment", s.MapSeq)
 		}
 	}

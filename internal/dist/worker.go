@@ -239,17 +239,20 @@ func (w *Worker) runMap(task Task) error {
 		w.reportFailure(task, err)
 		return err
 	}
-	parts, counters, err := mapreduce.ExecuteMapSplit(job, task.SplitData, task.NParts)
+	segs, counters, err := mapreduce.ExecuteMapSplit(job, task.SplitData, task.NParts)
 	if err != nil {
 		w.reportFailure(task, err)
 		return fmt.Errorf("dist: worker %s map %d: %w", w.ID, task.Seq, err)
 	}
-	// The availability report: which partitions this task actually feeds,
-	// so the master can publish the segments to early-dispatched reducers
-	// without rescanning the payload.
-	nonEmpty := make([]int, 0, len(parts))
-	for p, part := range parts {
-		if len(part) > 0 {
+	// Encode every partition — empties included, as 8-byte coverage
+	// markers — and report which ones actually hold records, so the master
+	// can publish the segments to early-dispatched reducers without
+	// rescanning the payload.
+	parts := make([][]byte, len(segs))
+	nonEmpty := make([]int, 0, len(segs))
+	for p, seg := range segs {
+		parts[p] = mapreduce.EncodeSegment(seg)
+		if seg.Len() > 0 {
 			nonEmpty = append(nonEmpty, p)
 		}
 	}
@@ -326,13 +329,17 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 		}
 	}
 	// Restore map-task order — the order the engine's stable merge is
-	// defined over — regardless of fetch interleaving.
+	// defined over — regardless of fetch interleaving, then decode the
+	// blobs (zero-copy: the record payload aliases the received buffers).
 	sort.Slice(segs, func(i, j int) bool { return segs[i].MapSeq < segs[j].MapSeq })
-	parts := make([][]mapreduce.KV, 0, len(segs))
+	parts := make([]mapreduce.Segment, 0, len(segs))
 	for _, s := range segs {
-		if len(s.Recs) > 0 {
-			parts = append(parts, s.Recs)
+		seg, err := mapreduce.DecodeSegment(s.Data)
+		if err != nil {
+			w.reportFailure(task, err)
+			return fmt.Errorf("dist: worker %s reduce %d decode map-%d segment: %w", w.ID, task.Seq, s.MapSeq, err)
 		}
+		parts = append(parts, seg)
 	}
 	out, counters, err := mapreduce.ExecuteReduce(job, parts)
 	if err != nil {
@@ -343,6 +350,7 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	w.tasksRun++
 	w.mu.Unlock()
 	return w.client.Call("Master.CompleteReduce", ReduceDone{
-		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Partition: task.Partition, Output: out, Counters: counters,
+		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Partition: task.Partition,
+		Output: mapreduce.EncodeSegment(mapreduce.SegmentFromKVs(out)), Counters: counters,
 	}, &Ack{})
 }

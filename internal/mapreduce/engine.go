@@ -111,7 +111,7 @@ func (e *Engine) runBarrier(ctx context.Context, job Job, data []byte, splits []
 	// Each task writes only its own slots; aggregation happens once after
 	// the wave drains, so the hot path takes no locks.
 	var (
-		mapOutputs   = make([][][]KV, len(splits)) // [task][partition]sorted records
+		mapOutputs   = make([][]Segment, len(splits)) // [task][partition]sorted run
 		taskErr      = make([]error, len(splits))
 		taskCounters = make([]Counters, len(splits))
 		completed    = make([]bool, len(splits))
@@ -137,7 +137,7 @@ func (e *Engine) runBarrier(ctx context.Context, job Job, data []byte, splits []
 			defer wg.Done()
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/map-%d", job.Config.Name, i)
-			out, tc, err := e.runWithRetry(job, taskID, func() ([][]KV, Counters, error) {
+			out, tc, err := runWithRetry(job, taskID, func() ([]Segment, Counters, error) {
 				return runMapTask(job, data, split, nparts)
 			})
 			if err != nil {
@@ -168,25 +168,23 @@ func (e *Engine) runBarrier(ctx context.Context, job Job, data []byte, splits []
 	if mapOnly {
 		out := make([][]KV, len(splits))
 		for i, mo := range mapOutputs {
-			out[i] = mo[0]
+			out[i] = mo[0].KVs()
 		}
 		return &Result{Output: out, Counters: *total}, nil
 	}
 
 	// ---- Shuffle: route each map task's partition p to reduce task p.
-	shuffled := make([][][]KV, nparts) // [partition][segment]sorted records
+	shuffled := make([][]Segment, nparts) // [partition][segment]sorted run
 	var shuffleBytes units.Bytes
 	segments := 0
 	for _, mo := range mapOutputs {
 		for p := 0; p < nparts; p++ {
-			if len(mo[p]) == 0 {
+			if mo[p].Len() == 0 {
 				continue
 			}
 			shuffled[p] = append(shuffled[p], mo[p])
 			segments++
-			for _, kv := range mo[p] {
-				shuffleBytes += kv.Bytes()
-			}
+			shuffleBytes += mo[p].Bytes()
 		}
 	}
 	total.ShuffleBytes = shuffleBytes
@@ -217,15 +215,14 @@ func (e *Engine) runBarrier(ctx context.Context, job Job, data []byte, splits []
 			defer wg.Done()
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
-			out, tc, err := e.runWithRetry(job, taskID, func() ([][]KV, Counters, error) {
-				kvs, c, err := runReduceTask(job, shuffled[p])
-				return [][]KV{kvs}, c, err
+			out, tc, err := runWithRetry(job, taskID, func() ([]KV, Counters, error) {
+				return runReduceTask(job, shuffled[p])
 			})
 			if err != nil {
 				redErr[p] = err
 				return
 			}
-			output[p] = out[0]
+			output[p] = out
 			redCounters[p] = tc
 			redDone[p] = true
 		}(p)
@@ -250,7 +247,7 @@ func (e *Engine) runBarrier(ctx context.Context, job Job, data []byte, splits []
 
 // runWithRetry executes a task body, consulting the failure injector and
 // retrying up to MaxAttempts.
-func (e *Engine) runWithRetry(job Job, taskID string, body func() ([][]KV, Counters, error)) ([][]KV, Counters, error) {
+func runWithRetry[T any](job Job, taskID string, body func() (T, Counters, error)) (T, Counters, error) {
 	attempts := job.Config.MaxAttempts
 	if attempts < 1 {
 		attempts = 1
@@ -270,7 +267,8 @@ func (e *Engine) runWithRetry(job Job, taskID string, body func() ([][]KV, Count
 			injected = err
 		}
 		if attempt >= attempts {
-			return nil, Counters{}, fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, attempt, injected)
+			var zero T
+			return zero, Counters{}, fmt.Errorf("mapreduce: task %s failed after %d attempts: %w", taskID, attempt, injected)
 		}
 		retries++
 	}
@@ -282,49 +280,48 @@ type splitRange struct {
 }
 
 // runMapTask executes the mapper over one split with Hadoop's sort-buffer
-// spill discipline and returns per-partition sorted output. The sort buffer
-// is pooled across tasks.
-func runMapTask(job Job, data []byte, split splitRange, nparts int) ([][]KV, Counters, error) {
+// spill discipline and returns per-partition sorted output. Records are
+// emitted into a pooled flat arena (no per-record allocation); mappers
+// implementing ByteMapper additionally skip the per-line string.
+func runMapTask(job Job, data []byte, split splitRange, nparts int) ([]Segment, Counters, error) {
 	var c Counters
 	c.MapInputBytes = units.Bytes(split.end - split.start)
 
-	bufp := mapBufferPool.Get().(*[]KV)
-	buffer := (*bufp)[:0]
+	buf := arenaPool.Get().(*arena)
 	defer func() {
-		*bufp = buffer[:0]
-		mapBufferPool.Put(bufp)
+		buf.reset()
+		arenaPool.Put(buf)
 	}()
 	var (
-		bufBytes  units.Bytes
-		spills    [][][]KV // per spill: per-partition sorted records
-		spillStat = func(n int, b units.Bytes) {
-			c.Spills++
-			c.SpilledRecords += int64(n)
-			c.SpilledBytes += b
-		}
+		bufBytes units.Bytes
+		spills   [][]Segment // per spill: per-partition sorted runs
 	)
 	doSpill := func() error {
-		if len(buffer) == 0 {
+		if len(buf.meta) == 0 {
 			return nil
 		}
-		parts, n, b, err := spill(job, buffer, nparts, &c)
+		parts, n, b, err := spill(job, buf, nparts, &c)
 		if err != nil {
 			return err
 		}
-		spillStat(n, b)
+		c.Spills++
+		c.SpilledRecords += int64(n)
+		c.SpilledBytes += b
 		spills = append(spills, parts)
-		buffer = buffer[:0]
+		buf.reset()
 		bufBytes = 0
 		return nil
 	}
 
+	// account charges one emitted record to the counters and the sort
+	// buffer, spilling when the buffer crosses io.sort.mb — identical
+	// bookkeeping for both emit paths, so counters never depend on which
+	// API the mapper used.
 	var mapErr error
-	emit := func(k, v string) {
-		kv := KV{Key: k, Value: v}
-		buffer = append(buffer, kv)
-		bufBytes += kv.Bytes()
+	account := func(rb units.Bytes) {
+		bufBytes += rb
 		c.MapOutputRecords++
-		c.MapOutputBytes += kv.Bytes()
+		c.MapOutputBytes += rb
 		if bufBytes >= job.Config.SortBuffer {
 			if err := doSpill(); err != nil && mapErr == nil {
 				mapErr = err
@@ -332,13 +329,32 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([][]KV, Cou
 		}
 	}
 
-	err := forEachRecord(data, split.start, split.end, func(offset int, line string) error {
-		c.MapInputRecords++
-		if err := job.Mapper.Map(strconv.Itoa(offset), line, emit); err != nil {
-			return fmt.Errorf("mapreduce: %s: map: %w", job.Config.Name, err)
+	var err error
+	if bm, ok := job.Mapper.(ByteMapper); ok {
+		emit := func(k, v []byte) {
+			buf.appendBytes(k, v)
+			account(units.Bytes(len(k) + len(v) + recordOverhead))
 		}
-		return mapErr
-	})
+		err = forEachRecordBytes(data, split.start, split.end, func(offset int, line []byte) error {
+			c.MapInputRecords++
+			if err := bm.MapBytes(offset, line, emit); err != nil {
+				return fmt.Errorf("mapreduce: %s: map: %w", job.Config.Name, err)
+			}
+			return mapErr
+		})
+	} else {
+		emit := func(k, v string) {
+			buf.append(k, v)
+			account(units.Bytes(len(k) + len(v) + recordOverhead))
+		}
+		err = forEachRecordBytes(data, split.start, split.end, func(offset int, line []byte) error {
+			c.MapInputRecords++
+			if err := job.Mapper.Map(strconv.Itoa(offset), string(line), emit); err != nil {
+				return fmt.Errorf("mapreduce: %s: map: %w", job.Config.Name, err)
+			}
+			return mapErr
+		})
+	}
 	if err != nil {
 		return nil, c, err
 	}
@@ -348,7 +364,7 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([][]KV, Cou
 
 	// Merge spills into the task's final per-partition output. Hadoop
 	// re-reads and re-writes spill data in passes of MergeFactor fan-in.
-	out := make([][]KV, nparts)
+	out := make([]Segment, nparts)
 	switch len(spills) {
 	case 0:
 		// No output at all.
@@ -359,39 +375,43 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([][]KV, Cou
 		c.MergePasses += passes
 		c.MergeBytes += c.SpilledBytes * units.Bytes(passes)
 		for p := 0; p < nparts; p++ {
-			segs := make([][]KV, 0, len(spills))
+			segs := make([]Segment, 0, len(spills))
 			for _, sp := range spills {
-				if len(sp[p]) > 0 {
+				if sp[p].Len() > 0 {
 					segs = append(segs, sp[p])
 				}
 			}
-			out[p] = mergeSorted(segs)
+			out[p] = mergeSegs(segs)
 		}
 	}
 	return out, c, nil
 }
 
 // spill sorts the buffered records, applies the combiner if configured,
-// and partitions the result. It returns the per-partition sorted records,
-// the record count and byte size actually spilled. The sort copy and the
-// partition-index scratch come from pools; the per-partition slices are
-// sized exactly from a counting pass, so each is a single allocation.
-func spill(job Job, buffer []KV, nparts int, c *Counters) ([][]KV, int, units.Bytes, error) {
-	sp := kvScratchPool.Get().(*[]KV)
-	sorted := append((*sp)[:0], buffer...)
-	defer func() {
-		*sp = sorted[:0]
-		kvScratchPool.Put(sp)
-	}()
-	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Key < sorted[j].Key })
+// and partitions the result. It returns the per-partition sorted runs, the
+// record count and byte size actually spilled. The sort reorders only the
+// metadata entries, comparing key bytes in place — the record payload
+// never moves (Hadoop's MapOutputBuffer sorts its kvmeta the same way).
+// All partitions share one exactly-sized output buffer, laid out partition
+// by partition, so a spill costs two allocations regardless of fan-out.
+func spill(job Job, buf *arena, nparts int, c *Counters) ([]Segment, int, units.Bytes, error) {
+	data, meta := buf.data, buf.meta
+	sort.SliceStable(meta, func(i, j int) bool {
+		a, b := meta[i], meta[j]
+		return bytes.Compare(data[a.off:a.off+a.keyLen], data[b.off:b.off+b.keyLen]) < 0
+	})
 
-	working := sorted
+	working := buf.seg()
 	if job.Combiner != nil {
-		combined, err := combine(job, sorted, c)
-		if err != nil {
+		scratch := arenaPool.Get().(*arena)
+		defer func() {
+			scratch.reset()
+			arenaPool.Put(scratch)
+		}()
+		if err := combineInto(job, working, scratch, c); err != nil {
 			return nil, 0, 0, err
 		}
-		working = combined
+		working = scratch.seg()
 	}
 
 	idxp := partScratchPool.Get().(*[]int32)
@@ -400,94 +420,181 @@ func spill(job Job, buffer []KV, nparts int, c *Counters) ([][]KV, int, units.By
 		*idxp = ids[:0]
 		partScratchPool.Put(idxp)
 	}()
+	bp, hasBP := job.Partitioner.(BytePartitioner)
+	n := working.Len()
 	counts := make([]int, nparts)
-	var bytes units.Bytes
-	for _, kv := range working {
-		p := job.Partitioner.Partition(kv.Key, nparts)
+	dataSizes := make([]int, nparts)
+	for i := 0; i < n; i++ {
+		var p int
+		if hasBP {
+			p = bp.PartitionBytes(working.key(i), nparts)
+		} else {
+			p = job.Partitioner.Partition(string(working.key(i)), nparts)
+		}
 		if p < 0 || p >= nparts {
 			return nil, 0, 0, fmt.Errorf("mapreduce: %s: partitioner returned %d for %d partitions", job.Config.Name, p, nparts)
 		}
 		ids = append(ids, int32(p))
 		counts[p]++
-		bytes += kv.Bytes()
+		m := working.meta[i]
+		dataSizes[p] += int(m.keyLen + m.valLen)
 	}
-	parts := make([][]KV, nparts)
-	for p, n := range counts {
-		if n > 0 {
-			parts[p] = make([]KV, 0, n)
+	spilledBytes := working.Bytes()
+
+	// Lay the partitions out back to back in one fresh buffer (it outlives
+	// the task: the shuffle hands it to a reducer).
+	outData := make([]byte, len(working.data))
+	outMeta := make([]recMeta, n)
+	dataBase := make([]int, nparts)
+	metaBase := make([]int, nparts)
+	for p, acc, accM := 0, 0, 0; p < nparts; p++ {
+		dataBase[p] = acc
+		metaBase[p] = accM
+		acc += dataSizes[p]
+		accM += counts[p]
+	}
+	dataCur := make([]int, nparts)
+	metaCur := make([]int, nparts)
+	for i := 0; i < n; i++ {
+		p := ids[i]
+		m := working.meta[i]
+		rl := int(m.keyLen + m.valLen)
+		copy(outData[dataBase[p]+dataCur[p]:], working.data[m.off:int(m.off)+rl])
+		outMeta[metaBase[p]+metaCur[p]] = recMeta{off: uint32(dataCur[p]), keyLen: m.keyLen, valLen: m.valLen}
+		dataCur[p] += rl
+		metaCur[p]++
+	}
+	parts := make([]Segment, nparts)
+	for p := 0; p < nparts; p++ {
+		if counts[p] == 0 {
+			continue
+		}
+		parts[p] = Segment{
+			data: outData[dataBase[p] : dataBase[p]+dataSizes[p] : dataBase[p]+dataSizes[p]],
+			meta: outMeta[metaBase[p] : metaBase[p]+counts[p] : metaBase[p]+counts[p]],
 		}
 	}
-	for i, kv := range working {
-		p := ids[i]
-		parts[p] = append(parts[p], kv)
-	}
-	return parts, len(working), bytes, nil
+	return parts, n, spilledBytes, nil
 }
 
-// combine runs the combiner over key groups of a sorted record slice.
-func combine(job Job, sorted []KV, c *Counters) ([]KV, error) {
-	var out []KV
-	emit := func(k, v string) { out = append(out, KV{Key: k, Value: v}) }
-	for i := 0; i < len(sorted); {
-		j := i
-		for j < len(sorted) && sorted[j].Key == sorted[i].Key {
+// combineInto runs the combiner over key groups of a sorted run, writing
+// its output into the scratch arena. Combiners implementing StreamReducer
+// get the group's values streamed (no []string); others get a pooled
+// values slice reused across groups.
+func combineInto(job Job, sorted Segment, out *arena, c *Counters) error {
+	sc, stream := job.Combiner.(StreamReducer)
+	var valp *[]string
+	if !stream {
+		valp = valuesPool.Get().(*[]string)
+		defer func() {
+			*valp = (*valp)[:0]
+			valuesPool.Put(valp)
+		}()
+	}
+	emitB := ByteEmitter(func(k, v []byte) { out.appendBytes(k, v) })
+	emitS := Emitter(func(k, v string) { out.append(k, v) })
+	n := sorted.Len()
+	for i := 0; i < n; {
+		j := i + 1
+		k0 := sorted.key(i)
+		for j < n && bytes.Equal(sorted.key(j), k0) {
 			j++
 		}
-		values := make([]string, 0, j-i)
-		for _, kv := range sorted[i:j] {
-			values = append(values, kv.Value)
-		}
 		c.CombineInputRecords += int64(j - i)
-		before := len(out)
-		if err := job.Combiner.Reduce(sorted[i].Key, values, emit); err != nil {
-			return nil, fmt.Errorf("mapreduce: %s: combine: %w", job.Config.Name, err)
+		before := len(out.meta)
+		var err error
+		if stream {
+			it := ValueIter{seg: sorted, i: i, j: j, n: j - i}
+			err = sc.ReduceStream(k0, &it, emitB)
+		} else {
+			values := (*valp)[:0]
+			for k := i; k < j; k++ {
+				values = append(values, string(sorted.val(k)))
+			}
+			*valp = values
+			err = job.Combiner.Reduce(string(k0), values, emitS)
 		}
-		c.CombineOutputRecords += int64(len(out) - before)
+		if err != nil {
+			return fmt.Errorf("mapreduce: %s: combine: %w", job.Config.Name, err)
+		}
+		c.CombineOutputRecords += int64(len(out.meta) - before)
 		i = j
 	}
 	// Combiner output for identical keys stays sorted because groups are
 	// visited in key order; re-sort defensively in case the combiner
 	// rewrote keys.
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out, nil
+	data, meta := out.data, out.meta
+	sort.SliceStable(meta, func(i, j int) bool {
+		a, b := meta[i], meta[j]
+		return bytes.Compare(data[a.off:a.off+a.keyLen], data[b.off:b.off+b.keyLen]) < 0
+	})
+	return nil
 }
 
 // runReduceTask merges the sorted shuffle segments for one partition and
 // applies the reducer per key group.
-func runReduceTask(job Job, segments [][]KV) ([]KV, Counters, error) {
-	return reduceMerged(job, mergeSorted(segments))
+func runReduceTask(job Job, segments []Segment) ([]KV, Counters, error) {
+	return reduceMerged(job, mergeSegs(segments))
 }
 
 // reduceMerged applies the reducer per key group over one partition's fully
 // merged record stream. The streaming path calls it directly with the
 // incrementally merged stream; the barrier path goes through runReduceTask.
-func reduceMerged(job Job, merged []KV) ([]KV, Counters, error) {
+// Reducers implementing StreamReducer get the group's values streamed; the
+// string API gets a pooled values slice reused across groups and a key
+// string materialized once per group.
+func reduceMerged(job Job, merged Segment) ([]KV, Counters, error) {
 	var c Counters
-	c.ReduceInputRecords = int64(len(merged))
-
-	sameGroup := func(a, b string) bool { return a == b }
-	if job.Grouping != nil {
-		sameGroup = job.Grouping
-	}
+	n := merged.Len()
+	c.ReduceInputRecords = int64(n)
 
 	var out []KV
-	emit := func(k, v string) {
-		kv := KV{Key: k, Value: v}
+	record := func(kv KV) {
 		out = append(out, kv)
 		c.ReduceOutputRecords++
 		c.ReduceOutputBytes += kv.Bytes()
 	}
-	for i := 0; i < len(merged); {
-		j := i
-		for j < len(merged) && sameGroup(merged[j].Key, merged[i].Key) {
-			j++
-		}
-		values := make([]string, 0, j-i)
-		for _, kv := range merged[i:j] {
-			values = append(values, kv.Value)
+	emitB := ByteEmitter(func(k, v []byte) { record(KV{Key: string(k), Value: string(v)}) })
+	emitS := Emitter(func(k, v string) { record(KV{Key: k, Value: v}) })
+
+	sr, stream := job.Reducer.(StreamReducer)
+	var valp *[]string
+	if !stream {
+		valp = valuesPool.Get().(*[]string)
+		defer func() {
+			*valp = (*valp)[:0]
+			valuesPool.Put(valp)
+		}()
+	}
+	for i := 0; i < n; {
+		// Find the group's end. Grouping comparators are a string contract
+		// (secondary sort); the default is exact key equality on bytes.
+		j := i + 1
+		if job.Grouping != nil {
+			ki := string(merged.key(i))
+			for j < n && job.Grouping(string(merged.key(j)), ki) {
+				j++
+			}
+		} else {
+			k0 := merged.key(i)
+			for j < n && bytes.Equal(merged.key(j), k0) {
+				j++
+			}
 		}
 		c.ReduceInputGroups++
-		if err := job.Reducer.Reduce(merged[i].Key, values, emit); err != nil {
+		var err error
+		if stream {
+			it := ValueIter{seg: merged, i: i, j: j, n: j - i}
+			err = sr.ReduceStream(merged.key(i), &it, emitB)
+		} else {
+			values := (*valp)[:0]
+			for k := i; k < j; k++ {
+				values = append(values, string(merged.val(k)))
+			}
+			*valp = values
+			err = job.Reducer.Reduce(string(merged.key(i)), values, emitS)
+		}
+		if err != nil {
 			return nil, c, fmt.Errorf("mapreduce: %s: reduce: %w", job.Config.Name, err)
 		}
 		i = j
@@ -515,16 +622,17 @@ type record struct {
 	line   string
 }
 
-// forEachRecord streams the records of the byte range [start, end) to fn
-// under Hadoop's LineRecordReader split semantics: a non-first split
+// forEachRecordBytes streams the records of the byte range [start, end) to
+// fn under Hadoop's LineRecordReader split semantics: a non-first split
 // discards everything up to and including its first newline (that
 // partial/whole line belongs to the previous split, which reads past its
 // own end to finish it), and a line starting at or before end — even
 // exactly at end — belongs to this split and is read to completion beyond
 // the boundary. Every line of the file is therefore processed by exactly
-// one map task, regardless of where block boundaries cut it. A non-nil
-// error from fn stops the iteration and is returned.
-func forEachRecord(data []byte, start, end int, fn func(offset int, line string) error) error {
+// one map task, regardless of where block boundaries cut it. The line
+// slice aliases data and is only valid during the call. A non-nil error
+// from fn stops the iteration and is returned.
+func forEachRecordBytes(data []byte, start, end int, fn func(offset int, line []byte) error) error {
 	pos := start
 	if start > 0 {
 		i := bytes.IndexByte(data[start:], '\n')
@@ -542,13 +650,21 @@ func forEachRecord(data []byte, start, end int, fn func(offset int, line string)
 			lineEnd = pos + i
 		}
 		if lineEnd > pos {
-			if err := fn(pos, string(data[pos:lineEnd])); err != nil {
+			if err := fn(pos, data[pos:lineEnd]); err != nil {
 				return err
 			}
 		}
 		pos = lineEnd + 1
 	}
 	return nil
+}
+
+// forEachRecord is forEachRecordBytes with each line materialized as a
+// string — the form the string Mapper API consumes.
+func forEachRecord(data []byte, start, end int, fn func(offset int, line string) error) error {
+	return forEachRecordBytes(data, start, end, func(offset int, line []byte) error {
+		return fn(offset, string(line))
+	})
 }
 
 // splitRecords materializes forEachRecord's stream — kept for tests and

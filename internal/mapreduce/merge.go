@@ -1,14 +1,19 @@
 package mapreduce
 
-import "sync"
+import (
+	"bytes"
+	"sync"
+)
 
 // merge.go implements the engine's k-way merge as an index-based loser
-// tree. The previous implementation used container/heap, which boxes every
-// cursor through interface{} on each Push/Pop; the loser tree keeps all
-// state in flat int32 slices, performs one comparison chain per emitted
-// record, and is reused across merges through a sync.Pool. Ties on key are
-// broken by segment slot, so merging segments in map-task order reproduces
-// Hadoop's stable shuffle order exactly.
+// tree over flat segments. The previous implementation used
+// container/heap, which boxes every cursor through interface{} on each
+// Push/Pop; the loser tree keeps all state in flat int32 slices, performs
+// one comparison chain per emitted record, and is reused across merges
+// through a sync.Pool. Comparisons read key bytes in place (bytes.Compare
+// is Go's string ordering), and ties on key are broken by segment slot, so
+// merging segments in map-task order reproduces Hadoop's stable shuffle
+// order exactly.
 
 // loserTree is a tournament tree over k sorted segments. node[0] holds the
 // current overall winner; node[1..k-1] hold the losers of the internal
@@ -18,14 +23,14 @@ type loserTree struct {
 	k    int
 	node []int32 // match losers; node[0] is the winner
 	pos  []int32 // per-segment cursor
-	segs [][]KV
+	segs []Segment
 }
 
 var treePool = sync.Pool{New: func() interface{} { return new(loserTree) }}
 
 // newLoserTree builds (or recycles) a tree over the segments. Callers must
 // pass k >= 2 and return the tree with putLoserTree.
-func newLoserTree(segs [][]KV) *loserTree {
+func newLoserTree(segs []Segment) *loserTree {
 	t := treePool.Get().(*loserTree)
 	k := len(segs)
 	t.k = k
@@ -54,19 +59,18 @@ func putLoserTree(t *loserTree) {
 }
 
 // less reports whether cursor a precedes cursor b: alive before exhausted,
-// then by key, then by segment slot (stability across segments).
+// then by key bytes, then by segment slot (stability across segments).
 func (t *loserTree) less(a, b int32) bool {
-	sa, sb := t.segs[a], t.segs[b]
+	sa, sb := &t.segs[a], &t.segs[b]
 	pa, pb := t.pos[a], t.pos[b]
-	if int(pa) >= len(sa) {
+	if int(pa) >= sa.Len() {
 		return false
 	}
-	if int(pb) >= len(sb) {
+	if int(pb) >= sb.Len() {
 		return true
 	}
-	ka, kb := sa[pa].Key, sb[pb].Key
-	if ka != kb {
-		return ka < kb
+	if c := bytes.Compare(sa.key(int(pa)), sb.key(int(pb))); c != 0 {
+		return c < 0
 	}
 	return a < b
 }
@@ -88,12 +92,12 @@ func (t *loserTree) seed(s int32) {
 	t.node[0] = w
 }
 
-// next returns the winning cursor's current record and advances it,
-// replaying the winner's matches up the tree. Callers must not invoke next
-// more than the total record count.
-func (t *loserTree) next() KV {
+// next returns the winning cursor's segment and record index and advances
+// it, replaying the winner's matches up the tree. Callers must not invoke
+// next more than the total record count.
+func (t *loserTree) next() (seg *Segment, idx int) {
 	w := t.node[0]
-	kv := t.segs[w][t.pos[w]]
+	seg, idx = &t.segs[w], int(t.pos[w])
 	t.pos[w]++
 	for j := (int(w) + t.k) / 2; j > 0; j /= 2 {
 		if t.less(t.node[j], w) {
@@ -101,40 +105,52 @@ func (t *loserTree) next() KV {
 		}
 	}
 	t.node[0] = w
-	return kv
+	return seg, idx
 }
 
-// mergeSorted merges already-sorted segments into one sorted slice, stable
-// across segments in slot order.
-func mergeSorted(segments [][]KV) []KV {
+// mergeSegs merges already-sorted segments into one flat segment, stable
+// across segments in slot order. The output is freshly allocated at exact
+// size (Hadoop's merge re-writes spill data the same way; the copy is what
+// MergeBytes accounts).
+func mergeSegs(segments []Segment) Segment {
 	switch len(segments) {
 	case 0:
-		return nil
+		return Segment{}
 	case 1:
-		out := make([]KV, len(segments[0]))
-		copy(out, segments[0])
+		src := segments[0]
+		out := Segment{
+			data: append(make([]byte, 0, len(src.data)), src.data...),
+			meta: append(make([]recMeta, 0, len(src.meta)), src.meta...),
+		}
 		return out
 	}
-	total := 0
+	total, size := 0, 0
 	for _, seg := range segments {
-		total += len(seg)
+		total += seg.Len()
+		size += len(seg.data)
 	}
-	out := make([]KV, 0, total)
+	var out arena
+	out.grow(size, total)
 	t := newLoserTree(segments)
 	for i := 0; i < total; i++ {
-		out = append(out, t.next())
+		seg, idx := t.next()
+		out.appendBytes(seg.key(idx), seg.val(idx))
 	}
 	putLoserTree(t)
-	return out
+	return out.seg()
 }
 
-// kvScratch pools the per-spill sort copies so back-to-back spills reuse
-// one buffer instead of allocating a fresh slice per spill.
-var kvScratchPool = sync.Pool{New: func() interface{} { s := make([]KV, 0, 256); return &s }}
+// mergeSorted merges already-sorted []KV segments into one sorted slice —
+// the legacy string-record form of mergeSegs, kept for tests and []KV
+// callers.
+func mergeSorted(segments [][]KV) []KV {
+	segs := make([]Segment, len(segments))
+	for i, s := range segments {
+		segs[i] = SegmentFromKVs(s)
+	}
+	return mergeSegs(segs).KVs()
+}
 
 // partScratchPool pools the per-record partition index scratch used to
 // pre-size spill partitions exactly.
 var partScratchPool = sync.Pool{New: func() interface{} { s := make([]int32, 0, 256); return &s }}
-
-// mapBufferPool pools the map-side sort buffer across tasks.
-var mapBufferPool = sync.Pool{New: func() interface{} { s := make([]KV, 0, 256); return &s }}

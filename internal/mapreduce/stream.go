@@ -25,11 +25,11 @@ import (
 // intervals are adjacent, every map task publishes a segment for every
 // partition — empty ones included, as coverage markers.
 
-// segment is one map task's sorted output for one partition, tagged with
+// streamSeg is one map task's sorted output for one partition, tagged with
 // the producing task's index.
-type segment struct {
+type streamSeg struct {
 	task int
-	recs []KV
+	seg  Segment
 }
 
 // runStreaming executes the job with the streaming shuffle. Collectors hold
@@ -38,11 +38,11 @@ type segment struct {
 // work can never starve the map wave of slots.
 func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits []splitRange, nparts, par int) (*Result, error) {
 	nsplits := len(splits)
-	chans := make([]chan segment, nparts)
+	chans := make([]chan streamSeg, nparts)
 	for p := range chans {
 		// Buffered to the task count: publishers never block, so a map task
 		// releases its slot immediately after finishing.
-		chans[p] = make(chan segment, nsplits)
+		chans[p] = make(chan streamSeg, nsplits)
 	}
 	sem := make(chan struct{}, par)
 
@@ -79,15 +79,14 @@ func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits 
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
-			out, tc, err := e.runWithRetry(job, taskID, func() ([][]KV, Counters, error) {
-				kvs, c, err := reduceMerged(job, col.finish())
-				return [][]KV{kvs}, c, err
+			out, tc, err := runWithRetry(job, taskID, func() ([]KV, Counters, error) {
+				return reduceMerged(job, col.finish())
 			})
 			if err != nil {
 				redErr[p] = err
 				return
 			}
-			output[p] = out[0]
+			output[p] = out
 			tc.ReduceMergePasses += col.interimPasses
 			redCounters[p] = tc
 		}(p)
@@ -116,7 +115,7 @@ func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits 
 			defer mapWg.Done()
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/map-%d", job.Config.Name, i)
-			out, tc, err := e.runWithRetry(job, taskID, func() ([][]KV, Counters, error) {
+			out, tc, err := runWithRetry(job, taskID, func() ([]Segment, Counters, error) {
 				return runMapTask(job, data, split, nparts)
 			})
 			if err != nil {
@@ -128,18 +127,16 @@ func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits 
 			// add up to exactly the barrier path's post-hoc accounting.
 			var shuffleBytes units.Bytes
 			for p := 0; p < nparts; p++ {
-				if len(out[p]) > 0 {
+				if out[p].Len() > 0 {
 					tc.ShuffleSegments++
-					for _, kv := range out[p] {
-						shuffleBytes += kv.Bytes()
-					}
+					shuffleBytes += out[p].Bytes()
 				}
 			}
 			tc.ShuffleBytes = shuffleBytes
 			taskCounters[i] = tc
 			completed[i] = true
 			for p := 0; p < nparts; p++ {
-				chans[p] <- segment{task: i, recs: out[p]}
+				chans[p] <- streamSeg{task: i, seg: out[p]}
 			}
 		}(i, split)
 	}
@@ -186,7 +183,7 @@ func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits 
 // [lo, hi] of one partition.
 type mergeRun struct {
 	lo, hi int
-	recs   []KV
+	seg    Segment
 }
 
 // collector incrementally merges one partition's segments as they arrive.
@@ -197,7 +194,7 @@ type collector struct {
 	runs          []mergeRun // sorted by lo, intervals disjoint
 	factor        int
 	interimPasses int
-	merged        []KV
+	merged        Segment
 	finished      bool
 }
 
@@ -207,8 +204,8 @@ func newCollector(nsplits, factor int) *collector {
 
 // add inserts one segment as a unit run at its interval position and
 // coalesces any adjacency chain that has grown to the fan-in.
-func (c *collector) add(seg segment) {
-	run := mergeRun{lo: seg.task, hi: seg.task, recs: seg.recs}
+func (c *collector) add(s streamSeg) {
+	run := mergeRun{lo: s.task, hi: s.task, seg: s.seg}
 	i := sort.Search(len(c.runs), func(i int) bool { return c.runs[i].lo > run.lo })
 	c.runs = append(c.runs, mergeRun{})
 	copy(c.runs[i+1:], c.runs[i:])
@@ -241,46 +238,39 @@ func (c *collector) coalesce() {
 // mergeChain replaces runs[start : start+n] — which cover one contiguous
 // task interval — with their stable merge.
 func (c *collector) mergeChain(start, n int) {
-	segs := make([][]KV, 0, n)
-	total := 0
+	segs := make([]Segment, 0, n)
 	for _, r := range c.runs[start : start+n] {
-		if len(r.recs) > 0 {
-			segs = append(segs, r.recs)
-			total += len(r.recs)
+		if r.seg.Len() > 0 {
+			segs = append(segs, r.seg)
 		}
 	}
-	var recs []KV
+	var merged Segment
 	switch len(segs) {
 	case 0:
 	case 1:
-		recs = segs[0] // a single non-empty run is already in final order
+		merged = segs[0] // a single non-empty run is already in final order
 	default:
-		recs = make([]KV, 0, total)
-		t := newLoserTree(segs)
-		for i := 0; i < total; i++ {
-			recs = append(recs, t.next())
-		}
-		putLoserTree(t)
+		merged = mergeSegs(segs)
 		c.interimPasses++
 	}
-	c.runs[start] = mergeRun{lo: c.runs[start].lo, hi: c.runs[start+n-1].hi, recs: recs}
+	c.runs[start] = mergeRun{lo: c.runs[start].lo, hi: c.runs[start+n-1].hi, seg: merged}
 	c.runs = append(c.runs[:start+1], c.runs[start+n:]...)
 }
 
 // finish merges the remaining runs into the partition's final record
 // stream. It is idempotent, so a retried reduce attempt reuses the merge.
-func (c *collector) finish() []KV {
+func (c *collector) finish() Segment {
 	if c.finished {
 		return c.merged
 	}
 	c.finished = true
-	segs := make([][]KV, 0, len(c.runs))
+	segs := make([]Segment, 0, len(c.runs))
 	for _, r := range c.runs {
-		if len(r.recs) > 0 {
-			segs = append(segs, r.recs)
+		if r.seg.Len() > 0 {
+			segs = append(segs, r.seg)
 		}
 	}
-	c.merged = mergeSorted(segs)
+	c.merged = mergeSegs(segs)
 	c.runs = nil
 	return c.merged
 }

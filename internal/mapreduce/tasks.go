@@ -3,11 +3,12 @@ package mapreduce
 import "fmt"
 
 // ExecuteMapSplit runs the job's mapper over one standalone record-aligned
-// chunk and returns per-partition sorted intermediate records. It is the
-// task-granular entry point used by distributed runtimes (internal/dist),
-// which ship chunks to workers; the chunk is treated as a complete split
-// (no neighbouring-block stitching).
-func ExecuteMapSplit(job Job, chunk []byte, nparts int) ([][]KV, Counters, error) {
+// chunk and returns per-partition sorted intermediate runs as flat
+// segments (ready for the binary wire encoding). It is the task-granular
+// entry point used by distributed runtimes (internal/dist), which ship
+// chunks to workers; the chunk is treated as a complete split (no
+// neighbouring-block stitching).
+func ExecuteMapSplit(job Job, chunk []byte, nparts int) ([]Segment, Counters, error) {
 	if err := job.Validate(); err != nil {
 		return nil, Counters{}, err
 	}
@@ -22,14 +23,21 @@ func ExecuteMapSplit(job Job, chunk []byte, nparts int) ([][]KV, Counters, error
 
 // ExecuteReduce runs the job's reducer over the sorted shuffle segments of
 // one partition — the distributed runtime's reduce-task entry point.
-func ExecuteReduce(job Job, segments [][]KV) ([]KV, Counters, error) {
+// Segments must be in map-task order; empty segments are skipped.
+func ExecuteReduce(job Job, segments []Segment) ([]KV, Counters, error) {
 	if err := job.Validate(); err != nil {
 		return nil, Counters{}, err
 	}
 	if job.Reducer == nil {
 		return nil, Counters{}, fmt.Errorf("mapreduce: %s: no reducer", job.Config.Name)
 	}
-	return runReduceTask(job, segments)
+	nonEmpty := make([]Segment, 0, len(segments))
+	for _, s := range segments {
+		if s.Len() > 0 {
+			nonEmpty = append(nonEmpty, s)
+		}
+	}
+	return runReduceTask(job, nonEmpty)
 }
 
 // SplitInput cuts data into record-aligned chunks of roughly blockSize

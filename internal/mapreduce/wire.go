@@ -1,0 +1,100 @@
+package mapreduce
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"heterohadoop/internal/units"
+)
+
+// wire.go is the binary wire format for shuffle segments. The distributed
+// runtime used to ship segments as []KV through gob, which reflects over
+// every record and allocates two string headers per KV on decode; the
+// binary form is a single length-prefixed blob that encodes in one
+// sequential write and decodes zero-copy (the record payload aliases the
+// received buffer, only the metadata slice is built).
+//
+// Layout, little-endian throughout:
+//
+//	u32  record count n
+//	u32  payload length (Σ keyLen+valLen)
+//	n ×  (u32 keyLen, u32 valLen)
+//	payload bytes, records in order, key then value
+const segHeaderSize = 8
+
+// EncodedSize returns the segment's exact wire size in bytes.
+func (s Segment) EncodedSize() int {
+	return segHeaderSize + 8*len(s.meta) + len(s.data)
+}
+
+// AppendEncoded appends the segment's wire form to dst and returns the
+// extended slice.
+func (s Segment) AppendEncoded(dst []byte) []byte {
+	var u [4]byte
+	binary.LittleEndian.PutUint32(u[:], uint32(len(s.meta)))
+	dst = append(dst, u[:]...)
+	binary.LittleEndian.PutUint32(u[:], uint32(len(s.data)))
+	dst = append(dst, u[:]...)
+	for _, m := range s.meta {
+		binary.LittleEndian.PutUint32(u[:], m.keyLen)
+		dst = append(dst, u[:]...)
+		binary.LittleEndian.PutUint32(u[:], m.valLen)
+		dst = append(dst, u[:]...)
+	}
+	return append(dst, s.data...)
+}
+
+// EncodeSegment returns the segment's wire form as a fresh, exactly-sized
+// buffer.
+func EncodeSegment(s Segment) []byte {
+	return s.AppendEncoded(make([]byte, 0, s.EncodedSize()))
+}
+
+// DecodeSegment parses a wire-form segment. The returned segment's record
+// payload aliases buf — no copy — so buf must stay immutable for the
+// segment's lifetime; only the metadata slice is allocated.
+func DecodeSegment(buf []byte) (Segment, error) {
+	if len(buf) < segHeaderSize {
+		return Segment{}, fmt.Errorf("mapreduce: segment blob too short: %d bytes", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf[0:4]))
+	payloadLen := int(binary.LittleEndian.Uint32(buf[4:8]))
+	want := segHeaderSize + 8*n + payloadLen
+	if len(buf) != want {
+		return Segment{}, fmt.Errorf("mapreduce: segment blob is %d bytes, header says %d (%d records, %d payload)",
+			len(buf), want, n, payloadLen)
+	}
+	if n == 0 {
+		return Segment{}, nil
+	}
+	meta := make([]recMeta, n)
+	off := uint32(0)
+	lens := buf[segHeaderSize:]
+	for i := 0; i < n; i++ {
+		kl := binary.LittleEndian.Uint32(lens[8*i:])
+		vl := binary.LittleEndian.Uint32(lens[8*i+4:])
+		meta[i] = recMeta{off: off, keyLen: kl, valLen: vl}
+		off += kl + vl
+	}
+	if int(off) != payloadLen {
+		return Segment{}, fmt.Errorf("mapreduce: segment record lengths sum to %d, header says %d payload", off, payloadLen)
+	}
+	payload := buf[segHeaderSize+8*n:]
+	return Segment{data: payload[:payloadLen:payloadLen], meta: meta}, nil
+}
+
+// SegmentStats reads a wire-form segment's record count and accounting
+// bytes (the sum of KV.Bytes over its records) from the header alone —
+// O(1), no decode — so a forwarder can do shuffle accounting without ever
+// parsing the payload.
+func SegmentStats(buf []byte) (nrecs int, bytes units.Bytes, err error) {
+	if len(buf) < segHeaderSize {
+		return 0, 0, fmt.Errorf("mapreduce: segment blob too short: %d bytes", len(buf))
+	}
+	n := int(binary.LittleEndian.Uint32(buf[0:4]))
+	payloadLen := int(binary.LittleEndian.Uint32(buf[4:8]))
+	if want := segHeaderSize + 8*n + payloadLen; len(buf) != want {
+		return 0, 0, fmt.Errorf("mapreduce: segment blob is %d bytes, header says %d", len(buf), want)
+	}
+	return n, units.Bytes(payloadLen + recordOverhead*n), nil
+}

@@ -37,22 +37,36 @@ func (*Grep) Generate(size units.Bytes, seed int64) []byte {
 // Spec returns the calibrated resource profile.
 func (*Grep) Spec() Spec { return grepSpec() }
 
+// grepMapper emits (word, 1) for words matching the pattern; the byte
+// path scans fields and matches in place (regexp.Match on bytes is
+// MatchString on the equivalent string).
+type grepMapper struct{ re *regexp.Regexp }
+
+func (m grepMapper) Map(_, line string, emit mapreduce.Emitter) error {
+	for _, w := range strings.Fields(line) {
+		if m.re.MatchString(w) {
+			emit(w, "1")
+		}
+	}
+	return nil
+}
+
+func (m grepMapper) MapBytes(_ int, line []byte, emit mapreduce.ByteEmitter) error {
+	forEachField(line, func(w []byte) {
+		if m.re.Match(w) {
+			emit(w, one)
+		}
+	})
+	return nil
+}
+
 // Build assembles the search job: match words against the pattern, emit
 // (match, 1), sum with combiner and reducer. (Hadoop's grep example chains
 // a second tiny job to sort matches by frequency; SortByFrequency builds it.)
 func (g *Grep) Build(cfg mapreduce.Config, _ []byte) (mapreduce.Job, error) {
-	re := g.re
-	mapper := mapreduce.MapperFunc(func(_, line string, emit mapreduce.Emitter) error {
-		for _, w := range strings.Fields(line) {
-			if re.MatchString(w) {
-				emit(w, "1")
-			}
-		}
-		return nil
-	})
 	return mapreduce.Job{
 		Config:   cfg,
-		Mapper:   mapper,
+		Mapper:   grepMapper{re: g.re},
 		Combiner: sumReducer(),
 		Reducer:  sumReducer(),
 	}, nil

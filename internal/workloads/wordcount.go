@@ -3,6 +3,8 @@ package workloads
 import (
 	"strconv"
 	"strings"
+	"unicode"
+	"unicode/utf8"
 
 	"heterohadoop/internal/mapreduce"
 	"heterohadoop/internal/units"
@@ -29,34 +31,149 @@ func (*WordCount) Generate(size units.Bytes, seed int64) []byte {
 // Spec returns the calibrated resource profile.
 func (*WordCount) Spec() Spec { return wordCountSpec() }
 
-// sumReducer adds up integer counts; it serves as both combiner and reducer.
-func sumReducer() mapreduce.Reducer {
-	return mapreduce.ReducerFunc(func(key string, values []string, emit mapreduce.Emitter) error {
-		total := 0
-		for _, v := range values {
-			n, err := strconv.Atoi(v)
-			if err != nil {
-				return err
+// asciiSpace mirrors strings.Fields' ASCII space table; forEachField must
+// split exactly where strings.Fields does.
+var asciiSpace = [256]uint8{'\t': 1, '\n': 1, '\v': 1, '\f': 1, '\r': 1, ' ': 1}
+
+// forEachField calls fn for each whitespace-separated field of line,
+// splitting exactly as strings.Fields does (Unicode spaces included;
+// invalid UTF-8 bytes count as field bytes) without materializing strings
+// or a field slice. The word slice aliases line.
+func forEachField(line []byte, fn func(word []byte)) {
+	n := len(line)
+	i := 0
+	for i < n {
+		// Skip the separating whitespace run.
+		for i < n {
+			if c := line[i]; c < utf8.RuneSelf {
+				if asciiSpace[c] == 0 {
+					break
+				}
+				i++
+				continue
 			}
-			total += n
+			r, size := utf8.DecodeRune(line[i:])
+			if !unicode.IsSpace(r) {
+				break
+			}
+			i += size
 		}
-		emit(key, strconv.Itoa(total))
-		return nil
-	})
+		if i >= n {
+			return
+		}
+		start := i
+		for i < n {
+			if c := line[i]; c < utf8.RuneSelf {
+				if asciiSpace[c] != 0 {
+					break
+				}
+				i++
+				continue
+			}
+			r, size := utf8.DecodeRune(line[i:])
+			if unicode.IsSpace(r) {
+				break
+			}
+			i += size
+		}
+		fn(line[start:i])
+	}
 }
 
-// Build assembles the word-count job: tokenize, emit (word, 1), combine and
-// reduce by summation.
-func (*WordCount) Build(cfg mapreduce.Config, _ []byte) (mapreduce.Job, error) {
-	mapper := mapreduce.MapperFunc(func(_, line string, emit mapreduce.Emitter) error {
-		for _, w := range strings.Fields(line) {
-			emit(w, "1")
+var one = []byte("1")
+
+// wcMapper tokenizes lines and emits (word, 1); the byte path scans fields
+// in place, so a map task allocates nothing per token.
+type wcMapper struct{}
+
+func (wcMapper) Map(_, line string, emit mapreduce.Emitter) error {
+	for _, w := range strings.Fields(line) {
+		emit(w, "1")
+	}
+	return nil
+}
+
+func (wcMapper) MapBytes(_ int, line []byte, emit mapreduce.ByteEmitter) error {
+	forEachField(line, func(w []byte) { emit(w, one) })
+	return nil
+}
+
+// sumRed adds up integer counts; it serves as both combiner and reducer.
+// The stream path parses and formats counts without per-value strings.
+type sumRed struct{}
+
+func (sumRed) Reduce(key string, values []string, emit mapreduce.Emitter) error {
+	total := 0
+	for _, v := range values {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			return err
 		}
-		return nil
-	})
+		total += n
+	}
+	emit(key, strconv.Itoa(total))
+	return nil
+}
+
+func (sumRed) ReduceStream(key []byte, values *mapreduce.ValueIter, emit mapreduce.ByteEmitter) error {
+	total := 0
+	for {
+		v, ok := values.Next()
+		if !ok {
+			break
+		}
+		n, err := byteAtoi(v)
+		if err != nil {
+			return err
+		}
+		total += n
+	}
+	var buf [20]byte
+	emit(key, strconv.AppendInt(buf[:0], int64(total), 10))
+	return nil
+}
+
+// byteAtoi parses an integer from bytes. Canonical small integers parse
+// allocation-free; anything else falls back to strconv.Atoi so values,
+// errors and edge-case semantics match the string path exactly.
+func byteAtoi(b []byte) (int, error) {
+	// Up to 18 chars of sign+digits always fits int64, no overflow check.
+	if n := len(b); n > 0 && n <= 18 {
+		i := 0
+		neg := false
+		if b[0] == '-' || b[0] == '+' {
+			neg = b[0] == '-'
+			i++
+		}
+		if i < len(b) {
+			v := 0
+			for ; i < len(b); i++ {
+				d := b[i] - '0'
+				if d > 9 {
+					return strconv.Atoi(string(b))
+				}
+				v = v*10 + int(d)
+			}
+			if neg {
+				v = -v
+			}
+			return v, nil
+		}
+	}
+	return strconv.Atoi(string(b))
+}
+
+// sumReducer returns the summing reducer/combiner shared by the counting
+// workloads.
+func sumReducer() mapreduce.Reducer { return sumRed{} }
+
+// Build assembles the word-count job: tokenize, emit (word, 1), combine and
+// reduce by summation. Mapper, combiner and reducer all implement the
+// engine's byte fast paths.
+func (*WordCount) Build(cfg mapreduce.Config, _ []byte) (mapreduce.Job, error) {
 	return mapreduce.Job{
 		Config:   cfg,
-		Mapper:   mapper,
+		Mapper:   wcMapper{},
 		Combiner: sumReducer(),
 		Reducer:  sumReducer(),
 	}, nil
