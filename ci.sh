@@ -4,9 +4,10 @@
 # Runs the static checks, a full build, and the test suite under the race
 # detector (the sweep executor, result cache and observer fan-out are
 # concurrent by default, so -race is part of the gate, not an optional
-# extra), then smoke-tests the observability layer end to end: one artefact
-# regenerated with -trace must emit JSONL that tracecheck can decode and
-# that covers the artefact's span.
+# extra), then smoke-tests the observability layer end to end: artefact
+# traces must validate strictly (tracer -check), a six-workload phase
+# trace must replay into per-run timelines, and a live master+worker pair
+# must serve /metrics, /jobs, /tasks and pprof while a real job runs.
 set -eux
 
 # Formatting drift gate: gofmt must be a no-op over the whole tree.
@@ -17,18 +18,100 @@ go build ./...
 go test -race ./...
 
 # Observability smoke: regenerate one artefact with a streaming trace and
-# validate the emitted JSONL (decodes line by line, spans balance, and an
-# expt.artefact span covers table3).
+# validate the emitted JSONL strictly (decodes line by line, spans balance,
+# and an expt.artefact span covers table3) with tracer -check.
 trace_file="$(mktemp /tmp/heterohadoop-trace.XXXXXX.jsonl)"
 bench_file="$(mktemp /tmp/heterohadoop-bench.XXXXXX.json)"
-trap 'rm -f "$trace_file" "$bench_file"' EXIT
+mr_trace="$(mktemp /tmp/heterohadoop-mrtrace.XXXXXX.jsonl)"
+smoke_dir="$(mktemp -d /tmp/heterohadoop-smoke.XXXXXX)"
+cleanup() {
+	[ -n "${worker_pid:-}" ] && kill "$worker_pid" 2>/dev/null || true
+	[ -n "${master_pid:-}" ] && kill "$master_pid" 2>/dev/null || true
+	rm -rf "$trace_file" "$bench_file" "$mr_trace" "$smoke_dir"
+}
+trap cleanup EXIT
 go run ./cmd/experiments -only table3 -trace "$trace_file" -progress >/dev/null
-go run ./internal/obs/tracecheck -artefacts table3 "$trace_file"
+go run ./cmd/tracer -check -artefacts table3 "$trace_file"
 
-# Benchmark smoke: every engine and shuffle-merge benchmark must run one
-# iteration cleanly (catches benchmarks broken by engine refactors without
-# paying for a full measurement).
-go test -run '^$' -bench 'BenchmarkEngine|BenchmarkShuffleMerge' -benchtime 1x ./internal/mapreduce/ .
+# Phase-timeline smoke: trace all six workloads through the in-process
+# engine and replay the trace offline. The tracer must reconstruct every
+# run (both executor modes per workload), report the paper's four-way phase
+# split and a critical path, and skip nothing — a live-written trace has no
+# excuse for malformed lines.
+go run ./cmd/benchmr -workloads wordcount,naivebayes,grep,sort,terasort,fpgrowth \
+	-size 262144 -out "$smoke_dir/bench-trace.json" -trace "$mr_trace" >/dev/null
+tracer_out="$(go run ./cmd/tracer "$mr_trace")"
+for wl in wordcount naivebayes grep sort terasort fpgrowth; do
+	echo "$tracer_out" | grep -q "^run $wl/serial "
+	echo "$tracer_out" | grep -q "^run $wl/parallel "
+done
+echo "$tracer_out" | grep -q '  paper split: '
+echo "$tracer_out" | grep -q '  critical path: '
+! echo "$tracer_out" | grep -q 'skipped'
+
+# Live-plane smoke: a real distributed job runs while master and worker
+# each serve -http. The master's plane must expose the job and task tables
+# and the required Prometheus series, the get_task counter must be
+# monotone across scrapes (the worker keeps polling), and the worker's
+# plane must serve phase histograms and pprof.
+go build -o "$smoke_dir/hadoopd" ./cmd/hadoopd
+"$smoke_dir/hadoopd" -role master -addr 127.0.0.1:0 -http 127.0.0.1:0 \
+	>"$smoke_dir/master.log" 2>&1 &
+master_pid=$!
+for _ in $(seq 1 100); do
+	grep -q '^http listening on ' "$smoke_dir/master.log" && break
+	sleep 0.1
+done
+master_addr="$(sed -n 's/^master listening on //p' "$smoke_dir/master.log")"
+master_http="$(sed -n 's/^http listening on //p' "$smoke_dir/master.log")"
+"$smoke_dir/hadoopd" -role worker -id smoke-w0 -master "$master_addr" \
+	-http 127.0.0.1:0 >"$smoke_dir/worker.log" 2>&1 &
+worker_pid=$!
+for _ in $(seq 1 100); do
+	grep -q '^http listening on ' "$smoke_dir/worker.log" && break
+	sleep 0.1
+done
+worker_http="$(sed -n 's/^http listening on //p' "$smoke_dir/worker.log")"
+# The task tables are dropped when a job completes, so /jobs and /tasks
+# are scraped while the job is in flight: submit in the background, poll
+# until the tables show the running job, then wait for the result.
+seq 1 100000 >"$smoke_dir/input.txt"
+"$smoke_dir/hadoopd" -role submit -master "$master_addr" -workload wordcount \
+	-input "$smoke_dir/input.txt" -reducers 2 -block 2048 >/dev/null &
+submit_pid=$!
+tables_seen=0
+for _ in $(seq 1 200); do
+	if curl -sf "http://$master_http/jobs" | grep -q '"workload": "wordcount"' &&
+		curl -sf "http://$master_http/tasks" | grep -q '"kind": "map"'; then
+		tables_seen=1
+		break
+	fi
+	sleep 0.05
+done
+[ "$tables_seen" = 1 ]
+wait "$submit_pid"
+master_metrics="$(curl -sf "http://$master_http/metrics")"
+echo "$master_metrics" | grep -q '^# TYPE hh_dist_rpc_get_task_total counter$'
+echo "$master_metrics" | grep -q '^# TYPE hh_phase_map_schedule_seconds histogram$'
+echo "$master_metrics" | grep -q '^hh_progress_done{label="dist.map"} '
+first_polls="$(echo "$master_metrics" | sed -n 's/^hh_dist_rpc_get_task_total //p')"
+sleep 0.3
+second_polls="$(curl -sf "http://$master_http/metrics" | sed -n 's/^hh_dist_rpc_get_task_total //p')"
+[ "$second_polls" -gt "$first_polls" ]
+worker_metrics="$(curl -sf "http://$worker_http/metrics")"
+echo "$worker_metrics" | grep -q '^# TYPE hh_phase_map_map_seconds histogram$'
+echo "$worker_metrics" | grep -q '^# TYPE hh_phase_reduce_merge_fetch_seconds histogram$'
+echo "$worker_metrics" | grep -q '^hh_phase_map_map_seconds_count [1-9]'
+curl -sf "http://$worker_http/debug/pprof/cmdline" >/dev/null
+kill "$worker_pid" "$master_pid"
+wait "$worker_pid" "$master_pid" 2>/dev/null || true
+worker_pid='' master_pid=''
+
+# Benchmark smoke: every engine, shuffle-merge, and telemetry benchmark
+# must run one iteration cleanly (catches benchmarks broken by engine
+# refactors without paying for a full measurement); BenchmarkNoopObserver
+# additionally pins the no-observer phase path in the test suite above.
+go test -run '^$' -bench 'BenchmarkEngine|BenchmarkShuffleMerge|BenchmarkNoopObserver' -benchtime 1x ./internal/mapreduce/ .
 
 # Benchmark trajectory: re-measure the engine executor and print a
 # benchstat-style delta against the committed BENCH_mapreduce.json (8 MB

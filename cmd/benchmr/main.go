@@ -27,6 +27,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,6 +38,7 @@ import (
 
 	"heterohadoop/internal/hdfs"
 	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/obs"
 	"heterohadoop/internal/units"
 	"heterohadoop/internal/workloads"
 )
@@ -62,8 +64,25 @@ func main() {
 		baseline       = flag.String("baseline", "", "baseline JSON to print a benchstat-style delta against")
 		minSpeedup     = flag.Float64("minspeedup", 0, "fail if any parallel speedup is below this (armed only at GOMAXPROCS >= 4)")
 		maxAllocFactor = flag.Float64("maxallocfactor", 0, "fail if any row's allocs/op exceeds its baseline row's by this factor")
+		traceOut       = flag.String("trace", "", "stream a JSONL phase trace of every measured run to this file (analyse with cmd/tracer)")
 	)
 	flag.Parse()
+
+	// With -trace, every measured run streams phase events; jobs are named
+	// "<workload>/<mode>" so cmd/tracer groups each mode as its own run.
+	// Tracing perturbs timings a little, so gated CI measurements and trace
+	// captures are separate invocations.
+	ob := obs.Observer(nil)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tw := obs.NewTraceWriter(f)
+		defer tw.Close()
+		ob = tw
+	}
 
 	var rows []Row
 	for _, name := range strings.Split(*names, ",") {
@@ -75,7 +94,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		wr, err := benchWorkload(w, units.Bytes(*size), *reducers, *runs)
+		wr, err := benchWorkload(w, units.Bytes(*size), *reducers, *runs, ob)
 		if err != nil {
 			fatal(err)
 		}
@@ -138,15 +157,16 @@ type measurement struct {
 }
 
 // benchWorkload measures one workload in both executor modes over the same
-// generated input.
-func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int) ([]Row, error) {
+// generated input. A non-nil observer receives the phase trace of every
+// run, with the job named "<workload>/<mode>".
+func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int, ob obs.Observer) ([]Row, error) {
 	input := w.Generate(size, 42)
 	// Enough splits that every slot has work for several waves.
 	block := size / 16
 	if block < 4*units.KB {
 		block = 4 * units.KB
 	}
-	run := func(parallelism int, barrier bool) (measurement, error) {
+	run := func(mode string, parallelism int, barrier bool) (measurement, error) {
 		var best measurement
 		for i := 0; i < runs; i++ {
 			store, err := hdfs.NewStore(hdfs.Config{BlockSize: block, Replication: 1})
@@ -156,7 +176,7 @@ func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int) (
 			if _, err := store.Write("in", input); err != nil {
 				return measurement{}, err
 			}
-			cfg := mapreduce.DefaultConfig(w.Name())
+			cfg := mapreduce.DefaultConfig(w.Name() + "/" + mode)
 			cfg.NumReducers = reducers
 			cfg.Parallelism = parallelism
 			cfg.BarrierShuffle = barrier
@@ -164,10 +184,14 @@ func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int) (
 			if err != nil {
 				return measurement{}, err
 			}
+			ctx := context.Background()
+			if ob != nil {
+				ctx = obs.NewContext(ctx, ob)
+			}
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
 			start := time.Now()
-			if _, err := mapreduce.NewEngine(store).Run(job, "in"); err != nil {
+			if _, err := mapreduce.NewEngine(store).RunContext(ctx, job, "in"); err != nil {
 				return measurement{}, err
 			}
 			elapsed := time.Since(start)
@@ -182,11 +206,11 @@ func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int) (
 		}
 		return best, nil
 	}
-	serial, err := run(1, true)
+	serial, err := run("serial", 1, true)
 	if err != nil {
 		return nil, fmt.Errorf("%s serial: %w", w.Name(), err)
 	}
-	parallel, err := run(0, false)
+	parallel, err := run("parallel", 0, false)
 	if err != nil {
 		return nil, fmt.Errorf("%s parallel: %w", w.Name(), err)
 	}

@@ -10,9 +10,11 @@
 //	        -input data.txt -reducers 4 -block 65536
 //
 // Both long-running roles accept -trace FILE to stream a JSONL
-// observability trace (dist.submit/dist.task spans, reassignment and
-// speculation counters, map/reduce progress) and exit cleanly on
-// SIGINT/SIGTERM, flushing the trace.
+// observability trace (dist.submit/dist.task spans, per-task phase events,
+// reassignment and speculation counters, map/reduce progress) and
+// -http ADDR to serve the live plane — Prometheus /metrics, /jobs and
+// /tasks JSON status, and net/http/pprof — while running. Both exit
+// cleanly on SIGINT/SIGTERM, flushing the trace.
 package main
 
 import (
@@ -28,6 +30,7 @@ import (
 	"heterohadoop/internal/dist"
 	"heterohadoop/internal/mapreduce"
 	"heterohadoop/internal/obs"
+	"heterohadoop/internal/obs/httpd"
 )
 
 func main() {
@@ -45,6 +48,7 @@ func main() {
 		specFrac = flag.Float64("spec-fraction", 0.5, "speculative-execution age fraction of the timeout (role=master)")
 		poll     = flag.Duration("poll", 10*time.Millisecond, "idle poll interval (role=worker)")
 		trace    = flag.String("trace", "", "stream a JSONL observability trace to this file (master/worker)")
+		httpAddr = flag.String("http", "", "serve the live plane (/metrics, /jobs, /tasks, pprof) on this address (master/worker)")
 		out      = flag.String("out", "", "output file for results (role=submit; default stdout)")
 	)
 	flag.Parse()
@@ -52,10 +56,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
-	// The observer stack is shared by the master and worker roles; with no
-	// -trace it stays on the allocation-free no-op path.
+	// The observer stack is shared by the master and worker roles; with
+	// neither -trace nor -http it stays on the allocation-free no-op path.
+	// -http needs a Collector to aggregate /metrics from; when both flags
+	// are set the collector and the trace writer see every event via Tee.
 	ob := obs.Nop
 	var tw *obs.TraceWriter
+	var col *obs.Collector
 	if *trace != "" {
 		f, err := os.Create(*trace)
 		if err != nil {
@@ -65,6 +72,14 @@ func main() {
 		tw = obs.NewTraceWriter(f)
 		ob = tw
 	}
+	if *httpAddr != "" {
+		col = obs.NewCollector()
+		if tw != nil {
+			ob = obs.Tee(col, tw)
+		} else {
+			ob = col
+		}
+	}
 	flushTrace := func() {
 		if tw == nil {
 			return
@@ -72,6 +87,21 @@ func main() {
 		if err := tw.Close(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 		}
+	}
+	// serveHTTP starts the live plane when -http is set; status endpoints
+	// are wired per role (the master exposes its job/task tables, workers
+	// serve metrics and pprof only).
+	serveHTTP := func(opts ...httpd.Option) *httpd.Server {
+		if col == nil {
+			return nil
+		}
+		s := httpd.New(col, opts...)
+		a, err := s.Serve(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("http listening on %s\n", a)
+		return s
 	}
 
 	switch *role {
@@ -84,7 +114,13 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("master listening on %s\n", m.Addr())
+		srv := serveHTTP(
+			httpd.WithJobStatus(func() any { return m.JobStatus() }),
+			httpd.WithTaskStatus(func() any { return m.TaskStatuses() }))
 		<-ctx.Done()
+		if srv != nil {
+			srv.Close()
+		}
 		m.Close()
 		flushTrace()
 	case "worker":
@@ -98,7 +134,11 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("worker %s polling %s\n", *id, *master)
+		srv := serveHTTP()
 		err = w.RunForeverCtx(ctx)
+		if srv != nil {
+			srv.Close()
+		}
 		flushTrace()
 		if err != nil && ctx.Err() == nil {
 			fatal(err)

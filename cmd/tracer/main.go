@@ -1,0 +1,132 @@
+// Command tracer analyses a JSONL observability trace (cmd/hadoopd -trace,
+// cmd/benchmr -trace, cmd/experiments -trace) offline. By default it
+// replays the trace's phase events into per-run timelines and prints, for
+// every (job, epoch) run: the per-phase breakdown, the paper's four-way
+// map/sort/shuffle/reduce split, the job critical path, and any straggler
+// tasks. Replay is lenient — malformed lines are counted and skipped, never
+// fatal — so a trace truncated by a crash still analyses.
+//
+// Usage:
+//
+//	tracer trace.jsonl                  # breakdown + paper split + critical path
+//	tracer -gantt -width 100 trace.jsonl
+//	tracer -json trace.jsonl            # machine-readable reports
+//	tracer -straggler 2 trace.jsonl     # flag tasks busy > 2x the kind median
+//
+// With -check the command is a strict validator instead (absorbing the old
+// tracecheck gate): every line must decode as an obs.TraceEvent and at
+// least one span must be present; -artefacts additionally requires an
+// "expt.artefact" span per listed id — the CI gate over cmd/experiments.
+//
+//	tracer -check -artefacts table3,fig9 trace.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heterohadoop/internal/obs"
+	"heterohadoop/internal/obs/timeline"
+)
+
+func main() {
+	var (
+		gantt      = flag.Bool("gantt", false, "also render an ASCII Gantt chart per run")
+		width      = flag.Int("width", 80, "Gantt chart width in columns")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON reports instead of text")
+		stragglerK = flag.Float64("straggler", 1.5, "straggler threshold: busy time > k x same-kind median")
+		check      = flag.Bool("check", false, "strict validation mode: every line must decode, spans must exist")
+		artefacts  = flag.String("artefacts", "", "with -check: comma-separated artefact ids that must have expt.artefact spans")
+	)
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracer [flags] trace.jsonl")
+		os.Exit(2)
+	}
+	f, err := os.Open(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+
+	if *check {
+		if err := checkTrace(f, *artefacts); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	tr, err := timeline.Replay(f)
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		if err := tr.WriteJSON(os.Stdout, *stragglerK); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if tr.Skipped > 0 {
+		fmt.Printf("tracer: skipped %d malformed of %d lines\n", tr.Skipped, tr.Lines)
+	}
+	if len(tr.Runs) == 0 {
+		fmt.Printf("tracer: no phase events in %d lines (trace predates phase telemetry, or the run had no observer)\n", tr.Lines)
+		return
+	}
+	w := os.Stdout
+	for _, run := range tr.Runs {
+		run.WriteBreakdown(w)
+		run.WritePaperSplit(w)
+		run.WriteCriticalPath(w)
+		run.WriteStragglers(w, *stragglerK)
+		if *gantt {
+			run.WriteGantt(w, *width)
+		}
+	}
+}
+
+// checkTrace is the strict gate the old tracecheck command implemented:
+// the whole file must decode (obs.ReadTrace fails on any bad line), at
+// least one span must be present, and each listed artefact id must be
+// covered by an expt.artefact span.
+func checkTrace(f *os.File, artefacts string) error {
+	events, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	spans := 0
+	seen := map[string]bool{}
+	for _, ev := range events {
+		if ev.Type != "span" {
+			continue
+		}
+		spans++
+		if ev.Name == "expt.artefact" {
+			seen[ev.Attrs["id"]] = true
+		}
+	}
+	if spans == 0 {
+		return fmt.Errorf("tracer: no span events in trace")
+	}
+	if artefacts != "" {
+		var missing []string
+		for _, id := range strings.Split(artefacts, ",") {
+			id = strings.TrimSpace(id)
+			if id != "" && !seen[id] {
+				missing = append(missing, id)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("tracer: missing expt.artefact spans for: %s", strings.Join(missing, ", "))
+		}
+	}
+	fmt.Printf("tracer: %d events, %d spans ok\n", len(events), spans)
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, err)
+	os.Exit(1)
+}

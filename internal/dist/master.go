@@ -20,6 +20,11 @@ type taskState struct {
 	assignee   string
 	assignedAt time.Time
 	done       bool
+	// readyAt is when the task became dispatchable (job submission); the
+	// gap to the first assignment is the schedule phase. For reduce tasks it
+	// includes the slowstart gate by design — that wait is real dispatch
+	// latency the paper's shuffle accounting has to see.
+	readyAt time.Time
 }
 
 // Master is the job coordinator. One master runs one job at a time
@@ -211,10 +216,11 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 	m.mapTasks = make([]*taskState, len(chunks))
 	m.partSegs = make([][]TaggedSegment, desc.NumReducers)
 	m.mapsLeft = len(chunks)
+	now := time.Now()
 	for i, c := range chunks {
 		m.mapTasks[i] = &taskState{task: Task{
 			Kind: TaskMap, Epoch: m.epoch, Seq: i, Job: desc, NParts: desc.NumReducers, SplitData: c,
-		}}
+		}, readyAt: now}
 	}
 	// Reduce tasks exist from the start: they carry no shuffle data (workers
 	// stream segments with FetchSegments), so they can be dispatched as soon
@@ -223,7 +229,7 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 	for p := 0; p < desc.NumReducers; p++ {
 		m.redTasks[p] = &taskState{task: Task{
 			Kind: TaskReduce, Epoch: m.epoch, Seq: p, Job: desc, NParts: desc.NumReducers, Partition: p,
-		}}
+		}, readyAt: now}
 	}
 	m.redOutputs = make([][]byte, desc.NumReducers)
 	m.redsLeft = desc.NumReducers
@@ -346,9 +352,32 @@ func (m *Master) nextTask(workerID string) Task {
 		m.ob.Count("dist.tasks.speculative", 1)
 		oldest.assignedAt = now // throttle repeated speculation
 		oldest.assignee = workerID
+		m.emitSchedule(oldest, workerID, now)
 		return oldest.task
 	}
 	return Task{Kind: TaskWait}
+}
+
+// emitSchedule reports one assignment's dispatch latency — ready-to-assigned
+// — as a schedule phase interval attributed to the assignee; called under
+// m.mu. Reissues and speculative backups emit again with the new worker, so
+// every attempt's queueing delay is visible in the trace.
+func (m *Master) emitSchedule(ts *taskState, workerID string, now time.Time) {
+	if !m.ob.Enabled() {
+		return
+	}
+	kind := obs.KindMap
+	if ts.task.Kind == TaskReduce {
+		kind = obs.KindReduce
+	}
+	obs.EmitPhase(m.ob, obs.PhaseEvent{
+		Task: obs.TaskRef{
+			Job: m.desc.Workload, Kind: kind, Index: ts.task.Seq, Worker: workerID, Epoch: ts.task.Epoch,
+		},
+		Phase:    obs.PhaseSchedule,
+		Start:    ts.readyAt,
+		Duration: now.Sub(ts.readyAt),
+	})
 }
 
 // assignFrom hands out the first pending or timed-out task in pool; called
@@ -368,6 +397,7 @@ func (m *Master) assignFrom(pool []*taskState, workerID string, now time.Time) (
 		ts.assigned = true
 		ts.assignee = workerID
 		ts.assignedAt = now
+		m.emitSchedule(ts, workerID, now)
 		return ts.task, true
 	}
 	return Task{}, false
@@ -495,10 +525,13 @@ type masterRPC struct {
 	m *Master
 }
 
-// GetTask hands the polling worker its next task (or wait/done).
+// GetTask hands the polling worker its next task (or wait/done). The
+// dist.rpc.get_task counter ticks on every poll — a strictly monotone
+// series the live /metrics smoke test leans on.
 func (r *masterRPC) GetTask(args GetTaskArgs, reply *Task) error {
 	r.m.mu.Lock()
 	defer r.m.mu.Unlock()
+	r.m.ob.Count("dist.rpc.get_task", 1)
 	r.m.workers[args.WorkerID] = time.Now()
 	*reply = r.m.nextTask(args.WorkerID)
 	return nil

@@ -1,7 +1,9 @@
 package dist
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"net/rpc"
 	"strconv"
@@ -365,5 +367,139 @@ func TestReportFailureSurfacesRPCErrors(t *testing.T) {
 	}
 	if n := c.Counter("dist.worker.report_errors"); n != 1 {
 		t.Errorf("report_errors counter = %d, want 1", n)
+	}
+}
+
+// TestSpeculativeAttemptsDistinguishableInTrace is the regression fence for
+// attempt attribution: when a straggler's task is speculatively re-executed
+// on another worker, the trace must contain phase events for BOTH attempts
+// of the SAME task — same job, kind, index and epoch, different worker —
+// so a timeline replay can show the duplicated work instead of silently
+// folding the attempts into one row.
+func TestSpeculativeAttemptsDistinguishableInTrace(t *testing.T) {
+	var buf bytes.Buffer
+	tw := obs.NewTraceWriter(&buf)
+
+	// Short timeout + small speculative fraction: a task held for ~200ms is
+	// already a straggler, but the hard reassignment timeout (2s) never
+	// fires inside the test.
+	m, err := StartMaster("127.0.0.1:0",
+		WithTaskTimeout(2*time.Second), WithSpeculativeFraction(0.1), WithObserver(tw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	slowJob := func(sleep time.Duration) JobFactory {
+		return func(desc JobDescriptor) (mapreduce.Job, error) {
+			cfg := mapreduce.DefaultConfig("slowmap")
+			cfg.NumReducers = desc.NumReducers
+			return mapreduce.Job{
+				Config: cfg,
+				Mapper: mapreduce.MapperFunc(func(_, line string, emit mapreduce.Emitter) error {
+					time.Sleep(sleep)
+					emit(line, "1")
+					return nil
+				}),
+				Reducer: mapreduce.IdentityReducer(),
+			}, nil
+		}
+	}
+	m.Registry().Register("slowmap", slowJob(0))
+
+	// Worker registries are per-worker: the straggler's factory sleeps well
+	// past the speculation age, the honest worker's does not, so the same
+	// map task genuinely runs twice on distinct workers.
+	straggler, err := ConnectWorker("w-slow", m.Addr(), WithObserver(tw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer straggler.Close()
+	straggler.Registry().Register("slowmap", slowJob(1500*time.Millisecond))
+	var workerWg sync.WaitGroup
+	workerWg.Add(1)
+	go func() {
+		defer workerWg.Done()
+		// The straggler finishes its attempt after the job is done; its
+		// completion is a duplicate the master ignores, and the next poll
+		// tells it the job is over.
+		if err := straggler.Run(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	resCh := make(chan *mapreduce.Result, 1)
+	errCh := make(chan error, 1)
+	go func() {
+		// One line, one split, one map task: the straggler must grab it.
+		res, err := m.Submit(JobDescriptor{Workload: "slowmap", NumReducers: 1},
+			[]byte("only line\n"), 1024)
+		if err != nil {
+			errCh <- err
+			return
+		}
+		resCh <- res
+	}()
+
+	// Give the straggler time to take the task, then add the honest worker,
+	// which can only receive the speculative backup copy.
+	time.Sleep(300 * time.Millisecond)
+	honest, err := ConnectWorker("w-fast", m.Addr(), WithObserver(tw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer honest.Close()
+	honest.Registry().Register("slowmap", slowJob(0))
+	workerWg.Add(1)
+	go func() {
+		defer workerWg.Done()
+		if err := honest.Run(); err != nil {
+			t.Error(err)
+		}
+	}()
+
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	case <-resCh:
+	case <-time.After(30 * time.Second):
+		t.Fatal("job never completed")
+	}
+	if m.Stats().Speculative == 0 {
+		t.Fatal("no speculative attempt launched")
+	}
+	// Both polling loops exit on TaskDone; wait so the straggler's late
+	// attempt lands in the trace, then flush the writer before reading.
+	workerWg.Wait()
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Replay the trace: map-phase events for task 0 must name both workers
+	// under the same epoch.
+	workers := map[string]uint64{} // worker -> epoch
+	dec := json.NewDecoder(&buf)
+	for {
+		var ev obs.TraceEvent
+		if err := dec.Decode(&ev); err != nil {
+			break
+		}
+		if ev.Type != "phase" || ev.Name != obs.PhaseMap.String() || ev.TaskKind != "map" || ev.Task != 0 {
+			continue
+		}
+		if ev.Worker == "" {
+			t.Errorf("map phase event without worker attribution: %+v", ev)
+			continue
+		}
+		workers[ev.Worker] = ev.Epoch
+	}
+	if len(workers) < 2 {
+		t.Fatalf("map task 0 phases name %d worker(s) %v, want both attempts", len(workers), workers)
+	}
+	epochs := map[uint64]bool{}
+	for _, e := range workers {
+		epochs[e] = true
+	}
+	if len(epochs) != 1 {
+		t.Errorf("attempts of one job carry different epochs: %v", workers)
 	}
 }

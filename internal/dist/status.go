@@ -1,0 +1,103 @@
+package dist
+
+import "time"
+
+// status.go exposes the master's job and task tables as snapshot values for
+// the live HTTP plane (internal/obs/httpd): /jobs serves JobStatus, /tasks
+// serves TaskStatuses. Both are lock-scoped copies — callers never see the
+// live tables.
+
+// JobStatus is a point-in-time summary of the master's current (or last)
+// job.
+type JobStatus struct {
+	// Running reports whether a job is in flight.
+	Running bool `json:"running"`
+	// Epoch is the job generation; it distinguishes restarted jobs with the
+	// same workload name.
+	Epoch uint64 `json:"epoch"`
+	// Workload is the submitted job's workload name ("" when idle and
+	// nothing has run).
+	Workload string `json:"workload,omitempty"`
+	// Phase is the scheduler phase: "map", "reduce" or "idle".
+	Phase string `json:"phase"`
+	// MapsDone / MapsTotal and ReducesDone / ReducesTotal are task-level
+	// progress.
+	MapsDone     int `json:"maps_done"`
+	MapsTotal    int `json:"maps_total"`
+	ReducesDone  int `json:"reduces_done"`
+	ReducesTotal int `json:"reduces_total"`
+	// Workers is the number of distinct workers that have polled.
+	Workers int `json:"workers"`
+	// Reassigned, Speculative and EarlyReduces mirror Stats.
+	Reassigned   int `json:"reassigned"`
+	Speculative  int `json:"speculative"`
+	EarlyReduces int `json:"early_reduces"`
+}
+
+// TaskStatus is a point-in-time view of one task slot in the master's
+// tables.
+type TaskStatus struct {
+	// Kind is "map" or "reduce"; Seq is the task's slot (split index or
+	// partition).
+	Kind string `json:"kind"`
+	Seq  int    `json:"seq"`
+	// Assigned reports an in-flight assignment; Assignee is the worker
+	// holding it.
+	Assigned bool   `json:"assigned"`
+	Assignee string `json:"assignee,omitempty"`
+	// RunningForMS is how long the current assignment has been out, in
+	// milliseconds (0 when unassigned or done).
+	RunningForMS int64 `json:"running_for_ms"`
+	// Done reports completion.
+	Done bool `json:"done"`
+}
+
+// JobStatus returns the master's current job summary.
+func (m *Master) JobStatus() JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	st := JobStatus{
+		Running:      m.running,
+		Epoch:        m.epoch,
+		Workload:     m.desc.Workload,
+		Phase:        m.phase,
+		MapsTotal:    len(m.mapTasks),
+		ReducesTotal: len(m.redTasks),
+		Workers:      len(m.workers),
+		Reassigned:   m.reassigned,
+		Speculative:  m.speculative,
+		EarlyReduces: m.earlyReduces,
+	}
+	if m.mapTasks != nil {
+		st.MapsDone = len(m.mapTasks) - m.mapsLeft
+	}
+	if m.redTasks != nil {
+		st.ReducesDone = len(m.redTasks) - m.redsLeft
+	}
+	return st
+}
+
+// TaskStatuses returns a snapshot of every task slot of the current job, map
+// tasks first, in slot order. It is empty between jobs (the tables are
+// dropped when a job finishes or aborts).
+func (m *Master) TaskStatuses() []TaskStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	now := time.Now()
+	out := make([]TaskStatus, 0, len(m.mapTasks)+len(m.redTasks))
+	appendPool := func(pool []*taskState, kind string) {
+		for _, ts := range pool {
+			st := TaskStatus{
+				Kind: kind, Seq: ts.task.Seq, Assigned: ts.assigned, Done: ts.done,
+			}
+			if ts.assigned && !ts.done {
+				st.Assignee = ts.assignee
+				st.RunningForMS = now.Sub(ts.assignedAt).Milliseconds()
+			}
+			out = append(out, st)
+		}
+	}
+	appendPool(m.mapTasks, "map")
+	appendPool(m.redTasks, "reduce")
+	return out
+}

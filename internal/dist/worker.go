@@ -220,15 +220,31 @@ func (w *Worker) idle(ctx context.Context) error {
 }
 
 // taskSpan opens a dist.task span for one attempt when the observer is
-// enabled; the returned span is inert otherwise.
+// enabled; the returned span is inert otherwise. The attrs carry the full
+// attempt identity — job, kind, seq, worker, epoch — so concurrent attempts
+// of the same task (speculative re-execution, post-timeout reissue) stay
+// distinguishable in a trace.
 func (w *Worker) taskSpan(task Task) obs.Span {
 	if !w.ob.Enabled() {
 		return obs.Span{}
 	}
 	return obs.Start(w.ob, "dist.task",
+		obs.Str("job", task.Job.Workload),
 		obs.Str("kind", task.Kind),
 		obs.Int("seq", int64(task.Seq)),
-		obs.Str("worker", w.ID))
+		obs.Str("worker", w.ID),
+		obs.Int("epoch", int64(task.Epoch)))
+}
+
+// taskRef is the phase-event identity of one task attempt on this worker.
+func (w *Worker) taskRef(task Task) obs.TaskRef {
+	kind := obs.KindMap
+	if task.Kind == TaskReduce {
+		kind = obs.KindReduce
+	}
+	return obs.TaskRef{
+		Job: task.Job.Workload, Kind: kind, Index: task.Seq, Worker: w.ID, Epoch: task.Epoch,
+	}
 }
 
 func (w *Worker) runMap(task Task) error {
@@ -239,7 +255,9 @@ func (w *Worker) runMap(task Task) error {
 		w.reportFailure(task, err)
 		return err
 	}
-	segs, counters, err := mapreduce.ExecuteMapSplit(job, task.SplitData, task.NParts)
+	ref := w.taskRef(task)
+	pc := obs.NewPhaseClock(w.ob, ref)
+	segs, counters, err := mapreduce.ExecuteMapSplitObs(job, task.SplitData, task.NParts, ref, w.ob)
 	if err != nil {
 		w.reportFailure(task, err)
 		return fmt.Errorf("dist: worker %s map %d: %w", w.ID, task.Seq, err)
@@ -248,6 +266,7 @@ func (w *Worker) runMap(task Task) error {
 	// markers — and report which ones actually hold records, so the master
 	// can publish the segments to early-dispatched reducers without
 	// rescanning the payload.
+	tWrite := pc.Start()
 	parts := make([][]byte, len(segs))
 	nonEmpty := make([]int, 0, len(segs))
 	for p, seg := range segs {
@@ -256,6 +275,7 @@ func (w *Worker) runMap(task Task) error {
 			nonEmpty = append(nonEmpty, p)
 		}
 	}
+	pc.Emit(obs.PhaseWrite, tWrite)
 	w.mu.Lock()
 	w.tasksRun++
 	w.mu.Unlock()
@@ -293,6 +313,12 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 		w.reportFailure(task, err)
 		return err
 	}
+	ref := w.taskRef(task)
+	pc := obs.NewPhaseClock(w.ob, ref)
+	// The fetch loop is the distributed shuffle transport: time spent here —
+	// including waits for the tail of the map wave — lands in the same
+	// merge-fetch bucket the in-process collector charges its merges to.
+	tFetch := pc.Start()
 	var segs []TaggedSegment
 	cursor := 0
 	for {
@@ -328,6 +354,7 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 			}
 		}
 	}
+	pc.Emit(obs.PhaseMergeFetch, tFetch)
 	// Restore map-task order — the order the engine's stable merge is
 	// defined over — regardless of fetch interleaving, then decode the
 	// blobs (zero-copy: the record payload aliases the received buffers).
@@ -341,7 +368,7 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 		}
 		parts = append(parts, seg)
 	}
-	out, counters, err := mapreduce.ExecuteReduce(job, parts)
+	out, counters, err := mapreduce.ExecuteReduceObs(job, parts, ref, w.ob)
 	if err != nil {
 		w.reportFailure(task, err)
 		return fmt.Errorf("dist: worker %s reduce %d: %w", w.ID, task.Seq, err)
@@ -349,8 +376,11 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	w.mu.Lock()
 	w.tasksRun++
 	w.mu.Unlock()
+	tWrite := pc.Start()
+	blob := mapreduce.EncodeSegment(mapreduce.SegmentFromKVs(out))
+	pc.Emit(obs.PhaseWrite, tWrite)
 	return w.client.Call("Master.CompleteReduce", ReduceDone{
 		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Partition: task.Partition,
-		Output: mapreduce.EncodeSegment(mapreduce.SegmentFromKVs(out)), Counters: counters,
+		Output: blob, Counters: counters,
 	}, &Ack{})
 }

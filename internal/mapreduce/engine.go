@@ -11,6 +11,7 @@ import (
 	"sync"
 
 	"heterohadoop/internal/hdfs"
+	"heterohadoop/internal/obs"
 	"heterohadoop/internal/units"
 )
 
@@ -58,6 +59,11 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 	if err := job.Validate(); err != nil {
 		return nil, err
 	}
+	// The observer rides the context (obs.NewContext); with none installed
+	// every phase emission below collapses to the zero-cost inert path.
+	o := obs.FromContext(ctx)
+	jobClock := newPhaseClock(o, obs.TaskRef{Job: job.Config.Name, Kind: obs.KindJob})
+	tRead := jobClock.Start()
 	file, err := e.store.Open(input)
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: %s: %w", job.Config.Name, err)
@@ -69,6 +75,7 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: %s: reading %s: %w", job.Config.Name, input, err)
 	}
+	jobClock.Emit(obs.PhaseRead, tRead)
 	// One split per HDFS block; split boundaries follow block boundaries.
 	splits := make([]splitRange, file.NumBlocks())
 	off := 0
@@ -95,14 +102,14 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 	// Map-only jobs have no shuffle to stream; BarrierShuffle is the
 	// explicit opt-out onto the legacy two-phase path.
 	if mapOnly || job.Config.BarrierShuffle {
-		return e.runBarrier(ctx, job, data, splits, nparts, mapOnly, par)
+		return e.runBarrier(ctx, o, job, data, splits, nparts, mapOnly, par)
 	}
-	return e.runStreaming(ctx, job, data, splits, nparts, par)
+	return e.runStreaming(ctx, o, job, data, splits, nparts, par)
 }
 
 // runBarrier is the two-phase execution path: the map wave runs to
 // completion, the shuffle is assembled in one step, then reduce tasks run.
-func (e *Engine) runBarrier(ctx context.Context, job Job, data []byte, splits []splitRange, nparts int, mapOnly bool, par int) (*Result, error) {
+func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data []byte, splits []splitRange, nparts int, mapOnly bool, par int) (*Result, error) {
 	total := &Counters{}
 	sem := make(chan struct{}, par)
 	var wg sync.WaitGroup
@@ -137,8 +144,9 @@ func (e *Engine) runBarrier(ctx context.Context, job Job, data []byte, splits []
 			defer wg.Done()
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/map-%d", job.Config.Name, i)
+			pc := mapTaskClock(o, job, i)
 			out, tc, err := runWithRetry(job, taskID, func() ([]Segment, Counters, error) {
-				return runMapTask(job, data, split, nparts)
+				return runMapTask(job, data, split, nparts, pc)
 			})
 			if err != nil {
 				taskErr[i] = err
@@ -215,8 +223,9 @@ func (e *Engine) runBarrier(ctx context.Context, job Job, data []byte, splits []
 			defer wg.Done()
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
+			pc := reduceTaskClock(o, job, p)
 			out, tc, err := runWithRetry(job, taskID, func() ([]KV, Counters, error) {
-				return runReduceTask(job, shuffled[p])
+				return runReduceTask(job, shuffled[p], pc)
 			})
 			if err != nil {
 				redErr[p] = err
@@ -282,8 +291,11 @@ type splitRange struct {
 // runMapTask executes the mapper over one split with Hadoop's sort-buffer
 // spill discipline and returns per-partition sorted output. Records are
 // emitted into a pooled flat arena (no per-record allocation); mappers
-// implementing ByteMapper additionally skip the per-line string.
-func runMapTask(job Job, data []byte, split splitRange, nparts int) ([]Segment, Counters, error) {
+// implementing ByteMapper additionally skip the per-line string. The phase
+// clock receives disjoint map/sort/spill/merge-fetch intervals: the map
+// phase is closed around each spill so phase totals sum to task wall time
+// without double counting.
+func runMapTask(job Job, data []byte, split splitRange, nparts int, pc phaseClock) ([]Segment, Counters, error) {
 	var c Counters
 	c.MapInputBytes = units.Bytes(split.end - split.start)
 
@@ -300,7 +312,7 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([]Segment, 
 		if len(buf.meta) == 0 {
 			return nil
 		}
-		parts, n, b, err := spill(job, buf, nparts, &c)
+		parts, n, b, err := spill(job, buf, nparts, &c, pc)
 		if err != nil {
 			return err
 		}
@@ -316,16 +328,20 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([]Segment, 
 	// account charges one emitted record to the counters and the sort
 	// buffer, spilling when the buffer crosses io.sort.mb — identical
 	// bookkeeping for both emit paths, so counters never depend on which
-	// API the mapper used.
+	// API the mapper used. The open map interval is closed around the
+	// spill so sort/spill time is not charged to the map phase.
 	var mapErr error
+	tMap := pc.Start()
 	account := func(rb units.Bytes) {
 		bufBytes += rb
 		c.MapOutputRecords++
 		c.MapOutputBytes += rb
 		if bufBytes >= job.Config.SortBuffer {
+			pc.Emit(obs.PhaseMap, tMap)
 			if err := doSpill(); err != nil && mapErr == nil {
 				mapErr = err
 			}
+			tMap = pc.Start()
 		}
 	}
 
@@ -355,6 +371,7 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([]Segment, 
 			return mapErr
 		})
 	}
+	pc.Emit(obs.PhaseMap, tMap)
 	if err != nil {
 		return nil, c, err
 	}
@@ -371,6 +388,7 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([]Segment, 
 	case 1:
 		out = spills[0]
 	default:
+		tMerge := pc.Start()
 		passes := mergePasses(len(spills), job.Config.MergeFactor)
 		c.MergePasses += passes
 		c.MergeBytes += c.SpilledBytes * units.Bytes(passes)
@@ -383,6 +401,7 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([]Segment, 
 			}
 			out[p] = mergeSegs(segs)
 		}
+		pc.Emit(obs.PhaseMergeFetch, tMerge)
 	}
 	return out, c, nil
 }
@@ -394,13 +413,17 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int) ([]Segment, 
 // never moves (Hadoop's MapOutputBuffer sorts its kvmeta the same way).
 // All partitions share one exactly-sized output buffer, laid out partition
 // by partition, so a spill costs two allocations regardless of fan-out.
-func spill(job Job, buf *arena, nparts int, c *Counters) ([]Segment, int, units.Bytes, error) {
+func spill(job Job, buf *arena, nparts int, c *Counters, pc phaseClock) ([]Segment, int, units.Bytes, error) {
+	tSort := pc.Start()
 	data, meta := buf.data, buf.meta
 	sort.SliceStable(meta, func(i, j int) bool {
 		a, b := meta[i], meta[j]
 		return bytes.Compare(data[a.off:a.off+a.keyLen], data[b.off:b.off+b.keyLen]) < 0
 	})
+	pc.Emit(obs.PhaseSort, tSort)
 
+	tSpill := pc.Start()
+	defer func() { pc.Emit(obs.PhaseSpill, tSpill) }()
 	working := buf.seg()
 	if job.Combiner != nil {
 		scratch := arenaPool.Get().(*arena)
@@ -533,8 +556,11 @@ func combineInto(job Job, sorted Segment, out *arena, c *Counters) error {
 
 // runReduceTask merges the sorted shuffle segments for one partition and
 // applies the reducer per key group.
-func runReduceTask(job Job, segments []Segment) ([]KV, Counters, error) {
-	return reduceMerged(job, mergeSegs(segments))
+func runReduceTask(job Job, segments []Segment, pc phaseClock) ([]KV, Counters, error) {
+	tMerge := pc.Start()
+	merged := mergeSegs(segments)
+	pc.Emit(obs.PhaseMergeFetch, tMerge)
+	return reduceMerged(job, merged, pc)
 }
 
 // reduceMerged applies the reducer per key group over one partition's fully
@@ -543,10 +569,12 @@ func runReduceTask(job Job, segments []Segment) ([]KV, Counters, error) {
 // Reducers implementing StreamReducer get the group's values streamed; the
 // string API gets a pooled values slice reused across groups and a key
 // string materialized once per group.
-func reduceMerged(job Job, merged Segment) ([]KV, Counters, error) {
+func reduceMerged(job Job, merged Segment, pc phaseClock) ([]KV, Counters, error) {
 	var c Counters
 	n := merged.Len()
 	c.ReduceInputRecords = int64(n)
+	tReduce := pc.Start()
+	defer func() { pc.Emit(obs.PhaseReduce, tReduce) }()
 
 	var out []KV
 	record := func(kv KV) {

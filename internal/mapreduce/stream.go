@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"heterohadoop/internal/obs"
 	"heterohadoop/internal/units"
 )
 
@@ -36,7 +37,7 @@ type streamSeg struct {
 // no task slot while waiting for segments — they acquire one only for the
 // final merge+reduce, after their partition's channel closes — so reduce
 // work can never starve the map wave of slots.
-func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits []splitRange, nparts, par int) (*Result, error) {
+func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data []byte, splits []splitRange, nparts, par int) (*Result, error) {
 	nsplits := len(splits)
 	chans := make([]chan streamSeg, nparts)
 	for p := range chans {
@@ -65,7 +66,9 @@ func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits 
 	for p := 0; p < nparts; p++ {
 		go func(p int) {
 			defer redWg.Done()
+			pc := reduceTaskClock(o, job, p)
 			col := newCollector(nsplits, job.Config.MergeFactor)
+			col.pc = pc
 			for seg := range chans[p] {
 				col.add(seg)
 			}
@@ -80,7 +83,7 @@ func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits 
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
 			out, tc, err := runWithRetry(job, taskID, func() ([]KV, Counters, error) {
-				return reduceMerged(job, col.finish())
+				return reduceMerged(job, col.finish(), pc)
 			})
 			if err != nil {
 				redErr[p] = err
@@ -115,8 +118,9 @@ func (e *Engine) runStreaming(ctx context.Context, job Job, data []byte, splits 
 			defer mapWg.Done()
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/map-%d", job.Config.Name, i)
+			pc := mapTaskClock(o, job, i)
 			out, tc, err := runWithRetry(job, taskID, func() ([]Segment, Counters, error) {
-				return runMapTask(job, data, split, nparts)
+				return runMapTask(job, data, split, nparts, pc)
 			})
 			if err != nil {
 				taskErr[i] = err
@@ -196,6 +200,9 @@ type collector struct {
 	interimPasses int
 	merged        Segment
 	finished      bool
+	// pc attributes the collector's merge work (interim and final passes)
+	// to its reduce task as merge-fetch phase intervals.
+	pc phaseClock
 }
 
 func newCollector(nsplits, factor int) *collector {
@@ -250,7 +257,9 @@ func (c *collector) mergeChain(start, n int) {
 	case 1:
 		merged = segs[0] // a single non-empty run is already in final order
 	default:
+		t := c.pc.Start()
 		merged = mergeSegs(segs)
+		c.pc.Emit(obs.PhaseMergeFetch, t)
 		c.interimPasses++
 	}
 	c.runs[start] = mergeRun{lo: c.runs[start].lo, hi: c.runs[start+n-1].hi, seg: merged}
@@ -270,7 +279,9 @@ func (c *collector) finish() Segment {
 			segs = append(segs, r.seg)
 		}
 	}
+	t := c.pc.Start()
 	c.merged = mergeSegs(segs)
+	c.pc.Emit(obs.PhaseMergeFetch, t)
 	c.runs = nil
 	return c.merged
 }

@@ -1,6 +1,10 @@
 package mapreduce
 
-import "fmt"
+import (
+	"fmt"
+
+	"heterohadoop/internal/obs"
+)
 
 // ExecuteMapSplit runs the job's mapper over one standalone record-aligned
 // chunk and returns per-partition sorted intermediate runs as flat
@@ -9,6 +13,13 @@ import "fmt"
 // chunks to workers; the chunk is treated as a complete split (no
 // neighbouring-block stitching).
 func ExecuteMapSplit(job Job, chunk []byte, nparts int) ([]Segment, Counters, error) {
+	return ExecuteMapSplitObs(job, chunk, nparts, obs.TaskRef{}, nil)
+}
+
+// ExecuteMapSplitObs is ExecuteMapSplit with task-phase telemetry: phase
+// intervals (map, sort, spill, merge-fetch) are attributed to ref and
+// emitted on o. A nil or disabled observer costs nothing.
+func ExecuteMapSplitObs(job Job, chunk []byte, nparts int, ref obs.TaskRef, o obs.Observer) ([]Segment, Counters, error) {
 	if err := job.Validate(); err != nil {
 		return nil, Counters{}, err
 	}
@@ -18,13 +29,20 @@ func ExecuteMapSplit(job Job, chunk []byte, nparts int) ([]Segment, Counters, er
 	if job.Partitioner == nil {
 		job.Partitioner = HashPartitioner()
 	}
-	return runMapTask(job, chunk, splitRange{start: 0, end: len(chunk)}, nparts)
+	return runMapTask(job, chunk, splitRange{start: 0, end: len(chunk)}, nparts, newPhaseClock(o, ref))
 }
 
 // ExecuteReduce runs the job's reducer over the sorted shuffle segments of
 // one partition — the distributed runtime's reduce-task entry point.
 // Segments must be in map-task order; empty segments are skipped.
 func ExecuteReduce(job Job, segments []Segment) ([]KV, Counters, error) {
+	return ExecuteReduceObs(job, segments, obs.TaskRef{}, nil)
+}
+
+// ExecuteReduceObs is ExecuteReduce with task-phase telemetry: phase
+// intervals (merge-fetch, reduce) are attributed to ref and emitted on o.
+// A nil or disabled observer costs nothing.
+func ExecuteReduceObs(job Job, segments []Segment, ref obs.TaskRef, o obs.Observer) ([]KV, Counters, error) {
 	if err := job.Validate(); err != nil {
 		return nil, Counters{}, err
 	}
@@ -37,7 +55,7 @@ func ExecuteReduce(job Job, segments []Segment) ([]KV, Counters, error) {
 			nonEmpty = append(nonEmpty, s)
 		}
 	}
-	return runReduceTask(job, nonEmpty)
+	return runReduceTask(job, nonEmpty, newPhaseClock(o, ref))
 }
 
 // SplitInput cuts data into record-aligned chunks of roughly blockSize

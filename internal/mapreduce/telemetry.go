@@ -1,0 +1,35 @@
+package mapreduce
+
+import (
+	"heterohadoop/internal/obs"
+)
+
+// telemetry.go threads task-phase telemetry through the engine hot path.
+// The contract mirrors the paper's measurement setup: every task attempt
+// reports how long it spent in each phase (map, sort, spill, merge-fetch,
+// reduce, …) so a trace can be replayed into the per-phase breakdowns and
+// the job critical path (internal/obs/timeline).
+//
+// The no-op path stays allocation-free and clock-free: a disabled observer
+// collapses the clock to its inert zero value (see obs.PhaseClock).
+// BenchmarkNoopObserver and TestNoopPhasePathZeroAlloc pin this.
+
+// phaseClock is the engine's name for the shared phase clock; the zero
+// value is inert and free.
+type phaseClock = obs.PhaseClock
+
+// newPhaseClock returns a clock bound to the observer and task identity, or
+// the inert zero clock when the observer is nil or disabled.
+func newPhaseClock(o obs.Observer, ref obs.TaskRef) phaseClock {
+	return obs.NewPhaseClock(o, ref)
+}
+
+// mapTaskClock builds the phase clock for one in-process map task.
+func mapTaskClock(o obs.Observer, job Job, index int) phaseClock {
+	return newPhaseClock(o, obs.TaskRef{Job: job.Config.Name, Kind: obs.KindMap, Index: index})
+}
+
+// reduceTaskClock builds the phase clock for one in-process reduce task.
+func reduceTaskClock(o obs.Observer, job Job, partition int) phaseClock {
+	return newPhaseClock(o, obs.TaskRef{Job: job.Config.Name, Kind: obs.KindReduce, Index: partition})
+}

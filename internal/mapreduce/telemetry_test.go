@@ -1,0 +1,155 @@
+package mapreduce
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"heterohadoop/internal/obs"
+	"heterohadoop/internal/units"
+)
+
+// telemetryInput is a small but phase-complete workload: enough records to
+// exercise the map loop, sort, and at least one spill when SpillRecords is
+// forced low.
+func telemetryInput() []byte {
+	var b bytes.Buffer
+	for i := 0; i < 64; i++ {
+		b.WriteString("alpha beta gamma delta epsilon zeta\n")
+	}
+	return b.Bytes()
+}
+
+// TestNoopPhasePathZeroAlloc pins the tentpole's zero-cost contract: with no
+// observer installed, the inert phaseClock must not allocate on the hot
+// path — not in start(), not in emit().
+func TestNoopPhasePathZeroAlloc(t *testing.T) {
+	pc := newPhaseClock(nil, obs.TaskRef{})
+	allocs := testing.AllocsPerRun(1000, func() {
+		ts := pc.Start()
+		pc.Emit(obs.PhaseMap, ts)
+		pc.Emit(obs.PhaseSort, ts)
+	})
+	if allocs != 0 {
+		t.Fatalf("inert phaseClock allocated %.1f times per run, want 0", allocs)
+	}
+	// A disabled observer must collapse to the same inert clock.
+	pc = newPhaseClock(obs.Nop, obs.TaskRef{Job: "j", Kind: obs.KindMap})
+	if pc != (phaseClock{}) {
+		t.Fatal("newPhaseClock(Nop) did not collapse to the zero clock")
+	}
+	if !pc.Start().IsZero() {
+		t.Fatal("inert clock read the wall clock")
+	}
+}
+
+// TestPhaseEventsCoverEngineTaxonomy runs a job with a collecting observer
+// and checks every engine-emitted phase shows up with sane attribution.
+func TestPhaseEventsCoverEngineTaxonomy(t *testing.T) {
+	col := obs.NewCollector()
+	ctx := obs.NewContext(context.Background(), col)
+	e := newEngine(t, 64, string(telemetryInput()))
+	cfg := DefaultConfig("telemetry")
+	cfg.NumReducers = 2
+	cfg.SortBuffer = units.Bytes(256) // force mid-task spills so sort/spill/merge all fire
+	if _, err := e.RunContext(ctx, wordCountJob(cfg), "input"); err != nil {
+		t.Fatal(err)
+	}
+	snap := col.Snapshot()
+	for _, key := range []string{
+		obs.PhaseKey(obs.KindJob, obs.PhaseRead),
+		obs.PhaseKey(obs.KindMap, obs.PhaseMap),
+		obs.PhaseKey(obs.KindMap, obs.PhaseSort),
+		obs.PhaseKey(obs.KindMap, obs.PhaseSpill),
+		obs.PhaseKey(obs.KindReduce, obs.PhaseMergeFetch),
+		obs.PhaseKey(obs.KindReduce, obs.PhaseReduce),
+	} {
+		sum, ok := snap.Spans[key]
+		if !ok {
+			t.Errorf("no phase aggregate for %s; have %v", key, spanKeys(snap))
+			continue
+		}
+		if sum.Count <= 0 || sum.Total < 0 {
+			t.Errorf("%s: degenerate summary %+v", key, sum)
+		}
+		hist, ok := snap.Hists[key]
+		if !ok {
+			t.Errorf("no histogram for %s", key)
+		} else if hist.Total() != sum.Count {
+			t.Errorf("%s: histogram total %d != span count %d", key, hist.Total(), sum.Count)
+		}
+	}
+}
+
+func spanKeys(snap obs.Snapshot) []string {
+	keys := make([]string, 0, len(snap.Spans))
+	for k := range snap.Spans {
+		if strings.HasPrefix(k, "phase.") {
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// BenchmarkNoopObserver measures exactly what the phase telemetry adds to
+// the hot path when no observer is installed: building the clock from a
+// bare context and cycling it through the full task-phase taxonomy. It must
+// report 0 allocs/op — the engine-wide allocation fence stays with
+// cmd/benchmr's -maxallocfactor gate, which runs the instrumented record
+// path against the committed BENCH_mapreduce.json baseline.
+func BenchmarkNoopObserver(b *testing.B) {
+	ctx := context.Background()
+	job := wordCountJob(DefaultConfig("noop-obs"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o := obs.FromContext(ctx) // what RunContext does per job
+		pc := mapTaskClock(o, job, i)
+		for p := obs.PhaseRead; p <= obs.PhaseWrite; p++ {
+			ts := pc.Start()
+			pc.Emit(p, ts)
+		}
+	}
+}
+
+// BenchmarkMapTaskNoObserver drives the full map-task record path — parse,
+// map, partition, sort, spill accounting — through the instrumented
+// signatures with the inert zero clock, for benchstat comparison against
+// pre-telemetry engine numbers.
+func BenchmarkMapTaskNoObserver(b *testing.B) {
+	job := wordCountJob(DefaultConfig("noop-obs"))
+	if err := job.Validate(); err != nil {
+		b.Fatal(err)
+	}
+	job.Partitioner = HashPartitioner()
+	chunk := telemetryInput()
+	b.ReportAllocs()
+	b.SetBytes(int64(len(chunk)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		segs, _, err := runMapTask(job, chunk, splitRange{start: 0, end: len(chunk)}, 4, phaseClock{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(segs) != 4 {
+			b.Fatalf("got %d partitions, want 4", len(segs))
+		}
+	}
+}
+
+// BenchmarkPhaseClockEnabled measures the marginal cost of live phase
+// emission into a Collector (two clock reads plus one locked histogram
+// update per phase) so the overhead claim in DESIGN.md stays honest.
+func BenchmarkPhaseClockEnabled(b *testing.B) {
+	col := obs.NewCollector()
+	pc := newPhaseClock(col, obs.TaskRef{Job: "bench", Kind: obs.KindMap, Index: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ts := pc.Start()
+		pc.Emit(obs.PhaseMap, ts)
+	}
+	_ = time.Now()
+}

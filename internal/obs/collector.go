@@ -36,6 +36,10 @@ type Progress struct {
 type Snapshot struct {
 	// Spans maps span name to its duration summary (completed spans only).
 	Spans map[string]SpanSummary
+	// Hists maps span and phase names to their duration distributions over
+	// the fixed log-scale buckets (see HistBound). Phase events aggregate
+	// under PhaseKey names ("phase.map.sort").
+	Hists map[string]Histogram
 	// Counters maps counter name to its accumulated value.
 	Counters map[string]int64
 	// Gauges maps gauge name to its most recent value.
@@ -45,7 +49,8 @@ type Snapshot struct {
 }
 
 // Collector is the in-memory aggregating observer: per-span-name duration
-// summaries, counters, gauges and progress, safe for concurrent emission.
+// summaries and log-bucket histograms, task-phase rollups, counters, gauges
+// and progress, safe for concurrent emission.
 // Use it when the caller wants to inspect what a run did (cache hit rates,
 // tasks reassigned, per-phase span costs) without streaming a trace.
 type Collector struct {
@@ -53,6 +58,7 @@ type Collector struct {
 	nextID   SpanID
 	active   map[SpanID]activeSpan
 	spans    map[string]SpanSummary
+	hists    map[string]*Histogram
 	counters map[string]int64
 	gauges   map[string]float64
 	progress map[string]Progress
@@ -70,6 +76,7 @@ func NewCollector() *Collector {
 	return &Collector{
 		active:   make(map[SpanID]activeSpan),
 		spans:    make(map[string]SpanSummary),
+		hists:    make(map[string]*Histogram),
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		progress: make(map[string]Progress),
@@ -112,6 +119,39 @@ func (c *Collector) SpanEnd(id SpanID) {
 	s.Count++
 	s.Total += d
 	c.spans[sp.name] = s
+	c.observeLocked(sp.name, d)
+}
+
+// observeLocked folds one duration into the name's histogram, creating it
+// on first observation; called under c.mu. The update is O(1): one bucket
+// index computation and two field writes.
+func (c *Collector) observeLocked(name string, d time.Duration) {
+	h := c.hists[name]
+	if h == nil {
+		h = &Histogram{}
+		c.hists[name] = h
+	}
+	h.observe(d)
+}
+
+// TaskPhase folds one phase interval into the per-(kind, phase) summary and
+// histogram — the aggregate form of the paper's phase breakdown. Per-task
+// detail is the TraceWriter's job; the Collector keeps the O(1) rollup.
+func (c *Collector) TaskPhase(ev PhaseEvent) {
+	name := PhaseKey(ev.Task.Kind, ev.Phase)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	s := c.spans[name]
+	if s.Count == 0 || ev.Duration < s.Min {
+		s.Min = ev.Duration
+	}
+	if ev.Duration > s.Max {
+		s.Max = ev.Duration
+	}
+	s.Count++
+	s.Total += ev.Duration
+	c.spans[name] = s
+	c.observeLocked(name, ev.Duration)
 }
 
 // Count adds delta to the named counter.
@@ -155,12 +195,16 @@ func (c *Collector) Snapshot() Snapshot {
 	defer c.mu.Unlock()
 	out := Snapshot{
 		Spans:    make(map[string]SpanSummary, len(c.spans)),
+		Hists:    make(map[string]Histogram, len(c.hists)),
 		Counters: make(map[string]int64, len(c.counters)),
 		Gauges:   make(map[string]float64, len(c.gauges)),
 		Progress: make(map[string]Progress, len(c.progress)),
 	}
 	for k, v := range c.spans {
 		out.Spans[k] = v
+	}
+	for k, v := range c.hists {
+		out.Hists[k] = *v
 	}
 	for k, v := range c.counters {
 		out.Counters[k] = v

@@ -1,0 +1,129 @@
+// Package httpd is the live observability plane: an opt-in HTTP server
+// exposing a Collector's aggregates as Prometheus text (/metrics), the
+// runtime's job and task tables as JSON (/jobs, /tasks), and the standard
+// pprof handlers (/debug/pprof/). One Server runs per process — master and
+// workers each serve their own plane, the way Hadoop daemons each export
+// their own JMX surface.
+//
+// The package stays generic over the runtime: status endpoints are injected
+// as functions returning JSON-marshalable values, so httpd depends only on
+// obs and the runtime wires itself in (see cmd/hadoopd's -http flag).
+package httpd
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+
+	"heterohadoop/internal/obs"
+)
+
+// Server is the live plane. Construct with New, start with Serve, stop
+// with Close.
+type Server struct {
+	col   *obs.Collector
+	jobs  func() any
+	tasks func() any
+
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Option configures a Server.
+type Option func(*Server)
+
+// WithJobStatus injects the /jobs payload (e.g. the master's JobStatus).
+func WithJobStatus(f func() any) Option {
+	return func(s *Server) { s.jobs = f }
+}
+
+// WithTaskStatus injects the /tasks payload (e.g. the master's
+// TaskStatuses).
+func WithTaskStatus(f func() any) Option {
+	return func(s *Server) { s.tasks = f }
+}
+
+// New builds a live plane over the collector. The collector must not be
+// nil: /metrics is the one endpoint every plane has.
+func New(col *obs.Collector, opts ...Option) *Server {
+	s := &Server{col: col}
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// Handler returns the plane's routing, usable without a listener (tests,
+// embedding in an existing server).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", s.handleIndex)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/jobs", s.handleJSON(func() any {
+		if s.jobs == nil {
+			return map[string]any{}
+		}
+		return s.jobs()
+	}))
+	mux.HandleFunc("/tasks", s.handleJSON(func() any {
+		if s.tasks == nil {
+			return []any{}
+		}
+		return s.tasks()
+	}))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Serve binds addr ("127.0.0.1:0" for ephemeral) and serves the plane in
+// the background, returning the bound address. Close stops it.
+func (s *Server) Serve(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("httpd: listen %s: %w", addr, err)
+	}
+	s.ln = ln
+	s.srv = &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go s.srv.Serve(ln) //nolint:errcheck // ErrServerClosed on Close
+	return ln.Addr(), nil
+}
+
+// Close stops the listener; in-flight requests are abandoned (the plane is
+// diagnostic, not transactional).
+func (s *Server) Close() error {
+	if s.srv == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	fmt.Fprint(w, "heterohadoop live plane\n/metrics\n/jobs\n/tasks\n/debug/pprof/\n")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	WriteMetrics(w, s.col.Snapshot())
+}
+
+func (s *Server) handleJSON(payload func() any) http.HandlerFunc {
+	return func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(payload()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package httpd
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"heterohadoop/internal/obs"
+)
+
+// seededCollector returns a collector with one of everything the renderer
+// handles: counter, gauge, progress, a span and a phase histogram.
+func seededCollector() *obs.Collector {
+	c := obs.NewCollector()
+	c.Count("dist.rpc.get_task", 41)
+	c.Count("dist.rpc.get_task", 1)
+	c.Gauge("engine.parallelism", 4)
+	c.Progress("dist.map", 3, 8)
+	sp := obs.Start(c, "dist.task")
+	sp.End()
+	c.TaskPhase(obs.PhaseEvent{
+		Task:     obs.TaskRef{Job: "wc", Kind: obs.KindMap, Index: 2, Worker: "w1", Epoch: 1},
+		Phase:    obs.PhaseSort,
+		Start:    time.Now(),
+		Duration: 3 * time.Millisecond,
+	})
+	return c
+}
+
+func TestMetricsExposition(t *testing.T) {
+	srv := httptest.NewServer(New(seededCollector()).Handler())
+	defer srv.Close()
+	body := get(t, srv.URL+"/metrics")
+
+	for _, want := range []string{
+		"# TYPE hh_dist_rpc_get_task_total counter\nhh_dist_rpc_get_task_total 42\n",
+		"# TYPE hh_engine_parallelism gauge\nhh_engine_parallelism 4\n",
+		`hh_progress_done{label="dist.map"} 3`,
+		`hh_progress_total{label="dist.map"} 8`,
+		"# TYPE hh_dist_task_seconds histogram",
+		"# TYPE hh_phase_map_sort_seconds histogram",
+		"hh_phase_map_sort_seconds_count 1",
+		`_bucket{le="+Inf"} 1`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	c := obs.NewCollector()
+	ref := obs.TaskRef{Job: "wc", Kind: obs.KindReduce}
+	for _, d := range []time.Duration{500 * time.Nanosecond, 2 * time.Millisecond, time.Hour} {
+		c.TaskPhase(obs.PhaseEvent{Task: ref, Phase: obs.PhaseReduce, Duration: d})
+	}
+	srv := httptest.NewServer(New(c).Handler())
+	defer srv.Close()
+	body := get(t, srv.URL+"/metrics")
+	// The smallest bucket (1µs) holds the 500ns observation; +Inf holds all
+	// three. Cumulative counts must never decrease down the bucket list.
+	if !strings.Contains(body, "hh_phase_reduce_reduce_seconds_bucket{le=\"1e-06\"} 1") {
+		t.Errorf("first bucket not cumulative-1:\n%s", body)
+	}
+	if !strings.Contains(body, "hh_phase_reduce_reduce_seconds_bucket{le=\"+Inf\"} 3") {
+		t.Errorf("+Inf bucket not 3:\n%s", body)
+	}
+	if !strings.Contains(body, "hh_phase_reduce_reduce_seconds_count 3") {
+		t.Errorf("count not 3:\n%s", body)
+	}
+}
+
+func TestStatusEndpoints(t *testing.T) {
+	type job struct {
+		Running bool   `json:"running"`
+		Phase   string `json:"phase"`
+	}
+	srv := httptest.NewServer(New(obs.NewCollector(),
+		WithJobStatus(func() any { return job{Running: true, Phase: "map"} }),
+		WithTaskStatus(func() any { return []string{"map-0"} }),
+	).Handler())
+	defer srv.Close()
+
+	var j job
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/jobs")), &j); err != nil {
+		t.Fatal(err)
+	}
+	if !j.Running || j.Phase != "map" {
+		t.Errorf("/jobs = %+v", j)
+	}
+	var tasks []string
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/tasks")), &tasks); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0] != "map-0" {
+		t.Errorf("/tasks = %v", tasks)
+	}
+}
+
+func TestStatusEndpointsWithoutInjection(t *testing.T) {
+	srv := httptest.NewServer(New(obs.NewCollector()).Handler())
+	defer srv.Close()
+	if got := strings.TrimSpace(get(t, srv.URL+"/jobs")); got != "{}" {
+		t.Errorf("/jobs without injection = %q, want {}", got)
+	}
+	if got := strings.TrimSpace(get(t, srv.URL+"/tasks")); got != "[]" {
+		t.Errorf("/tasks without injection = %q, want []", got)
+	}
+}
+
+func TestPprofAndIndexServed(t *testing.T) {
+	srv := httptest.NewServer(New(obs.NewCollector()).Handler())
+	defer srv.Close()
+	if body := get(t, srv.URL+"/debug/pprof/cmdline"); body == "" {
+		t.Error("pprof cmdline empty")
+	}
+	if body := get(t, srv.URL+"/"); !strings.Contains(body, "/metrics") {
+		t.Errorf("index does not list endpoints: %q", body)
+	}
+}
+
+func TestServeBindsEphemeralPort(t *testing.T) {
+	s := New(seededCollector())
+	addr, err := s.Serve("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	body := get(t, "http://"+addr.String()+"/metrics")
+	if !strings.Contains(body, "hh_dist_rpc_get_task_total 42") {
+		t.Errorf("live server metrics missing counter:\n%s", body)
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	for in, want := range map[string]string{
+		"dist.tasks.speculative": "dist_tasks_speculative",
+		"phase.map.merge-fetch":  "phase_map_merge_fetch",
+		"a..b--c":                "a_b_c",
+		"9lives":                 "_9lives",
+		"":                       "unnamed",
+	} {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func get(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

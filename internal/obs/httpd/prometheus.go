@@ -1,0 +1,125 @@
+package httpd
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"heterohadoop/internal/obs"
+)
+
+// prometheus.go renders an obs.Snapshot in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled so the repo takes no client-library
+// dependency. Conventions:
+//
+//   - every series carries the hh_ namespace prefix;
+//   - observer names are sanitized into metric names (dots and dashes
+//     become underscores: "dist.tasks.speculative" ->
+//     hh_dist_tasks_speculative_total);
+//   - counters get the _total suffix, gauges are exported as-is;
+//   - progress pairs become hh_progress_done/hh_progress_total with the
+//     label as a Prometheus label;
+//   - span and phase duration histograms export as histograms in seconds
+//     (_bucket/_sum/_count) over the obs.Histogram log buckets; the _count
+//     equals the span/phase completion count, so no separate count series
+//     is emitted.
+
+// sanitize maps an observer name onto the Prometheus metric charset
+// ([a-zA-Z0-9_:], here without colons). Runs of other characters collapse
+// to single underscores.
+func sanitize(name string) string {
+	out := make([]byte, 0, len(name))
+	lastUnderscore := false
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9')
+		if ok {
+			out = append(out, c)
+			lastUnderscore = false
+			continue
+		}
+		if !lastUnderscore {
+			out = append(out, '_')
+			lastUnderscore = true
+		}
+	}
+	if len(out) == 0 {
+		return "unnamed"
+	}
+	if out[0] >= '0' && out[0] <= '9' {
+		out = append([]byte{'_'}, out...)
+	}
+	return string(out)
+}
+
+// escapeLabel escapes a Prometheus label value.
+func escapeLabel(v string) string {
+	out := make([]byte, 0, len(v))
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			out = append(out, '\\', '\\')
+		case '"':
+			out = append(out, '\\', '"')
+		case '\n':
+			out = append(out, '\\', 'n')
+		default:
+			out = append(out, v[i])
+		}
+	}
+	return string(out)
+}
+
+// sortedKeys returns m's keys sorted, so the exposition is deterministic.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// WriteMetrics renders the snapshot in the Prometheus text format.
+func WriteMetrics(w io.Writer, snap obs.Snapshot) {
+	for _, name := range sortedKeys(snap.Counters) {
+		metric := "hh_" + sanitize(name) + "_total"
+		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", metric, metric, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		metric := "hh_" + sanitize(name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n",
+			metric, metric, strconv.FormatFloat(snap.Gauges[name], 'g', -1, 64))
+	}
+	if len(snap.Progress) > 0 {
+		fmt.Fprint(w, "# TYPE hh_progress_done gauge\n")
+		for _, label := range sortedKeys(snap.Progress) {
+			fmt.Fprintf(w, "hh_progress_done{label=%q} %d\n", escapeLabel(label), snap.Progress[label].Done)
+		}
+		fmt.Fprint(w, "# TYPE hh_progress_total gauge\n")
+		for _, label := range sortedKeys(snap.Progress) {
+			fmt.Fprintf(w, "hh_progress_total{label=%q} %d\n", escapeLabel(label), snap.Progress[label].Total)
+		}
+	}
+	for _, name := range sortedKeys(snap.Hists) {
+		writeHistogram(w, "hh_"+sanitize(name)+"_seconds", snap.Hists[name])
+	}
+}
+
+// writeHistogram renders one duration distribution as a Prometheus
+// histogram in seconds. Buckets are cumulative, as the format requires.
+func writeHistogram(w io.Writer, metric string, h obs.Histogram) {
+	fmt.Fprintf(w, "# TYPE %s histogram\n", metric)
+	var cum int64
+	for i := 0; i < obs.HistBuckets; i++ {
+		cum += h.Counts[i]
+		le := "+Inf"
+		if bound, finite := obs.HistBound(i); finite {
+			le = strconv.FormatFloat(bound.Seconds(), 'g', -1, 64)
+		}
+		fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", metric, le, cum)
+	}
+	fmt.Fprintf(w, "%s_sum %s\n", metric, strconv.FormatFloat(h.Sum.Seconds(), 'g', -1, 64))
+	fmt.Fprintf(w, "%s_count %d\n", metric, h.Total())
+}

@@ -239,6 +239,164 @@ func TestTee(t *testing.T) {
 	o.SpanEnd(424242)
 }
 
+func TestPhaseNamesRoundTrip(t *testing.T) {
+	for p := Phase(0); p < numPhases; p++ {
+		got, ok := ParsePhase(p.String())
+		if !ok || got != p {
+			t.Errorf("ParsePhase(%q) = %v, %v", p.String(), got, ok)
+		}
+	}
+	for _, k := range []TaskKind{KindJob, KindMap, KindReduce} {
+		got, ok := ParseTaskKind(k.String())
+		if !ok || got != k {
+			t.Errorf("ParseTaskKind(%q) = %v, %v", k.String(), got, ok)
+		}
+	}
+	if _, ok := ParsePhase("no-such-phase"); ok {
+		t.Error("unknown phase accepted")
+	}
+	if _, ok := ParseTaskKind("no-such-kind"); ok {
+		t.Error("unknown kind accepted")
+	}
+	if got := PhaseKey(KindMap, PhaseSort); got != "phase.map.sort" {
+		t.Errorf("PhaseKey = %q", got)
+	}
+}
+
+func TestTraceWriterPhaseRecord(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	start := time.Date(2026, 1, 2, 3, 4, 5, 0, time.UTC)
+	tw.TaskPhase(PhaseEvent{
+		Task:     TaskRef{Job: "wordcount", Kind: KindMap, Index: 0, Worker: "w1", Epoch: 2},
+		Phase:    PhaseSort,
+		Start:    start,
+		Duration: 15 * time.Millisecond,
+	})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	events, err := ReadTrace(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 1 {
+		t.Fatalf("got %d events, want 1", len(events))
+	}
+	ev := events[0]
+	if ev.Type != "phase" || ev.Name != "sort" || ev.Job != "wordcount" ||
+		ev.TaskKind != "map" || ev.Task != 0 || ev.Worker != "w1" || ev.Epoch != 2 ||
+		ev.DurationNS != (15*time.Millisecond).Nanoseconds() {
+		t.Errorf("phase event wrong: %+v", ev)
+	}
+	if ev.Start == "" {
+		t.Error("phase event missing start timestamp")
+	}
+}
+
+// TestPhaseZeroValuesSerialized extends the zero-value contract to phase
+// identity: task index 0 and epoch 0 must appear on the wire, so replayers
+// can tell task 0 from an unattributed event.
+func TestPhaseZeroValuesSerialized(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.TaskPhase(PhaseEvent{Task: TaskRef{Job: "j", Kind: KindMap}, Phase: PhaseMap})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	var raw map[string]any
+	if err := json.Unmarshal(bytes.TrimSpace(buf.Bytes()), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"task", "epoch", "duration_ns"} {
+		if _, ok := raw[k]; !ok {
+			t.Errorf("phase record dropped zero-valued %q: %s", k, buf.String())
+		}
+	}
+}
+
+func TestCollectorPhasesAndHistograms(t *testing.T) {
+	c := NewCollector()
+	ref := TaskRef{Job: "j", Kind: KindMap, Index: 3}
+	c.TaskPhase(PhaseEvent{Task: ref, Phase: PhaseMap, Duration: 3 * time.Millisecond})
+	c.TaskPhase(PhaseEvent{Task: ref, Phase: PhaseMap, Duration: 5 * time.Millisecond})
+	c.TaskPhase(PhaseEvent{Task: ref, Phase: PhaseSort, Duration: time.Millisecond})
+
+	s := c.Snapshot()
+	m := s.Spans["phase.map.map"]
+	if m.Count != 2 || m.Total != 8*time.Millisecond || m.Min != 3*time.Millisecond || m.Max != 5*time.Millisecond {
+		t.Errorf("phase.map.map summary wrong: %+v", m)
+	}
+	if s.Spans["phase.map.sort"].Count != 1 {
+		t.Errorf("phase.map.sort summary missing: %+v", s.Spans)
+	}
+	h := s.Hists["phase.map.map"]
+	if h.Total() != 2 || h.Sum != 8*time.Millisecond {
+		t.Errorf("phase histogram wrong: total=%d sum=%v", h.Total(), h.Sum)
+	}
+	// Spans feed histograms too.
+	now := time.Unix(0, 0)
+	c.clock = func() time.Time { return now }
+	id := c.SpanStart("work", nil)
+	now = now.Add(2 * time.Microsecond)
+	c.SpanEnd(id)
+	if got := c.Snapshot().Hists["work"]; got.Total() != 1 || got.Counts[1] != 1 {
+		t.Errorf("span histogram wrong: %+v", got)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{-time.Second, 0},
+		{0, 0},
+		{time.Microsecond, 0},
+		{time.Microsecond + 1, 1},
+		{2 * time.Microsecond, 1},
+		{4 * time.Microsecond, 2},
+		{time.Millisecond, 10},
+		{time.Hour, HistBuckets - 1},
+	}
+	for _, tc := range cases {
+		if got := histBucket(tc.d); got != tc.want {
+			t.Errorf("histBucket(%v) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+	if b, ok := HistBound(0); !ok || b != time.Microsecond {
+		t.Errorf("HistBound(0) = %v, %v", b, ok)
+	}
+	if _, ok := HistBound(HistBuckets - 1); ok {
+		t.Error("overflow bucket must be unbounded")
+	}
+	var h Histogram
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile should be 0")
+	}
+	h.observe(3 * time.Microsecond)
+	h.observe(3 * time.Microsecond)
+	h.observe(100 * time.Hour)
+	if q := h.Quantile(0.5); q != 4*time.Microsecond {
+		t.Errorf("median = %v, want 4µs bound", q)
+	}
+	if q := h.Quantile(1); q <= 0 {
+		t.Errorf("q1 = %v", q)
+	}
+}
+
+func TestTeeForwardsPhases(t *testing.T) {
+	c1, c2 := NewCollector(), NewCollector()
+	o := Tee(c1, c2, NewProgressPrinter(&bytes.Buffer{}))
+	EmitPhase(o, PhaseEvent{Task: TaskRef{Kind: KindReduce}, Phase: PhaseReduce, Duration: time.Millisecond})
+	if c1.SpanCount("phase.reduce.reduce") != 1 || c2.SpanCount("phase.reduce.reduce") != 1 {
+		t.Error("phase not fanned out to both collectors")
+	}
+	// EmitPhase to a non-PhaseObserver must be a silent no-op.
+	EmitPhase(Nop, PhaseEvent{Phase: PhaseMap})
+	EmitPhase(NewProgressPrinter(&bytes.Buffer{}), PhaseEvent{Phase: PhaseMap})
+}
+
 func TestProgressPrinter(t *testing.T) {
 	var buf bytes.Buffer
 	p := NewProgressPrinter(&buf)

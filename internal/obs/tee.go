@@ -77,3 +77,13 @@ func (t *tee) Progress(label string, done, total int) {
 		p.Progress(label, done, total)
 	}
 }
+
+// TaskPhase forwards phase events to every part that implements
+// PhaseObserver; parts that don't simply never see phases.
+func (t *tee) TaskPhase(ev PhaseEvent) {
+	for _, p := range t.parts {
+		if po, ok := p.(PhaseObserver); ok {
+			po.TaskPhase(ev)
+		}
+	}
+}

@@ -1,0 +1,177 @@
+package timeline
+
+import (
+	"sort"
+	"time"
+)
+
+// analysis.go derives the paper's measurements from a replayed run: the
+// per-phase breakdown, the coarse map/sort/shuffle/reduce split the paper
+// reports per workload, straggler detection, and the job critical path.
+
+// PhaseTotal aggregates one (kind, phase) pair across a run.
+type PhaseTotal struct {
+	Kind  string        `json:"kind"`
+	Phase string        `json:"phase"`
+	Count int           `json:"count"`
+	Total time.Duration `json:"total_ns"`
+}
+
+// Breakdown sums every interval by (kind, phase), ordered by descending
+// total so the dominant phases lead the table.
+func (r *Run) Breakdown() []PhaseTotal {
+	type key struct{ kind, phase string }
+	acc := map[key]*PhaseTotal{}
+	var order []key
+	for _, row := range r.Rows {
+		for _, iv := range row.Intervals {
+			k := key{kind: row.Task.Kind, phase: iv.Phase}
+			pt, ok := acc[k]
+			if !ok {
+				pt = &PhaseTotal{Kind: k.kind, Phase: k.phase}
+				acc[k] = pt
+				order = append(order, k)
+			}
+			pt.Count++
+			pt.Total += iv.Duration()
+		}
+	}
+	out := make([]PhaseTotal, 0, len(order))
+	for _, k := range order {
+		out = append(out, *acc[k])
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Total > out[j].Total })
+	return out
+}
+
+// PaperBucketNames orders the coarse phases of the paper's per-workload
+// execution-time split.
+var PaperBucketNames = [4]string{"map", "sort", "shuffle", "reduce"}
+
+// PaperSplit folds the fine-grained taxonomy into the paper's four-way
+// split of task time:
+//
+//	map     <- read + map          (input ingestion and mapper execution)
+//	sort    <- sort + spill        (map-side in-memory sort and spill layout)
+//	shuffle <- merge-fetch + schedule (transport, merge passes, dispatch wait)
+//	reduce  <- reduce + write      (reducer execution and output encode)
+//
+// The result is keyed by PaperBucketNames; buckets with no intervals are
+// present with zero totals so renderers emit a stable table.
+func (r *Run) PaperSplit() map[string]time.Duration {
+	out := map[string]time.Duration{"map": 0, "sort": 0, "shuffle": 0, "reduce": 0}
+	for _, row := range r.Rows {
+		for _, iv := range row.Intervals {
+			switch iv.Phase {
+			case "read", "map":
+				out["map"] += iv.Duration()
+			case "sort", "spill":
+				out["sort"] += iv.Duration()
+			case "merge-fetch", "schedule":
+				out["shuffle"] += iv.Duration()
+			case "reduce", "write":
+				out["reduce"] += iv.Duration()
+			}
+		}
+	}
+	return out
+}
+
+// Stragglers returns the task rows whose busy time exceeds k times the
+// median busy time of same-kind rows in this run — the paper's criterion
+// for tasks that dominate job latency on the little cores. Job-level rows
+// are exempt (there is exactly one). k values at or below zero default
+// to 1.5.
+func (r *Run) Stragglers(k float64) []*Row {
+	if k <= 0 {
+		k = 1.5
+	}
+	byKind := map[string][]time.Duration{}
+	for _, row := range r.Rows {
+		if row.Task.Kind == "job" {
+			continue
+		}
+		byKind[row.Task.Kind] = append(byKind[row.Task.Kind], row.Busy())
+	}
+	medians := map[string]time.Duration{}
+	for kind, ds := range byKind {
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		medians[kind] = ds[len(ds)/2]
+	}
+	var out []*Row
+	for _, row := range r.Rows {
+		med, ok := medians[row.Task.Kind]
+		if !ok || med <= 0 {
+			continue
+		}
+		if float64(row.Busy()) > k*float64(med) {
+			out = append(out, row)
+		}
+	}
+	return out
+}
+
+// Step is one interval on the critical path, with its owning task.
+type Step struct {
+	Task     TaskID   `json:"task"`
+	Interval Interval `json:"interval"`
+}
+
+// CriticalPath walks the run's dependency chain backwards from the
+// latest-ending interval: each step's predecessor is the latest-ending
+// interval that finished at or before the step started — preferring the
+// same task's own earlier interval on ties, since a task's phases are
+// sequentially dependent by construction. The walk stops when no interval
+// ends early enough (the remaining gap is pure scheduling idle, or the path
+// has reached the run start). The result is in execution order; summing its
+// durations gives the shortest this trace could have run with infinite
+// parallelism, and the gap to the wall clock is the schedulable slack.
+func (r *Run) CriticalPath() []Step {
+	var all []Step
+	for _, row := range r.Rows {
+		for _, iv := range row.Intervals {
+			all = append(all, Step{Task: row.Task, Interval: iv})
+		}
+	}
+	if len(all) == 0 {
+		return nil
+	}
+	cur := 0
+	for i := range all {
+		if all[i].Interval.End.After(all[cur].Interval.End) {
+			cur = i
+		}
+	}
+	visited := make([]bool, len(all))
+	visited[cur] = true
+	path := []Step{all[cur]}
+	for {
+		best := -1
+		for i := range all {
+			if visited[i] {
+				// Zero-duration intervals at identical timestamps would
+				// otherwise ping-pong; each interval joins the path once.
+				continue
+			}
+			if all[i].Interval.End.After(all[cur].Interval.Start) {
+				continue
+			}
+			if best < 0 || all[i].Interval.End.After(all[best].Interval.End) ||
+				(all[i].Interval.End.Equal(all[best].Interval.End) &&
+					all[i].Task == all[cur].Task && all[best].Task != all[cur].Task) {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		visited[best] = true
+		path = append(path, all[best])
+		cur = best
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(path)-1; i < j; i, j = i+1, j-1 {
+		path[i], path[j] = path[j], path[i]
+	}
+	return path
+}

@@ -1,0 +1,224 @@
+package timeline
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// render.go turns a replayed run into human output: aligned text tables for
+// the phase breakdown, the paper's four-way split and the critical path, an
+// ASCII Gantt chart, and a machine-readable JSON report.
+
+// phaseGlyphs map each wire phase name to its Gantt bar character.
+var phaseGlyphs = map[string]byte{
+	"read":        'r',
+	"map":         'm',
+	"sort":        's',
+	"spill":       'p',
+	"merge-fetch": 'f',
+	"reduce":      'R',
+	"write":       'w',
+	"schedule":    '.',
+}
+
+// glyph returns the bar character for a phase ('?' for unknown phases, so
+// forward-compatible traces still render).
+func glyph(phase string) byte {
+	if g, ok := phaseGlyphs[phase]; ok {
+		return g
+	}
+	return '?'
+}
+
+// WriteBreakdown renders the run's per-phase table: kind, phase, interval
+// count, total time, and the share of the run's summed phase time.
+func (r *Run) WriteBreakdown(w io.Writer) error {
+	rows := r.Breakdown()
+	var total time.Duration
+	for _, pt := range rows {
+		total += pt.Total
+	}
+	fmt.Fprintf(w, "run %s (epoch %d): wall %s, %d task rows\n",
+		r.Job, r.Epoch, r.Wall().Round(time.Microsecond), len(r.Rows))
+	fmt.Fprintf(w, "  %-7s %-12s %6s %14s %7s\n", "kind", "phase", "count", "total", "share")
+	for _, pt := range rows {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(pt.Total) / float64(total)
+		}
+		fmt.Fprintf(w, "  %-7s %-12s %6d %14s %6.1f%%\n",
+			pt.Kind, pt.Phase, pt.Count, pt.Total.Round(time.Microsecond), share)
+	}
+	return nil
+}
+
+// WritePaperSplit renders the four-way map/sort/shuffle/reduce split the
+// paper reports per workload.
+func (r *Run) WritePaperSplit(w io.Writer) error {
+	split := r.PaperSplit()
+	var total time.Duration
+	for _, d := range split {
+		total += d
+	}
+	fmt.Fprintf(w, "  paper split:")
+	for _, name := range PaperBucketNames {
+		share := 0.0
+		if total > 0 {
+			share = 100 * float64(split[name]) / float64(total)
+		}
+		fmt.Fprintf(w, " %s %s (%.1f%%)", name, split[name].Round(time.Microsecond), share)
+	}
+	fmt.Fprintln(w)
+	return nil
+}
+
+// WriteCriticalPath renders the dependency chain with per-step durations
+// and the path total versus the wall clock.
+func (r *Run) WriteCriticalPath(w io.Writer) error {
+	path := r.CriticalPath()
+	var onPath time.Duration
+	for _, s := range path {
+		onPath += s.Interval.Duration()
+	}
+	fmt.Fprintf(w, "  critical path: %d steps, %s of %s wall\n",
+		len(path), onPath.Round(time.Microsecond), r.Wall().Round(time.Microsecond))
+	for _, s := range path {
+		fmt.Fprintf(w, "    %-24s %-12s %12s\n",
+			taskLabel(s.Task), s.Interval.Phase, s.Interval.Duration().Round(time.Microsecond))
+	}
+	return nil
+}
+
+// WriteStragglers renders the rows Stragglers(k) flags, with their busy
+// time against the same-kind median.
+func (r *Run) WriteStragglers(w io.Writer, k float64) error {
+	rows := r.Stragglers(k)
+	if len(rows) == 0 {
+		fmt.Fprintf(w, "  stragglers (>%gx median): none\n", k)
+		return nil
+	}
+	fmt.Fprintf(w, "  stragglers (>%gx median):\n", k)
+	for _, row := range rows {
+		fmt.Fprintf(w, "    %-24s busy %s over [%s]\n",
+			taskLabel(row.Task), row.Busy().Round(time.Microsecond),
+			row.End.Sub(row.Start).Round(time.Microsecond))
+	}
+	return nil
+}
+
+// WriteGantt renders one lane per task row, width columns wide, each
+// column filled with the glyph of the phase active there (later intervals
+// win overlaps within a row; '-' marks idle time inside the row envelope).
+func (r *Run) WriteGantt(w io.Writer, width int) error {
+	if width < 10 {
+		width = 10
+	}
+	wall := r.Wall()
+	if wall <= 0 {
+		wall = time.Nanosecond
+	}
+	colAt := func(ts time.Time) int {
+		c := int(float64(width) * float64(ts.Sub(r.Start)) / float64(wall))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	fmt.Fprintf(w, "gantt %s (epoch %d), %s wall, 1 col = %s\n",
+		r.Job, r.Epoch, wall.Round(time.Microsecond),
+		(wall / time.Duration(width)).Round(time.Nanosecond))
+	for _, row := range r.Rows {
+		lane := make([]byte, width)
+		for i := range lane {
+			lane[i] = ' '
+		}
+		for i := colAt(row.Start); i <= colAt(row.End); i++ {
+			lane[i] = '-'
+		}
+		for _, iv := range row.Intervals {
+			g := glyph(iv.Phase)
+			for i := colAt(iv.Start); i <= colAt(iv.End); i++ {
+				lane[i] = g
+			}
+		}
+		fmt.Fprintf(w, "  %-24s |%s|\n", taskLabel(row.Task), lane)
+	}
+	fmt.Fprintf(w, "  legend: %s\n", glyphLegend())
+	return nil
+}
+
+// glyphLegend renders "r=read m=map …" in a stable order.
+func glyphLegend() string {
+	phases := make([]string, 0, len(phaseGlyphs))
+	for p := range phaseGlyphs {
+		phases = append(phases, p)
+	}
+	sort.Strings(phases)
+	parts := make([]string, 0, len(phases))
+	for _, p := range phases {
+		parts = append(parts, fmt.Sprintf("%c=%s", phaseGlyphs[p], p))
+	}
+	return strings.Join(parts, " ")
+}
+
+// taskLabel renders a row's identity compactly: "map-3@worker (e2)" with
+// the worker and epoch parts omitted when zero.
+func taskLabel(id TaskID) string {
+	var b strings.Builder
+	b.WriteString(id.Kind)
+	if id.Kind != "job" {
+		fmt.Fprintf(&b, "-%d", id.Index)
+	}
+	if id.Worker != "" {
+		b.WriteByte('@')
+		b.WriteString(id.Worker)
+	}
+	if id.Epoch != 0 {
+		fmt.Fprintf(&b, " (e%d)", id.Epoch)
+	}
+	return b.String()
+}
+
+// Report is the machine-readable rendering of one run's analyses.
+type Report struct {
+	Job          string                   `json:"job"`
+	Epoch        uint64                   `json:"epoch"`
+	WallNS       int64                    `json:"wall_ns"`
+	Rows         int                      `json:"rows"`
+	Breakdown    []PhaseTotal             `json:"breakdown"`
+	PaperSplit   map[string]time.Duration `json:"paper_split_ns"`
+	CriticalPath []Step                   `json:"critical_path"`
+	Stragglers   []*Row                   `json:"stragglers,omitempty"`
+}
+
+// BuildReport assembles the run's full analysis for JSON output.
+func (r *Run) BuildReport(stragglerK float64) Report {
+	return Report{
+		Job:          r.Job,
+		Epoch:        r.Epoch,
+		WallNS:       int64(r.Wall()),
+		Rows:         len(r.Rows),
+		Breakdown:    r.Breakdown(),
+		PaperSplit:   r.PaperSplit(),
+		CriticalPath: r.CriticalPath(),
+		Stragglers:   r.Stragglers(stragglerK),
+	}
+}
+
+// WriteJSON renders every run's Report as one indented JSON array.
+func (t *Trace) WriteJSON(w io.Writer, stragglerK float64) error {
+	reports := make([]Report, 0, len(t.Runs))
+	for _, r := range t.Runs {
+		reports = append(reports, r.BuildReport(stragglerK))
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(reports)
+}

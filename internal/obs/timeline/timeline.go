@@ -1,0 +1,224 @@
+// Package timeline replays a JSONL trace (obs.TraceWriter output) into the
+// paper's analysis artifacts: per-task Gantt rows, per-phase execution-time
+// breakdowns (the map/shuffle/sort/reduce split of Table 3), straggler
+// detection, and a job's critical path.
+//
+// Replay is deliberately lenient: traces come from crashed runs, truncated
+// files and interleaved writers, so any line that does not decode into a
+// usable phase record is counted and skipped, never fatal. FuzzReplay pins
+// the never-panic contract.
+package timeline
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sort"
+	"time"
+
+	"heterohadoop/internal/obs"
+)
+
+// Interval is one phase slice of a task attempt on the wall clock.
+type Interval struct {
+	// Phase is the wire phase name ("map", "merge-fetch", …).
+	Phase string    `json:"phase"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Duration returns the interval's length.
+func (iv Interval) Duration() time.Duration { return iv.End.Sub(iv.Start) }
+
+// TaskID identifies one task attempt: two attempts of the same task (a
+// speculative backup, a post-timeout reissue) differ in Worker, two runs of
+// the same workload in Epoch.
+type TaskID struct {
+	Job    string `json:"job"`
+	Epoch  uint64 `json:"epoch"`
+	Kind   string `json:"kind"` // "job", "map", "reduce"
+	Index  int    `json:"index"`
+	Worker string `json:"worker,omitempty"`
+}
+
+// Row is one task attempt's lane in the Gantt chart: its intervals in
+// start order plus the covering [Start, End] envelope.
+type Row struct {
+	Task      TaskID     `json:"task"`
+	Intervals []Interval `json:"intervals"`
+	Start     time.Time  `json:"start"`
+	End       time.Time  `json:"end"`
+}
+
+// Busy returns the sum of the row's interval durations (its active time,
+// as opposed to the End-Start envelope, which includes gaps).
+func (r *Row) Busy() time.Duration {
+	var d time.Duration
+	for _, iv := range r.Intervals {
+		d += iv.Duration()
+	}
+	return d
+}
+
+// Run is one job execution: every row sharing a (job, epoch) pair. The
+// in-process engine always emits epoch 0; distributed runs carry the
+// master's job generation, so two submissions of the same workload stay
+// separate runs.
+type Run struct {
+	Job   string    `json:"job"`
+	Epoch uint64    `json:"epoch"`
+	Rows  []*Row    `json:"rows"`
+	Start time.Time `json:"start"`
+	End   time.Time `json:"end"`
+}
+
+// Wall returns the run's wall-clock envelope.
+func (r *Run) Wall() time.Duration { return r.End.Sub(r.Start) }
+
+// Trace is a replayed trace: runs in first-seen order plus replay
+// accounting (how much of the input was usable).
+type Trace struct {
+	Runs []*Run `json:"runs"`
+	// Lines is the number of non-empty input lines; Phases the number of
+	// phase records replayed; Skipped the lines dropped as undecodable or
+	// malformed (truncation, interleaving, garbage).
+	Lines   int `json:"lines"`
+	Phases  int `json:"phases"`
+	Skipped int `json:"skipped"`
+}
+
+// Run returns the named run, or nil.
+func (t *Trace) Run(job string, epoch uint64) *Run {
+	for _, r := range t.Runs {
+		if r.Job == job && r.Epoch == epoch {
+			return r
+		}
+	}
+	return nil
+}
+
+// maxLine bounds one trace line; longer lines are skipped, not fatal.
+const maxLine = 4 * 1024 * 1024
+
+// Replay reads a JSONL trace and folds its phase records into runs and
+// rows. Undecodable lines, non-phase records and malformed phase records
+// (unparsable start, negative duration) are skipped and counted; the only
+// error returned is a reader failure. It never panics on malformed input.
+func Replay(r io.Reader) (*Trace, error) {
+	t := &Trace{}
+	runs := map[runKey]*Run{}
+	rows := map[TaskID]*Row{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		t.Lines++
+		var ev obs.TraceEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			t.Skipped++
+			continue
+		}
+		if ev.Type != "phase" {
+			continue // spans/counters/gauges are valid trace content, not lanes
+		}
+		iv, id, ok := phaseInterval(&ev)
+		if !ok {
+			t.Skipped++
+			continue
+		}
+		t.Phases++
+		row, seen := rows[id]
+		if !seen {
+			row = &Row{Task: id, Start: iv.Start, End: iv.End}
+			rows[id] = row
+			key := runKey{job: id.Job, epoch: id.Epoch}
+			run, ok := runs[key]
+			if !ok {
+				run = &Run{Job: id.Job, Epoch: id.Epoch, Start: iv.Start, End: iv.End}
+				runs[key] = run
+				t.Runs = append(t.Runs, run)
+			}
+			run.Rows = append(run.Rows, row)
+		}
+		row.Intervals = append(row.Intervals, iv)
+		if iv.Start.Before(row.Start) {
+			row.Start = iv.Start
+		}
+		if iv.End.After(row.End) {
+			row.End = iv.End
+		}
+	}
+	if err := sc.Err(); err != nil && err != bufio.ErrTooLong {
+		return t, err
+	}
+	for _, run := range t.Runs {
+		run.normalize()
+	}
+	return t, nil
+}
+
+type runKey struct {
+	job   string
+	epoch uint64
+}
+
+// phaseInterval converts one phase record into an interval and task id,
+// rejecting records the analyses cannot use.
+func phaseInterval(ev *obs.TraceEvent) (Interval, TaskID, bool) {
+	if ev.Name == "" || ev.DurationNS < 0 || ev.Task < 0 {
+		return Interval{}, TaskID{}, false
+	}
+	start, err := time.Parse(time.RFC3339Nano, ev.Start)
+	if err != nil {
+		return Interval{}, TaskID{}, false
+	}
+	kind := ev.TaskKind
+	if kind == "" {
+		kind = obs.KindJob.String()
+	}
+	if _, ok := obs.ParseTaskKind(kind); !ok {
+		return Interval{}, TaskID{}, false
+	}
+	iv := Interval{Phase: ev.Name, Start: start, End: start.Add(time.Duration(ev.DurationNS))}
+	id := TaskID{Job: ev.Job, Epoch: ev.Epoch, Kind: kind, Index: ev.Task, Worker: ev.Worker}
+	return iv, id, true
+}
+
+// normalize orders a run's rows (kind, index, worker) and each row's
+// intervals (start time), and settles the run envelope.
+func (r *Run) normalize() {
+	for _, row := range r.Rows {
+		sort.SliceStable(row.Intervals, func(i, j int) bool {
+			return row.Intervals[i].Start.Before(row.Intervals[j].Start)
+		})
+		if row.Start.Before(r.Start) {
+			r.Start = row.Start
+		}
+		if row.End.After(r.End) {
+			r.End = row.End
+		}
+	}
+	rank := func(kind string) int {
+		switch kind {
+		case "job":
+			return 0
+		case "map":
+			return 1
+		default:
+			return 2
+		}
+	}
+	sort.SliceStable(r.Rows, func(i, j int) bool {
+		a, b := r.Rows[i].Task, r.Rows[j].Task
+		if ra, rb := rank(a.Kind), rank(b.Kind); ra != rb {
+			return ra < rb
+		}
+		if a.Index != b.Index {
+			return a.Index < b.Index
+		}
+		return a.Worker < b.Worker
+	})
+}

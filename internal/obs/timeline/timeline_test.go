@@ -1,0 +1,190 @@
+package timeline
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden rendering")
+
+// replayFixture replays testdata/trace.jsonl, the hand-built trace covering
+// the full phase taxonomy, a speculative double attempt, two epochs, and
+// five flavours of malformed line.
+func replayFixture(t *testing.T) *Trace {
+	t.Helper()
+	f, err := os.Open(filepath.Join("testdata", "trace.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	tr, err := Replay(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestReplayFixtureAccounting(t *testing.T) {
+	tr := replayFixture(t)
+	if tr.Lines != 28 || tr.Phases != 22 || tr.Skipped != 5 {
+		t.Errorf("lines/phases/skipped = %d/%d/%d, want 28/22/5", tr.Lines, tr.Phases, tr.Skipped)
+	}
+	if len(tr.Runs) != 2 {
+		t.Fatalf("got %d runs, want 2 (epochs 1 and 2)", len(tr.Runs))
+	}
+	e1 := tr.Run("wc", 1)
+	if e1 == nil || len(e1.Rows) != 5 {
+		t.Fatalf("run wc/1 = %+v, want 5 rows (job, map-0, map-1 x2 attempts, reduce-0)", e1)
+	}
+	// The speculative attempt is its own row: same task index, different
+	// worker.
+	var attempts []string
+	for _, row := range e1.Rows {
+		if row.Task.Kind == "map" && row.Task.Index == 1 {
+			attempts = append(attempts, row.Task.Worker)
+		}
+	}
+	if len(attempts) != 2 || attempts[0] == attempts[1] {
+		t.Errorf("map-1 attempts on workers %v, want two distinct", attempts)
+	}
+	if e2 := tr.Run("wc", 2); e2 == nil || len(e2.Rows) != 2 {
+		t.Errorf("run wc/2 missing or wrong shape: %+v", e2)
+	}
+}
+
+func TestPaperSplitAndCriticalPath(t *testing.T) {
+	e1 := replayFixture(t).Run("wc", 1)
+	split := e1.PaperSplit()
+	want := map[string]time.Duration{
+		"map":     10*time.Millisecond + 150*time.Millisecond, // read + three map attempts
+		"sort":    (5 + 3 + 5 + 3 + 2 + 2) * time.Millisecond,
+		"shuffle": 140*time.Millisecond + (2+2+5+60)*time.Millisecond,
+		"reduce":  20*time.Millisecond + (2+2+1+5)*time.Millisecond,
+	}
+	for name, d := range want {
+		if split[name] != d {
+			t.Errorf("paper split %s = %s, want %s", name, split[name], d)
+		}
+	}
+	path := e1.CriticalPath()
+	var phases []string
+	var total time.Duration
+	for _, s := range path {
+		phases = append(phases, s.Interval.Phase)
+		total += s.Interval.Duration()
+	}
+	wantPath := []string{"read", "schedule", "merge-fetch", "reduce", "write"}
+	if strings.Join(phases, ",") != strings.Join(wantPath, ",") {
+		t.Errorf("critical path %v, want %v", phases, wantPath)
+	}
+	// This trace has no scheduling idle on the chain: the path covers the
+	// whole wall clock.
+	if total != e1.Wall() {
+		t.Errorf("critical path totals %s, want the full wall %s", total, e1.Wall())
+	}
+}
+
+func TestStragglerDetection(t *testing.T) {
+	e1 := replayFixture(t).Run("wc", 1)
+	rows := e1.Stragglers(1.2)
+	if len(rows) != 1 {
+		t.Fatalf("stragglers(1.2) = %d rows, want exactly the slow map-1 attempt", len(rows))
+	}
+	got := rows[0].Task
+	if got.Kind != "map" || got.Index != 1 || got.Worker != "w1" {
+		t.Errorf("straggler = %+v, want map-1@w1", got)
+	}
+	if len(e1.Stragglers(10)) != 0 {
+		t.Error("k=10 should flag nothing")
+	}
+}
+
+// TestGoldenRendering locks the full text rendering — breakdown, paper
+// split, critical path, stragglers, Gantt — byte for byte. Regenerate with
+// `go test ./internal/obs/timeline -run Golden -update` after an
+// intentional format change and review the diff.
+func TestGoldenRendering(t *testing.T) {
+	tr := replayFixture(t)
+	var buf bytes.Buffer
+	for _, run := range tr.Runs {
+		run.WriteBreakdown(&buf)
+		run.WritePaperSplit(&buf)
+		run.WriteCriticalPath(&buf)
+		run.WriteStragglers(&buf, 1.2)
+		run.WriteGantt(&buf, 60)
+	}
+	golden := filepath.Join("testdata", "golden.txt")
+	if *update {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("rendering drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+func TestReplayDegenerateInputs(t *testing.T) {
+	for name, input := range map[string]string{
+		"empty":          "",
+		"only garbage":   "nope\n{{{\n\x00\x01\x02\n",
+		"truncated tail": `{"type":"phase","name":"map","task_kind":"map","start":"2026-01-02T15:04:05Z","duration_ns":5,"task":0,"epoch":0}` + "\n" + `{"type":"phase","na`,
+		"huge line":      strings.Repeat("x", maxLine+10),
+	} {
+		tr, err := Replay(strings.NewReader(input))
+		if err != nil {
+			t.Errorf("%s: %v", name, err)
+			continue
+		}
+		if tr == nil {
+			t.Errorf("%s: nil trace", name)
+		}
+	}
+}
+
+// FuzzReplay pins the never-panic contract over arbitrary byte streams,
+// including interleaved fragments of real trace lines.
+func FuzzReplay(f *testing.F) {
+	data, err := os.ReadFile(filepath.Join("testdata", "trace.jsonl"))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(data)
+	f.Add([]byte(""))
+	f.Add([]byte("{\"type\":\"phase\"}\n"))
+	f.Add([]byte("{\"type\":\"phase\",\"name\":\"map\",\"task_kind\":\"map\",\"start\":\"2026-01-02T15:04:05Z\",\"duration_ns\":-1,\"task\":-3}\n"))
+	half := len(data) / 2
+	f.Add(append(append([]byte{}, data[:half]...), data[half/2:]...)) // interleaved overlap
+	f.Fuzz(func(t *testing.T, b []byte) {
+		tr, err := Replay(bytes.NewReader(b))
+		if err != nil {
+			t.Skip() // reader errors are impossible here; only guard panics
+		}
+		// Whatever was replayed must be internally consistent.
+		for _, run := range tr.Runs {
+			for _, row := range run.Rows {
+				if row.Start.After(row.End) {
+					t.Fatalf("row %+v has Start after End", row.Task)
+				}
+				if len(row.Intervals) == 0 {
+					t.Fatalf("row %+v has no intervals", row.Task)
+				}
+			}
+			_ = run.Breakdown()
+			_ = run.PaperSplit()
+			_ = run.CriticalPath()
+			_ = run.Stragglers(1.5)
+			var sink bytes.Buffer
+			run.WriteGantt(&sink, 40)
+		}
+	})
+}

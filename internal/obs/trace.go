@@ -17,18 +17,28 @@ import (
 //	"count"    — Delta added to the named counter.
 //	"gauge"    — Value of the named gauge.
 //	"progress" — Done and Total for the named label.
+//	"phase"    — one task-phase interval: Name is the phase ("map",
+//	             "sort", "merge-fetch", …), Job/TaskKind/Task/Worker/Epoch
+//	             identify the task attempt, Start and DurationNS the
+//	             interval. The timeline replayer is built over these.
 //
-// The value-bearing fields (DurationNS, Delta, Value, Done, Total) are
-// serialized unconditionally so a legitimate zero — Gauge(name, 0),
-// Progress(label, 0, total) — stays distinguishable from an absent field;
-// consumers dispatch on Type to know which of them are meaningful. Only
-// the span-identity fields (Span, Attrs, Start) are omitted when empty.
+// The value-bearing fields (DurationNS, Delta, Value, Done, Total, Task,
+// Epoch) are serialized unconditionally so a legitimate zero — Gauge(name,
+// 0), Progress(label, 0, total), task index 0 — stays distinguishable from
+// an absent field; consumers dispatch on Type to know which of them are
+// meaningful. Only the string identity fields (Span, Attrs, Start, Job,
+// TaskKind, Worker) are omitted when empty.
 type TraceEvent struct {
 	Type       string            `json:"type"`
 	Name       string            `json:"name"`
 	Span       uint64            `json:"span,omitempty"`
 	Attrs      map[string]string `json:"attrs,omitempty"`
 	Start      string            `json:"start,omitempty"`
+	Job        string            `json:"job,omitempty"`
+	TaskKind   string            `json:"task_kind,omitempty"`
+	Worker     string            `json:"worker,omitempty"`
+	Task       int               `json:"task"`
+	Epoch      uint64            `json:"epoch"`
 	DurationNS int64             `json:"duration_ns"`
 	Delta      int64             `json:"delta"`
 	Value      float64           `json:"value"`
@@ -107,6 +117,25 @@ func (t *TraceWriter) SpanEnd(id SpanID) {
 		Attrs:      sp.attrs,
 		Start:      sp.start.Format(time.RFC3339Nano),
 		DurationNS: now.Sub(sp.start).Nanoseconds(),
+	})
+}
+
+// TaskPhase emits one task-phase interval as a "phase" record — the
+// full-resolution form the timeline replayer reconstructs Gantt rows and
+// critical paths from.
+func (t *TraceWriter) TaskPhase(ev PhaseEvent) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.emit(TraceEvent{
+		Type:       "phase",
+		Name:       ev.Phase.String(),
+		Job:        ev.Task.Job,
+		TaskKind:   ev.Task.Kind.String(),
+		Task:       ev.Task.Index,
+		Worker:     ev.Task.Worker,
+		Epoch:      ev.Task.Epoch,
+		Start:      ev.Start.Format(time.RFC3339Nano),
+		DurationNS: ev.Duration.Nanoseconds(),
 	})
 }
 
