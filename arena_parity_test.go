@@ -130,7 +130,7 @@ func comparePaths(t *testing.T, fast mapreduce.Job, input []byte) {
 	if wantErr != nil {
 		return
 	}
-	if !reflect.DeepEqual(got.Output, want.Output) {
+	if !reflect.DeepEqual(got.Output(), want.Output()) {
 		t.Fatalf("arena output differs from string-path output")
 	}
 	if !reflect.DeepEqual(got.SortedOutput(), want.SortedOutput()) {
@@ -215,7 +215,7 @@ func FuzzStringVsArenaParity(f *testing.F) {
 		if wantErr != nil {
 			return
 		}
-		if !reflect.DeepEqual(got.Output, want.Output) {
+		if !reflect.DeepEqual(got.Output(), want.Output()) {
 			t.Fatalf("streaming arena output differs from string-path barrier output")
 		}
 		gc, wc := got.Counters, want.Counters

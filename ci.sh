@@ -39,7 +39,8 @@ go run ./cmd/tracer -check -artefacts table3 "$trace_file"
 # split and a critical path, and skip nothing — a live-written trace has no
 # excuse for malformed lines.
 go run ./cmd/benchmr -workloads wordcount,naivebayes,grep,sort,terasort,fpgrowth \
-	-size 262144 -out "$smoke_dir/bench-trace.json" -trace "$mr_trace" >/dev/null
+	-size 262144 -out "$smoke_dir/bench-trace.json" -trace "$mr_trace" \
+	-allow-serial >/dev/null
 tracer_out="$(go run ./cmd/tracer "$mr_trace")"
 for wl in wordcount naivebayes grep sort terasort fpgrowth; do
 	echo "$tracer_out" | grep -q "^run $wl/serial "
@@ -111,23 +112,39 @@ worker_pid='' master_pid=''
 # must run one iteration cleanly (catches benchmarks broken by engine
 # refactors without paying for a full measurement); BenchmarkNoopObserver
 # additionally pins the no-observer phase path in the test suite above.
-go test -run '^$' -bench 'BenchmarkEngine|BenchmarkShuffleMerge|BenchmarkNoopObserver' -benchtime 1x ./internal/mapreduce/ .
+go test -run '^$' -bench 'BenchmarkEngine|BenchmarkShuffleMerge|BenchmarkSortedOutput|BenchmarkNoopObserver' -benchtime 1x ./internal/mapreduce/ .
 
 # Benchmark trajectory: re-measure the engine executor and print a
 # benchstat-style delta against the committed BENCH_mapreduce.json (8 MB
 # wordcount rows are the CI-sized comparison points; the 64 MB rows in the
 # baseline are the paper-scale record). The speedup gate arms only on
-# machines with GOMAXPROCS >= 4; the allocation gate is machine-independent
+# machines with at least 4 CPUs; the allocation gate is machine-independent
 # and arms whenever the matching baseline row carries allocs_per_op — it is
 # the regression fence for the flat-arena record path (a revived per-record
 # allocation multiplies allocs/op by orders of magnitude, so 1.5x is
 # generous headroom for noise while catching any real regression).
+# -allow-serial keeps this lane runnable on single-core CI boxes; the
+# committed baseline itself must come from a -cores matrix run.
 go run ./cmd/benchmr -workloads wordcount -size 8388608 \
 	-baseline BENCH_mapreduce.json -out "$bench_file" -minspeedup 2 \
-	-maxallocfactor 1.5
+	-maxallocfactor 1.5 -allow-serial
 
-# String-vs-arena equivalence corpus: the parity fuzz seeds (all six
-# workloads plus adversarial record shapes) already run inside the blanket
-# race gate above; this re-runs them spotlighted, still under -race, so a
-# corpus failure is easy to attribute.
+# Scaling smoke: on machines with real parallelism, re-measure the bench
+# matrix point at GOMAXPROCS=4 with the speedup gate armed — parallel
+# terasort slower than serial is a regression fence for the streaming
+# collector's merge policy. Skipped on smaller machines, where an
+# oversubscribed scheduler measures contention, not scaling.
+if [ "$(getconf _NPROCESSORS_ONLN)" -ge 4 ]; then
+	go run ./cmd/benchmr -workloads terasort,wordcount -size 8388608 \
+		-cores 4 -out "$smoke_dir/bench-scaling.json" -minspeedup 1.0
+fi
+
+# String-vs-arena equivalence corpus plus the output-path parity suite:
+# the parity fuzz seeds (all six workloads plus adversarial record shapes)
+# already run inside the blanket race gate above; this re-runs them
+# spotlighted, still under -race, so a corpus failure is easy to attribute.
+# The second run covers the arena-backed output path end to end: the
+# passthrough identity reduce, the collector's arrival-order property, the
+# merge-based SortedOutput and the Result gob wire round-trip.
 go test -race -run 'TestArenaStringCounterParityAllWorkloads|FuzzStringVsArenaParity' .
+go test -race -run 'TestPassthroughReduceParity|TestPassthroughDisabledUnderGrouping|TestCollectorArrivalOrderProperty|TestCollectorSingleSegmentPartition|TestSortedOutputMergeMatchesSort|TestSortedOutputUnsortedPartitionFallback|TestResultGobRoundTrip|TestStreamingMatchesBarrierConcurrentPublication' ./internal/mapreduce/

@@ -8,22 +8,33 @@
 // (allocs/op and bytes/op, `go test -benchmem` style), so the flat-arena
 // record path's GC pressure is tracked with the same trajectory machinery.
 //
+// With -cores the measurement repeats at each listed GOMAXPROCS value,
+// producing one (workload, mode, gomaxprocs) row per point — the scaling
+// matrix behind the committed baseline. Because a GOMAXPROCS=1-only
+// trajectory once got committed as the baseline (its "parallel" rows
+// measured pure overhead, no parallelism), benchmr refuses to write the
+// JSON unless at least one row was measured at GOMAXPROCS > 1 or the
+// explicit -allow-serial flag is passed.
+//
 // Usage:
 //
 //	benchmr                               # 64 MB wordcount+terasort -> BENCH_mapreduce.json
 //	benchmr -workloads wordcount -size 8388608 -out /tmp/bench.json
+//	benchmr -cores 1,2,4,8                # full scaling matrix
 //	benchmr -baseline BENCH_mapreduce.json -out /tmp/bench.json   # benchstat-style delta
 //
-// With -minspeedup N the command exits non-zero when a workload's
-// parallel/serial speedup falls below N — the trajectory gate. The gate
-// only arms on machines with GOMAXPROCS >= 4; on smaller machines there is
-// no parallelism to measure and the run is recorded but not judged.
+// With -minspeedup N the command exits non-zero when a parallel row
+// measured at GOMAXPROCS >= 4 has a speedup below N — the trajectory gate.
+// The gate only arms on machines with at least 4 CPUs; on smaller machines
+// there is no parallelism to measure and the run is recorded but not
+// judged.
 //
 // With -maxallocfactor F the command exits non-zero when a row's allocs/op
 // exceeds its baseline row's allocs/op by more than the factor F — the
 // allocation-regression gate. Unlike wall time, allocation counts are
-// machine-independent, so this gate arms whenever the baseline row carries
-// allocation data.
+// machine-independent, so this gate arms whenever the baseline carries
+// allocation data (rows match on gomaxprocs, falling back to the baseline's
+// GOMAXPROCS=1 row so old single-point baselines still gate).
 package main
 
 import (
@@ -33,6 +44,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -43,12 +55,13 @@ import (
 	"heterohadoop/internal/workloads"
 )
 
-// Row is one benchmark measurement, one mode of one workload.
+// Row is one benchmark measurement, one mode of one workload at one
+// GOMAXPROCS point.
 type Row struct {
 	Name        string  `json:"name"` // "<workload>/serial" or "<workload>/parallel"
 	InputBytes  int64   `json:"input_bytes"`
 	NsPerOp     int64   `json:"ns_per_op"`
-	Speedup     float64 `json:"speedup"` // serial time / this mode's time
+	Speedup     float64 `json:"speedup"` // serial time / this mode's time, at the same GOMAXPROCS
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
 	GoMaxProcs  int     `json:"gomaxprocs"`
@@ -60,13 +73,21 @@ func main() {
 		names          = flag.String("workloads", "wordcount,terasort", "comma-separated workload names")
 		reducers       = flag.Int("reducers", 4, "reduce-partition count")
 		runs           = flag.Int("runs", 1, "runs per mode; best time wins")
+		cores          = flag.String("cores", "", "comma-separated GOMAXPROCS values to measure at (default: current GOMAXPROCS only)")
 		out            = flag.String("out", "BENCH_mapreduce.json", "output JSON path")
 		baseline       = flag.String("baseline", "", "baseline JSON to print a benchstat-style delta against")
-		minSpeedup     = flag.Float64("minspeedup", 0, "fail if any parallel speedup is below this (armed only at GOMAXPROCS >= 4)")
+		minSpeedup     = flag.Float64("minspeedup", 0, "fail if a parallel row at GOMAXPROCS >= 4 has a speedup below this (armed only with >= 4 CPUs)")
 		maxAllocFactor = flag.Float64("maxallocfactor", 0, "fail if any row's allocs/op exceeds its baseline row's by this factor")
+		allowSerial    = flag.Bool("allow-serial", false, "permit recording a trajectory with no GOMAXPROCS > 1 rows")
 		traceOut       = flag.String("trace", "", "stream a JSONL phase trace of every measured run to this file (analyse with cmd/tracer)")
 	)
 	flag.Parse()
+
+	coreList, err := parseCores(*cores)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchmr: %d CPUs available, measuring at GOMAXPROCS %v\n", runtime.NumCPU(), coreList)
 
 	// With -trace, every measured run streams phase events; jobs are named
 	// "<workload>/<mode>" so cmd/tracer groups each mode as its own run.
@@ -84,6 +105,7 @@ func main() {
 		ob = tw
 	}
 
+	restoreProcs := runtime.GOMAXPROCS(0)
 	var rows []Row
 	for _, name := range strings.Split(*names, ",") {
 		name = strings.TrimSpace(name)
@@ -94,12 +116,20 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		wr, err := benchWorkload(w, units.Bytes(*size), *reducers, *runs, ob)
-		if err != nil {
-			fatal(err)
+		// One generated input per workload, shared across every core point,
+		// so the matrix varies exactly one thing: the scheduler width.
+		input := w.Generate(units.Bytes(*size), 42)
+		for _, n := range coreList {
+			runtime.GOMAXPROCS(n)
+			wr, err := benchWorkload(w, input, *reducers, *runs, ob)
+			if err != nil {
+				runtime.GOMAXPROCS(restoreProcs)
+				fatal(err)
+			}
+			rows = append(rows, wr...)
 		}
-		rows = append(rows, wr...)
 	}
+	runtime.GOMAXPROCS(restoreProcs)
 
 	for _, r := range rows {
 		fmt.Printf("%-24s %12s/op  %6.2fx  %12d allocs/op  %12d B/op  (GOMAXPROCS=%d)\n",
@@ -111,6 +141,19 @@ func main() {
 		printDelta(base, rows)
 	}
 
+	if len(rows) > 0 && !*allowSerial {
+		multi := false
+		for _, r := range rows {
+			if r.GoMaxProcs > 1 {
+				multi = true
+				break
+			}
+		}
+		if !multi {
+			fatal(fmt.Errorf("benchmr: refusing to record a GOMAXPROCS=1-only trajectory to %s: its parallel rows measure overhead, not speedup; pass -cores with a value > 1 or -allow-serial to record anyway", *out))
+		}
+	}
+
 	buf, err := json.MarshalIndent(rows, "", "  ")
 	if err != nil {
 		fatal(err)
@@ -120,13 +163,22 @@ func main() {
 	}
 
 	if *minSpeedup > 0 {
-		if procs := runtime.GOMAXPROCS(0); procs < 4 {
-			fmt.Printf("speedup gate skipped: GOMAXPROCS=%d < 4\n", procs)
+		if cpus := runtime.NumCPU(); cpus < 4 {
+			fmt.Printf("speedup gate skipped: %d CPUs < 4\n", cpus)
 		} else {
+			armed := false
 			for _, r := range rows {
-				if strings.HasSuffix(r.Name, "/parallel") && r.Speedup < *minSpeedup {
-					fatal(fmt.Errorf("benchmr: %s speedup %.2fx below gate %.2fx", r.Name, r.Speedup, *minSpeedup))
+				if !strings.HasSuffix(r.Name, "/parallel") || r.GoMaxProcs < 4 {
+					continue
 				}
+				armed = true
+				if r.Speedup < *minSpeedup {
+					fatal(fmt.Errorf("benchmr: %s speedup %.2fx at GOMAXPROCS=%d below gate %.2fx",
+						r.Name, r.Speedup, r.GoMaxProcs, *minSpeedup))
+				}
+			}
+			if !armed {
+				fmt.Println("speedup gate skipped: no parallel rows measured at GOMAXPROCS >= 4")
 			}
 		}
 	}
@@ -136,7 +188,12 @@ func main() {
 			return
 		}
 		for _, r := range rows {
-			o, ok := base[rowKey{r.Name, r.InputBytes}]
+			o, ok := base[rowKey{r.Name, r.InputBytes, r.GoMaxProcs}]
+			if !ok {
+				// Allocation counts are core-count-independent; an old
+				// single-point baseline still gates every matrix row.
+				o, ok = base[rowKey{r.Name, r.InputBytes, 1}]
+			}
 			if !ok || o.AllocsPerOp <= 0 {
 				continue // baseline predates allocation recording for this row
 			}
@@ -148,6 +205,30 @@ func main() {
 	}
 }
 
+// parseCores parses the -cores flag into an ordered GOMAXPROCS list. An
+// empty flag means a single point at the current GOMAXPROCS.
+func parseCores(s string) ([]int, error) {
+	if strings.TrimSpace(s) == "" {
+		return []int{runtime.GOMAXPROCS(0)}, nil
+	}
+	var list []int
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		n, err := strconv.Atoi(f)
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("benchmr: bad -cores value %q: want positive integers", f)
+		}
+		list = append(list, n)
+	}
+	if len(list) == 0 {
+		return nil, fmt.Errorf("benchmr: -cores lists no values")
+	}
+	return list, nil
+}
+
 // measurement is one timed run's cost: wall time plus the heap allocation
 // profile observed across the run.
 type measurement struct {
@@ -156,11 +237,11 @@ type measurement struct {
 	bytes   int64
 }
 
-// benchWorkload measures one workload in both executor modes over the same
-// generated input. A non-nil observer receives the phase trace of every
-// run, with the job named "<workload>/<mode>".
-func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int, ob obs.Observer) ([]Row, error) {
-	input := w.Generate(size, 42)
+// benchWorkload measures one workload in both executor modes over the given
+// input at the current GOMAXPROCS. A non-nil observer receives the phase
+// trace of every run, with the job named "<workload>/<mode>".
+func benchWorkload(w workloads.Workload, input []byte, reducers, runs int, ob obs.Observer) ([]Row, error) {
+	size := units.Bytes(len(input))
 	// Enough splits that every slot has work for several waves.
 	block := size / 16
 	if block < 4*units.KB {
@@ -224,10 +305,12 @@ func benchWorkload(w workloads.Workload, size units.Bytes, reducers, runs int, o
 	}, nil
 }
 
-// rowKey matches measurement rows across runs by name and input size.
+// rowKey matches measurement rows across runs by name, input size and
+// GOMAXPROCS point.
 type rowKey struct {
-	name string
-	size int64
+	name  string
+	size  int64
+	procs int
 }
 
 // loadBaseline reads a prior JSON record into a lookup map; a missing or
@@ -248,26 +331,26 @@ func loadBaseline(path string) map[rowKey]Row {
 	}
 	old := make(map[rowKey]Row, len(base))
 	for _, r := range base {
-		old[rowKey{r.Name, r.InputBytes}] = r
+		old[rowKey{r.Name, r.InputBytes, r.GoMaxProcs}] = r
 	}
 	return old
 }
 
 // printDelta prints a benchstat-style old/new comparison against a prior
-// JSON record. Rows are matched by name and input size; unmatched rows on
-// either side are reported, not silently dropped.
+// JSON record. Rows are matched by name, input size and GOMAXPROCS;
+// unmatched rows on either side are reported, not silently dropped.
 func printDelta(old map[rowKey]Row, rows []Row) {
 	unmatched := make(map[rowKey]bool, len(old))
 	for k := range old {
 		unmatched[k] = true
 	}
-	fmt.Printf("\n%-24s %14s %14s %8s %14s %14s %8s\n",
-		"name", "old/op", "new/op", "delta", "old-allocs", "new-allocs", "delta")
+	fmt.Printf("\n%-24s %6s %14s %14s %8s %14s %14s %8s\n",
+		"name", "procs", "old/op", "new/op", "delta", "old-allocs", "new-allocs", "delta")
 	for _, r := range rows {
-		k := rowKey{r.Name, r.InputBytes}
+		k := rowKey{r.Name, r.InputBytes, r.GoMaxProcs}
 		o, ok := old[k]
 		if !ok {
-			fmt.Printf("%-24s %14s %14s %8s %14s %14d %8s\n", r.Name, "-",
+			fmt.Printf("%-24s %6d %14s %14s %8s %14s %14d %8s\n", r.Name, r.GoMaxProcs, "-",
 				time.Duration(r.NsPerOp).Round(time.Millisecond).String(), "new", "-", r.AllocsPerOp, "new")
 			continue
 		}
@@ -276,14 +359,14 @@ func printDelta(old map[rowKey]Row, rows []Row) {
 			allocDelta = fmt.Sprintf("%+.1f%%", 100*(float64(r.AllocsPerOp)-float64(o.AllocsPerOp))/float64(o.AllocsPerOp))
 		}
 		delta := 100 * (float64(r.NsPerOp) - float64(o.NsPerOp)) / float64(o.NsPerOp)
-		fmt.Printf("%-24s %14s %14s %+7.1f%% %14d %14d %8s\n", r.Name,
+		fmt.Printf("%-24s %6d %14s %14s %+7.1f%% %14d %14d %8s\n", r.Name, r.GoMaxProcs,
 			time.Duration(o.NsPerOp).Round(time.Millisecond).String(),
 			time.Duration(r.NsPerOp).Round(time.Millisecond).String(), delta,
 			o.AllocsPerOp, r.AllocsPerOp, allocDelta)
 		delete(unmatched, k)
 	}
 	for k := range unmatched {
-		fmt.Printf("%-24s (baseline row not measured in this run)\n", k.name)
+		fmt.Printf("%-24s (baseline row at gomaxprocs=%d not measured in this run)\n", k.name, k.procs)
 	}
 }
 

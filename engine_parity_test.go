@@ -54,7 +54,7 @@ func TestStreamingShuffleParityAllWorkloads(t *testing.T) {
 			want := runWorkload(t, w, input, true, 1)
 			for _, par := range []int{1, 0} { // serial and one-slot-per-CPU
 				got := runWorkload(t, w, input, false, par)
-				if !reflect.DeepEqual(got.Output, want.Output) {
+				if !reflect.DeepEqual(got.Output(), want.Output()) {
 					t.Fatalf("parallelism %d: streaming output differs from barrier output", par)
 				}
 				if !reflect.DeepEqual(got.SortedOutput(), want.SortedOutput()) {

@@ -46,7 +46,7 @@ func startCluster(t *testing.T, n int, timeout time.Duration) (*Master, []*Worke
 func outputCounts(t *testing.T, res *mapreduce.Result) map[string]int {
 	t.Helper()
 	out := map[string]int{}
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			n, err := strconv.Atoi(kv.Value)
 			if err != nil {
@@ -112,7 +112,7 @@ func TestDistributedTeraSortGlobalOrder(t *testing.T) {
 	wg.Wait()
 
 	var keys []string
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			keys = append(keys, kv.Key)
 		}

@@ -272,18 +272,19 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 	defer m.mu.Unlock()
 	m.running = false
 	m.phase = "idle"
-	// Decode the partition outputs into string records once, at the public
-	// Result boundary; everything upstream stayed in wire form.
-	output := make([][]mapreduce.KV, len(m.redOutputs))
+	// Decode the partition outputs back to flat segments at the public
+	// Result boundary; string records are never materialized — a caller
+	// that wants them pays at Result.Output time.
+	output := make([]mapreduce.Segment, len(m.redOutputs))
 	for p, blob := range m.redOutputs {
 		seg, err := mapreduce.DecodeSegment(blob)
 		if err != nil {
 			m.clearJobLocked()
 			return nil, fmt.Errorf("dist: job %s: partition %d output: %w", desc.Workload, p, err)
 		}
-		output[p] = seg.KVs()
+		output[p] = seg
 	}
-	res := &mapreduce.Result{Output: output, Counters: m.counters}
+	res := mapreduce.NewResult(output, m.counters)
 	res.Counters.MapTasks = len(chunks)
 	res.Counters.ReduceTasks = desc.NumReducers
 	m.clearJobLocked()

@@ -368,7 +368,7 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 		}
 		parts = append(parts, seg)
 	}
-	out, counters, err := mapreduce.ExecuteReduceObs(job, parts, ref, w.ob)
+	out, counters, err := mapreduce.ExecuteReduceSegObs(job, parts, ref, w.ob)
 	if err != nil {
 		w.reportFailure(task, err)
 		return fmt.Errorf("dist: worker %s reduce %d: %w", w.ID, task.Seq, err)
@@ -377,7 +377,9 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	w.tasksRun++
 	w.mu.Unlock()
 	tWrite := pc.Start()
-	blob := mapreduce.EncodeSegment(mapreduce.SegmentFromKVs(out))
+	// The reducer's output is already a flat segment; encoding it is a
+	// header write plus one payload copy — no []KV round-trip.
+	blob := mapreduce.EncodeSegment(out)
 	pc.Emit(obs.PhaseWrite, tWrite)
 	return w.client.Call("Master.CompleteReduce", ReduceDone{
 		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Partition: task.Partition,

@@ -69,6 +69,19 @@ type StreamReducer interface {
 	ReduceStream(key []byte, values *ValueIter, emit ByteEmitter) error
 }
 
+// PassthroughReducer marks a reducer as an identity pass-through: for every
+// key group it emits exactly its input records, unchanged and in order.
+// The engine detects the marker by type assertion and skips reduce-side
+// record processing entirely when no Grouping comparator is installed —
+// the partition's output IS its merged shuffle stream, zero copies
+// (terasort and sort, whose reducers are pass-throughs, pay no per-record
+// reduce cost at all). Passthrough must return a constant; implementations
+// returning false run the ordinary reduce loop.
+type PassthroughReducer interface {
+	Reducer
+	Passthrough() bool
+}
+
 // MapperFunc adapts a function to the Mapper interface.
 type MapperFunc func(key, value string, emit Emitter) error
 
@@ -101,11 +114,16 @@ func (identityMapper) MapBytes(_ int, line []byte, emit ByteEmitter) error {
 }
 
 // IdentityReducer emits each value of each key unchanged. The returned
-// reducer implements StreamReducer, so identity jobs ride the arena fast
-// path.
+// reducer implements StreamReducer and PassthroughReducer, so identity
+// jobs (sort, terasort) ride the arena fast path and skip reduce-side
+// record processing entirely.
 func IdentityReducer() Reducer { return identityReducer{} }
 
 type identityReducer struct{}
+
+// Passthrough marks the identity reducer for the engine's zero-copy
+// reduce path.
+func (identityReducer) Passthrough() bool { return true }
 
 func (identityReducer) Reduce(key string, values []string, emit Emitter) error {
 	for _, v := range values {

@@ -79,6 +79,20 @@ func (s Segment) KVs() []KV {
 	return out
 }
 
+// clone copies the segment into exactly-sized fresh buffers, detaching it
+// from any pooled arena it aliases. Cost: two allocations regardless of
+// record count.
+func (s Segment) clone() Segment {
+	if len(s.meta) == 0 {
+		return Segment{}
+	}
+	data := make([]byte, len(s.data))
+	copy(data, s.data)
+	meta := make([]recMeta, len(s.meta))
+	copy(meta, s.meta)
+	return Segment{data: data, meta: meta}
+}
+
 // SegmentFromKVs builds a flat segment from string records — the boundary
 // from the public []KV world into the arena engine (tests, wire compat).
 func SegmentFromKVs(kvs []KV) Segment {

@@ -15,26 +15,6 @@ import (
 	"heterohadoop/internal/units"
 )
 
-// Result is the outcome of a job run.
-type Result struct {
-	// Output holds one sorted slice per reduce partition. For map-only
-	// jobs it holds one slice per map task (Hadoop's per-map output files).
-	Output [][]KV
-	// Counters are the aggregated job statistics.
-	Counters Counters
-}
-
-// SortedOutput concatenates all partitions and sorts globally by key — a
-// convenience for assertions and small outputs.
-func (r *Result) SortedOutput() []KV {
-	var out []KV
-	for _, p := range r.Output {
-		out = append(out, p...)
-	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
-	return out
-}
-
 // Engine executes jobs against an HDFS store.
 type Engine struct {
 	store *hdfs.Store
@@ -174,11 +154,11 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 	}
 
 	if mapOnly {
-		out := make([][]KV, len(splits))
+		out := make([]Segment, len(splits))
 		for i, mo := range mapOutputs {
-			out[i] = mo[0].KVs()
+			out[i] = mo[0]
 		}
-		return &Result{Output: out, Counters: *total}, nil
+		return newResult(out, *total), nil
 	}
 
 	// ---- Shuffle: route each map task's partition p to reduce task p.
@@ -201,7 +181,7 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 
 	// ---- Reduce phase.
 	var (
-		output      = make([][]KV, nparts)
+		output      = make([]Segment, nparts)
 		redErr      = make([]error, nparts)
 		redCounters = make([]Counters, nparts)
 		redDone     = make([]bool, nparts)
@@ -224,7 +204,7 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
 			pc := reduceTaskClock(o, job, p)
-			out, tc, err := runWithRetry(job, taskID, func() ([]KV, Counters, error) {
+			out, tc, err := runWithRetry(job, taskID, func() (Segment, Counters, error) {
 				return runReduceTask(job, shuffled[p], pc)
 			})
 			if err != nil {
@@ -251,7 +231,7 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 		return &Result{Counters: *total}, fmt.Errorf("mapreduce: %s: %w", job.Config.Name, ctxErr)
 	}
 
-	return &Result{Output: output, Counters: *total}, nil
+	return newResult(output, *total), nil
 }
 
 // runWithRetry executes a task body, consulting the failure injector and
@@ -556,7 +536,7 @@ func combineInto(job Job, sorted Segment, out *arena, c *Counters) error {
 
 // runReduceTask merges the sorted shuffle segments for one partition and
 // applies the reducer per key group.
-func runReduceTask(job Job, segments []Segment, pc phaseClock) ([]KV, Counters, error) {
+func runReduceTask(job Job, segments []Segment, pc phaseClock) (Segment, Counters, error) {
 	tMerge := pc.Start()
 	merged := mergeSegs(segments)
 	pc.Emit(obs.PhaseMergeFetch, tMerge)
@@ -564,26 +544,57 @@ func runReduceTask(job Job, segments []Segment, pc phaseClock) ([]KV, Counters, 
 }
 
 // reduceMerged applies the reducer per key group over one partition's fully
-// merged record stream. The streaming path calls it directly with the
+// merged record stream, emitting into a pooled flat arena — no per-record
+// KV or string is allocated; the returned segment costs two allocations
+// regardless of record count. The streaming path calls it directly with the
 // incrementally merged stream; the barrier path goes through runReduceTask.
 // Reducers implementing StreamReducer get the group's values streamed; the
 // string API gets a pooled values slice reused across groups and a key
 // string materialized once per group.
-func reduceMerged(job Job, merged Segment, pc phaseClock) ([]KV, Counters, error) {
+//
+// Identity reducers that declare themselves via PassthroughReducer skip the
+// group loop entirely when no Grouping comparator is installed: their
+// output IS the merged input, returned as-is with zero copies (mergeSegs
+// always hands back a freshly built segment, so ownership transfer is
+// safe). Counters match the slow path exactly — groups are counted with
+// one adjacent-equality scan.
+func reduceMerged(job Job, merged Segment, pc phaseClock) (Segment, Counters, error) {
 	var c Counters
 	n := merged.Len()
 	c.ReduceInputRecords = int64(n)
 	tReduce := pc.Start()
 	defer func() { pc.Emit(obs.PhaseReduce, tReduce) }()
 
-	var out []KV
-	record := func(kv KV) {
-		out = append(out, kv)
-		c.ReduceOutputRecords++
-		c.ReduceOutputBytes += kv.Bytes()
+	if pr, ok := job.Reducer.(PassthroughReducer); ok && pr.Passthrough() && job.Grouping == nil {
+		for i := 0; i < n; {
+			j := i + 1
+			k0 := merged.key(i)
+			for j < n && bytes.Equal(merged.key(j), k0) {
+				j++
+			}
+			c.ReduceInputGroups++
+			i = j
+		}
+		c.ReduceOutputRecords = int64(n)
+		c.ReduceOutputBytes = merged.Bytes()
+		return merged, c, nil
 	}
-	emitB := ByteEmitter(func(k, v []byte) { record(KV{Key: string(k), Value: string(v)}) })
-	emitS := Emitter(func(k, v string) { record(KV{Key: k, Value: v}) })
+
+	out := arenaPool.Get().(*arena)
+	defer func() {
+		out.reset()
+		arenaPool.Put(out)
+	}()
+	emitB := ByteEmitter(func(k, v []byte) {
+		out.appendBytes(k, v)
+		c.ReduceOutputRecords++
+		c.ReduceOutputBytes += units.Bytes(len(k) + len(v) + recordOverhead)
+	})
+	emitS := Emitter(func(k, v string) {
+		out.append(k, v)
+		c.ReduceOutputRecords++
+		c.ReduceOutputBytes += units.Bytes(len(k) + len(v) + recordOverhead)
+	})
 
 	sr, stream := job.Reducer.(StreamReducer)
 	var valp *[]string
@@ -596,11 +607,27 @@ func reduceMerged(job Job, merged Segment, pc phaseClock) ([]KV, Counters, error
 	}
 	for i := 0; i < n; {
 		// Find the group's end. Grouping comparators are a string contract
-		// (secondary sort); the default is exact key equality on bytes.
+		// (secondary sort); the default is exact key equality on bytes. The
+		// group-leader string ki is materialized at most once per group and
+		// shared between the comparator probes and the string Reduce call;
+		// probe strings are reused across bytes-equal consecutive records.
 		j := i + 1
+		var ki string
+		if job.Grouping != nil || !stream {
+			ki = string(merged.key(i))
+		}
 		if job.Grouping != nil {
-			ki := string(merged.key(i))
-			for j < n && job.Grouping(string(merged.key(j)), ki) {
+			var probeB []byte
+			var probe string
+			for j < n {
+				kj := merged.key(j)
+				if probeB == nil || !bytes.Equal(kj, probeB) {
+					probe = string(kj)
+					probeB = kj
+				}
+				if !job.Grouping(probe, ki) {
+					break
+				}
 				j++
 			}
 		} else {
@@ -620,14 +647,14 @@ func reduceMerged(job Job, merged Segment, pc phaseClock) ([]KV, Counters, error
 				values = append(values, string(merged.val(k)))
 			}
 			*valp = values
-			err = job.Reducer.Reduce(string(merged.key(i)), values, emitS)
+			err = job.Reducer.Reduce(ki, values, emitS)
 		}
 		if err != nil {
-			return nil, c, fmt.Errorf("mapreduce: %s: reduce: %w", job.Config.Name, err)
+			return Segment{}, c, fmt.Errorf("mapreduce: %s: reduce: %w", job.Config.Name, err)
 		}
 		i = j
 	}
-	return out, c, nil
+	return out.seg().clone(), c, nil
 }
 
 // mergePasses returns the number of multi-pass merge rounds Hadoop performs

@@ -53,7 +53,7 @@ func newEngine(t *testing.T, blockSize units.Bytes, input string) *Engine {
 func outputMap(t *testing.T, res *Result) map[string]string {
 	t.Helper()
 	m := make(map[string]string)
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			if prev, dup := m[kv.Key]; dup {
 				t.Fatalf("duplicate output key %q (values %q and %q)", kv.Key, prev, kv.Value)
@@ -205,7 +205,7 @@ func TestSortJobGlobalOrder(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := res.Output[0]
+	out := res.Output()[0]
 	if len(out) != len(lines) {
 		t.Fatalf("output has %d records, want %d", len(out), len(lines))
 	}
@@ -242,7 +242,7 @@ func TestRangePartitionerPreservesGlobalOrderAcrossReducers(t *testing.T) {
 	}
 	// Concatenating partitions in order must yield the globally sorted data.
 	var got []string
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			got = append(got, kv.Key)
 		}
@@ -369,7 +369,7 @@ func TestMapOnlyJob(t *testing.T) {
 		t.Errorf("map-only job ran %d reduce tasks", res.Counters.ReduceTasks)
 	}
 	var words []string
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			words = append(words, kv.Key)
 		}
@@ -699,7 +699,7 @@ func TestPipelineTwoStages(t *testing.T) {
 	if len(res.StageCounters) != 2 {
 		t.Fatalf("got %d stage counters", len(res.StageCounters))
 	}
-	out := res.Final.Output[0]
+	out := res.Final.Output()[0]
 	if len(out) != 3 {
 		t.Fatalf("final output has %d records, want 3 words", len(out))
 	}
@@ -734,10 +734,10 @@ func TestPipelineErrors(t *testing.T) {
 }
 
 func TestMaterializeOutput(t *testing.T) {
-	res := &Result{Output: [][]KV{
+	res := ResultFromKVs([][]KV{
 		{{Key: "a", Value: "1"}},
 		{{Key: "b", Value: ""}, {Key: "c", Value: "3"}},
-	}}
+	}, Counters{})
 	got := string(MaterializeOutput(res))
 	want := "a\t1\nb\nc\t3\n"
 	if got != want {

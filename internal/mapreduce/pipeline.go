@@ -1,7 +1,6 @@
 package mapreduce
 
 import (
-	"bytes"
 	"fmt"
 
 	"heterohadoop/internal/hdfs"
@@ -70,20 +69,29 @@ func (e *Engine) RunPipeline(stages []Stage, input string) (*PipelineResult, err
 }
 
 // MaterializeOutput renders a result as the "key<TAB>value" lines a
-// follow-up job consumes, partitions concatenated in order.
+// follow-up job consumes, partitions concatenated in order. It walks the
+// result's flat segments directly — no per-record string is materialized —
+// and pre-sizes the buffer from the segments' O(1) byte accounting.
 func MaterializeOutput(res *Result) []byte {
-	var buf bytes.Buffer
-	for _, part := range res.Output {
-		for _, kv := range part {
-			buf.WriteString(kv.Key)
-			if kv.Value != "" {
-				buf.WriteByte('\t')
-				buf.WriteString(kv.Value)
+	size := 0
+	for p := 0; p < res.NumPartitions(); p++ {
+		seg := res.Partition(p)
+		// Payload plus worst-case two separator bytes per record.
+		size += len(seg.data) + 2*seg.Len()
+	}
+	buf := make([]byte, 0, size)
+	for p := 0; p < res.NumPartitions(); p++ {
+		seg := res.Partition(p)
+		for i := 0; i < seg.Len(); i++ {
+			buf = append(buf, seg.key(i)...)
+			if v := seg.val(i); len(v) > 0 {
+				buf = append(buf, '\t')
+				buf = append(buf, v...)
 			}
-			buf.WriteByte('\n')
+			buf = append(buf, '\n')
 		}
 	}
-	return buf.Bytes()
+	return buf
 }
 
 // RunToStore executes the job and materializes its output back into the

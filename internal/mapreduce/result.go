@@ -1,0 +1,164 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"sort"
+)
+
+// result.go is the public face of a finished job. Since the output path
+// went arena-backed, a Result carries its records as flat per-partition
+// Segments — the same representation the map, shuffle, merge and reduce
+// layers use — and only materializes string records when a caller actually
+// asks for them. The engine itself never builds a KV on the hot path; the
+// []KV world starts here, on demand.
+
+// Result is the outcome of a job run. Output records are held as flat
+// arena-backed segments (one per reduce partition, or one per map task for
+// map-only jobs); Output and SortedOutput materialize string records on
+// demand, so jobs whose callers consume counters, segments or materialized
+// bytes never pay a per-record allocation.
+type Result struct {
+	// Counters are the aggregated job statistics.
+	Counters Counters
+
+	parts []Segment
+}
+
+// newResult wraps per-partition segments and counters, package-internal.
+func newResult(parts []Segment, c Counters) *Result {
+	return &Result{Counters: c, parts: parts}
+}
+
+// NewResult builds a Result from per-partition flat segments — the
+// constructor distributed runtimes use after decoding wire-form reduce
+// outputs. The segments are retained, not copied.
+func NewResult(partitions []Segment, c Counters) *Result {
+	return newResult(partitions, c)
+}
+
+// ResultFromKVs builds a Result from string records, one slice per
+// partition — the boundary from the legacy []KV world, kept for tests and
+// synthetic results.
+func ResultFromKVs(output [][]KV, c Counters) *Result {
+	parts := make([]Segment, len(output))
+	for i, p := range output {
+		parts[i] = SegmentFromKVs(p)
+	}
+	return newResult(parts, c)
+}
+
+// NumPartitions returns the number of output partitions.
+func (r *Result) NumPartitions() int { return len(r.parts) }
+
+// Partition returns partition p's records as a flat segment, without
+// materializing strings. The segment aliases the result's buffers.
+func (r *Result) Partition(p int) Segment { return r.parts[p] }
+
+// Output materializes the job output as string records, one sorted slice
+// per reduce partition (per map task for map-only jobs). Each call builds
+// fresh slices; callers that only need bytes should use Partition or
+// MaterializeOutput instead.
+func (r *Result) Output() [][]KV {
+	if r.parts == nil {
+		return nil
+	}
+	out := make([][]KV, len(r.parts))
+	for i, p := range r.parts {
+		out[i] = p.KVs()
+	}
+	return out
+}
+
+// SortedOutput returns all output records globally sorted by key — a
+// convenience for assertions and small outputs. Partitions are already
+// sorted for the studied workloads, so the common case is a k-way merge on
+// the pooled loser tree (O(n log k) byte comparisons); a partition whose
+// reducer emitted out-of-order keys falls back to a global stable sort,
+// preserving the legacy concatenate-then-sort semantics exactly.
+func (r *Result) SortedOutput() []KV {
+	sorted := true
+	for _, p := range r.parts {
+		if !segmentSorted(p) {
+			sorted = false
+			break
+		}
+	}
+	if sorted {
+		segs := make([]Segment, 0, len(r.parts))
+		for _, p := range r.parts {
+			if p.Len() > 0 {
+				segs = append(segs, p)
+			}
+		}
+		// Stable merge with ties broken by segment slot = partition order,
+		// exactly what a stable sort over the concatenation produces.
+		return mergeSegs(segs).KVs()
+	}
+	var out []KV
+	for _, p := range r.parts {
+		out = append(out, p.KVs()...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// segmentSorted reports whether the segment's keys are non-decreasing.
+func segmentSorted(s Segment) bool {
+	for i := 1; i < s.Len(); i++ {
+		if bytes.Compare(s.key(i-1), s.key(i)) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// wireResult is the gob envelope: counters ride gob, partitions ride the
+// binary segment wire format — the same blobs the shuffle ships — instead
+// of gob reflecting over every KV.
+type wireResult struct {
+	Counters Counters
+	Parts    [][]byte
+}
+
+// GobEncode implements gob.GobEncoder. Results cross process boundaries
+// (net/rpc job submission) with their partitions in the binary segment
+// wire format; the string records are never materialized in transit.
+func (r *Result) GobEncode() ([]byte, error) {
+	w := wireResult{Counters: r.Counters}
+	if r.parts != nil {
+		w.Parts = make([][]byte, len(r.parts))
+		for i, p := range r.parts {
+			w.Parts[i] = EncodeSegment(p)
+		}
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(w); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// GobDecode implements gob.GobDecoder, the inverse of GobEncode. Decoded
+// partitions alias the received blobs (zero-copy payloads).
+func (r *Result) GobDecode(data []byte) error {
+	var w wireResult
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&w); err != nil {
+		return err
+	}
+	r.Counters = w.Counters
+	r.parts = nil
+	if w.Parts == nil {
+		return nil
+	}
+	r.parts = make([]Segment, len(w.Parts))
+	for i, blob := range w.Parts {
+		seg, err := DecodeSegment(blob)
+		if err != nil {
+			return fmt.Errorf("mapreduce: result partition %d: %w", i, err)
+		}
+		r.parts[i] = seg
+	}
+	return nil
+}

@@ -1,0 +1,231 @@
+package mapreduce
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// sortedOutputReference is the legacy SortedOutput semantics: concatenate
+// all partitions in order, then stable-sort globally by key.
+func sortedOutputReference(r *Result) []KV {
+	var out []KV
+	for _, p := range r.Output() {
+		out = append(out, p...)
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// TestSortedOutputMergeMatchesSort pins the k-way-merge SortedOutput
+// against the legacy concatenate-then-sort semantics, including key ties
+// spanning partitions (where only merge stability by partition order keeps
+// the two identical) and empty partitions.
+func TestSortedOutputMergeMatchesSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		nparts := 1 + rng.Intn(8)
+		output := make([][]KV, nparts)
+		for p := range output {
+			n := rng.Intn(10)
+			kvs := make([]KV, n)
+			for i := range kvs {
+				kvs[i] = KV{Key: fmt.Sprintf("k%d", rng.Intn(6)), Value: fmt.Sprintf("p%d.%d", p, i)}
+			}
+			sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+			output[p] = kvs
+		}
+		res := ResultFromKVs(output, Counters{})
+		got := res.SortedOutput()
+		want := sortedOutputReference(res)
+		if len(got) == 0 && len(want) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d: merge-based SortedOutput diverges\ngot  %v\nwant %v", trial, got, want)
+		}
+	}
+}
+
+// TestSortedOutputUnsortedPartitionFallback covers the slow path: a
+// partition whose records are not key-sorted (a reducer may emit keys in
+// any order) must still come out globally sorted, exactly as the legacy
+// concatenate-then-sort produced.
+func TestSortedOutputUnsortedPartitionFallback(t *testing.T) {
+	res := ResultFromKVs([][]KV{
+		{{Key: "z", Value: "1"}, {Key: "a", Value: "2"}}, // out of order
+		{{Key: "m", Value: "3"}},
+	}, Counters{})
+	got := res.SortedOutput()
+	want := sortedOutputReference(res)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("fallback SortedOutput = %v, want %v", got, want)
+	}
+	if got[0].Key != "a" || got[2].Key != "z" {
+		t.Fatalf("fallback not sorted: %v", got)
+	}
+}
+
+// TestResultGobRoundTrip pins the wire behavior of Result across net/rpc:
+// partitions travel in the binary segment format via GobEncode/GobDecode,
+// and the decoded result reproduces Output, SortedOutput and Counters
+// exactly — including nil-output results (failed runs ship counters only)
+// and empty partitions.
+func TestResultGobRoundTrip(t *testing.T) {
+	cases := map[string]*Result{
+		"regular": ResultFromKVs([][]KV{
+			{{Key: "a", Value: "1"}, {Key: "b", Value: ""}},
+			nil, // empty partition
+			{{Key: "c", Value: strings.Repeat("v", 300)}},
+		}, Counters{MapTasks: 3, ReduceTasks: 2, ReduceOutputRecords: 3}),
+		"counters-only": {Counters: Counters{MapTasks: 1}},
+	}
+	for name, res := range cases {
+		t.Run(name, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := gob.NewEncoder(&buf).Encode(res); err != nil {
+				t.Fatal(err)
+			}
+			var back Result
+			if err := gob.NewDecoder(&buf).Decode(&back); err != nil {
+				t.Fatal(err)
+			}
+			if back.Counters != res.Counters {
+				t.Errorf("counters changed in transit:\ngot  %+v\nwant %+v", back.Counters, res.Counters)
+			}
+			if !reflect.DeepEqual(back.Output(), res.Output()) {
+				t.Errorf("output changed in transit:\ngot  %v\nwant %v", back.Output(), res.Output())
+			}
+			if !reflect.DeepEqual(back.SortedOutput(), res.SortedOutput()) {
+				t.Errorf("sorted output changed in transit")
+			}
+		})
+	}
+}
+
+// identityJob assembles a sort-shaped job: identity mapper keyed by line,
+// the given reducer, hash partitioning.
+func identityJob(cfg Config, red Reducer) Job {
+	return Job{Config: cfg, Mapper: IdentityMapper(), Reducer: red}
+}
+
+// nonPassthroughIdentity wraps IdentityReducer's behavior without the
+// PassthroughReducer marker, forcing the ordinary reduce loop.
+func nonPassthroughIdentity() Reducer {
+	return ReducerFunc(func(key string, values []string, emit Emitter) error {
+		for _, v := range values {
+			emit(key, v)
+		}
+		return nil
+	})
+}
+
+// TestPassthroughReduceParity pins the zero-copy identity-reduce fast path
+// against the ordinary reduce loop: records and counters must be identical
+// whether or not the reducer carries the PassthroughReducer marker, in both
+// shuffle modes.
+func TestPassthroughReduceParity(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < 300; i++ {
+		fmt.Fprintf(&sb, "%05d payload-%d\n", (i*7919)%500, i)
+	}
+	input := sb.String()
+	for _, barrier := range []bool{false, true} {
+		mode := "streaming"
+		if barrier {
+			mode = "barrier"
+		}
+		t.Run(mode, func(t *testing.T) {
+			run := func(red Reducer) *Result {
+				t.Helper()
+				e := newEngine(t, 256, input)
+				cfg := DefaultConfig("sort-pt")
+				cfg.NumReducers = 4
+				cfg.BarrierShuffle = barrier
+				res, err := e.Run(identityJob(cfg, red), "input")
+				if err != nil {
+					t.Fatal(err)
+				}
+				return res
+			}
+			fast := run(IdentityReducer())
+			slow := run(nonPassthroughIdentity())
+			if !reflect.DeepEqual(fast.Output(), slow.Output()) {
+				t.Fatal("passthrough output diverges from ordinary reduce loop")
+			}
+			if fast.Counters != slow.Counters {
+				t.Fatalf("passthrough counters diverge:\nfast %+v\nslow %+v", fast.Counters, slow.Counters)
+			}
+		})
+	}
+}
+
+// TestPassthroughDisabledUnderGrouping pins that a Grouping comparator
+// disqualifies the passthrough shortcut: group accounting must follow the
+// comparator, not raw key equality.
+func TestPassthroughDisabledUnderGrouping(t *testing.T) {
+	e := newEngine(t, 64, "a#1 x\na#2 y\nb#1 z\n")
+	cfg := DefaultConfig("group-pt")
+	cfg.NumReducers = 1
+	job := Job{
+		Config: cfg,
+		Mapper: MapperFunc(func(_, line string, emit Emitter) error {
+			f := strings.Fields(line)
+			emit(f[0], f[1])
+			return nil
+		}),
+		Reducer:  IdentityReducer(),
+		Grouping: func(a, b string) bool { return a[0] == b[0] },
+	}
+	res, err := e.Run(job, "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two groups (a*, b*), but passthrough's raw-equality scan would count 3.
+	if got := res.Counters.ReduceInputGroups; got != 2 {
+		t.Errorf("ReduceInputGroups = %d, want 2 (grouping comparator must win)", got)
+	}
+	// The identity stream reducer emits the group's first key for every
+	// value, exactly what the non-passthrough loop produces.
+	want := []KV{{Key: "a#1", Value: "x"}, {Key: "a#1", Value: "y"}, {Key: "b#1", Value: "z"}}
+	if got := res.Output()[0]; !reflect.DeepEqual(got, want) {
+		t.Errorf("grouped identity output = %v, want %v", got, want)
+	}
+}
+
+// BenchmarkSortedOutput compares the merge-based SortedOutput against the
+// legacy concatenate-then-sort over pre-sorted partitions — the shape every
+// engine result has.
+func BenchmarkSortedOutput(b *testing.B) {
+	const perPart, nparts = 4096, 8
+	rng := rand.New(rand.NewSource(42))
+	output := make([][]KV, nparts)
+	for p := range output {
+		kvs := make([]KV, perPart)
+		for i := range kvs {
+			kvs[i] = KV{Key: fmt.Sprintf("key-%07d", rng.Intn(perPart*16)), Value: "v"}
+		}
+		sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+		output[p] = kvs
+	}
+	res := ResultFromKVs(output, Counters{})
+	b.Run("merge", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := res.SortedOutput(); len(got) != perPart*nparts {
+				b.Fatal("short output")
+			}
+		}
+	})
+	b.Run("concat-sort", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if got := sortedOutputReference(res); len(got) != perPart*nparts {
+				b.Fatal("short output")
+			}
+		}
+	})
+}

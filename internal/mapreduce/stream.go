@@ -60,7 +60,7 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 		redWg       sync.WaitGroup
 		redErr      = make([]error, nparts)
 		redCounters = make([]Counters, nparts)
-		output      = make([][]KV, nparts)
+		output      = make([]Segment, nparts)
 	)
 	redWg.Add(nparts)
 	for p := 0; p < nparts; p++ {
@@ -82,7 +82,7 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
-			out, tc, err := runWithRetry(job, taskID, func() ([]KV, Counters, error) {
+			out, tc, err := runWithRetry(job, taskID, func() (Segment, Counters, error) {
 				return reduceMerged(job, col.finish(), pc)
 			})
 			if err != nil {
@@ -180,7 +180,7 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 			return &Result{Counters: *total}, redErr[p]
 		}
 	}
-	return &Result{Output: output, Counters: *total}, nil
+	return newResult(output, *total), nil
 }
 
 // mergeRun is a sorted run covering the contiguous map-task interval
@@ -220,10 +220,21 @@ func (c *collector) add(s streamSeg) {
 	c.coalesce()
 }
 
-// coalesce merges the longest chain of interval-adjacent runs while one of
-// at least MergeFactor runs exists.
+// coalesce folds interval-adjacent runs when too many are pending. An
+// interim pass re-copies every byte it touches and the final merge copies
+// it again, so eager interim merging (the original policy: fold any chain
+// reaching MergeFactor) nearly doubled reduce-side merge traffic at
+// ordinary split counts — the collector overhead that made parallel
+// terasort slower than serial in the committed trajectory. Runs now
+// accumulate until twice the fan-in are pending — the loser tree handles
+// wide merges in one pass anyway — and only then is the longest adjacent
+// chain folded, capped at MergeFactor per pass like Hadoop's intermediate
+// merges. At typical split counts no interim pass fires at all and the
+// final merge is a single k-way pass, the barrier path's exact cost.
+// Output bytes are unchanged by policy: stable merging is associative over
+// adjacent runs, so any interim schedule yields identical records.
 func (c *collector) coalesce() {
-	for {
+	for len(c.runs) >= 2*c.factor {
 		bestStart, bestLen := -1, 0
 		for i := 0; i < len(c.runs); {
 			j := i
@@ -235,8 +246,11 @@ func (c *collector) coalesce() {
 			}
 			i = j + 1
 		}
-		if bestLen < c.factor {
-			return
+		if bestLen < 2 {
+			return // nothing adjacent to fold yet
+		}
+		if bestLen > c.factor {
+			bestLen = c.factor
 		}
 		c.mergeChain(bestStart, bestLen)
 	}

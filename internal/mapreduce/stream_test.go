@@ -5,7 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -88,7 +90,7 @@ func TestStreamingMatchesBarrierConcurrentPublication(t *testing.T) {
 	want := run(true)
 	for round := 0; round < 4; round++ {
 		got := run(false)
-		if !reflect.DeepEqual(got.Output, want.Output) {
+		if !reflect.DeepEqual(got.Output(), want.Output()) {
 			t.Fatalf("round %d: streaming output differs from barrier output", round)
 		}
 		// Counters must agree except for the streaming-only interim passes.
@@ -98,6 +100,85 @@ func TestStreamingMatchesBarrierConcurrentPublication(t *testing.T) {
 		if g != w {
 			t.Fatalf("round %d: counters differ:\nstreaming %+v\nbarrier   %+v", round, g, w)
 		}
+	}
+}
+
+// TestCollectorArrivalOrderProperty is the property test behind the
+// streaming shuffle's determinism claim, exercised directly on the
+// collector: for randomized segment arrival orders — including empty
+// coverage markers, single-segment partitions and every merge-factor small
+// enough to force interim passes — the collector's final merge must be
+// byte-identical to the one-shot barrier merge over the same segments in
+// task order.
+func TestCollectorArrivalOrderProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		nsplits := 1 + rng.Intn(40)
+		factor := 2 + rng.Intn(6)
+		// Build one sorted run per task; some tasks publish empty coverage
+		// markers, some runs share keys so merge stability is observable.
+		segs := make([]Segment, nsplits)
+		for task := range segs {
+			n := rng.Intn(6)
+			if rng.Intn(4) == 0 {
+				n = 0 // empty coverage marker
+			}
+			kvs := make([]KV, n)
+			for i := range kvs {
+				kvs[i] = KV{
+					Key:   fmt.Sprintf("k%02d", rng.Intn(8)),
+					Value: fmt.Sprintf("t%d.%d", task, i),
+				}
+			}
+			sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+			segs[task] = SegmentFromKVs(kvs)
+		}
+
+		// Reference: the barrier path's one-shot stable merge in task order.
+		nonEmpty := make([]Segment, 0, nsplits)
+		for _, s := range segs {
+			if s.Len() > 0 {
+				nonEmpty = append(nonEmpty, s)
+			}
+		}
+		want := mergeSegs(nonEmpty).KVs()
+
+		col := newCollector(nsplits, factor)
+		for _, task := range rng.Perm(nsplits) {
+			col.add(streamSeg{task: task, seg: segs[task]})
+		}
+		got := col.finish().KVs()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (nsplits=%d factor=%d passes=%d): collector output diverges from barrier merge\ngot  %v\nwant %v",
+				trial, nsplits, factor, col.interimPasses, got, want)
+		}
+		// finish is idempotent: a retried reduce attempt reuses the merge.
+		if again := col.finish().KVs(); !reflect.DeepEqual(again, want) {
+			t.Fatalf("trial %d: second finish() diverges", trial)
+		}
+	}
+}
+
+// TestCollectorSingleSegmentPartition pins the degenerate shapes: a
+// one-task partition and an all-empty partition must come through the
+// collector unchanged and without interim passes.
+func TestCollectorSingleSegmentPartition(t *testing.T) {
+	seg := SegmentFromKVs([]KV{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}})
+	col := newCollector(1, 10)
+	col.add(streamSeg{task: 0, seg: seg})
+	if got := col.finish().KVs(); !reflect.DeepEqual(got, seg.KVs()) {
+		t.Fatalf("single-segment partition altered: %v", got)
+	}
+	if col.interimPasses != 0 {
+		t.Errorf("single-segment partition paid %d interim passes", col.interimPasses)
+	}
+
+	empty := newCollector(3, 2)
+	for task := 0; task < 3; task++ {
+		empty.add(streamSeg{task: task})
+	}
+	if got := empty.finish(); got.Len() != 0 {
+		t.Fatalf("all-empty partition produced %d records", got.Len())
 	}
 }
 
@@ -132,7 +213,7 @@ func FuzzStreamingShuffleParity(f *testing.F) {
 		}
 		want := run(true)
 		got := run(false)
-		if !reflect.DeepEqual(got.Output, want.Output) {
+		if !reflect.DeepEqual(got.Output(), want.Output()) {
 			t.Fatalf("streaming/barrier divergence: bs=%d nred=%d input=%q", bs, nred, data)
 		}
 	})

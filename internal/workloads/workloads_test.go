@@ -112,7 +112,7 @@ func TestWordCountMatchesDirectCount(t *testing.T) {
 		want[w]++
 	}
 	got := make(map[string]int)
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			n, err := strconv.Atoi(kv.Value)
 			if err != nil {
@@ -140,7 +140,7 @@ func TestWordCountMatchesDirectCount(t *testing.T) {
 func TestSortProducesGlobalOrder(t *testing.T) {
 	res, input := runWorkload(t, NewSort(), 16*units.KB, 4*units.KB, 4)
 	var got []string
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			got = append(got, kv.Key)
 		}
@@ -167,7 +167,7 @@ func TestTeraSortGlobalOrderAndPayloadPreserved(t *testing.T) {
 	sort.Strings(wantKeys)
 
 	var gotKeys []string
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			gotKeys = append(gotKeys, kv.Key)
 			if len(kv.Value) < TeraValueLen {
@@ -195,7 +195,7 @@ func TestGrepFindsAllMatches(t *testing.T) {
 		}
 	}
 	got := make(map[string]int)
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			n, _ := strconv.Atoi(kv.Value)
 			got[kv.Key] = n
@@ -220,7 +220,7 @@ func TestGrepSortByFrequencyStage(t *testing.T) {
 	res, _ := runWorkload(t, g, 8*units.KB, 2*units.KB, 1)
 	// Feed stage-1 output into stage 2.
 	var sb strings.Builder
-	for _, p := range res.Output {
+	for _, p := range res.Output() {
 		for _, kv := range p {
 			sb.WriteString(kv.Key + " " + kv.Value + "\n")
 		}
@@ -237,7 +237,7 @@ func TestGrepSortByFrequencyStage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := res2.Output[0]
+	out := res2.Output()[0]
 	if len(out) == 0 {
 		t.Fatal("empty frequency-sorted output")
 	}
@@ -487,7 +487,7 @@ func TestGrepFullPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	out := res.Final.Output[0]
+	out := res.Final.Output()[0]
 	if len(out) == 0 {
 		t.Fatal("empty pipeline output")
 	}
