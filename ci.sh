@@ -83,7 +83,8 @@ submit_pid=$!
 tables_seen=0
 for _ in $(seq 1 200); do
 	if curl -sf "http://$master_http/jobs" | grep -q '"workload": "wordcount"' &&
-		curl -sf "http://$master_http/tasks" | grep -q '"kind": "map"'; then
+		curl -sf "http://$master_http/tasks" | grep -q '"kind": "map"' &&
+		curl -sf "http://$master_http/tasks?job=job-1" | grep -q '"job": "job-1"'; then
 		tables_seen=1
 		break
 	fi
@@ -94,7 +95,7 @@ wait "$submit_pid"
 master_metrics="$(curl -sf "http://$master_http/metrics")"
 echo "$master_metrics" | grep -q '^# TYPE hh_dist_rpc_get_task_total counter$'
 echo "$master_metrics" | grep -q '^# TYPE hh_phase_map_schedule_seconds histogram$'
-echo "$master_metrics" | grep -q '^hh_progress_done{label="dist.map"} '
+echo "$master_metrics" | grep -q '^hh_progress_done{label="dist.map",job="job-1"} '
 first_polls="$(echo "$master_metrics" | sed -n 's/^hh_dist_rpc_get_task_total //p')"
 sleep 0.3
 second_polls="$(curl -sf "http://$master_http/metrics" | sed -n 's/^hh_dist_rpc_get_task_total //p')"
@@ -146,5 +147,13 @@ fi
 # The second run covers the arena-backed output path end to end: the
 # passthrough identity reduce, the collector's arrival-order property, the
 # merge-based SortedOutput and the Result gob wire round-trip.
+# Chaos lane: the multi-tenant fault path spotlighted under -race — eight
+# concurrent jobs on three workers with one worker killed mid-run and a
+# master restart from its snapshot, plus the lost-shuffle, eviction and
+# snapshot-resume regressions. These run inside the blanket race gate too;
+# -count=2 here shakes out scheduling-order flakes and makes a chaos
+# failure easy to attribute.
+go test -race -count=2 -run 'TestChaosMultiTenantRecovery|TestLostShuffleMapRerun|TestWorkerEvictionRequeuesInFlight|TestSnapshotRestartResumesJob' ./internal/dist/
+
 go test -race -run 'TestArenaStringCounterParityAllWorkloads|FuzzStringVsArenaParity' .
 go test -race -run 'TestPassthroughReduceParity|TestPassthroughDisabledUnderGrouping|TestCollectorArrivalOrderProperty|TestCollectorSingleSegmentPartition|TestSortedOutputMergeMatchesSort|TestSortedOutputUnsortedPartitionFallback|TestResultGobRoundTrip|TestStreamingMatchesBarrierConcurrentPublication' ./internal/mapreduce/

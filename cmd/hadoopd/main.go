@@ -46,6 +46,9 @@ func main() {
 		pattern  = flag.String("pattern", "", "grep pattern (role=submit, workload=grep)")
 		timeout  = flag.Duration("task-timeout", 10*time.Second, "task reassignment timeout (role=master)")
 		specFrac = flag.Float64("spec-fraction", 0.5, "speculative-execution age fraction of the timeout (role=master)")
+		maxJobs  = flag.Int("max-jobs", 4, "concurrent running job cap (role=master)")
+		workerTO = flag.Duration("worker-timeout", 30*time.Second, "silent-worker eviction window (role=master)")
+		snapshot = flag.String("snapshot", "", "persist master state to this file and resume from it on start (role=master)")
 		poll     = flag.Duration("poll", 10*time.Millisecond, "idle poll interval (role=worker)")
 		trace    = flag.String("trace", "", "stream a JSONL observability trace to this file (master/worker)")
 		httpAddr = flag.String("http", "", "serve the live plane (/metrics, /jobs, /tasks, pprof) on this address (master/worker)")
@@ -109,14 +112,17 @@ func main() {
 		m, err := dist.StartMaster(*addr,
 			dist.WithTaskTimeout(*timeout),
 			dist.WithSpeculativeFraction(*specFrac),
+			dist.WithMaxConcurrentJobs(*maxJobs),
+			dist.WithWorkerTimeout(*workerTO),
+			dist.WithSnapshotPath(*snapshot),
 			dist.WithObserver(ob))
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("master listening on %s\n", m.Addr())
 		srv := serveHTTP(
-			httpd.WithJobStatus(func() any { return m.JobStatus() }),
-			httpd.WithTaskStatus(func() any { return m.TaskStatuses() }))
+			httpd.WithJobStatus(func() any { return m.Jobs() }),
+			httpd.WithTaskStatus(func(job string) any { return m.TaskStatuses(job) }))
 		<-ctx.Done()
 		if srv != nil {
 			srv.Close()

@@ -1,6 +1,7 @@
 package dist
 
 import (
+	"context"
 	"errors"
 	"net/rpc"
 	"sort"
@@ -65,7 +66,7 @@ func TestDistributedWordCountMatchesLocal(t *testing.T) {
 	input := workloads.GenerateText(64*units.KB, 5)
 	m, workers, wg := startCluster(t, 3, 5*time.Second)
 
-	res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 3}, input, 8*1024)
+	res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 3}, input, 8*1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestDistributedWordCountMatchesLocal(t *testing.T) {
 func TestDistributedTeraSortGlobalOrder(t *testing.T) {
 	input := workloads.GenerateTeraRecords(32*units.KB, 9)
 	m, _, wg := startCluster(t, 3, 5*time.Second)
-	res, err := m.Submit(JobDescriptor{Workload: "terasort", NumReducers: 3}, input, 8*1024)
+	res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "terasort", NumReducers: 3}, input, 8*1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -136,7 +137,7 @@ func TestDistributedTeraSortGlobalOrder(t *testing.T) {
 func TestDistributedFPGrowthMatchesLocalMiner(t *testing.T) {
 	input := workloads.GenerateTransactions(8*units.KB, 7)
 	m, _, wg := startCluster(t, 2, 5*time.Second)
-	res, err := m.Submit(JobDescriptor{Workload: "fpgrowth", NumReducers: 2}, input, 2*1024)
+	res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "fpgrowth", NumReducers: 2}, input, 2*1024)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +183,7 @@ func TestWorkerFailureReassignment(t *testing.T) {
 	resCh := make(chan *mapreduce.Result, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 4*1024)
+		res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 4*1024)
 		if err != nil {
 			errCh <- err
 			return
@@ -249,16 +250,16 @@ func TestSubmitValidation(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if _, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 0}, []byte("x\n"), 4); err == nil {
+	if _, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 0}, []byte("x\n"), 4); err == nil {
 		t.Error("zero reducers accepted")
 	}
-	if _, err := m.Submit(JobDescriptor{Workload: "nope", NumReducers: 1}, []byte("x\n"), 4); err == nil {
+	if _, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "nope", NumReducers: 1}, []byte("x\n"), 4); err == nil {
 		t.Error("unknown workload accepted")
 	}
-	if _, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 1}, nil, 4); err == nil {
+	if _, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 1}, nil, 4); err == nil {
 		t.Error("empty input accepted")
 	}
-	if _, err := m.Submit(JobDescriptor{Workload: "grep", NumReducers: 1}, []byte("x\n"), 4); err == nil {
+	if _, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "grep", NumReducers: 1}, []byte("x\n"), 4); err == nil {
 		t.Error("grep without pattern accepted")
 	}
 }
@@ -385,7 +386,7 @@ func TestSpeculativeExecution(t *testing.T) {
 	resCh := make(chan *mapreduce.Result, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 4*1024)
+		res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 4*1024)
 		if err != nil {
 			errCh <- err
 			return
@@ -459,7 +460,7 @@ func TestReportFailureRequeuesImmediately(t *testing.T) {
 	resCh := make(chan *mapreduce.Result, 1)
 	errCh := make(chan error, 1)
 	go func() {
-		res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 4*1024)
+		res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 4*1024)
 		if err != nil {
 			errCh <- err
 			return

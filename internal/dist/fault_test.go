@@ -1,0 +1,575 @@
+package dist
+
+// fault_test.go covers the multi-tenant master's failure machinery: the
+// async JobHandle lifecycle, per-job knob resolution, lost-shuffle map
+// re-execution, silent-worker eviction, snapshot restart, and the chaos
+// scenario the acceptance criteria name — concurrent jobs surviving a
+// worker kill and a master restart with output byte-identical to a serial
+// run.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net"
+	"net/rpc"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/units"
+	"heterohadoop/internal/workloads"
+)
+
+func TestPerJobKnobOverrides(t *testing.T) {
+	def := defaultConfig()
+	now := time.Now()
+	js := newJobState("job-1", 1, JobDescriptor{
+		Workload: "wordcount", NumReducers: 2,
+		TaskTimeout: time.Second, SpecFraction: 0.9, ReduceSlowstart: 0.25, Priority: 7,
+	}, 1024, [][]byte{[]byte("a\n")}, def, now)
+	if js.taskTimeout != time.Second {
+		t.Errorf("taskTimeout = %v, want 1s", js.taskTimeout)
+	}
+	if js.specFraction != 0.9 {
+		t.Errorf("specFraction = %v, want 0.9", js.specFraction)
+	}
+	if js.reduceSlowstart != 0.25 {
+		t.Errorf("reduceSlowstart = %v, want 0.25", js.reduceSlowstart)
+	}
+	if js.priority != 7 {
+		t.Errorf("priority = %d, want 7", js.priority)
+	}
+
+	// Out-of-range overrides fall back to the master defaults.
+	js = newJobState("job-2", 2, JobDescriptor{
+		Workload: "wordcount", NumReducers: 2,
+		TaskTimeout: -time.Second, SpecFraction: 1.5, ReduceSlowstart: -1,
+	}, 1024, [][]byte{[]byte("a\n")}, def, now)
+	if js.taskTimeout != def.taskTimeout || js.specFraction != def.specFraction ||
+		js.reduceSlowstart != def.reduceSlowstart || js.priority != 0 {
+		t.Errorf("invalid overrides not defaulted: timeout=%v spec=%v slowstart=%v prio=%d",
+			js.taskTimeout, js.specFraction, js.reduceSlowstart, js.priority)
+	}
+}
+
+func TestJobHandleAsyncLifecycle(t *testing.T) {
+	m, err := StartMaster("127.0.0.1:0", WithMaxQueuedJobs(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ctx := context.Background()
+	input := workloads.GenerateText(4*units.KB, 3)
+
+	// No workers attached: jobs stay pending, so the handle surface can be
+	// inspected deterministically.
+	h, err := m.Submit(ctx, JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.ID() != "job-1" {
+		t.Errorf("first job ID = %q, want job-1", h.ID())
+	}
+	if st := h.Status(); st.State != JobRunning {
+		t.Errorf("submitted job state = %q, want %q (admitted below the cap)", st.State, JobRunning)
+	}
+	if st, ok := m.JobStatus(h.ID()); !ok || st.ID != h.ID() {
+		t.Errorf("JobStatus(%q) = %+v, %v", h.ID(), st, ok)
+	}
+	if _, ok := m.JobStatus("job-999"); ok {
+		t.Error("JobStatus for an unknown ID reported ok")
+	}
+	if hs, ok := m.Handle(h.ID()); !ok || hs.ID() != h.ID() {
+		t.Errorf("Handle(%q) = %v, %v", h.ID(), hs, ok)
+	}
+	if jobs := m.Jobs(); len(jobs) != 1 || jobs[0].ID != h.ID() {
+		t.Errorf("Jobs() = %+v, want the one submitted job", jobs)
+	}
+
+	// Admission control: the queue cap counts every live job.
+	if _, err := m.Submit(ctx, JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 1024); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Submit(ctx, JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 1024); !errors.Is(err, ErrQueueFull) {
+		t.Errorf("submit over the queue cap: %v, want wrapped ErrQueueFull", err)
+	}
+
+	// Cancel is the client-driven abort: Wait unblocks with ErrJobCancelled,
+	// status survives retirement, and the queue slot frees up.
+	h.Cancel()
+	if _, err := h.Wait(ctx); !errors.Is(err, ErrJobCancelled) {
+		t.Errorf("Wait after Cancel: %v, want wrapped ErrJobCancelled", err)
+	}
+	if st := h.Status(); st.State != JobCancelled {
+		t.Errorf("cancelled job state = %q, want %q", st.State, JobCancelled)
+	}
+	h.Cancel() // idempotent on a finished job
+	if st, ok := m.JobStatus(h.ID()); !ok || st.State != JobCancelled {
+		t.Errorf("retired JobStatus(%q) = %+v, %v, want cancelled", h.ID(), st, ok)
+	}
+	if _, err := m.Submit(ctx, JobDescriptor{Workload: "wordcount", NumReducers: 1}, input, 1024); err != nil {
+		t.Errorf("submit after cancel freed a slot: %v", err)
+	}
+
+	// A Wait whose context expires abandons the wait without killing the job.
+	h2, ok := m.Handle("job-2")
+	if !ok {
+		t.Fatal("job-2 handle missing")
+	}
+	wctx, wcancel := context.WithTimeout(ctx, 20*time.Millisecond)
+	defer wcancel()
+	if _, err := h2.Wait(wctx); !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("abandoned wait: %v, want wrapped context.DeadlineExceeded", err)
+	}
+	if st := h2.Status(); st.State == JobCancelled {
+		t.Error("abandoning a wait cancelled the job")
+	}
+}
+
+// completeMapsServed drives the master as a manual worker that executes
+// every map task of the running job for real but claims to serve the
+// output at addr — a shuffle endpoint the test controls (typically dead).
+func completeMapsServed(t *testing.T, m *Master, client *rpc.Client, workerID, addr string, desc JobDescriptor) int {
+	t.Helper()
+	job, err := NewRegistry().Build(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	deadline := time.Now().Add(5 * time.Second)
+	for total == 0 && time.Now().Before(deadline) {
+		for _, st := range m.Jobs() {
+			if st.State == JobRunning {
+				total = st.MapsTotal
+			}
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if total == 0 {
+		t.Fatal("no running job appeared")
+	}
+	served := 0
+	deadline = time.Now().Add(10 * time.Second)
+	for served < total && time.Now().Before(deadline) {
+		var task Task
+		if err := client.Call("Master.GetTask", GetTaskArgs{WorkerID: workerID}, &task); err != nil {
+			t.Fatal(err)
+		}
+		if task.Kind != TaskMap {
+			time.Sleep(2 * time.Millisecond)
+			continue
+		}
+		segs, counters, err := mapreduce.ExecuteMapSplit(job, task.SplitData, task.NParts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var stats []PartStat
+		for p, seg := range segs {
+			blob := mapreduce.EncodeSegment(seg)
+			n, b, err := mapreduce.SegmentStats(blob)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if n == 0 {
+				continue
+			}
+			stats = append(stats, PartStat{Part: p, Recs: n, Bytes: int64(b)})
+		}
+		if err := client.Call("Master.CompleteMap", MapDone{
+			WorkerID: workerID, Epoch: task.Epoch, Seq: task.Seq,
+			Addr: addr, PartStats: stats, Counters: counters,
+		}, &Ack{}); err != nil {
+			t.Fatal(err)
+		}
+		served++
+	}
+	if served < total {
+		t.Fatalf("served %d/%d maps before the deadline", served, total)
+	}
+	return served
+}
+
+// TestLostShuffleMapRerun is the lost-shuffle regression: a worker serves
+// its map output, dies before any reducer fetches it, and the job must
+// still complete correctly — the reducer reports the unreachable segments,
+// the master re-executes the maps elsewhere, and the replacements are
+// consumed under the same MapSeq.
+func TestLostShuffleMapRerun(t *testing.T) {
+	input := workloads.GenerateText(8*units.KB, 21)
+	// Slowstart 1.0 keeps reduces undispatched until the doomed worker has
+	// finished every map, so the loss is discovered by fetch, not masked by
+	// the map wave; the long timeout keeps the timeout path out of it.
+	desc := JobDescriptor{
+		Workload: "wordcount", NumReducers: 1,
+		TaskTimeout: time.Minute, ReduceSlowstart: 1.0,
+	}
+	m, err := StartMaster("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	doomed, err := rpc.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer doomed.Close()
+
+	// A shuffle address that is guaranteed dead: bind a loopback port, then
+	// close it before anyone fetches.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadAddr := ln.Addr().String()
+	ln.Close()
+
+	h, err := m.Submit(context.Background(), desc, input, 2*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	served := completeMapsServed(t, m, doomed, "doomed", deadAddr, desc)
+
+	// A real worker now takes the reduce, fails to fetch from deadAddr,
+	// reports the loss, and re-executes the invalidated maps itself.
+	w, err := ConnectWorker("survivor", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go w.Run() //nolint:errcheck // exits when the job drains
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	res, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputCounts(t, res)
+	want := map[string]int{}
+	for _, word := range strings.Fields(string(input)) {
+		want[word]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d words, want %d", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d, want %d after map re-execution", k, got[k], v)
+		}
+	}
+	st := m.Stats()
+	if st.RecoveredMaps < served {
+		t.Errorf("RecoveredMaps = %d, want >= %d (every served map was lost)", st.RecoveredMaps, served)
+	}
+	if st.Evicted < 1 {
+		t.Errorf("Evicted = %d, want >= 1 (the loss report evicts the owner)", st.Evicted)
+	}
+	if js := h.Status(); js.RecoveredMaps < served {
+		t.Errorf("job RecoveredMaps = %d, want >= %d", js.RecoveredMaps, served)
+	}
+}
+
+// TestWorkerEvictionRequeuesInFlight checks liveness-based recovery: a
+// worker that takes a task and then goes silent is evicted after the
+// worker timeout, its in-flight assignment requeued — well before the
+// (deliberately enormous) task timeout.
+func TestWorkerEvictionRequeuesInFlight(t *testing.T) {
+	input := workloads.GenerateText(16*units.KB, 23)
+	m, err := StartMaster("127.0.0.1:0",
+		WithTaskTimeout(time.Minute), WithWorkerTimeout(150*time.Millisecond))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	ghost, err := rpc.Dial("tcp", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ghost.Close()
+
+	h, err := m.Submit(context.Background(),
+		JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 4*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stealMapTask(t, ghost, "ghost")
+	// The ghost never polls again: only eviction can free its task.
+
+	w, err := ConnectWorker("survivor", m.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go w.Run() //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := h.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputCounts(t, res)
+	want := map[string]int{}
+	for _, word := range strings.Fields(string(input)) {
+		want[word]++
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("count[%q] = %d, want %d after eviction", k, got[k], v)
+		}
+	}
+	st := m.Stats()
+	if st.Evicted < 1 {
+		t.Errorf("Evicted = %d, want >= 1", st.Evicted)
+	}
+	if st.Reassigned < 1 {
+		t.Errorf("Reassigned = %d, want >= 1 (the ghost's map must requeue)", st.Reassigned)
+	}
+}
+
+// TestSnapshotRestartResumesJob checks crash recovery through the
+// versioned snapshot: a master with an in-flight job — one map already
+// completed inline — is closed and a new master started on the same
+// snapshot path resumes the job, keeps the completed work, and finishes
+// it with a fresh worker.
+func TestSnapshotRestartResumesJob(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "master.snap")
+	input := workloads.GenerateText(8*units.KB, 29)
+	desc := JobDescriptor{Workload: "wordcount", NumReducers: 2}
+
+	m1, err := StartMaster("127.0.0.1:0", WithSnapshotPath(snap), WithTaskTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := m1.Submit(context.Background(), desc, input, 2*1024)
+	if err != nil {
+		m1.Close()
+		t.Fatal(err)
+	}
+
+	// Complete one map inline (master-held output: it must survive the
+	// restart) through a manual client, then kill the master.
+	clerk, err := rpc.Dial("tcp", m1.Addr())
+	if err != nil {
+		m1.Close()
+		t.Fatal(err)
+	}
+	task := stealMapTask(t, clerk, "clerk")
+	job, err := NewRegistry().Build(desc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, counters, err := mapreduce.ExecuteMapSplit(job, task.SplitData, task.NParts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parts := make([][]byte, len(segs))
+	for p, seg := range segs {
+		parts[p] = mapreduce.EncodeSegment(seg)
+	}
+	if err := clerk.Call("Master.CompleteMap", MapDone{
+		WorkerID: "clerk", Epoch: task.Epoch, Seq: task.Seq, Parts: parts, Counters: counters,
+	}, &Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	clerk.Close()
+	if st, ok := m1.JobStatus(h1.ID()); !ok || st.MapsDone != 1 {
+		t.Fatalf("pre-restart status = %+v, %v, want 1 map done", st, ok)
+	}
+	m1.Close()
+
+	m2, err := StartMaster("127.0.0.1:0", WithSnapshotPath(snap), WithTaskTimeout(5*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	st, ok := m2.JobStatus(h1.ID())
+	if !ok {
+		t.Fatalf("restored master lost job %s", h1.ID())
+	}
+	if st.MapsDone != 1 {
+		t.Errorf("restored MapsDone = %d, want 1 (inline map output must survive)", st.MapsDone)
+	}
+	if st.State != JobRunning {
+		t.Errorf("restored job state = %q, want %q", st.State, JobRunning)
+	}
+	h2, ok := m2.Handle(h1.ID())
+	if !ok {
+		t.Fatal("restored master has no handle for the job")
+	}
+
+	w, err := ConnectWorker("resumer", m2.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	go w.Run() //nolint:errcheck
+
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	res, err := h2.Wait(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := outputCounts(t, res)
+	want := map[string]int{}
+	for _, word := range strings.Fields(string(input)) {
+		want[word]++
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d words, want %d (restored job lost input coverage)", len(got), len(want))
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Errorf("count[%q] = %d, want %d across the restart", k, got[k], v)
+		}
+	}
+	// The restored master accepts new work alongside the resumed job.
+	if _, err := m2.SubmitCtx(ctx, desc, workloads.GenerateText(4*units.KB, 31), 2*1024); err != nil {
+		t.Errorf("fresh submit on the restored master: %v", err)
+	}
+}
+
+// chaosJob is one of the concurrent jobs in the chaos scenario.
+type chaosJob struct {
+	desc  JobDescriptor
+	input []byte
+}
+
+func chaosJobs() []chaosJob {
+	jobs := make([]chaosJob, 0, 8)
+	for i := 0; i < 6; i++ {
+		jobs = append(jobs, chaosJob{
+			desc:  JobDescriptor{Workload: "wordcount", NumReducers: 2, Priority: i % 3},
+			input: workloads.GenerateText(64*units.KB, int64(100+i)),
+		})
+	}
+	for i := 0; i < 2; i++ {
+		jobs = append(jobs, chaosJob{
+			desc:  JobDescriptor{Workload: "terasort", NumReducers: 3, TaskTimeout: 3 * time.Second},
+			input: workloads.GenerateTeraRecords(32*units.KB, int64(200+i)),
+		})
+	}
+	return jobs
+}
+
+// TestChaosMultiTenantRecovery is the acceptance scenario: eight jobs
+// submitted concurrently through JobHandles on a snapshotting master with
+// three workers; one worker is killed mid-run, then the master itself is
+// killed and restarted from its snapshot with fresh workers. Every job
+// must complete with output byte-identical to a serial run.
+func TestChaosMultiTenantRecovery(t *testing.T) {
+	jobs := chaosJobs()
+
+	// Serial reference: the same jobs one at a time on a plain master.
+	serial := make([][]byte, len(jobs))
+	{
+		ms, err := StartMaster("127.0.0.1:0", WithTaskTimeout(10*time.Second))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws, err := ConnectWorker("serial", ms.Addr())
+		if err != nil {
+			ms.Close()
+			t.Fatal(err)
+		}
+		go ws.RunForever() //nolint:errcheck
+		for i, cj := range jobs {
+			res, err := ms.SubmitCtx(context.Background(), cj.desc, cj.input, 4*1024)
+			if err != nil {
+				t.Fatalf("serial job %d: %v", i, err)
+			}
+			serial[i] = mapreduce.MaterializeOutput(res)
+		}
+		ws.Close()
+		ms.Close()
+	}
+
+	snap := filepath.Join(t.TempDir(), "chaos.snap")
+	opts := []Option{
+		WithSnapshotPath(snap), WithTaskTimeout(2 * time.Second),
+		WithMaxConcurrentJobs(3), WithWorkerTimeout(400 * time.Millisecond),
+	}
+	m1, err := StartMaster("127.0.0.1:0", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	startWorkers := func(addr, prefix string) []*Worker {
+		workers := make([]*Worker, 3)
+		for i := range workers {
+			w, err := ConnectWorker(prefix+strconv.Itoa(i), addr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			workers[i] = w
+			go w.RunForever() //nolint:errcheck // killed mid-run by design
+		}
+		return workers
+	}
+	gen1 := startWorkers(m1.Addr(), "cw-")
+
+	handles := make([]*JobHandle, len(jobs))
+	for i, cj := range jobs {
+		h, err := m1.Submit(context.Background(), cj.desc, cj.input, 4*1024)
+		if err != nil {
+			t.Fatalf("chaos submit %d: %v", i, err)
+		}
+		handles[i] = h
+	}
+
+	// Kill one worker mid-run (its served shuffle output dies with it),
+	// then kill the master itself and every remaining first-generation
+	// worker: recovery must come entirely from the snapshot.
+	time.Sleep(40 * time.Millisecond)
+	gen1[2].Close()
+	time.Sleep(150 * time.Millisecond)
+	m1.Close()
+	gen1[0].Close()
+	gen1[1].Close()
+
+	m2, err := StartMaster("127.0.0.1:0", opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m2.Close()
+	gen2 := startWorkers(m2.Addr(), "nw-")
+	defer func() {
+		for _, w := range gen2 {
+			w.Close()
+		}
+	}()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	for i, h := range handles {
+		var res *mapreduce.Result
+		select {
+		case <-h.Done():
+			// Finished on the first master before the kill: its result is
+			// already latched in the original handle.
+			r, err := h.Wait(ctx)
+			if err != nil {
+				t.Fatalf("job %s (finished pre-restart): %v", h.ID(), err)
+			}
+			res = r
+		default:
+			h2, ok := m2.Handle(h.ID())
+			if !ok {
+				t.Fatalf("restored master lost in-flight job %s", h.ID())
+			}
+			r, err := h2.Wait(ctx)
+			if err != nil {
+				t.Fatalf("job %s (resumed): %v", h.ID(), err)
+			}
+			res = r
+		}
+		if got := mapreduce.MaterializeOutput(res); !bytes.Equal(got, serial[i]) {
+			t.Errorf("job %s output differs from the serial run (%d vs %d bytes)",
+				h.ID(), len(got), len(serial[i]))
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package dist
+
+// job.go holds the per-job state the multi-tenant master keeps one of per
+// submitted job: the task tables, the streaming-shuffle publication log,
+// the per-job scheduling knobs (descriptor overrides falling back to
+// master defaults) and the completion latch the JobHandle waits on. All
+// fields are guarded by the master's mutex except result/err, which are
+// written exactly once before doneCh is closed and only read after it is
+// closed (the channel close is the happens-before edge).
+
+import (
+	"time"
+
+	"heterohadoop/internal/mapreduce"
+	"heterohadoop/internal/obs"
+)
+
+// Job lifecycle states, surfaced in JobStatus.State.
+const (
+	// JobQueued: admitted to the master but not yet scheduled (the
+	// concurrent-job cap is reached); its tasks are not dispatched.
+	JobQueued = "queued"
+	// JobRunning: the scheduler is dispatching this job's tasks.
+	JobRunning = "running"
+	// JobDone: completed successfully; the result is available.
+	JobDone = "done"
+	// JobFailed: completed unsuccessfully (output decode failure).
+	JobFailed = "failed"
+	// JobCancelled: aborted by JobHandle.Cancel or a cancelled SubmitCtx.
+	JobCancelled = "cancelled"
+)
+
+// taskState tracks one task attempt's lifecycle in a job's tables.
+type taskState struct {
+	task       Task
+	assigned   bool
+	assignee   string
+	assignedAt time.Time
+	done       bool
+	// owner/ownerAddr record who holds a completed map task's shuffle
+	// output and where it is served from. ownerAddr is empty for inline
+	// output (held by the master, survives the worker); when set, the
+	// segments die with the worker and the task must re-execute if the
+	// owner is evicted or a reducer reports the segments lost.
+	owner     string
+	ownerAddr string
+	// readyAt is when the task became dispatchable (job admission, or
+	// re-enqueue after loss); the gap to the first assignment is the
+	// schedule phase. For reduce tasks it includes the slowstart gate by
+	// design — that wait is real dispatch latency the paper's shuffle
+	// accounting has to see.
+	readyAt time.Time
+}
+
+// jobState is one job's full state in the master.
+type jobState struct {
+	id        string
+	epoch     uint64
+	desc      JobDescriptor
+	blockSize int
+
+	state string // Job* constants
+	phase string // "map" | "reduce" while running, "" otherwise
+
+	mapTasks []*taskState
+	// partSegs is the streaming shuffle publication log: per partition,
+	// the segments published by completed map tasks in publication order.
+	// The log is append-only — a map re-executed after segment loss
+	// appends a replacement entry with the same MapSeq, and consumers keep
+	// the latest entry per MapSeq — so reducer cursors (an index into this
+	// log) stay valid across recoveries.
+	partSegs [][]TaggedSegment
+	mapsLeft int
+	redTasks []*taskState
+	// redOutputs holds each partition's output as a wire-encoded segment
+	// blob, decoded once when the job completes.
+	redOutputs [][]byte
+	redsLeft   int
+
+	counters      mapreduce.Counters
+	reassigned    int
+	speculative   int
+	earlyReduces  int
+	recoveredMaps int
+
+	// Effective scheduling knobs: descriptor overrides, else master
+	// defaults, resolved once at submission.
+	taskTimeout     time.Duration
+	specFraction    float64
+	reduceSlowstart float64
+	priority        int
+
+	submittedAt time.Time
+	finishedAt  time.Time
+
+	doneCh chan struct{}
+	result *mapreduce.Result
+	err    error
+	span   obs.Span
+	// final is the status frozen at retirement, after which the live tables
+	// are gone; jobStatusLocked serves it for terminal jobs.
+	final *JobStatus
+}
+
+// newJobState builds a queued job from its split input. The caller
+// assigns id and epoch and registers the state in the master's tables.
+func newJobState(id string, epoch uint64, desc JobDescriptor, blockSize int, chunks [][]byte, def config, now time.Time) *jobState {
+	js := &jobState{
+		id:              id,
+		epoch:           epoch,
+		desc:            desc,
+		blockSize:       blockSize,
+		state:           JobQueued,
+		mapsLeft:        len(chunks),
+		redsLeft:        desc.NumReducers,
+		taskTimeout:     def.taskTimeout,
+		specFraction:    def.specFraction,
+		reduceSlowstart: def.reduceSlowstart,
+		priority:        desc.Priority,
+		submittedAt:     now,
+		doneCh:          make(chan struct{}),
+	}
+	if desc.TaskTimeout > 0 {
+		js.taskTimeout = desc.TaskTimeout
+	}
+	if desc.SpecFraction > 0 && desc.SpecFraction <= 1 {
+		js.specFraction = desc.SpecFraction
+	}
+	if desc.ReduceSlowstart > 0 && desc.ReduceSlowstart <= 1 {
+		js.reduceSlowstart = desc.ReduceSlowstart
+	}
+	js.mapTasks = make([]*taskState, len(chunks))
+	for i, c := range chunks {
+		js.mapTasks[i] = &taskState{task: Task{
+			Kind: TaskMap, JobID: id, Epoch: epoch, Seq: i, Job: desc,
+			NParts: desc.NumReducers, SplitData: c,
+		}, readyAt: now}
+	}
+	js.partSegs = make([][]TaggedSegment, desc.NumReducers)
+	// Reduce tasks exist from the start: they carry no shuffle data
+	// (workers stream segments with FetchSegments), so they can be
+	// dispatched as soon as the slowstart threshold of completed maps is
+	// met.
+	js.redTasks = make([]*taskState, desc.NumReducers)
+	for p := 0; p < desc.NumReducers; p++ {
+		js.redTasks[p] = &taskState{task: Task{
+			Kind: TaskReduce, JobID: id, Epoch: epoch, Seq: p, Job: desc,
+			NParts: desc.NumReducers, Partition: p,
+		}, readyAt: now}
+	}
+	js.redOutputs = make([][]byte, desc.NumReducers)
+	return js
+}
+
+// finished reports a terminal state. Called under the master's mutex.
+func (js *jobState) finished() bool {
+	return js.state == JobDone || js.state == JobFailed || js.state == JobCancelled
+}
+
+// reduceEligible reports whether reduce tasks may be dispatched: always in
+// the reduce phase, and during the map phase once the slowstart fraction
+// of maps has completed. Called under the master's mutex.
+func (js *jobState) reduceEligible() bool {
+	if js.phase == "reduce" {
+		return true
+	}
+	if js.phase != "map" || len(js.mapTasks) == 0 {
+		return false
+	}
+	done := len(js.mapTasks) - js.mapsLeft
+	return float64(done) >= js.reduceSlowstart*float64(len(js.mapTasks))
+}
+
+// runningTasks counts in-flight assignments — the fair scheduler's load
+// measure. Called under the master's mutex.
+func (js *jobState) runningTasks() int {
+	n := 0
+	for _, ts := range js.mapTasks {
+		if ts.assigned && !ts.done {
+			n++
+		}
+	}
+	for _, ts := range js.redTasks {
+		if ts.assigned && !ts.done {
+			n++
+		}
+	}
+	return n
+}
+
+// clearTables drops the finished (or aborted) job's task tables and
+// buffered outputs so split and shuffle data are not pinned in memory
+// after completion. Called under the master's mutex.
+func (js *jobState) clearTables() {
+	js.mapTasks = nil
+	js.partSegs = nil
+	js.redTasks = nil
+	js.redOutputs = nil
+}
+
+// invalidateMap re-enqueues a completed map task whose shuffle output is
+// gone (its serving worker died): the task re-executes and republishes.
+// Returns false when the task is not in a revocable state (not done, or
+// its output is master-held inline data that cannot be lost). Called
+// under the master's mutex.
+func (js *jobState) invalidateMap(ts *taskState, now time.Time) bool {
+	if !ts.done || ts.ownerAddr == "" {
+		return false
+	}
+	ts.done = false
+	ts.assigned = false
+	ts.owner = ""
+	ts.ownerAddr = ""
+	ts.readyAt = now
+	js.mapsLeft++
+	js.recoveredMaps++
+	if js.phase == "reduce" {
+		js.phase = "map"
+	}
+	return true
+}

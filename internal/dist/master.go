@@ -11,62 +11,55 @@ import (
 
 	"heterohadoop/internal/mapreduce"
 	"heterohadoop/internal/obs"
+	"heterohadoop/internal/units"
 )
 
-// taskState tracks one task attempt's lifecycle in the master's tables.
-type taskState struct {
-	task       Task
-	assigned   bool
-	assignee   string
-	assignedAt time.Time
-	done       bool
-	// readyAt is when the task became dispatchable (job submission); the
-	// gap to the first assignment is the schedule phase. For reduce tasks it
-	// includes the slowstart gate by design — that wait is real dispatch
-	// latency the paper's shuffle accounting has to see.
-	readyAt time.Time
-}
+// maxRetired bounds how many terminal jobs the master keeps for Handle and
+// JobStatus lookups (and how much history a snapshot carries).
+const maxRetired = 32
 
-// Master is the job coordinator. One master runs one job at a time
-// (Submit); workers connect over TCP and poll for tasks.
+// Master is the job coordinator. It is multi-tenant: Submit returns a
+// JobHandle immediately, admitted jobs run concurrently under a
+// fair/capacity scheduler, and workers connect over TCP and poll for
+// tasks from any running job.
 type Master struct {
 	mu sync.Mutex
 
-	registry        *Registry
-	listener        net.Listener
-	server          *rpc.Server
-	taskTimeout     time.Duration
-	specFraction    float64
-	reduceSlowstart float64
-	ob              obs.Observer
-	closed          bool
+	registry *Registry
+	listener net.Listener
+	server   *rpc.Server
+	// defaults are the master-level scheduling knobs; a JobDescriptor's
+	// own knobs override them per job at submission.
+	defaults config
+	ob       obs.Observer
+	snapPath string
+	closed   bool
 
-	// Per-job state. epoch is the job generation: it is bumped on every
-	// submission and on every abort, and every Task carries it, so
-	// completion/failure reports from a previous (aborted or finished) job
-	// can never be recorded against the current one.
-	epoch    uint64
-	running  bool
-	desc     JobDescriptor
-	nparts   int
-	mapTasks []*taskState
-	// partSegs is the streaming shuffle: per partition, the sorted segments
-	// published by completed map tasks, tagged with the producing task's
-	// Seq. Reducers stream it with FetchSegments while maps are running.
-	partSegs [][]TaggedSegment
-	mapsLeft int
-	redTasks []*taskState
-	// redOutputs holds each partition's output as a wire-encoded segment
-	// blob, decoded once when the job completes.
-	redOutputs   [][]byte
-	redsLeft     int
-	counters     mapreduce.Counters
-	reassigned   int
-	speculative  int
-	earlyReduces int
-	phase        string // "map" | "reduce" | "idle"
-	doneCh       chan struct{}
-	workers      map[string]time.Time
+	// epoch is the job generation counter: every submission takes the next
+	// value, and every Task carries its job's epoch, so completion and
+	// failure reports route to the right job (byEpoch) and reports from a
+	// cancelled or finished job find no entry instead of being recorded
+	// against a live one. It is persisted, so epochs stay unique across a
+	// snapshot restart. jobSeq numbers job IDs the same way.
+	epoch  uint64
+	jobSeq uint64
+
+	jobs    map[string]*jobState // queued + running, by ID
+	byEpoch map[uint64]*jobState // queued + running, by epoch (report routing)
+	order   []*jobState          // queued + running, in submission order
+	retired []*jobState          // recently finished, for Handle/JobStatus
+	history []JobStatus          // terminal statuses, oldest first
+
+	workers *workerTable
+
+	// Master-lifetime totals (per-job counters die with the job).
+	reassigned    int
+	speculative   int
+	earlyReduces  int
+	evicted       int
+	recoveredMaps int
+
+	janitorStop chan struct{}
 }
 
 // NewMaster starts a master listening on addr ("127.0.0.1:0" for an
@@ -82,11 +75,15 @@ func NewMaster(addr string, taskTimeout time.Duration) (*Master, error) {
 }
 
 // StartMaster starts a master listening on addr ("127.0.0.1:0" for an
-// ephemeral port), configured by functional options: WithTaskTimeout
-// bounds unfinished assignments before reissue, WithSpeculativeFraction
-// tunes when idle workers receive backup copies of stragglers, and
-// WithObserver attaches telemetry (submit spans, phase progress,
-// reassignment/speculation counters).
+// ephemeral port), configured by functional options: WithTaskTimeout,
+// WithSpeculativeFraction and WithReduceSlowstart set the default per-job
+// scheduling knobs (a JobDescriptor can override them), WithMaxConcurrentJobs
+// and WithMaxQueuedJobs bound the scheduler, WithWorkerTimeout sets the
+// liveness window behind worker eviction, WithSnapshotPath enables crash
+// recovery, and WithObserver attaches telemetry.
+//
+// When the snapshot path names an existing snapshot, the master restores it
+// before accepting connections and resumes the jobs it holds.
 func StartMaster(addr string, opts ...Option) (*Master, error) {
 	cfg := defaultConfig()
 	for _, opt := range opts {
@@ -97,32 +94,51 @@ func StartMaster(addr string, opts ...Option) (*Master, error) {
 		return nil, fmt.Errorf("dist: master listen: %w", err)
 	}
 	m := &Master{
-		registry:        NewRegistry(),
-		listener:        ln,
-		server:          rpc.NewServer(),
-		taskTimeout:     cfg.taskTimeout,
-		specFraction:    cfg.specFraction,
-		reduceSlowstart: cfg.reduceSlowstart,
-		ob:              cfg.observer,
-		phase:           "idle",
-		workers:         make(map[string]time.Time),
+		registry:    NewRegistry(),
+		listener:    ln,
+		server:      rpc.NewServer(),
+		defaults:    cfg,
+		ob:          cfg.observer,
+		snapPath:    cfg.snapshotPath,
+		jobs:        make(map[string]*jobState),
+		byEpoch:     make(map[uint64]*jobState),
+		workers:     newWorkerTable(),
+		janitorStop: make(chan struct{}),
+	}
+	if m.snapPath != "" {
+		snap, err := loadSnapshot(m.snapPath)
+		if err != nil {
+			ln.Close()
+			return nil, err
+		}
+		if snap != nil {
+			m.mu.Lock()
+			m.restoreLocked(snap)
+			m.mu.Unlock()
+		}
 	}
 	if err := m.server.RegisterName("Master", &masterRPC{m: m}); err != nil {
 		ln.Close()
 		return nil, err
 	}
 	go m.acceptLoop()
+	go m.janitor()
 	return m, nil
 }
 
 // Addr returns the master's listen address for workers to dial.
 func (m *Master) Addr() string { return m.listener.Addr().String() }
 
-// Close stops accepting connections; subsequent submissions fail with
-// ErrMasterClosed.
+// Close stops accepting connections and the liveness janitor; subsequent
+// submissions fail with ErrMasterClosed. In-flight jobs are left as they
+// stand — with WithSnapshotPath a new StartMaster at the same path resumes
+// them.
 func (m *Master) Close() error {
 	m.mu.Lock()
-	m.closed = true
+	if !m.closed {
+		m.closed = true
+		close(m.janitorStop)
+	}
 	m.mu.Unlock()
 	return m.listener.Close()
 }
@@ -140,18 +156,57 @@ func (m *Master) acceptLoop() {
 	}
 }
 
-// Stats reports job-control counters for observability and tests.
+// janitor is the liveness sweep: workers silent past the timeout window are
+// evicted — their in-flight tasks requeued and their served map output
+// re-executed.
+func (m *Master) janitor() {
+	period := m.defaults.workerTimeout / 4
+	if period < 5*time.Millisecond {
+		period = 5 * time.Millisecond
+	}
+	if period > time.Second {
+		period = time.Second
+	}
+	ticker := time.NewTicker(period)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-m.janitorStop:
+			return
+		case now := <-ticker.C:
+			m.mu.Lock()
+			silent := m.workers.silent(m.defaults.workerTimeout, now)
+			for _, w := range silent {
+				m.evictWorkerLocked(w.ID, now)
+			}
+			if len(silent) > 0 {
+				m.saveSnapshotLocked()
+			}
+			m.mu.Unlock()
+		}
+	}
+}
+
+// Stats reports master-lifetime control counters for observability and
+// tests. The per-job equivalents live in JobStatus.
 type Stats struct {
 	// Workers is the number of distinct workers that have polled.
 	Workers int
-	// Reassigned is the number of task attempts reissued after timeout.
+	// Evicted is the number of workers declared dead after going silent (or
+	// being reported unreachable by a reducer).
+	Evicted int
+	// Reassigned is the number of task attempts reissued after timeout,
+	// failure report or eviction.
 	Reassigned int
 	// Speculative is the number of backup task attempts launched for
 	// still-running stragglers.
 	Speculative int
-	// EarlyReduces is the number of reduce tasks dispatched before the map
+	// EarlyReduces is the number of reduce tasks dispatched before their map
 	// wave had fully drained (slowstart-gated streaming shuffle).
 	EarlyReduces int
+	// RecoveredMaps is the number of completed map tasks re-executed because
+	// their worker-served shuffle output was lost.
+	RecoveredMaps int
 }
 
 // Stats returns the master's current statistics.
@@ -159,28 +214,23 @@ func (m *Master) Stats() Stats {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return Stats{
-		Workers:      len(m.workers),
-		Reassigned:   m.reassigned,
-		Speculative:  m.speculative,
-		EarlyReduces: m.earlyReduces,
+		Workers:       len(m.workers.workers),
+		Evicted:       m.evicted,
+		Reassigned:    m.reassigned,
+		Speculative:   m.speculative,
+		EarlyReduces:  m.earlyReduces,
+		RecoveredMaps: m.recoveredMaps,
 	}
 }
 
-// Submit runs one job across the connected workers: the input is split
-// into record-aligned chunks of roughly blockSize bytes (one map task
-// each), map outputs are shuffled master-side, and reduce partitions are
-// dispatched as reduce tasks. Submit blocks until the job completes. It is
-// SubmitCtx with a background context.
-func (m *Master) Submit(desc JobDescriptor, input []byte, blockSize int) (*mapreduce.Result, error) {
-	return m.SubmitCtx(context.Background(), desc, input, blockSize)
-}
-
-// SubmitCtx is Submit with cancellation: a cancelled context aborts the
-// job — the master returns to idle, workers polling for the next task are
-// told the job is over, and the error wraps ctx.Err(). The master's
-// Observer (WithObserver) receives a "dist.submit" span covering the
-// whole job.
-func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte, blockSize int) (*mapreduce.Result, error) {
+// Submit admits one job and returns immediately with its handle: the input
+// is split into record-aligned chunks of roughly blockSize bytes (one map
+// task each), the job queues behind the concurrent-job cap, and connected
+// workers pick its tasks up alongside every other running job's. Wait on
+// the handle for the result; ctx only bounds the admission itself (a
+// cancelled ctx before admission fails the call — it is not attached to
+// the job).
+func (m *Master) Submit(ctx context.Context, desc JobDescriptor, input []byte, blockSize int) (*JobHandle, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, fmt.Errorf("dist: submit cancelled: %w", err)
 	}
@@ -201,169 +251,291 @@ func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte
 	}
 
 	m.mu.Lock()
+	defer m.mu.Unlock()
 	if m.closed {
-		m.mu.Unlock()
 		return nil, ErrMasterClosed
 	}
-	if m.running {
-		m.mu.Unlock()
-		return nil, ErrJobRunning
+	if len(m.jobs) >= m.defaults.maxQueuedJobs {
+		return nil, ErrQueueFull
 	}
+	m.jobSeq++
 	m.epoch++
-	m.running = true
-	m.desc = desc
-	m.nparts = desc.NumReducers
-	m.mapTasks = make([]*taskState, len(chunks))
-	m.partSegs = make([][]TaggedSegment, desc.NumReducers)
-	m.mapsLeft = len(chunks)
-	now := time.Now()
-	for i, c := range chunks {
-		m.mapTasks[i] = &taskState{task: Task{
-			Kind: TaskMap, Epoch: m.epoch, Seq: i, Job: desc, NParts: desc.NumReducers, SplitData: c,
-		}, readyAt: now}
-	}
-	// Reduce tasks exist from the start: they carry no shuffle data (workers
-	// stream segments with FetchSegments), so they can be dispatched as soon
-	// as the slowstart threshold of completed maps is met.
-	m.redTasks = make([]*taskState, desc.NumReducers)
-	for p := 0; p < desc.NumReducers; p++ {
-		m.redTasks[p] = &taskState{task: Task{
-			Kind: TaskReduce, Epoch: m.epoch, Seq: p, Job: desc, NParts: desc.NumReducers, Partition: p,
-		}, readyAt: now}
-	}
-	m.redOutputs = make([][]byte, desc.NumReducers)
-	m.redsLeft = desc.NumReducers
-	m.counters = mapreduce.Counters{}
-	m.phase = "map"
-	m.doneCh = make(chan struct{})
-	done := m.doneCh
-	m.mu.Unlock()
-
-	var sp obs.Span
+	js := newJobState(fmt.Sprintf("job-%d", m.jobSeq), m.epoch, desc, blockSize, chunks, m.defaults, time.Now())
+	m.jobs[js.id] = js
+	m.byEpoch[js.epoch] = js
+	m.order = append(m.order, js)
 	if m.ob.Enabled() {
-		sp = obs.Start(m.ob, "dist.submit",
+		js.span = obs.Start(m.ob, "dist.submit",
 			obs.Str("job", desc.Workload),
+			obs.Str("id", js.id),
 			obs.Int("maps", int64(len(chunks))),
 			obs.Int("reducers", int64(desc.NumReducers)))
-		m.ob.Progress("dist.map", 0, len(chunks))
+		m.ob.Progress("dist.map/"+js.id, 0, len(chunks))
 	}
+	m.promoteLocked()
+	m.saveSnapshotLocked()
+	return &JobHandle{m: m, js: js}, nil
+}
 
+// SubmitCtx is the synchronous convenience wrapper: submit, then wait. A
+// cancelled context aborts the job — undispatched tasks are dropped,
+// in-flight completions become stale — and the error wraps ctx.Err().
+//
+// Deprecated: use Submit and JobHandle.Wait; this wrapper serializes the
+// caller against a master built to run many jobs at once.
+func (m *Master) SubmitCtx(ctx context.Context, desc JobDescriptor, input []byte, blockSize int) (*mapreduce.Result, error) {
+	h, err := m.Submit(ctx, desc, input, blockSize)
+	if err != nil {
+		return nil, err
+	}
 	select {
-	case <-done:
+	case <-h.Done():
+		return h.result()
 	case <-ctx.Done():
-		// Abort: return the master to idle so pollers wind down (nextTask
-		// answers TaskDone while idle) and a new submission can start. The
-		// epoch bump makes the aborted job's in-flight completions and
-		// failure reports stale, so they can never be recorded against a
-		// later job; dropping the task tables releases the job's split and
-		// shuffle data instead of pinning it until the next Submit.
-		m.mu.Lock()
-		m.epoch++
-		m.running = false
-		m.phase = "idle"
-		m.clearJobLocked()
-		m.mu.Unlock()
-		sp.End()
-		return nil, fmt.Errorf("dist: job %s aborted: %w", desc.Workload, ctx.Err())
+		// Abort loses to a concurrent finish: if the job completed between
+		// ctx firing and the abort taking the lock, the result stands.
+		m.abortJob(h.js, ctx.Err())
+		<-h.Done()
+		return h.result()
 	}
-	sp.End()
+}
 
+// abortJob moves a job to the cancelled state and retires it: its tasks
+// leave the scheduler, workers polling for it are turned away, and
+// in-flight completion reports find no job to land on. A finished job is
+// left alone.
+func (m *Master) abortJob(js *jobState, cause error) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.running = false
-	m.phase = "idle"
-	// Decode the partition outputs back to flat segments at the public
-	// Result boundary; string records are never materialized — a caller
-	// that wants them pays at Result.Output time.
-	output := make([]mapreduce.Segment, len(m.redOutputs))
-	for p, blob := range m.redOutputs {
+	if js.finished() {
+		return
+	}
+	js.state = JobCancelled
+	js.err = fmt.Errorf("dist: job %s aborted: %w", js.desc.Workload, cause)
+	m.retireLocked(js)
+	m.promoteLocked()
+	m.saveSnapshotLocked()
+}
+
+// finalizeLocked completes a job whose last reduce just landed: decode the
+// partition outputs back to flat segments at the public Result boundary
+// (string records are never materialized — a caller that wants them pays at
+// Result.Output time) and retire the job. Called under m.mu.
+func (m *Master) finalizeLocked(js *jobState) {
+	output := make([]mapreduce.Segment, len(js.redOutputs))
+	var ferr error
+	for p, blob := range js.redOutputs {
 		seg, err := mapreduce.DecodeSegment(blob)
 		if err != nil {
-			m.clearJobLocked()
-			return nil, fmt.Errorf("dist: job %s: partition %d output: %w", desc.Workload, p, err)
+			ferr = fmt.Errorf("dist: job %s: partition %d output: %w", js.desc.Workload, p, err)
+			break
 		}
 		output[p] = seg
 	}
-	res := mapreduce.NewResult(output, m.counters)
-	res.Counters.MapTasks = len(chunks)
-	res.Counters.ReduceTasks = desc.NumReducers
-	m.clearJobLocked()
-	return res, nil
+	if ferr != nil {
+		js.state = JobFailed
+		js.err = ferr
+	} else {
+		res := mapreduce.NewResult(output, js.counters)
+		res.Counters.MapTasks = len(js.mapTasks)
+		res.Counters.ReduceTasks = js.desc.NumReducers
+		js.state = JobDone
+		js.result = res
+	}
+	m.retireLocked(js)
+	m.promoteLocked()
+	m.saveSnapshotLocked()
 }
 
-// clearJobLocked drops the finished (or aborted) job's task tables and
-// buffered outputs so split and shuffle data are not pinned in memory
-// until the next submission. Called under m.mu with phase == "idle".
-func (m *Master) clearJobLocked() {
-	m.mapTasks = nil
-	m.partSegs = nil
-	m.redTasks = nil
-	m.redOutputs = nil
+// retireLocked removes a terminal job from the active tables, records its
+// final status, frees its task tables and wakes its waiters. The jobState
+// itself is kept on a bounded ring so handles stay answerable. Called under
+// m.mu with js.state already terminal and result/err set.
+func (m *Master) retireLocked(js *jobState) {
+	js.phase = ""
+	js.finishedAt = time.Now()
+	final := m.jobStatusLocked(js)
+	js.final = &final
+	m.history = append(m.history, final)
+	if len(m.history) > maxRetired {
+		m.history = m.history[len(m.history)-maxRetired:]
+	}
+	delete(m.jobs, js.id)
+	delete(m.byEpoch, js.epoch)
+	for i, o := range m.order {
+		if o == js {
+			m.order = append(m.order[:i], m.order[i+1:]...)
+			break
+		}
+	}
+	m.retired = append(m.retired, js)
+	if len(m.retired) > maxRetired {
+		m.retired = m.retired[1:]
+	}
+	js.clearTables()
+	js.span.End()
+	close(js.doneCh)
 }
 
-// nextTask hands out a pending or timed-out task, or a speculative backup
-// of an aging straggler run by a different worker; called under m.mu.
+// promoteLocked admits queued jobs into the running set up to the
+// concurrent-job cap, in submission order. Called under m.mu after any
+// change that frees or fills a slot.
+func (m *Master) promoteLocked() {
+	running := 0
+	for _, js := range m.order {
+		if js.state == JobRunning {
+			running++
+		}
+	}
+	for _, js := range m.order {
+		if running >= m.defaults.maxActiveJobs {
+			break
+		}
+		if js.state != JobQueued {
+			continue
+		}
+		js.state = JobRunning
+		if js.phase == "" {
+			js.phase = "map"
+		}
+		running++
+		if m.ob.Enabled() {
+			m.ob.Progress("dist.map/"+js.id, len(js.mapTasks)-js.mapsLeft, len(js.mapTasks))
+		}
+	}
+}
+
+// Handle returns the handle for a job by ID — the way a client reattaches
+// to a job after a master restart (the IDs are stable across snapshot
+// recovery). Terminal jobs stay reachable on a bounded ring.
+func (m *Master) Handle(id string) (*JobHandle, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if js, ok := m.jobs[id]; ok {
+		return &JobHandle{m: m, js: js}, true
+	}
+	for i := len(m.retired) - 1; i >= 0; i-- {
+		if m.retired[i].id == id {
+			return &JobHandle{m: m, js: m.retired[i]}, true
+		}
+	}
+	return nil, false
+}
+
+// scheduleOrderLocked returns the running jobs in dispatch order: higher
+// priority first, then fewest in-flight tasks (fair sharing), then
+// submission order. Called under m.mu.
+func (m *Master) scheduleOrderLocked() []*jobState {
+	run := make([]*jobState, 0, len(m.order))
+	load := make(map[*jobState]int, len(m.order))
+	for _, js := range m.order {
+		if js.state == JobRunning {
+			run = append(run, js)
+			load[js] = js.runningTasks()
+		}
+	}
+	sort.SliceStable(run, func(i, j int) bool {
+		a, b := run[i], run[j]
+		if a.priority != b.priority {
+			return a.priority > b.priority
+		}
+		if load[a] != load[b] {
+			return load[a] < load[b]
+		}
+		return a.epoch < b.epoch
+	})
+	return run
+}
+
+// activeEpochsLocked lists every queued or running job's epoch — the
+// piggyback on TaskWait/TaskDone that lets shuffle-serving workers prune
+// stored output of finished jobs. Called under m.mu.
+func (m *Master) activeEpochsLocked() []uint64 {
+	out := make([]uint64, 0, len(m.order))
+	for _, js := range m.order {
+		out = append(out, js.epoch)
+	}
+	return out
+}
+
+// nextTask hands the polling worker a task from the running jobs, or a
+// speculative backup of an aging straggler run by a different worker;
+// called under m.mu.
 //
-// Map tasks take priority; once the slowstart fraction of maps has
-// completed, reduce tasks become eligible too, so reducers start streaming
-// segments while the tail of the map wave is still running.
+// Map tasks take priority across every job (they unblock shuffles); once a
+// job passes its slowstart fraction of completed maps its reduce tasks
+// become eligible too, so reducers stream segments while the tail of the
+// map wave is still running. Jobs are visited in fair/priority order, so
+// one wide job cannot starve the rest.
 func (m *Master) nextTask(workerID string) Task {
-	if m.phase == "idle" {
-		// No job in flight (finished or aborted): tell the poller the job is
-		// over before scanning any leftover tables, so an aborted job's
-		// undone tasks are never reissued as dead work.
+	if len(m.jobs) == 0 {
+		// Nothing queued or running: the worker may exit (its store prunes
+		// to nothing — no ActiveEpochs).
 		return Task{Kind: TaskDone}
 	}
 	now := time.Now()
-	if task, ok := m.assignFrom(m.mapTasks, workerID, now); ok {
-		return task
+	order := m.scheduleOrderLocked()
+	for _, js := range order {
+		if task, ok := m.assignFrom(js, js.mapTasks, workerID, now); ok {
+			return task
+		}
 	}
-	if m.reduceEligible() {
-		if task, ok := m.assignFrom(m.redTasks, workerID, now); ok {
-			if m.phase == "map" {
+	for _, js := range order {
+		if !js.reduceEligible() {
+			continue
+		}
+		if task, ok := m.assignFrom(js, js.redTasks, workerID, now); ok {
+			if js.phase == "map" {
+				js.earlyReduces++
 				m.earlyReduces++
 				m.ob.Count("dist.tasks.early_reduce", 1)
 			}
 			return task
 		}
 	}
-	// Nothing pending: speculate on the oldest aging straggler owned by
-	// someone else (first result wins; duplicates are discarded).
-	pools := [][]*taskState{m.mapTasks}
-	if m.reduceEligible() {
-		pools = append(pools, m.redTasks)
-	}
-	specAge := time.Duration(float64(m.taskTimeout) * m.specFraction)
+	// Nothing pending anywhere: speculate on the oldest aging straggler
+	// owned by someone else (first result wins; duplicates are discarded).
+	// Each job's own timeout knobs decide what "aging" means for its tasks.
 	var oldest *taskState
-	for _, pool := range pools {
-		for _, ts := range pool {
-			if ts.done || !ts.assigned || ts.assignee == workerID {
-				continue
-			}
-			if now.Sub(ts.assignedAt) < specAge {
-				continue
-			}
-			if oldest == nil || ts.assignedAt.Before(oldest.assignedAt) {
-				oldest = ts
+	var oldestJob *jobState
+	for _, js := range order {
+		specAge := time.Duration(float64(js.taskTimeout) * js.specFraction)
+		pools := [][]*taskState{js.mapTasks}
+		if js.reduceEligible() {
+			pools = append(pools, js.redTasks)
+		}
+		for _, pool := range pools {
+			for _, ts := range pool {
+				if ts.done || !ts.assigned || ts.assignee == workerID {
+					continue
+				}
+				if now.Sub(ts.assignedAt) < specAge {
+					continue
+				}
+				if oldest == nil || ts.assignedAt.Before(oldest.assignedAt) {
+					oldest, oldestJob = ts, js
+				}
 			}
 		}
 	}
 	if oldest != nil {
+		oldestJob.speculative++
 		m.speculative++
 		m.ob.Count("dist.tasks.speculative", 1)
 		oldest.assignedAt = now // throttle repeated speculation
 		oldest.assignee = workerID
-		m.emitSchedule(oldest, workerID, now)
+		m.emitSchedule(oldestJob, oldest, workerID, now)
 		return oldest.task
 	}
-	return Task{Kind: TaskWait}
+	return Task{Kind: TaskWait, ActiveEpochs: m.activeEpochsLocked()}
 }
 
 // emitSchedule reports one assignment's dispatch latency — ready-to-assigned
 // — as a schedule phase interval attributed to the assignee; called under
 // m.mu. Reissues and speculative backups emit again with the new worker, so
-// every attempt's queueing delay is visible in the trace.
-func (m *Master) emitSchedule(ts *taskState, workerID string, now time.Time) {
+// every attempt's queueing delay is visible in the trace; for a queued job,
+// the admission wait counts too.
+func (m *Master) emitSchedule(js *jobState, ts *taskState, workerID string, now time.Time) {
 	if !m.ob.Enabled() {
 		return
 	}
@@ -373,7 +545,7 @@ func (m *Master) emitSchedule(ts *taskState, workerID string, now time.Time) {
 	}
 	obs.EmitPhase(m.ob, obs.PhaseEvent{
 		Task: obs.TaskRef{
-			Job: m.desc.Workload, Kind: kind, Index: ts.task.Seq, Worker: workerID, Epoch: ts.task.Epoch,
+			Job: js.desc.Workload, Kind: kind, Index: ts.task.Seq, Worker: workerID, Epoch: ts.task.Epoch,
 		},
 		Phase:    obs.PhaseSchedule,
 		Start:    ts.readyAt,
@@ -383,98 +555,110 @@ func (m *Master) emitSchedule(ts *taskState, workerID string, now time.Time) {
 
 // assignFrom hands out the first pending or timed-out task in pool; called
 // under m.mu.
-func (m *Master) assignFrom(pool []*taskState, workerID string, now time.Time) (Task, bool) {
+func (m *Master) assignFrom(js *jobState, pool []*taskState, workerID string, now time.Time) (Task, bool) {
 	for _, ts := range pool {
 		if ts.done {
 			continue
 		}
-		if ts.assigned && now.Sub(ts.assignedAt) < m.taskTimeout {
+		if ts.assigned && now.Sub(ts.assignedAt) < js.taskTimeout {
 			continue
 		}
 		if ts.assigned {
+			js.reassigned++
 			m.reassigned++
 			m.ob.Count("dist.tasks.reassigned", 1)
 		}
 		ts.assigned = true
 		ts.assignee = workerID
 		ts.assignedAt = now
-		m.emitSchedule(ts, workerID, now)
+		m.emitSchedule(js, ts, workerID, now)
 		return ts.task, true
 	}
 	return Task{}, false
 }
 
-// reduceEligible reports whether reduce tasks may be dispatched: always in
-// the reduce phase, and during the map phase once the slowstart fraction of
-// maps has completed. Called under m.mu.
-func (m *Master) reduceEligible() bool {
-	if m.phase == "reduce" {
-		return true
-	}
-	if m.phase != "map" || len(m.mapTasks) == 0 {
-		return false
-	}
-	done := len(m.mapTasks) - m.mapsLeft
-	return float64(done) >= m.reduceSlowstart*float64(len(m.mapTasks))
-}
-
 // completeMap records a map result and publishes the task's non-empty
-// segments to the streaming shuffle, where already-dispatched reducers pick
-// them up on their next fetch. Duplicate completions (from reissued
-// attempts) and stale completions (wrong epoch: the reporting worker was
-// running a job that has since been aborted) are ignored. Called under
-// m.mu.
+// segments to the job's streaming shuffle, where already-dispatched
+// reducers pick them up on their next fetch. Served output (res.Addr set)
+// publishes address references — the segments stay on the worker; inline
+// output publishes the blobs themselves. Duplicate completions (from
+// reissued attempts) and stale completions (the job is gone) are ignored.
+// Called under m.mu.
 func (m *Master) completeMap(res *MapDone) {
-	if res.Epoch != m.epoch || m.mapTasks == nil ||
-		res.Seq < 0 || res.Seq >= len(m.mapTasks) || m.mapTasks[res.Seq].done {
+	js := m.byEpoch[res.Epoch]
+	if js == nil || js.mapTasks == nil ||
+		res.Seq < 0 || res.Seq >= len(js.mapTasks) || js.mapTasks[res.Seq].done {
 		return
 	}
-	m.mapTasks[res.Seq].done = true
-	m.counters.Add(res.Counters)
-	nonEmpty := res.NonEmpty
-	if nonEmpty == nil {
-		// Legacy sender: derive the availability report from the segment
-		// headers (O(1) per partition, no payload decode).
-		for p, part := range res.Parts {
-			if n, _, err := mapreduce.SegmentStats(part); err == nil && n > 0 {
-				nonEmpty = append(nonEmpty, p)
+	ts := js.mapTasks[res.Seq]
+	ts.done = true
+	ts.assigned = false
+	ts.owner = res.WorkerID
+	ts.ownerAddr = res.Addr
+	js.counters.Add(res.Counters)
+	if res.Addr != "" {
+		// Worker-served output: publish references; the accounting comes
+		// from the worker's own segment headers (PartStats).
+		for _, ps := range res.PartStats {
+			if ps.Part < 0 || ps.Part >= len(js.partSegs) || ps.Recs == 0 {
+				continue
+			}
+			js.partSegs[ps.Part] = append(js.partSegs[ps.Part], TaggedSegment{
+				MapSeq: res.Seq, Addr: res.Addr, Owner: res.WorkerID,
+			})
+			js.counters.ShuffleSegments++
+			js.counters.ShuffleBytes += units.Bytes(ps.Bytes)
+		}
+	} else {
+		nonEmpty := res.NonEmpty
+		if nonEmpty == nil {
+			// Legacy sender: derive the availability report from the segment
+			// headers (O(1) per partition, no payload decode).
+			for p, part := range res.Parts {
+				if n, _, err := mapreduce.SegmentStats(part); err == nil && n > 0 {
+					nonEmpty = append(nonEmpty, p)
+				}
 			}
 		}
-	}
-	for _, p := range nonEmpty {
-		if p < 0 || p >= len(m.partSegs) || p >= len(res.Parts) {
-			continue
+		for _, p := range nonEmpty {
+			if p < 0 || p >= len(js.partSegs) || p >= len(res.Parts) {
+				continue
+			}
+			// The blob is forwarded to reducers untouched; only its header is
+			// read, for the shuffle accounting the engine's in-process paths
+			// compute from the same per-record formula.
+			nrecs, segBytes, err := mapreduce.SegmentStats(res.Parts[p])
+			if err != nil || nrecs == 0 {
+				continue
+			}
+			js.partSegs[p] = append(js.partSegs[p], TaggedSegment{MapSeq: res.Seq, Data: res.Parts[p]})
+			js.counters.ShuffleSegments++
+			js.counters.ShuffleBytes += segBytes
 		}
-		// The blob is forwarded to reducers untouched; only its header is
-		// read, for the shuffle accounting the engine's in-process paths
-		// compute from the same per-record formula.
-		nrecs, segBytes, err := mapreduce.SegmentStats(res.Parts[p])
-		if err != nil || nrecs == 0 {
-			continue
-		}
-		m.partSegs[p] = append(m.partSegs[p], TaggedSegment{MapSeq: res.Seq, Data: res.Parts[p]})
-		m.counters.ShuffleSegments++
-		m.counters.ShuffleBytes += segBytes
 	}
-	m.mapsLeft--
+	js.mapsLeft--
 	if m.ob.Enabled() {
-		m.ob.Progress("dist.map", len(m.mapTasks)-m.mapsLeft, len(m.mapTasks))
+		m.ob.Progress("dist.map/"+js.id, len(js.mapTasks)-js.mapsLeft, len(js.mapTasks))
 	}
-	if m.mapsLeft == 0 && m.phase == "map" {
-		m.phase = "reduce"
+	if js.mapsLeft == 0 && js.phase == "map" {
+		js.phase = "reduce"
 	}
+	m.saveSnapshotLocked()
 }
 
 // fetchSegments answers one reducer's streaming fetch; called under m.mu.
-// The reply is Stale — abandon the task — when the epoch is wrong or the
-// job's tables are gone (aborted or finished).
+// The reply is Stale — abandon the task — when the job is gone (aborted or
+// finished). Complete can regress to false after a segment loss puts a map
+// back in flight; fetch loops keep polling until Complete holds with every
+// segment resolved.
 func (m *Master) fetchSegments(args *FetchSegmentsArgs, reply *FetchSegmentsReply) {
-	if args.Epoch != m.epoch || m.partSegs == nil ||
-		args.Partition < 0 || args.Partition >= len(m.partSegs) {
+	js := m.byEpoch[args.Epoch]
+	if js == nil || js.partSegs == nil ||
+		args.Partition < 0 || args.Partition >= len(js.partSegs) {
 		reply.Stale = true
 		return
 	}
-	segs := m.partSegs[args.Partition]
+	segs := js.partSegs[args.Partition]
 	cur := args.Cursor
 	if cur < 0 {
 		cur = 0
@@ -486,42 +670,126 @@ func (m *Master) fetchSegments(args *FetchSegmentsArgs, reply *FetchSegmentsRepl
 		reply.Segments = append([]TaggedSegment(nil), segs[cur:]...)
 	}
 	reply.Cursor = len(segs)
-	reply.Complete = m.mapsLeft == 0
+	reply.Complete = js.mapsLeft == 0
 	// A reducer actively streaming is alive: refresh its lease so a long
 	// fetch wait behind a slow map wave does not read as a timeout and
 	// trigger a spurious reassignment.
-	if args.Partition < len(m.redTasks) {
-		if ts := m.redTasks[args.Partition]; ts != nil && ts.assigned && !ts.done && ts.assignee == args.WorkerID {
+	if args.Partition < len(js.redTasks) {
+		if ts := js.redTasks[args.Partition]; ts != nil && ts.assigned && !ts.done && ts.assignee == args.WorkerID {
 			ts.assignedAt = time.Now()
 		}
 	}
 }
 
-// completeReduce records a reduce result; duplicates and stale (wrong
-// epoch) completions ignored. Early completions — while the tail of the map
-// wave is still running — are legitimate only in theory (a reducer cannot
-// finish before its shuffle is Complete), so the guard checks the task
-// tables rather than the phase. Called under m.mu.
+// completeReduce records a reduce result; duplicates and stale completions
+// ignored. The last reduce finalizes the job. Called under m.mu.
 func (m *Master) completeReduce(res *ReduceDone) {
-	if res.Epoch != m.epoch || m.redTasks == nil ||
-		res.Seq < 0 || res.Seq >= len(m.redTasks) || m.redTasks[res.Seq].done {
+	js := m.byEpoch[res.Epoch]
+	if js == nil || js.redTasks == nil ||
+		res.Seq < 0 || res.Seq >= len(js.redTasks) || js.redTasks[res.Seq].done ||
+		res.Partition < 0 || res.Partition >= len(js.redOutputs) {
 		return
 	}
-	m.redTasks[res.Seq].done = true
-	m.redOutputs[res.Partition] = res.Output
-	m.counters.Add(res.Counters)
-	m.redsLeft--
+	js.redTasks[res.Seq].done = true
+	js.redOutputs[res.Partition] = res.Output
+	js.counters.Add(res.Counters)
+	js.redsLeft--
 	if m.ob.Enabled() {
-		m.ob.Progress("dist.reduce", len(m.redTasks)-m.redsLeft, len(m.redTasks))
+		m.ob.Progress("dist.reduce/"+js.id, len(js.redTasks)-js.redsLeft, len(js.redTasks))
 	}
-	if m.redsLeft == 0 {
-		m.phase = "idle"
-		close(m.doneCh)
+	if js.redsLeft == 0 {
+		m.finalizeLocked(js)
+	} else {
+		m.saveSnapshotLocked()
+	}
+}
+
+// reportLostSegments handles a reducer's segment-loss report: every named
+// map still owned by the unreachable worker is invalidated (re-queued for
+// execution — its replacement publishes under the same MapSeq), and the
+// owner itself is evicted so its other served output and in-flight tasks
+// recover without waiting for more fetch failures. A map that already
+// re-executed elsewhere is left alone — the Owner guard makes stale
+// reports harmless. Called under m.mu.
+func (m *Master) reportLostSegments(args *SegmentsLost) {
+	now := time.Now()
+	changed := false
+	if js := m.byEpoch[args.Epoch]; js != nil && js.mapTasks != nil {
+		for _, seq := range args.MapSeqs {
+			if seq < 0 || seq >= len(js.mapTasks) {
+				continue
+			}
+			ts := js.mapTasks[seq]
+			if ts.owner != args.Owner {
+				continue
+			}
+			if js.invalidateMap(ts, now) {
+				m.recoveredMaps++
+				m.ob.Count("dist.tasks.recovered", 1)
+				changed = true
+			}
+		}
+		if changed && m.ob.Enabled() {
+			m.ob.Progress("dist.map/"+js.id, len(js.mapTasks)-js.mapsLeft, len(js.mapTasks))
+		}
+	}
+	if args.Owner != "" {
+		if w := m.workers.workers[args.Owner]; w != nil && !w.Evicted {
+			m.evictWorkerLocked(args.Owner, now)
+			changed = true
+		}
+	}
+	if changed {
+		m.saveSnapshotLocked()
+	}
+}
+
+// evictWorkerLocked declares a worker dead: its in-flight assignments are
+// requeued across every active job, and its completed maps whose shuffle
+// output it was serving are invalidated for re-execution (inline-shipped
+// output lives on the master and survives). A fresh poll resurrects the
+// worker, but its revoked tasks stay revoked. Called under m.mu.
+func (m *Master) evictWorkerLocked(id string, now time.Time) {
+	w := m.workers.workers[id]
+	if w == nil || w.Evicted {
+		return
+	}
+	w.Evicted = true
+	m.evicted++
+	m.ob.Count("dist.workers.evicted", 1)
+	for _, js := range m.order {
+		mapsChanged := false
+		requeue := func(ts *taskState) {
+			ts.assigned = false
+			ts.readyAt = now
+			js.reassigned++
+			m.reassigned++
+			m.ob.Count("dist.tasks.reassigned", 1)
+		}
+		for _, ts := range js.mapTasks {
+			if ts.assigned && !ts.done && ts.assignee == id {
+				requeue(ts)
+			}
+			if ts.done && ts.owner == id && js.invalidateMap(ts, now) {
+				m.recoveredMaps++
+				m.ob.Count("dist.tasks.recovered", 1)
+				mapsChanged = true
+			}
+		}
+		for _, ts := range js.redTasks {
+			if ts.assigned && !ts.done && ts.assignee == id {
+				requeue(ts)
+			}
+		}
+		if mapsChanged && m.ob.Enabled() {
+			m.ob.Progress("dist.map/"+js.id, len(js.mapTasks)-js.mapsLeft, len(js.mapTasks))
+		}
 	}
 }
 
 // masterRPC is the RPC facade; it keeps the exported method set separate
-// from the Master's own API.
+// from the Master's own API. Every call doubles as a liveness touch for the
+// calling worker.
 type masterRPC struct {
 	m *Master
 }
@@ -533,7 +801,7 @@ func (r *masterRPC) GetTask(args GetTaskArgs, reply *Task) error {
 	r.m.mu.Lock()
 	defer r.m.mu.Unlock()
 	r.m.ob.Count("dist.rpc.get_task", 1)
-	r.m.workers[args.WorkerID] = time.Now()
+	r.m.workers.touch(args.WorkerID, args.Addr, time.Now())
 	*reply = r.m.nextTask(args.WorkerID)
 	return nil
 }
@@ -542,6 +810,7 @@ func (r *masterRPC) GetTask(args GetTaskArgs, reply *Task) error {
 func (r *masterRPC) CompleteMap(res MapDone, _ *Ack) error {
 	r.m.mu.Lock()
 	defer r.m.mu.Unlock()
+	r.m.workers.touch(res.WorkerID, res.Addr, time.Now())
 	r.m.completeMap(&res)
 	return nil
 }
@@ -553,7 +822,7 @@ func (r *masterRPC) CompleteMap(res MapDone, _ *Ack) error {
 func (r *masterRPC) FetchSegments(args FetchSegmentsArgs, reply *FetchSegmentsReply) error {
 	r.m.mu.Lock()
 	defer r.m.mu.Unlock()
-	r.m.workers[args.WorkerID] = time.Now()
+	r.m.workers.touch(args.WorkerID, "", time.Now())
 	r.m.fetchSegments(&args, reply)
 	return nil
 }
@@ -562,22 +831,25 @@ func (r *masterRPC) FetchSegments(args FetchSegmentsArgs, reply *FetchSegmentsRe
 func (r *masterRPC) CompleteReduce(res ReduceDone, _ *Ack) error {
 	r.m.mu.Lock()
 	defer r.m.mu.Unlock()
+	r.m.workers.touch(res.WorkerID, "", time.Now())
 	r.m.completeReduce(&res)
 	return nil
 }
 
 // ReportFailure requeues a task whose worker hit an execution error: the
 // assignment is cleared so the next poll can hand it out again. Stale
-// reports (wrong epoch) are ignored.
+// reports (the job is gone) are ignored.
 func (r *masterRPC) ReportFailure(f TaskFailed, _ *Ack) error {
 	r.m.mu.Lock()
 	defer r.m.mu.Unlock()
-	if f.Epoch != r.m.epoch {
+	r.m.workers.touch(f.WorkerID, "", time.Now())
+	js := r.m.byEpoch[f.Epoch]
+	if js == nil {
 		return nil
 	}
-	pool := r.m.mapTasks
+	pool := js.mapTasks
 	if f.Kind == TaskReduce {
-		pool = r.m.redTasks
+		pool = js.redTasks
 	}
 	if f.Seq < 0 || f.Seq >= len(pool) || pool[f.Seq] == nil || pool[f.Seq].done {
 		return nil
@@ -585,16 +857,27 @@ func (r *masterRPC) ReportFailure(f TaskFailed, _ *Ack) error {
 	ts := pool[f.Seq]
 	if ts.assigned && ts.assignee == f.WorkerID {
 		ts.assigned = false
+		js.reassigned++
 		r.m.reassigned++
 		r.m.ob.Count("dist.tasks.reassigned", 1)
 	}
 	return nil
 }
 
+// ReportLostSegments records shuffle segments a reducer could not fetch:
+// the affected maps re-execute and the unreachable owner is evicted.
+func (r *masterRPC) ReportLostSegments(args SegmentsLost, _ *Ack) error {
+	r.m.mu.Lock()
+	defer r.m.mu.Unlock()
+	r.m.workers.touch(args.WorkerID, "", time.Now())
+	r.m.reportLostSegments(&args)
+	return nil
+}
+
 // Submit accepts a remote job submission over RPC and blocks until the job
 // completes, returning the full result to the client.
 func (r *masterRPC) Submit(args SubmitArgs, reply *mapreduce.Result) error {
-	res, err := r.m.Submit(args.Desc, args.Input, args.BlockSize)
+	res, err := r.m.SubmitCtx(context.Background(), args.Desc, args.Input, args.BlockSize)
 	if err != nil {
 		return err
 	}
@@ -606,10 +889,5 @@ func (r *masterRPC) Submit(args SubmitArgs, reply *mapreduce.Result) error {
 func (m *Master) SortedWorkerIDs() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	ids := make([]string, 0, len(m.workers))
-	for id := range m.workers {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	return ids
+	return m.workers.ids()
 }

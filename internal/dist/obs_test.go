@@ -48,11 +48,11 @@ func TestStartMasterAppliesOptions(t *testing.T) {
 		t.Fatal(err)
 	}
 	defer m.Close()
-	if m.taskTimeout != 42*time.Second {
-		t.Errorf("taskTimeout %v, want 42s", m.taskTimeout)
+	if m.defaults.taskTimeout != 42*time.Second {
+		t.Errorf("taskTimeout %v, want 42s", m.defaults.taskTimeout)
 	}
-	if m.specFraction != 0.75 {
-		t.Errorf("specFraction %v, want 0.75", m.specFraction)
+	if m.defaults.specFraction != 0.75 {
+		t.Errorf("specFraction %v, want 0.75", m.defaults.specFraction)
 	}
 }
 
@@ -89,7 +89,7 @@ func TestSubmitCtxAbortsOnCancel(t *testing.T) {
 		}()
 		defer w.Close()
 	}
-	if _, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 2*1024); err != nil {
+	if _, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 2*1024); err != nil {
 		t.Fatalf("submit after aborted job: %v", err)
 	}
 	wg.Wait()
@@ -154,7 +154,7 @@ func TestStaleCompletionRejectedAfterAbort(t *testing.T) {
 	resCh := make(chan *mapreduce.Result, 1)
 	errB := make(chan error, 1)
 	go func() {
-		res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 1}, inputB, 2*1024)
+		res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 1}, inputB, 2*1024)
 		if err != nil {
 			errB <- err
 			return
@@ -162,11 +162,16 @@ func TestStaleCompletionRejectedAfterAbort(t *testing.T) {
 		resCh <- res
 	}()
 	deadline := time.Now().Add(5 * time.Second)
-	for {
+	var epochB uint64
+	for epochB == 0 {
 		m.mu.Lock()
-		ph := m.phase
+		for _, js := range m.order {
+			if js.state == JobRunning && js.phase == "map" {
+				epochB = js.epoch
+			}
+		}
 		m.mu.Unlock()
-		if ph == "map" {
+		if epochB != 0 {
 			break
 		}
 		if time.Now().After(deadline) {
@@ -183,7 +188,8 @@ func TestStaleCompletionRejectedAfterAbort(t *testing.T) {
 		t.Fatal(err)
 	}
 	m.mu.Lock()
-	contaminated := m.mapTasks[staleTask.Seq].done
+	jsB := m.byEpoch[epochB]
+	contaminated := jsB != nil && staleTask.Seq < len(jsB.mapTasks) && jsB.mapTasks[staleTask.Seq].done
 	m.mu.Unlock()
 	if contaminated {
 		t.Fatal("stale completion from the aborted job was recorded against the new job")
@@ -267,7 +273,12 @@ func TestAbortedJobTasksNotReissued(t *testing.T) {
 		t.Errorf("poll after abort returned %q, want %q", task.Kind, TaskDone)
 	}
 	m.mu.Lock()
-	leaked := m.mapTasks != nil || m.redTasks != nil || m.partSegs != nil
+	leaked := len(m.jobs) != 0 || len(m.byEpoch) != 0 || len(m.order) != 0
+	for _, js := range m.retired {
+		if js.mapTasks != nil || js.redTasks != nil || js.partSegs != nil {
+			leaked = true
+		}
+	}
 	m.mu.Unlock()
 	if leaked {
 		t.Error("aborted job's task tables still pinned after abort")
@@ -335,11 +346,11 @@ func TestDistJobEmitsObserverEvents(t *testing.T) {
 		t.Errorf("dist.task span count %d, want >= %d", n, want)
 	}
 	snap := c.Snapshot()
-	if p := snap.Progress["dist.map"]; p.Done != p.Total || p.Total != res.Counters.MapTasks {
-		t.Errorf("dist.map progress %+v, want %d/%d", p, res.Counters.MapTasks, res.Counters.MapTasks)
+	if p := snap.Progress["dist.map/job-1"]; p.Done != p.Total || p.Total != res.Counters.MapTasks {
+		t.Errorf("dist.map/job-1 progress %+v, want %d/%d", p, res.Counters.MapTasks, res.Counters.MapTasks)
 	}
-	if p := snap.Progress["dist.reduce"]; p.Done != p.Total || p.Total != res.Counters.ReduceTasks {
-		t.Errorf("dist.reduce progress %+v, want %d/%d", p, res.Counters.ReduceTasks, res.Counters.ReduceTasks)
+	if p := snap.Progress["dist.reduce/job-1"]; p.Done != p.Total || p.Total != res.Counters.ReduceTasks {
+		t.Errorf("dist.reduce/job-1 progress %+v, want %d/%d", p, res.Counters.ReduceTasks, res.Counters.ReduceTasks)
 	}
 }
 
@@ -431,7 +442,7 @@ func TestSpeculativeAttemptsDistinguishableInTrace(t *testing.T) {
 	errCh := make(chan error, 1)
 	go func() {
 		// One line, one split, one map task: the straggler must grab it.
-		res, err := m.Submit(JobDescriptor{Workload: "slowmap", NumReducers: 1},
+		res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "slowmap", NumReducers: 1},
 			[]byte("only line\n"), 1024)
 		if err != nil {
 			errCh <- err

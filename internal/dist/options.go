@@ -18,11 +18,21 @@ var (
 	// has been closed.
 	ErrMasterClosed = errors.New("dist: master closed")
 	// ErrJobRunning marks a submission while another job is in flight.
+	//
+	// Deprecated: the master is multi-tenant; concurrent submissions queue
+	// instead of failing. Kept for errors.Is source compatibility.
 	ErrJobRunning = errors.New("dist: a job is already running")
 	// ErrEmptyInput marks a submission whose input splits to zero chunks.
 	ErrEmptyInput = errors.New("dist: empty input")
 	// ErrInvalidJob marks a job descriptor that fails validation.
 	ErrInvalidJob = errors.New("dist: invalid job")
+	// ErrQueueFull marks a submission rejected by admission control: the
+	// master already holds WithMaxQueuedJobs jobs.
+	ErrQueueFull = errors.New("dist: job queue full")
+	// ErrJobCancelled marks a job aborted through JobHandle.Cancel.
+	ErrJobCancelled = errors.New("dist: job cancelled")
+	// ErrUnknownJob marks a lookup for a job ID the master has never seen.
+	ErrUnknownJob = errors.New("dist: unknown job")
 )
 
 // config carries the tunables behind the functional options. Master and
@@ -34,6 +44,11 @@ type config struct {
 	reduceSlowstart float64
 	pollInterval    time.Duration
 	observer        obs.Observer
+	maxActiveJobs   int
+	maxQueuedJobs   int
+	workerTimeout   time.Duration
+	snapshotPath    string
+	serveShuffle    bool
 }
 
 func defaultConfig() config {
@@ -43,6 +58,10 @@ func defaultConfig() config {
 		reduceSlowstart: 0.5,
 		pollInterval:    10 * time.Millisecond,
 		observer:        obs.Nop,
+		maxActiveJobs:   4,
+		maxQueuedJobs:   64,
+		workerTimeout:   30 * time.Second,
+		serveShuffle:    true,
 	}
 }
 
@@ -105,4 +124,55 @@ func WithObserver(o obs.Observer) Option {
 			c.observer = o
 		}
 	}
+}
+
+// WithMaxConcurrentJobs caps how many admitted jobs run (are offered
+// tasks) at once; further submissions queue until a slot frees. Values
+// below 1 keep the default (4).
+func WithMaxConcurrentJobs(n int) Option {
+	return func(c *config) {
+		if n >= 1 {
+			c.maxActiveJobs = n
+		}
+	}
+}
+
+// WithMaxQueuedJobs caps the total jobs the master holds (running plus
+// queued); Submit beyond it fails with ErrQueueFull. Values below 1 keep
+// the default (64).
+func WithMaxQueuedJobs(n int) Option {
+	return func(c *config) {
+		if n >= 1 {
+			c.maxQueuedJobs = n
+		}
+	}
+}
+
+// WithWorkerTimeout sets the liveness window: a worker silent (no poll,
+// fetch or completion) for longer is evicted — its in-flight tasks are
+// requeued and its served map output is re-executed. Non-positive values
+// keep the default (30s).
+func WithWorkerTimeout(d time.Duration) Option {
+	return func(c *config) {
+		if d > 0 {
+			c.workerTimeout = d
+		}
+	}
+}
+
+// WithSnapshotPath makes the master persist a versioned state snapshot
+// (jobs, task tables, worker registry) to path on every mutation, and
+// StartMaster resume from an existing snapshot at that path — a restarted
+// master picks its in-flight jobs back up. Empty keeps snapshots off.
+func WithSnapshotPath(path string) Option {
+	return func(c *config) { c.snapshotPath = path }
+}
+
+// WithShuffleServing toggles worker-served shuffle: when on (the default)
+// a worker keeps its map output local and serves it to reducers directly,
+// the way Hadoop map output stays on the mapper's node; when off the
+// worker ships output inline in MapDone (the segments then survive the
+// worker, at the cost of master memory).
+func WithShuffleServing(on bool) Option {
+	return func(c *config) { c.serveShuffle = on }
 }

@@ -6,14 +6,25 @@
 // go silent — speculative re-execution included. Jobs are referenced by
 // registered workload names (shipping class names, not code), with
 // sampler/f-list auxiliary data computed master-side and sent alongside.
+//
+// The master is multi-tenant: Submit is asynchronous and returns a
+// JobHandle, many jobs run concurrently under a fair/capacity scheduler,
+// workers that stop polling are evicted (their in-flight tasks requeued
+// and their served map output re-executed), and an optional snapshot file
+// lets a restarted master resume in-flight jobs.
 package dist
 
 import (
+	"time"
+
 	"heterohadoop/internal/mapreduce"
 )
 
 // JobDescriptor names a job and carries everything a worker needs to
-// reconstruct it locally.
+// reconstruct it locally, plus the per-job scheduling knobs. The knobs
+// default to the master's values (WithTaskTimeout and friends) when zero,
+// so a slow batch job and a latency-sensitive job can coexist on one
+// master with different timeouts.
 type JobDescriptor struct {
 	// Workload is the registered job-factory name (e.g. "wordcount").
 	Workload string
@@ -27,6 +38,20 @@ type JobDescriptor struct {
 	// Aux is workload-specific auxiliary data (e.g. FP-Growth's f-list or
 	// grep's pattern), encoded by the job factory's conventions.
 	Aux []byte
+
+	// Priority orders jobs in the scheduler: higher-priority jobs are
+	// offered tasks first. Jobs of equal priority share capacity fairly
+	// (fewest running tasks first). Zero is the default priority.
+	Priority int
+	// TaskTimeout bounds how long one of this job's tasks may stay
+	// assigned without completion before reissue (0 = master default).
+	TaskTimeout time.Duration
+	// SpecFraction is the speculative-execution age as a fraction of
+	// TaskTimeout (0 = master default).
+	SpecFraction float64
+	// ReduceSlowstart is the completed-map fraction gating early reduce
+	// dispatch (0 = master default).
+	ReduceSlowstart float64
 }
 
 // Task kinds.
@@ -41,10 +66,15 @@ const (
 type Task struct {
 	// Kind is one of the Task* constants.
 	Kind string
-	// Epoch is the master's job generation the task belongs to. Workers
-	// echo it in completion and failure reports so results from a job that
-	// has since been aborted or superseded are rejected instead of being
-	// recorded against the wrong job.
+	// JobID names the job the task belongs to (observability; the epoch is
+	// the authoritative routing key).
+	JobID string
+	// Epoch is the master's job generation the task belongs to — unique
+	// per submitted job, even across a snapshot restart. Workers echo it
+	// in completion and failure reports so results from a job that has
+	// since been aborted or superseded are rejected instead of being
+	// recorded against the wrong job, and the master routes reports from
+	// concurrent jobs by it.
 	Epoch uint64
 	// Seq identifies the task attempt's slot in the master's tables.
 	Seq int
@@ -59,11 +89,20 @@ type Task struct {
 	// from the master with Master.FetchSegments while the map wave is still
 	// running.
 	Partition int
+	// ActiveEpochs lists the epochs of every job currently queued or
+	// running, piggybacked on TaskWait/TaskDone replies so a
+	// shuffle-serving worker can prune stored map output belonging to
+	// finished jobs.
+	ActiveEpochs []uint64
 }
 
 // GetTaskArgs is the worker's poll request (the heartbeat).
 type GetTaskArgs struct {
 	WorkerID string
+	// Addr is the worker's shuffle-serve address ("" when the worker ships
+	// map output inline). The master records it so evictions can be
+	// attributed to served segments.
+	Addr string
 }
 
 // MapDone reports a completed map task. Epoch is copied from the Task.
@@ -84,7 +123,23 @@ type MapDone struct {
 	// NonEmpty makes the master derive it from the segment headers (legacy
 	// senders).
 	NonEmpty []int
-	Counters mapreduce.Counters
+	// Addr, when set, means the worker serves this task's output itself
+	// (Shuffle.Fetch at Addr) instead of shipping it inline: Parts is nil
+	// and PartStats carries the per-partition accounting the master would
+	// otherwise read from the segment headers. If the worker dies, the
+	// segments are gone and the master re-executes the map.
+	Addr string
+	// PartStats is the per-partition record/byte accounting for served
+	// output (one entry per non-empty partition).
+	PartStats []PartStat
+	Counters  mapreduce.Counters
+}
+
+// PartStat is one non-empty partition's accounting in a served MapDone.
+type PartStat struct {
+	Part  int
+	Recs  int
+	Bytes int64
 }
 
 // TaggedSegment is one map task's sorted output for one partition — a
@@ -93,9 +148,54 @@ type MapDone struct {
 // the engine's stable merge is defined over — no matter the order segments
 // were fetched in. The master forwards Data untouched; only the worker
 // ever decodes it.
+//
+// A segment is either inline (Data set) or served (Addr set): served
+// segments live on the producing worker and the reducer fetches them with
+// Shuffle.Fetch. When the producer is unreachable the reducer reports the
+// loss (Master.ReportLostSegments) and the master re-executes the map,
+// publishing a replacement entry with the same MapSeq — consumers keep the
+// latest entry per MapSeq.
 type TaggedSegment struct {
 	MapSeq int
 	Data   []byte
+	// Addr is the producing worker's shuffle-serve address ("" = inline).
+	Addr string
+	// Owner is the producing worker's ID (served segments only), echoed in
+	// loss reports so a stale report cannot invalidate a re-executed map.
+	Owner string
+}
+
+// FetchPartArgs asks a worker's shuffle server for one map task's output
+// for one partition.
+type FetchPartArgs struct {
+	Epoch     uint64
+	MapSeq    int
+	Partition int
+}
+
+// FetchPartReply carries the requested segment blob. OK is false when the
+// worker no longer holds it (pruned after job completion, or it never ran
+// the map) — the fetcher treats that as segment loss.
+type FetchPartReply struct {
+	Data []byte
+	OK   bool
+}
+
+// SegmentsLost reports shuffle segments a reducer could not fetch from
+// their producing worker, so the master can re-execute the lost maps
+// instead of letting the reduce wait forever.
+type SegmentsLost struct {
+	// WorkerID is the reporting reducer's worker.
+	WorkerID string
+	Epoch    uint64
+	// Partition is the partition whose fetch failed (diagnostic).
+	Partition int
+	// MapSeqs are the map tasks whose segments are unreachable.
+	MapSeqs []int
+	// Owner is the worker the segments were served by; the master only
+	// invalidates maps still owned by it (a map that already re-executed
+	// elsewhere is left alone).
+	Owner string
 }
 
 // FetchSegmentsArgs asks the master for one partition's shuffle segments,

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
 	"heterohadoop/internal/mapreduce"
 	"heterohadoop/internal/units"
@@ -95,6 +96,80 @@ func descConfig(desc JobDescriptor, name string) mapreduce.Config {
 		cfg.SortBuffer = units.Bytes(desc.SortBuffer)
 	}
 	return cfg
+}
+
+// workerInfo is one worker's liveness record in the master's table.
+type workerInfo struct {
+	// ID is the worker's self-declared identity.
+	ID string
+	// Addr is the worker's shuffle-serve address ("" for inline shippers).
+	Addr string
+	// LastSeen is the last poll/fetch/completion touch.
+	LastSeen time.Time
+	// Evicted marks a worker declared dead after missing the liveness
+	// window; a fresh poll resurrects it.
+	Evicted bool
+}
+
+// workerTable tracks worker liveness for the master: every RPC touch
+// refreshes LastSeen, and workers silent past the liveness window are
+// evicted (in-flight tasks requeued, served map output re-executed).
+// Callers hold the master's lock.
+type workerTable struct {
+	workers map[string]*workerInfo
+}
+
+func newWorkerTable() *workerTable {
+	return &workerTable{workers: make(map[string]*workerInfo)}
+}
+
+// touch refreshes (or creates) a worker's record. A previously evicted
+// worker that polls again rejoins as live.
+func (t *workerTable) touch(id, addr string, now time.Time) *workerInfo {
+	w := t.workers[id]
+	if w == nil {
+		w = &workerInfo{ID: id}
+		t.workers[id] = w
+	}
+	w.LastSeen = now
+	w.Evicted = false
+	if addr != "" {
+		w.Addr = addr
+	}
+	return w
+}
+
+// silent returns the live workers whose last touch is older than the
+// window — the eviction candidates.
+func (t *workerTable) silent(window time.Duration, now time.Time) []*workerInfo {
+	var out []*workerInfo
+	for _, w := range t.workers {
+		if !w.Evicted && now.Sub(w.LastSeen) > window {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// live counts workers not currently evicted.
+func (t *workerTable) live() int {
+	n := 0
+	for _, w := range t.workers {
+		if !w.Evicted {
+			n++
+		}
+	}
+	return n
+}
+
+// ids returns every known worker ID, sorted, evicted included.
+func (t *workerTable) ids() []string {
+	out := make([]string, 0, len(t.workers))
+	for id := range t.workers {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // PrepareAux computes the master-side auxiliary data a workload needs

@@ -1,0 +1,209 @@
+package dist
+
+// snapshot.go is the master's crash-recovery persistence: a versioned gob
+// snapshot of every queued and running job (descriptors, split input,
+// task completion state, the shuffle publication log, buffered reduce
+// outputs), the epoch/job counters and the worker registry, written
+// atomically (temp file + rename) on every state mutation and loaded by
+// StartMaster when WithSnapshotPath names an existing file. A restarted
+// master resumes in-flight jobs where they stood: completed inline work
+// is kept, assignments are cleared for re-dispatch, and served segments
+// whose workers died with the master are recovered through the normal
+// loss-report path when reducers fail to fetch them.
+
+import (
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+
+	"heterohadoop/internal/mapreduce"
+)
+
+// snapshotVersion is bumped on any incompatible layout change; a loaded
+// snapshot with a different version is rejected (the operator removes the
+// stale file) rather than misread.
+const snapshotVersion = 1
+
+// snapTask is one map task's persistent state (reduce tasks persist only
+// their done flag — their inputs are the publication log).
+type snapTask struct {
+	Done      bool
+	Owner     string
+	OwnerAddr string
+	Split     []byte
+}
+
+// snapJob is one active job's persistent state.
+type snapJob struct {
+	ID            string
+	Epoch         uint64
+	Desc          JobDescriptor
+	BlockSize     int
+	State         string
+	Phase         string
+	MapTasks      []snapTask
+	PartSegs      [][]TaggedSegment
+	RedDone       []bool
+	RedOutputs    [][]byte
+	Counters      mapreduce.Counters
+	Reassigned    int
+	Speculative   int
+	EarlyReduces  int
+	RecoveredMaps int
+	SubmittedAt   time.Time
+}
+
+// snapshot is the full persistent master state.
+type snapshot struct {
+	Version int
+	Epoch   uint64
+	JobSeq  uint64
+	Jobs    []snapJob
+	History []JobStatus
+	Workers []workerInfo
+}
+
+// saveSnapshotLocked persists the master state when snapshots are
+// enabled; called under m.mu after every mutation that must survive a
+// restart (submission, completion, invalidation, eviction, retirement).
+// Write errors are surfaced through the observer rather than failing the
+// mutation — a master that cannot persist keeps serving.
+func (m *Master) saveSnapshotLocked() {
+	if m.snapPath == "" {
+		return
+	}
+	snap := snapshot{Version: snapshotVersion, Epoch: m.epoch, JobSeq: m.jobSeq}
+	for _, js := range m.order {
+		sj := snapJob{
+			ID: js.id, Epoch: js.epoch, Desc: js.desc, BlockSize: js.blockSize,
+			State: js.state, Phase: js.phase,
+			PartSegs: js.partSegs, RedOutputs: js.redOutputs,
+			Counters: js.counters, Reassigned: js.reassigned,
+			Speculative: js.speculative, EarlyReduces: js.earlyReduces,
+			RecoveredMaps: js.recoveredMaps, SubmittedAt: js.submittedAt,
+		}
+		sj.MapTasks = make([]snapTask, len(js.mapTasks))
+		for i, ts := range js.mapTasks {
+			sj.MapTasks[i] = snapTask{
+				Done: ts.done, Owner: ts.owner, OwnerAddr: ts.ownerAddr,
+				Split: ts.task.SplitData,
+			}
+		}
+		sj.RedDone = make([]bool, len(js.redTasks))
+		for i, ts := range js.redTasks {
+			sj.RedDone[i] = ts.done
+		}
+		snap.Jobs = append(snap.Jobs, sj)
+	}
+	snap.History = append([]JobStatus(nil), m.history...)
+	for _, w := range m.workers.workers {
+		snap.Workers = append(snap.Workers, *w)
+	}
+	if err := writeSnapshot(m.snapPath, &snap); err != nil {
+		m.ob.Count("dist.snapshot.errors", 1)
+	} else {
+		m.ob.Count("dist.snapshot.writes", 1)
+	}
+}
+
+// writeSnapshot gob-encodes the snapshot to a temp file beside path and
+// renames it into place, so readers never observe a torn write.
+func writeSnapshot(path string, snap *snapshot) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".snapshot-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	if err := gob.NewEncoder(tmp).Encode(snap); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// loadSnapshot reads a snapshot file; a missing file is (nil, nil).
+func loadSnapshot(path string) (*snapshot, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("dist: snapshot open: %w", err)
+	}
+	defer f.Close()
+	var snap snapshot
+	if err := gob.NewDecoder(f).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("dist: snapshot decode: %w", err)
+	}
+	if snap.Version != snapshotVersion {
+		return nil, fmt.Errorf("dist: snapshot version %d, want %d", snap.Version, snapshotVersion)
+	}
+	return &snap, nil
+}
+
+// restoreLocked rebuilds the master's job tables from a snapshot; called
+// from StartMaster before the RPC plane accepts connections. Every
+// restored assignment is cleared (the assignees are gone or must
+// re-poll), so the scheduler re-dispatches outstanding work; completed
+// inline state — done maps with master-held segments, finished reduce
+// outputs — resumes as done.
+func (m *Master) restoreLocked(snap *snapshot) {
+	m.epoch = snap.Epoch
+	m.jobSeq = snap.JobSeq
+	m.history = append(m.history, snap.History...)
+	now := time.Now()
+	for _, w := range snap.Workers {
+		// Restored workers start evicted-but-known: a live one re-polls
+		// within its heartbeat and rejoins; a dead one never counts as
+		// live and its served segments recover through loss reports.
+		m.workers.workers[w.ID] = &workerInfo{ID: w.ID, Addr: w.Addr, LastSeen: now, Evicted: true}
+	}
+	for _, sj := range snap.Jobs {
+		chunks := make([][]byte, len(sj.MapTasks))
+		for i := range sj.MapTasks {
+			chunks[i] = sj.MapTasks[i].Split
+		}
+		js := newJobState(sj.ID, sj.Epoch, sj.Desc, sj.BlockSize, chunks, m.defaults, sj.SubmittedAt)
+		js.phase = sj.Phase
+		js.state = JobQueued // promoteLocked re-admits up to the cap
+		js.partSegs = sj.PartSegs
+		if js.partSegs == nil {
+			js.partSegs = make([][]TaggedSegment, sj.Desc.NumReducers)
+		}
+		js.redOutputs = sj.RedOutputs
+		if js.redOutputs == nil {
+			js.redOutputs = make([][]byte, sj.Desc.NumReducers)
+		}
+		js.counters = sj.Counters
+		js.reassigned = sj.Reassigned
+		js.speculative = sj.Speculative
+		js.earlyReduces = sj.EarlyReduces
+		js.recoveredMaps = sj.RecoveredMaps
+		for i, st := range sj.MapTasks {
+			ts := js.mapTasks[i]
+			ts.done = st.Done
+			ts.owner = st.Owner
+			ts.ownerAddr = st.OwnerAddr
+			if st.Done {
+				js.mapsLeft--
+			}
+		}
+		for i, done := range sj.RedDone {
+			if i < len(js.redTasks) && done {
+				js.redTasks[i].done = true
+				js.redsLeft--
+			}
+		}
+		m.jobs[js.id] = js
+		m.byEpoch[js.epoch] = js
+		m.order = append(m.order, js)
+	}
+	m.promoteLocked()
+}

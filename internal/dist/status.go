@@ -3,40 +3,47 @@ package dist
 import "time"
 
 // status.go exposes the master's job and task tables as snapshot values for
-// the live HTTP plane (internal/obs/httpd): /jobs serves JobStatus, /tasks
-// serves TaskStatuses. Both are lock-scoped copies — callers never see the
-// live tables.
+// the live HTTP plane (internal/obs/httpd): /jobs serves the JobStatus
+// list, /tasks serves TaskStatuses. Both are lock-scoped copies — callers
+// never see the live tables.
 
-// JobStatus is a point-in-time summary of the master's current (or last)
-// job.
+// JobStatus is a point-in-time summary of one job on the master.
 type JobStatus struct {
-	// Running reports whether a job is in flight.
+	// ID is the master-assigned job identity ("job-<n>"), stable across a
+	// snapshot restart.
+	ID string `json:"id"`
+	// State is one of the Job* lifecycle constants.
+	State string `json:"state"`
+	// Running is State == JobRunning (kept for dashboard compatibility).
 	Running bool `json:"running"`
-	// Epoch is the job generation; it distinguishes restarted jobs with the
-	// same workload name.
+	// Epoch is the job generation — the report-routing key; it
+	// distinguishes jobs with the same workload name.
 	Epoch uint64 `json:"epoch"`
-	// Workload is the submitted job's workload name ("" when idle and
-	// nothing has run).
+	// Workload is the submitted job's workload name.
 	Workload string `json:"workload,omitempty"`
-	// Phase is the scheduler phase: "map", "reduce" or "idle".
+	// Phase is the job's scheduler phase: "map" or "reduce" while running,
+	// "" when queued or terminal.
 	Phase string `json:"phase"`
+	// Priority is the job's scheduling priority (higher dispatches first).
+	Priority int `json:"priority"`
 	// MapsDone / MapsTotal and ReducesDone / ReducesTotal are task-level
 	// progress.
 	MapsDone     int `json:"maps_done"`
 	MapsTotal    int `json:"maps_total"`
 	ReducesDone  int `json:"reduces_done"`
 	ReducesTotal int `json:"reduces_total"`
-	// Workers is the number of distinct workers that have polled.
-	Workers int `json:"workers"`
-	// Reassigned, Speculative and EarlyReduces mirror Stats.
-	Reassigned   int `json:"reassigned"`
-	Speculative  int `json:"speculative"`
-	EarlyReduces int `json:"early_reduces"`
+	// Reassigned, Speculative, EarlyReduces and RecoveredMaps are this
+	// job's share of the master's Stats counters.
+	Reassigned    int `json:"reassigned"`
+	Speculative   int `json:"speculative"`
+	EarlyReduces  int `json:"early_reduces"`
+	RecoveredMaps int `json:"recovered_maps"`
 }
 
-// TaskStatus is a point-in-time view of one task slot in the master's
-// tables.
+// TaskStatus is a point-in-time view of one task slot in a job's tables.
 type TaskStatus struct {
+	// Job is the owning job's ID.
+	Job string `json:"job"`
 	// Kind is "map" or "reduce"; Seq is the task's slot (split index or
 	// partition).
 	Kind string `json:"kind"`
@@ -52,52 +59,97 @@ type TaskStatus struct {
 	Done bool `json:"done"`
 }
 
-// JobStatus returns the master's current job summary.
-func (m *Master) JobStatus() JobStatus {
-	m.mu.Lock()
-	defer m.mu.Unlock()
+// jobStatusLocked summarizes one job; called under m.mu. Terminal jobs
+// serve the status frozen at retirement (their tables are freed).
+func (m *Master) jobStatusLocked(js *jobState) JobStatus {
+	if js.final != nil {
+		return *js.final
+	}
 	st := JobStatus{
-		Running:      m.running,
-		Epoch:        m.epoch,
-		Workload:     m.desc.Workload,
-		Phase:        m.phase,
-		MapsTotal:    len(m.mapTasks),
-		ReducesTotal: len(m.redTasks),
-		Workers:      len(m.workers),
-		Reassigned:   m.reassigned,
-		Speculative:  m.speculative,
-		EarlyReduces: m.earlyReduces,
+		ID:            js.id,
+		State:         js.state,
+		Running:       js.state == JobRunning,
+		Epoch:         js.epoch,
+		Workload:      js.desc.Workload,
+		Phase:         js.phase,
+		Priority:      js.priority,
+		MapsTotal:     len(js.mapTasks),
+		ReducesTotal:  len(js.redTasks),
+		Reassigned:    js.reassigned,
+		Speculative:   js.speculative,
+		EarlyReduces:  js.earlyReduces,
+		RecoveredMaps: js.recoveredMaps,
 	}
-	if m.mapTasks != nil {
-		st.MapsDone = len(m.mapTasks) - m.mapsLeft
+	if js.mapTasks != nil {
+		st.MapsDone = len(js.mapTasks) - js.mapsLeft
 	}
-	if m.redTasks != nil {
-		st.ReducesDone = len(m.redTasks) - m.redsLeft
+	if js.redTasks != nil {
+		st.ReducesDone = len(js.redTasks) - js.redsLeft
 	}
 	return st
 }
 
-// TaskStatuses returns a snapshot of every task slot of the current job, map
-// tasks first, in slot order. It is empty between jobs (the tables are
-// dropped when a job finishes or aborts).
-func (m *Master) TaskStatuses() []TaskStatus {
+// JobStatus returns one job's summary by ID: active jobs live, terminal
+// jobs from the retained ring or the snapshot-restored history.
+func (m *Master) JobStatus(id string) (JobStatus, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if js, ok := m.jobs[id]; ok {
+		return m.jobStatusLocked(js), true
+	}
+	for i := len(m.retired) - 1; i >= 0; i-- {
+		if m.retired[i].id == id {
+			return *m.retired[i].final, true
+		}
+	}
+	for i := len(m.history) - 1; i >= 0; i-- {
+		if m.history[i].ID == id {
+			return m.history[i], true
+		}
+	}
+	return JobStatus{}, false
+}
+
+// Jobs returns every known job's status: active jobs in submission order,
+// then terminal history (oldest first, bounded).
+func (m *Master) Jobs() []JobStatus {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]JobStatus, 0, len(m.order)+len(m.history))
+	for _, js := range m.order {
+		out = append(out, m.jobStatusLocked(js))
+	}
+	out = append(out, m.history...)
+	return out
+}
+
+// TaskStatuses returns a snapshot of the task slots of active jobs — every
+// job when jobID is "", one job otherwise — map tasks first within each
+// job, in slot order. Terminal jobs contribute nothing (their tables are
+// dropped at retirement).
+func (m *Master) TaskStatuses(jobID string) []TaskStatus {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	now := time.Now()
-	out := make([]TaskStatus, 0, len(m.mapTasks)+len(m.redTasks))
-	appendPool := func(pool []*taskState, kind string) {
-		for _, ts := range pool {
-			st := TaskStatus{
-				Kind: kind, Seq: ts.task.Seq, Assigned: ts.assigned, Done: ts.done,
-			}
-			if ts.assigned && !ts.done {
-				st.Assignee = ts.assignee
-				st.RunningForMS = now.Sub(ts.assignedAt).Milliseconds()
-			}
-			out = append(out, st)
+	var out []TaskStatus
+	for _, js := range m.order {
+		if jobID != "" && js.id != jobID {
+			continue
 		}
+		appendPool := func(pool []*taskState, kind string) {
+			for _, ts := range pool {
+				st := TaskStatus{
+					Job: js.id, Kind: kind, Seq: ts.task.Seq, Assigned: ts.assigned, Done: ts.done,
+				}
+				if ts.assigned && !ts.done {
+					st.Assignee = ts.assignee
+					st.RunningForMS = now.Sub(ts.assignedAt).Milliseconds()
+				}
+				out = append(out, st)
+			}
+		}
+		appendPool(js.mapTasks, "map")
+		appendPool(js.redTasks, "reduce")
 	}
-	appendPool(m.mapTasks, "map")
-	appendPool(m.redTasks, "reduce")
 	return out
 }

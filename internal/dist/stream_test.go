@@ -197,7 +197,7 @@ func TestReduceSlowstartOneRestoresBarrier(t *testing.T) {
 	runErr := make(chan error, 1)
 	go func() { runErr <- w.Run() }()
 
-	res, err := m.Submit(JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 2*1024)
+	res, err := m.SubmitCtx(context.Background(), JobDescriptor{Workload: "wordcount", NumReducers: 2}, input, 2*1024)
 	if err != nil {
 		t.Fatal(err)
 	}

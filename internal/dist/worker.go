@@ -3,6 +3,7 @@ package dist
 import (
 	"context"
 	"fmt"
+	"net"
 	"net/rpc"
 	"sort"
 	"sync"
@@ -14,6 +15,12 @@ import (
 
 // Worker executes tasks for a master. One Worker runs one polling loop;
 // start several for a multi-slot node.
+//
+// By default the worker serves its own map output (worker-served shuffle,
+// the way Hadoop map output stays on the mapper's node): completed map
+// segments stay in a local store and reducers pull them from the worker's
+// shuffle server directly, with only address references passing through
+// the master. WithShuffleServing(false) restores inline shipping.
 type Worker struct {
 	// ID identifies the worker in the master's tables.
 	ID string
@@ -24,12 +31,22 @@ type Worker struct {
 	client   *rpc.Client
 	ob       obs.Observer
 
+	// Worker-served shuffle plane: shuffleAddr is "" when serving is off
+	// (inline shipping); otherwise the store holds this worker's map output
+	// and shuffleLn accepts reducers' Shuffle.Fetch calls.
+	shuffleLn   net.Listener
+	shuffleAddr string
+	store       *shuffleStore
+
 	mu      sync.Mutex
 	stopped bool
+	// peers caches RPC clients to other workers' shuffle servers, dropped
+	// on call failure.
+	peers map[string]*rpc.Client
 	// tasksRun counts completed task attempts (observability/tests).
 	tasksRun int
-	// reportErrors counts failure reports that themselves failed to reach
-	// the master over RPC.
+	// reportErrors counts failure/loss reports that themselves failed to
+	// reach the master over RPC.
 	reportErrors int
 
 	// bg tracks in-flight streaming reduce attempts. Reduce tasks run in
@@ -43,6 +60,69 @@ type Worker struct {
 	bgErr error
 }
 
+// shuffleStore holds a serving worker's map output: epoch → map Seq →
+// per-partition encoded segment blobs. It has its own lock because the
+// shuffle server's fetch goroutines race the polling loop.
+type shuffleStore struct {
+	mu      sync.Mutex
+	byEpoch map[uint64]map[int][][]byte
+}
+
+func newShuffleStore() *shuffleStore {
+	return &shuffleStore{byEpoch: make(map[uint64]map[int][][]byte)}
+}
+
+func (s *shuffleStore) put(epoch uint64, mapSeq int, parts [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e := s.byEpoch[epoch]
+	if e == nil {
+		e = make(map[int][][]byte)
+		s.byEpoch[epoch] = e
+	}
+	e[mapSeq] = parts
+}
+
+func (s *shuffleStore) get(epoch uint64, mapSeq, part int) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	parts := s.byEpoch[epoch][mapSeq]
+	if part < 0 || part >= len(parts) {
+		return nil, false
+	}
+	return parts[part], true
+}
+
+// prune drops stored output for every epoch not in the active set — the
+// master piggybacks the set on TaskWait/TaskDone replies, so finished
+// jobs' segments are released within a heartbeat.
+func (s *shuffleStore) prune(active []uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keep := make(map[uint64]bool, len(active))
+	for _, e := range active {
+		keep[e] = true
+	}
+	for e := range s.byEpoch {
+		if !keep[e] {
+			delete(s.byEpoch, e)
+		}
+	}
+}
+
+// shuffleRPC is the worker's shuffle server facade ("Shuffle" service).
+type shuffleRPC struct {
+	w *Worker
+}
+
+// Fetch hands one stored map-output segment to a pulling reducer. OK is
+// false when this worker no longer holds it (pruned, or it never ran the
+// map) — the fetcher treats that as segment loss.
+func (r *shuffleRPC) Fetch(args FetchPartArgs, reply *FetchPartReply) error {
+	reply.Data, reply.OK = r.w.store.get(args.Epoch, args.MapSeq, args.Partition)
+	return nil
+}
+
 // NewWorker dials the master and returns a ready worker.
 //
 // Deprecated: use ConnectWorker with options; this wrapper remains for
@@ -52,9 +132,10 @@ func NewWorker(id, masterAddr string) (*Worker, error) {
 }
 
 // ConnectWorker dials the master and returns a ready worker, configured by
-// functional options: WithPollInterval sets the idle heartbeat period and
-// WithObserver attaches telemetry (dist.task spans, failure-report
-// counters).
+// functional options: WithPollInterval sets the idle heartbeat period,
+// WithShuffleServing toggles the worker-served shuffle plane (on by
+// default) and WithObserver attaches telemetry (dist.task spans,
+// failure-report counters).
 func ConnectWorker(id, masterAddr string, opts ...Option) (*Worker, error) {
 	if id == "" {
 		return nil, fmt.Errorf("dist: worker needs an id")
@@ -63,21 +144,59 @@ func ConnectWorker(id, masterAddr string, opts ...Option) (*Worker, error) {
 	for _, opt := range opts {
 		opt(&cfg)
 	}
-	client, err := rpc.Dial("tcp", masterAddr)
+	conn, err := net.Dial("tcp", masterAddr)
 	if err != nil {
 		return nil, fmt.Errorf("dist: worker %s dial: %w", id, err)
 	}
-	return &Worker{
+	w := &Worker{
 		ID:           id,
 		PollInterval: cfg.pollInterval,
 		registry:     NewRegistry(),
-		client:       client,
+		client:       rpc.NewClient(conn),
 		ob:           cfg.observer,
-	}, nil
+		peers:        make(map[string]*rpc.Client),
+	}
+	if cfg.serveShuffle {
+		// Serve on the interface that reaches the master — the same one
+		// reducers on other nodes dial back over.
+		host, _, err := net.SplitHostPort(conn.LocalAddr().String())
+		if err != nil {
+			w.client.Close()
+			return nil, fmt.Errorf("dist: worker %s local addr: %w", id, err)
+		}
+		ln, err := net.Listen("tcp", net.JoinHostPort(host, "0"))
+		if err != nil {
+			w.client.Close()
+			return nil, fmt.Errorf("dist: worker %s shuffle listen: %w", id, err)
+		}
+		w.shuffleLn = ln
+		w.shuffleAddr = ln.Addr().String()
+		w.store = newShuffleStore()
+		srv := rpc.NewServer()
+		if err := srv.RegisterName("Shuffle", &shuffleRPC{w: w}); err != nil {
+			ln.Close()
+			w.client.Close()
+			return nil, err
+		}
+		go func() {
+			for {
+				c, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				go srv.ServeConn(c)
+			}
+		}()
+	}
+	return w, nil
 }
 
 // Registry exposes the worker-side job registry for custom registrations.
 func (w *Worker) Registry() *Registry { return w.registry }
+
+// ShuffleAddr returns the worker's shuffle-serve address, "" when serving
+// is off.
+func (w *Worker) ShuffleAddr() string { return w.shuffleAddr }
 
 // TasksRun reports how many task attempts this worker completed.
 func (w *Worker) TasksRun() int {
@@ -86,10 +205,10 @@ func (w *Worker) TasksRun() int {
 	return w.tasksRun
 }
 
-// ReportErrors reports how many task-failure reports could not be
-// delivered to the master (the RPC itself failed). The master's timeout
-// path still recovers the task; the counter surfaces the degraded
-// signalling that used to be dropped silently.
+// ReportErrors reports how many task-failure (or segment-loss) reports
+// could not be delivered to the master (the RPC itself failed). The
+// master's timeout path still recovers the task; the counter surfaces the
+// degraded signalling that used to be dropped silently.
 func (w *Worker) ReportErrors() int {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -112,16 +231,33 @@ func (w *Worker) reportFailure(task Task, cause error) {
 		WorkerID: w.ID, Epoch: task.Epoch, Kind: task.Kind, Seq: task.Seq, Reason: cause.Error(),
 	}, &Ack{})
 	if err != nil {
-		w.mu.Lock()
-		w.reportErrors++
-		w.mu.Unlock()
-		w.ob.Count("dist.worker.report_errors", 1)
+		w.countReportError()
 	}
 }
 
-// Close tears down the connection.
+func (w *Worker) countReportError() {
+	w.mu.Lock()
+	w.reportErrors++
+	w.mu.Unlock()
+	w.ob.Count("dist.worker.report_errors", 1)
+}
+
+// Close tears down the connections — the master link, the shuffle server
+// and any peer links. Closing the shuffle server is what makes this
+// worker's served segments unreachable: reducers hit it, report the loss,
+// and the master re-executes the maps elsewhere.
 func (w *Worker) Close() error {
 	w.Stop()
+	w.mu.Lock()
+	peers := w.peers
+	w.peers = make(map[string]*rpc.Client)
+	w.mu.Unlock()
+	for _, c := range peers {
+		c.Close()
+	}
+	if w.shuffleLn != nil {
+		w.shuffleLn.Close()
+	}
 	return w.client.Close()
 }
 
@@ -132,9 +268,9 @@ func (w *Worker) isStopped() bool {
 }
 
 // Run polls the master for tasks and executes them until the master
-// reports the job done or Stop is called. It returns the first hard error
-// (task execution errors are hard: the job cannot succeed with a broken
-// factory). It is RunCtx with a background context.
+// reports no jobs remain or Stop is called. It returns the first hard
+// error (task execution errors are hard: the job cannot succeed with a
+// broken factory). It is RunCtx with a background context.
 func (w *Worker) Run() error { return w.run(context.Background(), false) }
 
 // RunCtx is Run with cancellation: a cancelled context stops the loop at
@@ -159,7 +295,7 @@ func (w *Worker) run(ctx context.Context, persistent bool) error {
 			return fmt.Errorf("dist: worker %s: cancelled: %w", w.ID, err)
 		}
 		var task Task
-		if err := w.client.Call("Master.GetTask", GetTaskArgs{WorkerID: w.ID}, &task); err != nil {
+		if err := w.client.Call("Master.GetTask", GetTaskArgs{WorkerID: w.ID, Addr: w.shuffleAddr}, &task); err != nil {
 			if w.isStopped() {
 				break // Close raced with the poll: clean shutdown
 			}
@@ -167,6 +303,9 @@ func (w *Worker) run(ctx context.Context, persistent bool) error {
 		}
 		switch task.Kind {
 		case TaskDone:
+			if w.store != nil {
+				w.store.prune(task.ActiveEpochs)
+			}
 			if persistent {
 				if err := w.idle(ctx); err != nil {
 					return err
@@ -176,6 +315,11 @@ func (w *Worker) run(ctx context.Context, persistent bool) error {
 			w.bg.Wait()
 			return w.takeBgErr()
 		case TaskWait:
+			// The wait reply carries the active-epoch set: release stored
+			// map output of finished jobs before idling.
+			if w.store != nil {
+				w.store.prune(task.ActiveEpochs)
+			}
 			if err := w.idle(ctx); err != nil {
 				return err
 			}
@@ -279,6 +423,24 @@ func (w *Worker) runMap(task Task) error {
 	w.mu.Lock()
 	w.tasksRun++
 	w.mu.Unlock()
+	if w.shuffleAddr != "" {
+		// Serve the output from here: keep the blobs, report addressable
+		// references with the same header-derived accounting the master
+		// would compute from inline blobs.
+		w.store.put(task.Epoch, task.Seq, parts)
+		stats := make([]PartStat, 0, len(nonEmpty))
+		for _, p := range nonEmpty {
+			n, b, err := mapreduce.SegmentStats(parts[p])
+			if err != nil || n == 0 {
+				continue
+			}
+			stats = append(stats, PartStat{Part: p, Recs: n, Bytes: int64(b)})
+		}
+		return w.client.Call("Master.CompleteMap", MapDone{
+			WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq,
+			Addr: w.shuffleAddr, PartStats: stats, Counters: counters,
+		}, &Ack{})
+	}
 	return w.client.Call("Master.CompleteMap", MapDone{
 		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Parts: parts, NonEmpty: nonEmpty, Counters: counters,
 	}, &Ack{})
@@ -303,10 +465,76 @@ func (w *Worker) runReduceBg(ctx context.Context, task Task) {
 	}
 }
 
-// runReduceStreaming fetches the task's partition segments from the master
-// as the map wave publishes them, then merges and reduces once the shuffle
-// is complete. A Stale reply or cancellation abandons the attempt quietly
-// (the job is gone, or the loop owner reports the cancellation).
+// peer returns a cached (or fresh) client to another worker's shuffle
+// server.
+func (w *Worker) peer(addr string) (*rpc.Client, error) {
+	w.mu.Lock()
+	c := w.peers[addr]
+	w.mu.Unlock()
+	if c != nil {
+		return c, nil
+	}
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	c = rpc.NewClient(conn)
+	w.mu.Lock()
+	if old := w.peers[addr]; old != nil {
+		w.mu.Unlock()
+		c.Close()
+		return old, nil
+	}
+	w.peers[addr] = c
+	w.mu.Unlock()
+	return c, nil
+}
+
+// dropPeer discards a peer client after a call failure so the next fetch
+// redials instead of reusing a dead connection.
+func (w *Worker) dropPeer(addr string, c *rpc.Client) {
+	w.mu.Lock()
+	if w.peers[addr] == c {
+		delete(w.peers, addr)
+	}
+	w.mu.Unlock()
+	c.Close()
+}
+
+// fetchServed pulls one served segment from its producing worker (or this
+// worker's own store). Any failure — dial, call, or the producer no longer
+// holding the blob — is segment loss to the caller.
+func (w *Worker) fetchServed(s TaggedSegment, epoch uint64, partition int) ([]byte, error) {
+	args := FetchPartArgs{Epoch: epoch, MapSeq: s.MapSeq, Partition: partition}
+	if s.Addr == w.shuffleAddr && w.store != nil {
+		if blob, ok := w.store.get(epoch, s.MapSeq, partition); ok {
+			return blob, nil
+		}
+		return nil, fmt.Errorf("dist: worker %s: own store lacks epoch %d map %d", w.ID, epoch, s.MapSeq)
+	}
+	c, err := w.peer(s.Addr)
+	if err != nil {
+		return nil, err
+	}
+	var reply FetchPartReply
+	if err := c.Call("Shuffle.Fetch", args, &reply); err != nil {
+		w.dropPeer(s.Addr, c)
+		return nil, err
+	}
+	if !reply.OK {
+		return nil, fmt.Errorf("dist: worker at %s no longer holds epoch %d map %d part %d", s.Addr, epoch, s.MapSeq, partition)
+	}
+	return reply.Data, nil
+}
+
+// runReduceStreaming fetches the task's partition segments as the map wave
+// publishes them — inline payloads from the master, served payloads from
+// their producing workers — then merges and reduces once the shuffle is
+// complete. Unreachable served segments are reported to the master
+// (Master.ReportLostSegments) and the loop keeps streaming until the
+// re-executed maps republish them. A Stale reply or cancellation abandons
+// the attempt quietly (the job is gone, or the loop owner reports the
+// cancellation).
 func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	job, err := w.registry.Build(task.Job)
 	if err != nil {
@@ -316,10 +544,12 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	ref := w.taskRef(task)
 	pc := obs.NewPhaseClock(w.ob, ref)
 	// The fetch loop is the distributed shuffle transport: time spent here —
-	// including waits for the tail of the map wave — lands in the same
-	// merge-fetch bucket the in-process collector charges its merges to.
+	// including waits for the tail of the map wave and re-fetches after
+	// segment loss — lands in the same merge-fetch bucket the in-process
+	// collector charges its merges to.
 	tFetch := pc.Start()
-	var segs []TaggedSegment
+	byMap := make(map[int]TaggedSegment) // latest publication per MapSeq
+	blobs := make(map[int][]byte)        // resolved payloads per MapSeq
 	cursor := 0
 	for {
 		if w.isStopped() || ctx.Err() != nil {
@@ -338,9 +568,49 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 		if reply.Stale {
 			return nil
 		}
-		segs = append(segs, reply.Segments...)
+		for _, s := range reply.Segments {
+			// Latest-per-MapSeq: a replacement published by a re-executed
+			// map supersedes the lost original, payload included.
+			if _, ok := byMap[s.MapSeq]; ok {
+				delete(blobs, s.MapSeq)
+			}
+			byMap[s.MapSeq] = s
+		}
 		cursor = reply.Cursor
-		if reply.Complete {
+		// Resolve unresolved entries. A served segment whose producer is
+		// unreachable is lost: report it (grouped per owner), drop the
+		// entry, and keep streaming — the master re-executes the maps and
+		// the replacements arrive under the same MapSeq.
+		lost := make(map[string][]int)
+		for seq, s := range byMap {
+			if _, ok := blobs[seq]; ok {
+				continue
+			}
+			if s.Addr == "" {
+				blobs[seq] = s.Data
+				continue
+			}
+			blob, err := w.fetchServed(s, task.Epoch, task.Partition)
+			if err != nil {
+				lost[s.Owner] = append(lost[s.Owner], seq)
+				continue
+			}
+			blobs[seq] = blob
+		}
+		for owner, seqs := range lost {
+			sort.Ints(seqs)
+			err := w.client.Call("Master.ReportLostSegments", SegmentsLost{
+				WorkerID: w.ID, Epoch: task.Epoch, Partition: task.Partition,
+				MapSeqs: seqs, Owner: owner,
+			}, &Ack{})
+			if err != nil {
+				w.countReportError()
+			}
+			for _, seq := range seqs {
+				delete(byMap, seq)
+			}
+		}
+		if reply.Complete && len(lost) == 0 && len(blobs) == len(byMap) {
 			break
 		}
 		if len(reply.Segments) == 0 {
@@ -358,13 +628,17 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	// Restore map-task order — the order the engine's stable merge is
 	// defined over — regardless of fetch interleaving, then decode the
 	// blobs (zero-copy: the record payload aliases the received buffers).
-	sort.Slice(segs, func(i, j int) bool { return segs[i].MapSeq < segs[j].MapSeq })
-	parts := make([]mapreduce.Segment, 0, len(segs))
-	for _, s := range segs {
-		seg, err := mapreduce.DecodeSegment(s.Data)
+	seqs := make([]int, 0, len(byMap))
+	for seq := range byMap {
+		seqs = append(seqs, seq)
+	}
+	sort.Ints(seqs)
+	parts := make([]mapreduce.Segment, 0, len(seqs))
+	for _, seq := range seqs {
+		seg, err := mapreduce.DecodeSegment(blobs[seq])
 		if err != nil {
 			w.reportFailure(task, err)
-			return fmt.Errorf("dist: worker %s reduce %d decode map-%d segment: %w", w.ID, task.Seq, s.MapSeq, err)
+			return fmt.Errorf("dist: worker %s reduce %d decode map-%d segment: %w", w.ID, task.Seq, seq, err)
 		}
 		parts = append(parts, seg)
 	}

@@ -26,7 +26,7 @@ import (
 type Server struct {
 	col   *obs.Collector
 	jobs  func() any
-	tasks func() any
+	tasks func(jobID string) any
 
 	ln  net.Listener
 	srv *http.Server
@@ -35,14 +35,15 @@ type Server struct {
 // Option configures a Server.
 type Option func(*Server)
 
-// WithJobStatus injects the /jobs payload (e.g. the master's JobStatus).
+// WithJobStatus injects the /jobs payload (e.g. the master's Jobs list).
 func WithJobStatus(f func() any) Option {
 	return func(s *Server) { s.jobs = f }
 }
 
 // WithTaskStatus injects the /tasks payload (e.g. the master's
-// TaskStatuses).
-func WithTaskStatus(f func() any) Option {
+// TaskStatuses). The function receives the ?job=<id> query filter, "" for
+// every job.
+func WithTaskStatus(f func(jobID string) any) Option {
 	return func(s *Server) { s.tasks = f }
 }
 
@@ -62,17 +63,17 @@ func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/", s.handleIndex)
 	mux.HandleFunc("/metrics", s.handleMetrics)
-	mux.HandleFunc("/jobs", s.handleJSON(func() any {
+	mux.HandleFunc("/jobs", s.handleJSON(func(*http.Request) any {
 		if s.jobs == nil {
-			return map[string]any{}
+			return []any{}
 		}
 		return s.jobs()
 	}))
-	mux.HandleFunc("/tasks", s.handleJSON(func() any {
+	mux.HandleFunc("/tasks", s.handleJSON(func(r *http.Request) any {
 		if s.tasks == nil {
 			return []any{}
 		}
-		return s.tasks()
+		return s.tasks(r.URL.Query().Get("job"))
 	}))
 	mux.HandleFunc("/debug/pprof/", pprof.Index)
 	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -117,12 +118,12 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	WriteMetrics(w, s.col.Snapshot())
 }
 
-func (s *Server) handleJSON(payload func() any) http.HandlerFunc {
-	return func(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleJSON(payload func(*http.Request) any) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(payload()); err != nil {
+		if err := enc.Encode(payload(r)); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	}

@@ -20,6 +20,7 @@ func seededCollector() *obs.Collector {
 	c.Count("dist.rpc.get_task", 1)
 	c.Gauge("engine.parallelism", 4)
 	c.Progress("dist.map", 3, 8)
+	c.Progress("dist.reduce/job-2", 1, 4)
 	sp := obs.Start(c, "dist.task")
 	sp.End()
 	c.TaskPhase(obs.PhaseEvent{
@@ -41,6 +42,8 @@ func TestMetricsExposition(t *testing.T) {
 		"# TYPE hh_engine_parallelism gauge\nhh_engine_parallelism 4\n",
 		`hh_progress_done{label="dist.map"} 3`,
 		`hh_progress_total{label="dist.map"} 8`,
+		`hh_progress_done{label="dist.reduce",job="job-2"} 1`,
+		`hh_progress_total{label="dist.reduce",job="job-2"} 4`,
 		"# TYPE hh_dist_task_seconds histogram",
 		"# TYPE hh_phase_map_sort_seconds histogram",
 		"hh_phase_map_sort_seconds_count 1",
@@ -81,7 +84,12 @@ func TestStatusEndpoints(t *testing.T) {
 	}
 	srv := httptest.NewServer(New(obs.NewCollector(),
 		WithJobStatus(func() any { return job{Running: true, Phase: "map"} }),
-		WithTaskStatus(func() any { return []string{"map-0"} }),
+		WithTaskStatus(func(jobID string) any {
+			if jobID != "" {
+				return []string{jobID + "/map-0"}
+			}
+			return []string{"map-0"}
+		}),
 	).Handler())
 	defer srv.Close()
 
@@ -99,13 +107,21 @@ func TestStatusEndpoints(t *testing.T) {
 	if len(tasks) != 1 || tasks[0] != "map-0" {
 		t.Errorf("/tasks = %v", tasks)
 	}
+	// The ?job= filter must reach the injected function.
+	tasks = nil
+	if err := json.Unmarshal([]byte(get(t, srv.URL+"/tasks?job=job-7")), &tasks); err != nil {
+		t.Fatal(err)
+	}
+	if len(tasks) != 1 || tasks[0] != "job-7/map-0" {
+		t.Errorf("/tasks?job=job-7 = %v", tasks)
+	}
 }
 
 func TestStatusEndpointsWithoutInjection(t *testing.T) {
 	srv := httptest.NewServer(New(obs.NewCollector()).Handler())
 	defer srv.Close()
-	if got := strings.TrimSpace(get(t, srv.URL+"/jobs")); got != "{}" {
-		t.Errorf("/jobs without injection = %q, want {}", got)
+	if got := strings.TrimSpace(get(t, srv.URL+"/jobs")); got != "[]" {
+		t.Errorf("/jobs without injection = %q, want []", got)
 	}
 	if got := strings.TrimSpace(get(t, srv.URL+"/tasks")); got != "[]" {
 		t.Errorf("/tasks without injection = %q, want []", got)

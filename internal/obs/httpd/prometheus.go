@@ -5,6 +5,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"strings"
 
 	"heterohadoop/internal/obs"
 )
@@ -19,7 +20,10 @@ import (
 //     hh_dist_tasks_speculative_total);
 //   - counters get the _total suffix, gauges are exported as-is;
 //   - progress pairs become hh_progress_done/hh_progress_total with the
-//     label as a Prometheus label;
+//     label as a Prometheus label; a "/" in the observer label splits it
+//     into the stable series label and a job label ("dist.map/job-1" ->
+//     {label="dist.map",job="job-1"}), so per-job progress from the
+//     multi-tenant master lands on stable series names;
 //   - span and phase duration histograms export as histograms in seconds
 //     (_bucket/_sum/_count) over the obs.Histogram log buckets; the _count
 //     equals the span/phase completion count, so no separate count series
@@ -95,16 +99,27 @@ func WriteMetrics(w io.Writer, snap obs.Snapshot) {
 	if len(snap.Progress) > 0 {
 		fmt.Fprint(w, "# TYPE hh_progress_done gauge\n")
 		for _, label := range sortedKeys(snap.Progress) {
-			fmt.Fprintf(w, "hh_progress_done{label=%q} %d\n", escapeLabel(label), snap.Progress[label].Done)
+			fmt.Fprintf(w, "hh_progress_done{%s} %d\n", progressLabels(label), snap.Progress[label].Done)
 		}
 		fmt.Fprint(w, "# TYPE hh_progress_total gauge\n")
 		for _, label := range sortedKeys(snap.Progress) {
-			fmt.Fprintf(w, "hh_progress_total{label=%q} %d\n", escapeLabel(label), snap.Progress[label].Total)
+			fmt.Fprintf(w, "hh_progress_total{%s} %d\n", progressLabels(label), snap.Progress[label].Total)
 		}
 	}
 	for _, name := range sortedKeys(snap.Hists) {
 		writeHistogram(w, "hh_"+sanitize(name)+"_seconds", snap.Hists[name])
 	}
+}
+
+// progressLabels renders one progress key's label set. A "/" splits the
+// key into the stable series label and the job it belongs to, keeping
+// series names and base labels identical however many jobs the master
+// runs.
+func progressLabels(label string) string {
+	if i := strings.Index(label, "/"); i >= 0 {
+		return fmt.Sprintf("label=%q,job=%q", escapeLabel(label[:i]), escapeLabel(label[i+1:]))
+	}
+	return fmt.Sprintf("label=%q", escapeLabel(label))
 }
 
 // writeHistogram renders one duration distribution as a Prometheus
