@@ -140,6 +140,22 @@ if [ "$(getconf _NPROCESSORS_ONLN)" -ge 4 ]; then
 		-cores 4 -out "$smoke_dir/bench-scaling.json" -minspeedup 1.0
 fi
 
+# Memory-ceiling lane: a paper-scale terasort (1 GB by default; override
+# with HH_MEMLANE_SIZE) runs out-of-core under a GOMEMLIMIT of a quarter of
+# the input. benchmr exits non-zero unless the bounded runs actually spill
+# (Spills and SpillFilesWritten > 0), produce output byte-identical to an
+# unbounded in-memory reference in both executor modes, and leave the spill
+# directory empty afterwards — including on a probe run whose context is
+# cancelled the moment the first spill file lands. The input itself is
+# streamed to disk in chunks, so nothing in the lane ever holds the dataset
+# resident; the grep pins that the recorded rows carry the spill counters.
+memlane_size="${HH_MEMLANE_SIZE:-1073741824}"
+go run ./cmd/benchmr -workloads terasort -size "$memlane_size" \
+	-memlimit "$((memlane_size / 4))" -spill-dir "$smoke_dir/spill" \
+	-out "$smoke_dir/bench-ooc.json"
+grep -q '"spill_files_written"' "$smoke_dir/bench-ooc.json"
+test -z "$(ls -A "$smoke_dir/spill")"
+
 # String-vs-arena equivalence corpus plus the output-path parity suite:
 # the parity fuzz seeds (all six workloads plus adversarial record shapes)
 # already run inside the blanket race gate above; this re-runs them

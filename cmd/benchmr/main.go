@@ -35,17 +35,37 @@
 // machine-independent, so this gate arms whenever the baseline carries
 // allocation data (rows match on gomaxprocs, falling back to the baseline's
 // GOMAXPROCS=1 row so old single-point baselines still gate).
+//
+// With -memlimit N benchmr switches to the bounded-memory parity mode: per
+// workload it streams the input to a disk file (never resident whole), runs
+// an unbounded in-memory reference, then re-runs with the out-of-core
+// shuffle (Config.SpillDir + SpillMemory) under a debug.SetMemoryLimit of N
+// bytes — serial and parallel — and fails unless the bounded runs actually
+// spilled, produced byte-identical output (sha256 over the materialized
+// stream), and removed every spill file afterwards, including on a probe run
+// cancelled mid-spill. Rows are named "<workload>/inmem-ref|ooc-serial|
+// ooc-parallel" and carry the spill counters and the memory limit. Every
+// row in every mode records peak_heap_bytes, sampled at 5 ms, so the
+// bounded runs' residency claim is in the trajectory, not just asserted.
 package main
 
 import (
+	"bufio"
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
+	"math"
 	"os"
+	"path/filepath"
 	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"heterohadoop/internal/hdfs"
@@ -64,7 +84,17 @@ type Row struct {
 	Speedup     float64 `json:"speedup"` // serial time / this mode's time, at the same GOMAXPROCS
 	AllocsPerOp int64   `json:"allocs_per_op,omitempty"`
 	BytesPerOp  int64   `json:"bytes_per_op,omitempty"`
-	GoMaxProcs  int     `json:"gomaxprocs"`
+	// PeakHeapBytes is the largest live-heap size (MemStats.HeapAlloc)
+	// sampled during the winning run — the residency a memory ceiling
+	// actually constrains, where bytes_per_op is cumulative churn.
+	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
+	GoMaxProcs    int   `json:"gomaxprocs"`
+
+	// Bounded-memory mode (-memlimit) extras, absent on ordinary rows.
+	MemLimitBytes         int64 `json:"mem_limit_bytes,omitempty"`
+	Spills                int64 `json:"spills,omitempty"`
+	SpillFilesWritten     int64 `json:"spill_files_written,omitempty"`
+	SpillFileBytesWritten int64 `json:"spill_file_bytes_written,omitempty"`
 }
 
 func main() {
@@ -80,8 +110,30 @@ func main() {
 		maxAllocFactor = flag.Float64("maxallocfactor", 0, "fail if any row's allocs/op exceeds its baseline row's by this factor")
 		allowSerial    = flag.Bool("allow-serial", false, "permit recording a trajectory with no GOMAXPROCS > 1 rows")
 		traceOut       = flag.String("trace", "", "stream a JSONL phase trace of every measured run to this file (analyse with cmd/tracer)")
+		memLimit       = flag.Int64("memlimit", 0, "bounded-memory parity mode: run each workload out-of-core under this GOMEMLIMIT (bytes) and verify parity with an unbounded reference")
+		spillDir       = flag.String("spill-dir", "", "directory for the bounded-memory mode's input and spill files (default: a fresh temp dir)")
 	)
 	flag.Parse()
+
+	if *memLimit > 0 {
+		rows, err := memLimitBench(*names, *size, *reducers, *memLimit, *spillDir)
+		if err != nil {
+			fatal(err)
+		}
+		for _, r := range rows {
+			fmt.Printf("%-24s %12s/op  %6.2fx  peak heap %8s  %6d spill files  %10s spilled\n",
+				r.Name, time.Duration(r.NsPerOp).Round(time.Millisecond), r.Speedup,
+				units.Bytes(r.PeakHeapBytes), r.SpillFilesWritten, units.Bytes(r.SpillFileBytesWritten))
+		}
+		buf, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*out, append(buf, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	coreList, err := parseCores(*cores)
 	if err != nil {
@@ -232,9 +284,48 @@ func parseCores(s string) ([]int, error) {
 // measurement is one timed run's cost: wall time plus the heap allocation
 // profile observed across the run.
 type measurement struct {
-	elapsed time.Duration
-	allocs  int64
-	bytes   int64
+	elapsed  time.Duration
+	allocs   int64
+	bytes    int64
+	peakHeap int64
+}
+
+// heapSampler tracks the largest live heap (MemStats.HeapAlloc) seen while
+// it runs, sampling every 5 ms. ReadMemStats briefly stops the world, so
+// the cadence is coarse enough not to distort the timed run it watches.
+type heapSampler struct {
+	stop chan struct{}
+	done chan struct{}
+	peak int64
+}
+
+func startHeapSampler() *heapSampler {
+	s := &heapSampler{stop: make(chan struct{}), done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		tick := time.NewTicker(5 * time.Millisecond)
+		defer tick.Stop()
+		var ms runtime.MemStats
+		for {
+			runtime.ReadMemStats(&ms)
+			if h := int64(ms.HeapAlloc); h > s.peak {
+				s.peak = h
+			}
+			select {
+			case <-s.stop:
+				return
+			case <-tick.C:
+			}
+		}
+	}()
+	return s
+}
+
+// Stop ends sampling and returns the peak live-heap size observed.
+func (s *heapSampler) Stop() int64 {
+	close(s.stop)
+	<-s.done
+	return s.peak
 }
 
 // benchWorkload measures one workload in both executor modes over the given
@@ -271,17 +362,21 @@ func benchWorkload(w workloads.Workload, input []byte, reducers, runs int, ob ob
 			}
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
+			sampler := startHeapSampler()
 			start := time.Now()
 			if _, err := mapreduce.NewEngine(store).RunContext(ctx, job, "in"); err != nil {
+				sampler.Stop()
 				return measurement{}, err
 			}
 			elapsed := time.Since(start)
+			peak := sampler.Stop()
 			runtime.ReadMemStats(&after)
 			if best.elapsed == 0 || elapsed < best.elapsed {
 				best = measurement{
-					elapsed: elapsed,
-					allocs:  int64(after.Mallocs - before.Mallocs),
-					bytes:   int64(after.TotalAlloc - before.TotalAlloc),
+					elapsed:  elapsed,
+					allocs:   int64(after.Mallocs - before.Mallocs),
+					bytes:    int64(after.TotalAlloc - before.TotalAlloc),
+					peakHeap: peak,
 				}
 			}
 		}
@@ -298,11 +393,247 @@ func benchWorkload(w workloads.Workload, input []byte, reducers, runs int, ob ob
 	procs := runtime.GOMAXPROCS(0)
 	return []Row{
 		{Name: w.Name() + "/serial", InputBytes: int64(len(input)), NsPerOp: serial.elapsed.Nanoseconds(),
-			Speedup: 1, AllocsPerOp: serial.allocs, BytesPerOp: serial.bytes, GoMaxProcs: procs},
+			Speedup: 1, AllocsPerOp: serial.allocs, BytesPerOp: serial.bytes,
+			PeakHeapBytes: serial.peakHeap, GoMaxProcs: procs},
 		{Name: w.Name() + "/parallel", InputBytes: int64(len(input)), NsPerOp: parallel.elapsed.Nanoseconds(),
 			Speedup:     float64(serial.elapsed) / float64(parallel.elapsed),
-			AllocsPerOp: parallel.allocs, BytesPerOp: parallel.bytes, GoMaxProcs: procs},
+			AllocsPerOp: parallel.allocs, BytesPerOp: parallel.bytes,
+			PeakHeapBytes: parallel.peakHeap, GoMaxProcs: procs},
 	}, nil
+}
+
+// spillCancelProbe is the observer behind the cancellation-cleanup probe:
+// it cancels its context the first time any task reports a spill-write
+// phase, catching the engine with spill files freshly on disk.
+type spillCancelProbe struct {
+	cancel context.CancelFunc
+	once   sync.Once
+}
+
+func (*spillCancelProbe) Enabled() bool                           { return true }
+func (*spillCancelProbe) SpanStart(string, []obs.Attr) obs.SpanID { return 0 }
+func (*spillCancelProbe) SpanEnd(obs.SpanID)                      {}
+func (*spillCancelProbe) Count(string, int64)                     {}
+func (*spillCancelProbe) Gauge(string, float64)                   {}
+func (*spillCancelProbe) Progress(string, int, int)               {}
+
+func (p *spillCancelProbe) TaskPhase(ev obs.PhaseEvent) {
+	if ev.Phase == obs.PhaseSpillWrite {
+		p.once.Do(p.cancel)
+	}
+}
+
+// memLimitBench is the bounded-memory parity mode. Per workload it streams
+// the input to disk, measures an unbounded in-memory reference, then the
+// out-of-core path — serial and parallel — under debug.SetMemoryLimit, and
+// verifies the out-of-core contract: the bounded runs spilled, their
+// materialized output hashes match the reference byte for byte, and every
+// spill file is gone afterwards, including when a run is cancelled in the
+// middle of its first spill.
+func memLimitBench(names string, size int64, reducers int, limit int64, spillRoot string) ([]Row, error) {
+	if spillRoot != "" {
+		if err := os.MkdirAll(spillRoot, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	work, err := os.MkdirTemp(spillRoot, "benchmr-ooc-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(work)
+
+	var rows []Row
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		w, err := workloads.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		wr, err := memLimitWorkload(w, work, size, reducers, limit)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		rows = append(rows, wr...)
+	}
+	return rows, nil
+}
+
+func memLimitWorkload(w workloads.Workload, work string, size int64, reducers int, limit int64) ([]Row, error) {
+	inPath := filepath.Join(work, w.Name()+".input")
+	f, err := os.Create(inPath)
+	if err != nil {
+		return nil, err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	written, err := workloads.StreamTo(bw, w.Generate, units.Bytes(size), 42, 16*units.MB)
+	if err == nil {
+		err = bw.Flush()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(inPath)
+
+	// Workloads whose Build samples the input (terasort's range cuts,
+	// fpgrowth's f-list) see a record-aligned prefix; reference and bounded
+	// runs share the job built from it, so the sample never breaks parity.
+	sample, err := samplePrefix(inPath, 4*int64(units.MB))
+	if err != nil {
+		return nil, err
+	}
+
+	const block = 64 * units.MB
+	sortBuf := units.Bytes(limit / 8)
+	if sortBuf < 4*units.MB {
+		sortBuf = 4 * units.MB
+	}
+	spillDir := filepath.Join(work, w.Name()+".spill")
+	if err := os.MkdirAll(spillDir, 0o755); err != nil {
+		return nil, err
+	}
+
+	run := func(ctx context.Context, mode string, bounded bool, parallelism int, barrier bool, ob obs.Observer) (*mapreduce.Result, time.Duration, int64, error) {
+		cfg := mapreduce.DefaultConfig(w.Name() + "/" + mode)
+		cfg.NumReducers = reducers
+		cfg.Parallelism = parallelism
+		cfg.BarrierShuffle = barrier
+		// Every mode sorts with the same buffer, so the ooc rows' delta
+		// against the reference isolates the spill machinery, not a sort
+		// configuration difference.
+		cfg.SortBuffer = sortBuf
+		if bounded {
+			cfg.SpillDir = spillDir
+			cfg.SpillMemory = sortBuf
+			debug.SetMemoryLimit(limit)
+			defer debug.SetMemoryLimit(math.MaxInt64)
+		}
+		job, err := w.Build(cfg, sample)
+		if err != nil {
+			return nil, 0, 0, err
+		}
+		if ob != nil {
+			ctx = obs.NewContext(ctx, ob)
+		}
+		sampler := startHeapSampler()
+		start := time.Now()
+		res, err := mapreduce.NewEngine(nil).RunFileContext(ctx, job, inPath, block)
+		elapsed := time.Since(start)
+		peak := sampler.Stop()
+		return res, elapsed, peak, err
+	}
+	// outputSum hashes the materialized output without holding it resident,
+	// then releases the result's memory and spill tree.
+	outputSum := func(res *mapreduce.Result) ([32]byte, error) {
+		h := sha256.New()
+		err := res.MaterializeOutputTo(h)
+		if cerr := res.Close(); err == nil {
+			err = cerr
+		}
+		var sum [32]byte
+		copy(sum[:], h.Sum(nil))
+		return sum, err
+	}
+	assertSpillDirEmpty := func(when string) error {
+		ents, err := os.ReadDir(spillDir)
+		if err != nil {
+			return err
+		}
+		if len(ents) != 0 {
+			return fmt.Errorf("%s: %d entries left in spill dir %s (first: %s)", when, len(ents), spillDir, ents[0].Name())
+		}
+		return nil
+	}
+
+	refRes, refTime, refPeak, err := run(context.Background(), "inmem-ref", false, 0, false, nil)
+	if err != nil {
+		return nil, fmt.Errorf("reference run: %w", err)
+	}
+	refSum, err := outputSum(refRes)
+	if err != nil {
+		return nil, fmt.Errorf("reference output: %w", err)
+	}
+	rows := []Row{{
+		Name: w.Name() + "/inmem-ref", InputBytes: written, NsPerOp: refTime.Nanoseconds(),
+		Speedup: 1, PeakHeapBytes: refPeak, GoMaxProcs: runtime.GOMAXPROCS(0),
+	}}
+
+	for _, m := range []struct {
+		mode        string
+		parallelism int
+		barrier     bool
+	}{
+		{"ooc-serial", 1, true},
+		{"ooc-parallel", 0, false},
+	} {
+		res, elapsed, peak, err := run(context.Background(), m.mode, true, m.parallelism, m.barrier, nil)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", m.mode, err)
+		}
+		c := res.Counters
+		if !res.OutOfCore() || c.Spills == 0 || c.SpillFilesWritten == 0 {
+			res.Close()
+			return nil, fmt.Errorf("%s: never went out of core under a %s limit (spills=%d, spill files=%d) — the ceiling asserts nothing", m.mode, units.Bytes(limit), c.Spills, c.SpillFilesWritten)
+		}
+		sum, err := outputSum(res)
+		if err != nil {
+			return nil, fmt.Errorf("%s output: %w", m.mode, err)
+		}
+		if sum != refSum {
+			return nil, fmt.Errorf("%s: output diverges from the in-memory reference (sha256 %x != %x)", m.mode, sum, refSum)
+		}
+		if err := assertSpillDirEmpty(m.mode + " after Close"); err != nil {
+			return nil, err
+		}
+		rows = append(rows, Row{
+			Name: w.Name() + "/" + m.mode, InputBytes: written, NsPerOp: elapsed.Nanoseconds(),
+			Speedup: float64(refTime) / float64(elapsed), PeakHeapBytes: peak,
+			GoMaxProcs: runtime.GOMAXPROCS(0), MemLimitBytes: limit,
+			Spills:            int64(c.Spills),
+			SpillFilesWritten: int64(c.SpillFilesWritten), SpillFileBytesWritten: int64(c.SpillFileBytesWritten),
+		})
+	}
+
+	// Cancellation probe: cancel the context the moment the first spill file
+	// lands on disk; the engine must still leave the spill dir empty.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	probe := &spillCancelProbe{cancel: cancel}
+	if res, _, _, err := run(ctx, "ooc-cancel", true, 0, false, probe); err == nil {
+		res.Close()
+		return nil, fmt.Errorf("cancellation probe: run survived a context cancelled mid-spill")
+	} else if ctx.Err() == nil {
+		return nil, fmt.Errorf("cancellation probe: run failed before the probe fired: %w", err)
+	}
+	if err := assertSpillDirEmpty("after cancellation"); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// samplePrefix reads up to max bytes from the head of path, trimmed to the
+// last whole record, for Build implementations that sample their input.
+func samplePrefix(path string, max int64) ([]byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	buf := make([]byte, max)
+	n, err := io.ReadFull(f, buf)
+	if err != nil && err != io.EOF && err != io.ErrUnexpectedEOF {
+		return nil, err
+	}
+	buf = buf[:n]
+	if i := bytes.LastIndexByte(buf, '\n'); i >= 0 {
+		buf = buf[:i+1]
+	}
+	return buf, nil
 }
 
 // rowKey matches measurement rows across runs by name, input size and

@@ -50,6 +50,7 @@ func main() {
 		workerTO = flag.Duration("worker-timeout", 30*time.Second, "silent-worker eviction window (role=master)")
 		snapshot = flag.String("snapshot", "", "persist master state to this file and resume from it on start (role=master)")
 		poll     = flag.Duration("poll", 10*time.Millisecond, "idle poll interval (role=worker)")
+		spillDir = flag.String("spill-dir", "", "serve map output from checksummed spill files under this directory instead of memory (role=worker)")
 		trace    = flag.String("trace", "", "stream a JSONL observability trace to this file (master/worker)")
 		httpAddr = flag.String("http", "", "serve the live plane (/metrics, /jobs, /tasks, pprof) on this address (master/worker)")
 		out      = flag.String("out", "", "output file for results (role=submit; default stdout)")
@@ -135,6 +136,7 @@ func main() {
 		}
 		w, err := dist.ConnectWorker(*id, *master,
 			dist.WithPollInterval(*poll),
+			dist.WithSpillDir(*spillDir),
 			dist.WithObserver(ob))
 		if err != nil {
 			fatal(err)
@@ -145,6 +147,7 @@ func main() {
 		if srv != nil {
 			srv.Close()
 		}
+		w.Close() // removes the spill tree on SIGINT/SIGTERM shutdown
 		flushTrace()
 		if err != nil && ctx.Err() == nil {
 			fatal(err)

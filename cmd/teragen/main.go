@@ -2,13 +2,20 @@
 // Zipf text, TeraGen-format records, fixed-width sortable rows,
 // market-basket transactions and labelled documents.
 //
+// Output is streamed in record-aligned chunks (-chunk), so paper-scale
+// datasets (multi-GB) are generated in constant memory; -chunk 0 restores
+// the legacy single-buffer path, whose byte stream older fixtures were
+// recorded against.
+//
 // Usage:
 //
 //	teragen -kind tera -size 1048576 -seed 1 -out data.txt
 //	teragen -kind text -size 65536          # writes to stdout
+//	teragen -kind tera -size 4294967296 -chunk 16777216 -out big.txt
 package main
 
 import (
+	"bufio"
 	"flag"
 	"fmt"
 	"os"
@@ -19,11 +26,12 @@ import (
 
 func main() {
 	var (
-		kind = flag.String("kind", "tera", "dataset kind: text|tera|numbers|transactions|labeled")
-		size = flag.Int64("size", int64(units.MB), "approximate output size in bytes")
-		seed = flag.Int64("seed", 1, "generator seed")
-		out  = flag.String("out", "", "output file (default stdout)")
-		verb = flag.Bool("v", false, "report the generated size on stderr")
+		kind  = flag.String("kind", "tera", "dataset kind: text|tera|numbers|transactions|labeled")
+		size  = flag.Int64("size", int64(units.MB), "approximate output size in bytes")
+		seed  = flag.Int64("seed", 1, "generator seed")
+		out   = flag.String("out", "", "output file (default stdout)")
+		chunk = flag.Int64("chunk", int64(16*units.MB), "streaming chunk size in bytes (0 = build the whole dataset in memory)")
+		verb  = flag.Bool("v", false, "report the generated size on stderr")
 	)
 	flag.Parse()
 
@@ -43,28 +51,39 @@ func main() {
 		fmt.Fprintln(os.Stderr, "size must be positive")
 		os.Exit(2)
 	}
-	data := gen(units.Bytes(*size), *seed)
 
-	w := os.Stdout
+	var w *os.File = os.Stdout
 	if *out != "" {
 		f, err := os.Create(*out)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		defer func() {
-			if err := f.Close(); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-		}()
 		w = f
 	}
-	if _, err := w.Write(data); err != nil {
+	var written int64
+	var err error
+	if *chunk > 0 {
+		bw := bufio.NewWriterSize(w, 1<<20)
+		written, err = workloads.StreamTo(bw, gen, units.Bytes(*size), *seed, units.Bytes(*chunk))
+		if err == nil {
+			err = bw.Flush()
+		}
+	} else {
+		// Legacy path: one resident buffer, byte-identical to old fixtures.
+		data := gen(units.Bytes(*size), *seed)
+		var n int
+		n, err = w.Write(data)
+		written = int64(n)
+	}
+	if err == nil && *out != "" {
+		err = w.Close()
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 	if *verb {
-		fmt.Fprintf(os.Stderr, "teragen: %d bytes of %s data (seed %d)\n", len(data), *kind, *seed)
+		fmt.Fprintf(os.Stderr, "teragen: %d bytes of %s data (seed %d)\n", written, *kind, *seed)
 	}
 }

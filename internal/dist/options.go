@@ -49,6 +49,7 @@ type config struct {
 	workerTimeout   time.Duration
 	snapshotPath    string
 	serveShuffle    bool
+	spillDir        string
 }
 
 func defaultConfig() config {
@@ -166,6 +167,20 @@ func WithWorkerTimeout(d time.Duration) Option {
 // master picks its in-flight jobs back up. Empty keeps snapshots off.
 func WithSnapshotPath(path string) Option {
 	return func(c *config) { c.snapshotPath = path }
+}
+
+// WithSpillDir gives a shuffle-serving worker an out-of-core map-output
+// store: completed map output is written to a compressed, checksummed
+// segment file under a per-worker temp directory inside dir instead of
+// staying resident, and reducers pull it frame by frame (FetchPartArgs.
+// Frame). The worker's resident shuffle state drops from the full map
+// output to one frame per in-flight fetch. A spill file that fails
+// validation on read is answered as segment loss, so the master re-executes
+// the owning map — the same recovery path as a dead worker. Empty keeps the
+// in-memory store; ignored when shuffle serving is off (inline output must
+// outlive the worker).
+func WithSpillDir(dir string) Option {
+	return func(c *config) { c.spillDir = dir }
 }
 
 // WithShuffleServing toggles worker-served shuffle: when on (the default)

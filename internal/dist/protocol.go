@@ -166,18 +166,27 @@ type TaggedSegment struct {
 }
 
 // FetchPartArgs asks a worker's shuffle server for one map task's output
-// for one partition.
+// for one partition. Frame is the fetch cursor for disk-backed output
+// (WithSpillDir workers): the reducer pulls wire-encoded frames one at a
+// time, starting at 0, until More comes back false. In-memory stores
+// ignore it beyond treating any Frame > 0 as out of range.
 type FetchPartArgs struct {
 	Epoch     uint64
 	MapSeq    int
 	Partition int
+	Frame     int
 }
 
-// FetchPartReply carries the requested segment blob. OK is false when the
-// worker no longer holds it (pruned after job completion, or it never ran
-// the map) — the fetcher treats that as segment loss.
+// FetchPartReply carries the requested segment blob — the whole partition
+// for an in-memory store, one frame of it for a disk-backed store. More is
+// set when further frames follow (disk-backed, multi-frame partitions); the
+// fetcher increments Frame and calls again. OK is false when the worker no
+// longer holds the segment (pruned after job completion, it never ran the
+// map, or the spill file failed validation on read) — the fetcher treats
+// that as segment loss and the master re-executes the owning map.
 type FetchPartReply struct {
 	Data []byte
+	More bool
 	OK   bool
 }
 

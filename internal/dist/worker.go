@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net"
 	"net/rpc"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 	"time"
@@ -37,6 +39,12 @@ type Worker struct {
 	shuffleLn   net.Listener
 	shuffleAddr string
 	store       *shuffleStore
+	// spillDir is this worker's out-of-core map-output directory
+	// (WithSpillDir), "" for the in-memory store; removed on Close.
+	spillDir string
+	// spillSeq uniquifies spill-file names across re-executions of the same
+	// map seq (guarded by mu).
+	spillSeq int
 
 	mu      sync.Mutex
 	stopped bool
@@ -60,42 +68,98 @@ type Worker struct {
 	bgErr error
 }
 
+// storedOutput is one map task's stored output: either resident
+// per-partition encoded segment blobs (the default) or a disk-backed
+// segment file (WithSpillDir workers) served frame by frame.
+type storedOutput struct {
+	parts [][]byte
+	file  *mapreduce.SegmentFile
+}
+
 // shuffleStore holds a serving worker's map output: epoch → map Seq →
-// per-partition encoded segment blobs. It has its own lock because the
-// shuffle server's fetch goroutines race the polling loop.
+// stored output. It has its own lock because the shuffle server's fetch
+// goroutines race the polling loop; disk reads happen outside the lock
+// (SegmentFile handles are goroutine-safe).
 type shuffleStore struct {
 	mu      sync.Mutex
-	byEpoch map[uint64]map[int][][]byte
+	byEpoch map[uint64]map[int]storedOutput
 }
 
 func newShuffleStore() *shuffleStore {
-	return &shuffleStore{byEpoch: make(map[uint64]map[int][][]byte)}
+	return &shuffleStore{byEpoch: make(map[uint64]map[int]storedOutput)}
 }
 
 func (s *shuffleStore) put(epoch uint64, mapSeq int, parts [][]byte) {
+	s.set(epoch, mapSeq, storedOutput{parts: parts})
+}
+
+func (s *shuffleStore) putFile(epoch uint64, mapSeq int, sf *mapreduce.SegmentFile) {
+	s.set(epoch, mapSeq, storedOutput{file: sf})
+}
+
+func (s *shuffleStore) set(epoch uint64, mapSeq int, out storedOutput) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	e := s.byEpoch[epoch]
 	if e == nil {
-		e = make(map[int][][]byte)
+		e = make(map[int]storedOutput)
 		s.byEpoch[epoch] = e
 	}
-	e[mapSeq] = parts
+	// A re-executed attempt replaces the entry; release the superseded spill
+	// file (names are uniquified, so the new file is never the old path).
+	if old, ok := e[mapSeq]; ok && old.file != nil {
+		old.file.Remove()
+	}
+	e[mapSeq] = out
 }
 
-func (s *shuffleStore) get(epoch uint64, mapSeq, part int) ([]byte, bool) {
+// getFrame hands out one fetchable unit of a stored map output: the whole
+// partition blob for resident output (frame 0 only), or frame `frame` of
+// the partition for disk-backed output, with more reporting whether frames
+// remain. ok is false for anything this worker cannot serve — unknown
+// task, out-of-range partition or frame, or a spill file that fails
+// validation on read — which the fetcher treats as segment loss.
+func (s *shuffleStore) getFrame(epoch uint64, mapSeq, part, frame int) (data []byte, more, ok bool) {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	parts := s.byEpoch[epoch][mapSeq]
-	if part < 0 || part >= len(parts) {
-		return nil, false
+	out, ok := s.byEpoch[epoch][mapSeq]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false, false
 	}
-	return parts[part], true
+	if out.file == nil {
+		if part < 0 || part >= len(out.parts) || frame != 0 {
+			return nil, false, false
+		}
+		return out.parts[part], false, true
+	}
+	sf := out.file
+	if part < 0 || part >= sf.NumPartitions() {
+		return nil, false, false
+	}
+	nframes := sf.Frames(part)
+	if nframes == 0 {
+		// An empty partition has no frames on disk; serve its coverage
+		// marker (defensive — the master only publishes non-empty segments).
+		if frame != 0 {
+			return nil, false, false
+		}
+		return mapreduce.EncodeSegment(mapreduce.Segment{}), false, true
+	}
+	if frame < 0 || frame >= nframes {
+		return nil, false, false
+	}
+	blob, err := sf.ReadFrame(part, frame)
+	if err != nil {
+		// Corrupt or truncated on disk: answer as loss so the master
+		// re-executes the owning map instead of the reducer stalling.
+		return nil, false, false
+	}
+	return blob, frame+1 < nframes, true
 }
 
 // prune drops stored output for every epoch not in the active set — the
 // master piggybacks the set on TaskWait/TaskDone replies, so finished
-// jobs' segments are released within a heartbeat.
+// jobs' segments (and their spill files) are released within a heartbeat.
 func (s *shuffleStore) prune(active []uint64) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -103,10 +167,16 @@ func (s *shuffleStore) prune(active []uint64) {
 	for _, e := range active {
 		keep[e] = true
 	}
-	for e := range s.byEpoch {
-		if !keep[e] {
-			delete(s.byEpoch, e)
+	for e, outs := range s.byEpoch {
+		if keep[e] {
+			continue
 		}
+		for _, out := range outs {
+			if out.file != nil {
+				out.file.Remove()
+			}
+		}
+		delete(s.byEpoch, e)
 	}
 }
 
@@ -115,11 +185,12 @@ type shuffleRPC struct {
 	w *Worker
 }
 
-// Fetch hands one stored map-output segment to a pulling reducer. OK is
-// false when this worker no longer holds it (pruned, or it never ran the
-// map) — the fetcher treats that as segment loss.
+// Fetch hands one stored map-output blob (or one frame of a disk-backed
+// one) to a pulling reducer. OK is false when this worker cannot serve it
+// (pruned, it never ran the map, or the spill file failed validation) —
+// the fetcher treats that as segment loss.
 func (r *shuffleRPC) Fetch(args FetchPartArgs, reply *FetchPartReply) error {
-	reply.Data, reply.OK = r.w.store.get(args.Epoch, args.MapSeq, args.Partition)
+	reply.Data, reply.More, reply.OK = r.w.store.getFrame(args.Epoch, args.MapSeq, args.Partition, args.Frame)
 	return nil
 }
 
@@ -187,6 +258,18 @@ func ConnectWorker(id, masterAddr string, opts ...Option) (*Worker, error) {
 				go srv.ServeConn(c)
 			}
 		}()
+		if cfg.spillDir != "" {
+			if err := os.MkdirAll(cfg.spillDir, 0o755); err != nil {
+				w.Close()
+				return nil, fmt.Errorf("dist: worker %s spill dir: %w", id, err)
+			}
+			dir, err := os.MkdirTemp(cfg.spillDir, "worker-")
+			if err != nil {
+				w.Close()
+				return nil, fmt.Errorf("dist: worker %s spill dir: %w", id, err)
+			}
+			w.spillDir = dir
+		}
 	}
 	return w, nil
 }
@@ -257,6 +340,11 @@ func (w *Worker) Close() error {
 	}
 	if w.shuffleLn != nil {
 		w.shuffleLn.Close()
+	}
+	if w.spillDir != "" {
+		// The spill files ARE this worker's served segments; removing them is
+		// part of what makes a closed worker's output unreachable.
+		os.RemoveAll(w.spillDir)
 	}
 	return w.client.Close()
 }
@@ -406,6 +494,38 @@ func (w *Worker) runMap(task Task) error {
 		w.reportFailure(task, err)
 		return fmt.Errorf("dist: worker %s map %d: %w", w.ID, task.Seq, err)
 	}
+	if w.shuffleAddr != "" && w.spillDir != "" {
+		// Out-of-core serving: the output goes straight to a segment file and
+		// is served from it frame by frame — the resident blobs are never
+		// built. The accounting PartStats carry comes from the file's index,
+		// which matches the in-memory per-record formula exactly.
+		w.mu.Lock()
+		w.tasksRun++
+		w.spillSeq++
+		seq := w.spillSeq
+		w.mu.Unlock()
+		path := filepath.Join(w.spillDir, fmt.Sprintf("e%d-m%d-a%d.seg", task.Epoch, task.Seq, seq))
+		tSpill := pc.Start()
+		sf, err := mapreduce.WriteSegmentsFile(path, segs)
+		if err != nil {
+			w.reportFailure(task, err)
+			return fmt.Errorf("dist: worker %s map %d spill: %w", w.ID, task.Seq, err)
+		}
+		pc.Emit(obs.PhaseSpillWrite, tSpill)
+		counters.SpillFilesWritten++
+		counters.SpillFileBytesWritten += sf.StoredBytes()
+		w.store.putFile(task.Epoch, task.Seq, sf)
+		stats := make([]PartStat, 0, len(segs))
+		for p := range segs {
+			if segs[p].Len() > 0 {
+				stats = append(stats, PartStat{Part: p, Recs: int(sf.Records(p)), Bytes: int64(sf.PartitionBytes(p))})
+			}
+		}
+		return w.client.Call("Master.CompleteMap", MapDone{
+			WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq,
+			Addr: w.shuffleAddr, PartStats: stats, Counters: counters,
+		}, &Ack{})
+	}
 	// Encode every partition — empties included, as 8-byte coverage
 	// markers — and report which ones actually hold records, so the master
 	// can publish the segments to early-dispatched reducers without
@@ -502,29 +622,48 @@ func (w *Worker) dropPeer(addr string, c *rpc.Client) {
 }
 
 // fetchServed pulls one served segment from its producing worker (or this
-// worker's own store). Any failure — dial, call, or the producer no longer
-// holding the blob — is segment loss to the caller.
-func (w *Worker) fetchServed(s TaggedSegment, epoch uint64, partition int) ([]byte, error) {
-	args := FetchPartArgs{Epoch: epoch, MapSeq: s.MapSeq, Partition: partition}
-	if s.Addr == w.shuffleAddr && w.store != nil {
-		if blob, ok := w.store.get(epoch, s.MapSeq, partition); ok {
-			return blob, nil
+// worker's own store), looping the frame cursor until the producer reports
+// no more frames: one blob for in-memory producers, the partition's frames
+// in order for disk-backed ones. Any failure — dial, call, the producer no
+// longer holding the blob, or a frame failing spill-file validation — is
+// segment loss to the caller.
+func (w *Worker) fetchServed(s TaggedSegment, epoch uint64, partition int) ([][]byte, error) {
+	var frames [][]byte
+	for frame := 0; ; frame++ {
+		blob, more, err := w.fetchServedFrame(s, epoch, partition, frame)
+		if err != nil {
+			return nil, err
 		}
-		return nil, fmt.Errorf("dist: worker %s: own store lacks epoch %d map %d", w.ID, epoch, s.MapSeq)
+		frames = append(frames, blob)
+		if !more {
+			return frames, nil
+		}
+	}
+}
+
+// fetchServedFrame pulls one frame of a served segment.
+func (w *Worker) fetchServedFrame(s TaggedSegment, epoch uint64, partition, frame int) ([]byte, bool, error) {
+	if s.Addr == w.shuffleAddr && w.store != nil {
+		blob, more, ok := w.store.getFrame(epoch, s.MapSeq, partition, frame)
+		if !ok {
+			return nil, false, fmt.Errorf("dist: worker %s: own store lacks epoch %d map %d frame %d", w.ID, epoch, s.MapSeq, frame)
+		}
+		return blob, more, nil
 	}
 	c, err := w.peer(s.Addr)
 	if err != nil {
-		return nil, err
+		return nil, false, err
 	}
 	var reply FetchPartReply
+	args := FetchPartArgs{Epoch: epoch, MapSeq: s.MapSeq, Partition: partition, Frame: frame}
 	if err := c.Call("Shuffle.Fetch", args, &reply); err != nil {
 		w.dropPeer(s.Addr, c)
-		return nil, err
+		return nil, false, err
 	}
 	if !reply.OK {
-		return nil, fmt.Errorf("dist: worker at %s no longer holds epoch %d map %d part %d", s.Addr, epoch, s.MapSeq, partition)
+		return nil, false, fmt.Errorf("dist: worker at %s cannot serve epoch %d map %d part %d frame %d", s.Addr, epoch, s.MapSeq, partition, frame)
 	}
-	return reply.Data, nil
+	return reply.Data, reply.More, nil
 }
 
 // runReduceStreaming fetches the task's partition segments as the map wave
@@ -549,7 +688,7 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	// collector charges its merges to.
 	tFetch := pc.Start()
 	byMap := make(map[int]TaggedSegment) // latest publication per MapSeq
-	blobs := make(map[int][]byte)        // resolved payloads per MapSeq
+	blobs := make(map[int][][]byte)      // resolved payload frames per MapSeq
 	cursor := 0
 	for {
 		if w.isStopped() || ctx.Err() != nil {
@@ -587,15 +726,15 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 				continue
 			}
 			if s.Addr == "" {
-				blobs[seq] = s.Data
+				blobs[seq] = [][]byte{s.Data}
 				continue
 			}
-			blob, err := w.fetchServed(s, task.Epoch, task.Partition)
+			frames, err := w.fetchServed(s, task.Epoch, task.Partition)
 			if err != nil {
 				lost[s.Owner] = append(lost[s.Owner], seq)
 				continue
 			}
-			blobs[seq] = blob
+			blobs[seq] = frames
 		}
 		for owner, seqs := range lost {
 			sort.Ints(seqs)
@@ -628,6 +767,9 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	// Restore map-task order — the order the engine's stable merge is
 	// defined over — regardless of fetch interleaving, then decode the
 	// blobs (zero-copy: the record payload aliases the received buffers).
+	// A disk-backed segment arrives as several frames — adjacent chunks of
+	// one sorted run — and feeding them to the stable merge as consecutive
+	// slots reproduces the whole-run merge byte for byte.
 	seqs := make([]int, 0, len(byMap))
 	for seq := range byMap {
 		seqs = append(seqs, seq)
@@ -635,12 +777,14 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	sort.Ints(seqs)
 	parts := make([]mapreduce.Segment, 0, len(seqs))
 	for _, seq := range seqs {
-		seg, err := mapreduce.DecodeSegment(blobs[seq])
-		if err != nil {
-			w.reportFailure(task, err)
-			return fmt.Errorf("dist: worker %s reduce %d decode map-%d segment: %w", w.ID, task.Seq, seq, err)
+		for i, blob := range blobs[seq] {
+			seg, err := mapreduce.DecodeSegment(blob)
+			if err != nil {
+				w.reportFailure(task, err)
+				return fmt.Errorf("dist: worker %s reduce %d decode map-%d frame %d: %w", w.ID, task.Seq, seq, i, err)
+			}
+			parts = append(parts, seg)
 		}
-		parts = append(parts, seg)
 	}
 	out, counters, err := mapreduce.ExecuteReduceSegObs(job, parts, ref, w.ob)
 	if err != nil {

@@ -276,6 +276,20 @@ type Config struct {
 	// two-phase Hadoop does. Output is byte-identical either way; the flag
 	// exists for baselines and A/B measurements.
 	BarrierShuffle bool
+	// SpillDir, when non-empty, enables the out-of-core path: spills that
+	// overflow SpillMemory are written as compressed, checksummed segment
+	// files under a per-run temp directory inside SpillDir, merged with a
+	// streaming external k-way merge, and reduce outputs are disk-backed
+	// (release them with Result.Close). Empty keeps every segment in
+	// memory. Map-only jobs ignore it (their outputs must outlive the
+	// run's spill directory).
+	SpillDir string
+	// SpillMemory bounds how many spilled bytes a map task (and each
+	// streaming-shuffle collector) may keep buffered in memory before
+	// further runs go to disk — the out-of-core budget alongside
+	// SortBuffer. Zero defaults to SortBuffer. Ignored unless SpillDir is
+	// set.
+	SpillMemory units.Bytes
 	// MaxAttempts is how many times a failed task is retried before the
 	// job aborts. Zero means 1 attempt (no retries).
 	MaxAttempts int
@@ -314,6 +328,9 @@ func (c Config) Validate() error {
 	}
 	if c.Parallelism < 0 {
 		return fmt.Errorf("mapreduce: %s: negative parallelism", c.Name)
+	}
+	if c.SpillMemory < 0 {
+		return fmt.Errorf("mapreduce: %s: negative spill memory", c.Name)
 	}
 	if c.MaxAttempts < 0 {
 		return fmt.Errorf("mapreduce: %s: negative max attempts", c.Name)

@@ -74,6 +74,18 @@ type Counters struct {
 	// barrier path never records any; output is identical either way.
 	ReduceMergePasses int
 
+	// SpillFilesWritten counts on-disk segment files written by the
+	// out-of-core path (map spills, collector pressure folds, worker
+	// shuffle files); zero for in-memory runs.
+	SpillFilesWritten int
+	// SpillFileBytesWritten is the stored (compressed) size of those
+	// files — the actual disk traffic, as opposed to SpilledBytes'
+	// accounting size.
+	SpillFileBytesWritten units.Bytes
+	// SpillFileBytesRead is the stored bytes read back from segment files
+	// by external merges and streaming reduces.
+	SpillFileBytesRead units.Bytes
+
 	ReduceInputGroups   int64
 	ReduceInputRecords  int64
 	ReduceOutputRecords int64
@@ -100,6 +112,9 @@ func (c *Counters) Add(o Counters) {
 	c.ShuffleBytes += o.ShuffleBytes
 	c.ShuffleSegments += o.ShuffleSegments
 	c.ReduceMergePasses += o.ReduceMergePasses
+	c.SpillFilesWritten += o.SpillFilesWritten
+	c.SpillFileBytesWritten += o.SpillFileBytesWritten
+	c.SpillFileBytesRead += o.SpillFileBytesRead
 	c.ReduceInputGroups += o.ReduceInputGroups
 	c.ReduceInputRecords += o.ReduceInputRecords
 	c.ReduceOutputRecords += o.ReduceOutputRecords

@@ -5,6 +5,8 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strconv"
@@ -20,7 +22,8 @@ type Engine struct {
 	store *hdfs.Store
 }
 
-// NewEngine returns an engine bound to a block store.
+// NewEngine returns an engine bound to a block store. The store may be nil
+// for engines that only run file-backed jobs (RunFile).
 func NewEngine(store *hdfs.Store) *Engine {
 	return &Engine{store: store}
 }
@@ -63,10 +66,166 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 		splits[i] = splitRange{start: off, end: off + len(b.Data)}
 		off += len(b.Data)
 	}
+	return e.execute(ctx, o, job, inputSource{data: data}, splits)
+}
+
+// RunFile executes the job over a local disk file instead of a store
+// entry, reading the input in split-sized windows — the out-of-core input
+// path for datasets that should never be resident whole.
+func (e *Engine) RunFile(job Job, path string, blockSize units.Bytes) (*Result, error) {
+	return e.RunFileContext(context.Background(), job, path, blockSize)
+}
+
+// RunFileContext is RunFile with cancellation. Splits are blockSize-sized
+// byte ranges of the file; each map task reads only its own window (plus
+// the straddling-record tail), so peak input residency is one window per
+// task slot. A non-positive blockSize defaults to 64 MB.
+func (e *Engine) RunFileContext(ctx context.Context, job Job, path string, blockSize units.Bytes) (*Result, error) {
+	if err := job.Validate(); err != nil {
+		return nil, err
+	}
+	o := obs.FromContext(ctx)
+	lf, err := hdfs.OpenLocal(path)
+	if err != nil {
+		return nil, fmt.Errorf("mapreduce: %s: %w", job.Config.Name, err)
+	}
+	defer lf.Close()
+	if lf.Size() == 0 {
+		return nil, fmt.Errorf("mapreduce: %s: input %s is empty", job.Config.Name, path)
+	}
+	if blockSize <= 0 {
+		blockSize = 64 * units.MB
+	}
+	splits := make([]splitRange, lf.NumBlocks(blockSize))
+	for i := range splits {
+		start := int64(i) * int64(blockSize)
+		end := start + int64(blockSize)
+		if end > lf.Size() {
+			end = lf.Size()
+		}
+		splits[i] = splitRange{start: int(start), end: int(end)}
+	}
+	return e.execute(ctx, o, job, inputSource{file: lf}, splits)
+}
+
+// inputSource is where map tasks read their splits from: a resident byte
+// slice (store-backed runs) or a local file read in windows (RunFile).
+type inputSource struct {
+	data []byte
+	file *hdfs.LocalFile
+}
+
+// window returns the bytes split must see and the absolute offset of the
+// first returned byte. Resident inputs return the whole slice at base 0 —
+// free. File inputs read the split's window (plus the straddling-record
+// tail) into the task's reusable buffer, attributed as read phase.
+func (in inputSource) window(split splitRange, pc phaseClock, bufs *taskBufs) ([]byte, int, error) {
+	if in.file == nil {
+		return in.data, 0, nil
+	}
+	t := pc.Start()
+	w, err := in.file.ReadWindow(int64(split.start), int64(split.end), bufs.win[:0])
+	if err != nil {
+		return nil, 0, err
+	}
+	bufs.win = w // keep the grown buffer for the slot's next task
+	pc.Emit(obs.PhaseRead, t)
+	return w, split.start, nil
+}
+
+// taskBufs is one task slot's persistent working memory: the emit/sort
+// arena, combiner scratch, partition-id scratch and input-window buffer.
+// Slots hand these from task to task for the lifetime of a run, so a
+// parallel wave holds exactly `par` of each — unlike sync.Pool, whose
+// entries the GC clears mid-run exactly when allocation pressure is
+// highest, which made parallel runs regrow multi-hundred-MB emit arenas
+// once per task.
+type taskBufs struct {
+	emit    arena   // map-side sort buffer; reduce-side output arena
+	scratch arena   // combiner output scratch
+	partIds []int32 // spill partition-id scratch
+	win     []byte  // input window (file-backed inputs)
+}
+
+// bufsPool backs the task-granular entry points (ExecuteMapSplit and
+// friends), which have no slot system of their own. The engine's runs do
+// not use it.
+var bufsPool = sync.Pool{New: func() interface{} { return new(taskBufs) }}
+
+// jobSpill is one run's out-of-core context: where spill files live and
+// how much spilled map output may stay resident per task before the
+// overflow goes to disk.
+type jobSpill struct {
+	root   string // per-run temp dir under Config.SpillDir
+	dir    string // interim spills; removed when the run returns
+	outDir string // reduce outputs; ownership passes to the Result
+	budget units.Bytes
+}
+
+// newJobSpill creates the run's spill directories. budget is SpillMemory,
+// defaulting to SortBuffer.
+func newJobSpill(cfg Config) (*jobSpill, error) {
+	if err := os.MkdirAll(cfg.SpillDir, 0o755); err != nil {
+		return nil, err
+	}
+	root, err := os.MkdirTemp(cfg.SpillDir, sanitizeJobName(cfg.Name)+"-")
+	if err != nil {
+		return nil, err
+	}
+	js := &jobSpill{root: root, dir: filepath.Join(root, "interm"), outDir: filepath.Join(root, "out")}
+	for _, d := range []string{js.dir, js.outDir} {
+		if err := os.Mkdir(d, 0o755); err != nil {
+			os.RemoveAll(root)
+			return nil, err
+		}
+	}
+	js.budget = cfg.SpillMemory
+	if js.budget <= 0 {
+		js.budget = cfg.SortBuffer
+	}
+	return js, nil
+}
+
+func (js *jobSpill) mapSpillPath(task, seq int) string {
+	return filepath.Join(js.dir, fmt.Sprintf("map%d-s%d.seg", task, seq))
+}
+func (js *jobSpill) mapOutPath(task int) string {
+	return filepath.Join(js.dir, fmt.Sprintf("map%d-out.seg", task))
+}
+func (js *jobSpill) colPath(part, seq int) string {
+	return filepath.Join(js.dir, fmt.Sprintf("col%d-s%d.seg", part, seq))
+}
+func (js *jobSpill) outPath(part int) string {
+	return filepath.Join(js.outDir, fmt.Sprintf("reduce%d.seg", part))
+}
+
+// sanitizeJobName maps a job name (which may contain path separators, e.g.
+// "wordcount/serial") onto a safe temp-dir prefix.
+func sanitizeJobName(name string) string {
+	b := []byte(name)
+	for i, c := range b {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.':
+		default:
+			b[i] = '-'
+		}
+	}
+	if len(b) == 0 {
+		return "job"
+	}
+	return string(b)
+}
+
+// execute resolves the run shape (partitions, parallelism, spill context)
+// and dispatches to the barrier or streaming path, cleaning up spill state
+// afterwards: interim spills are always removed; reduce-output files
+// transfer to the Result on success (released by Result.Close) and are
+// removed on failure.
+func (e *Engine) execute(ctx context.Context, o obs.Observer, job Job, in inputSource, splits []splitRange) (*Result, error) {
 	if job.Partitioner == nil {
 		job.Partitioner = HashPartitioner()
 	}
-
 	nparts := job.Config.NumReducers
 	mapOnly := nparts == 0
 	if mapOnly {
@@ -79,26 +238,53 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 	if par < 1 {
 		par = 1
 	}
+	// Map-only jobs have no shuffle to spill; SpillDir is documented as
+	// ignored for them.
+	var js *jobSpill
+	if !mapOnly && job.Config.SpillDir != "" {
+		var err error
+		js, err = newJobSpill(job.Config)
+		if err != nil {
+			return nil, fmt.Errorf("mapreduce: %s: spill dir: %w", job.Config.Name, err)
+		}
+	}
+	var res *Result
+	var err error
 	// Map-only jobs have no shuffle to stream; BarrierShuffle is the
 	// explicit opt-out onto the legacy two-phase path.
 	if mapOnly || job.Config.BarrierShuffle {
-		return e.runBarrier(ctx, o, job, data, splits, nparts, mapOnly, par)
+		res, err = e.runBarrier(ctx, o, job, in, splits, nparts, mapOnly, par, js)
+	} else {
+		res, err = e.runStreaming(ctx, o, job, in, splits, nparts, par, js)
 	}
-	return e.runStreaming(ctx, o, job, data, splits, nparts, par)
+	if js != nil {
+		os.RemoveAll(js.dir)
+		if err != nil || res == nil {
+			os.RemoveAll(js.root)
+		} else {
+			res.spillRoot = js.root
+		}
+	}
+	return res, err
 }
 
 // runBarrier is the two-phase execution path: the map wave runs to
 // completion, the shuffle is assembled in one step, then reduce tasks run.
-func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data []byte, splits []splitRange, nparts int, mapOnly bool, par int) (*Result, error) {
+func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, in inputSource, splits []splitRange, nparts int, mapOnly bool, par int, js *jobSpill) (*Result, error) {
 	total := &Counters{}
-	sem := make(chan struct{}, par)
+	// Task slots double as working-memory handles: a slot's buffers pass
+	// from task to task, so the wave allocates par emit arenas total.
+	slots := make(chan *taskBufs, par)
+	for i := 0; i < par; i++ {
+		slots <- new(taskBufs)
+	}
 	var wg sync.WaitGroup
 
 	// ---- Map phase: one task per split, run on a bounded worker pool.
 	// Each task writes only its own slots; aggregation happens once after
 	// the wave drains, so the hot path takes no locks.
 	var (
-		mapOutputs   = make([][]Segment, len(splits)) // [task][partition]sorted run
+		mapOutputs   = make([][]partRun, len(splits)) // [task][partition]sorted run
 		taskErr      = make([]error, len(splits))
 		taskCounters = make([]Counters, len(splits))
 		completed    = make([]bool, len(splits))
@@ -110,23 +296,28 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 			ctxErr = err
 			break
 		}
-		sem <- struct{}{}
+		bufs := <-slots
 		// Re-check after (possibly) blocking on a slot: a cancellation that
 		// lands while waiting must not dispatch another task.
 		if err := ctx.Err(); err != nil {
-			<-sem
+			slots <- bufs
 			ctxErr = err
 			break
 		}
 		dispatched++
 		wg.Add(1)
-		go func(i int, split splitRange) {
+		go func(i int, split splitRange, bufs *taskBufs) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer func() { slots <- bufs }()
 			taskID := fmt.Sprintf("%s/map-%d", job.Config.Name, i)
 			pc := mapTaskClock(o, job, i)
-			out, tc, err := runWithRetry(job, taskID, func() ([]Segment, Counters, error) {
-				return runMapTask(job, data, split, nparts, pc)
+			win, base, err := in.window(split, pc, bufs)
+			if err != nil {
+				taskErr[i] = fmt.Errorf("mapreduce: %s: %s: %w", job.Config.Name, taskID, err)
+				return
+			}
+			out, tc, err := runWithRetry(job, taskID, func() ([]partRun, Counters, error) {
+				return runMapTask(job, win, base, split, nparts, pc, bufs, js, i)
 			})
 			if err != nil {
 				taskErr[i] = err
@@ -135,7 +326,7 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 			mapOutputs[i] = out
 			taskCounters[i] = tc
 			completed[i] = true
-		}(i, split)
+		}(i, split, bufs)
 	}
 	wg.Wait()
 	for i := 0; i < dispatched; i++ {
@@ -154,25 +345,25 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 	}
 
 	if mapOnly {
-		out := make([]Segment, len(splits))
+		out := make([]partRun, len(splits))
 		for i, mo := range mapOutputs {
 			out[i] = mo[0]
 		}
-		return newResult(out, *total), nil
+		return newResultRuns(out, *total), nil
 	}
 
 	// ---- Shuffle: route each map task's partition p to reduce task p.
-	shuffled := make([][]Segment, nparts) // [partition][segment]sorted run
+	shuffled := make([][]partRun, nparts) // [partition][run]sorted run
 	var shuffleBytes units.Bytes
 	segments := 0
 	for _, mo := range mapOutputs {
 		for p := 0; p < nparts; p++ {
-			if mo[p].Len() == 0 {
+			if mo[p].recs() == 0 {
 				continue
 			}
 			shuffled[p] = append(shuffled[p], mo[p])
 			segments++
-			shuffleBytes += mo[p].Bytes()
+			shuffleBytes += mo[p].accountBytes()
 		}
 	}
 	total.ShuffleBytes = shuffleBytes
@@ -181,7 +372,7 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 
 	// ---- Reduce phase.
 	var (
-		output      = make([]Segment, nparts)
+		output      = make([]partRun, nparts)
 		redErr      = make([]error, nparts)
 		redCounters = make([]Counters, nparts)
 		redDone     = make([]bool, nparts)
@@ -192,20 +383,28 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 			ctxErr = err
 			break
 		}
-		sem <- struct{}{}
+		bufs := <-slots
 		if err := ctx.Err(); err != nil {
-			<-sem
+			slots <- bufs
 			ctxErr = err
 			break
 		}
 		wg.Add(1)
-		go func(p int) {
+		go func(p int, bufs *taskBufs) {
 			defer wg.Done()
-			defer func() { <-sem }()
+			defer func() { slots <- bufs }()
 			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
 			pc := reduceTaskClock(o, job, p)
-			out, tc, err := runWithRetry(job, taskID, func() (Segment, Counters, error) {
-				return runReduceTask(job, shuffled[p], pc)
+			out, tc, err := runWithRetry(job, taskID, func() (partRun, Counters, error) {
+				if js == nil {
+					segs := make([]Segment, len(shuffled[p]))
+					for i, r := range shuffled[p] {
+						segs[i] = r.seg
+					}
+					seg, tc, err := runReduceTask(job, segs, pc, bufs)
+					return memRun(seg), tc, err
+				}
+				return reduceToFile(job, js.outPath(p), shuffled[p], pc)
 			})
 			if err != nil {
 				redErr[p] = err
@@ -214,7 +413,7 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 			output[p] = out
 			redCounters[p] = tc
 			redDone[p] = true
-		}(p)
+		}(p, bufs)
 	}
 	wg.Wait()
 	for p := 0; p < nparts; p++ {
@@ -231,7 +430,29 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, data [
 		return &Result{Counters: *total}, fmt.Errorf("mapreduce: %s: %w", job.Config.Name, ctxErr)
 	}
 
-	return newResult(output, *total), nil
+	return newResultRuns(output, *total), nil
+}
+
+// reduceToFile streams one partition's reduce output into a
+// single-partition segment file at path — the out-of-core reduce task
+// body. A retried attempt recreates the file from scratch.
+func reduceToFile(job Job, path string, runs []partRun, pc phaseClock) (partRun, Counters, error) {
+	w, err := newSpillWriter(path)
+	if err != nil {
+		return partRun{}, Counters{}, fmt.Errorf("mapreduce: %s: reduce output: %w", job.Config.Name, err)
+	}
+	w.beginPartition()
+	c, err := reduceStreamed(job, runs, w.append, pc)
+	if err != nil {
+		w.abort()
+		return partRun{}, c, err
+	}
+	sf, err := w.finish()
+	if err != nil {
+		w.abort()
+		return partRun{}, c, fmt.Errorf("mapreduce: %s: reduce output: %w", job.Config.Name, err)
+	}
+	return diskRun(sf, 0), c, nil
 }
 
 // runWithRetry executes a task body, consulting the failure injector and
@@ -268,38 +489,66 @@ type splitRange struct {
 	start, end int
 }
 
+// mapSpill is one spill's output: resident per-partition runs, or a
+// segment file when the task crossed its spill-memory budget.
+type mapSpill struct {
+	parts []Segment
+	file  *SegmentFile
+}
+
 // runMapTask executes the mapper over one split with Hadoop's sort-buffer
-// spill discipline and returns per-partition sorted output. Records are
-// emitted into a pooled flat arena (no per-record allocation); mappers
-// implementing ByteMapper additionally skip the per-line string. The phase
-// clock receives disjoint map/sort/spill/merge-fetch intervals: the map
-// phase is closed around each spill so phase totals sum to task wall time
-// without double counting.
-func runMapTask(job Job, data []byte, split splitRange, nparts int, pc phaseClock) ([]Segment, Counters, error) {
+// spill discipline and returns per-partition sorted output runs. Records
+// are emitted into the slot's flat arena (no per-record allocation);
+// mappers implementing ByteMapper additionally skip the per-line string.
+// win holds the input bytes starting at absolute offset base; resident
+// inputs pass the whole input at base 0.
+//
+// With a spill context, spills stay resident only while their cumulative
+// accounting size fits js.budget; past that, each spill is written to its
+// own compressed segment file (spill-write phase), and the final merge
+// externally streams all spills into one on-disk output file per task
+// (merge-fetch phase) — identical records, same MergePasses/MergeBytes
+// accounting, bounded memory. The phase clock receives disjoint
+// map/sort/spill/spill-write/merge-fetch intervals: the map phase is
+// closed around each spill so phase totals sum to task wall time without
+// double counting.
+func runMapTask(job Job, win []byte, base int, split splitRange, nparts int, pc phaseClock, bufs *taskBufs, js *jobSpill, task int) ([]partRun, Counters, error) {
 	var c Counters
 	c.MapInputBytes = units.Bytes(split.end - split.start)
 
-	buf := arenaPool.Get().(*arena)
-	defer func() {
-		buf.reset()
-		arenaPool.Put(buf)
-	}()
+	buf := &bufs.emit
+	buf.reset()
+	defer buf.reset()
 	var (
 		bufBytes units.Bytes
-		spills   [][]Segment // per spill: per-partition sorted runs
+		memBytes units.Bytes // accounting size of the resident spills
+		spills   []mapSpill
 	)
 	doSpill := func() error {
 		if len(buf.meta) == 0 {
 			return nil
 		}
-		parts, n, b, err := spill(job, buf, nparts, &c, pc)
+		parts, n, b, err := spill(job, buf, nparts, &c, pc, bufs)
 		if err != nil {
 			return err
 		}
 		c.Spills++
 		c.SpilledRecords += int64(n)
 		c.SpilledBytes += b
-		spills = append(spills, parts)
+		if js != nil && memBytes+b > js.budget {
+			tW := pc.Start()
+			sf, werr := WriteSegmentsFile(js.mapSpillPath(task, len(spills)), parts)
+			if werr != nil {
+				return fmt.Errorf("mapreduce: %s: spill write: %w", job.Config.Name, werr)
+			}
+			pc.Emit(obs.PhaseSpillWrite, tW)
+			c.SpillFilesWritten++
+			c.SpillFileBytesWritten += sf.StoredBytes()
+			spills = append(spills, mapSpill{file: sf})
+		} else {
+			memBytes += b
+			spills = append(spills, mapSpill{parts: parts})
+		}
 		buf.reset()
 		bufBytes = 0
 		return nil
@@ -331,7 +580,7 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int, pc phaseCloc
 			buf.appendBytes(k, v)
 			account(units.Bytes(len(k) + len(v) + recordOverhead))
 		}
-		err = forEachRecordBytes(data, split.start, split.end, func(offset int, line []byte) error {
+		err = forEachRecordWindow(win, base, split.start, split.end, func(offset int, line []byte) error {
 			c.MapInputRecords++
 			if err := bm.MapBytes(offset, line, emit); err != nil {
 				return fmt.Errorf("mapreduce: %s: map: %w", job.Config.Name, err)
@@ -343,7 +592,7 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int, pc phaseCloc
 			buf.append(k, v)
 			account(units.Bytes(len(k) + len(v) + recordOverhead))
 		}
-		err = forEachRecordBytes(data, split.start, split.end, func(offset int, line []byte) error {
+		err = forEachRecordWindow(win, base, split.start, split.end, func(offset int, line []byte) error {
 			c.MapInputRecords++
 			if err := job.Mapper.Map(strconv.Itoa(offset), string(line), emit); err != nil {
 				return fmt.Errorf("mapreduce: %s: map: %w", job.Config.Name, err)
@@ -361,27 +610,89 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int, pc phaseCloc
 
 	// Merge spills into the task's final per-partition output. Hadoop
 	// re-reads and re-writes spill data in passes of MergeFactor fan-in.
-	out := make([]Segment, nparts)
+	out := make([]partRun, nparts)
 	switch len(spills) {
 	case 0:
 		// No output at all.
 	case 1:
-		out = spills[0]
+		sp := spills[0]
+		for p := 0; p < nparts; p++ {
+			if sp.file != nil {
+				out[p] = diskRun(sp.file, p)
+			} else {
+				out[p] = memRun(sp.parts[p])
+			}
+		}
 	default:
 		tMerge := pc.Start()
 		passes := mergePasses(len(spills), job.Config.MergeFactor)
 		c.MergePasses += passes
 		c.MergeBytes += c.SpilledBytes * units.Bytes(passes)
+		anyDisk := false
+		for _, sp := range spills {
+			if sp.file != nil {
+				anyDisk = true
+				break
+			}
+		}
+		if !anyDisk {
+			for p := 0; p < nparts; p++ {
+				segs := make([]Segment, 0, len(spills))
+				for _, sp := range spills {
+					if sp.parts[p].Len() > 0 {
+						segs = append(segs, sp.parts[p])
+					}
+				}
+				out[p] = memRun(mergeSegs(segs))
+			}
+			pc.Emit(obs.PhaseMergeFetch, tMerge)
+			break
+		}
+		// External consolidation: stream every spill's partition runs —
+		// resident and on-disk alike, in spill order, so the stable merge
+		// is byte-identical to the in-memory path — into one output file.
+		w, werr := newSpillWriter(js.mapOutPath(task))
+		if werr != nil {
+			return nil, c, fmt.Errorf("mapreduce: %s: merge output: %w", job.Config.Name, werr)
+		}
+		var read int64
 		for p := 0; p < nparts; p++ {
-			segs := make([]Segment, 0, len(spills))
+			w.beginPartition()
+			runs := make([]partRun, 0, len(spills))
 			for _, sp := range spills {
-				if sp[p].Len() > 0 {
-					segs = append(segs, sp[p])
+				if sp.file != nil {
+					runs = append(runs, diskRun(sp.file, p))
+				} else if sp.parts[p].Len() > 0 {
+					runs = append(runs, memRun(sp.parts[p]))
 				}
 			}
-			out[p] = mergeSegs(segs)
+			n, merr := mergeRunsTo(runs, w.append)
+			read += n
+			if merr == nil {
+				merr = w.endPartition()
+			}
+			if merr != nil {
+				w.abort()
+				return nil, c, fmt.Errorf("mapreduce: %s: merge: %w", job.Config.Name, merr)
+			}
+		}
+		sf, ferr := w.finish()
+		if ferr != nil {
+			w.abort()
+			return nil, c, fmt.Errorf("mapreduce: %s: merge output: %w", job.Config.Name, ferr)
 		}
 		pc.Emit(obs.PhaseMergeFetch, tMerge)
+		c.SpillFilesWritten++
+		c.SpillFileBytesWritten += sf.StoredBytes()
+		c.SpillFileBytesRead += units.Bytes(read)
+		for _, sp := range spills {
+			if sp.file != nil {
+				sp.file.Remove()
+			}
+		}
+		for p := 0; p < nparts; p++ {
+			out[p] = diskRun(sf, p)
+		}
 	}
 	return out, c, nil
 }
@@ -393,7 +704,7 @@ func runMapTask(job Job, data []byte, split splitRange, nparts int, pc phaseCloc
 // never moves (Hadoop's MapOutputBuffer sorts its kvmeta the same way).
 // All partitions share one exactly-sized output buffer, laid out partition
 // by partition, so a spill costs two allocations regardless of fan-out.
-func spill(job Job, buf *arena, nparts int, c *Counters, pc phaseClock) ([]Segment, int, units.Bytes, error) {
+func spill(job Job, buf *arena, nparts int, c *Counters, pc phaseClock, bufs *taskBufs) ([]Segment, int, units.Bytes, error) {
 	tSort := pc.Start()
 	data, meta := buf.data, buf.meta
 	sort.SliceStable(meta, func(i, j int) bool {
@@ -406,23 +717,17 @@ func spill(job Job, buf *arena, nparts int, c *Counters, pc phaseClock) ([]Segme
 	defer func() { pc.Emit(obs.PhaseSpill, tSpill) }()
 	working := buf.seg()
 	if job.Combiner != nil {
-		scratch := arenaPool.Get().(*arena)
-		defer func() {
-			scratch.reset()
-			arenaPool.Put(scratch)
-		}()
+		scratch := &bufs.scratch
+		scratch.reset()
+		defer scratch.reset()
 		if err := combineInto(job, working, scratch, c); err != nil {
 			return nil, 0, 0, err
 		}
 		working = scratch.seg()
 	}
 
-	idxp := partScratchPool.Get().(*[]int32)
-	ids := (*idxp)[:0]
-	defer func() {
-		*idxp = ids[:0]
-		partScratchPool.Put(idxp)
-	}()
+	ids := bufs.partIds[:0]
+	defer func() { bufs.partIds = ids[:0] }()
 	bp, hasBP := job.Partitioner.(BytePartitioner)
 	n := working.Len()
 	counts := make([]int, nparts)
@@ -536,15 +841,15 @@ func combineInto(job Job, sorted Segment, out *arena, c *Counters) error {
 
 // runReduceTask merges the sorted shuffle segments for one partition and
 // applies the reducer per key group.
-func runReduceTask(job Job, segments []Segment, pc phaseClock) (Segment, Counters, error) {
+func runReduceTask(job Job, segments []Segment, pc phaseClock, bufs *taskBufs) (Segment, Counters, error) {
 	tMerge := pc.Start()
 	merged := mergeSegs(segments)
 	pc.Emit(obs.PhaseMergeFetch, tMerge)
-	return reduceMerged(job, merged, pc)
+	return reduceMerged(job, merged, pc, bufs)
 }
 
 // reduceMerged applies the reducer per key group over one partition's fully
-// merged record stream, emitting into a pooled flat arena — no per-record
+// merged record stream, emitting into the slot's flat arena — no per-record
 // KV or string is allocated; the returned segment costs two allocations
 // regardless of record count. The streaming path calls it directly with the
 // incrementally merged stream; the barrier path goes through runReduceTask.
@@ -558,7 +863,7 @@ func runReduceTask(job Job, segments []Segment, pc phaseClock) (Segment, Counter
 // always hands back a freshly built segment, so ownership transfer is
 // safe). Counters match the slow path exactly — groups are counted with
 // one adjacent-equality scan.
-func reduceMerged(job Job, merged Segment, pc phaseClock) (Segment, Counters, error) {
+func reduceMerged(job Job, merged Segment, pc phaseClock, bufs *taskBufs) (Segment, Counters, error) {
 	var c Counters
 	n := merged.Len()
 	c.ReduceInputRecords = int64(n)
@@ -580,11 +885,9 @@ func reduceMerged(job Job, merged Segment, pc phaseClock) (Segment, Counters, er
 		return merged, c, nil
 	}
 
-	out := arenaPool.Get().(*arena)
-	defer func() {
-		out.reset()
-		arenaPool.Put(out)
-	}()
+	out := &bufs.emit
+	out.reset()
+	defer out.reset()
 	emitB := ByteEmitter(func(k, v []byte) {
 		out.appendBytes(k, v)
 		c.ReduceOutputRecords++
@@ -677,41 +980,53 @@ type record struct {
 	line   string
 }
 
-// forEachRecordBytes streams the records of the byte range [start, end) to
-// fn under Hadoop's LineRecordReader split semantics: a non-first split
-// discards everything up to and including its first newline (that
-// partial/whole line belongs to the previous split, which reads past its
-// own end to finish it), and a line starting at or before end — even
-// exactly at end — belongs to this split and is read to completion beyond
-// the boundary. Every line of the file is therefore processed by exactly
-// one map task, regardless of where block boundaries cut it. The line
-// slice aliases data and is only valid during the call. A non-nil error
-// from fn stops the iteration and is returned.
-func forEachRecordBytes(data []byte, start, end int, fn func(offset int, line []byte) error) error {
-	pos := start
+// forEachRecordWindow streams the records of the absolute byte range
+// [start, end) to fn under Hadoop's LineRecordReader split semantics: a
+// non-first split discards everything up to and including its first
+// newline (that partial/whole line belongs to the previous split, which
+// reads past its own end to finish it), and a line starting at or before
+// end — even exactly at end — belongs to this split and is read to
+// completion beyond the boundary. Every line of the file is therefore
+// processed by exactly one map task, regardless of where block boundaries
+// cut it.
+//
+// win holds the input bytes starting at absolute offset base and must
+// extend through the first newline at or after end, or to end-of-input
+// (hdfs.LocalFile.ReadWindow's contract); offsets passed to fn are
+// absolute. The line slice aliases win and is only valid during the call.
+// A non-nil error from fn stops the iteration and is returned.
+func forEachRecordWindow(win []byte, base, start, end int, fn func(offset int, line []byte) error) error {
+	pos := start - base
+	rend := end - base
 	if start > 0 {
-		i := bytes.IndexByte(data[start:], '\n')
+		i := bytes.IndexByte(win[pos:], '\n')
 		if i < 0 {
 			return nil // the whole split is the middle of one line
 		}
-		pos = start + i + 1
+		pos += i + 1
 	}
-	for pos <= end && pos < len(data) {
-		i := bytes.IndexByte(data[pos:], '\n')
+	for pos <= rend && pos < len(win) {
+		i := bytes.IndexByte(win[pos:], '\n')
 		var lineEnd int
 		if i < 0 {
-			lineEnd = len(data)
+			lineEnd = len(win)
 		} else {
 			lineEnd = pos + i
 		}
 		if lineEnd > pos {
-			if err := fn(pos, data[pos:lineEnd]); err != nil {
+			if err := fn(base+pos, win[pos:lineEnd]); err != nil {
 				return err
 			}
 		}
 		pos = lineEnd + 1
 	}
 	return nil
+}
+
+// forEachRecordBytes is forEachRecordWindow over a fully resident input
+// (base 0, window = the whole data).
+func forEachRecordBytes(data []byte, start, end int, fn func(offset int, line []byte) error) error {
+	return forEachRecordWindow(data, 0, start, end, fn)
 }
 
 // forEachRecord is forEachRecordBytes with each line materialized as a

@@ -1,0 +1,463 @@
+package mapreduce
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+
+	"heterohadoop/internal/obs"
+	"heterohadoop/internal/units"
+)
+
+// extmerge.go is the out-of-core counterpart of merge.go: a streaming
+// k-way merge over sorted runs that live either in memory (arena Segments)
+// or on disk (segment-file partitions), reading disk runs one frame at a
+// time instead of materializing them. The loser tree mirrors merge.go's —
+// alive before exhausted, then key bytes, then slot — so feeding runs in
+// the same order the in-memory path would merge them yields byte-identical
+// output: stable merging is associative over adjacent runs, frames are
+// contiguous chunks of a sorted run, and slot order preserves the original
+// record order among equal keys.
+
+// partRun is one sorted run of one partition: an in-memory segment when
+// file is nil, otherwise partition part of an on-disk segment file.
+type partRun struct {
+	seg  Segment
+	file *SegmentFile
+	part int
+}
+
+// memRun wraps an in-memory segment.
+func memRun(seg Segment) partRun { return partRun{seg: seg} }
+
+// diskRun wraps one partition of a segment file.
+func diskRun(f *SegmentFile, part int) partRun { return partRun{file: f, part: part} }
+
+// isDisk reports whether the run lives on disk.
+func (r partRun) isDisk() bool { return r.file != nil }
+
+// recs returns the run's record count without touching record data.
+func (r partRun) recs() int64 {
+	if r.file != nil {
+		return r.file.Records(r.part)
+	}
+	return int64(r.seg.Len())
+}
+
+// accountBytes returns the run's accounting size — identical to
+// Segment.Bytes of the run materialized in memory — in O(1).
+func (r partRun) accountBytes() units.Bytes {
+	if r.file != nil {
+		return r.file.PartitionBytes(r.part)
+	}
+	return r.seg.Bytes()
+}
+
+// materialize loads the run into one in-memory segment. For disk runs it
+// returns the stored bytes read alongside, for spill-read accounting.
+func (r partRun) materialize() (Segment, int64, error) {
+	if r.file == nil {
+		return r.seg, 0, nil
+	}
+	fr, err := r.file.openPart(r.part)
+	if err != nil {
+		return Segment{}, 0, err
+	}
+	defer fr.Close()
+	var a arena
+	pm := &r.file.parts[r.part]
+	a.grow(int(pm.rawPayload), int(pm.recs))
+	for {
+		seg, err := fr.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return Segment{}, fr.bytesRead, err
+		}
+		for i, n := 0, seg.Len(); i < n; i++ {
+			a.appendBytes(seg.key(i), seg.val(i))
+		}
+	}
+	return a.seg(), fr.bytesRead, nil
+}
+
+// runCursor walks one run record by record. Disk runs resident one
+// decompressed frame at a time; key/val slices of a disk cursor are
+// invalidated when advance crosses a frame boundary.
+type runCursor struct {
+	cur  Segment
+	i    int
+	fr   *frameReader // nil for in-memory runs
+	done bool
+}
+
+// openRunCursor positions a cursor at the run's first record.
+func openRunCursor(r partRun) (*runCursor, error) {
+	if r.file == nil {
+		return &runCursor{cur: r.seg, done: r.seg.Len() == 0}, nil
+	}
+	fr, err := r.file.openPart(r.part)
+	if err != nil {
+		return nil, err
+	}
+	c := &runCursor{fr: fr}
+	if err := c.refill(); err != nil {
+		fr.Close()
+		return nil, err
+	}
+	return c, nil
+}
+
+// refill loads the next non-empty frame, marking the cursor done at EOF.
+func (c *runCursor) refill() error {
+	for {
+		seg, err := c.fr.next()
+		if err == io.EOF {
+			c.done = true
+			c.cur = Segment{}
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		if seg.Len() > 0 {
+			c.cur, c.i = seg, 0
+			return nil
+		}
+	}
+}
+
+// key and val return the current record's bytes; only valid while !done.
+func (c *runCursor) key() []byte { return c.cur.key(c.i) }
+func (c *runCursor) val() []byte { return c.cur.val(c.i) }
+
+// advance moves to the next record, refilling from the next frame for disk
+// cursors.
+func (c *runCursor) advance() error {
+	c.i++
+	if c.i < c.cur.Len() {
+		return nil
+	}
+	if c.fr == nil {
+		c.done = true
+		return nil
+	}
+	return c.refill()
+}
+
+// close releases a disk cursor's file handle.
+func (c *runCursor) close() {
+	if c.fr != nil {
+		c.fr.Close()
+	}
+}
+
+// cursorTree is merge.go's loser tree generalized from resident segments
+// to run cursors; see loserTree for the tournament mechanics.
+type cursorTree struct {
+	k    int
+	node []int32
+	curs []*runCursor
+}
+
+func newCursorTree(curs []*runCursor) *cursorTree {
+	t := &cursorTree{k: len(curs), curs: curs, node: make([]int32, len(curs))}
+	for i := range t.node {
+		t.node[i] = -1
+	}
+	for s := t.k - 1; s >= 0; s-- {
+		t.seed(int32(s))
+	}
+	return t
+}
+
+// less orders cursors: alive before exhausted, then key bytes, then slot.
+func (t *cursorTree) less(a, b int32) bool {
+	ca, cb := t.curs[a], t.curs[b]
+	if ca.done {
+		return false
+	}
+	if cb.done {
+		return true
+	}
+	if c := bytes.Compare(ca.key(), cb.key()); c != 0 {
+		return c < 0
+	}
+	return a < b
+}
+
+func (t *cursorTree) seed(s int32) {
+	w := s
+	for j := (int(s) + t.k) / 2; j > 0; j /= 2 {
+		if t.node[j] == -1 {
+			t.node[j] = w
+			return
+		}
+		if t.less(t.node[j], w) {
+			t.node[j], w = w, t.node[j]
+		}
+	}
+	t.node[0] = w
+}
+
+// fix replays cursor w's matches up the tree after it advanced.
+func (t *cursorTree) fix(w int32) {
+	for j := (int(w) + t.k) / 2; j > 0; j /= 2 {
+		if t.less(t.node[j], w) {
+			t.node[j], w = w, t.node[j]
+		}
+	}
+	t.node[0] = w
+}
+
+// mergeStream is a pull iterator over the stable k-way merge of a set of
+// runs. The key/val slices it returns are valid until the following next
+// call (disk-backed records are copied through scratch before their source
+// frame can be refilled).
+type mergeStream struct {
+	curs []*runCursor
+	tree *cursorTree // nil when 0 or 1 live cursors
+	kbuf []byte
+	vbuf []byte
+}
+
+// openMergeStream builds the merge over the runs' non-empty cursors in
+// slot order. Callers must close the stream.
+func openMergeStream(runs []partRun) (*mergeStream, error) {
+	m := &mergeStream{}
+	for _, r := range runs {
+		if r.recs() == 0 {
+			continue
+		}
+		c, err := openRunCursor(r)
+		if err != nil {
+			m.close()
+			return nil, err
+		}
+		m.curs = append(m.curs, c)
+	}
+	if len(m.curs) >= 2 {
+		m.tree = newCursorTree(m.curs)
+	}
+	return m, nil
+}
+
+// next returns the next merged record, or io.EOF when the merge is
+// exhausted.
+func (m *mergeStream) next() (k, v []byte, err error) {
+	var w *runCursor
+	var wi int32
+	switch {
+	case m.tree != nil:
+		wi = m.tree.node[0]
+		w = m.curs[wi]
+	case len(m.curs) == 1:
+		w = m.curs[0]
+	default:
+		return nil, nil, io.EOF
+	}
+	if w.done {
+		return nil, nil, io.EOF
+	}
+	k, v = w.key(), w.val()
+	if w.fr != nil {
+		// Advancing may refill the frame scratch these alias.
+		m.kbuf = append(m.kbuf[:0], k...)
+		m.vbuf = append(m.vbuf[:0], v...)
+		k, v = m.kbuf, m.vbuf
+	}
+	if err := w.advance(); err != nil {
+		return nil, nil, err
+	}
+	if m.tree != nil {
+		m.tree.fix(wi)
+	}
+	return k, v, nil
+}
+
+// diskBytesRead sums the stored bytes the stream's disk cursors consumed.
+func (m *mergeStream) diskBytesRead() int64 {
+	var n int64
+	for _, c := range m.curs {
+		if c.fr != nil {
+			n += c.fr.bytesRead
+		}
+	}
+	return n
+}
+
+// close releases every cursor's file handle.
+func (m *mergeStream) close() {
+	for _, c := range m.curs {
+		c.close()
+	}
+}
+
+// mergeRunsTo streams the stable merge of runs into emit, record by
+// record, and returns the stored disk bytes read — the external-merge
+// workhorse behind map-side spill consolidation and collector pressure
+// folds.
+func mergeRunsTo(runs []partRun, emit func(k, v []byte) error) (int64, error) {
+	ms, err := openMergeStream(runs)
+	if err != nil {
+		return 0, err
+	}
+	defer ms.close()
+	for {
+		k, v, err := ms.next()
+		if err == io.EOF {
+			return ms.diskBytesRead(), nil
+		}
+		if err != nil {
+			return ms.diskBytesRead(), err
+		}
+		if err := emit(k, v); err != nil {
+			return ms.diskBytesRead(), err
+		}
+	}
+}
+
+// reduceStreamed is reduceMerged over a streaming merge: it applies the
+// reducer per key group as records flow out of the k-way merge, never
+// materializing the merged partition, and hands output records to sink.
+// Counter semantics are identical to reduceMerged (same group counting,
+// same output accounting); spill-file reads are additionally accounted in
+// SpillFileBytesRead and cursor opening is emitted as a spill-read phase.
+func reduceStreamed(job Job, runs []partRun, sink func(k, v []byte) error, pc phaseClock) (Counters, error) {
+	var c Counters
+	tOpen := pc.Start()
+	ms, err := openMergeStream(runs)
+	if err != nil {
+		return c, fmt.Errorf("mapreduce: %s: reduce: opening spill runs: %w", job.Config.Name, err)
+	}
+	defer func() { c.SpillFileBytesRead += units.Bytes(ms.diskBytesRead()) }()
+	defer ms.close()
+	pc.Emit(obs.PhaseSpillRead, tOpen)
+
+	tReduce := pc.Start()
+	defer func() { pc.Emit(obs.PhaseReduce, tReduce) }()
+
+	if pr, ok := job.Reducer.(PassthroughReducer); ok && pr.Passthrough() && job.Grouping == nil {
+		var prev []byte
+		first := true
+		for {
+			k, v, err := ms.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return c, fmt.Errorf("mapreduce: %s: reduce: %w", job.Config.Name, err)
+			}
+			c.ReduceInputRecords++
+			if first || !bytes.Equal(k, prev) {
+				c.ReduceInputGroups++
+				prev = append(prev[:0], k...)
+				first = false
+			}
+			c.ReduceOutputRecords++
+			c.ReduceOutputBytes += units.Bytes(len(k) + len(v) + recordOverhead)
+			if err := sink(k, v); err != nil {
+				return c, err
+			}
+		}
+		return c, nil
+	}
+
+	var sinkErr error
+	emitB := ByteEmitter(func(k, v []byte) {
+		c.ReduceOutputRecords++
+		c.ReduceOutputBytes += units.Bytes(len(k) + len(v) + recordOverhead)
+		if sinkErr == nil {
+			sinkErr = sink(k, v)
+		}
+	})
+	emitS := Emitter(func(k, v string) {
+		c.ReduceOutputRecords++
+		c.ReduceOutputBytes += units.Bytes(len(k) + len(v) + recordOverhead)
+		if sinkErr == nil {
+			sinkErr = sink([]byte(k), []byte(v))
+		}
+	})
+
+	sr, stream := job.Reducer.(StreamReducer)
+	var valp *[]string
+	if !stream {
+		valp = valuesPool.Get().(*[]string)
+		defer func() {
+			*valp = (*valp)[:0]
+			valuesPool.Put(valp)
+		}()
+	}
+
+	var (
+		group   arena  // the open group's records
+		leader  string // group-leader key, materialized when the API needs it
+		leaderB []byte // group-leader key bytes (stable copy)
+		inGroup bool
+		probe   string // Grouping probe, reused across bytes-equal keys
+		probeB  []byte
+	)
+	flush := func() error {
+		gseg := group.seg()
+		n := gseg.Len()
+		if n == 0 {
+			return nil
+		}
+		c.ReduceInputGroups++
+		var err error
+		if stream {
+			it := ValueIter{seg: gseg, i: 0, j: n, n: n}
+			err = sr.ReduceStream(gseg.key(0), &it, emitB)
+		} else {
+			values := (*valp)[:0]
+			for k := 0; k < n; k++ {
+				values = append(values, string(gseg.val(k)))
+			}
+			*valp = values
+			err = job.Reducer.Reduce(leader, values, emitS)
+		}
+		group.reset()
+		if err != nil {
+			return fmt.Errorf("mapreduce: %s: reduce: %w", job.Config.Name, err)
+		}
+		return sinkErr
+	}
+	for {
+		k, v, err := ms.next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return c, fmt.Errorf("mapreduce: %s: reduce: %w", job.Config.Name, err)
+		}
+		c.ReduceInputRecords++
+		same := false
+		if inGroup {
+			if job.Grouping != nil {
+				if probeB == nil || !bytes.Equal(k, probeB) {
+					probe = string(k)
+					probeB = append(probeB[:0], k...)
+				}
+				same = job.Grouping(probe, leader)
+			} else {
+				same = bytes.Equal(k, leaderB)
+			}
+		}
+		if !same {
+			if err := flush(); err != nil {
+				return c, err
+			}
+			leaderB = append(leaderB[:0], k...)
+			if job.Grouping != nil || !stream {
+				leader = string(k)
+			}
+			inGroup = true
+		}
+		group.appendBytes(k, v)
+	}
+	if err := flush(); err != nil {
+		return c, err
+	}
+	return c, nil
+}

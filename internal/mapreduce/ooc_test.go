@@ -1,0 +1,363 @@
+package mapreduce
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+
+	"heterohadoop/internal/units"
+)
+
+// oocInput builds a skewed wordcount corpus large enough to overflow tiny
+// sort buffers across many map tasks.
+func oocInput(lines int) string {
+	var sb strings.Builder
+	for i := 0; i < lines; i++ {
+		fmt.Fprintf(&sb, "w%d common x%d shared y%d tail%d value-%d\n", i%251, i%17, i%89, i%7, i)
+	}
+	return sb.String()
+}
+
+// spillDirEntries lists the names currently under dir (missing dir = none).
+func spillDirEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if errors.Is(err, os.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, len(ents))
+	for i, e := range ents {
+		names[i] = e.Name()
+	}
+	return names
+}
+
+// materialized renders a result through the streaming writer.
+func materialized(t *testing.T, res *Result) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := res.MaterializeOutputTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestOutOfCoreParity is the tentpole's acceptance gate in miniature: for
+// wordcount (combiner, string API) and sort (ByteMapper + passthrough
+// reducer), a run whose spills overflow a tiny memory budget onto disk
+// must produce byte-identical output to the unbounded in-memory run —
+// serial and parallel, barrier and streaming — with identical counters up
+// to the spill-file and interim-pass fields, and must leave nothing under
+// SpillDir once the run's Result is closed.
+func TestOutOfCoreParity(t *testing.T) {
+	input := oocInput(4000) // ~150 KB
+	jobs := map[string]func(cfg Config) Job{
+		"wordcount": wordCountJob,
+		"sort": func(cfg Config) Job {
+			return Job{Config: cfg, Mapper: IdentityMapper(), Reducer: IdentityReducer()}
+		},
+	}
+	for name, mkJob := range jobs {
+		for _, barrier := range []bool{true, false} {
+			for _, par := range []int{1, 4} {
+				mode := "streaming"
+				if barrier {
+					mode = "barrier"
+				}
+				t.Run(fmt.Sprintf("%s/%s/par%d", name, mode, par), func(t *testing.T) {
+					base := DefaultConfig("ooc-" + name)
+					base.NumReducers = 4
+					base.SortBuffer = 4 * units.KB // many spills per map task
+					base.MergeFactor = 3           // interim merge passes
+					base.BarrierShuffle = barrier
+					base.Parallelism = par
+
+					run := func(cfg Config) *Result {
+						t.Helper()
+						e := newEngine(t, 8*units.KB, input) // ~19 map tasks
+						res, err := e.Run(mkJob(cfg), "input")
+						if err != nil {
+							t.Fatal(err)
+						}
+						return res
+					}
+					want := run(base) // unbounded in-memory reference
+
+					spillDir := t.TempDir()
+					cfg := base
+					cfg.SpillDir = spillDir
+					cfg.SpillMemory = 8 * units.KB // force overflow to disk
+					got := run(cfg)
+
+					if !got.OutOfCore() {
+						t.Fatal("bounded run did not go out of core")
+					}
+					if got.Counters.Spills == 0 || got.Counters.SpillFilesWritten == 0 {
+						t.Fatalf("no disk spills: Spills=%d SpillFilesWritten=%d",
+							got.Counters.Spills, got.Counters.SpillFilesWritten)
+					}
+					if got.Counters.SpillFileBytesWritten == 0 || got.Counters.SpillFileBytesRead == 0 {
+						t.Fatalf("spill-file byte accounting silent: written=%d read=%d",
+							got.Counters.SpillFileBytesWritten, got.Counters.SpillFileBytesRead)
+					}
+
+					// Byte parity, both through the string API and the streaming
+					// writer.
+					if !reflect.DeepEqual(got.Output(), want.Output()) {
+						t.Fatal("out-of-core output differs from in-memory output")
+					}
+					if gb, wb := materialized(t, got), materialized(t, want); !bytes.Equal(gb, wb) {
+						t.Fatal("materialized byte streams differ")
+					}
+
+					// Counters agree up to the fields the disk path owns.
+					g, w := got.Counters, want.Counters
+					g.SpillFilesWritten, g.SpillFileBytesWritten, g.SpillFileBytesRead = 0, 0, 0
+					w.SpillFilesWritten, w.SpillFileBytesWritten, w.SpillFileBytesRead = 0, 0, 0
+					g.ReduceMergePasses, w.ReduceMergePasses = 0, 0 // collector pressure folds
+					if g != w {
+						t.Fatalf("counters diverge beyond spill fields:\nooc %+v\nmem %+v", g, w)
+					}
+
+					// Interim spills are gone as soon as the run returns; the
+					// reduce outputs live until Close; Close empties SpillDir.
+					roots := spillDirEntries(t, spillDir)
+					if len(roots) != 1 {
+						t.Fatalf("SpillDir holds %v, want exactly the run root", roots)
+					}
+					if interm := spillDirEntries(t, filepath.Join(spillDir, roots[0], "interm")); len(interm) != 0 {
+						t.Fatalf("interim spills survived the run: %v", interm)
+					}
+					if err := got.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if left := spillDirEntries(t, spillDir); len(left) != 0 {
+						t.Fatalf("Close left %v under SpillDir", left)
+					}
+					if err := got.Close(); err != nil {
+						t.Fatalf("second Close: %v", err)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestOutOfCoreLargeBudgetStaysResident pins the budget semantics: with
+// SpillDir set but a budget nothing overflows, the run must not write a
+// single spill file — the out-of-core machinery costs nothing until
+// pressure actually materializes (reduce outputs still land on disk, as
+// documented).
+func TestOutOfCoreLargeBudgetStaysResident(t *testing.T) {
+	e := newEngine(t, 8*units.KB, oocInput(500))
+	cfg := DefaultConfig("ooc-idle")
+	cfg.NumReducers = 2
+	cfg.SpillDir = t.TempDir()
+	cfg.SpillMemory = units.GB
+	res, err := e.Run(wordCountJob(cfg), "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Close()
+	if res.Counters.SpillFilesWritten != 0 || res.Counters.SpillFileBytesWritten != 0 {
+		t.Fatalf("idle budget still spilled: files=%d bytes=%d",
+			res.Counters.SpillFilesWritten, res.Counters.SpillFileBytesWritten)
+	}
+}
+
+// TestOutOfCoreCancellationCleanup pins the error-path contract: a run
+// cancelled mid-flight after spill files exist must remove its entire
+// spill tree before returning.
+func TestOutOfCoreCancellationCleanup(t *testing.T) {
+	for _, barrier := range []bool{true, false} {
+		name := "streaming"
+		if barrier {
+			name = "barrier"
+		}
+		t.Run(name, func(t *testing.T) {
+			spillDir := t.TempDir()
+			e := newEngine(t, 4*units.KB, oocInput(2000))
+			cfg := DefaultConfig("ooc-cancel")
+			cfg.NumReducers = 2
+			cfg.SortBuffer = 2 * units.KB
+			cfg.SpillDir = spillDir
+			cfg.SpillMemory = 1 // every spill goes to disk immediately
+			cfg.BarrierShuffle = barrier
+			cfg.Parallelism = 1
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			calls := 0
+			cfg.FailureInjector = func(task string, attempt int) error {
+				calls++
+				if calls == 4 { // a few map tasks have spilled to disk by now
+					cancel()
+				}
+				return nil
+			}
+			_, err := e.RunContext(ctx, wordCountJob(cfg), "input")
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			if left := spillDirEntries(t, spillDir); len(left) != 0 {
+				t.Fatalf("cancelled run left %v under SpillDir", left)
+			}
+		})
+	}
+}
+
+// TestCollectorPressureSpill exercises the streaming collector's
+// fold-to-disk path directly: under a budget nothing fits in, randomized
+// arrival orders must still merge byte-identically to the barrier
+// reference, with the folded chains actually hitting disk.
+func TestCollectorPressureSpill(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		nsplits := 2 + rng.Intn(24)
+		factor := 2 + rng.Intn(5)
+		segs := make([]Segment, nsplits)
+		for task := range segs {
+			n := rng.Intn(8)
+			if rng.Intn(5) == 0 {
+				n = 0
+			}
+			kvs := make([]KV, n)
+			for i := range kvs {
+				kvs[i] = KV{Key: fmt.Sprintf("k%02d", rng.Intn(9)), Value: fmt.Sprintf("t%d.%d", task, i)}
+			}
+			sort.SliceStable(kvs, func(i, j int) bool { return kvs[i].Key < kvs[j].Key })
+			segs[task] = SegmentFromKVs(kvs)
+		}
+		nonEmpty := make([]Segment, 0, nsplits)
+		for _, s := range segs {
+			if s.Len() > 0 {
+				nonEmpty = append(nonEmpty, s)
+			}
+		}
+		want := mergeSegs(nonEmpty).KVs()
+
+		cfg := DefaultConfig("col-pressure")
+		cfg.SpillDir = t.TempDir()
+		cfg.SpillMemory = 1
+		js, err := newJobSpill(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		col := newCollector(nsplits, factor)
+		col.js = js
+		col.part = 0
+		for _, task := range rng.Perm(nsplits) {
+			if err := col.add(streamSeg{task: task, run: memRun(segs[task])}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		var got []KV
+		if _, err := mergeRunsTo(col.finishRuns(), func(k, v []byte) error {
+			got = append(got, KV{Key: string(k), Value: string(v)})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) || (len(want) > 0 && !reflect.DeepEqual(got, want)) {
+			t.Fatalf("trial %d (nsplits=%d factor=%d folds=%d): pressure-folded merge diverges",
+				trial, nsplits, factor, col.spillFiles)
+		}
+		if len(want) > 0 && col.spillFiles == 0 {
+			t.Fatalf("trial %d: budget of 1 byte produced no disk folds", trial)
+		}
+		os.RemoveAll(js.root)
+	}
+}
+
+// offsetMapper emits (line, byte-offset) — any windowing or base-offset
+// slip in the file-backed read path shifts its output, so parity against
+// the store-backed engine pins absolute offset semantics exactly.
+type offsetMapper struct{}
+
+func (offsetMapper) Map(key, value string, emit Emitter) error {
+	emit(value, key) // the string API renders the offset as the record key
+	return nil
+}
+
+// TestRunFileWindowedParity runs the same job over the same bytes through
+// the in-memory store engine and through RunFile's windowed disk reader,
+// across block sizes that cut mid-record, at record boundaries, and past
+// EOF. Outputs embed per-line byte offsets, so they match only if the
+// window arithmetic is exact.
+func TestRunFileWindowedParity(t *testing.T) {
+	input := oocInput(300)
+	// Append an unterminated final line: EOF handling differs most there.
+	input += "final line without newline"
+
+	path := filepath.Join(t.TempDir(), "input.txt")
+	if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, bs := range []units.Bytes{1, 7, 64, 997, 4 * units.KB, units.MB} {
+		t.Run(fmt.Sprintf("block-%d", bs), func(t *testing.T) {
+			cfg := DefaultConfig("runfile-parity")
+			cfg.NumReducers = 3
+			job := Job{Config: cfg, Mapper: offsetMapper{}, Reducer: IdentityReducer()}
+
+			e := newEngine(t, bs, input)
+			want, err := e.Run(job, "input")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := NewEngine(nil).RunFile(job, path, bs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Output(), want.Output()) {
+				t.Fatal("RunFile output differs from store-backed run (offset or window drift)")
+			}
+			gc, wc := got.Counters, want.Counters
+			if gc != wc {
+				t.Fatalf("counters diverge:\nfile  %+v\nstore %+v", gc, wc)
+			}
+		})
+	}
+}
+
+// TestRunFileOutOfCore is the end-to-end bounded-memory shape in unit-test
+// size: file input, disk spills, disk-backed output, byte parity with the
+// fully in-memory store run.
+func TestRunFileOutOfCore(t *testing.T) {
+	input := oocInput(3000)
+	path := filepath.Join(t.TempDir(), "input.txt")
+	if err := os.WriteFile(path, []byte(input), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig("runfile-ooc")
+	cfg.NumReducers = 4
+	e := newEngine(t, 8*units.KB, input)
+	want, err := e.Run(wordCountJob(cfg), "input")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.SortBuffer = 4 * units.KB
+	cfg.SpillMemory = 8 * units.KB
+	cfg.SpillDir = t.TempDir()
+	got, err := NewEngine(nil).RunFile(wordCountJob(cfg), path, 8*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer got.Close()
+	if got.Counters.SpillFilesWritten == 0 {
+		t.Fatal("file-backed bounded run never spilled to disk")
+	}
+	if gb, wb := materialized(t, got), materialized(t, want); !bytes.Equal(gb, wb) {
+		t.Fatal("bounded file-backed output differs from in-memory store run")
+	}
+}

@@ -1,34 +1,57 @@
 package mapreduce
 
 import (
+	"bufio"
 	"bytes"
 	"encoding/gob"
 	"fmt"
+	"io"
+	"os"
 	"sort"
 )
 
 // result.go is the public face of a finished job. Since the output path
 // went arena-backed, a Result carries its records as flat per-partition
-// Segments — the same representation the map, shuffle, merge and reduce
-// layers use — and only materializes string records when a caller actually
-// asks for them. The engine itself never builds a KV on the hot path; the
-// []KV world starts here, on demand.
+// runs — in memory for ordinary jobs, or as single-partition segment files
+// for out-of-core runs (Config.SpillDir) — and only materializes string
+// records when a caller actually asks for them. The engine itself never
+// builds a KV on the hot path; the []KV world starts here, on demand.
 
 // Result is the outcome of a job run. Output records are held as flat
-// arena-backed segments (one per reduce partition, or one per map task for
+// per-partition runs (one per reduce partition, or one per map task for
 // map-only jobs); Output and SortedOutput materialize string records on
 // demand, so jobs whose callers consume counters, segments or materialized
 // bytes never pay a per-record allocation.
+//
+// Out-of-core runs leave their reduce outputs on disk: stream them with
+// MaterializeOutputTo, or let Partition materialize (and cache) them. Call
+// Close when done with such a result to remove its spill directory;
+// in-memory results make Close a no-op.
 type Result struct {
 	// Counters are the aggregated job statistics.
 	Counters Counters
 
-	parts []Segment
+	parts []partRun
+	// spillRoot is the run's spill directory when the reduce outputs are
+	// file-backed; removed by Close.
+	spillRoot string
+	closed    bool
 }
 
-// newResult wraps per-partition segments and counters, package-internal.
+// newResult wraps per-partition resident segments and counters,
+// package-internal.
 func newResult(parts []Segment, c Counters) *Result {
-	return &Result{Counters: c, parts: parts}
+	runs := make([]partRun, len(parts))
+	for i, p := range parts {
+		runs[i] = memRun(p)
+	}
+	return newResultRuns(runs, c)
+}
+
+// newResultRuns wraps per-partition runs (resident or file-backed) and
+// counters, package-internal.
+func newResultRuns(runs []partRun, c Counters) *Result {
+	return &Result{Counters: c, parts: runs}
 }
 
 // NewResult builds a Result from per-partition flat segments — the
@@ -52,9 +75,95 @@ func ResultFromKVs(output [][]KV, c Counters) *Result {
 // NumPartitions returns the number of output partitions.
 func (r *Result) NumPartitions() int { return len(r.parts) }
 
+// OutOfCore reports whether the result's partitions are backed by spill
+// files on disk rather than resident memory.
+func (r *Result) OutOfCore() bool { return r.spillRoot != "" }
+
+// Close removes an out-of-core result's spill directory (reduce-output
+// segment files included); reading file-backed partitions afterwards
+// fails. Idempotent; a no-op for in-memory results.
+func (r *Result) Close() error {
+	if r.closed {
+		return nil
+	}
+	r.closed = true
+	if r.spillRoot == "" {
+		return nil
+	}
+	return os.RemoveAll(r.spillRoot)
+}
+
 // Partition returns partition p's records as a flat segment, without
-// materializing strings. The segment aliases the result's buffers.
-func (r *Result) Partition(p int) Segment { return r.parts[p] }
+// materializing strings. File-backed partitions are materialized into
+// memory on first access and cached; a read failure (e.g. using the
+// result after Close) panics — use PartitionSeg where the error should be
+// handled, or MaterializeOutputTo to stream without residency.
+func (r *Result) Partition(p int) Segment {
+	seg, err := r.PartitionSeg(p)
+	if err != nil {
+		panic(fmt.Sprintf("mapreduce: reading result partition %d: %v", p, err))
+	}
+	return seg
+}
+
+// PartitionSeg is Partition with the read error surfaced instead of
+// panicking.
+func (r *Result) PartitionSeg(p int) (Segment, error) {
+	run := r.parts[p]
+	if !run.isDisk() {
+		return run.seg, nil
+	}
+	seg, _, err := run.materialize()
+	if err != nil {
+		return Segment{}, err
+	}
+	r.parts[p] = memRun(seg) // cache the materialization
+	return seg, nil
+}
+
+// MaterializeOutputTo renders the result as "key<TAB>value" lines (the tab
+// omitted for empty values), partitions in order, streaming file-backed
+// partitions frame by frame — the bounded-memory way to consume an
+// out-of-core result.
+func (r *Result) MaterializeOutputTo(w io.Writer) error {
+	bw := bufio.NewWriterSize(w, 1<<18)
+	for p := range r.parts {
+		run := r.parts[p]
+		if !run.isDisk() {
+			writeSegLines(bw, run.seg)
+			continue
+		}
+		fr, err := run.file.openPart(run.part)
+		if err != nil {
+			return err
+		}
+		for {
+			seg, err := fr.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				fr.Close()
+				return err
+			}
+			writeSegLines(bw, seg)
+		}
+		fr.Close()
+	}
+	return bw.Flush()
+}
+
+// writeSegLines appends one segment's records in output-line form.
+func writeSegLines(bw *bufio.Writer, seg Segment) {
+	for i, n := 0, seg.Len(); i < n; i++ {
+		bw.Write(seg.key(i))
+		if v := seg.val(i); len(v) > 0 {
+			bw.WriteByte('\t')
+			bw.Write(v)
+		}
+		bw.WriteByte('\n')
+	}
+}
 
 // Output materializes the job output as string records, one sorted slice
 // per reduce partition (per map task for map-only jobs). Each call builds
@@ -65,8 +174,8 @@ func (r *Result) Output() [][]KV {
 		return nil
 	}
 	out := make([][]KV, len(r.parts))
-	for i, p := range r.parts {
-		out[i] = p.KVs()
+	for i := range r.parts {
+		out[i] = r.Partition(i).KVs()
 	}
 	return out
 }
@@ -78,16 +187,20 @@ func (r *Result) Output() [][]KV {
 // reducer emitted out-of-order keys falls back to a global stable sort,
 // preserving the legacy concatenate-then-sort semantics exactly.
 func (r *Result) SortedOutput() []KV {
+	parts := make([]Segment, len(r.parts))
+	for i := range r.parts {
+		parts[i] = r.Partition(i)
+	}
 	sorted := true
-	for _, p := range r.parts {
+	for _, p := range parts {
 		if !segmentSorted(p) {
 			sorted = false
 			break
 		}
 	}
 	if sorted {
-		segs := make([]Segment, 0, len(r.parts))
-		for _, p := range r.parts {
+		segs := make([]Segment, 0, len(parts))
+		for _, p := range parts {
 			if p.Len() > 0 {
 				segs = append(segs, p)
 			}
@@ -97,7 +210,7 @@ func (r *Result) SortedOutput() []KV {
 		return mergeSegs(segs).KVs()
 	}
 	var out []KV
-	for _, p := range r.parts {
+	for _, p := range parts {
 		out = append(out, p.KVs()...)
 	}
 	sort.SliceStable(out, func(i, j int) bool { return out[i].Key < out[j].Key })
@@ -125,11 +238,16 @@ type wireResult struct {
 // GobEncode implements gob.GobEncoder. Results cross process boundaries
 // (net/rpc job submission) with their partitions in the binary segment
 // wire format; the string records are never materialized in transit.
+// File-backed partitions are materialized for encoding.
 func (r *Result) GobEncode() ([]byte, error) {
 	w := wireResult{Counters: r.Counters}
 	if r.parts != nil {
 		w.Parts = make([][]byte, len(r.parts))
-		for i, p := range r.parts {
+		for i := range r.parts {
+			p, err := r.PartitionSeg(i)
+			if err != nil {
+				return nil, err
+			}
 			w.Parts[i] = EncodeSegment(p)
 		}
 	}
@@ -149,16 +267,17 @@ func (r *Result) GobDecode(data []byte) error {
 	}
 	r.Counters = w.Counters
 	r.parts = nil
+	r.spillRoot = ""
 	if w.Parts == nil {
 		return nil
 	}
-	r.parts = make([]Segment, len(w.Parts))
+	r.parts = make([]partRun, len(w.Parts))
 	for i, blob := range w.Parts {
 		seg, err := DecodeSegment(blob)
 		if err != nil {
 			return fmt.Errorf("mapreduce: result partition %d: %w", i, err)
 		}
-		r.parts[i] = seg
+		r.parts[i] = memRun(seg)
 	}
 	return nil
 }

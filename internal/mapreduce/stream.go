@@ -12,32 +12,35 @@ import (
 )
 
 // stream.go implements the streaming shuffle: map tasks publish their
-// per-partition sorted segments to partition channels the moment they
-// finish, and per-partition collectors merge segments incrementally while
-// the rest of the map wave is still running — Hadoop's overlapped
-// shuffle/sort phase, instead of a global barrier between map and reduce.
+// per-partition sorted runs to partition channels the moment they finish,
+// and per-partition collectors merge runs incrementally while the rest of
+// the map wave is still running — Hadoop's overlapped shuffle/sort phase,
+// instead of a global barrier between map and reduce.
 //
-// Determinism: the barrier path merges each partition's segments in map
-// task order with a stable k-way merge (key ties broken by task index).
-// Stable merging is associative over contiguous runs, so the collector only
-// ever merges runs covering *adjacent* task-index intervals; any such
-// interim merge schedule yields output byte-identical to the one-shot
-// barrier merge, no matter the order segments arrive in. To know which
-// intervals are adjacent, every map task publishes a segment for every
-// partition — empty ones included, as coverage markers.
+// Determinism: the barrier path merges each partition's runs in map task
+// order with a stable k-way merge (key ties broken by task index). Stable
+// merging is associative over contiguous runs, so the collector only ever
+// merges runs covering *adjacent* task-index intervals; any such interim
+// merge schedule yields output byte-identical to the one-shot barrier
+// merge, no matter the order runs arrive in. To know which intervals are
+// adjacent, every map task publishes a run for every partition — empty
+// ones included, as coverage markers. The same argument covers disk runs:
+// a segment-file partition is the same sorted record stream as its
+// resident form, so folding resident runs to disk under memory pressure
+// changes where bytes live, never which bytes come out.
 
 // streamSeg is one map task's sorted output for one partition, tagged with
 // the producing task's index.
 type streamSeg struct {
 	task int
-	seg  Segment
+	run  partRun
 }
 
 // runStreaming executes the job with the streaming shuffle. Collectors hold
-// no task slot while waiting for segments — they acquire one only for the
+// no task slot while waiting for runs — they acquire one only for the
 // final merge+reduce, after their partition's channel closes — so reduce
 // work can never starve the map wave of slots.
-func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data []byte, splits []splitRange, nparts, par int) (*Result, error) {
+func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, in inputSource, splits []splitRange, nparts, par int, js *jobSpill) (*Result, error) {
 	nsplits := len(splits)
 	chans := make([]chan streamSeg, nparts)
 	for p := range chans {
@@ -45,7 +48,10 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 		// releases its slot immediately after finishing.
 		chans[p] = make(chan streamSeg, nsplits)
 	}
-	sem := make(chan struct{}, par)
+	slots := make(chan *taskBufs, par)
+	for i := 0; i < par; i++ {
+		slots <- new(taskBufs)
+	}
 
 	var (
 		failed       atomic.Bool
@@ -55,12 +61,12 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 	)
 
 	// ---- Reduce collectors: started before the first map task so merging
-	// begins as soon as segments arrive.
+	// begins as soon as runs arrive.
 	var (
 		redWg       sync.WaitGroup
 		redErr      = make([]error, nparts)
 		redCounters = make([]Counters, nparts)
-		output      = make([]Segment, nparts)
+		output      = make([]partRun, nparts)
 	)
 	redWg.Add(nparts)
 	for p := 0; p < nparts; p++ {
@@ -69,21 +75,34 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 			pc := reduceTaskClock(o, job, p)
 			col := newCollector(nsplits, job.Config.MergeFactor)
 			col.pc = pc
+			col.js = js
+			col.part = p
+			var colErr error
 			for seg := range chans[p] {
-				col.add(seg)
+				if colErr == nil {
+					colErr = col.add(seg)
+				}
 			}
 			if failed.Load() {
 				return // a map task failed or dispatch was cancelled; abort
+			}
+			if colErr != nil {
+				redErr[p] = fmt.Errorf("mapreduce: %s: reduce-%d: %w", job.Config.Name, p, colErr)
+				return
 			}
 			if err := ctx.Err(); err != nil {
 				redErr[p] = fmt.Errorf("mapreduce: %s: reduce-%d: %w", job.Config.Name, p, err)
 				return
 			}
-			sem <- struct{}{}
-			defer func() { <-sem }()
+			bufs := <-slots
+			defer func() { slots <- bufs }()
 			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
-			out, tc, err := runWithRetry(job, taskID, func() (Segment, Counters, error) {
-				return reduceMerged(job, col.finish(), pc)
+			out, tc, err := runWithRetry(job, taskID, func() (partRun, Counters, error) {
+				if js == nil {
+					seg, tc, err := reduceMerged(job, col.finish(), pc, bufs)
+					return memRun(seg), tc, err
+				}
+				return reduceToFile(job, js.outPath(p), col.finishRuns(), pc)
 			})
 			if err != nil {
 				redErr[p] = err
@@ -91,6 +110,8 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 			}
 			output[p] = out
 			tc.ReduceMergePasses += col.interimPasses
+			tc.SpillFilesWritten += col.spillFiles
+			tc.SpillFileBytesWritten += col.spillBytesW
 			redCounters[p] = tc
 		}(p)
 	}
@@ -104,23 +125,29 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 			ctxErr = err
 			break
 		}
-		sem <- struct{}{}
+		bufs := <-slots
 		// Re-check after (possibly) blocking on a slot: a cancellation that
 		// lands while waiting must not dispatch another task.
 		if err := ctx.Err(); err != nil {
-			<-sem
+			slots <- bufs
 			ctxErr = err
 			break
 		}
 		dispatched++
 		mapWg.Add(1)
-		go func(i int, split splitRange) {
+		go func(i int, split splitRange, bufs *taskBufs) {
 			defer mapWg.Done()
-			defer func() { <-sem }()
+			defer func() { slots <- bufs }()
 			taskID := fmt.Sprintf("%s/map-%d", job.Config.Name, i)
 			pc := mapTaskClock(o, job, i)
-			out, tc, err := runWithRetry(job, taskID, func() ([]Segment, Counters, error) {
-				return runMapTask(job, data, split, nparts, pc)
+			win, base, err := in.window(split, pc, bufs)
+			if err != nil {
+				taskErr[i] = fmt.Errorf("mapreduce: %s: %s: %w", job.Config.Name, taskID, err)
+				failed.Store(true)
+				return
+			}
+			out, tc, err := runWithRetry(job, taskID, func() ([]partRun, Counters, error) {
+				return runMapTask(job, win, base, split, nparts, pc, bufs, js, i)
 			})
 			if err != nil {
 				taskErr[i] = err
@@ -131,18 +158,18 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 			// add up to exactly the barrier path's post-hoc accounting.
 			var shuffleBytes units.Bytes
 			for p := 0; p < nparts; p++ {
-				if out[p].Len() > 0 {
+				if out[p].recs() > 0 {
 					tc.ShuffleSegments++
-					shuffleBytes += out[p].Bytes()
+					shuffleBytes += out[p].accountBytes()
 				}
 			}
 			tc.ShuffleBytes = shuffleBytes
 			taskCounters[i] = tc
 			completed[i] = true
 			for p := 0; p < nparts; p++ {
-				chans[p] <- streamSeg{task: i, seg: out[p]}
+				chans[p] <- streamSeg{task: i, run: out[p]}
 			}
-		}(i, split)
+		}(i, split, bufs)
 	}
 	if ctxErr != nil {
 		failed.Store(true)
@@ -180,44 +207,62 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, data
 			return &Result{Counters: *total}, redErr[p]
 		}
 	}
-	return newResult(output, *total), nil
+	return newResultRuns(output, *total), nil
 }
 
 // mergeRun is a sorted run covering the contiguous map-task interval
 // [lo, hi] of one partition.
 type mergeRun struct {
 	lo, hi int
-	seg    Segment
+	run    partRun
 }
 
-// collector incrementally merges one partition's segments as they arrive.
-// Runs are kept sorted by task interval; once a chain of adjacent runs
-// reaches the merge fan-in it is merged into one run (an interim pass,
-// mirroring the map side's MergeFactor discipline).
+// collector incrementally merges one partition's runs as they arrive.
+// Runs are kept sorted by task interval. In-memory (js == nil), a chain
+// of adjacent runs is folded once too many are pending (an interim pass,
+// mirroring the map side's MergeFactor discipline). Out of core, resident
+// runs are instead folded to disk segment files whenever their total
+// accounting size crosses the spill budget — the reduce side's half of
+// bounded-memory execution.
 type collector struct {
 	runs          []mergeRun // sorted by lo, intervals disjoint
 	factor        int
 	interimPasses int
 	merged        Segment
+	finalRuns     []partRun
 	finished      bool
-	// pc attributes the collector's merge work (interim and final passes)
-	// to its reduce task as merge-fetch phase intervals.
+	// pc attributes the collector's merge work to its reduce task:
+	// interim and final passes as merge-fetch, pressure folds as
+	// spill-write.
 	pc phaseClock
+
+	js       *jobSpill // nil for in-memory runs
+	part     int
+	spillSeq int
+	// Pressure-fold accounting, added to the owning reduce task's
+	// counters at finish.
+	spillFiles  int
+	spillBytesW units.Bytes
 }
 
 func newCollector(nsplits, factor int) *collector {
 	return &collector{runs: make([]mergeRun, 0, nsplits), factor: factor}
 }
 
-// add inserts one segment as a unit run at its interval position and
-// coalesces any adjacency chain that has grown to the fan-in.
-func (c *collector) add(s streamSeg) {
-	run := mergeRun{lo: s.task, hi: s.task, seg: s.seg}
+// add inserts one run at its interval position, then either coalesces
+// (in-memory policy) or folds resident runs to disk if they exceed the
+// spill budget.
+func (c *collector) add(s streamSeg) error {
+	run := mergeRun{lo: s.task, hi: s.task, run: s.run}
 	i := sort.Search(len(c.runs), func(i int) bool { return c.runs[i].lo > run.lo })
 	c.runs = append(c.runs, mergeRun{})
 	copy(c.runs[i+1:], c.runs[i:])
 	c.runs[i] = run
-	c.coalesce()
+	if c.js == nil {
+		c.coalesce()
+		return nil
+	}
+	return c.pressureFold()
 }
 
 // coalesce folds interval-adjacent runs when too many are pending. An
@@ -256,13 +301,112 @@ func (c *collector) coalesce() {
 	}
 }
 
+// pressureFold keeps the collector's resident bytes under the spill
+// budget by folding adjacent chains of resident runs into disk segment
+// files. Chains are chosen by byte weight so progress is guaranteed
+// whenever anything resident remains; a single oversized run is written
+// out as-is (no merge pass — the file holds the same single sorted run).
+func (c *collector) pressureFold() error {
+	for {
+		var memBytes units.Bytes
+		for i := range c.runs {
+			if !c.runs[i].run.isDisk() {
+				memBytes += c.runs[i].run.accountBytes()
+			}
+		}
+		if memBytes <= c.js.budget {
+			return nil
+		}
+		// Heaviest chain of interval-adjacent resident runs, fan-in capped
+		// at MergeFactor like every other merge pass.
+		bestStart, bestLen := -1, 0
+		var bestBytes units.Bytes
+		for i := 0; i < len(c.runs); {
+			if c.runs[i].run.isDisk() {
+				i++
+				continue
+			}
+			j := i
+			b := c.runs[i].run.accountBytes()
+			for j+1 < len(c.runs) && !c.runs[j+1].run.isDisk() && c.runs[j].hi+1 == c.runs[j+1].lo && j-i+1 < c.factor {
+				j++
+				b += c.runs[j].run.accountBytes()
+			}
+			if n := j - i + 1; b > bestBytes || (b == bestBytes && n > bestLen) {
+				bestStart, bestLen, bestBytes = i, n, b
+			}
+			i = j + 1
+		}
+		if bestStart < 0 || bestBytes == 0 {
+			return nil // nothing resident carries bytes; budget unreachable
+		}
+		if err := c.foldToDisk(bestStart, bestLen); err != nil {
+			return err
+		}
+	}
+}
+
+// foldToDisk replaces runs[start : start+n] — one contiguous task interval
+// of resident runs — with a single-partition disk run holding their stable
+// merge.
+func (c *collector) foldToDisk(start, n int) error {
+	t := c.pc.Start()
+	path := c.js.colPath(c.part, c.spillSeq)
+	c.spillSeq++
+	w, err := newSpillWriter(path)
+	if err != nil {
+		return err
+	}
+	w.beginPartition()
+	chain := c.runs[start : start+n]
+	nonEmpty := 0
+	for i := range chain {
+		if chain[i].run.recs() > 0 {
+			nonEmpty++
+		}
+	}
+	if nonEmpty == 1 {
+		for i := range chain {
+			if chain[i].run.recs() > 0 {
+				err = w.appendSegment(chain[i].run.seg)
+			}
+		}
+	} else {
+		runs := make([]partRun, n)
+		for i := range chain {
+			runs[i] = chain[i].run
+		}
+		_, err = mergeRunsTo(runs, w.append)
+		c.interimPasses++
+	}
+	if err == nil {
+		err = w.endPartition()
+	}
+	if err != nil {
+		w.abort()
+		return err
+	}
+	sf, err := w.finish()
+	if err != nil {
+		w.abort()
+		return err
+	}
+	c.pc.Emit(obs.PhaseSpillWrite, t)
+	c.spillFiles++
+	c.spillBytesW += sf.StoredBytes()
+	c.runs[start] = mergeRun{lo: c.runs[start].lo, hi: c.runs[start+n-1].hi, run: diskRun(sf, 0)}
+	c.runs = append(c.runs[:start+1], c.runs[start+n:]...)
+	return nil
+}
+
 // mergeChain replaces runs[start : start+n] — which cover one contiguous
-// task interval — with their stable merge.
+// task interval — with their stable merge. In-memory policy only; every
+// run in the chain is resident.
 func (c *collector) mergeChain(start, n int) {
 	segs := make([]Segment, 0, n)
 	for _, r := range c.runs[start : start+n] {
-		if r.seg.Len() > 0 {
-			segs = append(segs, r.seg)
+		if r.run.seg.Len() > 0 {
+			segs = append(segs, r.run.seg)
 		}
 	}
 	var merged Segment
@@ -276,12 +420,13 @@ func (c *collector) mergeChain(start, n int) {
 		c.pc.Emit(obs.PhaseMergeFetch, t)
 		c.interimPasses++
 	}
-	c.runs[start] = mergeRun{lo: c.runs[start].lo, hi: c.runs[start+n-1].hi, seg: merged}
+	c.runs[start] = mergeRun{lo: c.runs[start].lo, hi: c.runs[start+n-1].hi, run: memRun(merged)}
 	c.runs = append(c.runs[:start+1], c.runs[start+n:]...)
 }
 
 // finish merges the remaining runs into the partition's final record
-// stream. It is idempotent, so a retried reduce attempt reuses the merge.
+// stream — the in-memory endgame. It is idempotent, so a retried reduce
+// attempt reuses the merge.
 func (c *collector) finish() Segment {
 	if c.finished {
 		return c.merged
@@ -289,8 +434,8 @@ func (c *collector) finish() Segment {
 	c.finished = true
 	segs := make([]Segment, 0, len(c.runs))
 	for _, r := range c.runs {
-		if r.seg.Len() > 0 {
-			segs = append(segs, r.seg)
+		if r.run.seg.Len() > 0 {
+			segs = append(segs, r.run.seg)
 		}
 	}
 	t := c.pc.Start()
@@ -298,4 +443,18 @@ func (c *collector) finish() Segment {
 	c.pc.Emit(obs.PhaseMergeFetch, t)
 	c.runs = nil
 	return c.merged
+}
+
+// finishRuns returns the partition's runs in task order for the streaming
+// external merge — the out-of-core endgame. Idempotent, like finish.
+func (c *collector) finishRuns() []partRun {
+	if !c.finished {
+		c.finished = true
+		c.finalRuns = make([]partRun, len(c.runs))
+		for i := range c.runs {
+			c.finalRuns[i] = c.runs[i].run
+		}
+		c.runs = nil
+	}
+	return c.finalRuns
 }

@@ -145,7 +145,7 @@ func TestCollectorArrivalOrderProperty(t *testing.T) {
 
 		col := newCollector(nsplits, factor)
 		for _, task := range rng.Perm(nsplits) {
-			col.add(streamSeg{task: task, seg: segs[task]})
+			col.add(streamSeg{task: task, run: memRun(segs[task])})
 		}
 		got := col.finish().KVs()
 		if !reflect.DeepEqual(got, want) {
@@ -165,7 +165,7 @@ func TestCollectorArrivalOrderProperty(t *testing.T) {
 func TestCollectorSingleSegmentPartition(t *testing.T) {
 	seg := SegmentFromKVs([]KV{{Key: "a", Value: "1"}, {Key: "b", Value: "2"}})
 	col := newCollector(1, 10)
-	col.add(streamSeg{task: 0, seg: seg})
+	col.add(streamSeg{task: 0, run: memRun(seg)})
 	if got := col.finish().KVs(); !reflect.DeepEqual(got, seg.KVs()) {
 		t.Fatalf("single-segment partition altered: %v", got)
 	}

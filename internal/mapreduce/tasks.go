@@ -29,7 +29,17 @@ func ExecuteMapSplitObs(job Job, chunk []byte, nparts int, ref obs.TaskRef, o ob
 	if job.Partitioner == nil {
 		job.Partitioner = HashPartitioner()
 	}
-	return runMapTask(job, chunk, splitRange{start: 0, end: len(chunk)}, nparts, newPhaseClock(o, ref))
+	bufs := bufsPool.Get().(*taskBufs)
+	defer bufsPool.Put(bufs)
+	runs, c, err := runMapTask(job, chunk, 0, splitRange{start: 0, end: len(chunk)}, nparts, newPhaseClock(o, ref), bufs, nil, 0)
+	if err != nil {
+		return nil, c, err
+	}
+	segs := make([]Segment, len(runs))
+	for i, r := range runs {
+		segs[i] = r.seg // no spill context: every run is resident
+	}
+	return segs, c, nil
 }
 
 // ExecuteReduce runs the job's reducer over the sorted shuffle segments of
@@ -73,7 +83,9 @@ func ExecuteReduceSegObs(job Job, segments []Segment, ref obs.TaskRef, o obs.Obs
 			nonEmpty = append(nonEmpty, s)
 		}
 	}
-	return runReduceTask(job, nonEmpty, newPhaseClock(o, ref))
+	bufs := bufsPool.Get().(*taskBufs)
+	defer bufsPool.Put(bufs)
+	return runReduceTask(job, nonEmpty, newPhaseClock(o, ref), bufs)
 }
 
 // SplitInput cuts data into record-aligned chunks of roughly blockSize

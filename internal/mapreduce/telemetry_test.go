@@ -125,11 +125,12 @@ func BenchmarkMapTaskNoObserver(b *testing.B) {
 	}
 	job.Partitioner = HashPartitioner()
 	chunk := telemetryInput()
+	bufs := new(taskBufs)
 	b.ReportAllocs()
 	b.SetBytes(int64(len(chunk)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		segs, _, err := runMapTask(job, chunk, splitRange{start: 0, end: len(chunk)}, 4, phaseClock{})
+		segs, _, err := runMapTask(job, chunk, 0, splitRange{start: 0, end: len(chunk)}, 4, phaseClock{}, bufs, nil, 0)
 		if err != nil {
 			b.Fatal(err)
 		}

@@ -80,6 +80,13 @@ const (
 	// PhaseSchedule is the distributed runtime's dispatch latency: how long
 	// a task sat ready before a worker was assigned to it.
 	PhaseSchedule
+	// PhaseSpillWrite is time spent writing spill segment files to disk:
+	// map-side spills that overflow the spill-memory budget, collector
+	// pressure spills, and the worker's served shuffle files.
+	PhaseSpillWrite
+	// PhaseSpillRead is time spent reading spill segment files back from
+	// disk ahead of an external merge (cursor opening, frame loads).
+	PhaseSpillRead
 
 	numPhases
 )
@@ -87,6 +94,7 @@ const (
 // phaseNames index by Phase; keep in sync with the constants.
 var phaseNames = [numPhases]string{
 	"read", "map", "sort", "spill", "merge-fetch", "reduce", "write", "schedule",
+	"spill-write", "spill-read",
 }
 
 // String returns the wire name of the phase (e.g. "merge-fetch").

@@ -52,8 +52,10 @@ var PaperBucketNames = [4]string{"map", "sort", "shuffle", "reduce"}
 // split of task time:
 //
 //	map     <- read + map          (input ingestion and mapper execution)
-//	sort    <- sort + spill        (map-side in-memory sort and spill layout)
-//	shuffle <- merge-fetch + schedule (transport, merge passes, dispatch wait)
+//	sort    <- sort + spill + spill-write (map-side sort, spill layout and
+//	           spill-file writes)
+//	shuffle <- merge-fetch + schedule + spill-read (transport, merge passes,
+//	           dispatch wait, spill-file reads feeding the external merge)
 //	reduce  <- reduce + write      (reducer execution and output encode)
 //
 // The result is keyed by PaperBucketNames; buckets with no intervals are
@@ -65,9 +67,9 @@ func (r *Run) PaperSplit() map[string]time.Duration {
 			switch iv.Phase {
 			case "read", "map":
 				out["map"] += iv.Duration()
-			case "sort", "spill":
+			case "sort", "spill", "spill-write":
 				out["sort"] += iv.Duration()
-			case "merge-fetch", "schedule":
+			case "merge-fetch", "schedule", "spill-read":
 				out["shuffle"] += iv.Duration()
 			case "reduce", "write":
 				out["reduce"] += iv.Duration()

@@ -1,0 +1,44 @@
+package workloads
+
+import (
+	"io"
+
+	"heterohadoop/internal/units"
+)
+
+// StreamTo writes roughly size bytes of a generator's output to w in
+// record-aligned chunks of roughly chunk bytes each, so paper-scale inputs
+// (multi-GB) are produced with only one chunk resident at a time. Every
+// generator emits whole newline-terminated records, so the concatenation of
+// chunks is itself a valid dataset.
+//
+// Each chunk is generated with a seed derived from seed and the chunk
+// index, which keeps the stream deterministic for a given (size, seed,
+// chunk) triple; it is NOT byte-identical to a single gen(size, seed) call
+// (the generators' internal RNG state does not window). Chunk values below
+// 64 KB (including zero) are raised to 64 KB.
+//
+// It returns the number of bytes written.
+func StreamTo(w io.Writer, gen func(units.Bytes, int64) []byte, size units.Bytes, seed int64, chunk units.Bytes) (int64, error) {
+	const minChunk = 64 * units.KB
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+	var written int64
+	for i := int64(0); written < int64(size); i++ {
+		want := chunk
+		if remaining := int64(size) - written; remaining < int64(want) {
+			want = units.Bytes(remaining)
+		}
+		// Golden-ratio-derived stride: spreads chunk seeds across the RNG's
+		// state space so adjacent chunks do not correlate.
+		const seedStride = 0x9e3779b97f4a7c15 >> 1
+		data := gen(want, seed+i*seedStride)
+		n, err := w.Write(data)
+		written += int64(n)
+		if err != nil {
+			return written, err
+		}
+	}
+	return written, nil
+}

@@ -1,0 +1,49 @@
+package workloads
+
+import (
+	"bytes"
+	"testing"
+
+	"heterohadoop/internal/units"
+)
+
+// TestStreamToChunkedGeneration pins the streaming generator contract:
+// deterministic output for a (size, seed, chunk) triple, at least the
+// requested bytes, newline-terminated record-aligned chunks, and rows that
+// parse like the single-buffer generator's.
+func TestStreamToChunkedGeneration(t *testing.T) {
+	var a, b bytes.Buffer
+	n, err := StreamTo(&a, GenerateTeraRecords, 300*units.KB, 5, 100*units.KB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(a.Len()) {
+		t.Fatalf("reported %d bytes, wrote %d", n, a.Len())
+	}
+	if n < int64(300*units.KB) {
+		t.Fatalf("wrote %d bytes, want >= %d", n, 300*units.KB)
+	}
+	if a.Bytes()[a.Len()-1] != '\n' {
+		t.Fatal("stream does not end at a record boundary")
+	}
+	if _, err := StreamTo(&b, GenerateTeraRecords, 300*units.KB, 5, 100*units.KB); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("same (size, seed, chunk) produced different streams")
+	}
+	for i, line := range bytes.Split(bytes.TrimRight(a.Bytes(), "\n"), []byte{'\n'}) {
+		if len(line) < TeraKeyLen+1 || line[TeraKeyLen] != '\t' {
+			t.Fatalf("row %d malformed across chunk boundary: %q", i, line)
+		}
+	}
+
+	// Different seeds diverge; tiny chunk values are raised, not looped.
+	var c bytes.Buffer
+	if _, err := StreamTo(&c, GenerateTeraRecords, 300*units.KB, 6, 1); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
