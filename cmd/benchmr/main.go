@@ -89,6 +89,11 @@ type Row struct {
 	// actually constrains, where bytes_per_op is cumulative churn.
 	PeakHeapBytes int64 `json:"peak_heap_bytes,omitempty"`
 	GoMaxProcs    int   `json:"gomaxprocs"`
+	// NumCPU is the machine's CPU count at measurement time. The -minspeedup
+	// and -maxallocfactor gates refuse to arm against a baseline recorded on
+	// a machine with a different count: such a comparison would gate this
+	// machine on another machine's scaling behaviour.
+	NumCPU int `json:"num_cpu,omitempty"`
 
 	// Bounded-memory mode (-memlimit) extras, absent on ordinary rows.
 	MemLimitBytes         int64 `json:"mem_limit_bytes,omitempty"`
@@ -192,6 +197,12 @@ func main() {
 	if base != nil {
 		printDelta(base, rows)
 	}
+	gatesArmed := true
+	if cpus, ok := baselineNumCPU(base); ok && cpus != runtime.NumCPU() {
+		gatesArmed = false
+		fmt.Printf("gates disarmed: baseline recorded on %d CPUs, this machine has %d — speedup and allocation comparisons would not be like-for-like\n",
+			cpus, runtime.NumCPU())
+	}
 
 	if len(rows) > 0 && !*allowSerial {
 		multi := false
@@ -214,7 +225,7 @@ func main() {
 		fatal(err)
 	}
 
-	if *minSpeedup > 0 {
+	if *minSpeedup > 0 && gatesArmed {
 		if cpus := runtime.NumCPU(); cpus < 4 {
 			fmt.Printf("speedup gate skipped: %d CPUs < 4\n", cpus)
 		} else {
@@ -234,7 +245,7 @@ func main() {
 			}
 		}
 	}
-	if *maxAllocFactor > 0 {
+	if *maxAllocFactor > 0 && gatesArmed {
 		if base == nil {
 			fmt.Println("allocation gate skipped: no readable baseline")
 			return
@@ -394,11 +405,11 @@ func benchWorkload(w workloads.Workload, input []byte, reducers, runs int, ob ob
 	return []Row{
 		{Name: w.Name() + "/serial", InputBytes: int64(len(input)), NsPerOp: serial.elapsed.Nanoseconds(),
 			Speedup: 1, AllocsPerOp: serial.allocs, BytesPerOp: serial.bytes,
-			PeakHeapBytes: serial.peakHeap, GoMaxProcs: procs},
+			PeakHeapBytes: serial.peakHeap, GoMaxProcs: procs, NumCPU: runtime.NumCPU()},
 		{Name: w.Name() + "/parallel", InputBytes: int64(len(input)), NsPerOp: parallel.elapsed.Nanoseconds(),
 			Speedup:     float64(serial.elapsed) / float64(parallel.elapsed),
 			AllocsPerOp: parallel.allocs, BytesPerOp: parallel.bytes,
-			PeakHeapBytes: parallel.peakHeap, GoMaxProcs: procs},
+			PeakHeapBytes: parallel.peakHeap, GoMaxProcs: procs, NumCPU: runtime.NumCPU()},
 	}, nil
 }
 
@@ -561,6 +572,7 @@ func memLimitWorkload(w workloads.Workload, work string, size int64, reducers in
 	rows := []Row{{
 		Name: w.Name() + "/inmem-ref", InputBytes: written, NsPerOp: refTime.Nanoseconds(),
 		Speedup: 1, PeakHeapBytes: refPeak, GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU: runtime.NumCPU(),
 	}}
 
 	for _, m := range []struct {
@@ -593,7 +605,7 @@ func memLimitWorkload(w workloads.Workload, work string, size int64, reducers in
 		rows = append(rows, Row{
 			Name: w.Name() + "/" + m.mode, InputBytes: written, NsPerOp: elapsed.Nanoseconds(),
 			Speedup: float64(refTime) / float64(elapsed), PeakHeapBytes: peak,
-			GoMaxProcs: runtime.GOMAXPROCS(0), MemLimitBytes: limit,
+			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), MemLimitBytes: limit,
 			Spills:            int64(c.Spills),
 			SpillFilesWritten: int64(c.SpillFilesWritten), SpillFileBytesWritten: int64(c.SpillFileBytesWritten),
 		})
@@ -642,6 +654,19 @@ type rowKey struct {
 	name  string
 	size  int64
 	procs int
+}
+
+// baselineNumCPU returns the CPU count a baseline was recorded on. Old
+// baselines predate the num_cpu field and report ok=false: they keep
+// arming gates, since refusing them would silently retire every existing
+// trajectory gate the moment this field shipped.
+func baselineNumCPU(base map[rowKey]Row) (cpus int, ok bool) {
+	for _, r := range base {
+		if r.NumCPU > cpus {
+			cpus = r.NumCPU
+		}
+	}
+	return cpus, cpus != 0
 }
 
 // loadBaseline reads a prior JSON record into a lookup map; a missing or

@@ -192,8 +192,15 @@ func (js *jobSpill) mapSpillPath(task, seq int) string {
 func (js *jobSpill) mapOutPath(task int) string {
 	return filepath.Join(js.dir, fmt.Sprintf("map%d-out.seg", task))
 }
-func (js *jobSpill) colPath(part, seq int) string {
-	return filepath.Join(js.dir, fmt.Sprintf("col%d-s%d.seg", part, seq))
+
+// mapInterPath names one intermediate file of a map-side multi-pass merge
+// round. Deterministic (and truncating on create), so a retried task
+// attempt rewrites the same files.
+func (js *jobSpill) mapInterPath(task, round, group int) string {
+	return filepath.Join(js.dir, fmt.Sprintf("map%d-r%d-g%d.seg", task, round, group))
+}
+func (js *jobSpill) colPath(part, shard, seq int) string {
+	return filepath.Join(js.dir, fmt.Sprintf("col%d-h%d-s%d.seg", part, shard, seq))
 }
 func (js *jobSpill) outPath(part int) string {
 	return filepath.Join(js.outDir, fmt.Sprintf("reduce%d.seg", part))
@@ -435,24 +442,134 @@ func (e *Engine) runBarrier(ctx context.Context, o obs.Observer, job Job, in inp
 
 // reduceToFile streams one partition's reduce output into a
 // single-partition segment file at path — the out-of-core reduce task
-// body. A retried attempt recreates the file from scratch.
+// body. When more disk runs are pending than MergeFactor allows open at
+// once, intermediate disk-to-disk merge passes consolidate them first
+// (Hadoop's io.sort.factor discipline), so the final merge's open-file
+// count and loser-tree width stay bounded. A retried attempt recreates
+// every file from scratch — the intermediate paths are deterministic and
+// truncating.
 func reduceToFile(job Job, path string, runs []partRun, pc phaseClock) (partRun, Counters, error) {
+	var c Counters
+	disk := 0
+	for _, r := range runs {
+		if r.isDisk() {
+			disk++
+		}
+	}
+	var cleanup []*SegmentFile
+	if disk > job.Config.MergeFactor {
+		var err error
+		runs, cleanup, err = consolidateRuns(job, path, runs, pc, &c)
+		if err != nil {
+			removeSegFiles(cleanup)
+			return partRun{}, c, err
+		}
+	}
 	w, err := newSpillWriter(path)
 	if err != nil {
-		return partRun{}, Counters{}, fmt.Errorf("mapreduce: %s: reduce output: %w", job.Config.Name, err)
+		removeSegFiles(cleanup)
+		return partRun{}, c, fmt.Errorf("mapreduce: %s: reduce output: %w", job.Config.Name, err)
 	}
 	w.beginPartition()
-	c, err := reduceStreamed(job, runs, w.append, pc)
+	cr, err := reduceStreamed(job, runs, w.append, pc)
+	c.Add(cr)
 	if err != nil {
 		w.abort()
+		removeSegFiles(cleanup)
 		return partRun{}, c, err
 	}
 	sf, err := w.finish()
+	removeSegFiles(cleanup)
 	if err != nil {
 		w.abort()
 		return partRun{}, c, fmt.Errorf("mapreduce: %s: reduce output: %w", job.Config.Name, err)
 	}
 	return diskRun(sf, 0), c, nil
+}
+
+func removeSegFiles(files []*SegmentFile) {
+	for _, sf := range files {
+		sf.Remove()
+	}
+}
+
+// consolidateRuns bounds the fan-in of the final external merge: while the
+// run count exceeds MergeFactor, adjacent groups of up to MergeFactor runs
+// are merged into single-partition intermediate segment files. Groups are
+// contiguous in slot order, so the round structure composes by the same
+// associativity argument as everywhere else — the final output stays
+// byte-identical to a one-shot merge over the original runs. The input
+// slice is not mutated (retried attempts replay it); each round removes
+// the previous round's intermediates once it has consumed them, and the
+// last round's files are returned for the caller to remove after the final
+// merge. Each round counts as one ReduceMergePass; intermediate writes and
+// the reads feeding them accrue to the spill-file counters.
+func consolidateRuns(job Job, base string, runs []partRun, pc phaseClock, c *Counters) ([]partRun, []*SegmentFile, error) {
+	factor := job.Config.MergeFactor
+	var prev []*SegmentFile // previous round's intermediates, consumed this round
+	fail := func(created []*SegmentFile, err error) ([]partRun, []*SegmentFile, error) {
+		return nil, append(prev, created...), fmt.Errorf("mapreduce: %s: merge pass: %w", job.Config.Name, err)
+	}
+	for round := 0; len(runs) > factor; round++ {
+		next := make([]partRun, 0, (len(runs)+factor-1)/factor)
+		var created []*SegmentFile
+		t := pc.Start()
+		for lo := 0; lo < len(runs); lo += factor {
+			hi := lo + factor
+			if hi > len(runs) {
+				hi = len(runs)
+			}
+			if hi-lo == 1 {
+				next = append(next, runs[lo])
+				continue
+			}
+			w, err := newSpillWriter(fmt.Sprintf("%s.r%d-g%d.seg", base, round, lo/factor))
+			if err != nil {
+				return fail(created, err)
+			}
+			w.beginPartition()
+			read, err := mergeRunsTo(runs[lo:hi], w.append)
+			if err == nil {
+				err = w.endPartition()
+			}
+			if err != nil {
+				w.abort()
+				return fail(created, err)
+			}
+			sf, err := w.finish()
+			if err != nil {
+				w.abort()
+				return fail(created, err)
+			}
+			c.SpillFilesWritten++
+			c.SpillFileBytesWritten += sf.StoredBytes()
+			c.SpillFileBytesRead += units.Bytes(read)
+			created = append(created, sf)
+			next = append(next, diskRun(sf, 0))
+		}
+		pc.Emit(obs.PhaseSpillWrite, t)
+		c.ReduceMergePasses++
+		// Remove the previous round's intermediates this round consumed. A
+		// trailing singleton group passes its run through unmerged, so a
+		// prev file can still be live in next — keep those for the round
+		// (or final merge) that actually reads them.
+		live := make(map[*SegmentFile]bool, len(next))
+		for _, r := range next {
+			if r.file != nil {
+				live[r.file] = true
+			}
+		}
+		for _, sf := range prev {
+			if live[sf] {
+				created = append(created, sf)
+			} else {
+				sf.Remove()
+			}
+		}
+		prev = created
+		runs = next
+	}
+	return runs, prev, nil
 }
 
 // runWithRetry executes a task body, consulting the failure injector and
@@ -647,6 +764,69 @@ func runMapTask(job Job, win []byte, base int, split splitRange, nparts int, pc 
 			}
 			pc.Emit(obs.PhaseMergeFetch, tMerge)
 			break
+		}
+		// Multi-pass consolidation: while more spills are pending than
+		// MergeFactor allows open at once, merge adjacent groups of spills
+		// into intermediate multi-partition files — the real rounds behind
+		// the formula-based MergePasses/MergeBytes accounting above, which
+		// is deliberately unchanged so in-memory and out-of-core runs agree
+		// on those counters. Groups are contiguous in spill order, so the
+		// final output stays byte-identical to a one-shot merge; consumed
+		// disk files (original spills or earlier intermediates) are removed
+		// as each group lands.
+		factor := job.Config.MergeFactor
+		for round := 0; len(spills) > factor; round++ {
+			next := make([]mapSpill, 0, (len(spills)+factor-1)/factor)
+			for lo := 0; lo < len(spills); lo += factor {
+				hi := lo + factor
+				if hi > len(spills) {
+					hi = len(spills)
+				}
+				if hi-lo == 1 {
+					next = append(next, spills[lo])
+					continue
+				}
+				w, werr := newSpillWriter(js.mapInterPath(task, round, lo/factor))
+				if werr != nil {
+					return nil, c, fmt.Errorf("mapreduce: %s: merge pass: %w", job.Config.Name, werr)
+				}
+				var read int64
+				for p := 0; p < nparts; p++ {
+					w.beginPartition()
+					runs := make([]partRun, 0, hi-lo)
+					for _, sp := range spills[lo:hi] {
+						if sp.file != nil {
+							runs = append(runs, diskRun(sp.file, p))
+						} else if sp.parts[p].Len() > 0 {
+							runs = append(runs, memRun(sp.parts[p]))
+						}
+					}
+					n, merr := mergeRunsTo(runs, w.append)
+					read += n
+					if merr == nil {
+						merr = w.endPartition()
+					}
+					if merr != nil {
+						w.abort()
+						return nil, c, fmt.Errorf("mapreduce: %s: merge pass: %w", job.Config.Name, merr)
+					}
+				}
+				sf, ferr := w.finish()
+				if ferr != nil {
+					w.abort()
+					return nil, c, fmt.Errorf("mapreduce: %s: merge pass: %w", job.Config.Name, ferr)
+				}
+				c.SpillFilesWritten++
+				c.SpillFileBytesWritten += sf.StoredBytes()
+				c.SpillFileBytesRead += units.Bytes(read)
+				for _, sp := range spills[lo:hi] {
+					if sp.file != nil {
+						sp.file.Remove()
+					}
+				}
+				next = append(next, mapSpill{file: sf})
+			}
+			spills = next
 		}
 		// External consolidation: stream every spill's partition runs —
 		// resident and on-disk alike, in spill order, so the stable merge

@@ -59,27 +59,27 @@ func (r partRun) materialize() (Segment, int64, error) {
 	if r.file == nil {
 		return r.seg, 0, nil
 	}
-	fr, err := r.file.openPart(r.part)
+	src, err := r.file.openFrameSource(r.part)
 	if err != nil {
 		return Segment{}, 0, err
 	}
-	defer fr.Close()
+	defer src.close()
 	var a arena
 	pm := &r.file.parts[r.part]
 	a.grow(int(pm.rawPayload), int(pm.recs))
 	for {
-		seg, err := fr.next()
+		seg, err := src.next()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return Segment{}, fr.bytesRead, err
+			return Segment{}, src.storedBytesRead(), err
 		}
 		for i, n := 0, seg.Len(); i < n; i++ {
 			a.appendBytes(seg.key(i), seg.val(i))
 		}
 	}
-	return a.seg(), fr.bytesRead, nil
+	return a.seg(), src.storedBytesRead(), nil
 }
 
 // runCursor walks one run record by record. Disk runs resident one
@@ -88,22 +88,25 @@ func (r partRun) materialize() (Segment, int64, error) {
 type runCursor struct {
 	cur  Segment
 	i    int
-	fr   *frameReader // nil for in-memory runs
+	src  frameSource // nil for in-memory runs
 	done bool
 }
 
-// openRunCursor positions a cursor at the run's first record.
+// openRunCursor positions a cursor at the run's first record. Disk runs get
+// the readahead-pipelined frame source when they span multiple frames, so
+// frame k+1's read, CRC check and inflate overlap the merge draining frame
+// k.
 func openRunCursor(r partRun) (*runCursor, error) {
 	if r.file == nil {
 		return &runCursor{cur: r.seg, done: r.seg.Len() == 0}, nil
 	}
-	fr, err := r.file.openPart(r.part)
+	src, err := r.file.openFrameSource(r.part)
 	if err != nil {
 		return nil, err
 	}
-	c := &runCursor{fr: fr}
+	c := &runCursor{src: src}
 	if err := c.refill(); err != nil {
-		fr.Close()
+		src.close()
 		return nil, err
 	}
 	return c, nil
@@ -112,7 +115,7 @@ func openRunCursor(r partRun) (*runCursor, error) {
 // refill loads the next non-empty frame, marking the cursor done at EOF.
 func (c *runCursor) refill() error {
 	for {
-		seg, err := c.fr.next()
+		seg, err := c.src.next()
 		if err == io.EOF {
 			c.done = true
 			c.cur = Segment{}
@@ -139,17 +142,17 @@ func (c *runCursor) advance() error {
 	if c.i < c.cur.Len() {
 		return nil
 	}
-	if c.fr == nil {
+	if c.src == nil {
 		c.done = true
 		return nil
 	}
 	return c.refill()
 }
 
-// close releases a disk cursor's file handle.
+// close releases a disk cursor's frame source (and its file handle).
 func (c *runCursor) close() {
-	if c.fr != nil {
-		c.fr.Close()
+	if c.src != nil {
+		c.src.close()
 	}
 }
 
@@ -261,7 +264,7 @@ func (m *mergeStream) next() (k, v []byte, err error) {
 		return nil, nil, io.EOF
 	}
 	k, v = w.key(), w.val()
-	if w.fr != nil {
+	if w.src != nil {
 		// Advancing may refill the frame scratch these alias.
 		m.kbuf = append(m.kbuf[:0], k...)
 		m.vbuf = append(m.vbuf[:0], v...)
@@ -280,8 +283,8 @@ func (m *mergeStream) next() (k, v []byte, err error) {
 func (m *mergeStream) diskBytesRead() int64 {
 	var n int64
 	for _, c := range m.curs {
-		if c.fr != nil {
-			n += c.fr.bytesRead
+		if c.src != nil {
+			n += c.src.storedBytesRead()
 		}
 	}
 	return n

@@ -256,6 +256,7 @@ func TestCollectorPressureSpill(t *testing.T) {
 		col := newCollector(nsplits, factor)
 		col.js = js
 		col.part = 0
+		col.budget = js.budget
 		for _, task := range rng.Perm(nsplits) {
 			if err := col.add(streamSeg{task: task, run: memRun(segs[task])}); err != nil {
 				t.Fatal(err)
@@ -276,6 +277,75 @@ func TestCollectorPressureSpill(t *testing.T) {
 			t.Fatalf("trial %d: budget of 1 byte produced no disk folds", trial)
 		}
 		os.RemoveAll(js.root)
+	}
+}
+
+// TestMultiPassExternalMergeParity forces far more disk runs into the
+// reduce-side merge than MergeFactor allows open at once, with the factor
+// pinned to 2–3, so reduceToFile must run intermediate disk-to-disk merge
+// passes (and the map side must consolidate its spills in rounds too).
+// Output must stay byte-identical to the unbounded in-memory reference,
+// the passes must be visible in ReduceMergePasses, and no intermediate
+// file may survive the run.
+func TestMultiPassExternalMergeParity(t *testing.T) {
+	input := oocInput(3000)
+	for _, factor := range []int{2, 3} {
+		for _, barrier := range []bool{true, false} {
+			mode := "streaming"
+			if barrier {
+				mode = "barrier"
+			}
+			t.Run(fmt.Sprintf("factor%d/%s", factor, mode), func(t *testing.T) {
+				base := DefaultConfig("multipass")
+				base.NumReducers = 2
+				base.SortBuffer = 2 * units.KB
+				base.MergeFactor = factor
+				base.BarrierShuffle = barrier
+				base.Parallelism = 2
+
+				run := func(cfg Config) *Result {
+					t.Helper()
+					e := newEngine(t, 8*units.KB, input) // ~14 map tasks
+					res, err := e.Run(wordCountJob(cfg), "input")
+					if err != nil {
+						t.Fatal(err)
+					}
+					return res
+				}
+				want := run(base)
+
+				spillDir := t.TempDir()
+				cfg := base
+				cfg.SpillDir = spillDir
+				cfg.SpillMemory = 1 // every spill and every collector run on disk
+				got := run(cfg)
+				defer got.Close()
+
+				if !reflect.DeepEqual(got.Output(), want.Output()) {
+					t.Fatal("multi-pass output differs from in-memory output")
+				}
+				if gb, wb := materialized(t, got), materialized(t, want); !bytes.Equal(gb, wb) {
+					t.Fatal("materialized byte streams differ")
+				}
+				if barrier && got.Counters.ReduceMergePasses == 0 {
+					// The barrier path has no collector passes, so a zero here
+					// means the disk-run count never tripped consolidation.
+					t.Fatalf("no reduce-side merge passes despite %d-way fan-in cap", factor)
+				}
+				// Only the final reduce outputs survive: intermediates of every
+				// consolidation round are removed as they are consumed.
+				roots := spillDirEntries(t, spillDir)
+				if len(roots) != 1 {
+					t.Fatalf("SpillDir holds %v, want exactly the run root", roots)
+				}
+				if interm := spillDirEntries(t, filepath.Join(spillDir, roots[0], "interm")); len(interm) != 0 {
+					t.Fatalf("interim files survived the run: %v", interm)
+				}
+				if out := spillDirEntries(t, filepath.Join(spillDir, roots[0], "out")); len(out) != base.NumReducers {
+					t.Fatalf("out dir holds %v, want %d reduce outputs", out, base.NumReducers)
+				}
+			})
+		}
 	}
 }
 

@@ -60,7 +60,12 @@ func (e *Engine) RunPipeline(stages []Stage, input string) (*PipelineResult, err
 			break
 		}
 		next := fmt.Sprintf("%s.out", stage.Name)
-		if _, err := e.store.Write(next, MaterializeOutput(res)); err != nil {
+		_, err = e.store.Write(next, MaterializeOutput(res))
+		// The intermediate result is fully materialized into the store now;
+		// closing it releases an out-of-core stage's spill directory instead
+		// of leaking it until process exit. Final stays open for the caller.
+		res.Close()
+		if err != nil {
 			return nil, fmt.Errorf("mapreduce: pipeline stage %s: %w", stage.Name, err)
 		}
 		current = next

@@ -133,22 +133,22 @@ func (r *Result) MaterializeOutputTo(w io.Writer) error {
 			writeSegLines(bw, run.seg)
 			continue
 		}
-		fr, err := run.file.openPart(run.part)
+		src, err := run.file.openFrameSource(run.part)
 		if err != nil {
 			return err
 		}
 		for {
-			seg, err := fr.next()
+			seg, err := src.next()
 			if err == io.EOF {
 				break
 			}
 			if err != nil {
-				fr.Close()
+				src.close()
 				return err
 			}
 			writeSegLines(bw, seg)
 		}
-		fr.Close()
+		src.close()
 	}
 	return bw.Flush()
 }

@@ -600,3 +600,164 @@ func (r *frameReader) next() (Segment, error) {
 
 // Close releases the cursor's file handle.
 func (r *frameReader) Close() error { return r.fh.Close() }
+
+// frameSource is sequential access to one partition's decoded frames,
+// implemented by the plain frameReader and by the readahead reader that
+// validates and inflates frame k+1 while the consumer drains frame k.
+// Segments returned by next alias source-owned scratch and are invalidated
+// by the following next call.
+type frameSource interface {
+	next() (Segment, error)
+	storedBytesRead() int64
+	close() error
+}
+
+func (r *frameReader) storedBytesRead() int64 { return r.bytesRead }
+func (r *frameReader) close() error           { return r.Close() }
+
+// openFrameSource returns the best frame source for partition p: the
+// readahead-pipelined reader when the partition has at least two frames to
+// overlap, the plain sequential reader otherwise (a single-frame run has
+// nothing to pipeline, so it skips the goroutine).
+func (f *SegmentFile) openFrameSource(p int) (frameSource, error) {
+	if len(f.parts[p].frames) >= 2 {
+		return f.openReadahead(p)
+	}
+	return f.openPart(p)
+}
+
+// readaheadSlots is the pipelined reader's scratch-ring depth: one frame
+// held by the consumer, one in the hand-off channel, one being read and
+// inflated — so the reader keeps at most three decompressed frames
+// resident, a bounded constant the SpillMemory accounting tolerates the
+// same way it tolerates the single-frame scratch of the plain reader.
+const readaheadSlots = 3
+
+// readaheadFrame is one decoded frame handed from the readahead goroutine
+// to its consumer. read carries the cumulative stored bytes through this
+// frame so the consumer's accounting counts only frames actually consumed,
+// matching the sequential reader's semantics exactly.
+type readaheadFrame struct {
+	seg  Segment
+	slot int
+	read int64
+	err  error
+}
+
+// readaheadReader is the pipelined frameSource: a goroutine reads,
+// CRC-validates, inflates and decodes frames into a fixed ring of scratch
+// slots and hands them over a one-deep channel, overlapping the next
+// frame's disk read and decompression with the consumer's merge work.
+type readaheadReader struct {
+	fh     *os.File
+	frames chan readaheadFrame
+	free   chan int
+	stop   chan struct{}
+	done   chan struct{}
+
+	cur      int   // slot the consumer currently holds, -1 when none
+	consumed int64 // stored bytes of frames delivered to the consumer
+	stopped  bool
+}
+
+// openReadahead starts a pipelined reader over partition p.
+func (f *SegmentFile) openReadahead(p int) (*readaheadReader, error) {
+	fh, err := os.Open(f.path)
+	if err != nil {
+		return nil, err
+	}
+	r := &readaheadReader{
+		fh:     fh,
+		frames: make(chan readaheadFrame, 1),
+		free:   make(chan int, readaheadSlots),
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+		cur:    -1,
+	}
+	for i := 0; i < readaheadSlots; i++ {
+		r.free <- i
+	}
+	go r.run(f, p)
+	return r, nil
+}
+
+// run is the readahead goroutine: it claims a free scratch slot, loads the
+// next frame into it and hands it over, until the partition is exhausted,
+// an error occurs (sent to the consumer, then the channel closes) or the
+// consumer closes the reader.
+func (r *readaheadReader) run(sf *SegmentFile, part int) {
+	defer close(r.done)
+	defer close(r.frames)
+	var slots [readaheadSlots]struct{ stored, raw []byte }
+	var read int64
+	for _, fi := range sf.parts[part].frames {
+		var slot int
+		select {
+		case slot = <-r.free:
+		case <-r.stop:
+			return
+		}
+		s := &slots[slot]
+		if cap(s.stored) < int(fi.storedLen) {
+			s.stored = make([]byte, fi.storedLen)
+		}
+		if cap(s.raw) < int(fi.rawLen) {
+			s.raw = make([]byte, fi.rawLen)
+		}
+		raw, err := readFrame(r.fh, fi, s.stored[:0], s.raw[:0])
+		var seg Segment
+		if err == nil {
+			read += int64(fi.storedLen)
+			seg, err = DecodeSegment(raw)
+			if err != nil {
+				err = fmt.Errorf("%w: frame at offset %d: %v", ErrSegmentCorrupt, fi.off, err)
+			}
+		}
+		select {
+		case r.frames <- readaheadFrame{seg: seg, slot: slot, read: read, err: err}:
+		case <-r.stop:
+			return
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// next returns the next decoded frame, or io.EOF after the last one. The
+// segment aliases ring scratch owned by the frame's slot; the slot is not
+// recycled until the following next call, so the segment stays valid
+// exactly as long as the sequential reader's would.
+func (r *readaheadReader) next() (Segment, error) {
+	if r.cur >= 0 {
+		r.free <- r.cur
+		r.cur = -1
+	}
+	f, ok := <-r.frames
+	if !ok {
+		return Segment{}, io.EOF
+	}
+	if f.err != nil {
+		return Segment{}, f.err
+	}
+	r.cur = f.slot
+	r.consumed = f.read
+	return f.seg, nil
+}
+
+func (r *readaheadReader) storedBytesRead() int64 { return r.consumed }
+
+// close stops the readahead goroutine, waits for it to exit and releases
+// the file handle. Safe to call more than once.
+func (r *readaheadReader) close() error {
+	if !r.stopped {
+		r.stopped = true
+		close(r.stop)
+		// Drain the hand-off channel so a goroutine blocked on send observes
+		// the stop and exits; the loop ends when it closes the channel.
+		for range r.frames {
+		}
+		<-r.done
+	}
+	return r.fh.Close()
+}

@@ -194,6 +194,149 @@ func openAndDrain(t *testing.T, dir string, content []byte) error {
 	return nil
 }
 
+// TestReadaheadReaderParity pins the pipelined frame source against the
+// sequential reader: identical records and identical stored-byte
+// accounting across multi-frame, single-frame, empty and incompressible
+// partitions — and openFrameSource must pick the pipelined reader exactly
+// when a partition has two or more frames to overlap.
+func TestReadaheadReaderParity(t *testing.T) {
+	dir := t.TempDir()
+	sf, err := WriteSegmentsFile(filepath.Join(dir, "ra.seg"),
+		[]Segment{segKVs(t, 40000, 31, false), segKVs(t, 10, 32, false), {}, segKVs(t, 20000, 33, true)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sf.Frames(0) < 2 || sf.Frames(3) < 2 {
+		t.Fatalf("test shape broken: partitions 0 and 3 must be multi-frame, got %d and %d frames",
+			sf.Frames(0), sf.Frames(3))
+	}
+	drain := func(src frameSource) ([]KV, int64) {
+		t.Helper()
+		var kvs []KV
+		for {
+			seg, err := src.next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			kvs = append(kvs, seg.KVs()...) // copy out: the segment aliases ring scratch
+		}
+		return kvs, src.storedBytesRead()
+	}
+	for p := 0; p < sf.NumPartitions(); p++ {
+		fr, err := sf.openPart(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, wantRead := drain(fr)
+		fr.close()
+		ra, err := sf.openReadahead(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gotRead := drain(ra)
+		if err := ra.close(); err != nil {
+			t.Fatalf("partition %d: close: %v", p, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("partition %d: readahead records diverge from sequential reader", p)
+		}
+		if gotRead != wantRead {
+			t.Fatalf("partition %d: storedBytesRead = %d via readahead, %d sequential", p, gotRead, wantRead)
+		}
+	}
+	multi, err := sf.openFrameSource(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := multi.(*readaheadReader); !ok {
+		t.Errorf("openFrameSource picked %T for a multi-frame partition, want readahead", multi)
+	}
+	multi.close()
+	single, err := sf.openFrameSource(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := single.(*frameReader); !ok {
+		t.Errorf("openFrameSource picked %T for a single-frame partition, want plain reader", single)
+	}
+	single.close()
+}
+
+// TestReadaheadEarlyClose pins shutdown: closing the pipelined reader
+// mid-stream — or before reading anything, with the producer blocked on
+// the hand-off channel — must join the goroutine without deadlocking.
+func TestReadaheadEarlyClose(t *testing.T) {
+	sf, err := WriteSegmentsFile(filepath.Join(t.TempDir(), "early.seg"),
+		[]Segment{segKVs(t, 40000, 34, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, reads := range []int{0, 1} {
+		ra, err := sf.openReadahead(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < reads; i++ {
+			if _, err := ra.next(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := ra.close(); err != nil {
+			t.Fatalf("close after %d reads: %v", reads, err)
+		}
+	}
+}
+
+// TestReadaheadCorruptionTyped pins error delivery through the pipeline: a
+// corrupt frame must surface as the same typed sentinel the sequential
+// reader raises, exactly once, with the source exhausted afterwards.
+func TestReadaheadCorruptionTyped(t *testing.T) {
+	dir := t.TempDir()
+	sf, err := WriteSegmentsFile(filepath.Join(dir, "good.seg"),
+		[]Segment{segKVs(t, 40000, 35, false)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := os.ReadFile(sf.Path())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the second frame: the first decodes cleanly, so the error
+	// crosses the hand-off channel behind good data.
+	badPath := filepath.Join(dir, "bad.seg")
+	if err := os.WriteFile(badPath, corruptAt(good, int(sf.parts[0].frames[1].off)+2), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	bf, err := OpenSegmentFile(badPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := bf.openReadahead(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var raErr error
+	for {
+		_, err := ra.next()
+		if err != nil {
+			raErr = err
+			break
+		}
+	}
+	if !errors.Is(raErr, ErrSegmentCorrupt) {
+		t.Fatalf("readahead error = %v, want errors.Is ErrSegmentCorrupt", raErr)
+	}
+	if _, err := ra.next(); err != io.EOF {
+		t.Fatalf("next after error = %v, want io.EOF (source exhausted)", err)
+	}
+	if err := ra.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestSegmentFileCorruptionTyped drives every corruption and truncation
 // class through the reader and checks each surfaces as the right typed
 // sentinel — never a panic, never a silent success.

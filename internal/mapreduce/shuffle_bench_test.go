@@ -1,0 +1,50 @@
+package mapreduce
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"heterohadoop/internal/hdfs"
+	"heterohadoop/internal/units"
+)
+
+// BenchmarkContendedShuffle stresses the streaming shuffle's collector
+// plane: many small map tasks publishing into many partitions. Before the
+// collector shards, every partition ran one collector goroutine and every
+// map task paid one channel send per (task, partition) — ~75 tasks × 32
+// partitions ≈ 2400 sends per run here, all funneling into 32 serialized
+// merge loops. With interval-sharded collectors and batched handoff each
+// task pays one send and the merge work spreads across the shards. Run
+// with `-cpu 1,4` to see the contention difference; cmd/benchmr's -cores
+// matrix covers the end-to-end workloads.
+func BenchmarkContendedShuffle(b *testing.B) {
+	var sb strings.Builder
+	for i := 0; i < 6000; i++ {
+		fmt.Fprintf(&sb, "w%d c%d x%d y%d z%d\n", i%997, i%31, i%13, i%7, i%251)
+	}
+	input := sb.String()
+	store, err := hdfs.NewStore(hdfs.Config{BlockSize: 2 * units.KB, Replication: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := store.Write("input", []byte(input)); err != nil {
+		b.Fatal(err)
+	}
+	e := NewEngine(store)
+	cfg := DefaultConfig("contended-shuffle")
+	cfg.NumReducers = 32
+	cfg.SortBuffer = 8 * units.KB // several small runs per map task
+	job := wordCountJob(cfg)
+	b.SetBytes(int64(len(input)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := e.Run(job, "input")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.NumPartitions() != cfg.NumReducers {
+			b.Fatalf("got %d partitions, want %d", res.NumPartitions(), cfg.NumReducers)
+		}
+	}
+}

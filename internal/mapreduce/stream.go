@@ -36,17 +36,64 @@ type streamSeg struct {
 	run  partRun
 }
 
-// runStreaming executes the job with the streaming shuffle. Collectors hold
-// no task slot while waiting for runs — they acquire one only for the
-// final merge+reduce, after their partition's channel closes — so reduce
-// work can never starve the map wave of slots.
+// taskBatch is one map task's complete shuffle publication: its sorted run
+// for every partition, empties included as coverage markers. Handing the
+// whole slice over in a single channel send costs one channel operation
+// per task instead of one per (task, partition) — the handoff half of the
+// contention fix at high partition counts.
+type taskBatch struct {
+	task int
+	runs []partRun
+}
+
+// collectorShards resolves the collector shard count for a streaming run:
+// an explicit Config.CollectorShards wins; zero derives one shard per task
+// slot, so shard parallelism tracks the map wave's. Shards are capped at
+// the split count — a shard with an empty task interval would be a dead
+// goroutine — and floored at one.
+func collectorShards(cfg, par, nsplits int) int {
+	n := cfg
+	if n == 0 {
+		n = par
+	}
+	if n > nsplits {
+		n = nsplits
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// shardOf maps a map-task index onto its collector shard: contiguous,
+// near-equal task-index intervals in shard order, so concatenating the
+// shards' per-partition results in shard order lists runs in task order —
+// the order the stable barrier merge is defined over.
+func shardOf(task, nsplits, nshards int) int {
+	return task * nshards / nsplits
+}
+
+// runStreaming executes the job with the streaming shuffle. Each partition
+// is collected by nshards interval-sharded collectors — shard s merges the
+// run chains of its contiguous task interval independently, and the reduce
+// finalizer folds the shards with one final stable merge, byte-identical to
+// the single-collector (and barrier) result because stable merging is
+// associative over adjacent intervals. Collector shards and reduce
+// finalizers hold no task slot while waiting for runs — a finalizer
+// acquires one only for the final merge+reduce — so reduce work can never
+// starve the map wave of slots.
 func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, in inputSource, splits []splitRange, nparts, par int, js *jobSpill) (*Result, error) {
 	nsplits := len(splits)
-	chans := make([]chan streamSeg, nparts)
-	for p := range chans {
-		// Buffered to the task count: publishers never block, so a map task
-		// releases its slot immediately after finishing.
-		chans[p] = make(chan streamSeg, nsplits)
+	nshards := collectorShards(job.Config.CollectorShards, par, nsplits)
+	shardSize := make([]int, nshards)
+	for i := 0; i < nsplits; i++ {
+		shardSize[shardOf(i, nsplits, nshards)]++
+	}
+	batches := make([]chan taskBatch, nshards)
+	for s := range batches {
+		// Buffered to the shard's interval size: publishers never block, so
+		// a map task releases its slot immediately after its one send.
+		batches[s] = make(chan taskBatch, shardSize[s])
 	}
 	slots := make(chan *taskBufs, par)
 	for i := 0; i < par; i++ {
@@ -60,60 +107,48 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, in i
 		completed    = make([]bool, nsplits)
 	)
 
-	// ---- Reduce collectors: started before the first map task so merging
-	// begins as soon as runs arrive.
-	var (
-		redWg       sync.WaitGroup
-		redErr      = make([]error, nparts)
-		redCounters = make([]Counters, nparts)
-		output      = make([]partRun, nparts)
-	)
-	redWg.Add(nparts)
-	for p := 0; p < nparts; p++ {
-		go func(p int) {
-			defer redWg.Done()
-			pc := reduceTaskClock(o, job, p)
-			col := newCollector(nsplits, job.Config.MergeFactor)
-			col.pc = pc
+	// ---- Collector shards: started before the first map task so merging
+	// begins as soon as runs arrive. Shard s owns one collector per
+	// partition, restricted to s's task interval; an add error poisons only
+	// that (shard, partition) pair. Phase clocks are per partition and
+	// shared across shards — obs.PhaseClock is a stateless value, so
+	// concurrent emits are safe.
+	budget := units.Bytes(0)
+	if js != nil {
+		// Split the partition's residency budget across its shards so the
+		// shards' combined resident bytes stay bounded by js.budget.
+		budget = js.budget / units.Bytes(nshards)
+	}
+	pcs := make([]phaseClock, nparts)
+	for p := range pcs {
+		pcs[p] = reduceTaskClock(o, job, p)
+	}
+	cols := make([][]*collector, nshards)
+	colErrs := make([][]error, nshards)
+	var colWg sync.WaitGroup
+	colWg.Add(nshards)
+	for s := 0; s < nshards; s++ {
+		cols[s] = make([]*collector, nparts)
+		colErrs[s] = make([]error, nparts)
+		for p := 0; p < nparts; p++ {
+			col := newCollector(shardSize[s], job.Config.MergeFactor)
+			col.pc = pcs[p]
 			col.js = js
 			col.part = p
-			var colErr error
-			for seg := range chans[p] {
-				if colErr == nil {
-					colErr = col.add(seg)
+			col.shard = s
+			col.budget = budget
+			cols[s][p] = col
+		}
+		go func(s int) {
+			defer colWg.Done()
+			for b := range batches[s] {
+				for p := 0; p < nparts; p++ {
+					if colErrs[s][p] == nil {
+						colErrs[s][p] = cols[s][p].add(streamSeg{task: b.task, run: b.runs[p]})
+					}
 				}
 			}
-			if failed.Load() {
-				return // a map task failed or dispatch was cancelled; abort
-			}
-			if colErr != nil {
-				redErr[p] = fmt.Errorf("mapreduce: %s: reduce-%d: %w", job.Config.Name, p, colErr)
-				return
-			}
-			if err := ctx.Err(); err != nil {
-				redErr[p] = fmt.Errorf("mapreduce: %s: reduce-%d: %w", job.Config.Name, p, err)
-				return
-			}
-			bufs := <-slots
-			defer func() { slots <- bufs }()
-			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
-			out, tc, err := runWithRetry(job, taskID, func() (partRun, Counters, error) {
-				if js == nil {
-					seg, tc, err := reduceMerged(job, col.finish(), pc, bufs)
-					return memRun(seg), tc, err
-				}
-				return reduceToFile(job, js.outPath(p), col.finishRuns(), pc)
-			})
-			if err != nil {
-				redErr[p] = err
-				return
-			}
-			output[p] = out
-			tc.ReduceMergePasses += col.interimPasses
-			tc.SpillFilesWritten += col.spillFiles
-			tc.SpillFileBytesWritten += col.spillBytesW
-			redCounters[p] = tc
-		}(p)
+		}(s)
 	}
 
 	// ---- Map phase.
@@ -166,19 +201,81 @@ func (e *Engine) runStreaming(ctx context.Context, o obs.Observer, job Job, in i
 			tc.ShuffleBytes = shuffleBytes
 			taskCounters[i] = tc
 			completed[i] = true
-			for p := 0; p < nparts; p++ {
-				chans[p] <- streamSeg{task: i, run: out[p]}
-			}
+			batches[shardOf(i, nsplits, nshards)] <- taskBatch{task: i, runs: out}
 		}(i, split, bufs)
 	}
 	if ctxErr != nil {
 		failed.Store(true)
 	}
 	mapWg.Wait()
-	// The map wave has drained; closing the channels moves collectors to
-	// their final merge (or bails them out if the job failed).
-	for p := range chans {
-		close(chans[p])
+	// The map wave has drained; closing the shard channels lets the
+	// collector shards finish their pending merges and exit.
+	for s := range batches {
+		close(batches[s])
+	}
+	colWg.Wait()
+
+	// ---- Reduce finalizers: gather each partition's runs across the
+	// shards (shard order = task order, full interval coverage) and run the
+	// final merge + reduce.
+	var (
+		redWg       sync.WaitGroup
+		redErr      = make([]error, nparts)
+		redCounters = make([]Counters, nparts)
+		output      = make([]partRun, nparts)
+	)
+	redWg.Add(nparts)
+	for p := 0; p < nparts; p++ {
+		go func(p int) {
+			defer redWg.Done()
+			if failed.Load() {
+				return // a map task failed or dispatch was cancelled; abort
+			}
+			for s := 0; s < nshards; s++ {
+				if err := colErrs[s][p]; err != nil {
+					redErr[p] = fmt.Errorf("mapreduce: %s: reduce-%d: %w", job.Config.Name, p, err)
+					return
+				}
+			}
+			if err := ctx.Err(); err != nil {
+				redErr[p] = fmt.Errorf("mapreduce: %s: reduce-%d: %w", job.Config.Name, p, err)
+				return
+			}
+			bufs := <-slots
+			defer func() { slots <- bufs }()
+			runs := make([]partRun, 0, nsplits)
+			for s := 0; s < nshards; s++ {
+				runs = append(runs, cols[s][p].finishRuns()...)
+			}
+			taskID := fmt.Sprintf("%s/reduce-%d", job.Config.Name, p)
+			out, tc, err := runWithRetry(job, taskID, func() (partRun, Counters, error) {
+				if js == nil {
+					segs := make([]Segment, 0, len(runs))
+					for _, r := range runs {
+						if r.seg.Len() > 0 {
+							segs = append(segs, r.seg)
+						}
+					}
+					t := pcs[p].Start()
+					merged := mergeSegs(segs)
+					pcs[p].Emit(obs.PhaseMergeFetch, t)
+					seg, tc, err := reduceMerged(job, merged, pcs[p], bufs)
+					return memRun(seg), tc, err
+				}
+				return reduceToFile(job, js.outPath(p), runs, pcs[p])
+			})
+			if err != nil {
+				redErr[p] = err
+				return
+			}
+			output[p] = out
+			for s := 0; s < nshards; s++ {
+				tc.ReduceMergePasses += cols[s][p].interimPasses
+				tc.SpillFilesWritten += cols[s][p].spillFiles
+				tc.SpillFileBytesWritten += cols[s][p].spillBytesW
+			}
+			redCounters[p] = tc
+		}(p)
 	}
 	redWg.Wait()
 
@@ -236,8 +333,13 @@ type collector struct {
 	// spill-write.
 	pc phaseClock
 
-	js       *jobSpill // nil for in-memory runs
-	part     int
+	js    *jobSpill // nil for in-memory runs
+	part  int
+	shard int // collector shard index, part of pressure-fold file names
+	// budget bounds this collector's resident bytes: the partition's spill
+	// budget split across its shards, so the shards together stay within
+	// js.budget.
+	budget   units.Bytes
 	spillSeq int
 	// Pressure-fold accounting, added to the owning reduce task's
 	// counters at finish.
@@ -314,7 +416,7 @@ func (c *collector) pressureFold() error {
 				memBytes += c.runs[i].run.accountBytes()
 			}
 		}
-		if memBytes <= c.js.budget {
+		if memBytes <= c.budget {
 			return nil
 		}
 		// Heaviest chain of interval-adjacent resident runs, fan-in capped
@@ -351,7 +453,7 @@ func (c *collector) pressureFold() error {
 // merge.
 func (c *collector) foldToDisk(start, n int) error {
 	t := c.pc.Start()
-	path := c.js.colPath(c.part, c.spillSeq)
+	path := c.js.colPath(c.part, c.shard, c.spillSeq)
 	c.spillSeq++
 	w, err := newSpillWriter(path)
 	if err != nil {

@@ -105,16 +105,21 @@ func TestStreamingMatchesBarrierConcurrentPublication(t *testing.T) {
 
 // TestCollectorArrivalOrderProperty is the property test behind the
 // streaming shuffle's determinism claim, exercised directly on the
-// collector: for randomized segment arrival orders — including empty
-// coverage markers, single-segment partitions and every merge-factor small
-// enough to force interim passes — the collector's final merge must be
-// byte-identical to the one-shot barrier merge over the same segments in
-// task order.
+// (sharded) collector: for randomized shard counts × segment arrival
+// orders — including empty coverage markers, single-segment partitions,
+// merge factors small enough to force interim passes, and trials where a
+// tiny spill budget pressure-folds resident runs to disk — gathering the
+// shards' runs in shard order and folding them with one final stable merge
+// must be byte-identical to the one-shot barrier merge over the same
+// segments in task order. This drives the exact routing (shardOf) and
+// composition (finishRuns concatenation) runStreaming uses.
 func TestCollectorArrivalOrderProperty(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	for trial := 0; trial < 200; trial++ {
 		nsplits := 1 + rng.Intn(40)
 		factor := 2 + rng.Intn(6)
+		nshards := collectorShards(1+rng.Intn(6), 0, nsplits)
+		pressure := trial%3 == 2 // every third trial folds runs to disk
 		// Build one sorted run per task; some tasks publish empty coverage
 		// markers, some runs share keys so merge stability is observable.
 		segs := make([]Segment, nsplits)
@@ -143,18 +148,121 @@ func TestCollectorArrivalOrderProperty(t *testing.T) {
 		}
 		want := mergeSegs(nonEmpty).KVs()
 
-		col := newCollector(nsplits, factor)
+		var js *jobSpill
+		if pressure {
+			js = &jobSpill{dir: t.TempDir()}
+		}
+		sizes := make([]int, nshards)
+		for task := 0; task < nsplits; task++ {
+			sizes[shardOf(task, nsplits, nshards)]++
+		}
+		cols := make([]*collector, nshards)
+		for s := range cols {
+			cols[s] = newCollector(sizes[s], factor)
+			cols[s].js = js
+			cols[s].shard = s
+			// Pressure trials keep the zero budget: every resident byte is
+			// over it, so each non-empty run is folded to disk.
+		}
 		for _, task := range rng.Perm(nsplits) {
-			col.add(streamSeg{task: task, run: memRun(segs[task])})
+			s := shardOf(task, nsplits, nshards)
+			if err := cols[s].add(streamSeg{task: task, run: memRun(segs[task])}); err != nil {
+				t.Fatalf("trial %d: add: %v", trial, err)
+			}
 		}
-		got := col.finish().KVs()
-		if !reflect.DeepEqual(got, want) {
-			t.Fatalf("trial %d (nsplits=%d factor=%d passes=%d): collector output diverges from barrier merge\ngot  %v\nwant %v",
-				trial, nsplits, factor, col.interimPasses, got, want)
+
+		// Gather in shard order — shard intervals are contiguous and
+		// increasing, so the concatenation lists runs in task order.
+		gather := func() ([]partRun, int) {
+			runs := make([]partRun, 0, nsplits)
+			passes := 0
+			for s := range cols {
+				runs = append(runs, cols[s].finishRuns()...)
+				passes += cols[s].interimPasses
+			}
+			return runs, passes
 		}
-		// finish is idempotent: a retried reduce attempt reuses the merge.
-		if again := col.finish().KVs(); !reflect.DeepEqual(again, want) {
-			t.Fatalf("trial %d: second finish() diverges", trial)
+		runs, passes := gather()
+		got := drainRuns(t, runs)
+		if len(got) != 0 || len(want) != 0 {
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d (nsplits=%d nshards=%d factor=%d passes=%d pressure=%v): sharded collector output diverges from barrier merge\ngot  %v\nwant %v",
+					trial, nsplits, nshards, factor, passes, pressure, got, want)
+			}
+		}
+		if pressure {
+			folded := false
+			for _, r := range runs {
+				if r.isDisk() {
+					folded = true
+					break
+				}
+			}
+			if !folded && len(want) > 0 {
+				t.Fatalf("trial %d: pressure trial folded nothing to disk", trial)
+			}
+		}
+		// finishRuns is idempotent: a retried reduce attempt replays the
+		// same run list.
+		again, _ := gather()
+		if len(again) != len(runs) {
+			t.Fatalf("trial %d: second finishRuns() returned %d runs, want %d", trial, len(again), len(runs))
+		}
+		if got2 := drainRuns(t, again); !reflect.DeepEqual(got2, got) {
+			t.Fatalf("trial %d: second finishRuns() drain diverges", trial)
+		}
+	}
+}
+
+// drainRuns streams the stable merge of runs into a KV slice.
+func drainRuns(t *testing.T, runs []partRun) []KV {
+	t.Helper()
+	var kvs []KV
+	if _, err := mergeRunsTo(runs, func(k, v []byte) error {
+		kvs = append(kvs, KV{Key: string(k), Value: string(v)})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return kvs
+}
+
+// TestCollectorShardRouting pins the shard-count resolution and the
+// interval property shardOf must provide: contiguous, non-decreasing,
+// full-coverage task intervals for every (nsplits, nshards) shape.
+func TestCollectorShardRouting(t *testing.T) {
+	if got := collectorShards(0, 4, 100); got != 4 {
+		t.Errorf("auto shards = %d, want parallelism 4", got)
+	}
+	if got := collectorShards(8, 4, 5); got != 5 {
+		t.Errorf("shards = %d, want cap at nsplits 5", got)
+	}
+	if got := collectorShards(0, 0, 10); got != 1 {
+		t.Errorf("shards = %d, want floor 1", got)
+	}
+	if got := collectorShards(3, 1, 10); got != 3 {
+		t.Errorf("explicit shards = %d, want 3", got)
+	}
+	for nsplits := 1; nsplits <= 40; nsplits++ {
+		for nshards := 1; nshards <= nsplits; nshards++ {
+			seen := make([]int, nshards)
+			prev := 0
+			for task := 0; task < nsplits; task++ {
+				s := shardOf(task, nsplits, nshards)
+				if s < 0 || s >= nshards {
+					t.Fatalf("shardOf(%d,%d,%d) = %d out of range", task, nsplits, nshards, s)
+				}
+				if s < prev {
+					t.Fatalf("shardOf not monotone at task %d (nsplits=%d nshards=%d)", task, nsplits, nshards)
+				}
+				prev = s
+				seen[s]++
+			}
+			for s, n := range seen {
+				if n == 0 {
+					t.Fatalf("shard %d empty (nsplits=%d nshards=%d)", s, nsplits, nshards)
+				}
+			}
 		}
 	}
 }
