@@ -50,11 +50,41 @@ echo "$tracer_out" | grep -q '  paper split: '
 echo "$tracer_out" | grep -q '  critical path: '
 ! echo "$tracer_out" | grep -q 'skipped'
 
+# Energy-attribution smoke: two benchmr captures simulate the paper's two
+# core classes (each run stamps its -power-profile class on every traced
+# phase event), and tracer -energy over the concatenated mixed-class trace
+# must attribute non-zero joules to all four paper phases, report per-job
+# EDP, and render the big-vs-little comparison table. The recorded rows
+# must carry the energy trajectory fields.
+go run ./cmd/benchmr -workloads wordcount -size 262144 -power-profile big \
+	-out "$smoke_dir/bench-big.json" -trace "$smoke_dir/trace-big.jsonl" \
+	-allow-serial >/dev/null
+go run ./cmd/benchmr -workloads terasort -size 262144 -power-profile little \
+	-out "$smoke_dir/bench-little.json" -trace "$smoke_dir/trace-little.jsonl" \
+	-allow-serial >/dev/null
+grep -q '"est_joules"' "$smoke_dir/bench-big.json"
+grep -q '"edp"' "$smoke_dir/bench-big.json"
+grep -q '"go_version"' "$smoke_dir/bench-big.json"
+grep -q '"os_arch"' "$smoke_dir/bench-big.json"
+cat "$smoke_dir/trace-big.jsonl" "$smoke_dir/trace-little.jsonl" \
+	>"$smoke_dir/trace-mixed.jsonl"
+energy_out="$(go run ./cmd/tracer -energy "$smoke_dir/trace-mixed.jsonl")"
+echo "$energy_out" | grep -q '^run wordcount/serial (epoch 0): energy .* J, edp .* J·s over '
+echo "$energy_out" | grep -q '^run terasort/parallel (epoch 0): energy '
+for bucket in map sort shuffle reduce; do
+	echo "$energy_out" | grep "^  energy $bucket " | grep -qv ' 0\.000000 J'
+done
+echo "$energy_out" | grep -q '^class comparison:$'
+echo "$energy_out" | grep -q '^  big/little energy ratio '
+
 # Live-plane smoke: a real distributed job runs while master and worker
 # each serve -http. The master's plane must expose the job and task tables
 # and the required Prometheus series, the get_task counter must be
 # monotone across scrapes (the worker keeps polling), and the worker's
-# plane must serve phase histograms and pprof.
+# plane must serve phase histograms and pprof. The worker declares the
+# little core class, so its plane must additionally export the live energy
+# series (hh_energy_joules per paper phase, hh_edp per job), and the
+# joule counter must be monotone non-decreasing across scrapes.
 go build -o "$smoke_dir/hadoopd" ./cmd/hadoopd
 "$smoke_dir/hadoopd" -role master -addr 127.0.0.1:0 -http 127.0.0.1:0 \
 	>"$smoke_dir/master.log" 2>&1 &
@@ -66,7 +96,7 @@ done
 master_addr="$(sed -n 's/^master listening on //p' "$smoke_dir/master.log")"
 master_http="$(sed -n 's/^http listening on //p' "$smoke_dir/master.log")"
 "$smoke_dir/hadoopd" -role worker -id smoke-w0 -master "$master_addr" \
-	-http 127.0.0.1:0 >"$smoke_dir/worker.log" 2>&1 &
+	-http 127.0.0.1:0 -power-profile little >"$smoke_dir/worker.log" 2>&1 &
 worker_pid=$!
 for _ in $(seq 1 100); do
 	grep -q '^http listening on ' "$smoke_dir/worker.log" && break
@@ -104,6 +134,14 @@ worker_metrics="$(curl -sf "http://$worker_http/metrics")"
 echo "$worker_metrics" | grep -q '^# TYPE hh_phase_map_map_seconds histogram$'
 echo "$worker_metrics" | grep -q '^# TYPE hh_phase_reduce_merge_fetch_seconds histogram$'
 echo "$worker_metrics" | grep -q '^hh_phase_map_map_seconds_count [1-9]'
+echo "$worker_metrics" | grep -q '^# TYPE hh_energy_joules counter$'
+echo "$worker_metrics" | grep -q '^hh_energy_joules{job="wordcount",phase="map",class="little"} '
+echo "$worker_metrics" | grep -q '^# TYPE hh_edp gauge$'
+echo "$worker_metrics" | grep -q '^hh_edp{job="wordcount"} '
+first_joules="$(echo "$worker_metrics" | awk -F'} ' '/^hh_energy_joules\{/ {sum += $2} END {printf "%.9f", sum}')"
+sleep 0.2
+second_joules="$(curl -sf "http://$worker_http/metrics" | awk -F'} ' '/^hh_energy_joules\{/ {sum += $2} END {printf "%.9f", sum}')"
+awk -v a="$first_joules" -v b="$second_joules" 'BEGIN {exit !(a > 0 && b >= a)}'
 curl -sf "http://$worker_http/debug/pprof/cmdline" >/dev/null
 kill "$worker_pid" "$master_pid"
 wait "$worker_pid" "$master_pid" 2>/dev/null || true

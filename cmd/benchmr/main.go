@@ -71,6 +71,7 @@ import (
 	"heterohadoop/internal/hdfs"
 	"heterohadoop/internal/mapreduce"
 	"heterohadoop/internal/obs"
+	"heterohadoop/internal/obs/energy"
 	"heterohadoop/internal/units"
 	"heterohadoop/internal/workloads"
 )
@@ -94,6 +95,19 @@ type Row struct {
 	// a machine with a different count: such a comparison would gate this
 	// machine on another machine's scaling behaviour.
 	NumCPU int `json:"num_cpu,omitempty"`
+	// GoVersion and OSArch pin the toolchain and platform the row was
+	// measured on. Like NumCPU they feed the gate-arming check: a baseline
+	// recorded by a different Go release or on a different platform is a
+	// compiler comparison, not a regression signal. Old baselines without
+	// the fields keep gating (same grandfathering as num_cpu).
+	GoVersion string `json:"go_version,omitempty"`
+	OSArch    string `json:"os_arch,omitempty"`
+	// EstJoules and EDP are the run's estimated energy cost under the
+	// -power-profile core-class model (best run's phase events mapped
+	// through internal/obs/energy): the trajectory the paper's big-vs-
+	// little comparison is judged on. Absent when -power-profile is "".
+	EstJoules float64 `json:"est_joules,omitempty"`
+	EDP       float64 `json:"edp,omitempty"`
 
 	// Bounded-memory mode (-memlimit) extras, absent on ordinary rows.
 	MemLimitBytes         int64 `json:"mem_limit_bytes,omitempty"`
@@ -117,14 +131,29 @@ func main() {
 		traceOut       = flag.String("trace", "", "stream a JSONL phase trace of every measured run to this file (analyse with cmd/tracer)")
 		memLimit       = flag.Int64("memlimit", 0, "bounded-memory parity mode: run each workload out-of-core under this GOMEMLIMIT (bytes) and verify parity with an unbounded reference")
 		spillDir       = flag.String("spill-dir", "", "directory for the bounded-memory mode's input and spill files (default: a fresh temp dir)")
+		powerArg       = flag.String("power-profile", "big", "core-class power profile for est_joules/edp (big, little, or a JSON profile file; empty disables energy estimation)")
 	)
 	flag.Parse()
 
-	if *memLimit > 0 {
-		rows, err := memLimitBench(*names, *size, *reducers, *memLimit, *spillDir)
+	// The energy meter rides along on every measured run: phase events map
+	// through the selected power model into est_joules and edp per row.
+	// Metering is a float accumulate per phase event — far below the noise
+	// floor of the wall and allocation measurements it annotates.
+	var prof *energy.Profile
+	if *powerArg != "" {
+		p, err := energy.Select(*powerArg)
 		if err != nil {
 			fatal(err)
 		}
+		prof = p
+	}
+
+	if *memLimit > 0 {
+		rows, err := memLimitBench(*names, *size, *reducers, *memLimit, *spillDir, prof)
+		if err != nil {
+			fatal(err)
+		}
+		stampToolchain(rows)
 		for _, r := range rows {
 			fmt.Printf("%-24s %12s/op  %6.2fx  peak heap %8s  %6d spill files  %10s spilled\n",
 				r.Name, time.Duration(r.NsPerOp).Round(time.Millisecond), r.Speedup,
@@ -149,7 +178,9 @@ func main() {
 	// With -trace, every measured run streams phase events; jobs are named
 	// "<workload>/<mode>" so cmd/tracer groups each mode as its own run.
 	// Tracing perturbs timings a little, so gated CI measurements and trace
-	// captures are separate invocations.
+	// captures are separate invocations. The selected core class is stamped
+	// on every traced event, so the trace is self-describing for
+	// `tracer -energy` without a -default-class hint.
 	ob := obs.Observer(nil)
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -160,6 +191,9 @@ func main() {
 		tw := obs.NewTraceWriter(f)
 		defer tw.Close()
 		ob = tw
+		if prof != nil {
+			ob = energy.Classify(ob, prof.Class)
+		}
 	}
 
 	restoreProcs := runtime.GOMAXPROCS(0)
@@ -178,7 +212,7 @@ func main() {
 		input := w.Generate(units.Bytes(*size), 42)
 		for _, n := range coreList {
 			runtime.GOMAXPROCS(n)
-			wr, err := benchWorkload(w, input, *reducers, *runs, ob)
+			wr, err := benchWorkload(w, input, *reducers, *runs, ob, prof)
 			if err != nil {
 				runtime.GOMAXPROCS(restoreProcs)
 				fatal(err)
@@ -187,6 +221,7 @@ func main() {
 		}
 	}
 	runtime.GOMAXPROCS(restoreProcs)
+	stampToolchain(rows)
 
 	for _, r := range rows {
 		fmt.Printf("%-24s %12s/op  %6.2fx  %12d allocs/op  %12d B/op  (GOMAXPROCS=%d)\n",
@@ -202,6 +237,17 @@ func main() {
 		gatesArmed = false
 		fmt.Printf("gates disarmed: baseline recorded on %d CPUs, this machine has %d — speedup and allocation comparisons would not be like-for-like\n",
 			cpus, runtime.NumCPU())
+	}
+	if gover, osarch, ok := baselineToolchain(base); ok {
+		if gover != runtime.Version() {
+			gatesArmed = false
+			fmt.Printf("gates disarmed: baseline recorded with %s, this build is %s — deltas would measure the compiler, not the code\n",
+				gover, runtime.Version())
+		} else if cur := runtime.GOOS + "/" + runtime.GOARCH; osarch != cur {
+			gatesArmed = false
+			fmt.Printf("gates disarmed: baseline recorded on %s, this machine is %s — cross-platform timings are not comparable\n",
+				osarch, cur)
+		}
 	}
 
 	if len(rows) > 0 && !*allowSerial {
@@ -293,12 +339,33 @@ func parseCores(s string) ([]int, error) {
 }
 
 // measurement is one timed run's cost: wall time plus the heap allocation
-// profile observed across the run.
+// profile observed across the run, and — when a power profile is selected
+// — the estimated joules its phase events map to.
 type measurement struct {
 	elapsed  time.Duration
 	allocs   int64
 	bytes    int64
 	peakHeap int64
+	joules   float64
+}
+
+// edp is the energy-delay product the paper ranks configurations by:
+// joules times wall seconds. Zero when energy estimation is off.
+func (m measurement) edp() float64 {
+	return m.joules * m.elapsed.Seconds()
+}
+
+// meterObserver tees an energy meter in front of an optional trace
+// observer; with neither it returns nil and runs stay unobserved.
+func meterObserver(meter *energy.Meter, ob obs.Observer) obs.Observer {
+	switch {
+	case meter == nil:
+		return ob
+	case ob == nil:
+		return meter
+	default:
+		return obs.Tee(meter, ob)
+	}
 }
 
 // heapSampler tracks the largest live heap (MemStats.HeapAlloc) seen while
@@ -341,14 +408,20 @@ func (s *heapSampler) Stop() int64 {
 
 // benchWorkload measures one workload in both executor modes over the given
 // input at the current GOMAXPROCS. A non-nil observer receives the phase
-// trace of every run, with the job named "<workload>/<mode>".
-func benchWorkload(w workloads.Workload, input []byte, reducers, runs int, ob obs.Observer) ([]Row, error) {
+// trace of every run, with the job named "<workload>/<mode>"; a non-nil
+// profile meters each run's estimated energy.
+func benchWorkload(w workloads.Workload, input []byte, reducers, runs int, ob obs.Observer, prof *energy.Profile) ([]Row, error) {
 	size := units.Bytes(len(input))
 	// Enough splits that every slot has work for several waves.
 	block := size / 16
 	if block < 4*units.KB {
 		block = 4 * units.KB
 	}
+	var meter *energy.Meter
+	if prof != nil {
+		meter = energy.NewMeter(prof)
+	}
+	runOb := meterObserver(meter, ob)
 	run := func(mode string, parallelism int, barrier bool) (measurement, error) {
 		var best measurement
 		for i := 0; i < runs; i++ {
@@ -368,8 +441,11 @@ func benchWorkload(w workloads.Workload, input []byte, reducers, runs int, ob ob
 				return measurement{}, err
 			}
 			ctx := context.Background()
-			if ob != nil {
-				ctx = obs.NewContext(ctx, ob)
+			if runOb != nil {
+				ctx = obs.NewContext(ctx, runOb)
+			}
+			if meter != nil {
+				meter.Reset()
 			}
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
@@ -389,6 +465,9 @@ func benchWorkload(w workloads.Workload, input []byte, reducers, runs int, ob ob
 					bytes:    int64(after.TotalAlloc - before.TotalAlloc),
 					peakHeap: peak,
 				}
+				if meter != nil {
+					best.joules = meter.Joules()
+				}
 			}
 		}
 		return best, nil
@@ -405,11 +484,13 @@ func benchWorkload(w workloads.Workload, input []byte, reducers, runs int, ob ob
 	return []Row{
 		{Name: w.Name() + "/serial", InputBytes: int64(len(input)), NsPerOp: serial.elapsed.Nanoseconds(),
 			Speedup: 1, AllocsPerOp: serial.allocs, BytesPerOp: serial.bytes,
-			PeakHeapBytes: serial.peakHeap, GoMaxProcs: procs, NumCPU: runtime.NumCPU()},
+			PeakHeapBytes: serial.peakHeap, GoMaxProcs: procs, NumCPU: runtime.NumCPU(),
+			EstJoules: serial.joules, EDP: serial.edp()},
 		{Name: w.Name() + "/parallel", InputBytes: int64(len(input)), NsPerOp: parallel.elapsed.Nanoseconds(),
 			Speedup:     float64(serial.elapsed) / float64(parallel.elapsed),
 			AllocsPerOp: parallel.allocs, BytesPerOp: parallel.bytes,
-			PeakHeapBytes: parallel.peakHeap, GoMaxProcs: procs, NumCPU: runtime.NumCPU()},
+			PeakHeapBytes: parallel.peakHeap, GoMaxProcs: procs, NumCPU: runtime.NumCPU(),
+			EstJoules: parallel.joules, EDP: parallel.edp()},
 	}, nil
 }
 
@@ -441,7 +522,7 @@ func (p *spillCancelProbe) TaskPhase(ev obs.PhaseEvent) {
 // materialized output hashes match the reference byte for byte, and every
 // spill file is gone afterwards, including when a run is cancelled in the
 // middle of its first spill.
-func memLimitBench(names string, size int64, reducers int, limit int64, spillRoot string) ([]Row, error) {
+func memLimitBench(names string, size int64, reducers int, limit int64, spillRoot string, prof *energy.Profile) ([]Row, error) {
 	if spillRoot != "" {
 		if err := os.MkdirAll(spillRoot, 0o755); err != nil {
 			return nil, err
@@ -463,7 +544,7 @@ func memLimitBench(names string, size int64, reducers int, limit int64, spillRoo
 		if err != nil {
 			return nil, err
 		}
-		wr, err := memLimitWorkload(w, work, size, reducers, limit)
+		wr, err := memLimitWorkload(w, work, size, reducers, limit, prof)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", name, err)
 		}
@@ -472,7 +553,7 @@ func memLimitBench(names string, size int64, reducers int, limit int64, spillRoo
 	return rows, nil
 }
 
-func memLimitWorkload(w workloads.Workload, work string, size int64, reducers int, limit int64) ([]Row, error) {
+func memLimitWorkload(w workloads.Workload, work string, size int64, reducers int, limit int64, prof *energy.Profile) ([]Row, error) {
 	inPath := filepath.Join(work, w.Name()+".input")
 	f, err := os.Create(inPath)
 	if err != nil {
@@ -509,7 +590,22 @@ func memLimitWorkload(w workloads.Workload, work string, size int64, reducers in
 		return nil, err
 	}
 
+	var meter *energy.Meter
+	if prof != nil {
+		meter = energy.NewMeter(prof)
+	}
+	// joules reads and clears the meter after a run; the run helper below
+	// is called strictly sequentially, so caller-side capture is safe.
+	joules := func() float64 {
+		if meter == nil {
+			return 0
+		}
+		j := meter.Joules()
+		meter.Reset()
+		return j
+	}
 	run := func(ctx context.Context, mode string, bounded bool, parallelism int, barrier bool, ob obs.Observer) (*mapreduce.Result, time.Duration, int64, error) {
+		ob = meterObserver(meter, ob)
 		cfg := mapreduce.DefaultConfig(w.Name() + "/" + mode)
 		cfg.NumReducers = reducers
 		cfg.Parallelism = parallelism
@@ -565,6 +661,7 @@ func memLimitWorkload(w workloads.Workload, work string, size int64, reducers in
 	if err != nil {
 		return nil, fmt.Errorf("reference run: %w", err)
 	}
+	refJoules := joules()
 	refSum, err := outputSum(refRes)
 	if err != nil {
 		return nil, fmt.Errorf("reference output: %w", err)
@@ -572,7 +669,8 @@ func memLimitWorkload(w workloads.Workload, work string, size int64, reducers in
 	rows := []Row{{
 		Name: w.Name() + "/inmem-ref", InputBytes: written, NsPerOp: refTime.Nanoseconds(),
 		Speedup: 1, PeakHeapBytes: refPeak, GoMaxProcs: runtime.GOMAXPROCS(0),
-		NumCPU: runtime.NumCPU(),
+		NumCPU:    runtime.NumCPU(),
+		EstJoules: refJoules, EDP: refJoules * refTime.Seconds(),
 	}}
 
 	for _, m := range []struct {
@@ -587,6 +685,7 @@ func memLimitWorkload(w workloads.Workload, work string, size int64, reducers in
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", m.mode, err)
 		}
+		oocJoules := joules()
 		c := res.Counters
 		if !res.OutOfCore() || c.Spills == 0 || c.SpillFilesWritten == 0 {
 			res.Close()
@@ -608,6 +707,7 @@ func memLimitWorkload(w workloads.Workload, work string, size int64, reducers in
 			GoMaxProcs: runtime.GOMAXPROCS(0), NumCPU: runtime.NumCPU(), MemLimitBytes: limit,
 			Spills:            int64(c.Spills),
 			SpillFilesWritten: int64(c.SpillFilesWritten), SpillFileBytesWritten: int64(c.SpillFileBytesWritten),
+			EstJoules: oocJoules, EDP: oocJoules * elapsed.Seconds(),
 		})
 	}
 
@@ -654,6 +754,29 @@ type rowKey struct {
 	name  string
 	size  int64
 	procs int
+}
+
+// stampToolchain records the Go release and platform on every row, so a
+// future gate run can tell whether this trajectory is like-for-like.
+func stampToolchain(rows []Row) {
+	osarch := runtime.GOOS + "/" + runtime.GOARCH
+	for i := range rows {
+		rows[i].GoVersion = runtime.Version()
+		rows[i].OSArch = osarch
+	}
+}
+
+// baselineToolchain returns the Go release and platform a baseline was
+// recorded with. Old baselines predate the fields and report ok=false:
+// they keep arming gates, the same grandfathering as baselineNumCPU.
+func baselineToolchain(base map[rowKey]Row) (gover, osarch string, ok bool) {
+	for _, r := range base {
+		if r.GoVersion != "" {
+			gover, osarch = r.GoVersion, r.OSArch
+			return gover, osarch, true
+		}
+	}
+	return "", "", false
 }
 
 // baselineNumCPU returns the CPU count a baseline was recorded on. Old

@@ -30,6 +30,7 @@ import (
 	"heterohadoop/internal/dist"
 	"heterohadoop/internal/mapreduce"
 	"heterohadoop/internal/obs"
+	"heterohadoop/internal/obs/energy"
 	"heterohadoop/internal/obs/httpd"
 )
 
@@ -53,6 +54,7 @@ func main() {
 		spillDir = flag.String("spill-dir", "", "serve map output from checksummed spill files under this directory instead of memory (role=worker)")
 		trace    = flag.String("trace", "", "stream a JSONL observability trace to this file (master/worker)")
 		httpAddr = flag.String("http", "", "serve the live plane (/metrics, /jobs, /tasks, pprof) on this address (master/worker)")
+		powerArg = flag.String("power-profile", "", "core-class power profile: big, little, or a JSON profile file — stamps the class on phase events and enables hh_energy_joules/hh_edp on /metrics (master/worker)")
 		out      = flag.String("out", "", "output file for results (role=submit; default stdout)")
 	)
 	flag.Parse()
@@ -83,6 +85,22 @@ func main() {
 		} else {
 			ob = col
 		}
+	}
+	// -power-profile selects the node's power model: phase events get the
+	// class stamped on, the collector estimates joules per (job, phase,
+	// class) so /metrics exports hh_energy_joules and hh_edp, and the
+	// worker declares the class in every poll.
+	coreClass := ""
+	if *powerArg != "" {
+		prof, err := energy.Select(*powerArg)
+		if err != nil {
+			fatal(err)
+		}
+		coreClass = prof.ClassName()
+		if col != nil {
+			col.SetEnergyModel(prof)
+		}
+		ob = energy.Classify(ob, coreClass)
 	}
 	flushTrace := func() {
 		if tw == nil {
@@ -137,6 +155,7 @@ func main() {
 		w, err := dist.ConnectWorker(*id, *master,
 			dist.WithPollInterval(*poll),
 			dist.WithSpillDir(*spillDir),
+			dist.WithCoreClass(coreClass),
 			dist.WithObserver(ob))
 		if err != nil {
 			fatal(err)

@@ -19,6 +19,14 @@
 // "expt.artefact" span per listed id — the CI gate over cmd/experiments.
 //
 //	tracer -check -artefacts table3,fig9 trace.jsonl
+//
+// With -energy each run's spans are mapped through the per-class power
+// models (internal/obs/energy) into estimated joules: per-job EDP, the
+// four-way map/sort/shuffle/reduce energy split, and — when the trace
+// mixes core classes — a big-vs-little comparison table.
+//
+//	tracer -energy trace.jsonl
+//	tracer -energy -default-class little trace.jsonl   # untagged rows
 package main
 
 import (
@@ -28,6 +36,7 @@ import (
 	"strings"
 
 	"heterohadoop/internal/obs"
+	"heterohadoop/internal/obs/energy"
 	"heterohadoop/internal/obs/timeline"
 )
 
@@ -39,6 +48,8 @@ func main() {
 		stragglerK = flag.Float64("straggler", 1.5, "straggler threshold: busy time > k x same-kind median")
 		check      = flag.Bool("check", false, "strict validation mode: every line must decode, spans must exist")
 		artefacts  = flag.String("artefacts", "", "with -check: comma-separated artefact ids that must have expt.artefact spans")
+		energyRpt  = flag.Bool("energy", false, "estimate per-run energy and EDP from the per-class power models")
+		defClass   = flag.String("default-class", "", "with -energy: core class assumed for rows with no class tag (big|little|profile.json)")
 	)
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -76,6 +87,20 @@ func main() {
 		return
 	}
 	w := os.Stdout
+	if *energyRpt {
+		// One resolver for the whole trace: profiles are loaded once per
+		// class name, unknown classes resolve to nil (counted per run as
+		// unattributed rather than mis-modelled).
+		resolve := profileResolver()
+		var energies []timeline.RunEnergy
+		for _, run := range tr.Runs {
+			re := run.Energy(resolve, *defClass)
+			re.WriteEnergy(w)
+			energies = append(energies, re)
+		}
+		timeline.WriteClassComparison(w, energies)
+		return
+	}
 	for _, run := range tr.Runs {
 		run.WriteBreakdown(w)
 		run.WritePaperSplit(w)
@@ -84,6 +109,27 @@ func main() {
 		if *gantt {
 			run.WriteGantt(w, *width)
 		}
+	}
+}
+
+// profileResolver maps class names to power models, caching each profile
+// after the first load. A class Select cannot resolve (neither built-in
+// nor a readable JSON profile) maps to nil — timeline counts those
+// intervals as unattributed instead of guessing a model.
+func profileResolver() timeline.ModelResolver {
+	cache := map[string]obs.EnergyModel{}
+	return func(class string) obs.EnergyModel {
+		if m, ok := cache[class]; ok {
+			return m
+		}
+		var m obs.EnergyModel
+		if class != "" {
+			if p, err := energy.Select(class); err == nil {
+				m = p
+			}
+		}
+		cache[class] = m
+		return m
 	}
 }
 

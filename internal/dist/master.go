@@ -801,7 +801,10 @@ func (r *masterRPC) GetTask(args GetTaskArgs, reply *Task) error {
 	r.m.mu.Lock()
 	defer r.m.mu.Unlock()
 	r.m.ob.Count("dist.rpc.get_task", 1)
-	r.m.workers.touch(args.WorkerID, args.Addr, time.Now())
+	w := r.m.workers.touch(args.WorkerID, args.Addr, time.Now())
+	if args.Class != "" {
+		w.Class = args.Class
+	}
 	*reply = r.m.nextTask(args.WorkerID)
 	return nil
 }

@@ -50,6 +50,7 @@ type config struct {
 	snapshotPath    string
 	serveShuffle    bool
 	spillDir        string
+	coreClass       string
 }
 
 func defaultConfig() config {
@@ -181,6 +182,16 @@ func WithSnapshotPath(path string) Option {
 // outlive the worker).
 func WithSpillDir(dir string) Option {
 	return func(c *config) { c.spillDir = dir }
+}
+
+// WithCoreClass declares the worker's core class ("big", "little", or a
+// custom profile name). The worker stamps it on every phase event it emits
+// — making traces self-describing for energy attribution — and reports it
+// in each poll, so the master's worker registry knows which class every
+// node is (the placement input the EDP-aware scheduler consumes). Empty
+// keeps the class undeclared.
+func WithCoreClass(class string) Option {
+	return func(c *config) { c.coreClass = class }
 }
 
 // WithShuffleServing toggles worker-served shuffle: when on (the default)

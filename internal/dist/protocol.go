@@ -103,6 +103,10 @@ type GetTaskArgs struct {
 	// map output inline). The master records it so evictions can be
 	// attributed to served segments.
 	Addr string
+	// Class is the worker's declared core class ("big", "little", or a
+	// custom profile name; "" when undeclared). The master records it in
+	// the worker registry — the placement input for class-aware scheduling.
+	Class string
 }
 
 // MapDone reports a completed map task. Epoch is copied from the Task.

@@ -104,6 +104,9 @@ type workerInfo struct {
 	ID string
 	// Addr is the worker's shuffle-serve address ("" for inline shippers).
 	Addr string
+	// Class is the worker's declared core class ("" when undeclared); set
+	// from the poll that carries it, kept across touches that do not.
+	Class string
 	// LastSeen is the last poll/fetch/completion touch.
 	LastSeen time.Time
 	// Evicted marks a worker declared dead after missing the liveness

@@ -32,6 +32,9 @@ type Worker struct {
 	registry *Registry
 	client   *rpc.Client
 	ob       obs.Observer
+	// class is the declared core class (WithCoreClass): stamped on every
+	// phase event and reported in each poll, "" when undeclared.
+	class string
 
 	// Worker-served shuffle plane: shuffleAddr is "" when serving is off
 	// (inline shipping); otherwise the store holds this worker's map output
@@ -311,6 +314,7 @@ func ConnectWorker(id, masterAddr string, opts ...Option) (*Worker, error) {
 		registry:     NewRegistry(),
 		client:       rpc.NewClient(conn),
 		ob:           cfg.observer,
+		class:        cfg.coreClass,
 		peers:        make(map[string]*rpc.Client),
 	}
 	if cfg.serveShuffle {
@@ -469,7 +473,7 @@ func (w *Worker) run(ctx context.Context, persistent bool) error {
 			return fmt.Errorf("dist: worker %s: cancelled: %w", w.ID, err)
 		}
 		var task Task
-		if err := w.client.Call("Master.GetTask", GetTaskArgs{WorkerID: w.ID, Addr: w.shuffleAddr}, &task); err != nil {
+		if err := w.client.Call("Master.GetTask", GetTaskArgs{WorkerID: w.ID, Addr: w.shuffleAddr, Class: w.class}, &task); err != nil {
 			if w.isStopped() {
 				break // Close raced with the poll: clean shutdown
 			}
@@ -562,6 +566,7 @@ func (w *Worker) taskRef(task Task) obs.TaskRef {
 	}
 	return obs.TaskRef{
 		Job: task.Job.Workload, Kind: kind, Index: task.Seq, Worker: w.ID, Epoch: task.Epoch,
+		Class: w.class,
 	}
 }
 
@@ -597,7 +602,7 @@ func (w *Worker) runMap(task Task) error {
 			w.reportFailure(task, err)
 			return fmt.Errorf("dist: worker %s map %d spill: %w", w.ID, task.Seq, err)
 		}
-		pc.Emit(obs.PhaseSpillWrite, tSpill)
+		pc.EmitIO(obs.PhaseSpillWrite, tSpill, 0, int64(sf.StoredBytes()))
 		counters.SpillFilesWritten++
 		counters.SpillFileBytesWritten += sf.StoredBytes()
 		w.store.putFile(task.Epoch, task.Seq, sf)
@@ -619,13 +624,15 @@ func (w *Worker) runMap(task Task) error {
 	tWrite := pc.Start()
 	parts := make([][]byte, len(segs))
 	nonEmpty := make([]int, 0, len(segs))
+	var encoded int64
 	for p, seg := range segs {
 		parts[p] = mapreduce.EncodeSegment(seg)
+		encoded += int64(len(parts[p]))
 		if seg.Len() > 0 {
 			nonEmpty = append(nonEmpty, p)
 		}
 	}
-	pc.Emit(obs.PhaseWrite, tWrite)
+	pc.EmitIO(obs.PhaseWrite, tWrite, 0, encoded)
 	w.mu.Lock()
 	w.tasksRun++
 	w.mu.Unlock()
@@ -849,7 +856,13 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 			}
 		}
 	}
-	pc.Emit(obs.PhaseMergeFetch, tFetch)
+	var fetched int64
+	for _, frames := range blobs {
+		for _, f := range frames {
+			fetched += int64(len(f))
+		}
+	}
+	pc.EmitIO(obs.PhaseMergeFetch, tFetch, fetched, 0)
 	// Restore map-task order — the order the engine's stable merge is
 	// defined over — regardless of fetch interleaving, then decode the
 	// blobs (zero-copy: the record payload aliases the received buffers).
@@ -884,7 +897,7 @@ func (w *Worker) runReduceStreaming(ctx context.Context, task Task) error {
 	// The reducer's output is already a flat segment; encoding it is a
 	// header write plus one payload copy — no []KV round-trip.
 	blob := mapreduce.EncodeSegment(out)
-	pc.Emit(obs.PhaseWrite, tWrite)
+	pc.EmitIO(obs.PhaseWrite, tWrite, 0, int64(len(blob)))
 	return w.client.Call("Master.CompleteReduce", ReduceDone{
 		WorkerID: w.ID, Epoch: task.Epoch, Seq: task.Seq, Partition: task.Partition,
 		Output: blob, Counters: counters,

@@ -58,7 +58,7 @@ func (e *Engine) RunContext(ctx context.Context, job Job, input string) (*Result
 	if err != nil {
 		return nil, fmt.Errorf("mapreduce: %s: reading %s: %w", job.Config.Name, input, err)
 	}
-	jobClock.Emit(obs.PhaseRead, tRead)
+	jobClock.EmitIO(obs.PhaseRead, tRead, int64(len(data)), 0)
 	// One split per HDFS block; split boundaries follow block boundaries.
 	splits := make([]splitRange, file.NumBlocks())
 	off := 0
@@ -129,7 +129,7 @@ func (in inputSource) window(split splitRange, pc phaseClock, bufs *taskBufs) ([
 		return nil, 0, err
 	}
 	bufs.win = w // keep the grown buffer for the slot's next task
-	pc.Emit(obs.PhaseRead, t)
+	pc.EmitIO(obs.PhaseRead, t, int64(len(w)), 0)
 	return w, split.start, nil
 }
 
@@ -513,6 +513,7 @@ func consolidateRuns(job Job, base string, runs []partRun, pc phaseClock, c *Cou
 	for round := 0; len(runs) > factor; round++ {
 		next := make([]partRun, 0, (len(runs)+factor-1)/factor)
 		var created []*SegmentFile
+		var roundRead, roundWritten int64
 		t := pc.Start()
 		for lo := 0; lo < len(runs); lo += factor {
 			hi := lo + factor
@@ -544,10 +545,12 @@ func consolidateRuns(job Job, base string, runs []partRun, pc phaseClock, c *Cou
 			c.SpillFilesWritten++
 			c.SpillFileBytesWritten += sf.StoredBytes()
 			c.SpillFileBytesRead += units.Bytes(read)
+			roundRead += int64(read)
+			roundWritten += int64(sf.StoredBytes())
 			created = append(created, sf)
 			next = append(next, diskRun(sf, 0))
 		}
-		pc.Emit(obs.PhaseSpillWrite, t)
+		pc.EmitIO(obs.PhaseSpillWrite, t, roundRead, roundWritten)
 		c.ReduceMergePasses++
 		// Remove the previous round's intermediates this round consumed. A
 		// trailing singleton group passes its run through unmerged, so a
@@ -658,7 +661,7 @@ func runMapTask(job Job, win []byte, base int, split splitRange, nparts int, pc 
 			if werr != nil {
 				return fmt.Errorf("mapreduce: %s: spill write: %w", job.Config.Name, werr)
 			}
-			pc.Emit(obs.PhaseSpillWrite, tW)
+			pc.EmitIO(obs.PhaseSpillWrite, tW, 0, int64(sf.StoredBytes()))
 			c.SpillFilesWritten++
 			c.SpillFileBytesWritten += sf.StoredBytes()
 			spills = append(spills, mapSpill{file: sf})
@@ -775,6 +778,7 @@ func runMapTask(job Job, win []byte, base int, split splitRange, nparts int, pc 
 		// disk files (original spills or earlier intermediates) are removed
 		// as each group lands.
 		factor := job.Config.MergeFactor
+		var mergeRead, mergeWritten int64
 		for round := 0; len(spills) > factor; round++ {
 			next := make([]mapSpill, 0, (len(spills)+factor-1)/factor)
 			for lo := 0; lo < len(spills); lo += factor {
@@ -819,6 +823,8 @@ func runMapTask(job Job, win []byte, base int, split splitRange, nparts int, pc 
 				c.SpillFilesWritten++
 				c.SpillFileBytesWritten += sf.StoredBytes()
 				c.SpillFileBytesRead += units.Bytes(read)
+				mergeRead += read
+				mergeWritten += int64(sf.StoredBytes())
 				for _, sp := range spills[lo:hi] {
 					if sp.file != nil {
 						sp.file.Remove()
@@ -861,7 +867,7 @@ func runMapTask(job Job, win []byte, base int, split splitRange, nparts int, pc 
 			w.abort()
 			return nil, c, fmt.Errorf("mapreduce: %s: merge output: %w", job.Config.Name, ferr)
 		}
-		pc.Emit(obs.PhaseMergeFetch, tMerge)
+		pc.EmitIO(obs.PhaseMergeFetch, tMerge, mergeRead+read, mergeWritten+int64(sf.StoredBytes()))
 		c.SpillFilesWritten++
 		c.SpillFileBytesWritten += sf.StoredBytes()
 		c.SpillFileBytesRead += units.Bytes(read)

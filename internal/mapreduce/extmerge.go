@@ -336,10 +336,14 @@ func reduceStreamed(job Job, runs []partRun, sink func(k, v []byte) error, pc ph
 	}
 	defer func() { c.SpillFileBytesRead += units.Bytes(ms.diskBytesRead()) }()
 	defer ms.close()
-	pc.Emit(obs.PhaseSpillRead, tOpen)
+	openRead := ms.diskBytesRead()
+	pc.EmitIO(obs.PhaseSpillRead, tOpen, openRead, 0)
 
+	// The deferred reduce emit runs before ms.close (defers unwind LIFO),
+	// so diskBytesRead is still valid; the reduce phase is credited with
+	// the disk bytes the merge pulled after cursor opening.
 	tReduce := pc.Start()
-	defer func() { pc.Emit(obs.PhaseReduce, tReduce) }()
+	defer func() { pc.EmitIO(obs.PhaseReduce, tReduce, ms.diskBytesRead()-openRead, 0) }()
 
 	if pr, ok := job.Reducer.(PassthroughReducer); ok && pr.Passthrough() && job.Grouping == nil {
 		var prev []byte

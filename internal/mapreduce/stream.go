@@ -493,7 +493,7 @@ func (c *collector) foldToDisk(start, n int) error {
 		w.abort()
 		return err
 	}
-	c.pc.Emit(obs.PhaseSpillWrite, t)
+	c.pc.EmitIO(obs.PhaseSpillWrite, t, 0, int64(sf.StoredBytes()))
 	c.spillFiles++
 	c.spillBytesW += sf.StoredBytes()
 	c.runs[start] = mergeRun{lo: c.runs[start].lo, hi: c.runs[start+n-1].hi, run: diskRun(sf, 0)}

@@ -32,6 +32,51 @@ type Progress struct {
 	Total int
 }
 
+// EnergyModel estimates the joules one completed phase interval dissipated.
+// internal/obs/energy provides the implementation (a power.Model selected
+// by core-class profile); the interface lives here so the Collector can
+// aggregate energy without importing the model.
+type EnergyModel interface {
+	// PhaseJoules returns the estimated energy of one phase interval.
+	PhaseJoules(ev PhaseEvent) float64
+	// ClassName is the model's core class ("big", "little", …), used when
+	// an event does not carry its own.
+	ClassName() string
+}
+
+// EnergyKey addresses one cell of the Collector's energy rollup: per job,
+// per paper phase bucket (map/sort/shuffle/reduce — see PaperBucket), per
+// core class. Low cardinality by construction, so the live /metrics plane
+// can export it directly.
+type EnergyKey struct {
+	Job   string
+	Phase string
+	Class string
+}
+
+// JobEnergy is one job's accumulated energy and observed wall-clock
+// envelope — the two factors of its energy-delay product.
+type JobEnergy struct {
+	// Joules is the summed phase energy estimate.
+	Joules float64
+	// Start and End bound the earliest phase start and latest phase end
+	// seen for the job.
+	Start time.Time
+	End   time.Time
+}
+
+// Wall returns the job's observed wall-clock span.
+func (j JobEnergy) Wall() time.Duration {
+	if j.End.Before(j.Start) {
+		return 0
+	}
+	return j.End.Sub(j.Start)
+}
+
+// EDP returns the job's energy-delay product in joule-seconds — the
+// paper's figure of merit.
+func (j JobEnergy) EDP() float64 { return j.Joules * j.Wall().Seconds() }
+
 // Snapshot is a point-in-time copy of a Collector's aggregates.
 type Snapshot struct {
 	// Spans maps span name to its duration summary (completed spans only).
@@ -46,6 +91,11 @@ type Snapshot struct {
 	Gauges map[string]float64
 	// Progress maps label to the last reported done/total.
 	Progress map[string]Progress
+	// Energy maps (job, paper phase, class) to accumulated joule
+	// estimates; empty unless SetEnergyModel installed a model.
+	Energy map[EnergyKey]float64
+	// EnergyJobs maps job to its energy/wall envelope (EDP inputs).
+	EnergyJobs map[string]JobEnergy
 }
 
 // Collector is the in-memory aggregating observer: per-span-name duration
@@ -62,6 +112,9 @@ type Collector struct {
 	counters map[string]int64
 	gauges   map[string]float64
 	progress map[string]Progress
+	emodel   EnergyModel
+	energy   map[EnergyKey]float64
+	jobs     map[string]JobEnergy
 	clock    func() time.Time
 }
 
@@ -80,8 +133,18 @@ func NewCollector() *Collector {
 		counters: make(map[string]int64),
 		gauges:   make(map[string]float64),
 		progress: make(map[string]Progress),
+		energy:   make(map[EnergyKey]float64),
+		jobs:     make(map[string]JobEnergy),
 		clock:    time.Now,
 	}
+}
+
+// SetEnergyModel installs the model used to fold phase events into the
+// energy rollup. Passing nil disables energy aggregation (the default).
+func (c *Collector) SetEnergyModel(m EnergyModel) {
+	c.mu.Lock()
+	c.emodel = m
+	c.mu.Unlock()
 }
 
 // Enabled always reports true: a collector wants every event.
@@ -152,6 +215,35 @@ func (c *Collector) TaskPhase(ev PhaseEvent) {
 	s.Total += ev.Duration
 	c.spans[name] = s
 	c.observeLocked(name, ev.Duration)
+	if c.emodel != nil {
+		c.energyLocked(ev)
+	}
+}
+
+// energyLocked folds one phase interval through the installed energy model
+// into the per-(job, bucket, class) rollup and the job's EDP envelope;
+// called under c.mu.
+func (c *Collector) energyLocked(ev PhaseEvent) {
+	bucket, ok := PaperBucket(ev.Phase)
+	if !ok {
+		bucket = "other"
+	}
+	class := ev.Task.Class
+	if class == "" {
+		class = c.emodel.ClassName()
+	}
+	j := c.emodel.PhaseJoules(ev)
+	c.energy[EnergyKey{Job: ev.Task.Job, Phase: bucket, Class: class}] += j
+	je := c.jobs[ev.Task.Job]
+	je.Joules += j
+	end := ev.Start.Add(ev.Duration)
+	if je.Start.IsZero() || ev.Start.Before(je.Start) {
+		je.Start = ev.Start
+	}
+	if end.After(je.End) {
+		je.End = end
+	}
+	c.jobs[ev.Task.Job] = je
 }
 
 // Count adds delta to the named counter.
@@ -194,11 +286,13 @@ func (c *Collector) Snapshot() Snapshot {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := Snapshot{
-		Spans:    make(map[string]SpanSummary, len(c.spans)),
-		Hists:    make(map[string]Histogram, len(c.hists)),
-		Counters: make(map[string]int64, len(c.counters)),
-		Gauges:   make(map[string]float64, len(c.gauges)),
-		Progress: make(map[string]Progress, len(c.progress)),
+		Spans:      make(map[string]SpanSummary, len(c.spans)),
+		Hists:      make(map[string]Histogram, len(c.hists)),
+		Counters:   make(map[string]int64, len(c.counters)),
+		Gauges:     make(map[string]float64, len(c.gauges)),
+		Progress:   make(map[string]Progress, len(c.progress)),
+		Energy:     make(map[EnergyKey]float64, len(c.energy)),
+		EnergyJobs: make(map[string]JobEnergy, len(c.jobs)),
 	}
 	for k, v := range c.spans {
 		out.Spans[k] = v
@@ -214,6 +308,12 @@ func (c *Collector) Snapshot() Snapshot {
 	}
 	for k, v := range c.progress {
 		out.Progress[k] = v
+	}
+	for k, v := range c.energy {
+		out.Energy[k] = v
+	}
+	for k, v := range c.jobs {
+		out.EnergyJobs[k] = v
 	}
 	return out
 }

@@ -1,0 +1,9 @@
+//go:build !unix
+
+package obs
+
+import "time"
+
+// processCPUTime is unavailable off-unix; callers fall back to the
+// wall×GOMAXPROCS estimate and mark the delta CPUEstimated.
+func processCPUTime() (time.Duration, bool) { return 0, false }

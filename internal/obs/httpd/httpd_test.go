@@ -152,6 +152,95 @@ func TestServeBindsEphemeralPort(t *testing.T) {
 	}
 }
 
+// wattModel is a fixed-power test model (joules = watts x wall seconds).
+type wattModel struct {
+	watts float64
+	class string
+}
+
+func (m wattModel) PhaseJoules(ev obs.PhaseEvent) float64 { return m.watts * ev.Duration.Seconds() }
+func (m wattModel) ClassName() string                     { return m.class }
+
+func TestEnergyMetricsExposition(t *testing.T) {
+	c := obs.NewCollector()
+	c.SetEnergyModel(wattModel{watts: 10, class: "little"})
+	t0 := time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC)
+	c.TaskPhase(obs.PhaseEvent{
+		Task: obs.TaskRef{Job: "wc", Kind: obs.KindMap}, Phase: obs.PhaseMap,
+		Start: t0, Duration: 2 * time.Second,
+	})
+	c.TaskPhase(obs.PhaseEvent{
+		Task: obs.TaskRef{Job: "wc", Kind: obs.KindReduce, Class: "big"}, Phase: obs.PhaseReduce,
+		Start: t0.Add(2 * time.Second), Duration: time.Second,
+	})
+	srv := httptest.NewServer(New(c).Handler())
+	defer srv.Close()
+	body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"# TYPE hh_energy_joules counter",
+		`hh_energy_joules{job="wc",phase="map",class="little"} 20`,
+		`hh_energy_joules{job="wc",phase="reduce",class="big"} 10`,
+		"# TYPE hh_edp gauge",
+		`hh_edp{job="wc"} 90`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q in:\n%s", want, body)
+		}
+	}
+}
+
+// TestEnergySeriesAbsentWithoutModel pins the compatibility contract: a
+// collector with no energy model renders a /metrics page with no energy
+// series at all.
+func TestEnergySeriesAbsentWithoutModel(t *testing.T) {
+	srv := httptest.NewServer(New(seededCollector()).Handler())
+	defer srv.Close()
+	body := get(t, srv.URL+"/metrics")
+	if strings.Contains(body, "hh_energy_joules") || strings.Contains(body, "hh_edp") {
+		t.Errorf("/metrics exports energy series without a model:\n%s", body)
+	}
+}
+
+// TestHostileLabelValues feeds job names containing every character the
+// exposition format escapes — backslash, double quote, newline — through
+// both labelled series families (progress and energy) and checks each is
+// escaped exactly once. A renderer that wraps the escaped value in %q
+// double-escapes the backslashes and fails here.
+func TestHostileLabelValues(t *testing.T) {
+	hostile := "job\\with\"quotes\nand newline"
+	c := obs.NewCollector()
+	c.SetEnergyModel(wattModel{watts: 1, class: "big"})
+	c.Progress("dist.map/"+hostile, 1, 2)
+	c.TaskPhase(obs.PhaseEvent{
+		Task: obs.TaskRef{Job: hostile, Kind: obs.KindMap}, Phase: obs.PhaseMap,
+		Duration: time.Second,
+	})
+	srv := httptest.NewServer(New(c).Handler())
+	defer srv.Close()
+	body := get(t, srv.URL+"/metrics")
+
+	escaped := `job\\with\"quotes\nand newline`
+	for _, want := range []string{
+		`hh_progress_done{label="dist.map",job="` + escaped + `"} 1`,
+		`hh_energy_joules{job="` + escaped + `",phase="map",class="big"} 1`,
+		`hh_edp{job="` + escaped + `"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing singly-escaped %q in:\n%s", want, body)
+		}
+	}
+	if strings.Contains(body, `\\\\`) || strings.Contains(body, `\\\"`) {
+		t.Errorf("label values double-escaped:\n%s", body)
+	}
+	// A raw newline inside a label value would split the line and corrupt
+	// the exposition; every occurrence must be the two-byte escape.
+	for _, line := range strings.Split(body, "\n") {
+		if strings.Contains(line, "and newline") && !strings.Contains(line, `\nand newline`) {
+			t.Errorf("raw newline leaked into exposition line %q", line)
+		}
+	}
+}
+
 func TestSanitize(t *testing.T) {
 	for in, want := range map[string]string{
 		"dist.tasks.speculative": "dist_tasks_speculative",

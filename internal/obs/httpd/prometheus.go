@@ -106,8 +106,44 @@ func WriteMetrics(w io.Writer, snap obs.Snapshot) {
 			fmt.Fprintf(w, "hh_progress_total{%s} %d\n", progressLabels(label), snap.Progress[label].Total)
 		}
 	}
+	writeEnergy(w, snap)
 	for _, name := range sortedKeys(snap.Hists) {
 		writeHistogram(w, "hh_"+sanitize(name)+"_seconds", snap.Hists[name])
+	}
+}
+
+// writeEnergy renders the energy rollup: hh_energy_joules{job,phase,class}
+// (phase is the paper's four-way bucket) and the per-job hh_edp gauge in
+// joule-seconds. Both are absent until a Collector has an energy model
+// installed, so planes without -power-profile are byte-identical to before.
+func writeEnergy(w io.Writer, snap obs.Snapshot) {
+	if len(snap.Energy) > 0 {
+		keys := make([]obs.EnergyKey, 0, len(snap.Energy))
+		for k := range snap.Energy {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool {
+			if keys[i].Job != keys[j].Job {
+				return keys[i].Job < keys[j].Job
+			}
+			if keys[i].Phase != keys[j].Phase {
+				return keys[i].Phase < keys[j].Phase
+			}
+			return keys[i].Class < keys[j].Class
+		})
+		fmt.Fprint(w, "# TYPE hh_energy_joules counter\n")
+		for _, k := range keys {
+			fmt.Fprintf(w, "hh_energy_joules{job=%s,phase=%s,class=%s} %s\n",
+				quoteLabel(k.Job), quoteLabel(k.Phase), quoteLabel(k.Class),
+				strconv.FormatFloat(snap.Energy[k], 'g', -1, 64))
+		}
+	}
+	if len(snap.EnergyJobs) > 0 {
+		fmt.Fprint(w, "# TYPE hh_edp gauge\n")
+		for _, job := range sortedKeys(snap.EnergyJobs) {
+			fmt.Fprintf(w, "hh_edp{job=%s} %s\n",
+				quoteLabel(job), strconv.FormatFloat(snap.EnergyJobs[job].EDP(), 'g', -1, 64))
+		}
 	}
 }
 
@@ -117,9 +153,17 @@ func WriteMetrics(w io.Writer, snap obs.Snapshot) {
 // runs.
 func progressLabels(label string) string {
 	if i := strings.Index(label, "/"); i >= 0 {
-		return fmt.Sprintf("label=%q,job=%q", escapeLabel(label[:i]), escapeLabel(label[i+1:]))
+		return "label=" + quoteLabel(label[:i]) + ",job=" + quoteLabel(label[i+1:])
 	}
-	return fmt.Sprintf("label=%q", escapeLabel(label))
+	return "label=" + quoteLabel(label)
+}
+
+// quoteLabel renders one label value quoted and escaped exactly once per
+// the exposition format (`\` -> `\\`, `"` -> `\"`, newline -> `\n`).
+// Label values are caller-supplied strings (job IDs reach here verbatim),
+// so this must not go through %q, which would re-escape the backslashes.
+func quoteLabel(v string) string {
+	return `"` + escapeLabel(v) + `"`
 }
 
 // writeHistogram renders one duration distribution as a Prometheus

@@ -130,6 +130,11 @@ type TaskRef struct {
 	Worker string
 	// Epoch is the master's job generation (0 in-process).
 	Epoch uint64
+	// Class is the declared core class of the executing node ("big",
+	// "little", or a custom profile name; "" when undeclared). Workers
+	// stamp it on their events so traces are self-describing for energy
+	// attribution.
+	Class string
 }
 
 // PhaseEvent is one completed phase interval of one task attempt.
@@ -138,6 +143,10 @@ type PhaseEvent struct {
 	Phase    Phase
 	Start    time.Time
 	Duration time.Duration
+	// Res is the resource delta sampled over the interval; zero when the
+	// emitter constructed the event by hand (e.g. the master's schedule
+	// events, which consume no worker resources).
+	Res ResourceDelta
 }
 
 // PhaseObserver is the optional Observer extension for typed phase events.
@@ -160,9 +169,10 @@ func EmitPhase(o Observer, ev PhaseEvent) {
 }
 
 // PhaseClock emits phase intervals for one task attempt. The zero value is
-// inert and free — start() returns the zero time without reading the wall
-// clock and Emit returns before constructing anything — which is what keeps
-// uninstrumented hot paths allocation-free. Construct with NewPhaseClock.
+// inert and free — Start returns the zero Tick without reading any clock
+// (wall, CPU or heap) and Emit returns before constructing anything — which
+// is what keeps uninstrumented hot paths allocation-free. Construct with
+// NewPhaseClock.
 type PhaseClock struct {
 	o   Observer
 	ref TaskRef
@@ -177,22 +187,37 @@ func NewPhaseClock(o Observer, ref TaskRef) PhaseClock {
 	return PhaseClock{o: o, ref: ref}
 }
 
-// Start returns the phase start timestamp, or the zero time (without
-// touching the clock) on the inert zero clock.
-func (pc PhaseClock) Start() time.Time {
+// Start samples the phase start — wall time plus the CPU and heap readings
+// the matching Emit subtracts into a ResourceDelta — or returns the zero
+// Tick (without touching any clock) on the inert zero clock.
+func (pc PhaseClock) Start() Tick {
 	if pc.o == nil {
-		return time.Time{}
+		return Tick{}
 	}
-	return time.Now()
+	return newTick()
 }
 
 // Emit records one completed phase interval beginning at start; a no-op on
-// the inert zero clock.
-func (pc PhaseClock) Emit(p Phase, start time.Time) {
+// the inert zero clock. Phases that move bytes use EmitIO instead.
+func (pc PhaseClock) Emit(p Phase, start Tick) {
+	pc.EmitIO(p, start, 0, 0)
+}
+
+// EmitIO records one completed phase interval beginning at start, crediting
+// the phase with the given IO byte counts (threaded from the emitter's own
+// spill/segment counters); a no-op on the inert zero clock.
+func (pc PhaseClock) EmitIO(p Phase, start Tick, readBytes, writtenBytes int64) {
 	if pc.o == nil {
 		return
 	}
-	EmitPhase(pc.o, PhaseEvent{Task: pc.ref, Phase: p, Start: start, Duration: time.Since(start)})
+	end := newTick()
+	EmitPhase(pc.o, PhaseEvent{
+		Task:     pc.ref,
+		Phase:    p,
+		Start:    start.wall,
+		Duration: end.wall.Sub(start.wall),
+		Res:      resourceDelta(start, end, readBytes, writtenBytes),
+	})
 }
 
 // phaseKeys precomputes the Collector aggregation key for every

@@ -1,0 +1,262 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// phaseSink captures phase events for assertions.
+type phaseSink struct {
+	events []PhaseEvent
+}
+
+func (s *phaseSink) Enabled() bool                   { return true }
+func (s *phaseSink) SpanStart(string, []Attr) SpanID { return 0 }
+func (s *phaseSink) SpanEnd(SpanID)                  {}
+func (s *phaseSink) Count(string, int64)             {}
+func (s *phaseSink) Gauge(string, float64)           {}
+func (s *phaseSink) Progress(string, int, int)       {}
+func (s *phaseSink) TaskPhase(ev PhaseEvent)         { s.events = append(s.events, ev) }
+
+// TestResourceDeltaBusySpan pins the CPU sampler's signal: a span that
+// spins a core must be charged CPU time commensurate with its wall time.
+// The getrusage reading is process-wide, so concurrent test runners can
+// only push the reading up — the lower bound is safe.
+func TestResourceDeltaBusySpan(t *testing.T) {
+	sink := &phaseSink{}
+	pc := NewPhaseClock(sink, TaskRef{Job: "busy", Kind: KindMap})
+	start := pc.Start()
+	deadline := time.Now().Add(100 * time.Millisecond)
+	x := 0
+	for time.Now().Before(deadline) {
+		x++
+	}
+	_ = x
+	pc.Emit(PhaseMap, start)
+
+	if len(sink.events) != 1 {
+		t.Fatalf("got %d events, want 1", len(sink.events))
+	}
+	res := sink.events[0].Res
+	wall := sink.events[0].Duration
+	if runtime.GOOS == "linux" {
+		if res.CPUEstimated {
+			t.Fatal("CPU delta marked estimated on linux — getrusage sampling did not engage")
+		}
+		if res.CPU < wall/2 {
+			t.Errorf("busy span charged %v CPU over %v wall; want at least half", res.CPU, wall)
+		}
+	}
+	if res.CPU < 0 {
+		t.Errorf("negative CPU delta %v", res.CPU)
+	}
+	ceil := time.Duration(runtime.GOMAXPROCS(0)) * wall
+	if res.CPU > ceil {
+		t.Errorf("CPU delta %v exceeds ceiling %v (GOMAXPROCS x wall)", res.CPU, ceil)
+	}
+}
+
+// TestResourceDeltaIdleSpan is the busy test's converse: a sleeping span
+// must not be charged its wall time as CPU. The bound is loose (other
+// goroutines and the runtime keep running), but a sampler that falls back
+// to wall-clock attribution on linux fails it by construction.
+func TestResourceDeltaIdleSpan(t *testing.T) {
+	if runtime.GOOS != "linux" {
+		t.Skip("idle-span CPU bound needs the getrusage sampler")
+	}
+	sink := &phaseSink{}
+	pc := NewPhaseClock(sink, TaskRef{Job: "idle", Kind: KindMap})
+	start := pc.Start()
+	time.Sleep(150 * time.Millisecond)
+	pc.Emit(PhaseMap, start)
+
+	res := sink.events[0].Res
+	wall := sink.events[0].Duration
+	if res.CPUEstimated {
+		t.Fatal("CPU delta marked estimated on linux")
+	}
+	if res.CPU > wall/2 {
+		t.Errorf("sleeping span charged %v CPU over %v wall; want far below", res.CPU, wall)
+	}
+}
+
+// TestEmitIOThreadsBytes checks the byte counts an emitter passes to
+// EmitIO land on the event, and that the allocation delta is sampled.
+func TestEmitIOThreadsBytes(t *testing.T) {
+	sink := &phaseSink{}
+	pc := NewPhaseClock(sink, TaskRef{Job: "io", Kind: KindReduce})
+	start := pc.Start()
+	// Allocate something the heap sampler can see.
+	buf := make([]byte, 1<<20)
+	buf[0] = 1
+	pc.EmitIO(PhaseSpillWrite, start, 123, 456)
+
+	res := sink.events[0].Res
+	if res.ReadBytes != 123 || res.WrittenBytes != 456 {
+		t.Errorf("IO bytes = %d/%d, want 123/456", res.ReadBytes, res.WrittenBytes)
+	}
+	if res.AllocBytes < 1<<20 {
+		t.Errorf("alloc delta %d below the 1 MiB the span allocated", res.AllocBytes)
+	}
+}
+
+// TestInertClockSamplesNothing pins the no-op contract: the zero clock's
+// Start returns the zero Tick without touching any clock, and Emit drops
+// the event.
+func TestInertClockSamplesNothing(t *testing.T) {
+	var pc PhaseClock
+	tick := pc.Start()
+	if !tick.IsZero() {
+		t.Error("inert clock returned a live tick")
+	}
+	pc.Emit(PhaseMap, tick) // must not panic, must not emit
+	pc2 := NewPhaseClock(Nop, TaskRef{})
+	if tick := pc2.Start(); !tick.IsZero() {
+		t.Error("clock over the disabled Nop observer returned a live tick")
+	}
+}
+
+// TestPaperBucketTotal pins the four-way paper mapping over the whole
+// phase taxonomy: every phase lands in exactly one of map/sort/shuffle/
+// reduce, so a new phase constant without a bucket fails here instead of
+// silently leaking time out of the paper split.
+func TestPaperBucketTotal(t *testing.T) {
+	want := map[Phase]string{
+		PhaseRead:       "map",
+		PhaseMap:        "map",
+		PhaseSort:       "sort",
+		PhaseSpill:      "sort",
+		PhaseSpillWrite: "sort",
+		PhaseMergeFetch: "shuffle",
+		PhaseSchedule:   "shuffle",
+		PhaseSpillRead:  "shuffle",
+		PhaseReduce:     "reduce",
+		PhaseWrite:      "reduce",
+	}
+	for p := Phase(0); p < numPhases; p++ {
+		b, ok := PaperBucket(p)
+		if !ok {
+			t.Errorf("phase %s has no paper bucket", p)
+			continue
+		}
+		if b != want[p] {
+			t.Errorf("PaperBucket(%s) = %s, want %s", p, b, want[p])
+		}
+		if b2, ok2 := PaperBucketOf(p.String()); !ok2 || b2 != b {
+			t.Errorf("PaperBucketOf(%q) = %s/%v, want %s/true", p.String(), b2, ok2, b)
+		}
+	}
+	if _, ok := PaperBucketOf("nonsense"); ok {
+		t.Error("PaperBucketOf accepted an unknown phase name")
+	}
+}
+
+// wattModel is a fixed-power test model: joules = watts x wall seconds.
+type wattModel struct {
+	watts float64
+	class string
+}
+
+func (m wattModel) PhaseJoules(ev PhaseEvent) float64 { return m.watts * ev.Duration.Seconds() }
+func (m wattModel) ClassName() string                 { return m.class }
+
+// TestCollectorEnergy pins the energy rollup: phase events fold through
+// the installed model into (job, paper bucket, class) cells plus a per-job
+// wall envelope, events carrying their own class keep it, and the snapshot
+// is a deep copy.
+func TestCollectorEnergy(t *testing.T) {
+	c := NewCollector()
+	c.SetEnergyModel(wattModel{watts: 10, class: "big"})
+	t0 := time.Date(2026, 8, 7, 0, 0, 0, 0, time.UTC)
+	c.TaskPhase(PhaseEvent{
+		Task: TaskRef{Job: "j1", Kind: KindMap}, Phase: PhaseMap,
+		Start: t0, Duration: 2 * time.Second,
+	})
+	c.TaskPhase(PhaseEvent{
+		Task: TaskRef{Job: "j1", Kind: KindReduce, Class: "little"}, Phase: PhaseReduce,
+		Start: t0.Add(2 * time.Second), Duration: time.Second,
+	})
+
+	s := c.Snapshot()
+	if got := s.Energy[EnergyKey{Job: "j1", Phase: "map", Class: "big"}]; got != 20 {
+		t.Errorf("map/big energy = %v J, want 20", got)
+	}
+	if got := s.Energy[EnergyKey{Job: "j1", Phase: "reduce", Class: "little"}]; got != 10 {
+		t.Errorf("reduce/little energy = %v J, want 10", got)
+	}
+	je := s.EnergyJobs["j1"]
+	if je.Joules != 30 {
+		t.Errorf("job joules = %v, want 30", je.Joules)
+	}
+	if je.Wall() != 3*time.Second {
+		t.Errorf("job wall = %v, want 3s", je.Wall())
+	}
+	if got, want := je.EDP(), 90.0; got != want {
+		t.Errorf("job EDP = %v, want %v", got, want)
+	}
+
+	// Deep-copy check: mutating the snapshot must not leak back.
+	s.Energy[EnergyKey{Job: "j1", Phase: "map", Class: "big"}] = 0
+	if got := c.Snapshot().Energy[EnergyKey{Job: "j1", Phase: "map", Class: "big"}]; got != 20 {
+		t.Errorf("snapshot aliased the collector's energy map (got %v)", got)
+	}
+
+	// Without a model, the maps stay empty.
+	c2 := NewCollector()
+	c2.TaskPhase(PhaseEvent{Task: TaskRef{Job: "j"}, Phase: PhaseMap, Duration: time.Second})
+	if s := c2.Snapshot(); len(s.Energy) != 0 || len(s.EnergyJobs) != 0 {
+		t.Error("collector without a model accumulated energy")
+	}
+}
+
+// TestTraceResourceRoundTrip extends the zero-not-absent wire contract to
+// the resource fields: cpu_ns, read/written/alloc bytes and class must
+// survive a write/read cycle, and the value fields must appear on the wire
+// even when zero.
+func TestTraceResourceRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	tw := NewTraceWriter(&buf)
+	tw.TaskPhase(PhaseEvent{
+		Task:     TaskRef{Job: "j", Kind: KindMap, Class: "little"},
+		Phase:    PhaseSpillWrite,
+		Duration: time.Millisecond,
+		Res: ResourceDelta{
+			CPU: 2 * time.Millisecond, CPUEstimated: true,
+			ReadBytes: 7, WrittenBytes: 9, AllocBytes: 11,
+		},
+	})
+	tw.TaskPhase(PhaseEvent{Task: TaskRef{Job: "j", Kind: KindMap}, Phase: PhaseMap})
+	if err := tw.Close(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+
+	events, err := ReadTrace(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := events[0]
+	if ev.Class != "little" || ev.CPUNS != (2*time.Millisecond).Nanoseconds() || !ev.CPUEstimated ||
+		ev.ReadBytes != 7 || ev.WrittenBytes != 9 || ev.AllocBytes != 11 {
+		t.Errorf("resource fields lost in round trip: %+v", ev)
+	}
+
+	lines := bytes.Split(bytes.TrimSpace(raw), []byte("\n"))
+	var second map[string]any
+	if err := json.Unmarshal(lines[1], &second); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"cpu_ns", "read_bytes", "written_bytes", "alloc_bytes"} {
+		if _, ok := second[k]; !ok {
+			t.Errorf("zero-valued %q dropped from the wire: %s", k, lines[1])
+		}
+	}
+	for _, k := range []string{"class", "cpu_est"} {
+		if _, ok := second[k]; ok {
+			t.Errorf("empty identity field %q serialized: %s", k, lines[1])
+		}
+	}
+}

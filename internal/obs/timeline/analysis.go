@@ -1,8 +1,11 @@
 package timeline
 
 import (
+	"fmt"
 	"sort"
 	"time"
+
+	"heterohadoop/internal/obs"
 )
 
 // analysis.go derives the paper's measurements from a replayed run: the
@@ -45,34 +48,20 @@ func (r *Run) Breakdown() []PhaseTotal {
 }
 
 // PaperBucketNames orders the coarse phases of the paper's per-workload
-// execution-time split.
-var PaperBucketNames = [4]string{"map", "sort", "shuffle", "reduce"}
+// execution-time split (alias of obs.PaperBucketNames).
+var PaperBucketNames = obs.PaperBucketNames
 
 // PaperSplit folds the fine-grained taxonomy into the paper's four-way
-// split of task time:
-//
-//	map     <- read + map          (input ingestion and mapper execution)
-//	sort    <- sort + spill + spill-write (map-side sort, spill layout and
-//	           spill-file writes)
-//	shuffle <- merge-fetch + schedule + spill-read (transport, merge passes,
-//	           dispatch wait, spill-file reads feeding the external merge)
-//	reduce  <- reduce + write      (reducer execution and output encode)
-//
+// split of task time — the map/sort/shuffle/reduce grouping defined once in
+// obs.PaperBucket and shared with the Collector's live energy rollup.
 // The result is keyed by PaperBucketNames; buckets with no intervals are
 // present with zero totals so renderers emit a stable table.
 func (r *Run) PaperSplit() map[string]time.Duration {
 	out := map[string]time.Duration{"map": 0, "sort": 0, "shuffle": 0, "reduce": 0}
 	for _, row := range r.Rows {
 		for _, iv := range row.Intervals {
-			switch iv.Phase {
-			case "read", "map":
-				out["map"] += iv.Duration()
-			case "sort", "spill", "spill-write":
-				out["sort"] += iv.Duration()
-			case "merge-fetch", "schedule", "spill-read":
-				out["shuffle"] += iv.Duration()
-			case "reduce", "write":
-				out["reduce"] += iv.Duration()
+			if b, ok := obs.PaperBucketOf(iv.Phase); ok {
+				out[b] += iv.Duration()
 			}
 		}
 	}
@@ -82,24 +71,16 @@ func (r *Run) PaperSplit() map[string]time.Duration {
 // Stragglers returns the task rows whose busy time exceeds k times the
 // median busy time of same-kind rows in this run — the paper's criterion
 // for tasks that dominate job latency on the little cores. Job-level rows
-// are exempt (there is exactly one). k values at or below zero default
-// to 1.5.
+// are exempt (there is exactly one). Kinds with fewer than two tasks are
+// skipped entirely: a "median" over one sample either trivially clears any
+// k or spuriously flags the only task, so a singleton kind can have no
+// stragglers by construction (StragglerSkips reports which kinds were
+// skipped and why). k values at or below zero default to 1.5.
 func (r *Run) Stragglers(k float64) []*Row {
 	if k <= 0 {
 		k = 1.5
 	}
-	byKind := map[string][]time.Duration{}
-	for _, row := range r.Rows {
-		if row.Task.Kind == "job" {
-			continue
-		}
-		byKind[row.Task.Kind] = append(byKind[row.Task.Kind], row.Busy())
-	}
-	medians := map[string]time.Duration{}
-	for kind, ds := range byKind {
-		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
-		medians[kind] = ds[len(ds)/2]
-	}
+	medians, _ := r.stragglerMedians()
 	var out []*Row
 	for _, row := range r.Rows {
 		med, ok := medians[row.Task.Kind]
@@ -111,6 +92,44 @@ func (r *Run) Stragglers(k float64) []*Row {
 		}
 	}
 	return out
+}
+
+// StragglerSkips reports, per task kind present in the run, why straggler
+// detection declined to judge it ("map: only 1 task — median needs at
+// least 2"). Empty when every kind had enough samples.
+func (r *Run) StragglerSkips() []string {
+	_, skips := r.stragglerMedians()
+	return skips
+}
+
+// stragglerMedians computes the per-kind busy-time medians straggler
+// detection compares against, restricted to kinds with at least two task
+// rows, and lists the kinds skipped for having fewer.
+func (r *Run) stragglerMedians() (map[string]time.Duration, []string) {
+	byKind := map[string][]time.Duration{}
+	var kinds []string
+	for _, row := range r.Rows {
+		if row.Task.Kind == "job" {
+			continue
+		}
+		if _, seen := byKind[row.Task.Kind]; !seen {
+			kinds = append(kinds, row.Task.Kind)
+		}
+		byKind[row.Task.Kind] = append(byKind[row.Task.Kind], row.Busy())
+	}
+	sort.Strings(kinds)
+	medians := map[string]time.Duration{}
+	var skips []string
+	for _, kind := range kinds {
+		ds := byKind[kind]
+		if len(ds) < 2 {
+			skips = append(skips, fmt.Sprintf("%s: only %d task — median needs at least 2", kind, len(ds)))
+			continue
+		}
+		sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+		medians[kind] = ds[len(ds)/2]
+	}
+	return medians, skips
 }
 
 // Step is one interval on the critical path, with its owning task.

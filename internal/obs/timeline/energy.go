@@ -1,0 +1,186 @@
+package timeline
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"heterohadoop/internal/obs"
+)
+
+// energy.go replays a trace's sampled resource deltas through per-class
+// energy models into the paper's energy artifacts: per-job joules and EDP,
+// the four-way map/sort/shuffle/reduce *energy* split, and — when a trace
+// mixes core classes — the big-vs-little comparison the study is built
+// around. Models are resolved by class name so the replayer stays decoupled
+// from any concrete profile (cmd/tracer wires internal/obs/energy in).
+
+// ModelResolver maps a core-class name ("big", "little", …) to the energy
+// model estimating it; nil marks the class unattributable, and those
+// intervals are counted rather than guessed at.
+type ModelResolver func(class string) obs.EnergyModel
+
+// RunEnergy is one run's energy attribution.
+type RunEnergy struct {
+	Job    string `json:"job"`
+	Epoch  uint64 `json:"epoch"`
+	WallNS int64  `json:"wall_ns"`
+	// Joules is the total estimate; EDP the energy-delay product
+	// (joules × wall seconds), the paper's figure of merit.
+	Joules float64 `json:"joules"`
+	EDP    float64 `json:"edp"`
+	// Buckets splits Joules over the paper's four phases (plus "other" for
+	// phases outside the taxonomy); the values sum to Joules exactly.
+	Buckets map[string]float64 `json:"buckets"`
+	// Classes splits Joules by core class.
+	Classes map[string]float64 `json:"classes"`
+	// Unattributed counts intervals whose class resolved to no model.
+	Unattributed int `json:"unattributed,omitempty"`
+}
+
+// Energy attributes the run's intervals through the resolver. Rows without
+// a class stamp fall back to defaultClass ("" keeps them unattributed
+// unless the resolver handles the empty name).
+func (r *Run) Energy(resolve ModelResolver, defaultClass string) RunEnergy {
+	re := RunEnergy{
+		Job:     r.Job,
+		Epoch:   r.Epoch,
+		WallNS:  int64(r.Wall()),
+		Buckets: map[string]float64{"map": 0, "sort": 0, "shuffle": 0, "reduce": 0},
+		Classes: map[string]float64{},
+	}
+	for _, row := range r.Rows {
+		class := row.Class
+		if class == "" {
+			class = defaultClass
+		}
+		m := resolve(class)
+		if m == nil {
+			re.Unattributed += len(row.Intervals)
+			continue
+		}
+		for _, iv := range row.Intervals {
+			ev := obs.PhaseEvent{Duration: iv.Duration(), Res: iv.Res()}
+			if p, ok := obs.ParsePhase(iv.Phase); ok {
+				ev.Phase = p
+			}
+			j := m.PhaseJoules(ev)
+			re.Joules += j
+			if b, ok := obs.PaperBucketOf(iv.Phase); ok {
+				re.Buckets[b] += j
+			} else {
+				re.Buckets["other"] += j
+			}
+			re.Classes[class] += j
+		}
+	}
+	re.EDP = re.Joules * time.Duration(re.WallNS).Seconds()
+	return re
+}
+
+// WriteEnergy renders one run's energy report: the header line with total
+// joules and EDP, then one "  energy <bucket>" line per paper phase with
+// its share of the total.
+func (re RunEnergy) WriteEnergy(w io.Writer) error {
+	fmt.Fprintf(w, "run %s (epoch %d): energy %.6f J, edp %.6f J·s over %s wall\n",
+		re.Job, re.Epoch, re.Joules, re.EDP,
+		time.Duration(re.WallNS).Round(time.Microsecond))
+	names := obs.PaperBucketNames[:]
+	if re.Buckets["other"] > 0 {
+		names = append(append([]string{}, names...), "other")
+	}
+	for _, name := range names {
+		share := 0.0
+		if re.Joules > 0 {
+			share = 100 * re.Buckets[name] / re.Joules
+		}
+		fmt.Fprintf(w, "  energy %-8s %12.6f J %6.1f%%\n", name, re.Buckets[name], share)
+	}
+	if len(re.Classes) > 0 {
+		classes := make([]string, 0, len(re.Classes))
+		for c := range re.Classes {
+			classes = append(classes, c)
+		}
+		sort.Strings(classes)
+		fmt.Fprintf(w, "  classes:")
+		for _, c := range classes {
+			fmt.Fprintf(w, " %s %.6f J", c, re.Classes[c])
+		}
+		fmt.Fprintln(w)
+	}
+	if re.Unattributed > 0 {
+		fmt.Fprintf(w, "  unattributed: %d intervals with no class model (use -default-class)\n",
+			re.Unattributed)
+	}
+	return nil
+}
+
+// ClassSummary aggregates one core class across a whole trace.
+type ClassSummary struct {
+	Class  string  `json:"class"`
+	Runs   int     `json:"runs"`
+	Joules float64 `json:"joules"`
+	// WallNS and EDP sum the envelopes and energy-delay products of the
+	// runs this class contributed to (a mixed run counts for each of its
+	// classes, attributing only its own joules).
+	WallNS int64   `json:"wall_ns"`
+	EDP    float64 `json:"edp"`
+}
+
+// CompareClasses summarizes a trace's runs per core class — the
+// big-vs-little table. The summaries are sorted by class name.
+func CompareClasses(energies []RunEnergy) []ClassSummary {
+	acc := map[string]*ClassSummary{}
+	for _, re := range energies {
+		for class, j := range re.Classes {
+			cs := acc[class]
+			if cs == nil {
+				cs = &ClassSummary{Class: class}
+				acc[class] = cs
+			}
+			cs.Runs++
+			cs.Joules += j
+			cs.WallNS += re.WallNS
+			cs.EDP += j * time.Duration(re.WallNS).Seconds()
+		}
+	}
+	out := make([]ClassSummary, 0, len(acc))
+	for _, cs := range acc {
+		out = append(out, *cs)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class < out[j].Class })
+	return out
+}
+
+// WriteClassComparison renders the big-vs-little table when the trace
+// contains at least two core classes (a single-class trace has nothing to
+// compare, and nothing is written).
+func WriteClassComparison(w io.Writer, energies []RunEnergy) error {
+	sums := CompareClasses(energies)
+	if len(sums) < 2 {
+		return nil
+	}
+	fmt.Fprintf(w, "class comparison:\n")
+	fmt.Fprintf(w, "  %-10s %5s %14s %14s %14s\n", "class", "runs", "joules", "wall", "edp")
+	for _, cs := range sums {
+		fmt.Fprintf(w, "  %-10s %5d %12.6f J %14s %12.6f J·s\n",
+			cs.Class, cs.Runs, cs.Joules,
+			time.Duration(cs.WallNS).Round(time.Microsecond), cs.EDP)
+	}
+	// The paper's headline ratio, when its two classes are both present.
+	var big, little *ClassSummary
+	for i := range sums {
+		switch sums[i].Class {
+		case "big":
+			big = &sums[i]
+		case "little":
+			little = &sums[i]
+		}
+	}
+	if big != nil && little != nil && little.Joules > 0 && little.EDP > 0 {
+		fmt.Fprintf(w, "  big/little energy ratio %.2fx, edp ratio %.2fx\n",
+			big.Joules/little.Joules, big.EDP/little.EDP)
+	}
+	return nil
+}

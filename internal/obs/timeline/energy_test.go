@@ -1,0 +1,197 @@
+package timeline
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"heterohadoop/internal/obs"
+)
+
+// wattModel is a fixed-power test model: joules = watts x wall seconds.
+type wattModel struct {
+	watts float64
+	class string
+}
+
+func (m wattModel) PhaseJoules(ev obs.PhaseEvent) float64 { return m.watts * ev.Duration.Seconds() }
+func (m wattModel) ClassName() string                     { return m.class }
+
+// testResolver attributes "big" at 30 W and "little" at 10 W; everything
+// else is unattributable.
+func testResolver() ModelResolver {
+	return func(class string) obs.EnergyModel {
+		switch class {
+		case "big":
+			return wattModel{watts: 30, class: "big"}
+		case "little":
+			return wattModel{watts: 10, class: "little"}
+		}
+		return nil
+	}
+}
+
+// mixedClassTrace is two runs of the same job on different core classes,
+// with phases covering all four paper buckets plus resource samples.
+const mixedClassTrace = `{"type":"phase","name":"map","job":"wc","task_kind":"map","task":0,"epoch":1,"worker":"b0","class":"big","start":"2026-08-07T00:00:00Z","duration_ns":100000000,"cpu_ns":100000000,"read_bytes":4096,"written_bytes":0,"alloc_bytes":1024}
+{"type":"phase","name":"sort","job":"wc","task_kind":"map","task":0,"epoch":1,"worker":"b0","class":"big","start":"2026-08-07T00:00:00.1Z","duration_ns":50000000,"cpu_ns":50000000,"read_bytes":0,"written_bytes":0,"alloc_bytes":0}
+{"type":"phase","name":"merge-fetch","job":"wc","task_kind":"reduce","task":0,"epoch":1,"worker":"b0","class":"big","start":"2026-08-07T00:00:00.15Z","duration_ns":25000000,"cpu_ns":10000000,"read_bytes":8192,"written_bytes":0,"alloc_bytes":0}
+{"type":"phase","name":"reduce","job":"wc","task_kind":"reduce","task":0,"epoch":1,"worker":"b0","class":"big","start":"2026-08-07T00:00:00.175Z","duration_ns":75000000,"cpu_ns":75000000,"read_bytes":0,"written_bytes":2048,"alloc_bytes":512}
+{"type":"phase","name":"map","job":"wc","task_kind":"map","task":0,"epoch":2,"worker":"l0","class":"little","start":"2026-08-07T00:01:00Z","duration_ns":400000000,"cpu_ns":400000000,"read_bytes":4096,"written_bytes":0,"alloc_bytes":1024}
+{"type":"phase","name":"sort","job":"wc","task_kind":"map","task":0,"epoch":2,"worker":"l0","class":"little","start":"2026-08-07T00:01:00.4Z","duration_ns":200000000,"cpu_ns":200000000,"read_bytes":0,"written_bytes":0,"alloc_bytes":0}
+{"type":"phase","name":"merge-fetch","job":"wc","task_kind":"reduce","task":0,"epoch":2,"worker":"l0","class":"little","start":"2026-08-07T00:01:00.6Z","duration_ns":100000000,"cpu_ns":40000000,"read_bytes":8192,"written_bytes":0,"alloc_bytes":0}
+{"type":"phase","name":"reduce","job":"wc","task_kind":"reduce","task":0,"epoch":2,"worker":"l0","class":"little","start":"2026-08-07T00:01:00.7Z","duration_ns":300000000,"cpu_ns":300000000,"read_bytes":0,"written_bytes":2048,"alloc_bytes":512}
+`
+
+func replayString(t *testing.T, s string) *Trace {
+	t.Helper()
+	tr, err := Replay(strings.NewReader(s))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestRunEnergySumInvariant pins the attribution bookkeeping: every
+// estimated joule lands in exactly one paper bucket and one class, so the
+// bucket and class splits each sum back to the run total within 1e-6.
+func TestRunEnergySumInvariant(t *testing.T) {
+	tr := replayString(t, mixedClassTrace)
+	resolve := testResolver()
+	for _, run := range tr.Runs {
+		re := run.Energy(resolve, "")
+		if re.Joules <= 0 {
+			t.Fatalf("run %s/%d estimated %v J, want positive", re.Job, re.Epoch, re.Joules)
+		}
+		if re.Unattributed != 0 {
+			t.Errorf("run %s/%d left %d intervals unattributed", re.Job, re.Epoch, re.Unattributed)
+		}
+		var bucketSum, classSum float64
+		for _, j := range re.Buckets {
+			bucketSum += j
+		}
+		for _, j := range re.Classes {
+			classSum += j
+		}
+		if math.Abs(bucketSum-re.Joules) > 1e-6 {
+			t.Errorf("run %s/%d bucket sum %v != total %v", re.Job, re.Epoch, bucketSum, re.Joules)
+		}
+		if math.Abs(classSum-re.Joules) > 1e-6 {
+			t.Errorf("run %s/%d class sum %v != total %v", re.Job, re.Epoch, classSum, re.Joules)
+		}
+		wallSec := time.Duration(re.WallNS).Seconds()
+		if math.Abs(re.EDP-re.Joules*wallSec) > 1e-9 {
+			t.Errorf("run %s/%d EDP %v != joules %v x wall %vs", re.Job, re.Epoch, re.EDP, re.Joules, wallSec)
+		}
+	}
+
+	// Epoch 1 ran entirely on the big class at 30 W over 0.25 s of phase
+	// time: 7.5 J, split over all four buckets.
+	re1 := tr.Run("wc", 1).Energy(resolve, "")
+	if math.Abs(re1.Joules-7.5) > 1e-9 {
+		t.Errorf("epoch 1 joules = %v, want 7.5", re1.Joules)
+	}
+	for _, b := range []string{"map", "sort", "shuffle", "reduce"} {
+		if re1.Buckets[b] <= 0 {
+			t.Errorf("epoch 1 bucket %s = %v, want positive", b, re1.Buckets[b])
+		}
+	}
+}
+
+// TestRunEnergyDefaultClass checks rows without a class stamp fall back to
+// -default-class, and stay counted (not guessed) when nothing resolves.
+func TestRunEnergyDefaultClass(t *testing.T) {
+	unclassed := strings.ReplaceAll(mixedClassTrace, `"class":"big",`, "")
+	tr := replayString(t, strings.ReplaceAll(unclassed, `"class":"little",`, ""))
+	run := tr.Run("wc", 1)
+
+	re := run.Energy(testResolver(), "little")
+	if re.Unattributed != 0 || re.Classes["little"] != re.Joules {
+		t.Errorf("default class not applied: %+v", re)
+	}
+
+	re = run.Energy(testResolver(), "")
+	if re.Joules != 0 || re.Unattributed != 4 {
+		t.Errorf("classless rows were guessed at: joules=%v unattributed=%d", re.Joules, re.Unattributed)
+	}
+}
+
+// TestClassComparison pins the mixed-class report: per-class totals,
+// the comparison table, and the big/little ratio line.
+func TestClassComparison(t *testing.T) {
+	tr := replayString(t, mixedClassTrace)
+	resolve := testResolver()
+	var energies []RunEnergy
+	var buf bytes.Buffer
+	for _, run := range tr.Runs {
+		re := run.Energy(resolve, "")
+		if err := re.WriteEnergy(&buf); err != nil {
+			t.Fatal(err)
+		}
+		energies = append(energies, re)
+	}
+	if err := WriteClassComparison(&buf, energies); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"run wc (epoch 1): energy 7.500000 J",
+		"energy map",
+		"energy sort",
+		"energy shuffle",
+		"energy reduce",
+		"class comparison:",
+		"big/little energy ratio",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("energy report missing %q in:\n%s", want, out)
+		}
+	}
+
+	sums := CompareClasses(energies)
+	if len(sums) != 2 {
+		t.Fatalf("CompareClasses = %d classes, want 2", len(sums))
+	}
+
+	// Single-class traces render no comparison.
+	var single bytes.Buffer
+	if err := WriteClassComparison(&single, energies[:1]); err != nil {
+		t.Fatal(err)
+	}
+	if single.Len() != 0 {
+		t.Errorf("single-class comparison rendered %q, want nothing", single.String())
+	}
+}
+
+// TestStragglerSingletonGuard pins the satellite guard: a (job, kind) lane
+// with fewer than two tasks is never judged against its own median — the
+// report says why instead of flagging or crashing.
+func TestStragglerSingletonGuard(t *testing.T) {
+	tr := replayString(t, mixedClassTrace)
+	run := tr.Run("wc", 1) // one map task, one reduce task
+	if got := run.Stragglers(1.01); len(got) != 0 {
+		t.Errorf("singleton lanes produced stragglers: %+v", got)
+	}
+	skips := run.StragglerSkips()
+	if len(skips) != 2 {
+		t.Fatalf("StragglerSkips = %v, want one per singleton kind", skips)
+	}
+	for _, s := range skips {
+		if !strings.Contains(s, "only 1 task") || !strings.Contains(s, "median needs at least 2") {
+			t.Errorf("skip message %q does not explain the guard", s)
+		}
+	}
+	var buf bytes.Buffer
+	if err := run.WriteStragglers(&buf, 1.01); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "only 1 task") {
+		t.Errorf("straggler report does not surface the guard:\n%s", out)
+	}
+	if strings.Contains(out, "skipped") {
+		t.Errorf("straggler report says 'skipped', which trips the CI malformed-line grep:\n%s", out)
+	}
+}

@@ -23,6 +23,8 @@ var phaseGlyphs = map[string]byte{
 	"reduce":      'R',
 	"write":       'w',
 	"schedule":    '.',
+	"spill-write": 'v',
+	"spill-read":  '^',
 }
 
 // glyph returns the bar character for a phase ('?' for unknown phases, so
@@ -94,11 +96,17 @@ func (r *Run) WriteCriticalPath(w io.Writer) error {
 }
 
 // WriteStragglers renders the rows Stragglers(k) flags, with their busy
-// time against the same-kind median.
+// time against the same-kind median, and names any kind the detector
+// declined to judge for lack of samples.
 func (r *Run) WriteStragglers(w io.Writer, k float64) error {
 	rows := r.Stragglers(k)
+	skips := r.StragglerSkips()
 	if len(rows) == 0 {
-		fmt.Fprintf(w, "  stragglers (>%gx median): none\n", k)
+		fmt.Fprintf(w, "  stragglers (>%gx median): none", k)
+		if len(skips) > 0 {
+			fmt.Fprintf(w, " (%s)", strings.Join(skips, "; "))
+		}
+		fmt.Fprintln(w)
 		return nil
 	}
 	fmt.Fprintf(w, "  stragglers (>%gx median):\n", k)
@@ -106,6 +114,9 @@ func (r *Run) WriteStragglers(w io.Writer, k float64) error {
 		fmt.Fprintf(w, "    %-24s busy %s over [%s]\n",
 			taskLabel(row.Task), row.Busy().Round(time.Microsecond),
 			row.End.Sub(row.Start).Round(time.Microsecond))
+	}
+	for _, skip := range skips {
+		fmt.Fprintf(w, "    not judged: %s\n", skip)
 	}
 	return nil
 }
@@ -196,11 +207,14 @@ type Report struct {
 	PaperSplit   map[string]time.Duration `json:"paper_split_ns"`
 	CriticalPath []Step                   `json:"critical_path"`
 	Stragglers   []*Row                   `json:"stragglers,omitempty"`
+	// StragglerSkips names the task kinds straggler detection declined to
+	// judge (fewer than two tasks — no meaningful median).
+	StragglerSkips []string `json:"straggler_skips,omitempty"`
 }
 
 // BuildReport assembles the run's full analysis for JSON output.
 func (r *Run) BuildReport(stragglerK float64) Report {
-	return Report{
+	rep := Report{
 		Job:          r.Job,
 		Epoch:        r.Epoch,
 		WallNS:       int64(r.Wall()),
@@ -210,6 +224,8 @@ func (r *Run) BuildReport(stragglerK float64) Report {
 		CriticalPath: r.CriticalPath(),
 		Stragglers:   r.Stragglers(stragglerK),
 	}
+	rep.StragglerSkips = r.StragglerSkips()
+	return rep
 }
 
 // WriteJSON renders every run's Report as one indented JSON array.

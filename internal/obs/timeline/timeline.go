@@ -19,12 +19,34 @@ import (
 	"heterohadoop/internal/obs"
 )
 
-// Interval is one phase slice of a task attempt on the wall clock.
+// Interval is one phase slice of a task attempt on the wall clock, carrying
+// the resource delta the emitter sampled over it (zero for traces recorded
+// before resource sampling existed — replay stays backward-compatible).
 type Interval struct {
 	// Phase is the wire phase name ("map", "merge-fetch", …).
 	Phase string    `json:"phase"`
 	Start time.Time `json:"start"`
 	End   time.Time `json:"end"`
+	// CPU is the process CPU time sampled over the interval; CPUEstimated
+	// marks the wall×GOMAXPROCS fallback (see obs.ResourceDelta).
+	CPU          time.Duration `json:"cpu_ns,omitempty"`
+	CPUEstimated bool          `json:"cpu_est,omitempty"`
+	// ReadBytes/WrittenBytes are the phase's IO traffic; AllocBytes its
+	// heap allocation delta.
+	ReadBytes    int64 `json:"read_bytes,omitempty"`
+	WrittenBytes int64 `json:"written_bytes,omitempty"`
+	AllocBytes   int64 `json:"alloc_bytes,omitempty"`
+}
+
+// Res returns the interval's resource delta in the obs event form.
+func (iv Interval) Res() obs.ResourceDelta {
+	return obs.ResourceDelta{
+		CPU:          iv.CPU,
+		CPUEstimated: iv.CPUEstimated,
+		ReadBytes:    iv.ReadBytes,
+		WrittenBytes: iv.WrittenBytes,
+		AllocBytes:   iv.AllocBytes,
+	}
 }
 
 // Duration returns the interval's length.
@@ -42,9 +64,13 @@ type TaskID struct {
 }
 
 // Row is one task attempt's lane in the Gantt chart: its intervals in
-// start order plus the covering [Start, End] envelope.
+// start order plus the covering [Start, End] envelope. Class is the core
+// class the executing worker stamped on its events ("" for unlabelled
+// traces); it lives on the row, not in TaskID, so a late class stamp never
+// splits a task's lane in two.
 type Row struct {
 	Task      TaskID     `json:"task"`
+	Class     string     `json:"class,omitempty"`
 	Intervals []Interval `json:"intervals"`
 	Start     time.Time  `json:"start"`
 	End       time.Time  `json:"end"`
@@ -107,7 +133,14 @@ const maxLine = 4 * 1024 * 1024
 func Replay(r io.Reader) (*Trace, error) {
 	t := &Trace{}
 	runs := map[runKey]*Run{}
-	rows := map[TaskID]*Row{}
+	// Rows are keyed by (task identity, core class). Classless events
+	// attach to the task's first lane and a late class stamp promotes a
+	// classless lane in place, so a single-node trace keeps exactly one
+	// row per attempt — but two *conflicting* classes for the same
+	// identity (concatenated traces from different nodes reusing job,
+	// worker and epoch) are physically distinct executions and split.
+	rows := map[rowKey]*Row{}
+	first := map[TaskID]*Row{}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), maxLine)
 	for sc.Scan() {
@@ -130,10 +163,29 @@ func Replay(r io.Reader) (*Trace, error) {
 			continue
 		}
 		t.Phases++
-		row, seen := rows[id]
-		if !seen {
-			row = &Row{Task: id, Start: iv.Start, End: iv.End}
-			rows[id] = row
+		var row *Row
+		switch {
+		case ev.Class == "":
+			row = first[id]
+		default:
+			row = rows[rowKey{id: id, class: ev.Class}]
+			if row == nil {
+				if r := rows[rowKey{id: id}]; r != nil {
+					// First stamped event for a lane opened by classless
+					// events: promote in place rather than splitting.
+					delete(rows, rowKey{id: id})
+					r.Class = ev.Class
+					rows[rowKey{id: id, class: ev.Class}] = r
+					row = r
+				}
+			}
+		}
+		if row == nil {
+			row = &Row{Task: id, Class: ev.Class, Start: iv.Start, End: iv.End}
+			rows[rowKey{id: id, class: ev.Class}] = row
+			if first[id] == nil {
+				first[id] = row
+			}
 			key := runKey{job: id.Job, epoch: id.Epoch}
 			run, ok := runs[key]
 			if !ok {
@@ -165,6 +217,13 @@ type runKey struct {
 	epoch uint64
 }
 
+// rowKey addresses one lane during replay: a task attempt plus the core
+// class its events are stamped with (see the keying note in Replay).
+type rowKey struct {
+	id    TaskID
+	class string
+}
+
 // phaseInterval converts one phase record into an interval and task id,
 // rejecting records the analyses cannot use.
 func phaseInterval(ev *obs.TraceEvent) (Interval, TaskID, bool) {
@@ -182,7 +241,16 @@ func phaseInterval(ev *obs.TraceEvent) (Interval, TaskID, bool) {
 	if _, ok := obs.ParseTaskKind(kind); !ok {
 		return Interval{}, TaskID{}, false
 	}
-	iv := Interval{Phase: ev.Name, Start: start, End: start.Add(time.Duration(ev.DurationNS))}
+	iv := Interval{
+		Phase:        ev.Name,
+		Start:        start,
+		End:          start.Add(time.Duration(ev.DurationNS)),
+		CPU:          time.Duration(ev.CPUNS),
+		CPUEstimated: ev.CPUEstimated,
+		ReadBytes:    ev.ReadBytes,
+		WrittenBytes: ev.WrittenBytes,
+		AllocBytes:   ev.AllocBytes,
+	}
 	id := TaskID{Job: ev.Job, Epoch: ev.Epoch, Kind: kind, Index: ev.Task, Worker: ev.Worker}
 	return iv, id, true
 }

@@ -20,14 +20,17 @@ import (
 //	"phase"    — one task-phase interval: Name is the phase ("map",
 //	             "sort", "merge-fetch", …), Job/TaskKind/Task/Worker/Epoch
 //	             identify the task attempt, Start and DurationNS the
-//	             interval. The timeline replayer is built over these.
+//	             interval, CPUNS/ReadBytes/WrittenBytes/AllocBytes the
+//	             sampled resource delta, and Class the worker's declared
+//	             core class. The timeline replayer is built over these.
 //
 // The value-bearing fields (DurationNS, Delta, Value, Done, Total, Task,
-// Epoch) are serialized unconditionally so a legitimate zero — Gauge(name,
-// 0), Progress(label, 0, total), task index 0 — stays distinguishable from
-// an absent field; consumers dispatch on Type to know which of them are
-// meaningful. Only the string identity fields (Span, Attrs, Start, Job,
-// TaskKind, Worker) are omitted when empty.
+// Epoch, and the phase resource fields) are serialized unconditionally so a
+// legitimate zero — Gauge(name, 0), Progress(label, 0, total), task index
+// 0, a phase that moved no bytes — stays distinguishable from an absent
+// field; consumers dispatch on Type to know which of them are meaningful.
+// Only the string identity fields (Span, Attrs, Start, Job, TaskKind,
+// Worker, Class) and the CPUEstimated flag are omitted when empty.
 type TraceEvent struct {
 	Type       string            `json:"type"`
 	Name       string            `json:"name"`
@@ -37,6 +40,7 @@ type TraceEvent struct {
 	Job        string            `json:"job,omitempty"`
 	TaskKind   string            `json:"task_kind,omitempty"`
 	Worker     string            `json:"worker,omitempty"`
+	Class      string            `json:"class,omitempty"`
 	Task       int               `json:"task"`
 	Epoch      uint64            `json:"epoch"`
 	DurationNS int64             `json:"duration_ns"`
@@ -44,6 +48,12 @@ type TraceEvent struct {
 	Value      float64           `json:"value"`
 	Done       int               `json:"done"`
 	Total      int               `json:"total"`
+	// Phase resource delta (see obs.ResourceDelta).
+	CPUNS        int64 `json:"cpu_ns"`
+	ReadBytes    int64 `json:"read_bytes"`
+	WrittenBytes int64 `json:"written_bytes"`
+	AllocBytes   int64 `json:"alloc_bytes"`
+	CPUEstimated bool  `json:"cpu_est,omitempty"`
 }
 
 // TraceWriter streams events as JSON Lines: one self-contained JSON object
@@ -127,15 +137,21 @@ func (t *TraceWriter) TaskPhase(ev PhaseEvent) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	t.emit(TraceEvent{
-		Type:       "phase",
-		Name:       ev.Phase.String(),
-		Job:        ev.Task.Job,
-		TaskKind:   ev.Task.Kind.String(),
-		Task:       ev.Task.Index,
-		Worker:     ev.Task.Worker,
-		Epoch:      ev.Task.Epoch,
-		Start:      ev.Start.Format(time.RFC3339Nano),
-		DurationNS: ev.Duration.Nanoseconds(),
+		Type:         "phase",
+		Name:         ev.Phase.String(),
+		Job:          ev.Task.Job,
+		TaskKind:     ev.Task.Kind.String(),
+		Task:         ev.Task.Index,
+		Worker:       ev.Task.Worker,
+		Class:        ev.Task.Class,
+		Epoch:        ev.Task.Epoch,
+		Start:        ev.Start.Format(time.RFC3339Nano),
+		DurationNS:   ev.Duration.Nanoseconds(),
+		CPUNS:        ev.Res.CPU.Nanoseconds(),
+		ReadBytes:    ev.Res.ReadBytes,
+		WrittenBytes: ev.Res.WrittenBytes,
+		AllocBytes:   ev.Res.AllocBytes,
+		CPUEstimated: ev.Res.CPUEstimated,
 	})
 }
 
